@@ -1,0 +1,125 @@
+// Conclusions study (paper §6.1/§6.2 quantified): the thesis closes by
+// relating blocked-format success back to Table 5.1 — "ELLPACK generally
+// did best with matrices that have a low column ratio. BCSR generally
+// did best with a low column ratio [and] spatial locality of the
+// non-zeros is ultimately best" — and finding no pattern for variance.
+// This bench computes those relationships numerically:
+//   * rank correlation between column ratio and ELL's relative speed,
+//   * rank correlation between BCSR fill (locality) and BCSR's relative
+//     speed,
+//   * the same for row variance (expected: weak, as the paper found),
+// and scores the format advisor against the model's actual winner.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "common.hpp"
+#include "core/advisor.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+namespace {
+
+/// Spearman rank correlation of two equally-sized samples.
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const usize n = xs.size();
+  auto ranks = [n](const std::vector<double>& v) {
+    std::vector<usize> order(n);
+    std::iota(order.begin(), order.end(), usize{0});
+    std::sort(order.begin(), order.end(),
+              [&](usize a, usize b) { return v[a] < v[b]; });
+    std::vector<double> r(n);
+    for (usize i = 0; i < n; ++i) r[order[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  double d2 = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    d2 += (rx[i] - ry[i]) * (rx[i] - ry[i]);
+  }
+  const double dn = static_cast<double>(n);
+  return 1.0 - 6.0 * d2 / (dn * (dn * dn - 1.0));
+}
+
+double relative_speed(const model::Machine& m, const model::ModelInput& in,
+                      Format f) {
+  model::KernelSpec spec;
+  spec.variant = Variant::kParallel;
+  spec.threads = 32;
+  spec.k = 128;
+  spec.block_size = 4;
+  spec.format = f;
+  const double fmt = model::predict_mflops(m, in, spec);
+  spec.format = Format::kCsr;
+  return fmt / model::predict_mflops(m, in, spec);
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header(
+      "Conclusions quantified — §6.1/§6.2",
+      "no single figure (the paper's closing analysis)",
+      "rank correlations between Table 5.1 metrics and blocked-format "
+      "relative speed (omp-32 vs CSR, model), plus advisor accuracy");
+
+  const model::Machine gh = model::grace_hopper();
+  std::vector<double> ratio, variance, fill, ell_rel, bcsr_rel;
+  TextTable table({"matrix", "ratio", "fill b4", "ELL/CSR", "BCSR/CSR"});
+  for (const std::string& name : gen::suite_names()) {
+    const auto& in = benchx::suite_input(name);
+    const double e = relative_speed(gh, in, Format::kEll);
+    const double b = relative_speed(gh, in, Format::kBcsr);
+    ratio.push_back(in.props.column_ratio);
+    variance.push_back(in.props.row_nnz_variance);
+    fill.push_back(in.bcsr_fill.at(4));
+    ell_rel.push_back(e);
+    bcsr_rel.push_back(b);
+    table.add(name)
+        .add(in.props.column_ratio, 1)
+        .add(in.bcsr_fill.at(4), 2)
+        .add(e, 2)
+        .add(b, 2);
+    table.end_row();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSpearman rank correlations (14 matrices, Arm omp-32):\n";
+  std::cout << "  column ratio vs ELL relative speed:  "
+            << format_double(spearman(ratio, ell_rel), 2)
+            << "  (paper: strongly negative — low ratio helps ELL)\n";
+  std::cout << "  BCSR fill    vs BCSR relative speed: "
+            << format_double(spearman(fill, bcsr_rel), 2)
+            << "  (paper: positive — locality is ultimately best)\n";
+  std::cout << "  row variance vs BCSR relative speed: "
+            << format_double(spearman(variance, bcsr_rel), 2)
+            << "  (paper: no usable pattern)\n";
+
+  // Advisor accuracy: does the recommended format match the model's
+  // winner among the advisable formats {CSR, ELL, BCSR}?
+  int hits = 0;
+  std::cout << "\nadvisor vs model winner (cpu-parallel):\n";
+  for (const std::string& name : gen::suite_names()) {
+    const auto& in = benchx::suite_input(name);
+    const bench::Advice advice = bench::advise_format(
+        in.props, bench::Environment::kCpuParallel, in.bcsr_fill.at(4));
+    Format winner = Format::kCsr;
+    double best = 0.0;
+    for (Format f : {Format::kCsr, Format::kEll, Format::kBcsr}) {
+      const double v = relative_speed(gh, in, f);
+      if (v > best) {
+        best = v;
+        winner = f;
+      }
+    }
+    const bool hit = advice.format == winner;
+    hits += hit ? 1 : 0;
+    std::cout << "  " << name << ": advised " << format_name(advice.format)
+              << ", winner " << format_name(winner) << (hit ? "" : "  <-- miss")
+              << "\n";
+  }
+  std::cout << "advisor accuracy: " << hits << "/14\n";
+  return 0;
+}

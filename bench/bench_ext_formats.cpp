@@ -1,0 +1,85 @@
+// Extension-format study (paper §6.3.1 future work, implemented): how
+// the blocked-format remedies — BELL, SELL-C-σ, and HYB — repair ELL's
+// padding collapse on high-column-ratio matrices, measured natively on
+// this host and through the model on the paper's machines.
+//
+// The torso1 row (ratio 44) is the paper's motivating failure: ELL pads
+// every row to 3263 entries. Each remedy bounds the blast radius its own
+// way: BELL per row group, SELL-C by sorting, HYB by spilling to a tail.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/runner.hpp"
+#include "formats/convert.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+int main() {
+  benchx::print_figure_header(
+      "Extension formats: BELL / SELL-C / HYB / CSR5 vs ELL",
+      "no paper figure (future-work §6.3.1 implemented)",
+      "padding ratios are native/exact; MFLOPs native serial on this "
+      "host (scale " + format_double(benchx::native_scale(), 3) + ")");
+
+  std::cout << "\npadding ratio (stored entries / true nonzeros):\n";
+  TextTable pads({"matrix", "ELL", "BELL g=32", "SELL-32-256", "HYB(auto)", "CSR5"});
+  for (const char* name :
+       {"torso1", "bcsstk17", "pdb1HYS", "af23560", "2cubes_sphere"}) {
+    const auto& coo = benchx::suite_matrix(name);
+    pads.add(name)
+        .add(to_ell(coo).padding_ratio(), 2)
+        .add(to_bell(coo, 32).padding_ratio(), 2)
+        .add(to_sellc(coo, 32, 256).padding_ratio(), 2)
+        .add(to_hyb(coo).padding_ratio(), 2)
+        .add(1.0, 2);  // CSR5: no padding by construction
+    pads.end_row();
+  }
+  pads.print(std::cout);
+
+  std::cout << "\nnative serial throughput (MFLOPs, k=128):\n";
+  BenchParams params;
+  params.iterations = 3;
+  params.warmup = 1;
+  params.k = 128;
+  params.verify = true;
+  TextTable perf({"matrix", "ELL", "BELL", "SELL-C", "HYB", "CSR5", "all verified"});
+  for (const char* name :
+       {"torso1", "bcsstk17", "pdb1HYS", "af23560", "2cubes_sphere"}) {
+    const auto& coo = benchx::suite_matrix(name);
+    perf.add(name);
+    bool verified = true;
+    for (Format f : {Format::kEll, Format::kBell, Format::kSellC,
+                     Format::kHyb, Format::kCsr5}) {
+      const auto r = bench::run_benchmark<double, std::int32_t>(
+          f, Variant::kSerial, coo, params, name);
+      perf.add(r.mflops, 0);
+      verified = verified && r.verified;
+    }
+    perf.add(verified ? "yes" : "NO");
+    perf.end_row();
+  }
+  perf.print(std::cout);
+
+  std::cout << "\nmodel: parallel-32 on the paper's machines (MFLOPs):\n";
+  TextTable mdl({"matrix", "machine", "ELL", "BELL", "SELL-C", "HYB", "CSR5"});
+  for (const char* name : {"torso1", "bcsstk17", "af23560"}) {
+    const auto& in = benchx::suite_input(name);
+    for (const model::Machine& m :
+         {model::grace_hopper(), model::aries()}) {
+      mdl.add(name).add(m.name);
+      for (Format f : {Format::kEll, Format::kBell, Format::kSellC,
+                       Format::kHyb, Format::kCsr5}) {
+        model::KernelSpec spec;
+        spec.format = f;
+        spec.variant = Variant::kParallel;
+        spec.threads = 32;
+        spec.k = 128;
+        mdl.add(model::predict_mflops(m, in, spec), 0);
+      }
+      mdl.end_row();
+    }
+  }
+  mdl.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Formatting-cost micro-benchmarks (google-benchmark): COO → each format
+// (paper §4.2 — the thesis's original BCSR formatter was unusably slow;
+// this suite's single-pass formatter is benchmarked here), plus the BCSR
+// disk-cache load path (§6.3.2).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "formats/convert.hpp"
+#include "gen/generator.hpp"
+#include "io/bcsr_cache.hpp"
+
+namespace {
+
+using CooD = spmm::Coo<double, std::int32_t>;
+
+const CooD& matrix() {
+  static const CooD coo = [] {
+    spmm::gen::MatrixSpec spec;
+    spec.name = "fmt";
+    spec.rows = spec.cols = 20000;
+    spec.row_dist.kind = spmm::gen::RowDist::kNormal;
+    spec.row_dist.mean = 40;
+    spec.row_dist.spread = 15;
+    spec.row_dist.max_nnz = 120;
+    spec.placement.kind = spmm::gen::Placement::kClustered;
+    return spmm::gen::generate<double, std::int32_t>(spec);
+  }();
+  return coo;
+}
+
+void report_entries(benchmark::State& state) {
+  state.counters["Mnnz/s"] = benchmark::Counter(
+      static_cast<double>(matrix().nnz()) / 1e6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_FormatCsr(benchmark::State& state) {
+  for (auto _ : state) {
+    auto csr = spmm::to_csr(matrix());
+    benchmark::DoNotOptimize(csr.values().data());
+  }
+  report_entries(state);
+}
+BENCHMARK(BM_FormatCsr);
+
+void BM_FormatEll(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ell = spmm::to_ell(matrix());
+    benchmark::DoNotOptimize(ell.values().data());
+  }
+  report_entries(state);
+}
+BENCHMARK(BM_FormatEll);
+
+void BM_FormatBcsr(benchmark::State& state) {
+  for (auto _ : state) {
+    auto bcsr = spmm::to_bcsr(matrix(), state.range(0) > 0
+                                            ? static_cast<std::int32_t>(
+                                                  state.range(0))
+                                            : 4);
+    benchmark::DoNotOptimize(bcsr.values().data());
+  }
+  report_entries(state);
+}
+BENCHMARK(BM_FormatBcsr)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_FormatBell(benchmark::State& state) {
+  for (auto _ : state) {
+    auto bell = spmm::to_bell(matrix(), 32);
+    benchmark::DoNotOptimize(bell.values().data());
+  }
+  report_entries(state);
+}
+BENCHMARK(BM_FormatBell);
+
+void BM_FormatSellC(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sell = spmm::to_sellc(matrix(), 32, 256);
+    benchmark::DoNotOptimize(sell.values().data());
+  }
+  report_entries(state);
+}
+BENCHMARK(BM_FormatSellC);
+
+void BM_FormatCsr5(benchmark::State& state) {
+  for (auto _ : state) {
+    auto csr5 = spmm::to_csr5(matrix(), 256);
+    benchmark::DoNotOptimize(csr5.csr().values().data());
+  }
+  report_entries(state);
+}
+BENCHMARK(BM_FormatCsr5);
+
+void BM_BcsrCacheLoad(benchmark::State& state) {
+  // The §6.3.2 workflow: pre-formatted BCSR loads from cache far faster
+  // than re-formatting.
+  std::stringstream cache(std::ios::in | std::ios::out | std::ios::binary);
+  spmm::io::write_bcsr_cache(cache, spmm::to_bcsr(matrix(), 4));
+  const std::string bytes = cache.str();
+  for (auto _ : state) {
+    std::stringstream in(bytes, std::ios::in | std::ios::binary);
+    auto bcsr = spmm::io::read_bcsr_cache<double, std::int32_t>(in);
+    benchmark::DoNotOptimize(bcsr.values().data());
+  }
+  report_entries(state);
+}
+BENCHMARK(BM_BcsrCacheLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,279 @@
+// Kernel micro-benchmarks (google-benchmark): per-kernel throughput on a
+// fixed mid-size matrix, plus the DESIGN.md ablations:
+//   * row-aligned parallel COO vs the atomic alternative,
+//   * block-row-parallel BCSR vs the inner-loop parallelization the
+//     thesis accidentally shipped in Study 9,
+//   * plain vs manually optimized (template-k) kernels.
+#include <benchmark/benchmark.h>
+
+#include "formats/convert.hpp"
+#include "gen/generator.hpp"
+#include "kernels/device_plan.hpp"
+#include "kernels/spmm_bcsr.hpp"
+#include "kernels/spmm_coo.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmm_ell.hpp"
+#include "kernels/spmm_fixed_k.hpp"
+#include "vendor/vendor_spmm.hpp"
+
+namespace {
+
+using spmm::Dense;
+using CooD = spmm::Coo<double, std::int32_t>;
+
+constexpr int kK = 64;
+
+struct Fixture {
+  CooD coo;
+  spmm::Csr<double, std::int32_t> csr;
+  spmm::Ell<double, std::int32_t> ell;
+  spmm::Bcsr<double, std::int32_t> bcsr;
+  Dense<double> b;
+  Dense<double> c;
+
+  Fixture() {
+    spmm::gen::MatrixSpec spec;
+    spec.name = "micro";
+    spec.rows = spec.cols = 4000;
+    spec.row_dist.kind = spmm::gen::RowDist::kNormal;
+    spec.row_dist.mean = 30;
+    spec.row_dist.spread = 10;
+    spec.row_dist.max_nnz = 80;
+    spec.placement.kind = spmm::gen::Placement::kClustered;
+    coo = spmm::gen::generate<double, std::int32_t>(spec);
+    csr = spmm::to_csr(coo);
+    ell = spmm::to_ell(coo);
+    bcsr = spmm::to_bcsr(coo, 4);
+    spmm::Rng rng(1);
+    b = Dense<double>(static_cast<spmm::usize>(coo.cols()), kK);
+    b.fill_random(rng);
+    c = Dense<double>(static_cast<spmm::usize>(coo.rows()), kK);
+  }
+
+  [[nodiscard]] double flops() const {
+    return 2.0 * static_cast<double>(coo.nnz()) * kK;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void report(benchmark::State& state) {
+  state.counters["MFLOPs"] = benchmark::Counter(
+      fixture().flops() / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_CooSerial(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_coo_serial(f.coo, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CooSerial);
+
+void BM_CooSerialOpt(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_coo_serial_opt(f.coo, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CooSerialOpt);
+
+void BM_CsrSerial(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_csr_serial(f.csr, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CsrSerial);
+
+void BM_CsrSerialOpt(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_csr_serial_opt(f.csr, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CsrSerialOpt);
+
+void BM_CsrVendor(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::vendor::vendor_spmm_csr(f.csr, f.b, f.c, 1);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CsrVendor);
+
+void BM_EllSerial(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_ell_serial(f.ell, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_EllSerial);
+
+void BM_EllSerialOpt(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_ell_serial_opt(f.ell, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_EllSerialOpt);
+
+void BM_BcsrSerial(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_bcsr_serial(f.bcsr, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_BcsrSerial);
+
+// Ablation: compile-time block size (unrolled 4x4 tiles) vs the runtime
+// block size loop.
+void BM_BcsrSerialFixedBlock(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_bcsr_serial_fixed(f.bcsr, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_BcsrSerialFixedBlock);
+
+// Persistent device plan vs re-mapping every call (what OpenMP target
+// offload does — the paper's GPU overhead).
+void BM_CsrDeviceFullMapEachCall(benchmark::State& state) {
+  auto& f = fixture();
+  spmm::dev::DeviceArena arena;
+  for (auto _ : state) {
+    arena.reset();
+    spmm::spmm_csr_device(arena, f.csr, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CsrDeviceFullMapEachCall);
+
+void BM_CsrDevicePlanResident(benchmark::State& state) {
+  auto& f = fixture();
+  spmm::dev::DeviceArena arena;
+  spmm::CsrDevicePlan<double, std::int32_t> plan(arena, f.csr, kK);
+  plan.execute(f.b, f.c);
+  for (auto _ : state) {
+    plan.execute_resident(f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CsrDevicePlanResident);
+
+// Ablation: row-aligned partition vs atomics (2 threads on this host).
+void BM_CooParallelPartitioned(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_coo_parallel(f.coo, f.b, f.c, 2);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CooParallelPartitioned);
+
+void BM_CooParallelAtomic(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_coo_parallel_atomic(f.coo, f.b, f.c, 2);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_CooParallelAtomic);
+
+// Ablation (DESIGN.md #1): row-major ELL layout vs column-major. The
+// library stores ELL row-major for CPU k-panel locality; the
+// column-major layout (slot-major, as GPU SpMV implementations use) is
+// rebuilt here and run through an equivalent local kernel.
+void BM_EllRowMajorLayout(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_ell_serial(f.ell, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_EllRowMajorLayout);
+
+void BM_EllColMajorLayout(benchmark::State& state) {
+  auto& f = fixture();
+  const auto rows = static_cast<spmm::usize>(f.ell.rows());
+  const auto width = static_cast<spmm::usize>(f.ell.width());
+  // Rebuild the arrays slot-major: entry(slot s, row r) at s*rows + r.
+  std::vector<std::int32_t> cols(rows * width);
+  std::vector<double> vals(rows * width);
+  for (spmm::usize r = 0; r < rows; ++r) {
+    for (spmm::usize s = 0; s < width; ++s) {
+      cols[s * rows + r] = f.ell.col_idx()[r * width + s];
+      vals[s * rows + r] = f.ell.values()[r * width + s];
+    }
+  }
+  const spmm::usize k = f.b.cols();
+  for (auto _ : state) {
+    f.c.fill(0.0);
+    for (spmm::usize s = 0; s < width; ++s) {
+      for (spmm::usize r = 0; r < rows; ++r) {
+        const double v = vals[s * rows + r];
+        const double* brow =
+            f.b.data() + static_cast<spmm::usize>(cols[s * rows + r]) * k;
+        double* crow = f.c.data() + r * k;
+        for (spmm::usize j = 0; j < k; ++j) {
+          crow[j] += v * brow[j];
+        }
+      }
+    }
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_EllColMajorLayout);
+
+// Ablation: block-row parallel BCSR vs parallelizing the inner block
+// loop (the Study 9 regression).
+void BM_BcsrParallelBlockRows(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_bcsr_parallel(f.bcsr, f.b, f.c, 2);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_BcsrParallelBlockRows);
+
+void BM_BcsrParallelInnerLoop(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    spmm::spmm_bcsr_parallel_inner(f.bcsr, f.b, f.c, 2);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  report(state);
+}
+BENCHMARK(BM_BcsrParallelInnerLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Memory footprint study (paper §6.3.5 future work): bytes per format at
+// the bench configuration (f64/i32) and the savings from narrowing to
+// f32/i32 — "making this change would cut our memory use in half".
+#include <array>
+#include <iostream>
+
+#include "common.hpp"
+#include "formats/convert.hpp"
+#include "gen/generator.hpp"
+
+using namespace spmm;
+
+namespace {
+
+template <ValueType V, IndexType I>
+std::array<std::size_t, 4> bytes_of(const Coo<V, I>& coo) {
+  return {coo.bytes(), to_csr(coo).bytes(), to_ell(coo).bytes(),
+          to_bcsr(coo, I{4}).bytes()};
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header(
+      "Memory Footprint — §6.3.5",
+      "no figure (future-work section)",
+      "bytes per format on the scaled suite; wide = f64/i64, "
+      "bench = f64/i32, narrow = f32/i32");
+
+  TextTable table({"matrix", "COO", "CSR", "ELL", "BCSR b4", "wide total",
+                   "narrow total", "narrow/wide"});
+  for (const std::string& name : gen::suite_names()) {
+    const auto spec64 = gen::suite_spec(name, benchx::native_scale());
+    const auto coo = gen::generate<double, std::int32_t>(spec64);
+    const auto bench_bytes = bytes_of(coo);
+
+    const auto wide = bytes_of(gen::generate<double, std::int64_t>(spec64));
+    const auto narrow = bytes_of(gen::generate<float, std::int32_t>(spec64));
+    std::size_t wide_total = 0, narrow_total = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      wide_total += wide[i];
+      narrow_total += narrow[i];
+    }
+    table.add(name)
+        .add(format_bytes(bench_bytes[0]))
+        .add(format_bytes(bench_bytes[1]))
+        .add(format_bytes(bench_bytes[2]))
+        .add(format_bytes(bench_bytes[3]))
+        .add(format_bytes(wide_total))
+        .add(format_bytes(narrow_total))
+        .add(static_cast<double>(narrow_total) /
+                 static_cast<double>(wide_total),
+             2);
+    table.end_row();
+  }
+  table.print(std::cout);
+  std::cout << "paper §6.3.5 expectation: narrow/wide ≈ 0.5 "
+               "(values 8→4 bytes, indices 8→4 bytes)\n";
+  return 0;
+}

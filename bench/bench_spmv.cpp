@@ -1,0 +1,84 @@
+// SpMV support study (paper §6.3.4 future work, implemented): the suite
+// runs SpMV and SpMM side by side so a single study can cover both — the
+// use case the thesis motivates. Measures, natively per format:
+//   * SpMV throughput (k = 1),
+//   * SpMM throughput at k = 128,
+//   * the batching win: k·SpMV versus one SpMM with k columns (§2.3).
+#include <iostream>
+
+#include "common.hpp"
+#include "formats/convert.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmv.hpp"
+#include "support/timer.hpp"
+
+using namespace spmm;
+
+namespace {
+
+template <class Fn>
+double best_seconds(Fn&& fn, int reps = 3) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header(
+      "SpMV support — §6.3.4 implemented",
+      "no paper figure (future-work section)",
+      "native, scale " + format_double(benchx::native_scale(), 3) +
+          "; MFLOPs per format for SpMV (k=1) and the k=32 batching win");
+
+  TextTable table({"matrix", "COO spmv", "CSR spmv", "ELL spmv", "BCSR spmv",
+                   "32xSpMV ms", "SpMM k=32 ms", "batch win"});
+  for (const char* name :
+       {"cant", "cop20k_A", "bcsstk17", "shallow_water1", "torso1"}) {
+    const auto& coo = benchx::suite_matrix(name);
+    const auto csr = to_csr(coo);
+    const auto ell = to_ell(coo);
+    const auto bcsr = to_bcsr(coo, 4);
+    const auto n = static_cast<usize>(coo.cols());
+    const auto m = static_cast<usize>(coo.rows());
+    Rng rng(3);
+    std::vector<double> x(n), y(m);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+    const double flops1 = 2.0 * static_cast<double>(coo.nnz());
+    const double coo_s = best_seconds([&] { spmv_coo(coo, x, y); });
+    const double csr_s = best_seconds([&] { spmv_csr(csr, x, y); });
+    const double ell_s = best_seconds([&] { spmv_ell(ell, x, y); });
+    const double bcsr_s = best_seconds([&] { spmv_bcsr(bcsr, x, y); });
+
+    constexpr usize kBatch = 32;
+    Dense<double> b(n, kBatch);
+    b.fill_random(rng);
+    Dense<double> c(m, kBatch);
+    const double batch_spmv =
+        best_seconds([&] {
+          for (usize j = 0; j < kBatch; ++j) spmv_csr(csr, x, y);
+        });
+    const double batch_spmm =
+        best_seconds([&] { spmm_csr_serial(csr, b, c); });
+
+    table.add(name)
+        .add(flops1 / coo_s / 1e6, 0)
+        .add(flops1 / csr_s / 1e6, 0)
+        .add(flops1 / ell_s / 1e6, 0)
+        .add(flops1 / bcsr_s / 1e6, 0)
+        .add(batch_spmv * 1e3, 2)
+        .add(batch_spmm * 1e3, 2)
+        .add(batch_spmv / batch_spmm, 2);
+    table.end_row();
+  }
+  table.print(std::cout);
+  std::cout << "batch win = time(32 separate SpMV) / time(one SpMM k=32); "
+               ">1 confirms the paper's §2.3 batching motivation\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Study 1 (Figures 5.1 and 5.2): all formats across all matrices,
+// divided by architecture and kernel type (serial / OMP-32 / GPU).
+// k=128, BCSR block 4 — the paper's defaults.
+//
+// Multi-core and GPU rows come from the calibrated machine model (this
+// host has one core; see DESIGN.md). A native serial cross-check on the
+// scaled suite runs at the end to show the real kernels' relative
+// ordering matches the model's.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/runner.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+namespace {
+
+void print_machine(const model::Machine& cpu, const model::Machine& gpu) {
+  std::cout << "\n--- " << cpu.name << " (GPU: " << gpu.name
+            << ") --- [model MFLOPs]\n";
+  for (const auto& [label, variant, threads] :
+       {std::tuple{"serial", Variant::kSerial, 1},
+        std::tuple{"omp-32", Variant::kParallel, 32},
+        std::tuple{"gpu", Variant::kDevice, 1}}) {
+    TextTable table({"matrix", "COO", "CSR", "ELL", "BCSR", "best"});
+    for (const std::string& name : gen::suite_names()) {
+      const auto& in = benchx::suite_input(name);
+      table.add(name);
+      double best = 0.0;
+      Format best_fmt = Format::kCoo;
+      for (Format f : kCoreFormats) {
+        model::KernelSpec spec;
+        spec.format = f;
+        spec.variant = variant;
+        spec.threads = threads;
+        spec.k = 128;
+        spec.block_size = 4;
+        const double mf = model::predict_mflops(
+            variant == Variant::kDevice ? gpu : cpu, in, spec);
+        table.add(mf, 0);
+        if (mf > best) {
+          best = mf;
+          best_fmt = f;
+        }
+      }
+      table.add(std::string(format_name(best_fmt)));
+      table.end_row();
+    }
+    std::cout << "\nkernel: " << label << "\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header(
+      "Study 1: Formats — all formats x {serial, omp-32, gpu}",
+      "Figures 5.1 (Arm) and 5.2 (x86)",
+      "k=128, 32 threads, BCSR block 4; model-predicted MFLOPs "
+      "(higher is better)");
+
+  print_machine(model::grace_hopper(), model::h100(model::GpuRuntime::kOmpOffload));
+  print_machine(model::aries(), model::a100(model::GpuRuntime::kOmpOffload));
+
+  // Native serial cross-check on the scaled suite.
+  std::cout << "\n--- native serial cross-check (this host, scale "
+            << format_double(benchx::native_scale(), 3) << ") ---\n";
+  BenchParams params;
+  params.iterations = 3;
+  params.warmup = 1;
+  params.k = 128;
+  params.block_size = 4;
+  params.verify = false;
+  TextTable table({"matrix", "COO", "CSR", "ELL", "BCSR", "best"});
+  for (const std::string& name : gen::suite_names()) {
+    const auto& coo = benchx::suite_matrix(name);
+    table.add(name);
+    double best = 0.0;
+    Format best_fmt = Format::kCoo;
+    for (Format f : kCoreFormats) {
+      const auto r = bench::run_benchmark<double, std::int32_t>(
+          f, Variant::kSerial, coo, params, name);
+      table.add(r.mflops, 0);
+      if (r.mflops > best) {
+        best = r.mflops;
+        best_fmt = f;
+      }
+    }
+    table.add(std::string(format_name(best_fmt)));
+    table.end_row();
+  }
+  table.print(std::cout);
+  return 0;
+}

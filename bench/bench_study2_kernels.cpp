@@ -1,0 +1,73 @@
+// Study 2 (Figures 5.3 and 5.4): the best kernel form (serial CPU,
+// parallel CPU, or GPU) for each format, per matrix, per architecture.
+// k=128, 32 threads, BCSR block 4.
+#include <iostream>
+
+#include "common.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+namespace {
+
+void print_machine(const model::Machine& cpu, const model::Machine& gpu,
+                   bool gpu_usable) {
+  std::cout << "\n--- " << cpu.name
+            << (gpu_usable ? "" : " (GPU excluded: offload runtime broken "
+                                  "in the thesis's x86 environment)")
+            << " --- [model MFLOPs, winning form per format]\n";
+  for (Format f : kCoreFormats) {
+    TextTable table({"matrix", "serial", "omp-32", "gpu", "best form"});
+    for (const std::string& name : gen::suite_names()) {
+      const auto& in = benchx::suite_input(name);
+      model::KernelSpec spec;
+      spec.format = f;
+      spec.k = 128;
+      spec.block_size = 4;
+
+      spec.variant = Variant::kSerial;
+      spec.threads = 1;
+      const double serial = model::predict_mflops(cpu, in, spec);
+      spec.variant = Variant::kParallel;
+      spec.threads = 32;
+      const double parallel = model::predict_mflops(cpu, in, spec);
+      spec.variant = Variant::kDevice;
+      const double device =
+          gpu_usable ? model::predict_mflops(gpu, in, spec) : 0.0;
+
+      const char* best = "serial";
+      double best_v = serial;
+      if (parallel > best_v) {
+        best = "omp";
+        best_v = parallel;
+      }
+      if (gpu_usable && device > best_v) {
+        best = "gpu";
+      }
+      table.add(name).add(serial, 0).add(parallel, 0);
+      if (gpu_usable) {
+        table.add(device, 0);
+      } else {
+        table.add("n/a");
+      }
+      table.add(best);
+      table.end_row();
+    }
+    std::cout << "\nformat: " << format_name(f) << "\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header(
+      "Study 2: Kernels — best form of each format",
+      "Figures 5.3 (Arm) and 5.4 (x86)",
+      "k=128, 32 threads, BCSR block 4");
+  print_machine(model::grace_hopper(),
+                model::h100(model::GpuRuntime::kOmpOffload), true);
+  print_machine(model::aries(), model::a100(model::GpuRuntime::kOmpOffload),
+                false);
+  return 0;
+}

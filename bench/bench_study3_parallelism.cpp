@@ -1,0 +1,51 @@
+// Study 3 (Figures 5.5 and 5.6): CPU parallelism — every format at
+// thread counts 8, 16, and 32 (k=128), per architecture.
+#include <iostream>
+
+#include "common.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+namespace {
+
+void print_machine(const model::Machine& cpu) {
+  std::cout << "\n--- " << cpu.name << " --- [model MFLOPs]\n";
+  for (Format f : kCoreFormats) {
+    TextTable table({"matrix", "t=8", "t=16", "t=32", "best t"});
+    for (const std::string& name : gen::suite_names()) {
+      const auto& in = benchx::suite_input(name);
+      table.add(name);
+      int best_t = 8;
+      double best = 0.0;
+      for (int t : {8, 16, 32}) {
+        model::KernelSpec spec;
+        spec.format = f;
+        spec.variant = Variant::kParallel;
+        spec.threads = t;
+        spec.k = 128;
+        spec.block_size = 4;
+        const double mf = model::predict_mflops(cpu, in, spec);
+        table.add(mf, 0);
+        if (mf > best) {
+          best = mf;
+          best_t = t;
+        }
+      }
+      table.add(static_cast<std::int64_t>(best_t));
+      table.end_row();
+    }
+    std::cout << "\nformat: " << format_name(f) << "\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header("Study 3: CPU Parallelism — thread counts 8/16/32",
+                              "Figures 5.5 (Arm) and 5.6 (x86)", "k=128");
+  print_machine(model::grace_hopper());
+  print_machine(model::aries());
+  return 0;
+}

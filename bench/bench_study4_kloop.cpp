@@ -1,0 +1,58 @@
+// Study 4 (Figures 5.9 and 5.10): the k-loop — parallel kernels (32
+// threads) at k in {8, 16, 64, 128, 256, 512, 1028}, per format, per
+// architecture. The paper observed rising throughput with k on Arm and a
+// cap around k=512 on Aries.
+#include <iostream>
+
+#include "common.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+namespace {
+
+const std::vector<int> kValues = {8, 16, 64, 128, 256, 512, 1028};
+
+void print_machine(const model::Machine& cpu) {
+  std::cout << "\n--- " << cpu.name << " --- [model MFLOPs, omp-32]\n";
+  for (Format f : kCoreFormats) {
+    TextTable table({"matrix", "k=8", "k=16", "k=64", "k=128", "k=256",
+                     "k=512", "k=1028", "best k"});
+    for (const std::string& name : gen::suite_names()) {
+      const auto& in = benchx::suite_input(name);
+      table.add(name);
+      int best_k = kValues.front();
+      double best = 0.0;
+      for (int k : kValues) {
+        model::KernelSpec spec;
+        spec.format = f;
+        spec.variant = Variant::kParallel;
+        spec.threads = 32;
+        spec.k = k;
+        spec.block_size = 4;
+        const double mf = model::predict_mflops(cpu, in, spec);
+        table.add(mf, 0);
+        if (mf > best) {
+          best = mf;
+          best_k = k;
+        }
+      }
+      table.add(static_cast<std::int64_t>(best_k));
+      table.end_row();
+    }
+    std::cout << "\nformat: " << format_name(f) << "\n";
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header(
+      "Study 4: K-Loop — k in {8,16,64,128,256,512,1028}",
+      "Figures 5.9 (Arm) and 5.10 (x86)",
+      "omp-32; paper: Arm keeps rising with k, Aries caps near k=512");
+  print_machine(model::grace_hopper());
+  print_machine(model::aries());
+  return 0;
+}

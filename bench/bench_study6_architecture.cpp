@@ -1,0 +1,67 @@
+// Study 6 (Figures 5.13 and 5.14): the architecture study — serial
+// kernels on Arm vs x86 for all formats, and BCSR at block sizes 2, 4,
+// 16 on both. The paper found Aries faster for COO/CSR/ELL and Arm
+// faster for every BCSR configuration.
+#include <iostream>
+
+#include "common.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+int main() {
+  benchx::print_figure_header(
+      "Study 6: Architecture — serial Arm vs x86",
+      "Figures 5.13 (all formats) and 5.14 (BCSR blocks 2/4/16)",
+      "k=128, serial kernels; model MFLOPs");
+
+  const model::Machine gh = model::grace_hopper();
+  const model::Machine ar = model::aries();
+
+  std::cout << "\nFigure 5.13: all formats, serial, Arm vs x86\n";
+  TextTable t13({"matrix", "COO Arm", "COO x86", "CSR Arm", "CSR x86",
+                 "ELL Arm", "ELL x86", "BCSR Arm", "BCSR x86"});
+  std::map<Format, int> arm_wins;
+  for (const std::string& name : gen::suite_names()) {
+    const auto& in = benchx::suite_input(name);
+    t13.add(name);
+    for (Format f : kCoreFormats) {
+      model::KernelSpec spec;
+      spec.format = f;
+      spec.variant = Variant::kSerial;
+      spec.k = 128;
+      spec.block_size = 4;
+      const double arm = model::predict_mflops(gh, in, spec);
+      const double x86 = model::predict_mflops(ar, in, spec);
+      t13.add(arm, 0).add(x86, 0);
+      if (arm > x86) ++arm_wins[f];
+    }
+    t13.end_row();
+  }
+  t13.print(std::cout);
+  std::cout << "Arm wins (of 14): ";
+  for (Format f : kCoreFormats) {
+    std::cout << format_name(f) << "=" << arm_wins[f] << " ";
+  }
+  std::cout << "\n";
+
+  std::cout << "\nFigure 5.14: BCSR blocks 2/4/16, serial, Arm vs x86\n";
+  TextTable t14({"matrix", "b2 Arm", "b2 x86", "b4 Arm", "b4 x86", "b16 Arm",
+                 "b16 x86"});
+  for (const std::string& name : gen::suite_names()) {
+    const auto& in = benchx::suite_input(name);
+    t14.add(name);
+    for (int b : {2, 4, 16}) {
+      model::KernelSpec spec;
+      spec.format = Format::kBcsr;
+      spec.variant = Variant::kSerial;
+      spec.k = 128;
+      spec.block_size = b;
+      t14.add(model::predict_mflops(gh, in, spec), 0)
+          .add(model::predict_mflops(ar, in, spec), 0);
+    }
+    t14.end_row();
+  }
+  t14.print(std::cout);
+  return 0;
+}

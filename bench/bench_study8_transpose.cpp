@@ -1,0 +1,78 @@
+// Study 8 (Figures 5.17 and 5.18): transposing matrix B. Parallel
+// kernels with and without a transposed B, per format, per architecture.
+// The paper found only a few (consistent) matrices benefit — the ones
+// whose nonzeros are clustered enough that Bᵀ rows are read with spatial
+// locality — and most regress.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/runner.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+namespace {
+
+void print_machine(const model::Machine& cpu) {
+  std::cout << "\n--- " << cpu.name << " --- [model MFLOPs, omp-32]\n";
+  for (Format f : kCoreFormats) {
+    TextTable table({"matrix", "plain", "transposed", "delta %"});
+    int speedups = 0;
+    for (const std::string& name : gen::suite_names()) {
+      const auto& in = benchx::suite_input(name);
+      model::KernelSpec spec;
+      spec.format = f;
+      spec.variant = Variant::kParallel;
+      spec.threads = 32;
+      spec.k = 128;
+      spec.block_size = 4;
+      const double plain = model::predict_mflops(cpu, in, spec);
+      spec.variant = Variant::kParallelTranspose;
+      const double transposed = model::predict_mflops(cpu, in, spec);
+      table.add(name).add(plain, 0).add(transposed, 0).add(
+          100.0 * (transposed - plain) / plain, 1);
+      if (transposed > plain) ++speedups;
+      table.end_row();
+    }
+    std::cout << "\nformat: " << format_name(f) << "\n";
+    table.print(std::cout);
+    std::cout << "matrices sped up by transposing: " << speedups << "/14\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_figure_header(
+      "Study 8: Transpose — parallel kernels with Bᵀ",
+      "Figures 5.17 (Arm) and 5.18 (x86)",
+      "k=128, 32 threads; paper: only a few matrices benefit, "
+      "consistently across architectures");
+  print_machine(model::grace_hopper());
+  print_machine(model::aries());
+
+  // Native cross-check: serial transpose vs plain on this host shows the
+  // same clustered-helps / scattered-hurts split.
+  std::cout << "\n--- native serial CSR: plain vs transposed (this host) ---\n";
+  BenchParams params;
+  params.iterations = 2;
+  params.warmup = 1;
+  params.k = 128;
+  params.verify = false;
+  TextTable table({"matrix", "plain", "transposed", "delta %"});
+  for (const char* name :
+       {"af23560", "cant", "cop20k_A", "2cubes_sphere"}) {
+    const auto& coo = benchx::suite_matrix(name);
+    const auto plain = bench::run_benchmark<double, std::int32_t>(
+        Format::kCsr, Variant::kSerial, coo, params, name);
+    const auto transposed = bench::run_benchmark<double, std::int32_t>(
+        Format::kCsr, Variant::kSerialTranspose, coo, params, name);
+    table.add(name)
+        .add(plain.mflops, 0)
+        .add(transposed.mflops, 0)
+        .add(100.0 * (transposed.mflops - plain.mflops) / plain.mflops, 1);
+    table.end_row();
+  }
+  table.print(std::cout);
+  return 0;
+}

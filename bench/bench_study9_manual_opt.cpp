@@ -1,0 +1,72 @@
+// Study 9 (Figure 5.19): manual optimizations — hoisting the value load
+// out of the k loop and hard-coding k via templates. This study is a
+// compiler effect, so it runs NATIVELY on this host: plain vs optimized
+// kernels, serial and parallel, over the scaled suite. Model predictions
+// for the paper's two machines are appended for the cross-architecture
+// comparison.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/runner.hpp"
+#include "perfmodel/suite_input.hpp"
+
+using namespace spmm;
+
+int main() {
+  benchx::print_figure_header(
+      "Study 9: Manual Optimizations — hoisted load + template-k",
+      "Figure 5.19",
+      "native serial/parallel on this host (real compiler effect), "
+      "k=128; model columns for the paper's machines");
+
+  BenchParams params;
+  params.iterations = 3;
+  params.warmup = 1;
+  params.k = 128;  // in the template instantiation set
+  params.verify = false;
+
+  for (Variant v : {Variant::kSerial, Variant::kParallel}) {
+    std::cout << "\nnative " << variant_name(v) << " kernels:\n";
+    TextTable table({"matrix", "format", "plain MFLOPs", "opt MFLOPs",
+                     "delta %"});
+    for (const std::string& name : gen::suite_names()) {
+      const auto& coo = benchx::suite_matrix(name);
+      for (Format f : {Format::kCoo, Format::kCsr, Format::kEll}) {
+        const auto plain = bench::run_benchmark<double, std::int32_t>(
+            f, v, coo, params, name);
+        const auto opt = bench::run_benchmark<double, std::int32_t>(
+            f, v, coo, params, name, /*optimized=*/true);
+        table.add(name)
+            .add(std::string(format_name(f)))
+            .add(plain.mflops, 0)
+            .add(opt.mflops, 0)
+            .add(100.0 * (opt.mflops - plain.mflops) / plain.mflops, 1);
+        table.end_row();
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nmodel: serial CSR plain vs optimized on the paper's "
+               "machines (MFLOPs)\n";
+  TextTable table({"matrix", "Arm plain", "Arm opt", "x86 plain", "x86 opt"});
+  const model::Machine gh = model::grace_hopper();
+  const model::Machine ar = model::aries();
+  for (const std::string& name : gen::suite_names()) {
+    const auto& in = benchx::suite_input(name);
+    model::KernelSpec spec;
+    spec.format = Format::kCsr;
+    spec.variant = Variant::kSerial;
+    spec.k = 128;
+    model::KernelSpec opt = spec;
+    opt.manually_optimized = true;
+    table.add(name)
+        .add(model::predict_mflops(gh, in, spec), 0)
+        .add(model::predict_mflops(gh, in, opt), 0)
+        .add(model::predict_mflops(ar, in, spec), 0)
+        .add(model::predict_mflops(ar, in, opt), 0);
+    table.end_row();
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "gen/generator.hpp"
+#include "perfmodel/suite_input.hpp"
+#include "support/string_util.hpp"
+
+namespace spmm::benchx {
+
+double native_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("SPMM_BENCH_SCALE")) {
+      const double s = std::atof(env);
+      if (s > 0.0 && s <= 1.0) return s;
+      std::cerr << "ignoring invalid SPMM_BENCH_SCALE='" << env << "'\n";
+    }
+    return 0.05;
+  }();
+  return scale;
+}
+
+const CooD& suite_matrix(const std::string& name) {
+  static std::map<std::string, CooD> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const auto spec = gen::suite_spec(name, native_scale());
+    it = cache.emplace(name, gen::generate<double, std::int32_t>(spec)).first;
+  }
+  return it->second;
+}
+
+const model::ModelInput& suite_input(const std::string& name) {
+  static std::map<std::string, model::ModelInput> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, model::suite_model_input(name)).first;
+  }
+  return it->second;
+}
+
+void print_figure_header(const std::string& study, const std::string& figures,
+                         const std::string& notes) {
+  std::cout << "================================================================\n"
+            << study << "\nregenerates: " << figures << "\n";
+  if (!notes.empty()) std::cout << notes << "\n";
+  std::cout << "================================================================\n";
+}
+
+std::string mflops_cell(double mflops) { return format_double(mflops, 0); }
+
+}  // namespace spmm::benchx

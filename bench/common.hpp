@@ -1,0 +1,43 @@
+// Shared plumbing for the study binaries.
+//
+// Native measurements run on scaled-down instances of the 14-matrix
+// suite (per-row statistics are scale-invariant; see gen/suite.hpp), at
+// a scale settable via SPMM_BENCH_SCALE. Model predictions use the
+// full-scale Table 5.1 statistics via spmm::model::suite_model_input.
+// Matrices and model inputs are cached per process so each study binary
+// pays generation once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/machine.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace spmm::benchx {
+
+using CooD = Coo<double, std::int32_t>;
+
+/// Scale for natively-executed matrices (default 0.05; override with
+/// SPMM_BENCH_SCALE, e.g. SPMM_BENCH_SCALE=1.0 for full size).
+double native_scale();
+
+/// The generated (scaled) suite matrix, cached.
+const CooD& suite_matrix(const std::string& name);
+
+/// Full-scale model input for a suite matrix, cached.
+const model::ModelInput& suite_input(const std::string& name);
+
+/// Print a figure banner: which paper artifact this output regenerates.
+void print_figure_header(const std::string& study,
+                         const std::string& figures,
+                         const std::string& notes);
+
+/// Pretty MFLOPs cell: the studies report whole MFLOPs.
+std::string mflops_cell(double mflops);
+
+}  // namespace spmm::benchx

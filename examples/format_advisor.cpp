@@ -1,0 +1,78 @@
+// Format advisor: turn the paper's conclusions (§6.1/§6.2) into a
+// recommendation for your matrix, then validate the advice by actually
+// benchmarking every format.
+//
+//   ./examples/format_advisor                 # demo over suite profiles
+//   ./examples/format_advisor my_matrix.mtx   # advise on your matrix
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "core/runner.hpp"
+#include "gen/suite.hpp"
+#include "io/matrix_market.hpp"
+#include "support/table.hpp"
+
+using namespace spmm;
+
+namespace {
+
+void advise_and_validate(const Coo<double, std::int32_t>& matrix,
+                         const std::string& name) {
+  const MatrixProperties props = compute_properties(matrix, name);
+  const double fill4 = estimate_bcsr_fill(matrix, 4);
+  std::cout << props << "\n  BCSR fill(b=4) = " << fill4 << "\n";
+
+  for (auto env : {bench::Environment::kSerial,
+                   bench::Environment::kCpuParallel}) {
+    const bench::Advice advice = bench::advise_format(props, env, fill4);
+    std::cout << "  [" << environment_name(env)
+              << "] recommend " << format_name(advice.format) << ": "
+              << advice.rationale << "\n";
+  }
+
+  // Validate: run every core format and rank.
+  BenchParams params;
+  params.iterations = 3;
+  params.warmup = 1;
+  params.k = 64;
+  params.verify = false;
+  TextTable table({"format", "serial MFLOPs"});
+  Format best = Format::kCoo;
+  double best_mflops = 0.0;
+  for (Format f : kCoreFormats) {
+    const auto r = bench::run_benchmark<double, std::int32_t>(
+        f, Variant::kSerial, matrix, params, name);
+    table.add(std::string(format_name(f))).add(r.mflops, 0);
+    table.end_row();
+    if (r.mflops > best_mflops) {
+      best_mflops = r.mflops;
+      best = f;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "  measured best (serial, this host): " << format_name(best)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc > 1) {
+      const std::string path = argv[1];
+      advise_and_validate(
+          io::read_matrix_market_file<double, std::int32_t>(path), path);
+      return 0;
+    }
+    // Demo: three structurally different suite profiles.
+    for (const char* name : {"af23560", "torso1", "crankseg_2"}) {
+      advise_and_validate(gen::generate<double, std::int32_t>(
+                              gen::suite_spec(name, 0.05)),
+                          name);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

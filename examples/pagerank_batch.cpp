@@ -1,0 +1,125 @@
+// Batched personalized PageRank — a graph-analytics SpMM workload (the
+// paper's introduction cites graph analytics as a driving domain).
+//
+// Personalized PageRank solves x = d·P x + (1−d)·p for a personalization
+// vector p. Serving k personalizations at once stacks the vectors into
+// an n×k dense matrix and iterates X ← d·P X + (1−d)·P₀ — one SpMM per
+// iteration instead of k SpMVs (paper §2.3's batching argument, live).
+#include <cmath>
+#include <iostream>
+
+#include "formats/convert.hpp"
+#include "gen/generator.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "support/string_util.hpp"
+#include "support/timer.hpp"
+
+using namespace spmm;
+
+namespace {
+
+/// Column-stochastic transition matrix of a random graph: Pᵀ in CSR so
+/// that X ← Pᵀᵀ... — we store P's transpose directly (edges j→i) and
+/// multiply rows, which is the standard pull formulation.
+Csr<double, std::int32_t> transition_matrix(std::int64_t nodes,
+                                            std::uint64_t seed) {
+  gen::MatrixSpec spec;
+  spec.name = "web";
+  spec.rows = spec.cols = nodes;
+  spec.row_dist.kind = gen::RowDist::kLogNormal;
+  spec.row_dist.mean = 10;
+  spec.row_dist.spread = 1.0;
+  spec.row_dist.max_nnz = 400;
+  spec.placement.kind = gen::Placement::kScattered;
+  spec.seed = seed;
+  const auto adj = gen::generate<double, std::int32_t>(spec);
+
+  // Column-normalize: out-degree of j = nnz in column j of the adjacency.
+  std::vector<double> out_degree(static_cast<usize>(nodes), 0.0);
+  for (usize i = 0; i < adj.nnz(); ++i) {
+    out_degree[static_cast<usize>(adj.col(i))] += 1.0;
+  }
+  AlignedVector<std::int32_t> rows(adj.row_idx());
+  AlignedVector<std::int32_t> cols(adj.col_idx());
+  AlignedVector<double> vals(adj.nnz());
+  for (usize i = 0; i < adj.nnz(); ++i) {
+    vals[i] = 1.0 / out_degree[static_cast<usize>(adj.col(i))];
+  }
+  return to_csr(Coo<double, std::int32_t>(
+      static_cast<std::int32_t>(nodes), static_cast<std::int32_t>(nodes),
+      std::move(rows), std::move(cols), std::move(vals)));
+}
+
+}  // namespace
+
+int main() {
+  try {
+    constexpr std::int64_t kNodes = 30000;
+    constexpr usize kUsers = 16;  // personalization vectors, batched
+    constexpr double kDamping = 0.85;
+    constexpr int kIterations = 30;
+
+    const auto p_matrix = transition_matrix(kNodes, 5);
+    const auto n = static_cast<usize>(p_matrix.rows());
+    std::cout << "personalized PageRank: " << n << " nodes, "
+              << p_matrix.nnz() << " edges, " << kUsers
+              << " personalization vectors, " << kIterations
+              << " iterations\n";
+
+    // Personalization: user u is interested in a distinct node block.
+    Dense<double> p0(n, kUsers);
+    for (usize u = 0; u < kUsers; ++u) {
+      const usize start = u * (n / kUsers);
+      const usize len = n / kUsers / 4 + 1;
+      for (usize i = start; i < std::min(n, start + len); ++i) {
+        p0.at(i, u) = 1.0 / static_cast<double>(len);
+      }
+    }
+
+    Dense<double> x = p0;
+    Dense<double> next(n, kUsers);
+    Timer timer;
+    for (int it = 0; it < kIterations; ++it) {
+      spmm_csr_serial(p_matrix, x, next);  // next = P·X
+      for (usize i = 0; i < next.size(); ++i) {
+        next.data()[i] =
+            kDamping * next.data()[i] + (1.0 - kDamping) * p0.data()[i];
+      }
+      std::swap(x, next);
+    }
+    const double seconds = timer.seconds();
+
+    // Each column should remain (approximately) a probability vector.
+    double worst_mass_err = 0.0;
+    for (usize u = 0; u < kUsers; ++u) {
+      double mass = 0.0;
+      for (usize i = 0; i < n; ++i) mass += x.at(i, u);
+      worst_mass_err = std::max(worst_mass_err, std::abs(mass - 1.0));
+    }
+
+    // Top-ranked node for the first and last user (proof of life).
+    auto argmax = [&](usize u) {
+      usize best = 0;
+      for (usize i = 1; i < n; ++i) {
+        if (x.at(i, u) > x.at(best, u)) best = i;
+      }
+      return best;
+    };
+
+    const double flops = 2.0 * static_cast<double>(p_matrix.nnz()) *
+                         kUsers * kIterations;
+    std::cout << kIterations << " batched iterations in "
+              << format_double(seconds * 1e3, 1) << " ms ("
+              << format_double(flops / seconds / 1e6, 0)
+              << " MFLOPs sustained)\n";
+    std::cout << "probability mass drift: "
+              << format_double(worst_mass_err, 6)
+              << " (dangling-free graph => ~0)\n";
+    std::cout << "top node for user 0: " << argmax(0) << ", for user "
+              << (kUsers - 1) << ": " << argmax(kUsers - 1) << "\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

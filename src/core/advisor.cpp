@@ -1,0 +1,91 @@
+#include "core/advisor.hpp"
+
+#include <cmath>
+
+#include "support/string_util.hpp"
+
+namespace spmm::bench {
+
+namespace {
+
+// Thresholds distilled from the thesis's conclusions:
+//  * "ELL ratio" style rule from the related work ([18], [9]): a high
+//    max/avg column ratio disqualifies ELL...
+constexpr double kEllRatioLimit = 2.5;
+//  * ...but the padding ratio (rows·max / nnz) is the quantity actually
+//    proportional to ELL's wasted work; cap it too.
+constexpr double kEllPaddingLimit = 1.3;
+//  * Blocked formats need reasonably dense blocks to beat CSR ("if the
+//    block size is too small, you should use CSR", §6.1)...
+constexpr double kBcsrFillLimit = 0.45;
+//  * ...and very dense blocks beat even a well-fitting ELL (the paper's
+//    FEM matrices where BCSR wins outright).
+constexpr double kBcsrDominantFill = 0.6;
+
+double estimated_fill(const MatrixProperties& p) {
+  // Clustered rows (small normalized gaps) produce dense blocks.
+  return std::exp(-48.0 * p.normalized_row_gap);
+}
+
+}  // namespace
+
+Advice advise_format(const MatrixProperties& props, Environment env,
+                     double bcsr_fill_b4) {
+  const double fill =
+      bcsr_fill_b4 >= 0.0 ? bcsr_fill_b4 : estimated_fill(props);
+  const bool ell_safe = props.column_ratio <= kEllRatioLimit &&
+                        props.ell_padding_ratio <= kEllPaddingLimit;
+  const bool blocks_dense = fill >= kBcsrFillLimit;
+  const bool blocks_dominant = fill >= kBcsrDominantFill;
+
+  Advice a;
+  switch (env) {
+    case Environment::kSerial:
+      // §6.1: serially "COO and CSR often did very well ... CSR may be
+      // better since it has a smaller memory footprint"; blocked formats
+      // "do not perform well in serial environments".
+      a.format = Format::kCsr;
+      a.rationale = "serial environment: CSR's compact rows win and it "
+                    "stores less than COO; blocked formats only add "
+                    "padded work serially";
+      break;
+    case Environment::kCpuParallel:
+    case Environment::kGpu:
+      if (blocks_dominant) {
+        a.format = Format::kBcsr;
+        a.block_size = 4;
+        a.rationale =
+            "very dense blocks (fill " + format_double(fill, 2) +
+            " ≥ " + format_double(kBcsrDominantFill, 2) +
+            "): BCSR's dense tiles amortize both indices and B traffic "
+            "and beat even well-fitting ELL";
+      } else if (ell_safe && props.row_nnz_stddev <=
+                                 std::max(1.0, 0.5 * props.avg_row_nnz)) {
+        a.format = Format::kEll;
+        a.rationale =
+            "column ratio " + format_double(props.column_ratio, 1) +
+            " ≤ " + format_double(kEllRatioLimit, 1) +
+            " and uniform rows: ELL's fixed-width rows parallelize and "
+            "vectorize best with little padding";
+      } else if (blocks_dense) {
+        a.format = Format::kBcsr;
+        a.block_size = 4;
+        a.rationale =
+            "clustered nonzeros (estimated block fill " +
+            format_double(fill, 2) +
+            " ≥ " + format_double(kBcsrFillLimit, 2) +
+            "): BCSR's dense tiles amortize indices and feed SIMD lanes";
+      } else {
+        a.format = Format::kCsr;
+        a.rationale =
+            "irregular rows (column ratio " +
+            format_double(props.column_ratio, 1) +
+            ") and sparse blocks: blocking would mostly multiply padding; "
+            "row-parallel CSR is the robust choice";
+      }
+      break;
+  }
+  return a;
+}
+
+}  // namespace spmm::bench

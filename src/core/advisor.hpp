@@ -1,0 +1,43 @@
+// Format advisor: the thesis's evaluation conclusions (§6.1/§6.2) turned
+// into executable heuristics, in the spirit of the format-selection work
+// it cites ([8], [9], [18]). Given a matrix's properties and the target
+// environment, recommend a format and explain why.
+#pragma once
+
+#include <string>
+
+#include "formats/format_id.hpp"
+#include "formats/properties.hpp"
+
+namespace spmm::bench {
+
+/// The execution environment being targeted.
+enum class Environment {
+  kSerial,
+  kCpuParallel,
+  kGpu,
+};
+
+constexpr std::string_view environment_name(Environment e) {
+  switch (e) {
+    case Environment::kSerial: return "serial";
+    case Environment::kCpuParallel: return "cpu-parallel";
+    case Environment::kGpu: return "gpu";
+  }
+  return "?";
+}
+
+struct Advice {
+  Format format = Format::kCsr;
+  /// Block size when format == kBcsr.
+  int block_size = 4;
+  std::string rationale;
+};
+
+/// Recommend a format. `bcsr_fill_b4` is the BCSR fill ratio at block
+/// size 4 (pass a negative value when unknown; the advisor then
+/// estimates from the locality metrics).
+Advice advise_format(const MatrixProperties& props, Environment env,
+                     double bcsr_fill_b4 = -1.0);
+
+}  // namespace spmm::bench

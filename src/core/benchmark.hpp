@@ -1,0 +1,233 @@
+// The benchmark core — the thesis's primary contribution (§4.1).
+//
+// The suite is "designed as a core library that includes all the
+// performance collection and reporting methods", exposed as a class that
+// "defines formatting and calculation functions that will be specific to
+// every format. By default, the library defines the COO format. All
+// other formats will format their structures based on the COO
+// representation. A custom format will simply extend the class, and
+// re-implement the calculation and formatting functions."
+//
+// SpmmBenchmark<V, I> is that class. It owns the COO input, the dense B
+// (auto-generated, n×k) and C operands, the timing loop, the COO-multiply
+// verification (§4.3), and FLOP accounting. Subclasses override
+// do_format() / do_compute(); the kernel Variant (serial / parallel /
+// device / transpose forms) is selected per run. examples/custom_format
+// shows a third-party extension.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "devsim/device.hpp"
+#include "formats/convert.hpp"
+#include "formats/format_id.hpp"
+#include "formats/properties.hpp"
+#include "kernels/dense_ref.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+namespace spmm::bench {
+
+/// Everything one benchmark run reports (paper §4.3: FLOPS / MFLOPS /
+/// GFLOPS against average multiply time, plus formatting and total time,
+/// verification outcome, and the matrix properties).
+struct BenchResult {
+  std::string kernel_name;
+  std::string matrix_name;
+  Format format = Format::kCoo;
+  Variant variant = Variant::kSerial;
+
+  // Parameter echo.
+  int threads = 1;
+  int k = 0;
+  int block_size = 0;
+  int iterations = 0;
+
+  // Timing.
+  double format_seconds = 0.0;
+  double avg_compute_seconds = 0.0;
+  double min_compute_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  // Work and rates (true work: 2·nnz·k).
+  double flops = 0.0;
+  double flops_per_second = 0.0;
+  double mflops = 0.0;
+  double gflops = 0.0;
+
+  // Verification (COO reference multiply).
+  bool verified = false;
+  bool verification_run = false;
+  double max_abs_error = 0.0;
+
+  // Storage.
+  std::size_t format_bytes = 0;
+
+  MatrixProperties properties;
+};
+
+/// Abstract benchmark over value/index types. The base class itself is a
+/// complete COO benchmark (the paper's default format).
+template <ValueType V, IndexType I>
+class SpmmBenchmark {
+ public:
+  virtual ~SpmmBenchmark() = default;
+
+  /// Kernel family name used in reports ("COO", "CSR", ...).
+  [[nodiscard]] virtual std::string name() const { return "COO"; }
+  [[nodiscard]] virtual Format format_id() const { return Format::kCoo; }
+
+  /// Bind the input matrix and parameters; generates the dense B operand
+  /// (n×k, deterministic from params.seed) and, for transpose variants,
+  /// its transpose. Must be called before run().
+  void setup(Coo<V, I> matrix, const BenchParams& params,
+             std::string matrix_name = {}) {
+    params_ = params;
+    matrix_name_ = std::move(matrix_name);
+    coo_ = std::move(matrix);
+    Rng rng(params.seed);
+    b_ = Dense<V>(static_cast<usize>(coo_.cols()),
+                  static_cast<usize>(params.k));
+    b_.fill_random(rng);
+    bt_.reset();
+    c_ = Dense<V>(static_cast<usize>(coo_.rows()),
+                  static_cast<usize>(params.k));
+    // Device variants run against a capacity-limited arena when the
+    // parameters ask for one (Study 7's out-of-memory dropout).
+    arena_ = std::make_unique<dev::DeviceArena>(params.device_memory_bytes);
+    formatted_ = false;
+    setup_done_ = true;
+  }
+
+  /// Run the benchmark for one kernel variant: format (timed once),
+  /// warm-up, timed iterations, optional verification.
+  BenchResult run(Variant variant) {
+    SPMM_CHECK(setup_done_, "setup() must be called before run()");
+    Timer total;
+
+    BenchResult r;
+    r.kernel_name = name();
+    r.matrix_name = matrix_name_;
+    r.format = format_id();
+    r.variant = variant;
+    r.threads = variant_is_parallel(variant) ? params_.threads : 1;
+    r.k = params_.k;
+    r.block_size = params_.block_size;
+    r.iterations = params_.iterations;
+
+    // Formatting (paper: formatting time is reported alongside FLOPS).
+    {
+      Timer t;
+      do_format();
+      formatted_ = true;
+      r.format_seconds = t.seconds();
+    }
+    r.format_bytes = do_format_bytes();
+
+    if (variant_is_transpose(variant) && !bt_.has_value()) {
+      bt_ = b_.transposed();
+    }
+
+    for (int i = 0; i < params_.warmup; ++i) {
+      do_compute(variant);
+    }
+
+    double sum = 0.0;
+    double best = 0.0;
+    for (int i = 0; i < params_.iterations; ++i) {
+      Timer t;
+      do_compute(variant);
+      const double s = t.seconds();
+      sum += s;
+      best = (i == 0) ? s : std::min(best, s);
+      if (params_.debug) {
+        std::fprintf(stderr, "[debug] %s/%s iteration %d: %.6f s\n",
+                     name().c_str(), std::string(variant_name(variant)).c_str(),
+                     i, s);
+      }
+    }
+    r.avg_compute_seconds = sum / params_.iterations;
+    r.min_compute_seconds = best;
+
+    r.flops = 2.0 * static_cast<double>(coo_.nnz()) *
+              static_cast<double>(params_.k);
+    r.flops_per_second = r.flops / r.avg_compute_seconds;
+    r.mflops = r.flops_per_second / 1e6;
+    r.gflops = r.flops_per_second / 1e9;
+
+    if (params_.verify) {
+      r.verification_run = true;
+      if (params_.verify_probe) {
+        // Freivalds probe: O(nnz + (m+n)k) instead of the O(nnz·k) COO
+        // reference — the answer to §4.3's verification-cost problem.
+        r.max_abs_error = spmm_probe_error(coo_, b_, c_, params_.seed ^ 0xf7);
+      } else {
+        const Dense<V> ref = spmm_reference(coo_, b_);
+        r.max_abs_error = max_abs_diff(ref, c_);
+      }
+      r.verified = r.max_abs_error <= verify_tolerance();
+    }
+
+    r.properties = compute_properties(coo_, matrix_name_);
+    r.total_seconds = total.seconds();
+    return r;
+  }
+
+  [[nodiscard]] const Coo<V, I>& matrix() const { return coo_; }
+  [[nodiscard]] const Dense<V>& b() const { return b_; }
+  [[nodiscard]] const Dense<V>& c() const { return c_; }
+  [[nodiscard]] const BenchParams& params() const { return params_; }
+  /// Mutable access for sweep drivers (Study 3.1 varies threads between
+  /// runs without re-binding the matrix).
+  [[nodiscard]] BenchParams& mutable_params() { return params_; }
+
+  /// The emulated device used by device variants.
+  [[nodiscard]] dev::DeviceArena& arena() { return *arena_; }
+
+ protected:
+  /// Build the format-specific structures from the COO input. The base
+  /// class's COO "formatting" is the identity.
+  virtual void do_format() {}
+
+  /// One C = A·B invocation for the given variant.
+  virtual void do_compute(Variant variant);
+
+  /// Bytes of the formatted representation.
+  [[nodiscard]] virtual std::size_t do_format_bytes() const {
+    return coo_.bytes();
+  }
+
+  /// Verification tolerance scaled to the accumulation depth.
+  [[nodiscard]] double verify_tolerance() const {
+    const double depth = std::max<double>(
+        1.0, static_cast<double>(coo_.nnz()) /
+                 std::max<double>(1.0, static_cast<double>(coo_.rows())));
+    if constexpr (std::is_same_v<V, float>) {
+      return 1e-3 * depth;
+    } else {
+      return 1e-9 * depth;
+    }
+  }
+
+  [[nodiscard]] const Dense<V>& bt() const {
+    SPMM_CHECK(bt_.has_value(), "transpose operand not materialized");
+    return *bt_;
+  }
+
+  Coo<V, I> coo_;
+  Dense<V> b_;
+  std::optional<Dense<V>> bt_;
+  Dense<V> c_;
+  BenchParams params_;
+  std::string matrix_name_;
+  std::unique_ptr<dev::DeviceArena> arena_ =
+      std::make_unique<dev::DeviceArena>();
+  bool formatted_ = false;
+  bool setup_done_ = false;
+};
+
+}  // namespace spmm::bench
+
+#include "core/benchmark_impl.hpp"

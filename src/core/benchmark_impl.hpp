@@ -1,0 +1,34 @@
+// Out-of-line parts of SpmmBenchmark: the base (COO) compute dispatch.
+#pragma once
+
+#include "kernels/spmm_coo.hpp"
+
+namespace spmm::bench {
+
+template <ValueType V, IndexType I>
+void SpmmBenchmark<V, I>::do_compute(Variant variant) {
+  switch (variant) {
+    case Variant::kSerial:
+      spmm_coo_serial(coo_, b_, c_);
+      break;
+    case Variant::kParallel:
+      spmm_coo_parallel(coo_, b_, c_, params_.threads);
+      break;
+    case Variant::kDevice:
+      arena_->reset();  // offload maps operands fresh each invocation
+      spmm_coo_device(*arena_, coo_, b_, c_);
+      break;
+    case Variant::kSerialTranspose:
+      spmm_coo_serial_transpose(coo_, bt(), c_);
+      break;
+    case Variant::kParallelTranspose:
+      spmm_coo_parallel_transpose(coo_, bt(), c_, params_.threads);
+      break;
+    case Variant::kDeviceTranspose:
+      arena_->reset();
+      spmm_coo_device_transpose(*arena_, coo_, bt(), c_);
+      break;
+  }
+}
+
+}  // namespace spmm::bench

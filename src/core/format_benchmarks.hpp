@@ -1,0 +1,413 @@
+// The format-specific benchmark classes shipped with the suite.
+//
+// Each extends SpmmBenchmark exactly as the paper describes (§4.1):
+// re-implement do_format() to build the representation from COO and
+// do_compute() to run that format's kernels. The manually optimized
+// Study 9 kernels are exposed through the `optimized` flag on the CSR /
+// COO / ELL benchmarks.
+#pragma once
+
+#include "core/benchmark.hpp"
+#include "kernels/spmm_bcsr.hpp"
+#include "kernels/spmm_bell.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmm_csr5.hpp"
+#include "kernels/spmm_ell.hpp"
+#include "kernels/spmm_fixed_k.hpp"
+#include "kernels/spmm_hyb.hpp"
+#include "kernels/spmm_sellc.hpp"
+#include "vendor/vendor_spmm.hpp"
+
+namespace spmm::bench {
+
+/// COO with the optional Study 9 manual optimizations.
+template <ValueType V, IndexType I>
+class CooBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  explicit CooBenchmark(bool optimized = false) : optimized_(optimized) {}
+
+  [[nodiscard]] std::string name() const override {
+    return optimized_ ? "COO-opt" : "COO";
+  }
+
+ protected:
+  void do_compute(Variant variant) override {
+    if (!optimized_) {
+      SpmmBenchmark<V, I>::do_compute(variant);
+      return;
+    }
+    switch (variant) {
+      case Variant::kSerial:
+        spmm_coo_serial_opt(this->coo_, this->b_, this->c_);
+        break;
+      case Variant::kParallel:
+        spmm_coo_parallel_opt(this->coo_, this->b_, this->c_,
+                              this->params_.threads);
+        break;
+      default:
+        // No optimized transpose/device forms in the study.
+        SpmmBenchmark<V, I>::do_compute(variant);
+        break;
+    }
+  }
+
+ private:
+  bool optimized_;
+};
+
+template <ValueType V, IndexType I>
+class CsrBenchmark : public SpmmBenchmark<V, I> {
+ public:
+  explicit CsrBenchmark(bool optimized = false) : optimized_(optimized) {}
+
+  [[nodiscard]] std::string name() const override {
+    return optimized_ ? "CSR-opt" : "CSR";
+  }
+  [[nodiscard]] Format format_id() const override { return Format::kCsr; }
+
+  [[nodiscard]] const Csr<V, I>& formatted() const { return csr_; }
+
+ protected:
+  void do_format() override { csr_ = to_csr(this->coo_); }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return csr_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    switch (variant) {
+      case Variant::kSerial:
+        if (optimized_) {
+          spmm_csr_serial_opt(csr_, this->b_, this->c_);
+        } else {
+          spmm_csr_serial(csr_, this->b_, this->c_);
+        }
+        break;
+      case Variant::kParallel:
+        if (optimized_) {
+          spmm_csr_parallel_opt(csr_, this->b_, this->c_,
+                                this->params_.threads);
+        } else {
+          spmm_csr_parallel(csr_, this->b_, this->c_, this->params_.threads);
+        }
+        break;
+      case Variant::kDevice:
+        this->arena_->reset();
+        spmm_csr_device(*this->arena_, csr_, this->b_, this->c_);
+        break;
+      case Variant::kSerialTranspose:
+        spmm_csr_serial_transpose(csr_, this->bt(), this->c_);
+        break;
+      case Variant::kParallelTranspose:
+        spmm_csr_parallel_transpose(csr_, this->bt(), this->c_,
+                                    this->params_.threads);
+        break;
+      case Variant::kDeviceTranspose:
+        this->arena_->reset();
+        spmm_csr_device_transpose(*this->arena_, csr_, this->bt(), this->c_);
+        break;
+    }
+  }
+
+  Csr<V, I> csr_;
+
+ private:
+  bool optimized_;
+};
+
+template <ValueType V, IndexType I>
+class EllBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  explicit EllBenchmark(bool optimized = false) : optimized_(optimized) {}
+
+  [[nodiscard]] std::string name() const override {
+    return optimized_ ? "ELL-opt" : "ELL";
+  }
+  [[nodiscard]] Format format_id() const override { return Format::kEll; }
+
+  [[nodiscard]] const Ell<V, I>& formatted() const { return ell_; }
+
+ protected:
+  void do_format() override { ell_ = to_ell(this->coo_); }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return ell_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    switch (variant) {
+      case Variant::kSerial:
+        if (optimized_) {
+          spmm_ell_serial_opt(ell_, this->b_, this->c_);
+        } else {
+          spmm_ell_serial(ell_, this->b_, this->c_);
+        }
+        break;
+      case Variant::kParallel:
+        if (optimized_) {
+          spmm_ell_parallel_opt(ell_, this->b_, this->c_,
+                                this->params_.threads);
+        } else {
+          spmm_ell_parallel(ell_, this->b_, this->c_, this->params_.threads);
+        }
+        break;
+      case Variant::kDevice:
+        this->arena_->reset();
+        spmm_ell_device(*this->arena_, ell_, this->b_, this->c_);
+        break;
+      case Variant::kSerialTranspose:
+        spmm_ell_serial_transpose(ell_, this->bt(), this->c_);
+        break;
+      case Variant::kParallelTranspose:
+        spmm_ell_parallel_transpose(ell_, this->bt(), this->c_,
+                                    this->params_.threads);
+        break;
+      case Variant::kDeviceTranspose:
+        this->arena_->reset();
+        spmm_ell_device_transpose(*this->arena_, ell_, this->bt(), this->c_);
+        break;
+    }
+  }
+
+ private:
+  Ell<V, I> ell_;
+  bool optimized_;
+};
+
+template <ValueType V, IndexType I>
+class BcsrBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  [[nodiscard]] std::string name() const override { return "BCSR"; }
+  [[nodiscard]] Format format_id() const override { return Format::kBcsr; }
+
+  [[nodiscard]] const Bcsr<V, I>& formatted() const { return bcsr_; }
+
+ protected:
+  void do_format() override {
+    bcsr_ = to_bcsr(this->coo_, static_cast<I>(this->params_.block_size));
+  }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return bcsr_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    switch (variant) {
+      case Variant::kSerial:
+        spmm_bcsr_serial(bcsr_, this->b_, this->c_);
+        break;
+      case Variant::kParallel:
+        spmm_bcsr_parallel(bcsr_, this->b_, this->c_, this->params_.threads);
+        break;
+      case Variant::kDevice:
+        this->arena_->reset();
+        spmm_bcsr_device(*this->arena_, bcsr_, this->b_, this->c_);
+        break;
+      case Variant::kSerialTranspose:
+        spmm_bcsr_serial_transpose(bcsr_, this->bt(), this->c_);
+        break;
+      case Variant::kParallelTranspose:
+        spmm_bcsr_parallel_transpose(bcsr_, this->bt(), this->c_,
+                                     this->params_.threads);
+        break;
+      case Variant::kDeviceTranspose:
+        this->arena_->reset();
+        spmm_bcsr_device_transpose(*this->arena_, bcsr_, this->bt(), this->c_);
+        break;
+    }
+  }
+
+ private:
+  Bcsr<V, I> bcsr_;
+};
+
+/// BELL benchmark (future-work format). Uses params.block_size as the
+/// row-group size, scaled up: groups of block_size·8 rows.
+template <ValueType V, IndexType I>
+class BellBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  [[nodiscard]] std::string name() const override { return "BELL"; }
+  [[nodiscard]] Format format_id() const override { return Format::kBell; }
+
+  [[nodiscard]] const Bell<V, I>& formatted() const { return bell_; }
+
+ protected:
+  void do_format() override {
+    const I group = static_cast<I>(this->params_.block_size) * 8;
+    bell_ = to_bell(this->coo_, std::max<I>(group, 1));
+  }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return bell_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    switch (variant) {
+      case Variant::kSerial:
+        spmm_bell_serial(bell_, this->b_, this->c_);
+        break;
+      case Variant::kParallel:
+        spmm_bell_parallel(bell_, this->b_, this->c_, this->params_.threads);
+        break;
+      case Variant::kDevice:
+        this->arena_->reset();
+        spmm_bell_device(*this->arena_, bell_, this->b_, this->c_);
+        break;
+      default:
+        SPMM_FAIL("BELL benchmark has no transpose kernels");
+    }
+  }
+
+ private:
+  Bell<V, I> bell_;
+};
+
+/// SELL-C-σ benchmark (future-work format). Chunk size 32, σ = 256.
+template <ValueType V, IndexType I>
+class SellCBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  [[nodiscard]] std::string name() const override { return "SELL-C"; }
+  [[nodiscard]] Format format_id() const override { return Format::kSellC; }
+
+  [[nodiscard]] const SellC<V, I>& formatted() const { return sell_; }
+
+ protected:
+  void do_format() override { sell_ = to_sellc(this->coo_, I{32}, I{256}); }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return sell_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    switch (variant) {
+      case Variant::kSerial:
+        spmm_sellc_serial(sell_, this->b_, this->c_);
+        break;
+      case Variant::kParallel:
+        spmm_sellc_parallel(sell_, this->b_, this->c_, this->params_.threads);
+        break;
+      case Variant::kDevice:
+        this->arena_->reset();
+        spmm_sellc_device(*this->arena_, sell_, this->b_, this->c_);
+        break;
+      default:
+        SPMM_FAIL("SELL-C benchmark has no transpose kernels");
+    }
+  }
+
+ private:
+  SellC<V, I> sell_;
+};
+
+/// CSR5 benchmark (future-work format): nnz-balanced tiles of 256.
+template <ValueType V, IndexType I>
+class Csr5Benchmark final : public SpmmBenchmark<V, I> {
+ public:
+  [[nodiscard]] std::string name() const override { return "CSR5"; }
+  [[nodiscard]] Format format_id() const override { return Format::kCsr5; }
+
+  [[nodiscard]] const Csr5<V, I>& formatted() const { return csr5_; }
+
+ protected:
+  void do_format() override { csr5_ = to_csr5(this->coo_); }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return csr5_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    switch (variant) {
+      case Variant::kSerial:
+        spmm_csr5_serial(csr5_, this->b_, this->c_);
+        break;
+      case Variant::kParallel:
+        spmm_csr5_parallel(csr5_, this->b_, this->c_, this->params_.threads);
+        break;
+      default:
+        SPMM_FAIL("CSR5 benchmark ships serial and parallel kernels");
+    }
+  }
+
+ private:
+  Csr5<V, I> csr5_;
+};
+
+/// HYB benchmark (extension format): auto-selected ELL width, COO tail.
+template <ValueType V, IndexType I>
+class HybBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  [[nodiscard]] std::string name() const override { return "HYB"; }
+  [[nodiscard]] Format format_id() const override { return Format::kHyb; }
+
+  [[nodiscard]] const Hyb<V, I>& formatted() const { return hyb_; }
+
+ protected:
+  void do_format() override { hyb_ = to_hyb(this->coo_); }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return hyb_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    switch (variant) {
+      case Variant::kSerial:
+        spmm_hyb_serial(hyb_, this->b_, this->c_);
+        break;
+      case Variant::kParallel:
+        spmm_hyb_parallel(hyb_, this->b_, this->c_, this->params_.threads);
+        break;
+      case Variant::kDevice:
+        this->arena_->reset();
+        spmm_hyb_device(*this->arena_, hyb_, this->b_, this->c_);
+        break;
+      default:
+        SPMM_FAIL("HYB benchmark has no transpose kernels");
+    }
+  }
+
+ private:
+  Hyb<V, I> hyb_;
+};
+
+/// Vendor-library benchmark (Study 7's cuSPARSE stand-in): CSR or COO
+/// through the vendor plan API.
+template <ValueType V, IndexType I>
+class VendorBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  explicit VendorBenchmark(Format format) : format_(format) {
+    SPMM_CHECK(format == Format::kCsr || format == Format::kCoo,
+               "vendor library provides COO and CSR only");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return format_ == Format::kCsr ? "vendor-CSR" : "vendor-COO";
+  }
+  [[nodiscard]] Format format_id() const override { return format_; }
+
+ protected:
+  void do_format() override {
+    if (format_ == Format::kCsr) csr_ = to_csr(this->coo_);
+  }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return format_ == Format::kCsr ? csr_.bytes() : this->coo_.bytes();
+  }
+
+  void do_compute(Variant variant) override {
+    SPMM_CHECK(!variant_is_transpose(variant),
+               "vendor library has no transpose entry point");
+    const int threads =
+        variant == Variant::kSerial ? 1 : this->params_.threads;
+    if (format_ == Format::kCsr) {
+      vendor::vendor_spmm_csr(csr_, this->b_, this->c_, threads);
+    } else {
+      vendor::vendor_spmm_coo(this->coo_, this->b_, this->c_, threads);
+    }
+  }
+
+ private:
+  Format format_;
+  Csr<V, I> csr_;
+};
+
+}  // namespace spmm::bench

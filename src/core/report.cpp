@@ -1,0 +1,60 @@
+#include "core/report.hpp"
+
+#include "support/csv.hpp"
+#include "support/string_util.hpp"
+
+namespace spmm::bench {
+
+void print_result(std::ostream& os, const BenchResult& r) {
+  os << r.matrix_name << " " << r.kernel_name << "/"
+     << variant_name(r.variant) << " k=" << r.k << " t=" << r.threads
+     << " b=" << r.block_size << ": " << format_double(r.mflops, 1)
+     << " MFLOPs (avg " << format_double(r.avg_compute_seconds * 1e3, 3)
+     << " ms, format " << format_double(r.format_seconds * 1e3, 3) << " ms)";
+  if (r.verification_run) {
+    os << (r.verified ? " [verified]" : " [VERIFY FAILED]");
+  }
+  os << "\n";
+}
+
+void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
+  CsvWriter csv(os, {"matrix",       "kernel",     "variant",
+                     "threads",      "k",          "block_size",
+                     "iterations",   "mflops",     "gflops",
+                     "avg_seconds",  "min_seconds", "format_seconds",
+                     "total_seconds", "flops",     "format_bytes",
+                     "verified",     "max_abs_error",
+                     "rows",         "cols",       "nnz",
+                     "max_row_nnz",  "avg_row_nnz", "column_ratio",
+                     "row_variance", "row_stddev"});
+  for (const BenchResult& r : results) {
+    csv.add(r.matrix_name)
+        .add(r.kernel_name)
+        .add(std::string(variant_name(r.variant)))
+        .add(static_cast<std::int64_t>(r.threads))
+        .add(static_cast<std::int64_t>(r.k))
+        .add(static_cast<std::int64_t>(r.block_size))
+        .add(static_cast<std::int64_t>(r.iterations))
+        .add(r.mflops)
+        .add(r.gflops)
+        .add(r.avg_compute_seconds)
+        .add(r.min_compute_seconds)
+        .add(r.format_seconds)
+        .add(r.total_seconds)
+        .add(r.flops)
+        .add(r.format_bytes)
+        .add(r.verification_run ? (r.verified ? "yes" : "NO") : "skipped")
+        .add(r.max_abs_error)
+        .add(r.properties.rows)
+        .add(r.properties.cols)
+        .add(r.properties.nnz)
+        .add(r.properties.max_row_nnz)
+        .add(r.properties.avg_row_nnz)
+        .add(r.properties.column_ratio)
+        .add(r.properties.row_nnz_variance)
+        .add(r.properties.row_nnz_stddev);
+    csv.end_row();
+  }
+}
+
+}  // namespace spmm::bench

@@ -1,0 +1,18 @@
+// Result reporting: console lines and CSV (the thesis's suite emits CSV
+// that a plotting script consumes).
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "core/benchmark.hpp"
+
+namespace spmm::bench {
+
+/// One human-readable line per result.
+void print_result(std::ostream& os, const BenchResult& r);
+
+/// Header + one row per result, RFC-4180 CSV.
+void write_csv(std::ostream& os, const std::vector<BenchResult>& results);
+
+}  // namespace spmm::bench

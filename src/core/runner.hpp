@@ -1,0 +1,93 @@
+// Run helpers over the benchmark classes: single runs by Format/Variant,
+// and the best-thread-count sweep the thesis added for Study 3.1 ("a
+// feature that will run the benchmark for a user-designated set of
+// thread counts ... and pick the best thread count for the given
+// inputs").
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/format_benchmarks.hpp"
+
+namespace spmm::bench {
+
+/// Construct the suite-provided benchmark for a format. `optimized`
+/// selects the Study 9 manually optimized kernels (COO/CSR/ELL only).
+template <ValueType V, IndexType I>
+std::unique_ptr<SpmmBenchmark<V, I>> make_benchmark(Format format,
+                                                    bool optimized = false) {
+  switch (format) {
+    case Format::kCoo:
+      return std::make_unique<CooBenchmark<V, I>>(optimized);
+    case Format::kCsr:
+      return std::make_unique<CsrBenchmark<V, I>>(optimized);
+    case Format::kEll:
+      return std::make_unique<EllBenchmark<V, I>>(optimized);
+    case Format::kBcsr:
+      SPMM_CHECK(!optimized, "BCSR has no manually optimized kernel (the "
+                             "study's change regressed it; see §5.11)");
+      return std::make_unique<BcsrBenchmark<V, I>>();
+    case Format::kBell:
+      SPMM_CHECK(!optimized, "BELL has no manually optimized kernel");
+      return std::make_unique<BellBenchmark<V, I>>();
+    case Format::kSellC:
+      SPMM_CHECK(!optimized, "SELL-C has no manually optimized kernel");
+      return std::make_unique<SellCBenchmark<V, I>>();
+    case Format::kHyb:
+      SPMM_CHECK(!optimized, "HYB has no manually optimized kernel");
+      return std::make_unique<HybBenchmark<V, I>>();
+    case Format::kCsr5:
+      SPMM_CHECK(!optimized, "CSR5 has no manually optimized kernel");
+      return std::make_unique<Csr5Benchmark<V, I>>();
+  }
+  SPMM_FAIL("unknown format");
+}
+
+/// One-shot run: build the benchmark, bind the matrix, run the variant.
+template <ValueType V, IndexType I>
+BenchResult run_benchmark(Format format, Variant variant, Coo<V, I> matrix,
+                          const BenchParams& params,
+                          std::string matrix_name = {},
+                          bool optimized = false) {
+  auto bench = make_benchmark<V, I>(format, optimized);
+  bench->setup(std::move(matrix), params, std::move(matrix_name));
+  return bench->run(variant);
+}
+
+/// Outcome of a best-thread-count sweep (Study 3.1).
+struct ThreadSweepResult {
+  /// (thread count, MFLOPs) for every count tried, in input order.
+  std::vector<std::pair<int, double>> series;
+  int best_threads = 0;
+  double best_mflops = 0.0;
+  BenchResult best;
+};
+
+/// Run the parallel kernel across params.thread_list (or the given list)
+/// and pick the best thread count. The matrix is formatted once.
+template <ValueType V, IndexType I>
+ThreadSweepResult thread_sweep(Format format, Coo<V, I> matrix,
+                               BenchParams params,
+                               std::string matrix_name = {}) {
+  SPMM_CHECK(!params.thread_list.empty(),
+             "thread sweep requires a non-empty --thread-list");
+  auto bench = make_benchmark<V, I>(format);
+  bench->setup(std::move(matrix), params, std::move(matrix_name));
+
+  ThreadSweepResult sweep;
+  for (int t : params.thread_list) {
+    bench->mutable_params().threads = t;
+    BenchResult r = bench->run(Variant::kParallel);
+    sweep.series.emplace_back(t, r.mflops);
+    if (r.mflops > sweep.best_mflops) {
+      sweep.best_mflops = r.mflops;
+      sweep.best_threads = t;
+      sweep.best = r;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace spmm::bench

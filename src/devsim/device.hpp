@@ -1,0 +1,189 @@
+// Emulated device execution (the GPU stand-in).
+//
+// The thesis runs its GPU kernels through OpenMP target offload on H100 /
+// A100 devices. No GPU exists in this environment, so this module
+// reproduces the *programming model* faithfully on the host: a separate
+// device memory arena with explicit, byte-accounted host↔device copies
+// and a finite capacity (the paper's Study 7 drops matrices that exceed
+// device memory — the arena throws DeviceOutOfMemory the same way), plus
+// a CUDA-style grid/block kernel launcher. Kernels written against this
+// API have the same decomposition and indexing they would on a real
+// device; their *timing* on real hardware comes from spmm::model.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace spmm::dev {
+
+/// CUDA-style launch geometry. Only x/y are used by the SpMM kernels.
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+
+  [[nodiscard]] std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+};
+
+/// Per-thread coordinates handed to an emulated kernel.
+struct ThreadCtx {
+  Dim3 block_idx;
+  Dim3 thread_idx;
+  Dim3 grid_dim;
+  Dim3 block_dim;
+
+  /// Global linear x index: blockIdx.x * blockDim.x + threadIdx.x.
+  [[nodiscard]] std::uint64_t global_x() const {
+    return static_cast<std::uint64_t>(block_idx.x) * block_dim.x +
+           thread_idx.x;
+  }
+  [[nodiscard]] std::uint64_t global_y() const {
+    return static_cast<std::uint64_t>(block_idx.y) * block_dim.y +
+           thread_idx.y;
+  }
+};
+
+/// Thrown when a device allocation exceeds the arena capacity.
+class DeviceOutOfMemory : public Error {
+ public:
+  explicit DeviceOutOfMemory(const std::string& what) : Error(what) {}
+};
+
+class DeviceArena;
+
+/// Non-owning typed view of device memory. Valid while its arena lives.
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t bytes() const { return size_ * sizeof(T); }
+
+ private:
+  friend class DeviceArena;
+  DeviceBuffer(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// The emulated device memory space. Tracks allocation high-water mark
+/// and transfer traffic; enforces a capacity like a physical device.
+class DeviceArena {
+ public:
+  /// `capacity_bytes` = 0 means unlimited (the default for tests).
+  explicit DeviceArena(std::size_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  /// Allocate `n` elements of device memory.
+  template <class T>
+  DeviceBuffer<T> alloc(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (capacity_ != 0 && allocated_ + bytes > capacity_) {
+      throw DeviceOutOfMemory(
+          "device allocation of " + std::to_string(bytes) +
+          " bytes exceeds arena capacity (" + std::to_string(capacity_) +
+          " bytes, " + std::to_string(allocated_) + " in use)");
+    }
+    auto storage = std::make_unique<std::byte[]>(bytes);
+    T* p = reinterpret_cast<T*>(storage.get());
+    allocations_.push_back(std::move(storage));
+    allocated_ += bytes;
+    peak_ = std::max(peak_, allocated_);
+    return DeviceBuffer<T>(p, n);
+  }
+
+  /// Copy host → device; accounted as H2D traffic.
+  template <class T>
+  void copy_to_device(DeviceBuffer<T> dst, const T* src, std::size_t n) {
+    SPMM_CHECK(n <= dst.size(), "H2D copy larger than destination buffer");
+    std::memcpy(dst.data(), src, n * sizeof(T));
+    h2d_bytes_ += n * sizeof(T);
+  }
+
+  /// Copy device → host; accounted as D2H traffic.
+  template <class T>
+  void copy_to_host(T* dst, DeviceBuffer<T> src, std::size_t n) {
+    SPMM_CHECK(n <= src.size(), "D2H copy larger than source buffer");
+    std::memcpy(dst, src.data(), n * sizeof(T));
+    d2h_bytes_ += n * sizeof(T);
+  }
+
+  /// Zero-fill a device buffer (cudaMemset analogue).
+  template <class T>
+  void memset_zero(DeviceBuffer<T> buf) {
+    std::memset(buf.data(), 0, buf.bytes());
+  }
+
+  [[nodiscard]] std::size_t allocated_bytes() const { return allocated_; }
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+  [[nodiscard]] std::size_t h2d_bytes() const { return h2d_bytes_; }
+  [[nodiscard]] std::size_t d2h_bytes() const { return d2h_bytes_; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::uint64_t launches() const { return launches_; }
+
+  /// Release every allocation (buffers become dangling).
+  void reset() {
+    allocations_.clear();
+    allocated_ = 0;
+  }
+
+  /// Internal: counts kernel launches (used by tests and reports).
+  void note_launch() { ++launches_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t allocated_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t h2d_bytes_ = 0;
+  std::size_t d2h_bytes_ = 0;
+  std::uint64_t launches_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> allocations_;
+};
+
+/// Launch `kernel(ctx)` over grid×block threads. Blocks run in parallel
+/// on the host (OpenMP), threads within a block sequentially — the same
+/// no-inter-block-synchronization contract a real device enforces, so a
+/// kernel relying on cross-block ordering fails here too.
+template <class Kernel>
+void launch(DeviceArena& arena, Dim3 grid, Dim3 block, Kernel&& kernel) {
+  SPMM_CHECK(grid.count() > 0 && block.count() > 0,
+             "kernel launch requires a non-empty grid and block");
+  arena.note_launch();
+  const std::int64_t nblocks = static_cast<std::int64_t>(grid.count());
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    Dim3 bidx;
+    bidx.x = static_cast<unsigned>(b % grid.x);
+    bidx.y = static_cast<unsigned>((b / grid.x) % grid.y);
+    bidx.z = static_cast<unsigned>(b / (static_cast<std::uint64_t>(grid.x) * grid.y));
+    ThreadCtx ctx;
+    ctx.block_idx = bidx;
+    ctx.grid_dim = grid;
+    ctx.block_dim = block;
+    for (unsigned tz = 0; tz < block.z; ++tz) {
+      for (unsigned ty = 0; ty < block.y; ++ty) {
+        for (unsigned tx = 0; tx < block.x; ++tx) {
+          ctx.thread_idx = Dim3{tx, ty, tz};
+          kernel(ctx);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace spmm::dev

@@ -1,0 +1,111 @@
+// Block compressed sparse row (BCSR) format.
+//
+// The matrix is tiled into b×b blocks; any tile containing at least one
+// nonzero is stored densely (zeros fill the rest — the blocking trade-off
+// the paper studies in Study 5). Block rows are indexed CSR-style:
+// block_row_ptr has ceil(rows/b)+1 offsets into block_col_idx, and values
+// holds nnz_blocks dense b×b tiles, each row-major.
+#pragma once
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Bcsr {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Bcsr() = default;
+
+  Bcsr(I rows, I cols, I block_size, usize nnz,
+       AlignedVector<I> block_row_ptr, AlignedVector<I> block_col_idx,
+       AlignedVector<V> values)
+      : rows_(rows),
+        cols_(cols),
+        block_size_(block_size),
+        nnz_(nnz),
+        block_row_ptr_(std::move(block_row_ptr)),
+        block_col_idx_(std::move(block_col_idx)),
+        values_(std::move(values)) {
+    SPMM_CHECK(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+    SPMM_CHECK(block_size > 0, "BCSR block size must be positive");
+    const I brows = block_rows();
+    SPMM_CHECK(block_row_ptr_.size() == static_cast<usize>(brows) + 1,
+               "BCSR block_row_ptr must have block_rows+1 entries");
+    SPMM_CHECK(block_row_ptr_.front() == 0, "BCSR block_row_ptr must start at 0");
+    for (I r = 0; r < brows; ++r) {
+      SPMM_CHECK(block_row_ptr_[r] <= block_row_ptr_[r + 1],
+                 "BCSR block_row_ptr must be monotone");
+    }
+    SPMM_CHECK(static_cast<usize>(block_row_ptr_.back()) ==
+                   block_col_idx_.size(),
+               "BCSR block_row_ptr must end at the block count");
+    const usize bs = static_cast<usize>(block_size);
+    SPMM_CHECK(values_.size() == block_col_idx_.size() * bs * bs,
+               "BCSR values must hold one dense tile per block");
+    const I bcols = block_cols();
+    for (I bc : block_col_idx_) {
+      SPMM_CHECK(bc >= 0 && bc < bcols, "BCSR block column index out of range");
+    }
+    SPMM_CHECK(nnz_ <= values_.size(), "BCSR nnz exceeds stored capacity");
+  }
+
+  [[nodiscard]] I rows() const { return rows_; }
+  [[nodiscard]] I cols() const { return cols_; }
+  [[nodiscard]] I block_size() const { return block_size_; }
+  /// Number of block rows: ceil(rows / block_size).
+  [[nodiscard]] I block_rows() const {
+    return block_size_ == 0 ? 0 : (rows_ + block_size_ - 1) / block_size_;
+  }
+  [[nodiscard]] I block_cols() const {
+    return block_size_ == 0 ? 0 : (cols_ + block_size_ - 1) / block_size_;
+  }
+  /// Number of stored (nonzero) blocks.
+  [[nodiscard]] usize nnz_blocks() const { return block_col_idx_.size(); }
+  /// True nonzero count.
+  [[nodiscard]] usize nnz() const { return nnz_; }
+  /// Stored entries including explicit zeros inside blocks.
+  [[nodiscard]] usize padded_nnz() const { return values_.size(); }
+  /// Fraction of stored entries that are true nonzeros (1.0 = perfectly
+  /// dense blocks). The inverse of the padding multiplier.
+  [[nodiscard]] double fill_ratio() const {
+    return padded_nnz() == 0 ? 1.0
+                             : static_cast<double>(nnz_) /
+                                   static_cast<double>(padded_nnz());
+  }
+
+  [[nodiscard]] const AlignedVector<I>& block_row_ptr() const {
+    return block_row_ptr_;
+  }
+  [[nodiscard]] const AlignedVector<I>& block_col_idx() const {
+    return block_col_idx_;
+  }
+  [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return block_row_ptr_.size() * sizeof(I) +
+           block_col_idx_.size() * sizeof(I) + values_.size() * sizeof(V);
+  }
+
+  friend bool operator==(const Bcsr& a, const Bcsr& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.block_size_ == b.block_size_ && a.nnz_ == b.nnz_ &&
+           a.block_row_ptr_ == b.block_row_ptr_ &&
+           a.block_col_idx_ == b.block_col_idx_ && a.values_ == b.values_;
+  }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  I block_size_ = 0;
+  usize nnz_ = 0;
+  AlignedVector<I> block_row_ptr_;
+  AlignedVector<I> block_col_idx_;
+  AlignedVector<V> values_;
+};
+
+}  // namespace spmm

@@ -1,0 +1,102 @@
+// Blocked-ELLPACK (BELL) format — the paper's first future-work format
+// (§6.3.1, citing Yang et al.).
+//
+// Rows are partitioned into groups of `group_size` consecutive rows; each
+// group is padded to its own ELL width (the max nonzero count within the
+// group) instead of the global maximum. This bounds the padding blast
+// radius of a single heavy row to its group — the failure mode plain ELL
+// has on high-column-ratio matrices like torso1.
+//
+// Storage per group g: width_[g] slots per row, entries at
+// offset_[g] + local_row*width_[g] + slot (row-major within the group).
+#pragma once
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Bell {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Bell() = default;
+
+  Bell(I rows, I cols, I group_size, usize nnz, AlignedVector<I> width,
+       AlignedVector<usize> offset, AlignedVector<I> col_idx,
+       AlignedVector<V> values)
+      : rows_(rows),
+        cols_(cols),
+        group_size_(group_size),
+        nnz_(nnz),
+        width_(std::move(width)),
+        offset_(std::move(offset)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    SPMM_CHECK(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+    SPMM_CHECK(group_size > 0, "BELL group size must be positive");
+    const I g = groups();
+    SPMM_CHECK(width_.size() == static_cast<usize>(g),
+               "BELL width must have one entry per group");
+    SPMM_CHECK(offset_.size() == static_cast<usize>(g) + 1,
+               "BELL offset must have groups+1 entries");
+    SPMM_CHECK(offset_.empty() || offset_.front() == 0,
+               "BELL offsets must start at 0");
+    for (I gi = 0; gi < g; ++gi) {
+      const usize rows_in = static_cast<usize>(rows_in_group(gi));
+      SPMM_CHECK(offset_[gi + 1] - offset_[gi] ==
+                     rows_in * static_cast<usize>(width_[gi]),
+                 "BELL group extent must be rows_in_group*width");
+    }
+    SPMM_CHECK(col_idx_.size() == values_.size(),
+               "BELL col_idx and values must have equal length");
+    SPMM_CHECK(offset_.empty() || offset_.back() == values_.size(),
+               "BELL offsets must end at the storage size");
+    SPMM_CHECK(nnz_ <= values_.size(), "BELL nnz exceeds stored capacity");
+  }
+
+  [[nodiscard]] I rows() const { return rows_; }
+  [[nodiscard]] I cols() const { return cols_; }
+  [[nodiscard]] I group_size() const { return group_size_; }
+  [[nodiscard]] I groups() const {
+    return group_size_ == 0 ? 0 : (rows_ + group_size_ - 1) / group_size_;
+  }
+  /// Rows in group g (the final group may be short).
+  [[nodiscard]] I rows_in_group(I g) const {
+    const I start = g * group_size_;
+    const I remain = rows_ - start;
+    return remain < group_size_ ? remain : group_size_;
+  }
+  [[nodiscard]] usize nnz() const { return nnz_; }
+  [[nodiscard]] usize padded_nnz() const { return values_.size(); }
+  [[nodiscard]] double padding_ratio() const {
+    return nnz_ == 0 ? 1.0
+                     : static_cast<double>(padded_nnz()) /
+                           static_cast<double>(nnz_);
+  }
+
+  [[nodiscard]] const AlignedVector<I>& width() const { return width_; }
+  [[nodiscard]] const AlignedVector<usize>& offset() const { return offset_; }
+  [[nodiscard]] const AlignedVector<I>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return width_.size() * sizeof(I) + offset_.size() * sizeof(usize) +
+           col_idx_.size() * sizeof(I) + values_.size() * sizeof(V);
+  }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  I group_size_ = 0;
+  usize nnz_ = 0;
+  AlignedVector<I> width_;
+  AlignedVector<usize> offset_;
+  AlignedVector<I> col_idx_;
+  AlignedVector<V> values_;
+};
+
+}  // namespace spmm

@@ -1,0 +1,572 @@
+// Format conversions (the paper's "formatting functions", §4.2).
+//
+// Every format is built from the canonical sorted COO representation and
+// can be lowered back to COO (used by tests to prove round-trip fidelity).
+// The BCSR formatter is the single-pass block-row-map algorithm — the
+// fast replacement for the thesis's 40-hour formatter (§6.3.2); the disk
+// cache for formatted BCSR lives in io/bcsr_cache.hpp.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "formats/bcsr.hpp"
+#include "formats/bell.hpp"
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/csr5.hpp"
+#include "formats/dense.hpp"
+#include "formats/ell.hpp"
+#include "formats/hyb.hpp"
+#include "formats/sellc.hpp"
+
+namespace spmm {
+
+/// COO → CSR: compress the sorted row array into rows+1 offsets.
+template <ValueType V, IndexType I>
+Csr<V, I> to_csr(const Coo<V, I>& coo) {
+  const I rows = coo.rows();
+  AlignedVector<I> row_ptr(static_cast<usize>(rows) + 1, 0);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    ++row_ptr[static_cast<usize>(coo.row(i)) + 1];
+  }
+  for (usize r = 0; r < static_cast<usize>(rows); ++r) {
+    row_ptr[r + 1] += row_ptr[r];
+  }
+  return Csr<V, I>(rows, coo.cols(), std::move(row_ptr),
+                   AlignedVector<I>(coo.col_idx()),
+                   AlignedVector<V>(coo.values()));
+}
+
+/// CSR → COO.
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const Csr<V, I>& csr) {
+  AlignedVector<I> row_idx(csr.nnz());
+  for (I r = 0; r < csr.rows(); ++r) {
+    for (I i = csr.row_ptr()[r]; i < csr.row_ptr()[r + 1]; ++i) {
+      row_idx[static_cast<usize>(i)] = r;
+    }
+  }
+  return Coo<V, I>(csr.rows(), csr.cols(), std::move(row_idx),
+                   AlignedVector<I>(csr.col_idx()),
+                   AlignedVector<V>(csr.values()));
+}
+
+/// COO → CSR5: build the CSR arrays, then record each tile's first row
+/// by walking the row pointer once.
+template <ValueType V, IndexType I>
+Csr5<V, I> to_csr5(const Coo<V, I>& coo, I tile_size = 256) {
+  SPMM_CHECK(tile_size > 0, "CSR5 tile size must be positive");
+  Csr<V, I> csr = to_csr(coo);
+  const usize ntiles = (csr.nnz() + static_cast<usize>(tile_size) - 1) /
+                       static_cast<usize>(tile_size);
+  AlignedVector<I> tile_row(ntiles, 0);
+  I row = 0;
+  for (usize t = 0; t < ntiles; ++t) {
+    const I first = static_cast<I>(t * static_cast<usize>(tile_size));
+    while (row + 1 < csr.rows() + 1 && csr.row_ptr()[row + 1] <= first) {
+      ++row;
+    }
+    tile_row[t] = std::min<I>(row, csr.rows() - 1);
+  }
+  return Csr5<V, I>(std::move(csr), tile_size, std::move(tile_row));
+}
+
+/// CSR5 → COO (via the embedded CSR).
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const Csr5<V, I>& csr5) {
+  return to_coo(csr5.csr());
+}
+
+/// COO → CSC: counting sort by column. The stable scatter keeps entries
+/// within a column ordered by row (the input is row-major sorted).
+template <ValueType V, IndexType I>
+Csc<V, I> to_csc(const Coo<V, I>& coo) {
+  const I cols = coo.cols();
+  AlignedVector<I> col_ptr(static_cast<usize>(cols) + 1, 0);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    ++col_ptr[static_cast<usize>(coo.col(i)) + 1];
+  }
+  for (usize c = 0; c < static_cast<usize>(cols); ++c) {
+    col_ptr[c + 1] += col_ptr[c];
+  }
+  AlignedVector<I> row_idx(coo.nnz());
+  AlignedVector<V> values(coo.nnz());
+  AlignedVector<I> cursor(col_ptr.begin(), col_ptr.end() - 1);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    const usize slot = static_cast<usize>(cursor[static_cast<usize>(coo.col(i))]++);
+    row_idx[slot] = coo.row(i);
+    values[slot] = coo.value(i);
+  }
+  return Csc<V, I>(coo.rows(), cols, std::move(col_ptr), std::move(row_idx),
+                   std::move(values));
+}
+
+/// CSC → COO.
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const Csc<V, I>& csc) {
+  AlignedVector<I> row_idx(csc.row_idx());
+  AlignedVector<I> col_idx(csc.nnz());
+  for (I c = 0; c < csc.cols(); ++c) {
+    for (I i = csc.col_ptr()[c]; i < csc.col_ptr()[c + 1]; ++i) {
+      col_idx[static_cast<usize>(i)] = c;
+    }
+  }
+  return Coo<V, I>(csc.rows(), csc.cols(), std::move(row_idx),
+                   std::move(col_idx),
+                   AlignedVector<V>(csc.values()));
+}
+
+/// COO → ELL: pad every row to the global maximum row width. Padded slots
+/// repeat the row's last real column (0 for empty rows) with value 0,
+/// keeping pad reads adjacent to real data (paper §2.2).
+template <ValueType V, IndexType I>
+Ell<V, I> to_ell(const Coo<V, I>& coo) {
+  const I rows = coo.rows();
+  AlignedVector<I> counts(static_cast<usize>(rows), 0);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    ++counts[static_cast<usize>(coo.row(i))];
+  }
+  I width = 0;
+  for (I c : counts) width = std::max(width, c);
+
+  const usize padded = static_cast<usize>(rows) * static_cast<usize>(width);
+  AlignedVector<I> col_idx(padded, 0);
+  AlignedVector<V> values(padded, V{0});
+
+  AlignedVector<I> fill(static_cast<usize>(rows), 0);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    const usize r = static_cast<usize>(coo.row(i));
+    const usize slot = r * static_cast<usize>(width) +
+                       static_cast<usize>(fill[r]++);
+    col_idx[slot] = coo.col(i);
+    values[slot] = coo.value(i);
+  }
+  // Fill padding column indices with the row's last real column.
+  for (usize r = 0; r < static_cast<usize>(rows); ++r) {
+    const I real = fill[r];
+    const I pad_col = real > 0
+                          ? col_idx[r * static_cast<usize>(width) +
+                                    static_cast<usize>(real) - 1]
+                          : I{0};
+    for (I s = real; s < width; ++s) {
+      col_idx[r * static_cast<usize>(width) + static_cast<usize>(s)] = pad_col;
+    }
+  }
+  return Ell<V, I>(rows, coo.cols(), width, coo.nnz(), std::move(col_idx),
+                   std::move(values));
+}
+
+/// ELL → COO (padding entries with zero value are dropped).
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const Ell<V, I>& ell) {
+  AlignedVector<I> row_idx, col_idx;
+  AlignedVector<V> values;
+  row_idx.reserve(ell.nnz());
+  col_idx.reserve(ell.nnz());
+  values.reserve(ell.nnz());
+  for (I r = 0; r < ell.rows(); ++r) {
+    for (I s = 0; s < ell.width(); ++s) {
+      const usize slot = static_cast<usize>(r) *
+                             static_cast<usize>(ell.width()) +
+                         static_cast<usize>(s);
+      if (ell.values()[slot] != V{0}) {
+        row_idx.push_back(r);
+        col_idx.push_back(ell.col_idx()[slot]);
+        values.push_back(ell.values()[slot]);
+      }
+    }
+  }
+  return Coo<V, I>(ell.rows(), ell.cols(), std::move(row_idx),
+                   std::move(col_idx), std::move(values));
+}
+
+/// COO → BCSR, single pass over the sorted entries.
+///
+/// Because COO is sorted row-major, all entries of one block row arrive
+/// consecutively; an ordered map from block column → tile buffer collects
+/// them, then flushes in block-column order when the block row ends. This
+/// replaces the thesis's prohibitively slow formatter (§6.3.2).
+template <ValueType V, IndexType I>
+Bcsr<V, I> to_bcsr(const Coo<V, I>& coo, I block_size) {
+  SPMM_CHECK(block_size > 0, "BCSR block size must be positive");
+  const I rows = coo.rows();
+  const I brows = (rows + block_size - 1) / block_size;
+  const usize bs = static_cast<usize>(block_size);
+
+  AlignedVector<I> block_row_ptr(static_cast<usize>(brows) + 1, 0);
+  AlignedVector<I> block_col_idx;
+  AlignedVector<V> values;
+
+  std::map<I, AlignedVector<V>> tiles;  // block col -> dense tile
+  I current_brow = 0;
+
+  auto flush = [&](I brow) {
+    block_row_ptr[static_cast<usize>(brow) + 1] =
+        block_row_ptr[static_cast<usize>(brow)] +
+        static_cast<I>(tiles.size());
+    for (auto& [bcol, tile] : tiles) {
+      block_col_idx.push_back(bcol);
+      values.insert(values.end(), tile.begin(), tile.end());
+    }
+    tiles.clear();
+  };
+
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    const I brow = coo.row(i) / block_size;
+    while (current_brow < brow) {
+      flush(current_brow);
+      ++current_brow;
+    }
+    const I bcol = coo.col(i) / block_size;
+    auto [it, inserted] = tiles.try_emplace(bcol);
+    if (inserted) it->second.assign(bs * bs, V{0});
+    const usize lr = static_cast<usize>(coo.row(i) % block_size);
+    const usize lc = static_cast<usize>(coo.col(i) % block_size);
+    it->second[lr * bs + lc] = coo.value(i);
+  }
+  while (current_brow < brows) {
+    flush(current_brow);
+    ++current_brow;
+  }
+
+  return Bcsr<V, I>(rows, coo.cols(), block_size, coo.nnz(),
+                    std::move(block_row_ptr), std::move(block_col_idx),
+                    std::move(values));
+}
+
+/// BCSR → COO (explicit zeros inside blocks are dropped).
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const Bcsr<V, I>& bcsr) {
+  AlignedVector<I> row_idx, col_idx;
+  AlignedVector<V> values;
+  const I b = bcsr.block_size();
+  const usize bs = static_cast<usize>(b);
+  for (I brow = 0; brow < bcsr.block_rows(); ++brow) {
+    for (I blk = bcsr.block_row_ptr()[brow];
+         blk < bcsr.block_row_ptr()[brow + 1]; ++blk) {
+      const I bcol = bcsr.block_col_idx()[static_cast<usize>(blk)];
+      const V* tile = bcsr.values().data() + static_cast<usize>(blk) * bs * bs;
+      for (I lr = 0; lr < b; ++lr) {
+        const I r = brow * b + lr;
+        if (r >= bcsr.rows()) break;
+        for (I lc = 0; lc < b; ++lc) {
+          const I c = bcol * b + lc;
+          if (c >= bcsr.cols()) break;
+          const V v = tile[static_cast<usize>(lr) * bs + static_cast<usize>(lc)];
+          if (v != V{0}) {
+            row_idx.push_back(r);
+            col_idx.push_back(c);
+            values.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return Coo<V, I>(bcsr.rows(), bcsr.cols(), std::move(row_idx),
+                   std::move(col_idx), std::move(values));
+}
+
+/// COO → BELL: group `group_size` consecutive rows, pad each group to its
+/// own maximum row width.
+template <ValueType V, IndexType I>
+Bell<V, I> to_bell(const Coo<V, I>& coo, I group_size) {
+  SPMM_CHECK(group_size > 0, "BELL group size must be positive");
+  const I rows = coo.rows();
+  const I groups = (rows + group_size - 1) / group_size;
+
+  AlignedVector<I> counts(static_cast<usize>(rows), 0);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    ++counts[static_cast<usize>(coo.row(i))];
+  }
+
+  AlignedVector<I> width(static_cast<usize>(groups), 0);
+  AlignedVector<usize> offset(static_cast<usize>(groups) + 1, 0);
+  for (I g = 0; g < groups; ++g) {
+    const I start = g * group_size;
+    const I end = std::min<I>(start + group_size, rows);
+    I w = 0;
+    for (I r = start; r < end; ++r) {
+      w = std::max(w, counts[static_cast<usize>(r)]);
+    }
+    width[static_cast<usize>(g)] = w;
+    offset[static_cast<usize>(g) + 1] =
+        offset[static_cast<usize>(g)] +
+        static_cast<usize>(end - start) * static_cast<usize>(w);
+  }
+
+  AlignedVector<I> col_idx(offset.back(), 0);
+  AlignedVector<V> values(offset.back(), V{0});
+  AlignedVector<I> fill(static_cast<usize>(rows), 0);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    const I r = coo.row(i);
+    const I g = r / group_size;
+    const I local = r - g * group_size;
+    const usize slot = offset[static_cast<usize>(g)] +
+                       static_cast<usize>(local) *
+                           static_cast<usize>(width[static_cast<usize>(g)]) +
+                       static_cast<usize>(fill[static_cast<usize>(r)]++);
+    col_idx[slot] = coo.col(i);
+    values[slot] = coo.value(i);
+  }
+  // Locality-preserving pad columns, as for ELL.
+  for (I r = 0; r < rows; ++r) {
+    const I g = r / group_size;
+    const I local = r - g * group_size;
+    const I w = width[static_cast<usize>(g)];
+    const usize base = offset[static_cast<usize>(g)] +
+                       static_cast<usize>(local) * static_cast<usize>(w);
+    const I real = fill[static_cast<usize>(r)];
+    const I pad_col =
+        real > 0 ? col_idx[base + static_cast<usize>(real) - 1] : I{0};
+    for (I s = real; s < w; ++s) {
+      col_idx[base + static_cast<usize>(s)] = pad_col;
+    }
+  }
+  return Bell<V, I>(rows, coo.cols(), group_size, coo.nnz(), std::move(width),
+                    std::move(offset), std::move(col_idx), std::move(values));
+}
+
+/// BELL → COO.
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const Bell<V, I>& bell) {
+  AlignedVector<I> row_idx, col_idx;
+  AlignedVector<V> values;
+  for (I g = 0; g < bell.groups(); ++g) {
+    const I w = bell.width()[static_cast<usize>(g)];
+    const I rows_in = bell.rows_in_group(g);
+    for (I local = 0; local < rows_in; ++local) {
+      const I r = g * bell.group_size() + local;
+      const usize base = bell.offset()[static_cast<usize>(g)] +
+                         static_cast<usize>(local) * static_cast<usize>(w);
+      for (I s = 0; s < w; ++s) {
+        const V v = bell.values()[base + static_cast<usize>(s)];
+        if (v != V{0}) {
+          row_idx.push_back(r);
+          col_idx.push_back(bell.col_idx()[base + static_cast<usize>(s)]);
+          values.push_back(v);
+        }
+      }
+    }
+  }
+  return Coo<V, I>(bell.rows(), bell.cols(), std::move(row_idx),
+                   std::move(col_idx), std::move(values));
+}
+
+/// COO → SELL-C-σ: σ-window descending-nnz sort, chunks of C rows padded
+/// to the chunk max, column-major lanes within each chunk.
+template <ValueType V, IndexType I>
+SellC<V, I> to_sellc(const Coo<V, I>& coo, I chunk_size, I sigma) {
+  SPMM_CHECK(chunk_size > 0, "SELL-C chunk size must be positive");
+  SPMM_CHECK(sigma > 0, "SELL-C sigma must be positive");
+  // Sorting windows must cover whole chunks for the layout to make sense.
+  SPMM_CHECK(sigma % chunk_size == 0 || sigma == 1,
+             "SELL-C sigma must be 1 or a multiple of the chunk size");
+  const I rows = coo.rows();
+  const Csr<V, I> csr = to_csr(coo);
+
+  AlignedVector<I> perm(static_cast<usize>(rows));
+  std::iota(perm.begin(), perm.end(), I{0});
+  for (I w = 0; w < rows; w += sigma) {
+    const I end = std::min<I>(w + sigma, rows);
+    std::stable_sort(perm.begin() + w, perm.begin() + end,
+                     [&](I a, I b) { return csr.row_nnz(a) > csr.row_nnz(b); });
+  }
+
+  const I chunks = (rows + chunk_size - 1) / chunk_size;
+  AlignedVector<I> chunk_width(static_cast<usize>(chunks), 0);
+  AlignedVector<usize> chunk_offset(static_cast<usize>(chunks) + 1, 0);
+  for (I c = 0; c < chunks; ++c) {
+    const I start = c * chunk_size;
+    const I end = std::min<I>(start + chunk_size, rows);
+    I w = 0;
+    for (I p = start; p < end; ++p) {
+      w = std::max(w, csr.row_nnz(perm[static_cast<usize>(p)]));
+    }
+    chunk_width[static_cast<usize>(c)] = w;
+    chunk_offset[static_cast<usize>(c) + 1] =
+        chunk_offset[static_cast<usize>(c)] +
+        static_cast<usize>(chunk_size) * static_cast<usize>(w);
+  }
+
+  AlignedVector<I> col_idx(chunk_offset.back(), 0);
+  AlignedVector<V> values(chunk_offset.back(), V{0});
+  for (I c = 0; c < chunks; ++c) {
+    const usize base = chunk_offset[static_cast<usize>(c)];
+    const I w = chunk_width[static_cast<usize>(c)];
+    for (I lane = 0; lane < chunk_size; ++lane) {
+      const I pos = c * chunk_size + lane;
+      if (pos >= rows) {
+        // Unused lane in the final chunk: leave zero padding at column 0.
+        continue;
+      }
+      const I r = perm[static_cast<usize>(pos)];
+      const I begin = csr.row_ptr()[r];
+      const I count = csr.row_nnz(r);
+      I pad_col = 0;
+      for (I s = 0; s < w; ++s) {
+        const usize slot = base +
+                           static_cast<usize>(s) *
+                               static_cast<usize>(chunk_size) +
+                           static_cast<usize>(lane);
+        if (s < count) {
+          col_idx[slot] = csr.col_idx()[static_cast<usize>(begin + s)];
+          values[slot] = csr.values()[static_cast<usize>(begin + s)];
+          pad_col = col_idx[slot];
+        } else {
+          col_idx[slot] = pad_col;
+        }
+      }
+    }
+  }
+  return SellC<V, I>(rows, coo.cols(), chunk_size, sigma, coo.nnz(),
+                     std::move(perm), std::move(chunk_width),
+                     std::move(chunk_offset), std::move(col_idx),
+                     std::move(values));
+}
+
+/// SELL-C → COO.
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const SellC<V, I>& sell) {
+  AlignedVector<I> row_idx, col_idx;
+  AlignedVector<V> values;
+  const I C = sell.chunk_size();
+  for (I c = 0; c < sell.chunks(); ++c) {
+    const usize base = sell.chunk_offset()[static_cast<usize>(c)];
+    const I w = sell.chunk_width()[static_cast<usize>(c)];
+    for (I lane = 0; lane < C; ++lane) {
+      const I pos = c * C + lane;
+      if (pos >= sell.rows()) continue;
+      const I r = sell.perm()[static_cast<usize>(pos)];
+      for (I s = 0; s < w; ++s) {
+        const usize slot = base + static_cast<usize>(s) * static_cast<usize>(C) +
+                           static_cast<usize>(lane);
+        if (sell.values()[slot] != V{0}) {
+          row_idx.push_back(r);
+          col_idx.push_back(sell.col_idx()[slot]);
+          values.push_back(sell.values()[slot]);
+        }
+      }
+    }
+  }
+  return Coo<V, I>(sell.rows(), sell.cols(), std::move(row_idx),
+                   std::move(col_idx), std::move(values));
+}
+
+/// Width heuristic for HYB: minimize the weighted cost
+/// rows·w + kHybTailWeight·tail(w), evaluated exactly from the
+/// row-length histogram. Tail entries are weighted above ELL slots
+/// because they cost more at runtime (COO coordinates plus irregular
+/// access), so the heuristic favours a regular ELL region over a long
+/// tail even when raw storage would tie.
+inline constexpr std::int64_t kHybTailWeight = 2;
+
+template <ValueType V, IndexType I>
+I hyb_auto_width(const Coo<V, I>& coo) {
+  const I rows = coo.rows();
+  if (rows == 0 || coo.nnz() == 0) return 0;
+  AlignedVector<I> counts(static_cast<usize>(rows), 0);
+  I max_count = 0;
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    max_count = std::max(max_count, ++counts[static_cast<usize>(coo.row(i))]);
+  }
+  // tail(w) = Σ_r max(0, count_r - w), computed in one pass over the
+  // histogram of counts.
+  AlignedVector<std::int64_t> hist(static_cast<usize>(max_count) + 1, 0);
+  for (I c : counts) ++hist[static_cast<usize>(c)];
+  std::int64_t rows_above = rows;  // rows with count > w (w from -1 upward)
+  std::int64_t tail = static_cast<std::int64_t>(coo.nnz());
+  I best_w = 0;
+  std::int64_t best_cost = kHybTailWeight * tail;  // w = 0: all tail
+  for (I w = 1; w <= max_count; ++w) {
+    rows_above -= hist[static_cast<usize>(w) - 1];
+    tail -= rows_above;
+    const std::int64_t cost =
+        static_cast<std::int64_t>(rows) * w + kHybTailWeight * tail;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+/// COO → HYB: rows keep their first `width` entries in the ELL region,
+/// the rest spill to the COO tail. width < 0 selects hyb_auto_width().
+template <ValueType V, IndexType I>
+Hyb<V, I> to_hyb(const Coo<V, I>& coo, I width = -1) {
+  if (width < 0) width = hyb_auto_width(coo);
+  const I rows = coo.rows();
+  const usize padded = static_cast<usize>(rows) * static_cast<usize>(width);
+  AlignedVector<I> ell_cols(padded, 0);
+  AlignedVector<V> ell_vals(padded, V{0});
+  AlignedVector<I> fill(static_cast<usize>(rows), 0);
+  AlignedVector<I> tail_rows, tail_cols;
+  AlignedVector<V> tail_vals;
+
+  usize ell_nnz = 0;
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    const usize r = static_cast<usize>(coo.row(i));
+    if (fill[r] < width) {
+      const usize slot = r * static_cast<usize>(width) +
+                         static_cast<usize>(fill[r]++);
+      ell_cols[slot] = coo.col(i);
+      ell_vals[slot] = coo.value(i);
+      ++ell_nnz;
+    } else {
+      tail_rows.push_back(coo.row(i));
+      tail_cols.push_back(coo.col(i));
+      tail_vals.push_back(coo.value(i));
+    }
+  }
+  // Locality-preserving pad columns, as for plain ELL.
+  for (usize r = 0; r < static_cast<usize>(rows); ++r) {
+    const I real = fill[r];
+    const I pad_col = real > 0
+                          ? ell_cols[r * static_cast<usize>(width) +
+                                     static_cast<usize>(real) - 1]
+                          : I{0};
+    for (I s = real; s < width; ++s) {
+      ell_cols[r * static_cast<usize>(width) + static_cast<usize>(s)] =
+          pad_col;
+    }
+  }
+  return Hyb<V, I>(
+      Ell<V, I>(rows, coo.cols(), width, ell_nnz, std::move(ell_cols),
+                std::move(ell_vals)),
+      Coo<V, I>(rows, coo.cols(), std::move(tail_rows), std::move(tail_cols),
+                std::move(tail_vals)));
+}
+
+/// HYB → COO.
+template <ValueType V, IndexType I>
+Coo<V, I> to_coo(const Hyb<V, I>& hyb) {
+  const Coo<V, I> ell_part = to_coo(hyb.ell());
+  AlignedVector<I> rows(ell_part.row_idx());
+  AlignedVector<I> cols(ell_part.col_idx());
+  AlignedVector<V> vals(ell_part.values());
+  rows.insert(rows.end(), hyb.tail().row_idx().begin(),
+              hyb.tail().row_idx().end());
+  cols.insert(cols.end(), hyb.tail().col_idx().begin(),
+              hyb.tail().col_idx().end());
+  vals.insert(vals.end(), hyb.tail().values().begin(),
+              hyb.tail().values().end());
+  return Coo<V, I>(hyb.rows(), hyb.cols(), std::move(rows), std::move(cols),
+                   std::move(vals));
+}
+
+/// Dense reference view of a sparse matrix (test helper; small matrices
+/// only — this materializes rows*cols values).
+template <ValueType V, IndexType I>
+Dense<V> to_dense(const Coo<V, I>& coo) {
+  Dense<V> d(static_cast<usize>(coo.rows()), static_cast<usize>(coo.cols()));
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    d.at(static_cast<usize>(coo.row(i)), static_cast<usize>(coo.col(i))) =
+        coo.value(i);
+  }
+  return d;
+}
+
+}  // namespace spmm

@@ -1,0 +1,158 @@
+// Coordinate (COO) sparse format.
+//
+// COO is the suite's root representation (paper §4.1): matrices are loaded
+// or generated as COO, every other format is built from it, and the
+// verification multiply runs on it. Entries are kept sorted row-major
+// (row, then column) with no duplicates — the canonical form every
+// converter relies on.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Coo {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Coo() = default;
+
+  /// Empty matrix of the given shape.
+  Coo(I rows, I cols) : rows_(rows), cols_(cols) {
+    SPMM_CHECK(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+  }
+
+  /// Build from parallel triplet arrays. Entries may arrive in any order
+  /// and are canonicalized (sorted, duplicate coordinates summed).
+  Coo(I rows, I cols, AlignedVector<I> row_idx, AlignedVector<I> col_idx,
+      AlignedVector<V> values)
+      : rows_(rows),
+        cols_(cols),
+        row_idx_(std::move(row_idx)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    SPMM_CHECK(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+    SPMM_CHECK(row_idx_.size() == col_idx_.size() &&
+                   row_idx_.size() == values_.size(),
+               "COO triplet arrays must have equal length");
+    for (usize i = 0; i < row_idx_.size(); ++i) {
+      SPMM_CHECK(row_idx_[i] >= 0 && row_idx_[i] < rows_,
+                 "COO row index out of range");
+      SPMM_CHECK(col_idx_[i] >= 0 && col_idx_[i] < cols_,
+                 "COO column index out of range");
+    }
+    canonicalize();
+  }
+
+  [[nodiscard]] I rows() const { return rows_; }
+  [[nodiscard]] I cols() const { return cols_; }
+  [[nodiscard]] usize nnz() const { return values_.size(); }
+
+  [[nodiscard]] const AlignedVector<I>& row_idx() const { return row_idx_; }
+  [[nodiscard]] const AlignedVector<I>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
+
+  /// Entry accessors (canonical order).
+  [[nodiscard]] I row(usize i) const { return row_idx_[i]; }
+  [[nodiscard]] I col(usize i) const { return col_idx_[i]; }
+  [[nodiscard]] V value(usize i) const { return values_[i]; }
+
+  /// Memory footprint in bytes (index + value arrays).
+  [[nodiscard]] std::size_t bytes() const {
+    return row_idx_.size() * sizeof(I) + col_idx_.size() * sizeof(I) +
+           values_.size() * sizeof(V);
+  }
+
+  /// Offsets of the first entry of each thread's row range when the nonzero
+  /// array is split into `parts` contiguous chunks aligned to row
+  /// boundaries. Returned vector has parts+1 entries; chunk p is
+  /// [out[p], out[p+1]). No two chunks share a row, so the parallel COO
+  /// kernel needs no atomics.
+  [[nodiscard]] std::vector<usize> row_aligned_partition(int parts) const {
+    SPMM_CHECK(parts > 0, "partition count must be positive");
+    std::vector<usize> bounds(static_cast<usize>(parts) + 1, nnz());
+    bounds[0] = 0;
+    for (int p = 1; p < parts; ++p) {
+      usize target = nnz() * static_cast<usize>(p) / static_cast<usize>(parts);
+      // Advance to the next row boundary.
+      while (target < nnz() && target > 0 &&
+             row_idx_[target] == row_idx_[target - 1]) {
+        ++target;
+      }
+      bounds[static_cast<usize>(p)] = target;
+    }
+    // Bounds must be monotone (advancing past a huge row can overtake the
+    // next split point).
+    for (int p = 1; p <= parts; ++p) {
+      bounds[static_cast<usize>(p)] = std::max(bounds[static_cast<usize>(p)],
+                                               bounds[static_cast<usize>(p) - 1]);
+    }
+    return bounds;
+  }
+
+  friend bool operator==(const Coo& a, const Coo& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_idx_ == b.row_idx_ && a.col_idx_ == b.col_idx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  void canonicalize() {
+    const usize n = values_.size();
+    if (n == 0) return;
+    bool sorted = true;
+    for (usize i = 1; i < n && sorted; ++i) {
+      sorted = std::tie(row_idx_[i - 1], col_idx_[i - 1]) <=
+               std::tie(row_idx_[i], col_idx_[i]);
+    }
+    if (!sorted) {
+      std::vector<usize> perm(n);
+      std::iota(perm.begin(), perm.end(), usize{0});
+      std::sort(perm.begin(), perm.end(), [&](usize a, usize b) {
+        return std::tie(row_idx_[a], col_idx_[a]) <
+               std::tie(row_idx_[b], col_idx_[b]);
+      });
+      AlignedVector<I> r(n), c(n);
+      AlignedVector<V> v(n);
+      for (usize i = 0; i < n; ++i) {
+        r[i] = row_idx_[perm[i]];
+        c[i] = col_idx_[perm[i]];
+        v[i] = values_[perm[i]];
+      }
+      row_idx_ = std::move(r);
+      col_idx_ = std::move(c);
+      values_ = std::move(v);
+    }
+    // Merge duplicates in place.
+    usize out = 0;
+    for (usize i = 1; i < n; ++i) {
+      if (row_idx_[i] == row_idx_[out] && col_idx_[i] == col_idx_[out]) {
+        values_[out] += values_[i];
+      } else {
+        ++out;
+        row_idx_[out] = row_idx_[i];
+        col_idx_[out] = col_idx_[i];
+        values_[out] = values_[i];
+      }
+    }
+    row_idx_.resize(out + 1);
+    col_idx_.resize(out + 1);
+    values_.resize(out + 1);
+  }
+
+  I rows_ = 0;
+  I cols_ = 0;
+  AlignedVector<I> row_idx_;
+  AlignedVector<I> col_idx_;
+  AlignedVector<V> values_;
+};
+
+}  // namespace spmm

@@ -1,0 +1,80 @@
+// Compressed sparse column (CSC) format.
+//
+// The column-major dual of CSR, used by the elastic-SpMM work the thesis
+// cites ([17], Choi & Lee). CSC makes SpMM interesting because rows of C
+// are no longer independent: every column of A scatters into many C
+// rows, so the row-parallel strategy the other formats use does not
+// apply. The kernels in kernels/spmm_csc.hpp parallelize over the k
+// dimension instead — each thread owns a slice of B/C columns — which is
+// exactly the SpMM-specific freedom (the k loop) the paper's studies
+// revolve around.
+#pragma once
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Csc {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Csc() = default;
+
+  Csc(I rows, I cols, AlignedVector<I> col_ptr, AlignedVector<I> row_idx,
+      AlignedVector<V> values)
+      : rows_(rows),
+        cols_(cols),
+        col_ptr_(std::move(col_ptr)),
+        row_idx_(std::move(row_idx)),
+        values_(std::move(values)) {
+    SPMM_CHECK(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+    SPMM_CHECK(col_ptr_.size() == static_cast<usize>(cols) + 1,
+               "CSC col_ptr must have cols+1 entries");
+    SPMM_CHECK(col_ptr_.front() == 0, "CSC col_ptr must start at 0");
+    for (usize c = 0; c < static_cast<usize>(cols); ++c) {
+      SPMM_CHECK(col_ptr_[c] <= col_ptr_[c + 1], "CSC col_ptr must be monotone");
+    }
+    SPMM_CHECK(static_cast<usize>(col_ptr_.back()) == row_idx_.size(),
+               "CSC col_ptr must end at nnz");
+    SPMM_CHECK(row_idx_.size() == values_.size(),
+               "CSC row_idx and values must have equal length");
+    for (I r : row_idx_) {
+      SPMM_CHECK(r >= 0 && r < rows_, "CSC row index out of range");
+    }
+  }
+
+  [[nodiscard]] I rows() const { return rows_; }
+  [[nodiscard]] I cols() const { return cols_; }
+  [[nodiscard]] usize nnz() const { return values_.size(); }
+
+  [[nodiscard]] const AlignedVector<I>& col_ptr() const { return col_ptr_; }
+  [[nodiscard]] const AlignedVector<I>& row_idx() const { return row_idx_; }
+  [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
+
+  /// Number of stored entries in column c.
+  [[nodiscard]] I col_nnz(I c) const { return col_ptr_[c + 1] - col_ptr_[c]; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return col_ptr_.size() * sizeof(I) + row_idx_.size() * sizeof(I) +
+           values_.size() * sizeof(V);
+  }
+
+  friend bool operator==(const Csc& a, const Csc& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.col_ptr_ == b.col_ptr_ && a.row_idx_ == b.row_idx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  AlignedVector<I> col_ptr_;
+  AlignedVector<I> row_idx_;
+  AlignedVector<V> values_;
+};
+
+}  // namespace spmm

@@ -1,0 +1,74 @@
+// Compressed sparse row (CSR) format: COO with the row array compressed
+// into rows+1 offsets.
+#pragma once
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Csr {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Csr() = default;
+
+  /// Assemble from raw arrays; validates the CSR invariants.
+  Csr(I rows, I cols, AlignedVector<I> row_ptr, AlignedVector<I> col_idx,
+      AlignedVector<V> values)
+      : rows_(rows),
+        cols_(cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    SPMM_CHECK(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+    SPMM_CHECK(row_ptr_.size() == static_cast<usize>(rows) + 1,
+               "CSR row_ptr must have rows+1 entries");
+    SPMM_CHECK(row_ptr_.front() == 0, "CSR row_ptr must start at 0");
+    for (usize r = 0; r < static_cast<usize>(rows); ++r) {
+      SPMM_CHECK(row_ptr_[r] <= row_ptr_[r + 1], "CSR row_ptr must be monotone");
+    }
+    SPMM_CHECK(static_cast<usize>(row_ptr_.back()) == col_idx_.size(),
+               "CSR row_ptr must end at nnz");
+    SPMM_CHECK(col_idx_.size() == values_.size(),
+               "CSR col_idx and values must have equal length");
+    for (I c : col_idx_) {
+      SPMM_CHECK(c >= 0 && c < cols_, "CSR column index out of range");
+    }
+  }
+
+  [[nodiscard]] I rows() const { return rows_; }
+  [[nodiscard]] I cols() const { return cols_; }
+  [[nodiscard]] usize nnz() const { return values_.size(); }
+
+  [[nodiscard]] const AlignedVector<I>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const AlignedVector<I>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
+
+  /// Number of stored entries in row r.
+  [[nodiscard]] I row_nnz(I r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// Memory footprint in bytes.
+  [[nodiscard]] std::size_t bytes() const {
+    return row_ptr_.size() * sizeof(I) + col_idx_.size() * sizeof(I) +
+           values_.size() * sizeof(V);
+  }
+
+  friend bool operator==(const Csr& a, const Csr& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_idx_ == b.col_idx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  AlignedVector<I> row_ptr_;
+  AlignedVector<I> col_idx_;
+  AlignedVector<V> values_;
+};
+
+}  // namespace spmm

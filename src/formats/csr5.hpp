@@ -1,0 +1,66 @@
+// CSR5-inspired tiled CSR (paper §6.3.1 future work, after Liu & Vinter
+// [26]).
+//
+// CSR5's essential idea is kept: the *nonzero array* is partitioned into
+// fixed-size tiles so parallel work is balanced by nnz, independent of
+// the row structure — a 3263-entry torso1 row simply spans several tiles
+// instead of serializing one thread. Rows crossing tile boundaries are
+// handled with per-tile partial sums merged in a cheap second phase
+// (kernels/spmm_csr5.hpp). The full CSR5 bit-flag/transposed-tile layout
+// and SIMD segmented sum are simplified away; the load-balance property
+// the format exists for is preserved. DESIGN.md records the substitution.
+//
+// Storage = CSR plus one index per tile: tile_row[t] is the row
+// containing the tile's first entry.
+#pragma once
+
+#include "formats/csr.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Csr5 {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Csr5() = default;
+
+  Csr5(Csr<V, I> csr, I tile_size, AlignedVector<I> tile_row)
+      : csr_(std::move(csr)),
+        tile_size_(tile_size),
+        tile_row_(std::move(tile_row)) {
+    SPMM_CHECK(tile_size_ > 0, "CSR5 tile size must be positive");
+    const usize expect =
+        (csr_.nnz() + static_cast<usize>(tile_size_) - 1) /
+        static_cast<usize>(tile_size_);
+    SPMM_CHECK(tile_row_.size() == expect,
+               "CSR5 tile_row must have one entry per tile");
+    for (usize t = 0; t < tile_row_.size(); ++t) {
+      SPMM_CHECK(tile_row_[t] >= 0 && tile_row_[t] < csr_.rows(),
+                 "CSR5 tile row out of range");
+      SPMM_CHECK(t == 0 || tile_row_[t] >= tile_row_[t - 1],
+                 "CSR5 tile rows must be monotone");
+    }
+  }
+
+  [[nodiscard]] I rows() const { return csr_.rows(); }
+  [[nodiscard]] I cols() const { return csr_.cols(); }
+  [[nodiscard]] usize nnz() const { return csr_.nnz(); }
+  [[nodiscard]] I tile_size() const { return tile_size_; }
+  [[nodiscard]] usize tiles() const { return tile_row_.size(); }
+
+  [[nodiscard]] const Csr<V, I>& csr() const { return csr_; }
+  [[nodiscard]] const AlignedVector<I>& tile_row() const { return tile_row_; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return csr_.bytes() + tile_row_.size() * sizeof(I);
+  }
+
+ private:
+  Csr<V, I> csr_;
+  I tile_size_ = 0;
+  AlignedVector<I> tile_row_;
+};
+
+}  // namespace spmm

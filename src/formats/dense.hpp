@@ -1,0 +1,98 @@
+// Dense matrix container used for the B and C operands of SpMM.
+//
+// B is n×k and C is m×k, both row-major by default. The transpose study
+// (paper Study 8) materializes Bᵀ as a k×n row-major matrix, which this
+// container's transposed() produces.
+#pragma once
+
+#include <algorithm>
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+/// Row-major dense matrix of ValueT.
+template <ValueType V>
+class Dense {
+ public:
+  Dense() = default;
+
+  /// Zero-initialized rows×cols matrix.
+  Dense(usize rows, usize cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, V{0}) {}
+
+  [[nodiscard]] usize rows() const { return rows_; }
+  [[nodiscard]] usize cols() const { return cols_; }
+  [[nodiscard]] usize size() const { return data_.size(); }
+
+  [[nodiscard]] V* data() { return data_.data(); }
+  [[nodiscard]] const V* data() const { return data_.data(); }
+
+  [[nodiscard]] V& at(usize r, usize c) {
+    SPMM_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const V& at(usize r, usize c) const {
+    SPMM_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Set every element to `v`.
+  void fill(V v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Fill with deterministic uniform values in [-1, 1).
+  void fill_random(Rng& rng) {
+    for (V& x : data_) x = static_cast<V>(rng.uniform(-1.0, 1.0));
+  }
+
+  /// Return the transpose as a new row-major matrix (cols×rows).
+  [[nodiscard]] Dense transposed() const {
+    Dense t(cols_, rows_);
+    // Blocked transpose for cache friendliness on large operands.
+    constexpr usize kTile = 32;
+    for (usize rb = 0; rb < rows_; rb += kTile) {
+      const usize re = std::min(rows_, rb + kTile);
+      for (usize cb = 0; cb < cols_; cb += kTile) {
+        const usize ce = std::min(cols_, cb + kTile);
+        for (usize r = rb; r < re; ++r) {
+          for (usize c = cb; c < ce; ++c) {
+            t.data_[c * rows_ + r] = data_[r * cols_ + c];
+          }
+        }
+      }
+    }
+    return t;
+  }
+
+  /// Memory footprint of the value storage in bytes.
+  [[nodiscard]] std::size_t bytes() const { return data_.size() * sizeof(V); }
+
+  friend bool operator==(const Dense& a, const Dense& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  usize rows_ = 0;
+  usize cols_ = 0;
+  AlignedVector<V> data_;
+};
+
+/// Maximum absolute elementwise difference between two equally-shaped
+/// matrices; used by the verification machinery.
+template <ValueType V>
+double max_abs_diff(const Dense<V>& a, const Dense<V>& b) {
+  SPMM_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (usize i = 0; i < a.size(); ++i) {
+    const double d = std::abs(static_cast<double>(a.data()[i]) -
+                              static_cast<double>(b.data()[i]));
+    m = std::max(m, d);
+  }
+  return m;
+}
+
+}  // namespace spmm

@@ -1,0 +1,86 @@
+// ELLPACK (ELL) format.
+//
+// Every row stores exactly `width` entries where `width` is the maximum
+// row nonzero count; shorter rows are padded (paper §2.2). The padding
+// strategy follows the thesis: padded slots repeat the row's last real
+// column index (or 0 for empty rows) with a zero value, keeping the pad
+// reads spatially close to real data. Storage is row-major
+// (slot index = row*width + s), chosen for CPU k-panel locality; the
+// layout choice is ablated in bench_kernels_micro.
+#pragma once
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Ell {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Ell() = default;
+
+  /// Assemble from padded arrays. `col_idx` and `values` must both have
+  /// rows*width entries, row-major.
+  Ell(I rows, I cols, I width, usize nnz, AlignedVector<I> col_idx,
+      AlignedVector<V> values)
+      : rows_(rows),
+        cols_(cols),
+        width_(width),
+        nnz_(nnz),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    SPMM_CHECK(rows >= 0 && cols >= 0 && width >= 0,
+               "ELL shape must be non-negative");
+    const usize expect = static_cast<usize>(rows) * static_cast<usize>(width);
+    SPMM_CHECK(col_idx_.size() == expect, "ELL col_idx must be rows*width");
+    SPMM_CHECK(values_.size() == expect, "ELL values must be rows*width");
+    SPMM_CHECK(nnz_ <= expect, "ELL nnz exceeds padded capacity");
+    for (I c : col_idx_) {
+      SPMM_CHECK(c >= 0 && (c < cols_ || (cols_ == 0 && c == 0)),
+                 "ELL column index out of range");
+    }
+  }
+
+  [[nodiscard]] I rows() const { return rows_; }
+  [[nodiscard]] I cols() const { return cols_; }
+  /// Entries stored per row (maximum row nonzero count).
+  [[nodiscard]] I width() const { return width_; }
+  /// True (unpadded) nonzero count.
+  [[nodiscard]] usize nnz() const { return nnz_; }
+  /// Stored entries including padding.
+  [[nodiscard]] usize padded_nnz() const { return values_.size(); }
+  /// padded_nnz / nnz — the wasted-work multiplier the paper's "column
+  /// ratio" metric predicts.
+  [[nodiscard]] double padding_ratio() const {
+    return nnz_ == 0 ? 1.0
+                     : static_cast<double>(padded_nnz()) /
+                           static_cast<double>(nnz_);
+  }
+
+  [[nodiscard]] const AlignedVector<I>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return col_idx_.size() * sizeof(I) + values_.size() * sizeof(V);
+  }
+
+  friend bool operator==(const Ell& a, const Ell& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.width_ == b.width_ &&
+           a.nnz_ == b.nnz_ && a.col_idx_ == b.col_idx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  I width_ = 0;
+  usize nnz_ = 0;
+  AlignedVector<I> col_idx_;
+  AlignedVector<V> values_;
+};
+
+}  // namespace spmm

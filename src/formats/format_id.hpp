@@ -1,0 +1,97 @@
+// Enumeration of the sparse formats implemented by the suite.
+#pragma once
+
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace spmm {
+
+/// The paper's four core formats plus the two future-work formats (§6.3.1).
+enum class Format {
+  kCoo,
+  kCsr,
+  kEll,
+  kBcsr,
+  kBell,
+  kSellC,
+  kHyb,
+  kCsr5,
+};
+
+inline constexpr Format kCoreFormats[] = {Format::kCoo, Format::kCsr,
+                                          Format::kEll, Format::kBcsr};
+inline constexpr Format kAllFormats[] = {Format::kCoo,  Format::kCsr,
+                                         Format::kEll,  Format::kBcsr,
+                                         Format::kBell, Format::kSellC,
+                                         Format::kHyb,  Format::kCsr5};
+
+constexpr std::string_view format_name(Format f) {
+  switch (f) {
+    case Format::kCoo: return "COO";
+    case Format::kCsr: return "CSR";
+    case Format::kEll: return "ELL";
+    case Format::kBcsr: return "BCSR";
+    case Format::kBell: return "BELL";
+    case Format::kSellC: return "SELL-C";
+    case Format::kHyb: return "HYB";
+    case Format::kCsr5: return "CSR5";
+  }
+  return "?";
+}
+
+inline Format format_from_name(std::string_view name) {
+  if (name == "COO" || name == "coo") return Format::kCoo;
+  if (name == "CSR" || name == "csr") return Format::kCsr;
+  if (name == "ELL" || name == "ell" || name == "ELLPACK") return Format::kEll;
+  if (name == "BCSR" || name == "bcsr") return Format::kBcsr;
+  if (name == "BELL" || name == "bell") return Format::kBell;
+  if (name == "SELL-C" || name == "sellc" || name == "sell-c") return Format::kSellC;
+  if (name == "HYB" || name == "hyb") return Format::kHyb;
+  if (name == "CSR5" || name == "csr5") return Format::kCsr5;
+  SPMM_FAIL("unknown format name: " + std::string(name));
+}
+
+/// Kernel execution variants (paper §4.2: serial, parallel, GPU, and the
+/// transpose form of each).
+enum class Variant {
+  kSerial,
+  kParallel,
+  kDevice,
+  kSerialTranspose,
+  kParallelTranspose,
+  kDeviceTranspose,
+};
+
+inline constexpr Variant kAllVariants[] = {
+    Variant::kSerial,          Variant::kParallel,
+    Variant::kDevice,          Variant::kSerialTranspose,
+    Variant::kParallelTranspose, Variant::kDeviceTranspose,
+};
+
+constexpr std::string_view variant_name(Variant v) {
+  switch (v) {
+    case Variant::kSerial: return "serial";
+    case Variant::kParallel: return "omp";
+    case Variant::kDevice: return "gpu";
+    case Variant::kSerialTranspose: return "serial-T";
+    case Variant::kParallelTranspose: return "omp-T";
+    case Variant::kDeviceTranspose: return "gpu-T";
+  }
+  return "?";
+}
+
+constexpr bool variant_is_transpose(Variant v) {
+  return v == Variant::kSerialTranspose || v == Variant::kParallelTranspose ||
+         v == Variant::kDeviceTranspose;
+}
+
+constexpr bool variant_is_parallel(Variant v) {
+  return v == Variant::kParallel || v == Variant::kParallelTranspose;
+}
+
+constexpr bool variant_is_device(Variant v) {
+  return v == Variant::kDevice || v == Variant::kDeviceTranspose;
+}
+
+}  // namespace spmm

@@ -1,0 +1,62 @@
+// HYB (hybrid ELL + COO) format — an additional extension format in the
+// spirit of the paper's §6.3.1 future work. HYB is the classic remedy
+// for ELL's failure mode on high-column-ratio matrices (torso1, ratio
+// 44): rows keep their first `width` entries in a regular ELL region and
+// spill the remainder into a small COO tail, so one heavy row no longer
+// inflates every row's padding.
+#pragma once
+
+#include "formats/coo.hpp"
+#include "formats/ell.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class Hyb {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  Hyb() = default;
+
+  Hyb(Ell<V, I> ell, Coo<V, I> tail)
+      : ell_(std::move(ell)), tail_(std::move(tail)) {
+    SPMM_CHECK(ell_.rows() == tail_.rows() && ell_.cols() == tail_.cols(),
+               "HYB: ELL region and COO tail must share the matrix shape");
+  }
+
+  [[nodiscard]] I rows() const { return ell_.rows(); }
+  [[nodiscard]] I cols() const { return ell_.cols(); }
+  /// ELL region width (entries kept per row before spilling).
+  [[nodiscard]] I width() const { return ell_.width(); }
+  /// True nonzero count (ELL region + tail).
+  [[nodiscard]] usize nnz() const { return ell_.nnz() + tail_.nnz(); }
+  /// Stored entries including ELL padding.
+  [[nodiscard]] usize padded_nnz() const {
+    return ell_.padded_nnz() + tail_.nnz();
+  }
+  [[nodiscard]] double padding_ratio() const {
+    return nnz() == 0 ? 1.0
+                      : static_cast<double>(padded_nnz()) /
+                            static_cast<double>(nnz());
+  }
+  /// Fraction of true nonzeros that spilled to the COO tail.
+  [[nodiscard]] double tail_fraction() const {
+    return nnz() == 0 ? 0.0
+                      : static_cast<double>(tail_.nnz()) /
+                            static_cast<double>(nnz());
+  }
+
+  [[nodiscard]] const Ell<V, I>& ell() const { return ell_; }
+  [[nodiscard]] const Coo<V, I>& tail() const { return tail_; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return ell_.bytes() + tail_.bytes();
+  }
+
+ private:
+  Ell<V, I> ell_;
+  Coo<V, I> tail_;
+};
+
+}  // namespace spmm

@@ -1,0 +1,16 @@
+#include "formats/properties.hpp"
+
+#include "support/string_util.hpp"
+
+namespace spmm {
+
+std::ostream& operator<<(std::ostream& os, const MatrixProperties& p) {
+  os << p.name << ": size=" << p.rows << "x" << p.cols << " nnz=" << p.nnz
+     << " max=" << p.max_row_nnz << " avg=" << format_double(p.avg_row_nnz, 1)
+     << " ratio=" << format_double(p.column_ratio, 1)
+     << " var=" << format_double(p.row_nnz_variance, 1)
+     << " stddev=" << format_double(p.row_nnz_stddev, 1);
+  return os;
+}
+
+}  // namespace spmm

@@ -1,0 +1,158 @@
+// Matrix property metrics (paper §4.3 / Table 5.1).
+//
+// Rows, columns, nonzeros, and the per-row nonzero-count statistics the
+// thesis reports: maximum, average, column ratio (max/avg), variance, and
+// standard deviation. The extra locality metrics (mean column distance,
+// per-block-size BCSR fill estimates, ELL padding ratio) feed the
+// performance model; the thesis's conclusion (§6.2) motivates them — "a
+// low column ratio does help, but spatial locality of the non-zeros is
+// ultimately best".
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/stats.hpp"
+
+namespace spmm {
+
+/// The Table 5.1 row for one matrix, plus locality metrics.
+struct MatrixProperties {
+  std::string name;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = 0;
+  /// Maximum nonzeros in any row ("Max").
+  std::int64_t max_row_nnz = 0;
+  /// Average nonzeros per row ("Avg").
+  double avg_row_nnz = 0.0;
+  /// max/avg ("Ratio") — the paper's headline blocked-format predictor.
+  double column_ratio = 0.0;
+  /// Population variance of per-row counts ("Variance").
+  double row_nnz_variance = 0.0;
+  /// Population standard deviation ("Std Dev").
+  double row_nnz_stddev = 0.0;
+
+  // --- locality metrics beyond Table 5.1 ---
+  /// Mean |col - row| over nonzeros, normalized by cols: 0 = diagonal,
+  /// → 0.5 for uniformly scattered. Proxy for B-panel reuse distance.
+  double normalized_bandwidth = 0.0;
+  /// Mean gap between consecutive column indices within a row, normalized
+  /// by cols. Small gaps = clustered rows = blocked formats pay less fill.
+  double normalized_row_gap = 0.0;
+  /// ELL padded/true entry ratio (rows*max / nnz).
+  double ell_padding_ratio = 1.0;
+};
+
+/// Compute all metrics from a COO matrix.
+template <ValueType V, IndexType I>
+MatrixProperties compute_properties(const Coo<V, I>& coo,
+                                    std::string name = {}) {
+  MatrixProperties p;
+  p.name = std::move(name);
+  p.rows = coo.rows();
+  p.cols = coo.cols();
+  p.nnz = static_cast<std::int64_t>(coo.nnz());
+
+  RunningStats row_stats;
+  double gap_sum = 0.0;
+  std::int64_t gap_count = 0;
+  double band_sum = 0.0;
+
+  usize i = 0;
+  for (I r = 0; r < coo.rows(); ++r) {
+    std::int64_t count = 0;
+    I prev_col = -1;
+    while (i < coo.nnz() && coo.row(i) == r) {
+      ++count;
+      band_sum += std::abs(static_cast<double>(coo.col(i)) -
+                           static_cast<double>(r));
+      if (prev_col >= 0) {
+        gap_sum += static_cast<double>(coo.col(i) - prev_col);
+        ++gap_count;
+      }
+      prev_col = coo.col(i);
+      ++i;
+    }
+    row_stats.add(static_cast<double>(count));
+  }
+
+  p.max_row_nnz = static_cast<std::int64_t>(row_stats.max());
+  p.avg_row_nnz = row_stats.mean();
+  p.column_ratio = p.avg_row_nnz > 0
+                       ? static_cast<double>(p.max_row_nnz) / p.avg_row_nnz
+                       : 0.0;
+  p.row_nnz_variance = row_stats.variance();
+  p.row_nnz_stddev = row_stats.stddev();
+
+  const double denom_cols = p.cols > 0 ? static_cast<double>(p.cols) : 1.0;
+  p.normalized_bandwidth =
+      p.nnz > 0 ? band_sum / static_cast<double>(p.nnz) / denom_cols : 0.0;
+  p.normalized_row_gap =
+      gap_count > 0 ? gap_sum / static_cast<double>(gap_count) / denom_cols
+                    : 0.0;
+  p.ell_padding_ratio =
+      p.nnz > 0 ? static_cast<double>(p.rows) *
+                      static_cast<double>(p.max_row_nnz) /
+                      static_cast<double>(p.nnz)
+                : 1.0;
+  return p;
+}
+
+/// Number of b×b blocks a BCSR formatting of `coo` would store, without
+/// materializing the format. Used by the performance model to estimate
+/// fill for arbitrary block sizes cheaply.
+template <ValueType V, IndexType I>
+std::int64_t count_bcsr_blocks(const Coo<V, I>& coo, I block_size) {
+  SPMM_CHECK(block_size > 0, "block size must be positive");
+  std::int64_t blocks = 0;
+  I prev_brow = -1;
+  I prev_bcol = -1;
+  // COO is row-major sorted, so entries of one block row are consecutive;
+  // within a block row, distinct block columns may interleave across the
+  // b constituent rows, so track them in a small set per block row.
+  std::vector<I> seen;
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    const I brow = coo.row(i) / block_size;
+    const I bcol = coo.col(i) / block_size;
+    if (brow != prev_brow) {
+      std::sort(seen.begin(), seen.end());
+      blocks += static_cast<std::int64_t>(
+          std::unique(seen.begin(), seen.end()) - seen.begin());
+      seen.clear();
+      prev_brow = brow;
+      prev_bcol = -1;
+    }
+    if (bcol != prev_bcol) {
+      seen.push_back(bcol);
+      prev_bcol = bcol;
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  blocks += static_cast<std::int64_t>(
+      std::unique(seen.begin(), seen.end()) - seen.begin());
+  return blocks;
+}
+
+/// BCSR fill ratio (true nnz / stored entries) for a block size, computed
+/// without building the format.
+template <ValueType V, IndexType I>
+double estimate_bcsr_fill(const Coo<V, I>& coo, I block_size) {
+  const std::int64_t blocks = count_bcsr_blocks(coo, block_size);
+  if (blocks == 0) return 1.0;
+  const double stored = static_cast<double>(blocks) *
+                        static_cast<double>(block_size) *
+                        static_cast<double>(block_size);
+  return static_cast<double>(coo.nnz()) / stored;
+}
+
+/// Render the Table 5.1 row ("Size  Non-zeros  Max  Avg  Ratio  Variance
+/// Std Dev") to a stream.
+std::ostream& operator<<(std::ostream& os, const MatrixProperties& p);
+
+}  // namespace spmm

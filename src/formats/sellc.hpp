@@ -1,0 +1,108 @@
+// SELL-C-σ (sliced ELLPACK with row sorting), after Anzt et al. — cited by
+// the thesis ([13]) and adjacent to its CSR5 future-work item (§6.3.1).
+//
+// Rows are sorted by descending nonzero count inside windows of σ rows,
+// then grouped into chunks of C consecutive sorted rows. Each chunk is
+// padded to its own width and stored column-major within the chunk
+// (entry = chunk_offset + slot*C + lane), which is the SIMD/GPU-friendly
+// lane layout. A permutation array maps chunk lanes back to original rows.
+#pragma once
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+class SellC {
+ public:
+  using value_type = V;
+  using index_type = I;
+
+  SellC() = default;
+
+  SellC(I rows, I cols, I chunk_size, I sigma, usize nnz,
+        AlignedVector<I> perm, AlignedVector<I> chunk_width,
+        AlignedVector<usize> chunk_offset, AlignedVector<I> col_idx,
+        AlignedVector<V> values)
+      : rows_(rows),
+        cols_(cols),
+        chunk_size_(chunk_size),
+        sigma_(sigma),
+        nnz_(nnz),
+        perm_(std::move(perm)),
+        chunk_width_(std::move(chunk_width)),
+        chunk_offset_(std::move(chunk_offset)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    SPMM_CHECK(rows >= 0 && cols >= 0, "matrix shape must be non-negative");
+    SPMM_CHECK(chunk_size > 0, "SELL-C chunk size must be positive");
+    SPMM_CHECK(sigma > 0, "SELL-C sigma must be positive");
+    SPMM_CHECK(perm_.size() == static_cast<usize>(rows),
+               "SELL-C perm must have one entry per row");
+    const I nc = chunks();
+    SPMM_CHECK(chunk_width_.size() == static_cast<usize>(nc),
+               "SELL-C chunk_width must have one entry per chunk");
+    SPMM_CHECK(chunk_offset_.size() == static_cast<usize>(nc) + 1,
+               "SELL-C chunk_offset must have chunks+1 entries");
+    for (I c = 0; c < nc; ++c) {
+      SPMM_CHECK(chunk_offset_[c + 1] - chunk_offset_[c] ==
+                     static_cast<usize>(chunk_size_) *
+                         static_cast<usize>(chunk_width_[c]),
+                 "SELL-C chunk extent must be C*width");
+    }
+    SPMM_CHECK(col_idx_.size() == values_.size(),
+               "SELL-C col_idx and values must have equal length");
+    SPMM_CHECK(chunk_offset_.empty() || chunk_offset_.back() == values_.size(),
+               "SELL-C offsets must end at the storage size");
+  }
+
+  [[nodiscard]] I rows() const { return rows_; }
+  [[nodiscard]] I cols() const { return cols_; }
+  [[nodiscard]] I chunk_size() const { return chunk_size_; }
+  [[nodiscard]] I sigma() const { return sigma_; }
+  [[nodiscard]] I chunks() const {
+    return chunk_size_ == 0 ? 0 : (rows_ + chunk_size_ - 1) / chunk_size_;
+  }
+  [[nodiscard]] usize nnz() const { return nnz_; }
+  [[nodiscard]] usize padded_nnz() const { return values_.size(); }
+  [[nodiscard]] double padding_ratio() const {
+    return nnz_ == 0 ? 1.0
+                     : static_cast<double>(padded_nnz()) /
+                           static_cast<double>(nnz_);
+  }
+
+  /// perm()[sorted_position] = original row stored at that position, where
+  /// sorted_position = chunk*C + lane. Kernels guard positions >= rows()
+  /// (the final chunk's unused lanes).
+  [[nodiscard]] const AlignedVector<I>& perm() const { return perm_; }
+  [[nodiscard]] const AlignedVector<I>& chunk_width() const {
+    return chunk_width_;
+  }
+  [[nodiscard]] const AlignedVector<usize>& chunk_offset() const {
+    return chunk_offset_;
+  }
+  [[nodiscard]] const AlignedVector<I>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return perm_.size() * sizeof(I) + chunk_width_.size() * sizeof(I) +
+           chunk_offset_.size() * sizeof(usize) +
+           col_idx_.size() * sizeof(I) + values_.size() * sizeof(V);
+  }
+
+ private:
+  I rows_ = 0;
+  I cols_ = 0;
+  I chunk_size_ = 0;
+  I sigma_ = 0;
+  usize nnz_ = 0;
+  AlignedVector<I> perm_;
+  AlignedVector<I> chunk_width_;
+  AlignedVector<usize> chunk_offset_;
+  AlignedVector<I> col_idx_;
+  AlignedVector<V> values_;
+};
+
+}  // namespace spmm

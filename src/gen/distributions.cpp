@@ -1,0 +1,41 @@
+#include "gen/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace spmm::gen {
+
+std::int64_t sample_row_nnz(const RowDistSpec& spec, Rng& rng) {
+  SPMM_CHECK(spec.mean > 0, "row distribution mean must be positive");
+  SPMM_CHECK(spec.min_nnz >= 0 && spec.max_nnz >= spec.min_nnz,
+             "row distribution clamp range is invalid");
+
+  if (spec.heavy_fraction > 0.0 && rng.uniform() < spec.heavy_fraction) {
+    const std::int64_t lo = std::max<std::int64_t>(spec.heavy_min, 1);
+    const std::int64_t hi = std::max(spec.heavy_max, lo);
+    return lo + static_cast<std::int64_t>(
+                    rng.uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double x = spec.mean;
+  switch (spec.kind) {
+    case RowDist::kConstant:
+      x = spec.mean;
+      break;
+    case RowDist::kUniform:
+      x = rng.uniform(spec.mean - spec.spread, spec.mean + spec.spread);
+      break;
+    case RowDist::kNormal:
+      x = rng.normal(spec.mean, spec.spread);
+      break;
+    case RowDist::kLogNormal:
+      x = std::exp(rng.normal(std::log(spec.mean), spec.spread));
+      break;
+  }
+  auto n = static_cast<std::int64_t>(std::llround(x));
+  return std::clamp(n, spec.min_nnz, spec.max_nnz);
+}
+
+}  // namespace spmm::gen

@@ -1,0 +1,54 @@
+// Per-row nonzero-count distributions for synthetic matrix generation.
+//
+// The thesis's analysis keys off Table 5.1's row statistics (max, avg,
+// column ratio, variance); these distributions let a profile dial in those
+// statistics. Every spec supports an optional heavy-tail mixture — a small
+// fraction of rows drawing from a much larger range — which models
+// matrices like torso1 (ratio 44: a handful of ~3263-nnz rows over a ~73
+// average).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace spmm::gen {
+
+enum class RowDist {
+  /// Every row gets exactly `mean` entries (variance 0 profiles).
+  kConstant,
+  /// Uniform integer in [mean - spread, mean + spread].
+  kUniform,
+  /// Normal(mean, spread), clamped to [min_nnz, max_nnz].
+  kNormal,
+  /// exp(Normal(log(mean), spread)), clamped — right-skewed FEM-like rows.
+  kLogNormal,
+};
+
+/// Specification of the per-row nonzero-count distribution.
+struct RowDistSpec {
+  RowDist kind = RowDist::kConstant;
+  double mean = 8.0;
+  /// Interpretation depends on kind: half-width (uniform), std-dev
+  /// (normal), log-space sigma (log-normal). Ignored for constant.
+  double spread = 0.0;
+  /// Hard clamp applied after sampling.
+  std::int64_t min_nnz = 1;
+  std::int64_t max_nnz = 1 << 20;
+
+  /// Heavy-tail mixture: with probability heavy_fraction a row instead
+  /// draws uniformly from [heavy_min, heavy_max].
+  double heavy_fraction = 0.0;
+  std::int64_t heavy_min = 0;
+  std::int64_t heavy_max = 0;
+
+  /// When true the generator forces one designated row to exactly
+  /// max_nnz, pinning the "Max" column of Table 5.1.
+  bool force_max_row = true;
+};
+
+/// Draw one row's nonzero count. Never exceeds `cols` (the caller clamps
+/// to matrix width separately).
+std::int64_t sample_row_nnz(const RowDistSpec& spec, Rng& rng);
+
+}  // namespace spmm::gen

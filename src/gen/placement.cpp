@@ -1,0 +1,157 @@
+#include "gen/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace spmm::gen {
+
+namespace {
+
+/// Deduplicate-and-top-up: keep sampling until `count` distinct columns
+/// are collected. Row counts are tiny relative to cols, so collisions are
+/// rare and this terminates quickly; a final fallback widens to a linear
+/// sweep when the request nearly saturates the row.
+void make_distinct(std::vector<std::int64_t>& cols_out, std::int64_t cols,
+                   std::int64_t count, Rng& rng) {
+  std::sort(cols_out.begin(), cols_out.end());
+  cols_out.erase(std::unique(cols_out.begin(), cols_out.end()),
+                 cols_out.end());
+  int attempts = 0;
+  while (static_cast<std::int64_t>(cols_out.size()) < count &&
+         attempts < 64) {
+    const std::int64_t missing =
+        count - static_cast<std::int64_t>(cols_out.size());
+    for (std::int64_t i = 0; i < missing; ++i) {
+      cols_out.push_back(static_cast<std::int64_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(cols))));
+    }
+    std::sort(cols_out.begin(), cols_out.end());
+    cols_out.erase(std::unique(cols_out.begin(), cols_out.end()),
+                   cols_out.end());
+    ++attempts;
+  }
+  if (static_cast<std::int64_t>(cols_out.size()) < count) {
+    // Nearly dense row: take the first free columns left-to-right.
+    std::vector<bool> used(static_cast<std::size_t>(cols), false);
+    for (std::int64_t c : cols_out) used[static_cast<std::size_t>(c)] = true;
+    for (std::int64_t c = 0;
+         c < cols && static_cast<std::int64_t>(cols_out.size()) < count; ++c) {
+      if (!used[static_cast<std::size_t>(c)]) cols_out.push_back(c);
+    }
+    std::sort(cols_out.begin(), cols_out.end());
+  }
+}
+
+std::int64_t clamp_col(std::int64_t c, std::int64_t cols) {
+  return std::clamp<std::int64_t>(c, 0, cols - 1);
+}
+
+}  // namespace
+
+std::vector<std::int64_t> place_columns(const PlacementSpec& spec,
+                                        std::int64_t row, std::int64_t rows,
+                                        std::int64_t cols, std::int64_t count,
+                                        Rng& rng) {
+  SPMM_CHECK(cols > 0, "placement requires at least one column");
+  SPMM_CHECK(rows > 0, "placement requires at least one row");
+  count = std::min(count, cols);
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  if (count <= 0) return out;
+
+  // Map the row position onto the column axis (square in practice, but
+  // keep rectangular matrices sensible).
+  const std::int64_t diag =
+      rows > 1 ? row * (cols - 1) / (rows - 1) : 0;
+
+  switch (spec.kind) {
+    case Placement::kBanded: {
+      const std::int64_t half = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(spec.bandwidth_frac *
+                                       static_cast<double>(cols)));
+      const std::int64_t lo = clamp_col(diag - half, cols);
+      const std::int64_t hi = clamp_col(diag + half, cols);
+      const std::int64_t window = hi - lo + 1;
+      if (window <= count) {
+        // Window too narrow: take it whole, then top up at the edges.
+        for (std::int64_t c = lo; c <= hi; ++c) out.push_back(c);
+        make_distinct(out, cols, count, rng);
+      } else {
+        for (std::int64_t i = 0; i < count; ++i) {
+          out.push_back(lo + static_cast<std::int64_t>(rng.uniform_index(
+                                 static_cast<std::uint64_t>(window))));
+        }
+        // Collision top-up stays inside the window first.
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        while (static_cast<std::int64_t>(out.size()) < count) {
+          out.push_back(lo + static_cast<std::int64_t>(rng.uniform_index(
+                                 static_cast<std::uint64_t>(window))));
+          std::sort(out.begin(), out.end());
+          out.erase(std::unique(out.begin(), out.end()), out.end());
+        }
+      }
+      break;
+    }
+    case Placement::kClustered: {
+      const std::int64_t run =
+          std::max<std::int64_t>(1, spec.cluster_size);
+      const std::int64_t vert =
+          std::max<std::int64_t>(1, spec.vertical_rows);
+      const double spread = std::max(
+          1.0, spec.cluster_spread_frac * static_cast<double>(cols));
+      // All rows of one vertical group draw cluster starts from the same
+      // deterministic stream, so the group shares columns and the blocks
+      // are dense in both dimensions.
+      const std::uint64_t group =
+          static_cast<std::uint64_t>(row / vert) + 1;
+      std::uint64_t sm = spec.seed ^ (group * 0x9e3779b97f4a7c15ULL);
+      Rng local(splitmix64(sm));
+      const std::int64_t group_center =
+          std::min((row / vert) * vert + vert / 2, rows - 1);
+      const std::int64_t gdiag =
+          rows > 1 ? group_center * (cols - 1) / (rows - 1) : 0;
+      // Emit aligned runs from the group's deterministic stream until
+      // `count` distinct columns accumulate; overlapping runs are
+      // deduplicated and replaced by further runs (never by uniform
+      // scatter, which would dilute the block fill).
+      int guard = 0;
+      while (static_cast<std::int64_t>(out.size()) < count &&
+             guard < 4 * static_cast<int>(count) + 64) {
+        ++guard;
+        // Starts align to the vertical group size, as FEM degrees of
+        // freedom align node blocks: unaligned runs would straddle block
+        // boundaries and halve the BCSR fill.
+        std::int64_t start = clamp_col(
+            gdiag + static_cast<std::int64_t>(
+                        std::llround(local.normal(0.0, spread))),
+            cols);
+        start = start / vert * vert;
+        for (std::int64_t j = 0; j < run && start + j < cols; ++j) {
+          out.push_back(start + j);
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+      }
+      if (static_cast<std::int64_t>(out.size()) < count) {
+        make_distinct(out, cols, count, local);
+      } else {
+        out.resize(static_cast<std::size_t>(count));
+      }
+      break;
+    }
+    case Placement::kScattered: {
+      for (std::int64_t i = 0; i < count; ++i) {
+        out.push_back(static_cast<std::int64_t>(
+            rng.uniform_index(static_cast<std::uint64_t>(cols))));
+      }
+      make_distinct(out, cols, count, rng);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace spmm::gen

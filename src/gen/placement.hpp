@@ -1,0 +1,52 @@
+// Column placement strategies for synthetic matrix generation.
+//
+// Where a row's nonzeros land determines the locality behaviour the
+// thesis's conclusion (§6.2) singles out: banded/clustered layouts keep
+// B-panel accesses close (blocked formats pay little fill), scattered
+// layouts thrash the cache regardless of blocking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace spmm::gen {
+
+enum class Placement {
+  /// Columns inside a window centered on the diagonal (stencil/banded
+  /// matrices: af23560, dw4096, shallow_water1, cant).
+  kBanded,
+  /// Runs of consecutive columns whose starts cluster near the diagonal
+  /// (FEM matrices: bcsstk*, crankseg_2, nd24k, pdb1HYS, rma10, x104).
+  kClustered,
+  /// Uniform over the full row (cop20k_A, 2cubes_sphere, torso1 tail).
+  kScattered,
+};
+
+struct PlacementSpec {
+  Placement kind = Placement::kBanded;
+  /// Banded: window half-width as a fraction of cols.
+  double bandwidth_frac = 0.05;
+  /// Clustered: length of each consecutive-column run.
+  std::int64_t cluster_size = 8;
+  /// Clustered: std-dev of cluster-start offsets from the diagonal, as a
+  /// fraction of cols.
+  double cluster_spread_frac = 0.1;
+  /// Clustered: rows per vertical group. Rows in one group share their
+  /// cluster columns, producing the 2D dense blocks FEM matrices have —
+  /// without this, BCSR tiles would only ever be one row deep.
+  std::int64_t vertical_rows = 4;
+  /// Structural seed (set by the generator); cluster positions derive
+  /// from it per vertical group so the structure is deterministic.
+  std::uint64_t seed = 0;
+};
+
+/// Choose `count` distinct, sorted column indices in [0, cols) for `row`.
+/// `count` is clamped to cols. Deterministic given `rng` state.
+std::vector<std::int64_t> place_columns(const PlacementSpec& spec,
+                                        std::int64_t row, std::int64_t rows,
+                                        std::int64_t cols, std::int64_t count,
+                                        Rng& rng);
+
+}  // namespace spmm::gen

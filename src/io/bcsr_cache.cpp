@@ -1,0 +1,121 @@
+#include "io/bcsr_cache.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace spmm::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'S', 'P', 'M', 'M',
+                                        'B', 'C', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  SPMM_CHECK(in.good(), "BCSR cache: truncated input");
+  return v;
+}
+
+template <class T>
+void write_array(std::ostream& out, const spmm::AlignedVector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+spmm::AlignedVector<T> read_array(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  spmm::AlignedVector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  SPMM_CHECK(in.good(), "BCSR cache: truncated array");
+  return v;
+}
+
+}  // namespace
+
+template <ValueType V, IndexType I>
+void write_bcsr_cache(std::ostream& out, const Bcsr<V, I>& bcsr) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod<std::uint8_t>(out, sizeof(V));
+  write_pod<std::uint8_t>(out, sizeof(I));
+  write_pod<std::int64_t>(out, bcsr.rows());
+  write_pod<std::int64_t>(out, bcsr.cols());
+  write_pod<std::int64_t>(out, bcsr.block_size());
+  write_pod<std::uint64_t>(out, bcsr.nnz());
+  write_array(out, bcsr.block_row_ptr());
+  write_array(out, bcsr.block_col_idx());
+  write_array(out, bcsr.values());
+  SPMM_CHECK(out.good(), "BCSR cache: write failed");
+}
+
+template <ValueType V, IndexType I>
+Bcsr<V, I> read_bcsr_cache(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  SPMM_CHECK(in.good() && magic == kMagic, "BCSR cache: bad magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  SPMM_CHECK(version == kVersion, "BCSR cache: unsupported version " +
+                                      std::to_string(version));
+  const auto vw = read_pod<std::uint8_t>(in);
+  const auto iw = read_pod<std::uint8_t>(in);
+  SPMM_CHECK(vw == sizeof(V), "BCSR cache: value width mismatch");
+  SPMM_CHECK(iw == sizeof(I), "BCSR cache: index width mismatch");
+
+  const auto rows = read_pod<std::int64_t>(in);
+  const auto cols = read_pod<std::int64_t>(in);
+  const auto block = read_pod<std::int64_t>(in);
+  const auto nnz = read_pod<std::uint64_t>(in);
+  auto row_ptr = read_array<I>(in);
+  auto col_idx = read_array<I>(in);
+  auto values = read_array<V>(in);
+
+  return Bcsr<V, I>(static_cast<I>(rows), static_cast<I>(cols),
+                    static_cast<I>(block), nnz, std::move(row_ptr),
+                    std::move(col_idx), std::move(values));
+}
+
+template <ValueType V, IndexType I>
+void write_bcsr_cache_file(const std::string& path, const Bcsr<V, I>& bcsr) {
+  std::ofstream out(path, std::ios::binary);
+  SPMM_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_bcsr_cache(out, bcsr);
+}
+
+template <ValueType V, IndexType I>
+Bcsr<V, I> read_bcsr_cache_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPMM_CHECK(in.good(), "cannot open BCSR cache file: " + path);
+  return read_bcsr_cache<V, I>(in);
+}
+
+#define SPMM_INSTANTIATE_CACHE(V, I)                                       \
+  template void write_bcsr_cache<V, I>(std::ostream&, const Bcsr<V, I>&);  \
+  template Bcsr<V, I> read_bcsr_cache<V, I>(std::istream&);                \
+  template void write_bcsr_cache_file<V, I>(const std::string&,            \
+                                            const Bcsr<V, I>&);            \
+  template Bcsr<V, I> read_bcsr_cache_file<V, I>(const std::string&);
+
+SPMM_INSTANTIATE_CACHE(double, std::int32_t)
+SPMM_INSTANTIATE_CACHE(double, std::int64_t)
+SPMM_INSTANTIATE_CACHE(float, std::int32_t)
+SPMM_INSTANTIATE_CACHE(float, std::int64_t)
+#undef SPMM_INSTANTIATE_CACHE
+
+}  // namespace spmm::io

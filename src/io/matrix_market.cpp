@@ -1,0 +1,162 @@
+#include "io/matrix_market.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace spmm::io {
+
+namespace {
+
+struct Header {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+Header parse_header(std::istream& in) {
+  std::string line;
+  SPMM_CHECK(static_cast<bool>(std::getline(in, line)),
+             "Matrix Market: empty input");
+  std::istringstream hs(line);
+  std::string banner, object, fmt, field, symmetry;
+  hs >> banner >> object >> fmt >> field >> symmetry;
+  SPMM_CHECK(banner == "%%MatrixMarket",
+             "Matrix Market: missing %%MatrixMarket banner");
+  SPMM_CHECK(to_lower(object) == "matrix",
+             "Matrix Market: only 'matrix' objects are supported");
+  SPMM_CHECK(to_lower(fmt) == "coordinate",
+             "Matrix Market: only coordinate (sparse) format is supported");
+
+  Header h;
+  const std::string f = to_lower(field);
+  if (f == "pattern") {
+    h.pattern = true;
+  } else {
+    SPMM_CHECK(f == "real" || f == "integer" || f == "double",
+               "Matrix Market: unsupported field '" + field + "'");
+  }
+  const std::string s = to_lower(symmetry);
+  if (s == "symmetric") {
+    h.symmetric = true;
+  } else if (s == "skew-symmetric") {
+    h.symmetric = true;
+    h.skew = true;
+  } else {
+    SPMM_CHECK(s == "general",
+               "Matrix Market: unsupported symmetry '" + symmetry + "'");
+  }
+  return h;
+}
+
+}  // namespace
+
+template <ValueType V, IndexType I>
+Coo<V, I> read_matrix_market(std::istream& in) {
+  const Header h = parse_header(in);
+
+  std::string line;
+  // Skip comments and blank lines to the size line.
+  std::int64_t rows = -1, cols = -1, entries = -1;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    std::istringstream ss(t);
+    ss >> rows >> cols >> entries;
+    SPMM_CHECK(!ss.fail(), "Matrix Market: malformed size line: " + t);
+    break;
+  }
+  SPMM_CHECK(rows >= 0 && cols >= 0 && entries >= 0,
+             "Matrix Market: missing size line");
+  SPMM_CHECK(rows <= std::numeric_limits<I>::max() &&
+                 cols <= std::numeric_limits<I>::max(),
+             "Matrix Market: matrix too large for the chosen index type");
+
+  AlignedVector<I> row_idx, col_idx;
+  AlignedVector<V> values;
+  const usize reserve = static_cast<usize>(entries) * (h.symmetric ? 2 : 1);
+  row_idx.reserve(reserve);
+  col_idx.reserve(reserve);
+  values.reserve(reserve);
+
+  std::int64_t seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    std::istringstream ss(t);
+    std::int64_t r = 0, c = 0;
+    double v = 1.0;
+    ss >> r >> c;
+    SPMM_CHECK(!ss.fail(), "Matrix Market: malformed entry line: " + t);
+    if (!h.pattern) {
+      ss >> v;
+      SPMM_CHECK(!ss.fail(), "Matrix Market: entry missing value: " + t);
+    }
+    SPMM_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+               "Matrix Market: entry index out of range: " + t);
+    ++seen;
+    row_idx.push_back(static_cast<I>(r - 1));
+    col_idx.push_back(static_cast<I>(c - 1));
+    values.push_back(static_cast<V>(v));
+    if (h.symmetric && r != c) {
+      row_idx.push_back(static_cast<I>(c - 1));
+      col_idx.push_back(static_cast<I>(r - 1));
+      values.push_back(static_cast<V>(h.skew ? -v : v));
+    }
+  }
+  SPMM_CHECK(seen == entries,
+             "Matrix Market: expected " + std::to_string(entries) +
+                 " entries, found " + std::to_string(seen));
+
+  return Coo<V, I>(static_cast<I>(rows), static_cast<I>(cols),
+                   std::move(row_idx), std::move(col_idx), std::move(values));
+}
+
+template <ValueType V, IndexType I>
+Coo<V, I> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  SPMM_CHECK(in.good(), "cannot open Matrix Market file: " + path);
+  return read_matrix_market<V, I>(in);
+}
+
+template <ValueType V, IndexType I>
+void write_matrix_market(std::ostream& out, const Coo<V, I>& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by spmm-bench\n";
+  out << coo.rows() << ' ' << coo.cols() << ' ' << coo.nnz() << '\n';
+  out.precision(17);
+  for (usize i = 0; i < coo.nnz(); ++i) {
+    out << (coo.row(i) + 1) << ' ' << (coo.col(i) + 1) << ' ' << coo.value(i)
+        << '\n';
+  }
+}
+
+template <ValueType V, IndexType I>
+void write_matrix_market_file(const std::string& path, const Coo<V, I>& coo) {
+  std::ofstream out(path);
+  SPMM_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, coo);
+  SPMM_CHECK(out.good(), "write failed: " + path);
+}
+
+// Explicit instantiations for all supported type combinations.
+#define SPMM_INSTANTIATE_MM(V, I)                                           \
+  template Coo<V, I> read_matrix_market<V, I>(std::istream&);               \
+  template Coo<V, I> read_matrix_market_file<V, I>(const std::string&);     \
+  template void write_matrix_market<V, I>(std::ostream&, const Coo<V, I>&); \
+  template void write_matrix_market_file<V, I>(const std::string&,          \
+                                               const Coo<V, I>&);
+
+SPMM_INSTANTIATE_MM(double, std::int32_t)
+SPMM_INSTANTIATE_MM(double, std::int64_t)
+SPMM_INSTANTIATE_MM(float, std::int32_t)
+SPMM_INSTANTIATE_MM(float, std::int64_t)
+#undef SPMM_INSTANTIATE_MM
+
+}  // namespace spmm::io

@@ -1,0 +1,34 @@
+// Matrix Market (.mtx) reader and writer.
+//
+// The thesis loads its 14 SuiteSparse matrices from Matrix Market files,
+// which "directly correspond" to COO (§6.3.5). This reader supports the
+// coordinate subset SuiteSparse ships: real/integer/pattern fields with
+// general/symmetric/skew-symmetric symmetry. Array (dense) files and
+// complex fields are rejected with a clear error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "formats/coo.hpp"
+
+namespace spmm::io {
+
+/// Read a Matrix Market coordinate file into COO.
+/// Symmetric/skew-symmetric storage is expanded to general form.
+/// Pattern matrices get value 1 for every stored entry.
+template <ValueType V, IndexType I>
+Coo<V, I> read_matrix_market(std::istream& in);
+
+/// Read from a file path. Throws spmm::Error if the file cannot be opened.
+template <ValueType V, IndexType I>
+Coo<V, I> read_matrix_market_file(const std::string& path);
+
+/// Write COO as a general real coordinate Matrix Market file.
+template <ValueType V, IndexType I>
+void write_matrix_market(std::ostream& out, const Coo<V, I>& coo);
+
+template <ValueType V, IndexType I>
+void write_matrix_market_file(const std::string& path, const Coo<V, I>& coo);
+
+}  // namespace spmm::io

@@ -1,0 +1,96 @@
+// Reference multiplies used for verification and tests.
+//
+// The thesis verifies kernels against the COO multiply rather than a
+// dense GEMM because the dense product "took too long" (§4.3); both are
+// provided — COO verify is the production path, dense GEMM is the
+// independent oracle tests use on small matrices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "formats/dense.hpp"
+#include "kernels/spmm_common.hpp"
+#include "support/rng.hpp"
+
+namespace spmm {
+
+/// Dense GEMM reference: C = A·B with A given densely. O(m·n·k); small
+/// matrices only.
+template <ValueType V>
+void gemm_reference(const Dense<V>& a, const Dense<V>& b, Dense<V>& c) {
+  SPMM_CHECK(a.cols() == b.rows(), "GEMM: inner dimensions must match");
+  SPMM_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+             "GEMM: C has the wrong shape");
+  c.fill(V{0});
+  for (usize i = 0; i < a.rows(); ++i) {
+    for (usize l = 0; l < a.cols(); ++l) {
+      const V v = a.at(i, l);
+      if (v == V{0}) continue;
+      for (usize j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += v * b.at(l, j);
+      }
+    }
+  }
+}
+
+/// Probabilistic verification (Freivalds' check adapted to SpMM): tests
+/// C·v ≈ A·(B·v) for a random vector v in O(nnz + (m+n)·k) — far cheaper
+/// than the O(nnz·k) COO reference multiply the paper settled on after
+/// dense GEMM "took too long" (§4.3). A wrong C survives one probe with
+/// probability ~0; callers can repeat with fresh seeds to taste.
+/// Returns the max absolute discrepancy |C·v − A·(B·v)| per row.
+template <ValueType V, IndexType I>
+double spmm_probe_error(const Coo<V, I>& a, const Dense<V>& b,
+                        const Dense<V>& c, std::uint64_t seed = 99) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+  Rng rng(seed);
+  std::vector<double> v(k);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+
+  // w = B·v  (n-vector), then u = A·w  (m-vector).
+  std::vector<double> w(b.rows(), 0.0);
+  for (usize i = 0; i < b.rows(); ++i) {
+    double sum = 0.0;
+    for (usize j = 0; j < k; ++j) {
+      sum += static_cast<double>(b.at(i, j)) * v[j];
+    }
+    w[i] = sum;
+  }
+  std::vector<double> u(static_cast<usize>(a.rows()), 0.0);
+  for (usize e = 0; e < a.nnz(); ++e) {
+    u[static_cast<usize>(a.row(e))] +=
+        static_cast<double>(a.value(e)) * w[static_cast<usize>(a.col(e))];
+  }
+  // Compare against C·v.
+  double worst = 0.0;
+  for (usize i = 0; i < c.rows(); ++i) {
+    double cv = 0.0;
+    for (usize j = 0; j < k; ++j) {
+      cv += static_cast<double>(c.at(i, j)) * v[j];
+    }
+    worst = std::max(worst, std::abs(cv - u[i]));
+  }
+  return worst;
+}
+
+/// The verification reference the suite uses (paper §4.3): the COO
+/// multiply, identical maths to spmm_coo_serial.
+template <ValueType V, IndexType I>
+Dense<V> spmm_reference(const Coo<V, I>& a, const Dense<V>& b) {
+  Dense<V> c(static_cast<usize>(a.rows()), b.cols());
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+  for (usize i = 0; i < a.nnz(); ++i) {
+    const usize r = static_cast<usize>(a.row(i));
+    const usize col = static_cast<usize>(a.col(i));
+    for (usize j = 0; j < k; ++j) {
+      c.at(r, j) += a.value(i) * b.at(col, j);
+    }
+  }
+  return c;
+}
+
+}  // namespace spmm

@@ -1,0 +1,394 @@
+// BCSR SpMM kernels. Each stored b×b tile contributes a dense
+// tile×B-panel product; block rows are independent, so the parallel
+// kernels distribute block rows. Edge blocks (bottom/right of a matrix
+// whose shape is not a multiple of b) are guarded per element.
+//
+// This is "the most expensive [format] in terms of loops and
+// format-specific computation" (paper §2.2): four nested loops per tile.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+
+#include "devsim/device.hpp"
+#include "formats/bcsr.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+void spmm_bcsr_serial(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c);
+
+namespace detail {
+
+/// Multiply one stored tile into the C panel. `rows_in_tile` /
+/// `cols_in_tile` handle the guard at the matrix edge.
+template <ValueType V>
+inline void bcsr_tile_multiply(const V* tile, usize bs, usize rows_in_tile,
+                               usize cols_in_tile, const V* b_panel, usize k,
+                               V* c_panel) {
+  for (usize lr = 0; lr < rows_in_tile; ++lr) {
+    V* crow = c_panel + lr * k;
+    for (usize lc = 0; lc < cols_in_tile; ++lc) {
+      const V v = tile[lr * bs + lc];
+      const V* brow = b_panel + lc * k;
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+/// Fixed-block tile multiply: block size as a template parameter lets
+/// the compiler fully unroll the lr/lc loops and keep the tile in
+/// registers — Study 9's compile-time trick applied to BCSR's dimension
+/// that is actually known per matrix (ablated in bench_kernels_micro).
+/// Interior tiles only; edge tiles take the generic guarded path.
+template <int B, ValueType V>
+inline void bcsr_tile_multiply_fixed(const V* __restrict__ tile,
+                                     const V* __restrict__ b_panel, usize k,
+                                     V* __restrict__ c_panel) {
+  for (int lr = 0; lr < B; ++lr) {
+    V* __restrict__ crow = c_panel + static_cast<usize>(lr) * k;
+    for (int lc = 0; lc < B; ++lc) {
+      const V v = tile[lr * B + lc];
+      const V* __restrict__ brow = b_panel + static_cast<usize>(lc) * k;
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Serial BCSR SpMM with compile-time block sizes {2, 4, 8}: interior
+/// tiles run the fully unrolled kernel, edge tiles and other block sizes
+/// fall back to the generic guarded multiply. Bitwise identical to
+/// spmm_bcsr_serial (same operation order).
+template <ValueType V, IndexType I>
+void spmm_bcsr_serial_fixed(const Bcsr<V, I>& a, const Dense<V>& b,
+                            Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+  const I* row_ptr = a.block_row_ptr().data();
+  const I* bcols = a.block_col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+
+  auto run = [&](auto fixed) {
+    constexpr int B = decltype(fixed)::value;
+    for (I brow = 0; brow < a.block_rows(); ++brow) {
+      const usize r0 = static_cast<usize>(brow) * bs;
+      const usize rows_in = std::min(bs, rows - r0);
+      for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+        const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+        const usize cols_in = std::min(bs, cols - c0);
+        const V* tile = vals + static_cast<usize>(blk) * bs * bs;
+        if (rows_in == bs && cols_in == bs) {
+          detail::bcsr_tile_multiply_fixed<B>(tile, bp + c0 * k, k,
+                                              cp + r0 * k);
+        } else {
+          detail::bcsr_tile_multiply(tile, bs, rows_in, cols_in, bp + c0 * k,
+                                     k, cp + r0 * k);
+        }
+      }
+    }
+  };
+  switch (bs) {
+    case 2: run(std::integral_constant<int, 2>{}); return;
+    case 4: run(std::integral_constant<int, 4>{}); return;
+    case 8: run(std::integral_constant<int, 8>{}); return;
+    default: spmm_bcsr_serial(a, b, c); return;
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_bcsr_serial(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+  const I* row_ptr = a.block_row_ptr().data();
+  const I* bcols = a.block_col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  for (I brow = 0; brow < a.block_rows(); ++brow) {
+    const usize r0 = static_cast<usize>(brow) * bs;
+    const usize rows_in = std::min(bs, rows - r0);
+    for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+      const usize cols_in = std::min(bs, cols - c0);
+      detail::bcsr_tile_multiply(vals + static_cast<usize>(blk) * bs * bs, bs,
+                                 rows_in, cols_in, bp + c0 * k, k,
+                                 cp + r0 * k);
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_bcsr_parallel(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                        int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+  const I* row_ptr = a.block_row_ptr().data();
+  const I* bcols = a.block_col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  const std::int64_t brows = a.block_rows();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 16)
+  for (std::int64_t brow = 0; brow < brows; ++brow) {
+    const usize r0 = static_cast<usize>(brow) * bs;
+    const usize rows_in = std::min(bs, rows - r0);
+    for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+      const usize cols_in = std::min(bs, cols - c0);
+      detail::bcsr_tile_multiply(vals + static_cast<usize>(blk) * bs * bs, bs,
+                                 rows_in, cols_in, bp + c0 * k, k,
+                                 cp + r0 * k);
+    }
+  }
+}
+
+/// Ablation variant (Study 9 footnote): parallelize the *block* loop
+/// inside each block row instead of the block-row loop. The thesis made
+/// this change by accident and saw performance collapse — writes from
+/// different blocks of one block row share C rows, forcing atomics.
+template <ValueType V, IndexType I>
+void spmm_bcsr_parallel_inner(const Bcsr<V, I>& a, const Dense<V>& b,
+                              Dense<V>& c, int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+  const I* row_ptr = a.block_row_ptr().data();
+  const I* bcols = a.block_col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  for (I brow = 0; brow < a.block_rows(); ++brow) {
+    const usize r0 = static_cast<usize>(brow) * bs;
+    const usize rows_in = std::min(bs, rows - r0);
+    const std::int64_t begin = row_ptr[brow];
+    const std::int64_t end = row_ptr[brow + 1];
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t blk = begin; blk < end; ++blk) {
+      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+      const usize cols_in = std::min(bs, cols - c0);
+      const V* tile = vals + static_cast<usize>(blk) * bs * bs;
+      for (usize lr = 0; lr < rows_in; ++lr) {
+        V* crow = cp + (r0 + lr) * k;
+        for (usize lc = 0; lc < cols_in; ++lc) {
+          const V v = tile[lr * bs + lc];
+          const V* brow_p = bp + (c0 + lc) * k;
+          for (usize j = 0; j < k; ++j) {
+            const V contrib = v * brow_p[j];
+#pragma omp atomic
+            crow[j] += contrib;
+          }
+        }
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_bcsr_device(dev::DeviceArena& arena, const Bcsr<V, I>& a,
+                      const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+
+  auto d_row_ptr = arena.alloc<I>(a.block_row_ptr().size());
+  auto d_bcols = arena.alloc<I>(a.block_col_idx().size());
+  auto d_vals = arena.alloc<V>(a.values().size());
+  auto d_b = arena.alloc<V>(b.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_row_ptr, a.block_row_ptr().data(),
+                       a.block_row_ptr().size());
+  arena.copy_to_device(d_bcols, a.block_col_idx().data(),
+                       a.block_col_idx().size());
+  arena.copy_to_device(d_vals, a.values().data(), a.values().size());
+  arena.copy_to_device(d_b, b.data(), b.size());
+  arena.memset_zero(d_c);
+
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  const usize brows = static_cast<usize>(a.block_rows());
+  constexpr unsigned kTeams = 128;
+  const I* row_ptr = d_row_ptr.data();
+  const I* bcols = d_bcols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(
+      arena, dev::Dim3{kTeams}, dev::Dim3{1},
+      [row_ptr, bcols, vals, bp, cp, k, bs, rows, cols,
+       brows](const dev::ThreadCtx& t) {
+        for (usize brow = t.global_x(); brow < brows;
+             brow += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+          const usize r0 = brow * bs;
+          const usize rows_in = std::min(bs, rows - r0);
+          for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+            const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+            const usize cols_in = std::min(bs, cols - c0);
+            detail::bcsr_tile_multiply(vals + static_cast<usize>(blk) * bs * bs,
+                                       bs, rows_in, cols_in, bp + c0 * k, k,
+                                       cp + r0 * k);
+          }
+        }
+      });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+template <ValueType V, IndexType I>
+void spmm_bcsr_serial_transpose(const Bcsr<V, I>& a, const Dense<V>& bt,
+                                Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+  const I* row_ptr = a.block_row_ptr().data();
+  const I* bcols = a.block_col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  for (I brow = 0; brow < a.block_rows(); ++brow) {
+    const usize r0 = static_cast<usize>(brow) * bs;
+    const usize rows_in = std::min(bs, rows - r0);
+    for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+      const usize cols_in = std::min(bs, cols - c0);
+      const V* tile = vals + static_cast<usize>(blk) * bs * bs;
+      for (usize lr = 0; lr < rows_in; ++lr) {
+        V* crow = cp + (r0 + lr) * k;
+        for (usize j = 0; j < k; ++j) {
+          V sum = V{0};
+          for (usize lc = 0; lc < cols_in; ++lc) {
+            sum += tile[lr * bs + lc] * bp[j * n + c0 + lc];
+          }
+          crow[j] += sum;
+        }
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_bcsr_parallel_transpose(const Bcsr<V, I>& a, const Dense<V>& bt,
+                                  Dense<V>& c, int threads) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+  const I* row_ptr = a.block_row_ptr().data();
+  const I* bcols = a.block_col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  const std::int64_t brows = a.block_rows();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 16)
+  for (std::int64_t brow = 0; brow < brows; ++brow) {
+    const usize r0 = static_cast<usize>(brow) * bs;
+    const usize rows_in = std::min(bs, rows - r0);
+    for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+      const usize cols_in = std::min(bs, cols - c0);
+      const V* tile = vals + static_cast<usize>(blk) * bs * bs;
+      for (usize lr = 0; lr < rows_in; ++lr) {
+        V* crow = cp + (r0 + lr) * k;
+        for (usize j = 0; j < k; ++j) {
+          V sum = V{0};
+          for (usize lc = 0; lc < cols_in; ++lc) {
+            sum += tile[lr * bs + lc] * bp[j * n + c0 + lc];
+          }
+          crow[j] += sum;
+        }
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_bcsr_device_transpose(dev::DeviceArena& arena, const Bcsr<V, I>& a,
+                                const Dense<V>& bt, Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const usize bs = static_cast<usize>(a.block_size());
+
+  auto d_row_ptr = arena.alloc<I>(a.block_row_ptr().size());
+  auto d_bcols = arena.alloc<I>(a.block_col_idx().size());
+  auto d_vals = arena.alloc<V>(a.values().size());
+  auto d_b = arena.alloc<V>(bt.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_row_ptr, a.block_row_ptr().data(),
+                       a.block_row_ptr().size());
+  arena.copy_to_device(d_bcols, a.block_col_idx().data(),
+                       a.block_col_idx().size());
+  arena.copy_to_device(d_vals, a.values().data(), a.values().size());
+  arena.copy_to_device(d_b, bt.data(), bt.size());
+  arena.memset_zero(d_c);
+
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  const usize brows = static_cast<usize>(a.block_rows());
+  constexpr unsigned kTeams = 128;
+  const I* row_ptr = d_row_ptr.data();
+  const I* bcols = d_bcols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(
+      arena, dev::Dim3{kTeams}, dev::Dim3{1},
+      [row_ptr, bcols, vals, bp, cp, k, n, bs, rows, cols,
+       brows](const dev::ThreadCtx& t) {
+        for (usize brow = t.global_x(); brow < brows;
+             brow += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+          const usize r0 = brow * bs;
+          const usize rows_in = std::min(bs, rows - r0);
+          for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+            const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+            const usize cols_in = std::min(bs, cols - c0);
+            const V* tile = vals + static_cast<usize>(blk) * bs * bs;
+            for (usize lr = 0; lr < rows_in; ++lr) {
+              V* crow = cp + (r0 + lr) * k;
+              for (usize j = 0; j < k; ++j) {
+                V sum = V{0};
+                for (usize lc = 0; lc < cols_in; ++lc) {
+                  sum += tile[lr * bs + lc] * bp[j * n + c0 + lc];
+                }
+                crow[j] += sum;
+              }
+            }
+          }
+        }
+      });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+}  // namespace spmm

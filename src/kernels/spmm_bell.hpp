@@ -1,0 +1,117 @@
+// Blocked-ELLPACK SpMM kernels (future-work format, paper §6.3.1).
+// Groups are independent; each group runs an ELL-style loop at its own
+// width, so one heavy row only inflates its group's padded work.
+#pragma once
+
+#include "devsim/device.hpp"
+#include "formats/bell.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+namespace detail {
+
+template <ValueType V, IndexType I>
+inline void bell_group_multiply(const Bell<V, I>& a, I g, const V* bp,
+                                usize k, V* cp) {
+  const usize w = static_cast<usize>(a.width()[static_cast<usize>(g)]);
+  const usize group_base = a.offset()[static_cast<usize>(g)];
+  const I rows_in = a.rows_in_group(g);
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  for (I local = 0; local < rows_in; ++local) {
+    const usize r = static_cast<usize>(g) * static_cast<usize>(a.group_size()) +
+                    static_cast<usize>(local);
+    const usize base = group_base + static_cast<usize>(local) * w;
+    V* crow = cp + r * k;
+    for (usize s = 0; s < w; ++s) {
+      const usize col = static_cast<usize>(cols[base + s]);
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += vals[base + s] * bp[col * k + j];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+template <ValueType V, IndexType I>
+void spmm_bell_serial(const Bell<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  for (I g = 0; g < a.groups(); ++g) {
+    detail::bell_group_multiply(a, g, b.data(), k, c.data());
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_bell_parallel(const Bell<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                        int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const std::int64_t groups = a.groups();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 8)
+  for (std::int64_t g = 0; g < groups; ++g) {
+    detail::bell_group_multiply(a, static_cast<I>(g), b.data(), k, c.data());
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_bell_device(dev::DeviceArena& arena, const Bell<V, I>& a,
+                      const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+
+  // Device copies of the BELL arrays plus operands.
+  auto d_width = arena.alloc<I>(a.width().size());
+  auto d_offset = arena.alloc<usize>(a.offset().size());
+  auto d_cols = arena.alloc<I>(a.col_idx().size());
+  auto d_vals = arena.alloc<V>(a.values().size());
+  auto d_b = arena.alloc<V>(b.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_width, a.width().data(), a.width().size());
+  arena.copy_to_device(d_offset, a.offset().data(), a.offset().size());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.col_idx().size());
+  arena.copy_to_device(d_vals, a.values().data(), a.values().size());
+  arena.copy_to_device(d_b, b.data(), b.size());
+  arena.memset_zero(d_c);
+
+  const usize groups = static_cast<usize>(a.groups());
+  const usize group_size = static_cast<usize>(a.group_size());
+  const usize rows = static_cast<usize>(a.rows());
+  constexpr unsigned kTeams = 128;
+  const I* width = d_width.data();
+  const usize* offset = d_offset.data();
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(
+      arena, dev::Dim3{kTeams}, dev::Dim3{1},
+      [width, offset, cols, vals, bp, cp, k, groups, group_size,
+       rows](const dev::ThreadCtx& t) {
+        for (usize g = t.global_x(); g < groups;
+             g += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+          const usize w = static_cast<usize>(width[g]);
+          const usize rows_in =
+              std::min(group_size, rows - g * group_size);
+          for (usize local = 0; local < rows_in; ++local) {
+            const usize r = g * group_size + local;
+            const usize base = offset[g] + local * w;
+            V* crow = cp + r * k;
+            for (usize s = 0; s < w; ++s) {
+              const usize col = static_cast<usize>(cols[base + s]);
+              for (usize j = 0; j < k; ++j) {
+                crow[j] += vals[base + s] * bp[col * k + j];
+              }
+            }
+          }
+        }
+      });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+}  // namespace spmm

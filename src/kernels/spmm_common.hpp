@@ -1,0 +1,36 @@
+// Shared preconditions and helpers for the SpMM kernels.
+//
+// Conventions (paper §2.3): A is m×n sparse, B is n×k dense row-major,
+// C is m×k dense row-major. C is zeroed by the kernel (C = A·B, not
+// accumulate). Transpose variants take Bᵀ as a k×n row-major matrix
+// (Study 8). Parallel variants take an explicit thread count.
+#pragma once
+
+#include "formats/dense.hpp"
+#include "support/error.hpp"
+
+namespace spmm {
+
+/// Validate shapes for C = A·B with an m×n sparse A.
+template <ValueType V>
+void check_spmm_shapes(std::int64_t a_rows, std::int64_t a_cols,
+                       const Dense<V>& b, const Dense<V>& c) {
+  SPMM_CHECK(static_cast<std::int64_t>(b.rows()) == a_cols,
+             "SpMM: B must have A.cols rows");
+  SPMM_CHECK(static_cast<std::int64_t>(c.rows()) == a_rows,
+             "SpMM: C must have A.rows rows");
+  SPMM_CHECK(b.cols() == c.cols(), "SpMM: B and C must have equal width");
+}
+
+/// Validate shapes for the transpose variants: Bᵀ is k×n.
+template <ValueType V>
+void check_spmm_shapes_transpose(std::int64_t a_rows, std::int64_t a_cols,
+                                 const Dense<V>& bt, const Dense<V>& c) {
+  SPMM_CHECK(static_cast<std::int64_t>(bt.cols()) == a_cols,
+             "SpMM-T: Bt must have A.cols columns");
+  SPMM_CHECK(static_cast<std::int64_t>(c.rows()) == a_rows,
+             "SpMM-T: C must have A.rows rows");
+  SPMM_CHECK(bt.rows() == c.cols(), "SpMM-T: Bt height and C width must match");
+}
+
+}  // namespace spmm

@@ -1,0 +1,226 @@
+// COO SpMM kernels: serial, OpenMP-parallel, device, and the transpose-B
+// form of each (paper §4.2's six kernels per format).
+//
+// The kernel bodies follow the thesis's plain formulation — the sparse
+// value is re-read inside the k loop. Since the value and C arrays have
+// the same element type the compiler cannot prove they don't alias and
+// must keep the load in the loop; the manually optimized variants in
+// spmm_fixed_k.hpp hoist it (Study 9 measures the difference).
+//
+// Parallel COO partitions the nonzero array into row-aligned chunks so
+// no two threads ever touch the same C row — no atomics needed. The
+// atomic alternative is kept for the ablation bench.
+#pragma once
+
+#include "devsim/device.hpp"
+#include "formats/coo.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+void spmm_coo_serial(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  for (usize i = 0; i < a.nnz(); ++i) {
+    const usize r = static_cast<usize>(rows[i]);
+    const usize col = static_cast<usize>(cols[i]);
+    for (usize j = 0; j < k; ++j) {
+      cp[r * k + j] += vals[i] * bp[col * k + j];
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_coo_parallel(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                       int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::vector<usize> bounds = a.row_aligned_partition(threads);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    for (usize i = bounds[static_cast<usize>(t)];
+         i < bounds[static_cast<usize>(t) + 1]; ++i) {
+      const usize r = static_cast<usize>(rows[i]);
+      const usize col = static_cast<usize>(cols[i]);
+      for (usize j = 0; j < k; ++j) {
+        cp[r * k + j] += vals[i] * bp[col * k + j];
+      }
+    }
+  }
+}
+
+/// Ablation variant: parallelize directly over nonzeros with atomic
+/// updates to C. Simpler partitioning, heavy synchronization cost —
+/// bench_kernels_micro quantifies the gap against the row-aligned kernel.
+template <ValueType V, IndexType I>
+void spmm_coo_parallel_atomic(const Coo<V, I>& a, const Dense<V>& b,
+                              Dense<V>& c, int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::int64_t nnz = static_cast<std::int64_t>(a.nnz());
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    const usize r = static_cast<usize>(rows[i]);
+    const usize col = static_cast<usize>(cols[i]);
+    for (usize j = 0; j < k; ++j) {
+      const V contrib = vals[i] * bp[col * k + j];
+#pragma omp atomic
+      cp[r * k + j] += contrib;
+    }
+  }
+}
+
+/// Device (emulated GPU) kernel: one thread block per row-aligned nonzero
+/// chunk, threads within a block stride the k dimension — the same
+/// decomposition an OpenMP `target teams distribute parallel for` maps to.
+template <ValueType V, IndexType I>
+void spmm_coo_device(dev::DeviceArena& arena, const Coo<V, I>& a,
+                     const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+
+  auto d_rows = arena.alloc<I>(a.nnz());
+  auto d_cols = arena.alloc<I>(a.nnz());
+  auto d_vals = arena.alloc<V>(a.nnz());
+  auto d_b = arena.alloc<V>(b.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_rows, a.row_idx().data(), a.nnz());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.nnz());
+  arena.copy_to_device(d_vals, a.values().data(), a.nnz());
+  arena.copy_to_device(d_b, b.data(), b.size());
+  arena.memset_zero(d_c);
+
+  constexpr unsigned kTeams = 128;
+  const std::vector<usize> bounds =
+      a.row_aligned_partition(static_cast<int>(kTeams));
+  const I* rows = d_rows.data();
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(arena, dev::Dim3{kTeams}, dev::Dim3{1},
+              [&bounds, rows, cols, vals, bp, cp, k](const dev::ThreadCtx& t) {
+                const usize team = t.block_idx.x;
+                for (usize i = bounds[team]; i < bounds[team + 1]; ++i) {
+                  const usize r = static_cast<usize>(rows[i]);
+                  const usize col = static_cast<usize>(cols[i]);
+                  for (usize j = 0; j < k; ++j) {
+                    cp[r * k + j] += vals[i] * bp[col * k + j];
+                  }
+                }
+              });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+// ---- transpose-B variants (Study 8): B is supplied as Bᵀ (k×n) ----
+
+template <ValueType V, IndexType I>
+void spmm_coo_serial_transpose(const Coo<V, I>& a, const Dense<V>& bt,
+                               Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  for (usize i = 0; i < a.nnz(); ++i) {
+    const usize r = static_cast<usize>(rows[i]);
+    const usize col = static_cast<usize>(cols[i]);
+    for (usize j = 0; j < k; ++j) {
+      cp[r * k + j] += vals[i] * bp[j * n + col];
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_coo_parallel_transpose(const Coo<V, I>& a, const Dense<V>& bt,
+                                 Dense<V>& c, int threads) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  const std::vector<usize> bounds = a.row_aligned_partition(threads);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    for (usize i = bounds[static_cast<usize>(t)];
+         i < bounds[static_cast<usize>(t) + 1]; ++i) {
+      const usize r = static_cast<usize>(rows[i]);
+      const usize col = static_cast<usize>(cols[i]);
+      for (usize j = 0; j < k; ++j) {
+        cp[r * k + j] += vals[i] * bp[j * n + col];
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_coo_device_transpose(dev::DeviceArena& arena, const Coo<V, I>& a,
+                               const Dense<V>& bt, Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+
+  auto d_rows = arena.alloc<I>(a.nnz());
+  auto d_cols = arena.alloc<I>(a.nnz());
+  auto d_vals = arena.alloc<V>(a.nnz());
+  auto d_b = arena.alloc<V>(bt.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_rows, a.row_idx().data(), a.nnz());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.nnz());
+  arena.copy_to_device(d_vals, a.values().data(), a.nnz());
+  arena.copy_to_device(d_b, bt.data(), bt.size());
+  arena.memset_zero(d_c);
+
+  constexpr unsigned kTeams = 128;
+  const std::vector<usize> bounds =
+      a.row_aligned_partition(static_cast<int>(kTeams));
+  const I* rows = d_rows.data();
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(arena, dev::Dim3{kTeams}, dev::Dim3{1},
+              [&bounds, rows, cols, vals, bp, cp, k, n](const dev::ThreadCtx& t) {
+                const usize team = t.block_idx.x;
+                for (usize i = bounds[team]; i < bounds[team + 1]; ++i) {
+                  const usize r = static_cast<usize>(rows[i]);
+                  const usize col = static_cast<usize>(cols[i]);
+                  for (usize j = 0; j < k; ++j) {
+                    cp[r * k + j] += vals[i] * bp[j * n + col];
+                  }
+                }
+              });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+}  // namespace spmm

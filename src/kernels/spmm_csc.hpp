@@ -1,0 +1,105 @@
+// CSC SpMM kernels.
+//
+// CSC scatters each A column into many C rows, so the row-parallel
+// strategy of the other formats cannot be used. Three parallelizations
+// are provided, exercising the SpMM-specific freedom (the k dimension)
+// the paper's studies revolve around:
+//   * serial: column-major sweep (the natural CSC order);
+//   * parallel over k slices: each thread owns a contiguous slice of
+//     B/C columns — no races, perfect when k ≥ threads (the common SpMM
+//     case; impossible in SpMV where k = 1);
+//   * parallel over A columns with atomics: the ablation showing why the
+//     k-slice strategy exists.
+#pragma once
+
+#include <algorithm>
+
+#include "formats/csc.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+void spmm_csc_serial(const Csc<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* col_ptr = a.col_ptr().data();
+  const I* rows = a.row_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  for (I col = 0; col < a.cols(); ++col) {
+    const V* brow = bp + static_cast<usize>(col) * k;
+    for (I i = col_ptr[col]; i < col_ptr[col + 1]; ++i) {
+      V* crow = cp + static_cast<usize>(rows[i]) * k;
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += vals[i] * brow[j];
+      }
+    }
+  }
+}
+
+/// Parallel over k slices: thread t computes C[:, lo_t:hi_t) from
+/// B[:, lo_t:hi_t) over the whole matrix. No synchronization; each
+/// thread streams all of A once.
+template <ValueType V, IndexType I>
+void spmm_csc_parallel(const Csc<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                       int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* col_ptr = a.col_ptr().data();
+  const I* rows = a.row_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const I ncols = a.cols();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    const usize lo = k * static_cast<usize>(t) / static_cast<usize>(threads);
+    const usize hi =
+        k * (static_cast<usize>(t) + 1) / static_cast<usize>(threads);
+    if (lo == hi) continue;
+    for (I col = 0; col < ncols; ++col) {
+      const V* brow = bp + static_cast<usize>(col) * k;
+      for (I i = col_ptr[col]; i < col_ptr[col + 1]; ++i) {
+        V* crow = cp + static_cast<usize>(rows[i]) * k;
+        for (usize j = lo; j < hi; ++j) {
+          crow[j] += vals[i] * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// Ablation: parallel over A columns with atomic C updates.
+template <ValueType V, IndexType I>
+void spmm_csc_parallel_atomic(const Csc<V, I>& a, const Dense<V>& b,
+                              Dense<V>& c, int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* col_ptr = a.col_ptr().data();
+  const I* rows = a.row_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::int64_t ncols = a.cols();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+  for (std::int64_t col = 0; col < ncols; ++col) {
+    const V* brow = bp + static_cast<usize>(col) * k;
+    for (I i = col_ptr[col]; i < col_ptr[col + 1]; ++i) {
+      V* crow = cp + static_cast<usize>(rows[i]) * k;
+      for (usize j = 0; j < k; ++j) {
+        const V contrib = vals[i] * brow[j];
+#pragma omp atomic
+        crow[j] += contrib;
+      }
+    }
+  }
+}
+
+}  // namespace spmm

@@ -1,0 +1,197 @@
+// CSR SpMM kernels: serial, OpenMP-parallel, device, and transpose-B
+// variants. Rows are independent, so the parallel kernels distribute rows
+// with a dynamic schedule (row lengths vary; static chunks would load-
+// imbalance on high-column-ratio matrices like torso1).
+#pragma once
+
+#include "devsim/device.hpp"
+#include "formats/csr.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+void spmm_csr_serial(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  for (I r = 0; r < a.rows(); ++r) {
+    V* crow = cp + static_cast<usize>(r) * k;
+    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const usize col = static_cast<usize>(cols[i]);
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += vals[i] * bp[col * k + j];
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_csr_parallel(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                       int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    V* crow = cp + static_cast<usize>(r) * k;
+    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const usize col = static_cast<usize>(cols[i]);
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += vals[i] * bp[col * k + j];
+      }
+    }
+  }
+}
+
+/// Device kernel: grid strides over rows, one thread per block (the
+/// OpenMP `target teams distribute` shape the thesis used).
+template <ValueType V, IndexType I>
+void spmm_csr_device(dev::DeviceArena& arena, const Csr<V, I>& a,
+                     const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+
+  auto d_row_ptr = arena.alloc<I>(a.row_ptr().size());
+  auto d_cols = arena.alloc<I>(a.nnz());
+  auto d_vals = arena.alloc<V>(a.nnz());
+  auto d_b = arena.alloc<V>(b.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_row_ptr, a.row_ptr().data(), a.row_ptr().size());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.nnz());
+  arena.copy_to_device(d_vals, a.values().data(), a.nnz());
+  arena.copy_to_device(d_b, b.data(), b.size());
+  arena.memset_zero(d_c);
+
+  const usize rows = static_cast<usize>(a.rows());
+  constexpr unsigned kTeams = 128;
+  const I* row_ptr = d_row_ptr.data();
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(arena, dev::Dim3{kTeams}, dev::Dim3{1},
+              [row_ptr, cols, vals, bp, cp, k, rows](const dev::ThreadCtx& t) {
+                for (usize r = t.global_x(); r < rows;
+                     r += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+                  V* crow = cp + r * k;
+                  for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+                    const usize col = static_cast<usize>(cols[i]);
+                    for (usize j = 0; j < k; ++j) {
+                      crow[j] += vals[i] * bp[col * k + j];
+                    }
+                  }
+                }
+              });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+template <ValueType V, IndexType I>
+void spmm_csr_serial_transpose(const Csr<V, I>& a, const Dense<V>& bt,
+                               Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  for (I r = 0; r < a.rows(); ++r) {
+    V* crow = cp + static_cast<usize>(r) * k;
+    // Loop order j-then-i: each output element accumulates a full dot
+    // product over the row against one Bᵀ row — the dense-multiply access
+    // pattern the paper's Study 8 discusses.
+    for (usize j = 0; j < k; ++j) {
+      V sum = V{0};
+      for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        sum += vals[i] * bp[j * n + static_cast<usize>(cols[i])];
+      }
+      crow[j] = sum;
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_csr_parallel_transpose(const Csr<V, I>& a, const Dense<V>& bt,
+                                 Dense<V>& c, int threads) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    V* crow = cp + static_cast<usize>(r) * k;
+    for (usize j = 0; j < k; ++j) {
+      V sum = V{0};
+      for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        sum += vals[i] * bp[j * n + static_cast<usize>(cols[i])];
+      }
+      crow[j] = sum;
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_csr_device_transpose(dev::DeviceArena& arena, const Csr<V, I>& a,
+                               const Dense<V>& bt, Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+
+  auto d_row_ptr = arena.alloc<I>(a.row_ptr().size());
+  auto d_cols = arena.alloc<I>(a.nnz());
+  auto d_vals = arena.alloc<V>(a.nnz());
+  auto d_b = arena.alloc<V>(bt.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_row_ptr, a.row_ptr().data(), a.row_ptr().size());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.nnz());
+  arena.copy_to_device(d_vals, a.values().data(), a.nnz());
+  arena.copy_to_device(d_b, bt.data(), bt.size());
+  arena.memset_zero(d_c);
+
+  const usize rows = static_cast<usize>(a.rows());
+  constexpr unsigned kTeams = 128;
+  const I* row_ptr = d_row_ptr.data();
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(arena, dev::Dim3{kTeams}, dev::Dim3{1},
+              [row_ptr, cols, vals, bp, cp, k, n, rows](const dev::ThreadCtx& t) {
+                for (usize r = t.global_x(); r < rows;
+                     r += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+                  V* crow = cp + r * k;
+                  for (usize j = 0; j < k; ++j) {
+                    V sum = V{0};
+                    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+                      sum += vals[i] * bp[j * n + static_cast<usize>(cols[i])];
+                    }
+                    crow[j] = sum;
+                  }
+                }
+              });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+}  // namespace spmm

@@ -1,0 +1,137 @@
+// CSR5-inspired SpMM kernels: nnz-balanced tiles with a two-phase
+// boundary merge.
+//
+// Phase 1 (parallel over tiles): each tile processes exactly tile_size
+// nonzeros. Rows fully contained in the tile write straight to C; the
+// tile's first and last (boundary) rows accumulate into per-tile partial
+// k-vectors. Phase 2 (cheap, serial over tiles): the partials are added
+// into C. No atomics, deterministic result, and per-thread work is
+// independent of the row-length distribution — the property the paper's
+// torso1 case (one 3263-entry row) calls for.
+#pragma once
+
+#include <algorithm>
+
+#include "formats/csr5.hpp"
+#include "kernels/spmm_common.hpp"
+#include "support/aligned_buffer.hpp"
+
+namespace spmm {
+
+namespace detail {
+
+/// Process one tile: complete rows → C, boundary rows → partials.
+/// `head`/`tail` are k-wide buffers owned by the caller.
+template <ValueType V, IndexType I>
+void csr5_tile(const Csr5<V, I>& a, usize t, const V* bp, usize k, V* cp,
+               V* __restrict__ head, I& head_row, V* __restrict__ tail,
+               I& tail_row) {
+  const Csr<V, I>& csr = a.csr();
+  const I* row_ptr = csr.row_ptr().data();
+  const I* cols = csr.col_idx().data();
+  const V* vals = csr.values().data();
+  const usize begin = t * static_cast<usize>(a.tile_size());
+  const usize end = std::min(csr.nnz(),
+                             begin + static_cast<usize>(a.tile_size()));
+  std::fill(head, head + k, V{0});
+  std::fill(tail, tail + k, V{0});
+  head_row = -1;
+  tail_row = -1;
+
+  I row = a.tile_row()[t];
+  usize i = begin;
+  while (i < end) {
+    // Advance to the row containing entry i.
+    while (static_cast<usize>(row_ptr[row + 1]) <= i) ++row;
+    const usize row_begin = static_cast<usize>(row_ptr[row]);
+    const usize row_end = static_cast<usize>(row_ptr[row + 1]);
+    const usize seg_end = std::min(row_end, end);
+    const bool complete = row_begin >= begin && row_end <= end;
+
+    V* out;
+    if (complete) {
+      out = cp + static_cast<usize>(row) * k;
+    } else if (row_begin < begin) {
+      // Continuation of a row started in an earlier tile.
+      out = head;
+      head_row = row;
+    } else {
+      // Row spills into the next tile.
+      out = tail;
+      tail_row = row;
+    }
+    for (; i < seg_end; ++i) {
+      const V v = vals[i];
+      const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * k;
+      for (usize j = 0; j < k; ++j) {
+        out[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+template <ValueType V, IndexType I>
+void spmm_csr5_serial(const Csr5<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  AlignedVector<V> head(k), tail(k);
+  for (usize t = 0; t < a.tiles(); ++t) {
+    I head_row = -1, tail_row = -1;
+    detail::csr5_tile(a, t, b.data(), k, c.data(), head.data(), head_row,
+                      tail.data(), tail_row);
+    if (head_row >= 0) {
+      V* crow = c.data() + static_cast<usize>(head_row) * k;
+      for (usize j = 0; j < k; ++j) crow[j] += head[j];
+    }
+    if (tail_row >= 0) {
+      V* crow = c.data() + static_cast<usize>(tail_row) * k;
+      for (usize j = 0; j < k; ++j) crow[j] += tail[j];
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_csr5_parallel(const Csr5<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                        int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize ntiles = a.tiles();
+  if (ntiles == 0) return;
+
+  // Per-tile boundary partials, merged in phase 2.
+  AlignedVector<V> heads(ntiles * k), tails(ntiles * k);
+  AlignedVector<I> head_rows(ntiles, -1), tail_rows(ntiles, -1);
+
+  const std::int64_t n = static_cast<std::int64_t>(ntiles);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t t = 0; t < n; ++t) {
+    detail::csr5_tile(a, static_cast<usize>(t), b.data(), k, c.data(),
+                      heads.data() + static_cast<usize>(t) * k,
+                      head_rows[static_cast<usize>(t)],
+                      tails.data() + static_cast<usize>(t) * k,
+                      tail_rows[static_cast<usize>(t)]);
+  }
+
+  // Phase 2: O(tiles · k) sequential merge — safe because boundary rows
+  // may be shared between adjacent tiles (or chained across many tiles
+  // for very long rows).
+  for (usize t = 0; t < ntiles; ++t) {
+    if (head_rows[t] >= 0) {
+      V* crow = c.data() + static_cast<usize>(head_rows[t]) * k;
+      const V* part = heads.data() + t * k;
+      for (usize j = 0; j < k; ++j) crow[j] += part[j];
+    }
+    if (tail_rows[t] >= 0) {
+      V* crow = c.data() + static_cast<usize>(tail_rows[t]) * k;
+      const V* part = tails.data() + t * k;
+      for (usize j = 0; j < k; ++j) crow[j] += part[j];
+    }
+  }
+}
+
+}  // namespace spmm

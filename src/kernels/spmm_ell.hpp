@@ -1,0 +1,196 @@
+// ELLPACK SpMM kernels. The fixed per-row trip count (width) is what
+// makes ELL "simple and easily vectorizable" (paper §2.2) — and what
+// makes it degrade when one heavy row inflates the width: every kernel
+// here does width×k work per row regardless of real nonzeros.
+#pragma once
+
+#include "devsim/device.hpp"
+#include "formats/ell.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+void spmm_ell_serial(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize width = static_cast<usize>(a.width());
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  for (I r = 0; r < a.rows(); ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V* crow = cp + static_cast<usize>(r) * k;
+    for (usize s = 0; s < width; ++s) {
+      const usize col = static_cast<usize>(cols[base + s]);
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += vals[base + s] * bp[col * k + j];
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_ell_parallel(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                       int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize width = static_cast<usize>(a.width());
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+  // Uniform per-row work: static schedule is optimal for ELL.
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V* crow = cp + static_cast<usize>(r) * k;
+    for (usize s = 0; s < width; ++s) {
+      const usize col = static_cast<usize>(cols[base + s]);
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += vals[base + s] * bp[col * k + j];
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_ell_device(dev::DeviceArena& arena, const Ell<V, I>& a,
+                     const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+  const usize width = static_cast<usize>(a.width());
+
+  auto d_cols = arena.alloc<I>(a.col_idx().size());
+  auto d_vals = arena.alloc<V>(a.values().size());
+  auto d_b = arena.alloc<V>(b.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.col_idx().size());
+  arena.copy_to_device(d_vals, a.values().data(), a.values().size());
+  arena.copy_to_device(d_b, b.data(), b.size());
+  arena.memset_zero(d_c);
+
+  const usize rows = static_cast<usize>(a.rows());
+  constexpr unsigned kTeams = 128;
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(arena, dev::Dim3{kTeams}, dev::Dim3{1},
+              [cols, vals, bp, cp, k, width, rows](const dev::ThreadCtx& t) {
+                for (usize r = t.global_x(); r < rows;
+                     r += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+                  const usize base = r * width;
+                  V* crow = cp + r * k;
+                  for (usize s = 0; s < width; ++s) {
+                    const usize col = static_cast<usize>(cols[base + s]);
+                    for (usize j = 0; j < k; ++j) {
+                      crow[j] += vals[base + s] * bp[col * k + j];
+                    }
+                  }
+                }
+              });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+template <ValueType V, IndexType I>
+void spmm_ell_serial_transpose(const Ell<V, I>& a, const Dense<V>& bt,
+                               Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const usize width = static_cast<usize>(a.width());
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  for (I r = 0; r < a.rows(); ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V* crow = cp + static_cast<usize>(r) * k;
+    for (usize j = 0; j < k; ++j) {
+      V sum = V{0};
+      for (usize s = 0; s < width; ++s) {
+        sum += vals[base + s] * bp[j * n + static_cast<usize>(cols[base + s])];
+      }
+      crow[j] = sum;
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_ell_parallel_transpose(const Ell<V, I>& a, const Dense<V>& bt,
+                                 Dense<V>& c, int threads) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const usize width = static_cast<usize>(a.width());
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V* crow = cp + static_cast<usize>(r) * k;
+    for (usize j = 0; j < k; ++j) {
+      V sum = V{0};
+      for (usize s = 0; s < width; ++s) {
+        sum += vals[base + s] * bp[j * n + static_cast<usize>(cols[base + s])];
+      }
+      crow[j] = sum;
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_ell_device_transpose(dev::DeviceArena& arena, const Ell<V, I>& a,
+                               const Dense<V>& bt, Dense<V>& c) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const usize width = static_cast<usize>(a.width());
+
+  auto d_cols = arena.alloc<I>(a.col_idx().size());
+  auto d_vals = arena.alloc<V>(a.values().size());
+  auto d_b = arena.alloc<V>(bt.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.col_idx().size());
+  arena.copy_to_device(d_vals, a.values().data(), a.values().size());
+  arena.copy_to_device(d_b, bt.data(), bt.size());
+  arena.memset_zero(d_c);
+
+  const usize rows = static_cast<usize>(a.rows());
+  constexpr unsigned kTeams = 128;
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(arena, dev::Dim3{kTeams}, dev::Dim3{1},
+              [cols, vals, bp, cp, k, n, width, rows](const dev::ThreadCtx& t) {
+                for (usize r = t.global_x(); r < rows;
+                     r += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+                  const usize base = r * width;
+                  V* crow = cp + r * k;
+                  for (usize j = 0; j < k; ++j) {
+                    V sum = V{0};
+                    for (usize s = 0; s < width; ++s) {
+                      sum += vals[base + s] *
+                             bp[j * n + static_cast<usize>(cols[base + s])];
+                    }
+                    crow[j] = sum;
+                  }
+                }
+              });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+}  // namespace spmm

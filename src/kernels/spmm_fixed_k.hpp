@@ -1,0 +1,305 @@
+// Manually optimized SpMM kernels (paper Study 9, §5.11).
+//
+// Two changes over the plain kernels, exactly the thesis's:
+//   1. the sparse value load is hoisted out of the k loop (expressed
+//      through __restrict__ pointers so the compiler may keep it in a
+//      register — the plain kernels' V* arrays may alias and cannot be
+//      hoisted);
+//   2. k is a template parameter, giving the compiler a compile-time trip
+//      count to vectorize and unroll ("the same compile time trick can be
+//      utilized in C, but this would require copying and pasting the
+//      function for every value" — §4.1; templates keep one algorithm).
+//
+// spmm_*_opt() dispatches a runtime k onto the instantiation set
+// {8,16,32,64,128,256,512} and falls back to a hoisted runtime-k loop for
+// other widths.
+#pragma once
+
+#include <type_traits>
+
+#include "formats/coo.hpp"
+#include "formats/csr.hpp"
+#include "formats/ell.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+/// The k values embedded at compile time.
+inline constexpr int kFixedKValues[] = {8, 16, 32, 64, 128, 256, 512};
+
+namespace detail {
+
+/// Call fn(std::integral_constant<int, K>{}) for the K matching the
+/// runtime k; returns false (fn not called) when k is not in the set.
+template <class Fn>
+bool dispatch_fixed_k(usize k, Fn&& fn) {
+  bool hit = false;
+  auto try_one = [&](auto kc) {
+    if (!hit && k == static_cast<usize>(decltype(kc)::value)) {
+      fn(kc);
+      hit = true;
+    }
+  };
+  try_one(std::integral_constant<int, 8>{});
+  try_one(std::integral_constant<int, 16>{});
+  try_one(std::integral_constant<int, 32>{});
+  try_one(std::integral_constant<int, 64>{});
+  try_one(std::integral_constant<int, 128>{});
+  try_one(std::integral_constant<int, 256>{});
+  try_one(std::integral_constant<int, 512>{});
+  return hit;
+}
+
+template <int K, ValueType V, IndexType I>
+void csr_fixed_k_rows(const I* __restrict__ row_ptr,
+                      const I* __restrict__ cols, const V* __restrict__ vals,
+                      const V* __restrict__ bp, V* __restrict__ cp,
+                      std::int64_t row_begin, std::int64_t row_end) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    V* __restrict__ crow = cp + static_cast<usize>(r) * K;
+    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const V v = vals[i];
+      const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * K;
+      for (int j = 0; j < K; ++j) {
+        crow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void csr_hoisted_rows(const I* __restrict__ row_ptr,
+                      const I* __restrict__ cols, const V* __restrict__ vals,
+                      const V* __restrict__ bp, V* __restrict__ cp, usize k,
+                      std::int64_t row_begin, std::int64_t row_end) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const V v = vals[i];
+      const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * k;
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+template <int K, ValueType V, IndexType I>
+void ell_fixed_k_rows(const I* __restrict__ cols, const V* __restrict__ vals,
+                      const V* __restrict__ bp, V* __restrict__ cp,
+                      usize width, std::int64_t row_begin,
+                      std::int64_t row_end) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V* __restrict__ crow = cp + static_cast<usize>(r) * K;
+    for (usize s = 0; s < width; ++s) {
+      const V v = vals[base + s];
+      const V* __restrict__ brow = bp + static_cast<usize>(cols[base + s]) * K;
+      for (int j = 0; j < K; ++j) {
+        crow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void ell_hoisted_rows(const I* __restrict__ cols, const V* __restrict__ vals,
+                      const V* __restrict__ bp, V* __restrict__ cp,
+                      usize width, usize k, std::int64_t row_begin,
+                      std::int64_t row_end) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+    for (usize s = 0; s < width; ++s) {
+      const V v = vals[base + s];
+      const V* __restrict__ brow = bp + static_cast<usize>(cols[base + s]) * k;
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += v * brow[j];
+      }
+    }
+  }
+}
+
+template <int K, ValueType V, IndexType I>
+void coo_fixed_k_range(const I* __restrict__ rows, const I* __restrict__ cols,
+                       const V* __restrict__ vals, const V* __restrict__ bp,
+                       V* __restrict__ cp, usize begin, usize end) {
+  for (usize i = begin; i < end; ++i) {
+    const V v = vals[i];
+    V* __restrict__ crow = cp + static_cast<usize>(rows[i]) * K;
+    const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * K;
+    for (int j = 0; j < K; ++j) {
+      crow[j] += v * brow[j];
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void coo_hoisted_range(const I* __restrict__ rows, const I* __restrict__ cols,
+                       const V* __restrict__ vals, const V* __restrict__ bp,
+                       V* __restrict__ cp, usize k, usize begin, usize end) {
+  for (usize i = begin; i < end; ++i) {
+    const V v = vals[i];
+    V* __restrict__ crow = cp + static_cast<usize>(rows[i]) * k;
+    const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * k;
+    for (usize j = 0; j < k; ++j) {
+      crow[j] += v * brow[j];
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Manually optimized serial CSR SpMM.
+template <ValueType V, IndexType I>
+void spmm_csr_serial_opt(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* rp = a.row_ptr().data();
+  const I* ci = a.col_idx().data();
+  const V* va = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
+    detail::csr_fixed_k_rows<decltype(kc)::value>(rp, ci, va, bp, cp, 0,
+                                                  a.rows());
+  });
+  if (!hit) {
+    detail::csr_hoisted_rows(rp, ci, va, bp, cp, k, 0, a.rows());
+  }
+}
+
+/// Manually optimized parallel CSR SpMM.
+template <ValueType V, IndexType I>
+void spmm_csr_parallel_opt(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                           int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* rp = a.row_ptr().data();
+  const I* ci = a.col_idx().data();
+  const V* va = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+  const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
+    constexpr int K = decltype(kc)::value;
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+    for (std::int64_t r = 0; r < rows; ++r) {
+      detail::csr_fixed_k_rows<K>(rp, ci, va, bp, cp, r, r + 1);
+    }
+  });
+  if (!hit) {
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+    for (std::int64_t r = 0; r < rows; ++r) {
+      detail::csr_hoisted_rows(rp, ci, va, bp, cp, k, r, r + 1);
+    }
+  }
+}
+
+/// Manually optimized serial ELL SpMM.
+template <ValueType V, IndexType I>
+void spmm_ell_serial_opt(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize width = static_cast<usize>(a.width());
+  const I* ci = a.col_idx().data();
+  const V* va = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
+    detail::ell_fixed_k_rows<decltype(kc)::value>(ci, va, bp, cp, width, 0,
+                                                  a.rows());
+  });
+  if (!hit) {
+    detail::ell_hoisted_rows(ci, va, bp, cp, width, k, 0, a.rows());
+  }
+}
+
+/// Manually optimized parallel ELL SpMM.
+template <ValueType V, IndexType I>
+void spmm_ell_parallel_opt(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                           int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const usize width = static_cast<usize>(a.width());
+  const I* ci = a.col_idx().data();
+  const V* va = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+  const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
+    constexpr int K = decltype(kc)::value;
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t r = 0; r < rows; ++r) {
+      detail::ell_fixed_k_rows<K>(ci, va, bp, cp, width, r, r + 1);
+    }
+  });
+  if (!hit) {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::int64_t r = 0; r < rows; ++r) {
+      detail::ell_hoisted_rows(ci, va, bp, cp, width, k, r, r + 1);
+    }
+  }
+}
+
+/// Manually optimized serial COO SpMM.
+template <ValueType V, IndexType I>
+void spmm_coo_serial_opt(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* ri = a.row_idx().data();
+  const I* ci = a.col_idx().data();
+  const V* va = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
+    detail::coo_fixed_k_range<decltype(kc)::value>(ri, ci, va, bp, cp, 0,
+                                                   a.nnz());
+  });
+  if (!hit) {
+    detail::coo_hoisted_range(ri, ci, va, bp, cp, k, 0, a.nnz());
+  }
+}
+
+/// Manually optimized parallel COO SpMM (row-aligned partition, as the
+/// plain kernel).
+template <ValueType V, IndexType I>
+void spmm_coo_parallel_opt(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                           int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* ri = a.row_idx().data();
+  const I* ci = a.col_idx().data();
+  const V* va = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::vector<usize> bounds = a.row_aligned_partition(threads);
+  const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
+    constexpr int K = decltype(kc)::value;
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      detail::coo_fixed_k_range<K>(ri, ci, va, bp, cp,
+                                   bounds[static_cast<usize>(t)],
+                                   bounds[static_cast<usize>(t) + 1]);
+    }
+  });
+  if (!hit) {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      detail::coo_hoisted_range(ri, ci, va, bp, cp, k,
+                                bounds[static_cast<usize>(t)],
+                                bounds[static_cast<usize>(t) + 1]);
+    }
+  }
+}
+
+}  // namespace spmm

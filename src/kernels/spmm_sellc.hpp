@@ -1,0 +1,128 @@
+// SELL-C-σ SpMM kernels (future-work direction, paper §6.3.1 / [13]).
+// Chunks are independent; within a chunk the column-major lane layout
+// makes the s-loop's loads contiguous across lanes — the vector-friendly
+// property the format exists for.
+#pragma once
+
+#include "devsim/device.hpp"
+#include "formats/sellc.hpp"
+#include "kernels/spmm_common.hpp"
+
+namespace spmm {
+
+namespace detail {
+
+template <ValueType V, IndexType I>
+inline void sellc_chunk_multiply(const SellC<V, I>& a, I chunk, const V* bp,
+                                 usize k, V* cp) {
+  const usize C = static_cast<usize>(a.chunk_size());
+  const usize w =
+      static_cast<usize>(a.chunk_width()[static_cast<usize>(chunk)]);
+  const usize base = a.chunk_offset()[static_cast<usize>(chunk)];
+  const usize rows = static_cast<usize>(a.rows());
+  const I* perm = a.perm().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  for (usize lane = 0; lane < C; ++lane) {
+    const usize pos = static_cast<usize>(chunk) * C + lane;
+    if (pos >= rows) break;  // unused lanes of the final chunk
+    const usize r = static_cast<usize>(perm[pos]);
+    V* crow = cp + r * k;
+    for (usize s = 0; s < w; ++s) {
+      const usize slot = base + s * C + lane;
+      const usize col = static_cast<usize>(cols[slot]);
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += vals[slot] * bp[col * k + j];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+template <ValueType V, IndexType I>
+void spmm_sellc_serial(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  for (I chunk = 0; chunk < a.chunks(); ++chunk) {
+    detail::sellc_chunk_multiply(a, chunk, b.data(), k, c.data());
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_sellc_parallel(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                         int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const std::int64_t chunks = a.chunks();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 8)
+  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+    detail::sellc_chunk_multiply(a, static_cast<I>(chunk), b.data(), k,
+                                 c.data());
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmm_sellc_device(dev::DeviceArena& arena, const SellC<V, I>& a,
+                       const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  const usize k = b.cols();
+
+  auto d_perm = arena.alloc<I>(a.perm().size());
+  auto d_width = arena.alloc<I>(a.chunk_width().size());
+  auto d_offset = arena.alloc<usize>(a.chunk_offset().size());
+  auto d_cols = arena.alloc<I>(a.col_idx().size());
+  auto d_vals = arena.alloc<V>(a.values().size());
+  auto d_b = arena.alloc<V>(b.size());
+  auto d_c = arena.alloc<V>(c.size());
+  arena.copy_to_device(d_perm, a.perm().data(), a.perm().size());
+  arena.copy_to_device(d_width, a.chunk_width().data(),
+                       a.chunk_width().size());
+  arena.copy_to_device(d_offset, a.chunk_offset().data(),
+                       a.chunk_offset().size());
+  arena.copy_to_device(d_cols, a.col_idx().data(), a.col_idx().size());
+  arena.copy_to_device(d_vals, a.values().data(), a.values().size());
+  arena.copy_to_device(d_b, b.data(), b.size());
+  arena.memset_zero(d_c);
+
+  const usize chunks = static_cast<usize>(a.chunks());
+  const usize C = static_cast<usize>(a.chunk_size());
+  const usize rows = static_cast<usize>(a.rows());
+  constexpr unsigned kTeams = 128;
+  const I* perm = d_perm.data();
+  const I* width = d_width.data();
+  const usize* offset = d_offset.data();
+  const I* cols = d_cols.data();
+  const V* vals = d_vals.data();
+  const V* bp = d_b.data();
+  V* cp = d_c.data();
+  dev::launch(
+      arena, dev::Dim3{kTeams}, dev::Dim3{1},
+      [perm, width, offset, cols, vals, bp, cp, k, chunks, C,
+       rows](const dev::ThreadCtx& t) {
+        for (usize chunk = t.global_x(); chunk < chunks;
+             chunk += static_cast<usize>(t.grid_dim.x) * t.block_dim.x) {
+          const usize w = static_cast<usize>(width[chunk]);
+          const usize base = offset[chunk];
+          for (usize lane = 0; lane < C; ++lane) {
+            const usize pos = chunk * C + lane;
+            if (pos >= rows) break;
+            const usize r = static_cast<usize>(perm[pos]);
+            V* crow = cp + r * k;
+            for (usize s = 0; s < w; ++s) {
+              const usize slot = base + s * C + lane;
+              const usize col = static_cast<usize>(cols[slot]);
+              for (usize j = 0; j < k; ++j) {
+                crow[j] += vals[slot] * bp[col * k + j];
+              }
+            }
+          }
+        }
+      });
+  arena.copy_to_host(c.data(), d_c, c.size());
+}
+
+}  // namespace spmm

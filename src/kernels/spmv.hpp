@@ -1,0 +1,166 @@
+// SpMV kernels (paper §6.3.4 future work: "Modifying it to generate a
+// vector rather than a matrix should be relatively straightforward").
+//
+// A vector is a width-1 dense operand, so these are thin k=1 paths with
+// contiguous accumulators; provided for every format so SpMV and SpMM can
+// share one study, which is exactly the use case the thesis motivates.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <type_traits>
+
+#include "formats/bcsr.hpp"
+#include "formats/coo.hpp"
+#include "formats/csr.hpp"
+#include "formats/ell.hpp"
+#include "support/error.hpp"
+
+namespace spmm {
+
+template <ValueType V, IndexType I>
+void spmv_coo(const Coo<V, I>& a, std::type_identity_t<std::span<const V>> x, std::type_identity_t<std::span<V>> y) {
+  SPMM_CHECK(x.size() == static_cast<usize>(a.cols()), "SpMV: x size mismatch");
+  SPMM_CHECK(y.size() == static_cast<usize>(a.rows()), "SpMV: y size mismatch");
+  std::fill(y.begin(), y.end(), V{0});
+  for (usize i = 0; i < a.nnz(); ++i) {
+    y[static_cast<usize>(a.row(i))] +=
+        a.value(i) * x[static_cast<usize>(a.col(i))];
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmv_csr(const Csr<V, I>& a, std::type_identity_t<std::span<const V>> x, std::type_identity_t<std::span<V>> y) {
+  SPMM_CHECK(x.size() == static_cast<usize>(a.cols()), "SpMV: x size mismatch");
+  SPMM_CHECK(y.size() == static_cast<usize>(a.rows()), "SpMV: y size mismatch");
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  for (I r = 0; r < a.rows(); ++r) {
+    V sum = V{0};
+    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      sum += vals[i] * x[static_cast<usize>(cols[i])];
+    }
+    y[static_cast<usize>(r)] = sum;
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmv_csr_parallel(const Csr<V, I>& a, std::type_identity_t<std::span<const V>> x,
+                       std::type_identity_t<std::span<V>> y, int threads) {
+  SPMM_CHECK(x.size() == static_cast<usize>(a.cols()), "SpMV: x size mismatch");
+  SPMM_CHECK(y.size() == static_cast<usize>(a.rows()), "SpMV: y size mismatch");
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const std::int64_t rows = a.rows();
+  V* yp = y.data();
+  const V* xp = x.data();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 256)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    V sum = V{0};
+    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      sum += vals[i] * xp[static_cast<usize>(cols[i])];
+    }
+    yp[r] = sum;
+  }
+}
+
+/// Parallel COO SpMV: row-aligned nonzero partition, as the SpMM kernel.
+template <ValueType V, IndexType I>
+void spmv_coo_parallel(const Coo<V, I>& a,
+                       std::type_identity_t<std::span<const V>> x,
+                       std::type_identity_t<std::span<V>> y, int threads) {
+  SPMM_CHECK(x.size() == static_cast<usize>(a.cols()), "SpMV: x size mismatch");
+  SPMM_CHECK(y.size() == static_cast<usize>(a.rows()), "SpMV: y size mismatch");
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  std::fill(y.begin(), y.end(), V{0});
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* xp = x.data();
+  V* yp = y.data();
+  const std::vector<usize> bounds = a.row_aligned_partition(threads);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    for (usize i = bounds[static_cast<usize>(t)];
+         i < bounds[static_cast<usize>(t) + 1]; ++i) {
+      yp[static_cast<usize>(rows[i])] +=
+          vals[i] * xp[static_cast<usize>(cols[i])];
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmv_ell(const Ell<V, I>& a, std::type_identity_t<std::span<const V>> x, std::type_identity_t<std::span<V>> y) {
+  SPMM_CHECK(x.size() == static_cast<usize>(a.cols()), "SpMV: x size mismatch");
+  SPMM_CHECK(y.size() == static_cast<usize>(a.rows()), "SpMV: y size mismatch");
+  const usize width = static_cast<usize>(a.width());
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  for (I r = 0; r < a.rows(); ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V sum = V{0};
+    for (usize s = 0; s < width; ++s) {
+      sum += vals[base + s] * x[static_cast<usize>(cols[base + s])];
+    }
+    y[static_cast<usize>(r)] = sum;
+  }
+}
+
+/// Parallel ELL SpMV: static row schedule (uniform per-row work).
+template <ValueType V, IndexType I>
+void spmv_ell_parallel(const Ell<V, I>& a,
+                       std::type_identity_t<std::span<const V>> x,
+                       std::type_identity_t<std::span<V>> y, int threads) {
+  SPMM_CHECK(x.size() == static_cast<usize>(a.cols()), "SpMV: x size mismatch");
+  SPMM_CHECK(y.size() == static_cast<usize>(a.rows()), "SpMV: y size mismatch");
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  const usize width = static_cast<usize>(a.width());
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* xp = x.data();
+  V* yp = y.data();
+  const std::int64_t rows = a.rows();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V sum = V{0};
+    for (usize s = 0; s < width; ++s) {
+      sum += vals[base + s] * xp[static_cast<usize>(cols[base + s])];
+    }
+    yp[r] = sum;
+  }
+}
+
+template <ValueType V, IndexType I>
+void spmv_bcsr(const Bcsr<V, I>& a, std::type_identity_t<std::span<const V>> x, std::type_identity_t<std::span<V>> y) {
+  SPMM_CHECK(x.size() == static_cast<usize>(a.cols()), "SpMV: x size mismatch");
+  SPMM_CHECK(y.size() == static_cast<usize>(a.rows()), "SpMV: y size mismatch");
+  std::fill(y.begin(), y.end(), V{0});
+  const usize bs = static_cast<usize>(a.block_size());
+  const I* row_ptr = a.block_row_ptr().data();
+  const I* bcols = a.block_col_idx().data();
+  const V* vals = a.values().data();
+  const usize rows = static_cast<usize>(a.rows());
+  const usize cols = static_cast<usize>(a.cols());
+  for (I brow = 0; brow < a.block_rows(); ++brow) {
+    const usize r0 = static_cast<usize>(brow) * bs;
+    const usize rows_in = std::min(bs, rows - r0);
+    for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+      const usize cols_in = std::min(bs, cols - c0);
+      const V* tile = vals + static_cast<usize>(blk) * bs * bs;
+      for (usize lr = 0; lr < rows_in; ++lr) {
+        V sum = V{0};
+        for (usize lc = 0; lc < cols_in; ++lc) {
+          sum += tile[lr * bs + lc] * x[c0 + lc];
+        }
+        y[r0 + lr] += sum;
+      }
+    }
+  }
+}
+
+}  // namespace spmm

@@ -1,0 +1,364 @@
+#include "perfmodel/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace spmm::model {
+
+namespace {
+
+// Bench configuration element sizes: double values, int32 indices.
+constexpr double kValueBytes = 8.0;
+constexpr double kIndexBytes = 4.0;
+
+// --- calibration constants -------------------------------------------------
+// Vectorization quality multipliers by kernel form (fraction of the
+// format's SIMD achievement the form retains).
+constexpr double kVecPlain = 0.70;      // runtime-k, aliasing value load
+constexpr double kVecOptimized = 1.0;   // template-k + restrict (Study 9)
+constexpr double kVecTranspose = 0.50;  // strided Bᵀ gathers, dot-form
+constexpr double kVecVendor = 1.0;      // vendor panel kernels
+
+// B-row reuse: maximum achievable hit rate and the cache-line inflation
+// cap for transpose gathers (8 doubles per 64-byte line).
+constexpr double kMaxHitRate = 0.60;
+constexpr double kLineInflation = 8.0;
+
+// SMT: blocked (latency-bound) formats convert extra hardware threads
+// into throughput far better than streaming ones (paper §6.1).
+constexpr double kSmtBlockedBonus = 1.6;
+constexpr double kSmtStreamingPenalty = 0.30;
+
+// Fraction of stored-entry B traffic that also costs latency stalls when
+// the working set spills the LLC (raises effective traffic slightly for
+// scattered matrices).
+constexpr double kSpillPenalty = 1.15;
+// ----------------------------------------------------------------------------
+
+/// Parallel-region efficiency by format: COO's static row-aligned
+/// partition has the least scheduling overhead (why the paper sees COO
+/// lead parallel runs on Arm); CSR's dynamic row schedule pays the most.
+double parallel_eff(Format f) {
+  switch (f) {
+    case Format::kCoo: return 1.00;
+    case Format::kCsr: return 0.88;
+    case Format::kEll: return 0.97;
+    case Format::kBcsr: return 0.94;
+    case Format::kBell: return 0.95;
+    case Format::kSellC: return 0.95;
+    case Format::kHyb: return 0.96;
+    // nnz-balanced tiles: near-perfect load balance (the format's point).
+    case Format::kCsr5: return 0.99;
+  }
+  return 0.9;
+}
+
+bool is_blocked(Format f) {
+  return f == Format::kEll || f == Format::kBcsr || f == Format::kBell ||
+         f == Format::kSellC || f == Format::kHyb;
+}
+
+double bcsr_fill_for(const ModelInput& in, int block_size) {
+  auto it = in.bcsr_fill.find(block_size);
+  if (it != in.bcsr_fill.end()) return it->second;
+  // Fall back to an interpolation on the densest known fill: fill decays
+  // roughly like (b0/b)^d with d≈1 for FEM-like matrices.
+  if (!in.bcsr_fill.empty()) {
+    const auto& [b0, f0] = *in.bcsr_fill.begin();
+    const double d =
+        static_cast<double>(b0) / static_cast<double>(block_size);
+    return std::clamp(f0 * d, 0.01, 1.0);
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+double stored_entries(const ModelInput& in, Format f, int block_size) {
+  const auto& p = in.props;
+  const double nnz = static_cast<double>(p.nnz);
+  switch (f) {
+    case Format::kCoo:
+    case Format::kCsr:
+      return nnz;
+    case Format::kEll:
+      return static_cast<double>(p.rows) * static_cast<double>(p.max_row_nnz);
+    case Format::kBcsr:
+      return nnz / std::max(0.01, bcsr_fill_for(in, block_size));
+    case Format::kBell: {
+      // Group-local widths follow the local row mix: padding scales with
+      // the row-count dispersion, bounded by ELL's padding.
+      const double cv = p.avg_row_nnz > 0
+                            ? p.row_nnz_stddev / p.avg_row_nnz
+                            : 0.0;
+      const double pad = std::min(p.ell_padding_ratio, 1.0 + 0.5 * cv);
+      return nnz * pad;
+    }
+    case Format::kSellC: {
+      // σ-sorting nearly eliminates chunk padding.
+      const double cv = p.avg_row_nnz > 0
+                            ? p.row_nnz_stddev / p.avg_row_nnz
+                            : 0.0;
+      const double pad = std::min(p.ell_padding_ratio, 1.0 + 0.1 * cv);
+      return nnz * pad;
+    }
+    case Format::kHyb:
+      // The width heuristic bounds the ELL region's padding; the tail
+      // holds the spill, so storage stays within ~15% of nnz.
+      return nnz * std::min(p.ell_padding_ratio, 1.15);
+    case Format::kCsr5:
+      return nnz;  // no padding: CSR arrays + one index per tile
+  }
+  return nnz;
+}
+
+namespace {
+
+/// Per-format A-array bytes per *stored* entry (indices + values),
+/// including row metadata amortized over entries.
+double a_bytes_per_entry(const ModelInput& in, Format f, int block_size) {
+  const auto& p = in.props;
+  const double per_row =
+      p.nnz > 0 ? static_cast<double>(p.rows) / static_cast<double>(p.nnz)
+                : 0.0;
+  switch (f) {
+    case Format::kCoo:
+      return 2 * kIndexBytes + kValueBytes;  // row + col + value
+    case Format::kCsr:
+      return kIndexBytes + kValueBytes + kIndexBytes * per_row;
+    case Format::kEll:
+    case Format::kBell:
+    case Format::kSellC:
+      return kIndexBytes + kValueBytes;  // padded col + padded value
+    case Format::kHyb:
+      // ELL region entries plus the COO-coordinate tail (small).
+      return kIndexBytes + kValueBytes + 0.1 * kIndexBytes;
+    case Format::kCsr5:
+      // CSR traffic plus one tile index per tile_size entries (~1/256).
+      return kIndexBytes + kValueBytes +
+             kIndexBytes * (per_row + 1.0 / 256.0);
+    case Format::kBcsr: {
+      // One block column index per b² stored values.
+      const double b2 = static_cast<double>(block_size) *
+                        static_cast<double>(block_size);
+      return kValueBytes + kIndexBytes / b2;
+    }
+  }
+  return kIndexBytes + kValueBytes;
+}
+
+/// Hit rate for B-row panel reads: how often the needed k·8-byte panel is
+/// still cached. Driven by the live span of B rows (bandwidth locality)
+/// versus LLC capacity.
+double b_hit_rate(const Machine& m, const ModelInput& in, int k) {
+  const auto& p = in.props;
+  // Fraction of B's rows live at once ≈ twice the normalized bandwidth
+  // (the diagonal band), floored by the reciprocal row count.
+  const double span = std::clamp(2.0 * p.normalized_bandwidth, 1e-6, 1.0);
+  const double live_bytes = span * static_cast<double>(p.cols) *
+                            static_cast<double>(k) * kValueBytes;
+  const double fit = std::min(1.0, m.llc_bytes / std::max(1.0, live_bytes));
+  double hit = kMaxHitRate * fit;
+  // Per-row working set vs L2: one C row plus its avg_row_nnz distinct
+  // B panels must cycle through L2 while the row is processed. Once that
+  // spills (~half of L2), panel reuse within the row degrades — the
+  // mechanism behind Aries' k≈512 cap in Study 4 (512 KB L2 per core vs
+  // Grace's 1 MB).
+  const double row_ws =
+      std::max(1.0, p.avg_row_nnz) * static_cast<double>(k) * kValueBytes;
+  if (row_ws > 0.5 * m.l2_bytes) {
+    hit *= 0.5 * m.l2_bytes / row_ws;
+  }
+  return hit;
+}
+
+/// Loop-control overhead expressed as equivalent extra entries of work
+/// per stored entry: CSR pays a row-loop setup per (possibly short) row,
+/// BCSR a tile-loop setup per block, ELL almost nothing (fixed trip
+/// counts), COO nothing (one flat loop). This is what splits COO vs CSR
+/// on short-row matrices (paper Study 1: serial results "almost evenly
+/// divided between COO and CSR" on Aries).
+double loop_overhead_per_entry(const ModelInput& in, const KernelSpec& s) {
+  const double avg = std::max(1.0, in.props.avg_row_nnz);
+  const double k = static_cast<double>(s.k);
+  // ~60 cycles of setup per row/tile, relative to the 2k flops each
+  // stored entry contributes; at k=128 this is nearly free, at k=8 it
+  // bites short-row matrices (part of why small k underperforms).
+  switch (s.format) {
+    case Format::kCoo: return 0.0;
+    case Format::kCsr: return 60.0 / (avg * k);
+    case Format::kEll:
+      return 10.0 / (std::max(1.0, double(in.props.max_row_nnz)) * k);
+    case Format::kBcsr: {
+      const double b2 = double(s.block_size) * double(s.block_size);
+      return 60.0 / (b2 * k);
+    }
+    case Format::kBell:
+    case Format::kSellC:
+      return 30.0 / (avg * k);
+    case Format::kHyb:
+      return 15.0 / (avg * k);
+    case Format::kCsr5:
+      // Per-tile setup amortized over tile_size entries.
+      return 60.0 / (256.0 * k) + 60.0 / (avg * k);
+  }
+  return 0.0;
+}
+
+double vec_quality(const KernelSpec& s) {
+  if (s.vendor) return kVecVendor;
+  if (variant_is_transpose(s.variant)) return kVecTranspose;
+  return s.manually_optimized ? kVecOptimized : kVecPlain;
+}
+
+/// Effective parallel core count including SMT yield.
+double effective_cores(const Machine& m, const KernelSpec& s) {
+  const int t = std::min(s.threads, m.max_threads());
+  const double eff = parallel_eff(s.format);
+  if (t <= m.physical_cores) return static_cast<double>(t) * eff;
+  const double extra = static_cast<double>(t - m.physical_cores);
+  const double yield =
+      m.smt_yield *
+      (is_blocked(s.format) ? kSmtBlockedBonus : kSmtStreamingPenalty);
+  return (static_cast<double>(m.physical_cores) + extra * yield) * eff;
+}
+
+Prediction predict_gpu(const Machine& m, const ModelInput& in,
+                       const KernelSpec& s) {
+  Prediction out;
+  const auto& p = in.props;
+  const double k = static_cast<double>(s.k);
+  const double stored = stored_entries(in, s.format, s.block_size);
+  out.flops_true = 2.0 * static_cast<double>(p.nnz) * k;
+  out.flops_padded = 2.0 * stored * k;
+
+  // OpenMP target offload maps the operands every invocation: A + B in,
+  // C out, over the host link.
+  const double a_bytes = stored * a_bytes_per_entry(in, s.format, s.block_size);
+  const double b_bytes = static_cast<double>(p.cols) * k * kValueBytes;
+  const double c_bytes = static_cast<double>(p.rows) * k * kValueBytes;
+  const double transfer_bytes = a_bytes + b_bytes + c_bytes;
+  const double t_link = transfer_bytes / (m.link_gbs * 1e9);
+
+  // Device-side roofline. Transpose variants lose coalescing on Bᵀ.
+  const double eff =
+      m.runtime_efficiency * (variant_is_transpose(s.variant) ? 0.45 : 1.0);
+  const double t_compute = out.flops_padded / (m.gpu_gflops * 1e9 * eff);
+  // Device traffic: A once + B gathers (HBM absorbs most re-reads: use a
+  // generous hit rate scaled by locality) + C.
+  const double hit = 0.5 + 0.45 * std::exp(-4.0 * p.normalized_bandwidth);
+  const double dev_bytes =
+      a_bytes + stored * k * kValueBytes * (1.0 - hit) + b_bytes + c_bytes;
+  const double t_mem = dev_bytes / (m.gpu_bw_gbs * 1e9 * eff);
+
+  const double t_kernel = std::max(t_compute, t_mem);
+  out.memory_bound = t_mem > t_compute;
+  out.bytes = transfer_bytes + dev_bytes;
+  out.seconds = t_link + t_kernel + m.launch_overhead_us * 1e-6;
+  out.mflops = out.flops_true / out.seconds / 1e6;
+  return out;
+}
+
+}  // namespace
+
+Prediction predict(const Machine& m, const ModelInput& in,
+                   const KernelSpec& s) {
+  SPMM_CHECK(s.k > 0, "model: k must be positive");
+  SPMM_CHECK(s.threads > 0, "model: thread count must be positive");
+  if (m.is_gpu || variant_is_device(s.variant)) {
+    SPMM_CHECK(m.is_gpu, "device variant predicted on a CPU machine");
+    return predict_gpu(m, in, s);
+  }
+
+  Prediction out;
+  const auto& p = in.props;
+  const double k = static_cast<double>(s.k);
+  const double stored = stored_entries(in, s.format, s.block_size);
+  out.flops_true = 2.0 * static_cast<double>(p.nnz) * k;
+  out.flops_padded = 2.0 * stored * k;
+
+  // --- compute term ---
+  const double simd =
+      1.0 + (m.simd_speedup - 1.0) * m.simd_eff(s.format) * vec_quality(s);
+  const double cores = variant_is_parallel(s.variant)
+                           ? effective_cores(m, s)
+                           : 1.0;
+  const double rate = cores * m.core_gflops * 1e9 * simd /
+                      (1.0 + loop_overhead_per_entry(in, s));
+  const double t_compute = out.flops_padded / rate;
+
+  // --- memory term ---
+  const double a_bytes = stored * a_bytes_per_entry(in, s.format, s.block_size);
+  // Plain kernels accumulate into C (read-for-ownership + write-back);
+  // the transpose dot-product form writes each C element exactly once.
+  const double c_bytes = (variant_is_transpose(s.variant) ? 1.0 : 2.0) *
+                         static_cast<double>(p.rows) * k * kValueBytes;
+  const double b_compulsory = static_cast<double>(p.cols) * k * kValueBytes;
+  double b_bytes;
+  if (variant_is_transpose(s.variant)) {
+    // Bᵀ gathers: each access pulls a cache line and uses 8 bytes of it
+    // unless the row's columns are clustered (neighbors share the line).
+    const double clustering = std::exp(-64.0 * p.normalized_row_gap);
+    const double inflation =
+        1.0 + (kLineInflation - 1.0) * (1.0 - clustering);
+    const double hit = b_hit_rate(m, in, s.k);
+    b_bytes = std::max(b_compulsory,
+                       stored * k * kValueBytes * (1.0 - hit) * inflation);
+  } else {
+    const double hit = b_hit_rate(m, in, s.k);
+    // A b×b BCSR tile reads its b B-rows once for all b² stored entries,
+    // amortizing B traffic — but the first touch of each panel still
+    // misses, so the achieved amortization grows like √b rather than b.
+    // This is why blocked formats hold up in memory-bound parallel runs
+    // (§6.1) without running away from CSR.
+    const double amortize =
+        s.format == Format::kBcsr
+            ? std::sqrt(static_cast<double>(s.block_size))
+            : 1.0;
+    b_bytes = std::max(b_compulsory,
+                       stored * k * kValueBytes * (1.0 - hit) / amortize);
+    if (hit < 0.5) b_bytes *= kSpillPenalty;
+  }
+  out.bytes = a_bytes + b_bytes + c_bytes;
+  const int bw_threads = variant_is_parallel(s.variant) ? s.threads : 1;
+  // Scheduling bubbles idle the memory pipeline too, so the per-format
+  // parallel efficiency divides the achieved bandwidth (this is what
+  // lets statically-partitioned COO lead the memory-bound parallel runs,
+  // as the paper observes on Arm).
+  const double sched_eff =
+      variant_is_parallel(s.variant) ? parallel_eff(s.format) : 1.0;
+  // SMT threads beyond the physical cores contribute extra outstanding
+  // misses; blocked formats' dependent-load chains leave memory-level
+  // parallelism idle for them to fill (the paper's observation that
+  // hyperthreading wins, when it wins, go to the blocked formats, §6.1).
+  double smt_bw = 1.0;
+  if (variant_is_parallel(s.variant) && s.threads > m.physical_cores &&
+      is_blocked(s.format)) {
+    const double extra = static_cast<double>(
+        std::min(s.threads, m.max_threads()) - m.physical_cores);
+    smt_bw += 0.25 * std::min(1.0, extra / m.physical_cores);
+  }
+  const double t_mem =
+      out.bytes / (m.bandwidth_gbs(bw_threads) * 1e9 * sched_eff * smt_bw);
+
+  // --- overheads ---
+  double t_over = 0.0;
+  if (variant_is_parallel(s.variant)) {
+    t_over = m.parallel_overhead_us * 1e-6 *
+             (1.0 + std::log2(static_cast<double>(s.threads)));
+  }
+
+  out.memory_bound = t_mem > t_compute;
+  out.seconds = std::max(t_compute, t_mem) + t_over;
+  out.mflops = out.flops_true / out.seconds / 1e6;
+  return out;
+}
+
+double predict_mflops(const Machine& machine, const ModelInput& input,
+                      const KernelSpec& spec) {
+  return predict(machine, input, spec).mflops;
+}
+
+}  // namespace spmm::model

@@ -1,0 +1,93 @@
+// Analytical SpMM cost model.
+//
+// predict() estimates the wall time of one kernel invocation on a
+// described machine from (a) the matrix's Table 5.1 statistics and
+// locality metrics, (b) the format's padded work and storage traffic,
+// and (c) the kernel variant's vectorization quality. It is a
+// roofline-style model: time = max(compute, memory) + fixed overheads,
+// with a cache-reuse model for the B operand (the paper identifies the
+// repeated gathering of B as SpMM's defining cost, §2.3).
+//
+// The model regenerates the multi-machine figures (Studies 1–8) that
+// cannot be measured natively here; every constant is calibrated against
+// the MFLOPs ranges the thesis reports and checked by shape tests in
+// tests/test_cost_model.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "formats/format_id.hpp"
+#include "formats/properties.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace spmm::model {
+
+/// Per-matrix input: full-scale statistics plus per-block-size BCSR fill
+/// ratios (computed natively from a scaled instance; the ratios are
+/// scale-invariant).
+struct ModelInput {
+  MatrixProperties props;
+  /// block size → fill ratio (true nnz / stored entries).
+  std::map<int, double> bcsr_fill;
+};
+
+/// The kernel being predicted.
+struct KernelSpec {
+  Format format = Format::kCsr;
+  Variant variant = Variant::kSerial;
+  int threads = 1;
+  int k = 128;
+  int block_size = 4;
+  /// Study 9 manually optimized (hoisted load + template-k) kernels.
+  bool manually_optimized = false;
+  /// Study 7 vendor library (cuSPARSE stand-in) instead of our kernels.
+  bool vendor = false;
+};
+
+/// Model output for one invocation.
+struct Prediction {
+  double seconds = 0.0;
+  /// True-work MFLOPs (2·nnz·k / time) — the paper's reported metric.
+  double mflops = 0.0;
+  /// 2·nnz·k.
+  double flops_true = 0.0;
+  /// 2·stored_entries·k (includes padding work).
+  double flops_padded = 0.0;
+  /// Modeled memory traffic in bytes.
+  double bytes = 0.0;
+  /// Whether the memory term dominated.
+  bool memory_bound = false;
+};
+
+/// Stored entries for a format (padding included); needs fill ratios for
+/// BCSR. ELL uses rows·max_row_nnz. BELL/SELL-C use a padding estimate
+/// between ELL's and none (their group/chunk widths track the row mix).
+double stored_entries(const ModelInput& in, Format f, int block_size);
+
+/// Predict one kernel invocation. Value type is double (8-byte values,
+/// 4-byte indices — the suite's bench configuration).
+Prediction predict(const Machine& machine, const ModelInput& input,
+                   const KernelSpec& spec);
+
+/// Convenience: predicted true-work MFLOPs.
+double predict_mflops(const Machine& machine, const ModelInput& input,
+                      const KernelSpec& spec);
+
+/// Build a ModelInput from a generated matrix (computes locality metrics
+/// and fill ratios natively). `blocks` lists the BCSR block sizes to
+/// precompute.
+template <ValueType V, IndexType I>
+ModelInput model_input_from_coo(const Coo<V, I>& coo, std::string name,
+                                std::initializer_list<int> blocks = {2, 4,
+                                                                     16}) {
+  ModelInput in;
+  in.props = compute_properties(coo, std::move(name));
+  for (int b : blocks) {
+    in.bcsr_fill[b] = estimate_bcsr_fill(coo, static_cast<I>(b));
+  }
+  return in;
+}
+
+}  // namespace spmm::model

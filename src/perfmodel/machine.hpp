@@ -1,0 +1,105 @@
+// Machine descriptions for the analytical performance model.
+//
+// The thesis measures on two CPUs (Nvidia Grace Hopper's 72 Arm cores;
+// "Aries", a dual AMD EPYC 7413 with 48 physical / 96 SMT cores) and two
+// GPUs (H100, A100) driven by either OpenMP target offload or cuSPARSE.
+// None of that hardware exists in this environment, so each machine is
+// described by a small set of published/representative parameters and a
+// calibration block tuned so the model lands in the thesis's reported
+// MFLOPs ranges (see EXPERIMENTS.md). Kernel correctness never goes
+// through this model — it is timing-only.
+#pragma once
+
+#include <string>
+
+#include "formats/format_id.hpp"
+
+namespace spmm::model {
+
+/// Which runtime drives a GPU kernel; the thesis found OpenMP target
+/// offload substantially less efficient than cuSPARSE (Study 7).
+enum class GpuRuntime {
+  kOmpOffload,
+  kVendor,  // cuSPARSE stand-in
+};
+
+/// Description of one execution platform.
+struct Machine {
+  std::string name;
+  bool is_gpu = false;
+
+  // --- CPU section ---
+  int physical_cores = 1;
+  /// Hardware threads per core (1 = no SMT).
+  int smt_per_core = 1;
+  /// Sustained scalar GFLOP/s of one core on this mixed mul-add kernel
+  /// mix (calibrated, not datasheet peak).
+  double core_gflops = 3.0;
+  /// Achievable SIMD speedup ceiling for a perfectly vectorized kernel
+  /// (vector lanes × issue efficiency).
+  double simd_speedup = 4.0;
+  /// Per-core L2 capacity in bytes (bounds the hot B/C panel; drives the
+  /// k-loop saturation Study 4 sees on Aries).
+  double l2_bytes = 512.0 * 1024;
+  /// Last-level cache in bytes (bounds B reuse).
+  double llc_bytes = 32.0 * 1024 * 1024;
+  /// Streaming memory bandwidth, single thread, GB/s.
+  double bw_single_gbs = 20.0;
+  /// Saturated (all-core) bandwidth, GB/s.
+  double bw_peak_gbs = 200.0;
+  /// Throughput fraction a second SMT thread on a busy core adds for
+  /// latency-bound kernels (blocked formats benefit; streaming ones
+  /// barely do — the paper's hyperthreading observation).
+  double smt_yield = 0.3;
+  /// Cost of a parallel region fork/join, microseconds.
+  double parallel_overhead_us = 8.0;
+
+  // --- GPU section (is_gpu == true) ---
+  /// Achievable FP64 GFLOP/s for this kernel class at full occupancy.
+  double gpu_gflops = 10000.0;
+  /// Device memory bandwidth, GB/s.
+  double gpu_bw_gbs = 2000.0;
+  /// Host→device link bandwidth, GB/s (NVLink-C2C on Grace Hopper, PCIe
+  /// on Aries — the reason GH offload pays so much less per call).
+  double link_gbs = 50.0;
+  /// Kernel launch + runtime bookkeeping per invocation, microseconds.
+  double launch_overhead_us = 20.0;
+  /// Efficiency of the driving runtime (OpenMP offload ≪ vendor library).
+  double runtime_efficiency = 0.25;
+
+  // --- per-format calibration ---
+  /// Fraction of the SIMD ceiling each format's plain kernel achieves on
+  /// this machine (how well the ISA/compiler digest the inner loop).
+  double simd_eff_coo = 0.45;
+  double simd_eff_csr = 0.55;
+  double simd_eff_ell = 0.70;
+  double simd_eff_bcsr = 0.75;
+
+  [[nodiscard]] int max_threads() const {
+    return physical_cores * smt_per_core;
+  }
+
+  /// Aggregate streaming bandwidth available to `threads` threads:
+  /// exponential saturation anchored so bandwidth(1) = bw_single_gbs.
+  [[nodiscard]] double bandwidth_gbs(int threads) const;
+
+  /// SIMD achievement factor for a format's plain kernel.
+  [[nodiscard]] double simd_eff(Format f) const;
+};
+
+/// The thesis's Arm machine: Nvidia Grace Hopper superchip (72 Neoverse
+/// V2 cores, no SMT, very high bandwidth, NVLink-C2C to the H100).
+Machine grace_hopper();
+
+/// The thesis's x86 machine "Aries": 2× AMD EPYC 7413 Milan, 24C/48T
+/// each (48 physical cores, SMT2), faster single core, earlier bandwidth
+/// saturation.
+Machine aries();
+
+/// H100 GPU (attached to Grace Hopper) under the given runtime.
+Machine h100(GpuRuntime runtime);
+
+/// A100 GPU (attached to Aries) under the given runtime.
+Machine a100(GpuRuntime runtime);
+
+}  // namespace spmm::model

@@ -1,0 +1,78 @@
+// Umbrella header: the whole SpMM-Bench public API in one include.
+//
+//   #include "spmm.hpp"
+//
+// Fine-grained headers remain available for faster builds; this header
+// is guaranteed to compile standalone (tests/test_umbrella.cpp).
+#pragma once
+
+// Support substrate.
+#include "support/aligned_buffer.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "support/types.hpp"
+
+// Formats and conversions.
+#include "formats/bcsr.hpp"
+#include "formats/bell.hpp"
+#include "formats/convert.hpp"
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/csr5.hpp"
+#include "formats/dense.hpp"
+#include "formats/ell.hpp"
+#include "formats/format_id.hpp"
+#include "formats/hyb.hpp"
+#include "formats/properties.hpp"
+#include "formats/sellc.hpp"
+
+// I/O.
+#include "io/bcsr_cache.hpp"
+#include "io/matrix_market.hpp"
+
+// Synthetic matrices.
+#include "gen/distributions.hpp"
+#include "gen/generator.hpp"
+#include "gen/placement.hpp"
+#include "gen/suite.hpp"
+
+// Device emulation.
+#include "devsim/device.hpp"
+
+// Kernels.
+#include "kernels/dense_ref.hpp"
+#include "kernels/device_plan.hpp"
+#include "kernels/spmm_bcsr.hpp"
+#include "kernels/spmm_bell.hpp"
+#include "kernels/spmm_common.hpp"
+#include "kernels/spmm_coo.hpp"
+#include "kernels/spmm_csc.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmm_csr5.hpp"
+#include "kernels/spmm_ell.hpp"
+#include "kernels/spmm_fixed_k.hpp"
+#include "kernels/spmm_hyb.hpp"
+#include "kernels/spmm_sellc.hpp"
+#include "kernels/spmv.hpp"
+
+// Vendor stand-in.
+#include "vendor/vendor_spmm.hpp"
+
+// Performance model.
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/machine.hpp"
+#include "perfmodel/suite_input.hpp"
+
+// Benchmark core.
+#include "core/advisor.hpp"
+#include "core/benchmark.hpp"
+#include "core/format_benchmarks.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"

@@ -1,0 +1,60 @@
+// Cache-line/SIMD aligned storage used for all hot numeric arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace spmm {
+
+/// Default alignment: 64 bytes covers one cache line and AVX-512 vectors.
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Minimal allocator returning `Alignment`-aligned storage, suitable for
+/// std::vector. Matches the std allocator requirements for C++20.
+template <class T, std::size_t Alignment = kDefaultAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  /// Explicit rebind: allocator_traits cannot synthesize one because of
+  /// the non-type Alignment parameter.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    const std::size_t bytes = round_up(n * sizeof(T));
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t round_up(std::size_t bytes) {
+    return (bytes + Alignment - 1) / Alignment * Alignment;
+  }
+};
+
+/// Aligned contiguous array; the storage type for every format's arrays.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace spmm

@@ -1,0 +1,300 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace spmm {
+
+namespace {
+
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  std::int64_t out = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  SPMM_CHECK(ec == std::errc() && ptr == last,
+             "option --" + name + ": expected integer, got '" + value + "'");
+  return out;
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(value, &pos);
+    SPMM_CHECK(pos == value.size(), "option --" + name +
+                                        ": expected number, got '" + value + "'");
+    return out;
+  } catch (const std::logic_error&) {
+    SPMM_FAIL("option --" + name + ": expected number, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_flag("help", 'h', "print this help text");
+}
+
+ArgParser& ArgParser::add_int(const std::string& name, char short_name,
+                              std::int64_t default_value,
+                              const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kInt;
+  opt.short_name = short_name;
+  opt.help = help;
+  opt.int_value = default_value;
+  opt.default_repr = std::to_string(default_value);
+  options_.emplace(name, std::move(opt));
+  return *this;
+}
+
+ArgParser& ArgParser::add_double(const std::string& name, char short_name,
+                                 double default_value,
+                                 const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kDouble;
+  opt.short_name = short_name;
+  opt.help = help;
+  opt.double_value = default_value;
+  opt.default_repr = std::to_string(default_value);
+  options_.emplace(name, std::move(opt));
+  return *this;
+}
+
+ArgParser& ArgParser::add_string(const std::string& name, char short_name,
+                                 const std::string& default_value,
+                                 const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kString;
+  opt.short_name = short_name;
+  opt.help = help;
+  opt.string_value = default_value;
+  opt.default_repr = default_value.empty() ? "\"\"" : default_value;
+  options_.emplace(name, std::move(opt));
+  return *this;
+}
+
+ArgParser& ArgParser::add_flag(const std::string& name, char short_name,
+                               const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kFlag;
+  opt.short_name = short_name;
+  opt.help = help;
+  opt.default_repr = "false";
+  options_.emplace(name, std::move(opt));
+  return *this;
+}
+
+ArgParser& ArgParser::add_int_list(const std::string& name, char short_name,
+                                   std::vector<std::int64_t> default_value,
+                                   const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kIntList;
+  opt.short_name = short_name;
+  opt.help = help;
+  opt.list_value = std::move(default_value);
+  // Built via ostringstream (string operator+ on char literals trips a
+  // GCC 12 -Wrestrict false positive, PR105329).
+  std::ostringstream repr;
+  repr << '[';
+  for (std::size_t i = 0; i < opt.list_value.size(); ++i) {
+    if (i) repr << ',';
+    repr << opt.list_value[i];
+  }
+  repr << ']';
+  opt.default_repr = repr.str();
+  options_.emplace(name, std::move(opt));
+  return *this;
+}
+
+ArgParser::Option& ArgParser::find(const std::string& name, Kind kind) {
+  auto it = options_.find(name);
+  SPMM_CHECK(it != options_.end(), "unknown option --" + name);
+  SPMM_CHECK(it->second.kind == kind, "option --" + name + " has a different type");
+  return it->second;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  return const_cast<ArgParser*>(this)->find(name, kind);
+}
+
+ArgParser::Option* ArgParser::find_by_short(char c) {
+  if (c == 0) return nullptr;
+  for (auto& [name, opt] : options_) {
+    if (opt.short_name == c) return &opt;
+  }
+  return nullptr;
+}
+
+void ArgParser::assign(Option& opt, const std::string& name,
+                       const std::string& value) {
+  switch (opt.kind) {
+    case Kind::kInt:
+      opt.int_value = parse_int(name, value);
+      break;
+    case Kind::kDouble:
+      opt.double_value = parse_double(name, value);
+      break;
+    case Kind::kString:
+      opt.string_value = value;
+      break;
+    case Kind::kFlag:
+      SPMM_FAIL("flag --" + name + " does not take a value");
+      break;
+    case Kind::kIntList: {
+      opt.list_value.clear();
+      for (const std::string& piece : split(value, ',')) {
+        opt.list_value.push_back(parse_int(name, trim(piece)));
+      }
+      break;
+    }
+  }
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  positional_.clear();
+  int i = 1;
+  auto next_value = [&](const std::string& name) -> std::string {
+    SPMM_CHECK(i + 1 < argc, "option --" + name + " expects a value");
+    return argv[++i];
+  };
+
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::string body = arg.substr(2);
+      std::string name = body;
+      std::optional<std::string> inline_value;
+      if (auto eq = body.find('='); eq != std::string::npos) {
+        name = body.substr(0, eq);
+        inline_value = body.substr(eq + 1);
+      }
+      auto it = options_.find(name);
+      SPMM_CHECK(it != options_.end(), "unknown option --" + name);
+      Option& opt = it->second;
+      if (opt.kind == Kind::kFlag) {
+        SPMM_CHECK(!inline_value.has_value(),
+                   "flag --" + name + " does not take a value");
+        opt.flag_value = true;
+      } else {
+        assign(opt, name, inline_value ? *inline_value : next_value(name));
+      }
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg != "-") {
+      // Short option, possibly with an attached value: -k128 or -k 128.
+      const char c = arg[1];
+      Option* opt = find_by_short(c);
+      SPMM_CHECK(opt != nullptr, "unknown option -" + std::string(1, c));
+      std::string name;
+      for (const auto& [n, o] : options_) {
+        if (&o == opt) name = n;
+      }
+      if (opt->kind == Kind::kFlag) {
+        SPMM_CHECK(arg.size() == 2, "flag -" + std::string(1, c) +
+                                        " does not take a value");
+        opt->flag_value = true;
+      } else if (arg.size() > 2) {
+        assign(*opt, name, arg.substr(2));
+      } else {
+        assign(*opt, name, next_value(name));
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+
+  if (get_flag("help")) {
+    std::fputs(usage(argc > 0 ? argv[0] : "program").c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return find(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return find(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).string_value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).flag_value;
+}
+
+const std::vector<std::int64_t>& ArgParser::get_int_list(
+    const std::string& name) const {
+  return find(name, Kind::kIntList).list_value;
+}
+
+std::string ArgParser::usage(const std::string& program_name) const {
+  std::ostringstream os;
+  if (!description_.empty()) os << description_ << "\n\n";
+  os << "usage: " << program_name << " [options]\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  ";
+    if (opt.short_name != 0) os << '-' << opt.short_name << ", ";
+    os << "--" << name;
+    if (opt.kind != Kind::kFlag) os << " <value>";
+    os << "\n        " << opt.help;
+    if (opt.kind != Kind::kFlag) os << " (default: " << opt.default_repr << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+void BenchParams::register_options(ArgParser& parser) {
+  parser.add_int("iterations", 'n', 10, "timed kernel invocations per run");
+  parser.add_int("warmup", 'w', 2, "untimed warm-up invocations per run");
+  parser.add_int("threads", 't', 32, "thread count for parallel kernels");
+  parser.add_int("block-size", 'b', 4, "block size for blocked formats (BCSR)");
+  parser.add_int("k", 'k', 128, "dense operand width (k-loop bound)");
+  parser.add_int_list("thread-list", 0, {},
+                      "comma-separated thread counts for the best-thread sweep");
+  parser.add_flag("no-verify", 0, "skip COO-reference verification");
+  parser.add_flag("probe-verify", 0,
+                  "verify with the O(nnz) random probe instead of the full "
+                  "COO reference multiply");
+  parser.add_flag("debug", 'd', "print extra diagnostics");
+  parser.add_int("seed", 's', 42, "seed for generators and operand fill");
+  parser.add_int("device-memory-mb", 0, 0,
+                 "emulated device memory cap in MiB (0 = unlimited)");
+}
+
+BenchParams BenchParams::from_parser(const ArgParser& parser) {
+  BenchParams p;
+  p.iterations = static_cast<int>(parser.get_int("iterations"));
+  p.warmup = static_cast<int>(parser.get_int("warmup"));
+  p.threads = static_cast<int>(parser.get_int("threads"));
+  p.block_size = static_cast<int>(parser.get_int("block-size"));
+  p.k = static_cast<int>(parser.get_int("k"));
+  for (std::int64_t t : parser.get_int_list("thread-list")) {
+    p.thread_list.push_back(static_cast<int>(t));
+  }
+  p.verify = !parser.get_flag("no-verify");
+  p.verify_probe = parser.get_flag("probe-verify");
+  p.debug = parser.get_flag("debug");
+  p.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const std::int64_t dev_mb = parser.get_int("device-memory-mb");
+  SPMM_CHECK(dev_mb >= 0, "--device-memory-mb must be non-negative");
+  p.device_memory_bytes = static_cast<std::size_t>(dev_mb) * 1024 * 1024;
+
+  SPMM_CHECK(p.iterations > 0, "--iterations must be positive");
+  SPMM_CHECK(p.warmup >= 0, "--warmup must be non-negative");
+  SPMM_CHECK(p.threads > 0, "--threads must be positive");
+  SPMM_CHECK(p.block_size > 0, "--block-size must be positive");
+  SPMM_CHECK(p.k > 0, "--k must be positive");
+  for (int t : p.thread_list) SPMM_CHECK(t > 0, "--thread-list entries must be positive");
+  return p;
+}
+
+}  // namespace spmm

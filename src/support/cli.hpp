@@ -1,0 +1,119 @@
+// Command-line parameter parsing (paper §4.3).
+//
+// The suite defines and parses a common parameter set for every kernel
+// binary: iteration count, thread count, BCSR block size, the k-loop
+// length, a thread-count list for the best-thread-count sweep (Study 3.1),
+// and a debug flag. A small generic parser backs it so examples and bench
+// binaries can register extra options.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spmm {
+
+/// Generic option parser: registers typed options, then parses argv.
+/// Options are spelled `--name value`, `--name=value`, or for bools just
+/// `--name`. Single-dash short aliases are supported (`-k 128`).
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description = {});
+
+  /// Register an option. `short_name` may be 0 for no short alias.
+  ArgParser& add_int(const std::string& name, char short_name,
+                     std::int64_t default_value, const std::string& help);
+  ArgParser& add_double(const std::string& name, char short_name,
+                        double default_value, const std::string& help);
+  ArgParser& add_string(const std::string& name, char short_name,
+                        const std::string& default_value,
+                        const std::string& help);
+  ArgParser& add_flag(const std::string& name, char short_name,
+                      const std::string& help);
+  /// Comma-separated integer list, e.g. `--threads 2,4,8,16`.
+  ArgParser& add_int_list(const std::string& name, char short_name,
+                          std::vector<std::int64_t> default_value,
+                          const std::string& help);
+
+  /// Parse argv. Throws spmm::Error on unknown options or bad values.
+  /// Returns false if `--help` was requested (usage already printed).
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::int64_t>& get_int_list(
+      const std::string& name) const;
+
+  /// Positional arguments left over after option parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Render the usage/help text.
+  [[nodiscard]] std::string usage(const std::string& program_name) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag, kIntList };
+
+  struct Option {
+    Kind kind = Kind::kFlag;
+    char short_name = 0;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool flag_value = false;
+    std::vector<std::int64_t> list_value;
+    std::string default_repr;
+  };
+
+  Option& find(const std::string& name, Kind kind);
+  const Option& find(const std::string& name, Kind kind) const;
+  Option* find_by_short(char c);
+  void assign(Option& opt, const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+/// The benchmark parameter block every kernel binary shares (paper §4.3).
+struct BenchParams {
+  /// Number of timed calls of the multiplication kernel.
+  int iterations = 10;
+  /// Number of untimed warm-up calls.
+  int warmup = 2;
+  /// Thread count for parallel kernels (paper default for studies: 32).
+  int threads = 32;
+  /// Block size for blocked formats (currently BCSR; paper default: 4).
+  int block_size = 4;
+  /// Width of the dense operand: the k-loop bound (paper default: 128).
+  int k = 128;
+  /// Thread-count list for the best-thread-count sweep (Study 3.1).
+  std::vector<int> thread_list;
+  /// Verify kernel output against the COO reference multiply.
+  bool verify = true;
+  /// Use the O(nnz + (m+n)k) Freivalds probe instead of the full COO
+  /// reference multiply — the cheap verification for huge matrices.
+  bool verify_probe = false;
+  /// Extra diagnostics.
+  bool debug = false;
+  /// Seed for matrix generation / dense operand fill.
+  std::uint64_t seed = 42;
+  /// Emulated device memory capacity in bytes for device variants;
+  /// 0 = unlimited. Device runs exceeding it throw DeviceOutOfMemory —
+  /// the paper's Study 7 dropped matrices exactly this way.
+  std::size_t device_memory_bytes = 0;
+
+  /// Register the shared options on `parser`.
+  static void register_options(ArgParser& parser);
+  /// Extract a BenchParams from a parsed parser. Validates ranges.
+  static BenchParams from_parser(const ArgParser& parser);
+};
+
+}  // namespace spmm

@@ -1,0 +1,73 @@
+#include "support/csv.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace spmm {
+
+std::string csv_quote(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), columns_(header.size()) {
+  SPMM_CHECK(columns_ > 0, "CSV header must have at least one column");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_quote(header[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_field(const std::string& field) {
+  SPMM_CHECK(current_fields_ < columns_, "CSV row has too many fields");
+  if (current_fields_) os_ << ',';
+  os_ << csv_quote(field);
+  ++current_fields_;
+}
+
+CsvWriter& CsvWriter::add(const std::string& field) {
+  write_field(field);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(const char* field) {
+  write_field(field);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  std::ostringstream os;
+  os << value;
+  write_field(os.str());
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  write_field(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::size_t value) {
+  write_field(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  SPMM_CHECK(current_fields_ == columns_, "CSV row has too few fields");
+  os_ << '\n';
+  current_fields_ = 0;
+  ++rows_;
+}
+
+}  // namespace spmm

@@ -1,0 +1,43 @@
+// CSV emission for benchmark results. The thesis's suite writes CSV that a
+// plotting script consumes; this writer provides the same surface with
+// RFC-4180 quoting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spmm {
+
+/// Streams rows of a fixed-width CSV table to an std::ostream.
+class CsvWriter {
+ public:
+  /// The header row fixes the column count; subsequent rows must match it.
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  /// Begin a row. Fields are appended with add(); end_row() finishes it.
+  CsvWriter& add(const std::string& field);
+  CsvWriter& add(const char* field);
+  CsvWriter& add(double value);
+  CsvWriter& add(std::int64_t value);
+  CsvWriter& add(std::size_t value);
+  void end_row();
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+ private:
+  void write_field(const std::string& field);
+
+  std::ostream& os_;
+  std::size_t columns_;
+  std::size_t current_fields_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Quote a single CSV field per RFC 4180 (quotes doubled, wrapped when the
+/// field contains a comma, quote, or newline).
+std::string csv_quote(const std::string& field);
+
+}  // namespace spmm

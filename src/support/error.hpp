@@ -1,0 +1,53 @@
+// Error handling primitives for the SpMM-Bench library.
+//
+// All recoverable failures (bad input files, malformed CLI arguments,
+// dimension mismatches requested by the caller) throw spmm::Error.
+// Internal invariant violations use SPMM_ASSERT and abort in debug builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace spmm {
+
+/// Exception type thrown for all recoverable library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+}  // namespace detail
+
+/// Throw spmm::Error with source location when `cond` is false.
+#define SPMM_CHECK(cond, msg)                                 \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::spmm::detail::throw_error(__FILE__, __LINE__, (msg)); \
+    }                                                         \
+  } while (0)
+
+/// Unconditional throw with source location.
+#define SPMM_FAIL(msg) ::spmm::detail::throw_error(__FILE__, __LINE__, (msg))
+
+/// Internal invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SPMM_ASSERT(cond) ((void)0)
+#else
+#define SPMM_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "%s:%d: assertion failed: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+#endif
+
+}  // namespace spmm

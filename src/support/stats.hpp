@@ -1,0 +1,54 @@
+// Summary statistics over samples (timings, per-row nonzero counts).
+//
+// The paper's matrix-property metrics (Table 5.1) — max, average, ratio,
+// variance, standard deviation of nonzeros per row — are computed through
+// this module, as are timing summaries for the benchmark core.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace spmm {
+
+/// Aggregate statistics of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  /// Population variance (the thesis reports population statistics).
+  double variance = 0.0;
+  double stddev = 0.0;
+  double sum = 0.0;
+};
+
+/// Compute a Summary over `samples`. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> samples);
+
+/// Streaming mean/variance accumulator (Welford), used where the sample
+/// set is too large to keep (per-row counts of multi-million-row matrices
+/// would be fine, but the generators stream rows anyway).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  [[nodiscard]] double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace spmm

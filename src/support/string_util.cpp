@@ -1,0 +1,59 @@
+#include "support/string_util.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace spmm {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int precision) {
+  std::array<char, 64> buf;
+  const int n = std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+std::string format_bytes(std::size_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return format_double(v, unit == 0 ? 0 : 1) + " " + kUnits[unit];
+}
+
+}  // namespace spmm

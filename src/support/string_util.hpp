@@ -1,0 +1,29 @@
+// Small string helpers shared by the CLI parser, Matrix Market reader,
+// and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spmm {
+
+/// Split `s` on `delim`; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Format a double with fixed precision (no locale surprises).
+std::string format_double(double value, int precision);
+
+/// Human-readable byte count ("1.5 GiB").
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace spmm

@@ -1,0 +1,92 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace spmm {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SPMM_CHECK(!header_.empty(), "table header must have at least one column");
+}
+
+void TextTable::push(Cell cell) {
+  SPMM_CHECK(current_.size() < header_.size(), "table row has too many cells");
+  current_.push_back(std::move(cell));
+}
+
+TextTable& TextTable::add(const std::string& cell) {
+  push({cell, false});
+  return *this;
+}
+
+TextTable& TextTable::add(const char* cell) {
+  push({cell, false});
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  push({format_double(value, precision), true});
+  return *this;
+}
+
+TextTable& TextTable::add(std::int64_t value) {
+  push({std::to_string(value), true});
+  return *this;
+}
+
+TextTable& TextTable::add(std::size_t value) {
+  push({std::to_string(value), true});
+  return *this;
+}
+
+void TextTable::end_row() {
+  SPMM_CHECK(current_.size() == header_.size(), "table row has too few cells");
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].text.size());
+    }
+  }
+
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  rule();
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+       << header_[c] << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].numeric) {
+        os << ' ' << std::right << std::setw(static_cast<int>(widths[c]))
+           << row[c].text << " |";
+      } else {
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+           << row[c].text << " |";
+      }
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+}  // namespace spmm

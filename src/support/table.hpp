@@ -1,0 +1,43 @@
+// ASCII table rendering for bench binaries: each study prints the rows and
+// series the paper's figures report, aligned for terminal reading.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spmm {
+
+/// Column-aligned ASCII table. Collects rows, then renders with column
+/// widths fitted to content. Numeric cells are right-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add(const std::string& cell);
+  TextTable& add(const char* cell);
+  TextTable& add(double value, int precision = 1);
+  TextTable& add(std::int64_t value);
+  TextTable& add(std::size_t value);
+  void end_row();
+
+  /// Render the table, header + separator + rows.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Cell {
+    std::string text;
+    bool numeric;
+  };
+
+  void push(Cell cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  std::vector<Cell> current_;
+};
+
+}  // namespace spmm

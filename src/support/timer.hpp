@@ -1,0 +1,30 @@
+// Wall-clock timing used by the benchmark core (paper §4.3: all runtime
+// metrics are derived from the average multiplication time).
+#pragma once
+
+#include <chrono>
+
+namespace spmm {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spmm

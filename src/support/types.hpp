@@ -1,0 +1,41 @@
+// Fundamental type vocabulary shared across the library.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+namespace spmm {
+
+/// Index types supported for sparse coordinates (paper §6.3.5 discusses the
+/// memory cost of 64-bit indices; both widths are first-class here).
+template <class T>
+concept IndexType = std::same_as<T, std::int32_t> || std::same_as<T, std::int64_t>;
+
+/// Value types supported for matrix elements.
+template <class T>
+concept ValueType = std::same_as<T, float> || std::same_as<T, double>;
+
+/// Dense matrices use plain std::size_t extents.
+using usize = std::size_t;
+
+/// Storage layout of a dense operand.
+enum class Layout : std::uint8_t {
+  kRowMajor,
+  kColMajor,
+};
+
+/// Short human-readable names, used in reports and CSV output.
+constexpr const char* layout_name(Layout l) {
+  return l == Layout::kRowMajor ? "row-major" : "col-major";
+}
+
+template <class T>
+constexpr const char* value_type_name() {
+  if constexpr (std::is_same_v<T, float>) return "f32";
+  else if constexpr (std::is_same_v<T, double>) return "f64";
+  else if constexpr (std::is_same_v<T, std::int32_t>) return "i32";
+  else return "i64";
+}
+
+}  // namespace spmm

@@ -1,0 +1,144 @@
+#include "vendor/vendor_spmm.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace spmm::vendor {
+
+namespace {
+
+/// k-panel width: 8 doubles = one AVX-512 register's worth twice over on
+/// AVX2; small enough that a row's C panel stays in registers.
+constexpr usize kPanel = 8;
+
+template <ValueType V, IndexType I>
+void csr_rows_panel(const I* __restrict__ row_ptr, const I* __restrict__ cols,
+                    const V* __restrict__ vals, const V* __restrict__ bp,
+                    V* __restrict__ cp, usize k, std::int64_t r0,
+                    std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+    const I begin = row_ptr[r];
+    const I end = row_ptr[r + 1];
+    usize j = 0;
+    // Full panels: accumulate kPanel outputs in registers across the row.
+    for (; j + kPanel <= k; j += kPanel) {
+      V acc[kPanel] = {};
+      for (I i = begin; i < end; ++i) {
+        const V v = vals[i];
+        const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * k + j;
+        for (usize p = 0; p < kPanel; ++p) {
+          acc[p] += v * brow[p];
+        }
+      }
+      for (usize p = 0; p < kPanel; ++p) {
+        crow[j + p] = acc[p];
+      }
+    }
+    // Remainder columns.
+    for (; j < k; ++j) {
+      V acc{};
+      for (I i = begin; i < end; ++i) {
+        acc += vals[i] * bp[static_cast<usize>(cols[i]) * k + j];
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+template <ValueType V, IndexType I>
+void vendor_spmm_csr(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                     int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  const usize k = b.cols();
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 128)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    csr_rows_panel<V, I>(row_ptr, cols, vals, bp, cp, k, r, r + 1);
+  }
+}
+
+template <ValueType V, IndexType I>
+void vendor_spmm_coo(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                     int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  V* cp = c.data();
+  const std::vector<usize> bounds = a.row_aligned_partition(threads);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    const usize begin = bounds[static_cast<usize>(t)];
+    const usize end = bounds[static_cast<usize>(t) + 1];
+    usize i = begin;
+    while (i < end) {
+      // Batch the run of entries sharing one row, then panel over k.
+      const I r = rows[i];
+      usize run_end = i;
+      while (run_end < end && rows[run_end] == r) ++run_end;
+      V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+      usize j = 0;
+      for (; j + kPanel <= k; j += kPanel) {
+        V acc[kPanel] = {};
+        for (usize e = i; e < run_end; ++e) {
+          const V v = vals[e];
+          const V* __restrict__ brow =
+              bp + static_cast<usize>(cols[e]) * k + j;
+          for (usize p = 0; p < kPanel; ++p) {
+            acc[p] += v * brow[p];
+          }
+        }
+        for (usize p = 0; p < kPanel; ++p) {
+          crow[j + p] = acc[p];
+        }
+      }
+      for (; j < k; ++j) {
+        V acc{};
+        for (usize e = i; e < run_end; ++e) {
+          acc += vals[e] * bp[static_cast<usize>(cols[e]) * k + j];
+        }
+        crow[j] = acc;
+      }
+      i = run_end;
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void SpmmPlan<V, I>::execute(const Dense<V>& b, Dense<V>& c,
+                             int threads) const {
+  if (csr_ != nullptr) {
+    vendor_spmm_csr(*csr_, b, c, threads);
+  } else {
+    SPMM_CHECK(coo_ != nullptr, "vendor plan has no matrix bound");
+    vendor_spmm_coo(*coo_, b, c, threads);
+  }
+}
+
+#define SPMM_INSTANTIATE_VENDOR(V, I)                                      \
+  template void vendor_spmm_csr<V, I>(const Csr<V, I>&, const Dense<V>&,  \
+                                      Dense<V>&, int);                    \
+  template void vendor_spmm_coo<V, I>(const Coo<V, I>&, const Dense<V>&,  \
+                                      Dense<V>&, int);                    \
+  template class SpmmPlan<V, I>;
+
+SPMM_INSTANTIATE_VENDOR(double, std::int32_t)
+SPMM_INSTANTIATE_VENDOR(double, std::int64_t)
+SPMM_INSTANTIATE_VENDOR(float, std::int32_t)
+SPMM_INSTANTIATE_VENDOR(float, std::int64_t)
+#undef SPMM_INSTANTIATE_VENDOR
+
+}  // namespace spmm::vendor

@@ -1,0 +1,156 @@
+// Tests for the format advisor (§6 conclusions as heuristics) and the
+// report writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/advisor.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "gen/suite.hpp"
+#include "test_util.hpp"
+
+namespace spmm::bench {
+namespace {
+
+MatrixProperties props_of(const testutil::CooD& m, const char* name) {
+  return compute_properties(m, name);
+}
+
+TEST(Advisor, SerialAlwaysCsr) {
+  for (auto placement : {gen::Placement::kBanded, gen::Placement::kScattered,
+                         gen::Placement::kClustered}) {
+    const auto p = props_of(
+        testutil::random_coo(200, 200, 6.0, 1, placement), "m");
+    const Advice a = advise_format(p, Environment::kSerial);
+    EXPECT_EQ(a.format, Format::kCsr);
+    EXPECT_FALSE(a.rationale.empty());
+  }
+}
+
+TEST(Advisor, UniformRowsGetEllInParallel) {
+  // af23560-like: ratio ~1, tiny stddev.
+  const auto m = gen::generate<double, std::int32_t>(
+      gen::suite_spec("af23560", 0.05));
+  const Advice a =
+      advise_format(props_of(m, "af"), Environment::kCpuParallel);
+  EXPECT_EQ(a.format, Format::kEll);
+}
+
+TEST(Advisor, HighColumnRatioAvoidsEll) {
+  const auto m = gen::generate<double, std::int32_t>(
+      gen::suite_spec("torso1", 0.02));
+  const auto p = props_of(m, "torso1");
+  for (auto env : {Environment::kCpuParallel, Environment::kGpu}) {
+    const Advice a = advise_format(p, env, /*bcsr_fill_b4=*/0.1);
+    EXPECT_NE(a.format, Format::kEll) << environment_name(env);
+  }
+}
+
+TEST(Advisor, ClusteredDenseBlocksGetBcsr) {
+  const auto m = gen::generate<double, std::int32_t>(
+      gen::suite_spec("crankseg_2", 0.02));
+  const Advice a = advise_format(props_of(m, "crankseg_2"),
+                                 Environment::kCpuParallel,
+                                 /*bcsr_fill_b4=*/0.8);
+  EXPECT_EQ(a.format, Format::kBcsr);
+  EXPECT_EQ(a.block_size, 4);
+}
+
+TEST(Advisor, IrregularSparseBlocksFallBackToCsr) {
+  const auto m = gen::generate<double, std::int32_t>(
+      gen::suite_spec("torso1", 0.02));
+  const Advice a = advise_format(props_of(m, "torso1"),
+                                 Environment::kCpuParallel,
+                                 /*bcsr_fill_b4=*/0.1);
+  EXPECT_EQ(a.format, Format::kCsr);
+}
+
+TEST(Advisor, EstimatesFillWhenUnknown) {
+  // Without a provided fill, the advisor estimates it from the
+  // normalized row gap: tight gaps ⇒ dense blocks ⇒ BCSR.
+  MatrixProperties p;
+  p.rows = p.cols = 1000;
+  p.nnz = 20000;
+  p.avg_row_nnz = 20.0;
+  p.max_row_nnz = 100;
+  p.column_ratio = 5.0;  // ELL branch off
+  p.row_nnz_stddev = 20.0;
+  p.normalized_row_gap = 0.002;  // clustered: consecutive columns
+  EXPECT_EQ(advise_format(p, Environment::kCpuParallel).format,
+            Format::kBcsr);
+  p.normalized_row_gap = 0.2;  // scattered
+  EXPECT_EQ(advise_format(p, Environment::kCpuParallel).format,
+            Format::kCsr);
+}
+
+TEST(Advisor, DenseBlocksBeatSafeEll) {
+  // nd24k-like: ratio is ELL-safe (2.4) but the blocks are very dense —
+  // BCSR must win the recommendation.
+  MatrixProperties p;
+  p.rows = p.cols = 72000;
+  p.nnz = 14393817;
+  p.avg_row_nnz = 199.9;
+  p.max_row_nnz = 481;
+  p.column_ratio = 2.4;
+  p.row_nnz_stddev = 81.6;
+  p.ell_padding_ratio = 2.4;
+  const Advice a = advise_format(p, Environment::kCpuParallel,
+                                 /*bcsr_fill_b4=*/0.69);
+  EXPECT_EQ(a.format, Format::kBcsr);
+}
+
+TEST(Advisor, PaddingRatioVetoesEll) {
+  // dw4096-like: ratio 1.6 looks ELL-safe but rows·max/nnz = 1.57 means
+  // 57% wasted work — CSR is the right call.
+  MatrixProperties p;
+  p.rows = p.cols = 8192;
+  p.nnz = 41746;
+  p.avg_row_nnz = 5.1;
+  p.max_row_nnz = 8;
+  p.column_ratio = 1.6;
+  p.row_nnz_stddev = 0.1;
+  p.ell_padding_ratio = 1.57;
+  const Advice a = advise_format(p, Environment::kCpuParallel,
+                                 /*bcsr_fill_b4=*/0.12);
+  EXPECT_EQ(a.format, Format::kCsr);
+}
+
+TEST(Report, PrintResultLine) {
+  const auto m = testutil::random_coo(40, 40, 4.0, 3);
+  BenchParams params;
+  params.iterations = 1;
+  params.warmup = 0;
+  params.k = 8;
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kEll, Variant::kSerial, m, params, "mat40");
+  std::ostringstream os;
+  print_result(os, r);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("mat40"), std::string::npos);
+  EXPECT_NE(line.find("ELL/serial"), std::string::npos);
+  EXPECT_NE(line.find("MFLOPs"), std::string::npos);
+  EXPECT_NE(line.find("[verified]"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  const auto m = testutil::random_coo(40, 40, 4.0, 3);
+  BenchParams params;
+  params.iterations = 1;
+  params.warmup = 0;
+  params.k = 8;
+  std::vector<BenchResult> rs;
+  rs.push_back(run_benchmark<double, std::int32_t>(
+      Format::kCoo, Variant::kSerial, m, params, "m,comma"));
+  std::ostringstream os;
+  write_csv(os, rs);
+  const std::string text = os.str();
+  // Header + one data row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("matrix,kernel,variant"), std::string::npos);
+  EXPECT_NE(text.find("\"m,comma\""), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmm::bench

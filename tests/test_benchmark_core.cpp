@@ -1,0 +1,310 @@
+// Tests for the benchmark core: the SpmmBenchmark run loop, verification,
+// the format benchmark classes, the thread sweep (Study 3.1), and the
+// user-extension path the paper's design exists for.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "test_util.hpp"
+
+namespace spmm::bench {
+namespace {
+
+using testutil::CooD;
+
+BenchParams fast_params(int k = 8) {
+  BenchParams p;
+  p.iterations = 2;
+  p.warmup = 1;
+  p.threads = 3;
+  p.block_size = 4;
+  p.k = k;
+  return p;
+}
+
+TEST(Benchmark, ResultFieldsPopulated) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, fast_params(), "m60");
+  EXPECT_EQ(r.kernel_name, "CSR");
+  EXPECT_EQ(r.matrix_name, "m60");
+  EXPECT_EQ(r.variant, Variant::kSerial);
+  EXPECT_EQ(r.threads, 1);  // serial run reports one thread
+  EXPECT_EQ(r.k, 8);
+  EXPECT_GT(r.avg_compute_seconds, 0.0);
+  EXPECT_GE(r.avg_compute_seconds, r.min_compute_seconds);
+  EXPECT_GT(r.format_bytes, 0u);
+  EXPECT_DOUBLE_EQ(r.flops, 2.0 * static_cast<double>(m.nnz()) * 8.0);
+  EXPECT_NEAR(r.mflops, r.flops / r.avg_compute_seconds / 1e6, 1e-6);
+  EXPECT_TRUE(r.verification_run);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.properties.nnz, static_cast<std::int64_t>(m.nnz()));
+  EXPECT_GE(r.total_seconds, r.format_seconds);
+}
+
+class AllFormatsVariantsTest
+    : public ::testing::TestWithParam<std::tuple<Format, Variant>> {};
+
+TEST_P(AllFormatsVariantsTest, RunsAndVerifies) {
+  const auto [format, variant] = GetParam();
+  // The extension formats ship serial/parallel/device only; CSR5 ships
+  // serial/parallel.
+  if ((format == Format::kBell || format == Format::kSellC ||
+       format == Format::kHyb) &&
+      variant_is_transpose(variant)) {
+    GTEST_SKIP();
+  }
+  if (format == Format::kCsr5 &&
+      !(variant == Variant::kSerial || variant == Variant::kParallel)) {
+    GTEST_SKIP();
+  }
+  const CooD m = testutil::random_coo(80, 80, 6.0, 2,
+                                      gen::Placement::kClustered);
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      format, variant, m, fast_params(), "m80");
+  EXPECT_TRUE(r.verified) << format_name(format) << "/"
+                          << variant_name(variant) << " err "
+                          << r.max_abs_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllFormatsVariantsTest,
+    ::testing::Combine(::testing::ValuesIn(kAllFormats),
+                       ::testing::ValuesIn(kAllVariants)),
+    [](const auto& info) {
+      std::string s = std::string(format_name(std::get<0>(info.param))) +
+                      "_" +
+                      std::string(variant_name(std::get<1>(info.param)));
+      // gtest parameter names must be alphanumeric.
+      std::erase_if(s, [](char c) { return c == '-'; });
+      return s;
+    });
+
+TEST(Benchmark, OptimizedKernelsVerify) {
+  const CooD m = testutil::random_coo(70, 70, 5.0, 3);
+  for (Format f : {Format::kCoo, Format::kCsr, Format::kEll}) {
+    for (Variant v : {Variant::kSerial, Variant::kParallel}) {
+      const BenchResult r = run_benchmark<double, std::int32_t>(
+          f, v, m, fast_params(), "m70", /*optimized=*/true);
+      EXPECT_TRUE(r.verified) << format_name(f);
+      EXPECT_NE(r.kernel_name.find("-opt"), std::string::npos);
+    }
+  }
+}
+
+TEST(Benchmark, OptimizedBcsrRejected) {
+  EXPECT_THROW((make_benchmark<double, std::int32_t>(Format::kBcsr, true)),
+               Error);
+}
+
+TEST(Benchmark, VendorBenchmarkVerifies) {
+  const CooD m = testutil::random_coo(70, 70, 5.0, 4);
+  for (Format f : {Format::kCoo, Format::kCsr}) {
+    VendorBenchmark<double, std::int32_t> bench(f);
+    bench.setup(m, fast_params(), "m70");
+    const BenchResult r = bench.run(Variant::kParallel);
+    EXPECT_TRUE(r.verified);
+  }
+  EXPECT_THROW((VendorBenchmark<double, std::int32_t>(Format::kEll)), Error);
+}
+
+// A deliberately broken kernel: verification must catch it (the paper's
+// §4.3 verification function exists precisely for new formats).
+template <ValueType V, IndexType I>
+class BrokenBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  [[nodiscard]] std::string name() const override { return "broken"; }
+
+ protected:
+  void do_compute(Variant) override { this->c_.fill(V{1}); }
+};
+
+/// Subtler breakage for the probe test: correct result, one element off.
+class BrokenProbeTarget final
+    : public SpmmBenchmark<double, std::int32_t> {
+ public:
+  [[nodiscard]] std::string name() const override { return "off-by-one"; }
+
+ protected:
+  void do_compute(Variant) override {
+    const Dense<double> ref = spmm_reference(coo_, b_);
+    c_ = ref;
+    c_.at(0, 0) += 1.0;
+  }
+};
+
+TEST(Benchmark, VerificationCatchesWrongResults) {
+  const CooD m = testutil::random_coo(30, 30, 4.0, 5);
+  BrokenBenchmark<double, std::int32_t> bench;
+  bench.setup(m, fast_params(), "broken");
+  const BenchResult r = bench.run(Variant::kSerial);
+  EXPECT_TRUE(r.verification_run);
+  EXPECT_FALSE(r.verified);
+  EXPECT_GT(r.max_abs_error, 0.0);
+}
+
+TEST(Benchmark, ProbeVerificationPassesAndCatchesErrors) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 12);
+  BenchParams p = fast_params();
+  p.verify_probe = true;
+  const BenchResult good = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "probe");
+  EXPECT_TRUE(good.verification_run);
+  EXPECT_TRUE(good.verified);
+
+  BrokenProbeTarget bench;
+  bench.setup(m, p, "probe-broken");
+  const BenchResult bad = bench.run(Variant::kSerial);
+  EXPECT_FALSE(bad.verified);
+}
+
+TEST(Benchmark, VerificationCanBeDisabled) {
+  const CooD m = testutil::random_coo(30, 30, 4.0, 6);
+  BenchParams p = fast_params();
+  p.verify = false;
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "m30");
+  EXPECT_FALSE(r.verification_run);
+  EXPECT_FALSE(r.verified);
+}
+
+// A user-defined format extension, as §4.1 advertises: diagonal-storage
+// format good for banded matrices. Reimplements format + compute only.
+template <ValueType V, IndexType I>
+class DiagonalBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  [[nodiscard]] std::string name() const override { return "DIA-ext"; }
+
+ protected:
+  void do_format() override {
+    // Collect present diagonals (offset = col - row).
+    offsets_.clear();
+    diag_values_.clear();
+    std::map<I, usize> index;
+    for (usize i = 0; i < this->coo_.nnz(); ++i) {
+      const I off = this->coo_.col(i) - this->coo_.row(i);
+      if (index.try_emplace(off, index.size()).second) {
+        offsets_.push_back(off);
+      }
+    }
+    std::sort(offsets_.begin(), offsets_.end());
+    index.clear();
+    for (usize d = 0; d < offsets_.size(); ++d) index[offsets_[d]] = d;
+    diag_values_.assign(
+        offsets_.size() * static_cast<usize>(this->coo_.rows()), V{0});
+    for (usize i = 0; i < this->coo_.nnz(); ++i) {
+      const usize d = index[this->coo_.col(i) - this->coo_.row(i)];
+      diag_values_[d * static_cast<usize>(this->coo_.rows()) +
+                   static_cast<usize>(this->coo_.row(i))] = this->coo_.value(i);
+    }
+  }
+
+  [[nodiscard]] std::size_t do_format_bytes() const override {
+    return offsets_.size() * sizeof(I) + diag_values_.size() * sizeof(V);
+  }
+
+  void do_compute(Variant) override {
+    const usize k = this->b_.cols();
+    const usize rows = static_cast<usize>(this->coo_.rows());
+    this->c_.fill(V{0});
+    for (usize d = 0; d < offsets_.size(); ++d) {
+      const I off = offsets_[d];
+      for (usize r = 0; r < rows; ++r) {
+        const V v = diag_values_[d * rows + r];
+        if (v == V{0}) continue;
+        const usize col = static_cast<usize>(static_cast<I>(r) + off);
+        for (usize j = 0; j < k; ++j) {
+          this->c_.at(r, j) += v * this->b_.at(col, j);
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<I> offsets_;
+  std::vector<V> diag_values_;
+};
+
+TEST(Benchmark, UserExtensionFormatVerifies) {
+  const CooD m =
+      testutil::random_coo(90, 90, 5.0, 7, gen::Placement::kBanded);
+  DiagonalBenchmark<double, std::int32_t> bench;
+  bench.setup(m, fast_params(), "banded");
+  const BenchResult r = bench.run(Variant::kSerial);
+  EXPECT_EQ(r.kernel_name, "DIA-ext");
+  EXPECT_TRUE(r.verified) << r.max_abs_error;
+}
+
+TEST(ThreadSweep, PicksBestAndReportsSeries) {
+  const CooD m = testutil::random_coo(100, 100, 6.0, 8);
+  BenchParams p = fast_params();
+  p.thread_list = {1, 2, 4};
+  const ThreadSweepResult sweep = thread_sweep<double, std::int32_t>(
+      Format::kCsr, m, p, "m100");
+  ASSERT_EQ(sweep.series.size(), 3u);
+  EXPECT_EQ(sweep.series[0].first, 1);
+  EXPECT_EQ(sweep.series[2].first, 4);
+  EXPECT_GT(sweep.best_threads, 0);
+  for (const auto& [t, mflops] : sweep.series) {
+    EXPECT_LE(mflops, sweep.best_mflops);
+  }
+  EXPECT_TRUE(sweep.best.verified);
+}
+
+TEST(ThreadSweep, EmptyListThrows) {
+  const CooD m = testutil::random_coo(10, 10, 2.0, 9);
+  BenchParams p = fast_params();
+  EXPECT_THROW((thread_sweep<double, std::int32_t>(Format::kCsr, m, p)),
+               Error);
+}
+
+TEST(Benchmark, DeviceMemoryCapEnforced) {
+  // Study 7's dropout: a device run whose operands exceed the emulated
+  // device capacity throws DeviceOutOfMemory.
+  const CooD m = testutil::random_coo(200, 200, 8.0, 10);
+  BenchParams p = fast_params(32);
+  p.device_memory_bytes = 16 * 1024;  // far too small
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(m, p, "capped");
+  EXPECT_THROW(bench->run(Variant::kDevice), dev::DeviceOutOfMemory);
+  // CPU variants are unaffected by the cap.
+  EXPECT_TRUE(bench->run(Variant::kSerial).verified);
+  // A generous cap lets the device run proceed.
+  p.device_memory_bytes = 64 * 1024 * 1024;
+  bench->setup(m, p, "capped");
+  EXPECT_TRUE(bench->run(Variant::kDevice).verified);
+}
+
+TEST(Benchmark, DebugFlagPrintsIterationTimings) {
+  const CooD m = testutil::random_coo(20, 20, 3.0, 11);
+  BenchParams p = fast_params();
+  p.debug = true;
+  p.iterations = 2;
+  testing::internal::CaptureStderr();
+  run_benchmark<double, std::int32_t>(Format::kCoo, Variant::kSerial, m, p,
+                                      "dbg");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[debug] COO/serial iteration 0"), std::string::npos);
+  EXPECT_NE(err.find("iteration 1"), std::string::npos);
+}
+
+TEST(Benchmark, RunBeforeSetupThrows) {
+  CsrBenchmark<double, std::int32_t> bench;
+  EXPECT_THROW(bench.run(Variant::kSerial), Error);
+}
+
+TEST(Benchmark, FloatValueTypeVerifies) {
+  gen::MatrixSpec spec;
+  spec.name = "f32";
+  spec.rows = spec.cols = 50;
+  spec.row_dist.kind = gen::RowDist::kConstant;
+  spec.row_dist.mean = 4;
+  spec.row_dist.max_nnz = 8;
+  spec.placement.kind = gen::Placement::kScattered;
+  const auto m = gen::generate<float, std::int32_t>(spec);
+  auto bench = make_benchmark<float, std::int32_t>(Format::kCsr);
+  bench->setup(m, fast_params(), "f32");
+  EXPECT_TRUE(bench->run(Variant::kSerial).verified);
+}
+
+}  // namespace
+}  // namespace spmm::bench

@@ -1,0 +1,162 @@
+// Tests for the CLI parser and the shared benchmark parameter block
+// (paper §4.3).
+#include <gtest/gtest.h>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+namespace spmm {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p;
+  p.add_int("count", 'c', 7, "a count");
+  auto args = argv_of({});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(p.get_int("count"), 7);
+}
+
+TEST(ArgParser, LongOptionForms) {
+  ArgParser p;
+  p.add_int("count", 'c', 0, "a count");
+  p.add_string("name", 0, "", "a name");
+  auto args = argv_of({"--count", "3", "--name=alpha"});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(p.get_int("count"), 3);
+  EXPECT_EQ(p.get_string("name"), "alpha");
+}
+
+TEST(ArgParser, ShortOptionForms) {
+  ArgParser p;
+  p.add_int("k", 'k', 0, "width");
+  auto a1 = argv_of({"-k", "128"});
+  ASSERT_TRUE(p.parse(static_cast<int>(a1.size()), a1.data()));
+  EXPECT_EQ(p.get_int("k"), 128);
+  auto a2 = argv_of({"-k256"});
+  ASSERT_TRUE(p.parse(static_cast<int>(a2.size()), a2.data()));
+  EXPECT_EQ(p.get_int("k"), 256);
+}
+
+TEST(ArgParser, Flags) {
+  ArgParser p;
+  p.add_flag("debug", 'd', "debug mode");
+  auto args = argv_of({"-d"});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_TRUE(p.get_flag("debug"));
+}
+
+TEST(ArgParser, IntList) {
+  ArgParser p;
+  p.add_int_list("threads", 0, {1}, "thread counts");
+  auto args = argv_of({"--threads", "2,4, 8"});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  const auto& list = p.get_int_list("threads");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 2);
+  EXPECT_EQ(list[2], 8);
+}
+
+TEST(ArgParser, PositionalsCollected) {
+  ArgParser p;
+  p.add_int("k", 'k', 0, "width");
+  auto args = argv_of({"file.mtx", "-k", "8", "other"});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "file.mtx");
+  EXPECT_EQ(p.positional()[1], "other");
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  ArgParser p;
+  auto args = argv_of({"--nope"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(ArgParser, BadIntegerThrows) {
+  ArgParser p;
+  p.add_int("k", 'k', 0, "width");
+  auto args = argv_of({"--k", "12x"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser p;
+  p.add_int("k", 'k', 0, "width");
+  auto args = argv_of({"--k"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(ArgParser, FlagWithValueThrows) {
+  ArgParser p;
+  p.add_flag("debug", 0, "debug");
+  auto args = argv_of({"--debug=yes"});
+  EXPECT_THROW(p.parse(static_cast<int>(args.size()), args.data()), Error);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser p("test program");
+  auto args = argv_of({"--help"});
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(p.parse(static_cast<int>(args.size()), args.data()));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  EXPECT_NE(out.find("test program"), std::string::npos);
+}
+
+TEST(ArgParser, DoubleOption) {
+  ArgParser p;
+  p.add_double("scale", 0, 1.0, "scale");
+  auto args = argv_of({"--scale", "0.25"});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_DOUBLE_EQ(p.get_double("scale"), 0.25);
+}
+
+TEST(BenchParams, DefaultsMatchPaper) {
+  ArgParser p;
+  BenchParams::register_options(p);
+  auto args = argv_of({});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  const BenchParams bp = BenchParams::from_parser(p);
+  // Paper defaults: k=128, 32 threads, BCSR block 4.
+  EXPECT_EQ(bp.k, 128);
+  EXPECT_EQ(bp.threads, 32);
+  EXPECT_EQ(bp.block_size, 4);
+  EXPECT_TRUE(bp.verify);
+}
+
+TEST(BenchParams, ParsesFullCommandLine) {
+  ArgParser p;
+  BenchParams::register_options(p);
+  auto args = argv_of({"-n", "5", "-t", "8", "-b", "2", "-k", "64",
+                       "--thread-list", "2,4,8", "--no-verify", "--debug"});
+  ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+  const BenchParams bp = BenchParams::from_parser(p);
+  EXPECT_EQ(bp.iterations, 5);
+  EXPECT_EQ(bp.threads, 8);
+  EXPECT_EQ(bp.block_size, 2);
+  EXPECT_EQ(bp.k, 64);
+  ASSERT_EQ(bp.thread_list.size(), 3u);
+  EXPECT_EQ(bp.thread_list[2], 8);
+  EXPECT_FALSE(bp.verify);
+  EXPECT_TRUE(bp.debug);
+}
+
+TEST(BenchParams, RejectsInvalidValues) {
+  for (const char* bad :
+       {"--iterations=0", "--threads=-1", "--block-size=0", "--k=0"}) {
+    ArgParser p;
+    BenchParams::register_options(p);
+    auto args = argv_of({bad});
+    ASSERT_TRUE(p.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_THROW(BenchParams::from_parser(p), Error) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace spmm

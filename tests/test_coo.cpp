@@ -1,0 +1,121 @@
+// Tests for the COO container: canonicalization, validation, and the
+// row-aligned partition the parallel kernels rely on.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+
+TEST(Coo, EmptyMatrix) {
+  CooD m(5, 7);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 7);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.bytes(), 0u);
+}
+
+TEST(Coo, SortsUnorderedInput) {
+  AlignedVector<std::int32_t> r = {2, 0, 1, 0};
+  AlignedVector<std::int32_t> c = {0, 3, 1, 1};
+  AlignedVector<double> v = {1, 2, 3, 4};
+  CooD m(3, 4, std::move(r), std::move(c), std::move(v));
+  ASSERT_EQ(m.nnz(), 4u);
+  // Canonical order: (0,1)=4 (0,3)=2 (1,1)=3 (2,0)=1.
+  EXPECT_EQ(m.row(0), 0);
+  EXPECT_EQ(m.col(0), 1);
+  EXPECT_DOUBLE_EQ(m.value(0), 4.0);
+  EXPECT_EQ(m.row(3), 2);
+  EXPECT_DOUBLE_EQ(m.value(3), 1.0);
+}
+
+TEST(Coo, MergesDuplicates) {
+  AlignedVector<std::int32_t> r = {1, 1, 1};
+  AlignedVector<std::int32_t> c = {2, 2, 0};
+  AlignedVector<double> v = {1.5, 2.5, 7.0};
+  CooD m(3, 3, std::move(r), std::move(c), std::move(v));
+  ASSERT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.value(0), 7.0);   // (1,0)
+  EXPECT_DOUBLE_EQ(m.value(1), 4.0);   // (1,2) merged
+}
+
+TEST(Coo, RejectsOutOfRangeIndices) {
+  AlignedVector<std::int32_t> r = {0};
+  AlignedVector<std::int32_t> c = {5};
+  AlignedVector<double> v = {1.0};
+  EXPECT_THROW(CooD(3, 3, std::move(r), std::move(c), std::move(v)), Error);
+}
+
+TEST(Coo, RejectsMismatchedArrayLengths) {
+  AlignedVector<std::int32_t> r = {0, 1};
+  AlignedVector<std::int32_t> c = {0};
+  AlignedVector<double> v = {1.0, 2.0};
+  EXPECT_THROW(CooD(3, 3, std::move(r), std::move(c), std::move(v)), Error);
+}
+
+TEST(Coo, RejectsNegativeShape) {
+  EXPECT_THROW(CooD(-1, 3), Error);
+}
+
+TEST(Coo, PartitionRejectsNonPositiveParts) {
+  const CooD m = testutil::small_coo();
+  EXPECT_THROW(m.row_aligned_partition(0), Error);
+}
+
+class CooPartitionTest
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(CooPartitionTest, PartitionInvariants) {
+  const auto [parts, rows] = GetParam();
+  const CooD m = testutil::random_coo(rows, rows, 6.0, 99);
+  const auto bounds = m.row_aligned_partition(parts);
+
+  ASSERT_EQ(bounds.size(), static_cast<usize>(parts) + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), m.nnz());
+  for (int p = 0; p < parts; ++p) {
+    // Monotone bounds.
+    ASSERT_LE(bounds[static_cast<usize>(p)], bounds[static_cast<usize>(p) + 1]);
+    // No row spans a boundary: the last row of chunk p differs from the
+    // first row of chunk p+1.
+    const usize split = bounds[static_cast<usize>(p) + 1];
+    if (split > 0 && split < m.nnz()) {
+      EXPECT_NE(m.row(split - 1), m.row(split))
+          << "row split across partition boundary " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CooPartitionTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16, 64),
+                       ::testing::Values<std::int64_t>(1, 17, 256)));
+
+TEST(Coo, PartitionWithMorePartsThanRows) {
+  const CooD m = testutil::random_coo(4, 4, 2.0, 5);
+  const auto bounds = m.row_aligned_partition(32);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), m.nnz());
+  for (usize i = 1; i < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(Coo, PartitionEmptyMatrix) {
+  CooD m(10, 10);
+  const auto bounds = m.row_aligned_partition(4);
+  for (usize b : bounds) EXPECT_EQ(b, 0u);
+}
+
+TEST(Coo, EqualityComparesEverything) {
+  const CooD a = testutil::small_coo();
+  const CooD b = testutil::small_coo();
+  EXPECT_EQ(a, b);
+  const CooD c = testutil::random_coo(4, 4, 2.0, 1);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace spmm

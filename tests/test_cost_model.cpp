@@ -1,0 +1,308 @@
+// Shape tests for the analytical performance model: the qualitative
+// relationships every paper figure depends on must hold in the model.
+// (Absolute MFLOPs calibration is recorded in EXPERIMENTS.md; these tests
+// pin the orderings and monotonicities.)
+#include <gtest/gtest.h>
+
+#include "perfmodel/suite_input.hpp"
+#include "test_util.hpp"
+
+namespace spmm::model {
+namespace {
+
+const ModelInput& input(const std::string& name) {
+  static std::map<std::string, ModelInput> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, suite_model_input(name, 0.03)).first;
+  }
+  return it->second;
+}
+
+KernelSpec spec(Format f, Variant v, int threads = 1, int k = 128,
+                int block = 4) {
+  KernelSpec s;
+  s.format = f;
+  s.variant = v;
+  s.threads = threads;
+  s.k = k;
+  s.block_size = block;
+  return s;
+}
+
+TEST(Machine, BandwidthSaturates) {
+  const Machine m = aries();
+  EXPECT_DOUBLE_EQ(m.bandwidth_gbs(1), m.bw_single_gbs);
+  EXPECT_GT(m.bandwidth_gbs(8), m.bandwidth_gbs(2));
+  EXPECT_LE(m.bandwidth_gbs(96), m.bw_peak_gbs);
+  // Near saturation, adding threads barely helps.
+  EXPECT_LT(m.bandwidth_gbs(96) - m.bandwidth_gbs(48),
+            m.bandwidth_gbs(8) - m.bandwidth_gbs(4));
+}
+
+TEST(Machine, PresetsAreSane) {
+  EXPECT_EQ(grace_hopper().physical_cores, 72);
+  EXPECT_EQ(grace_hopper().smt_per_core, 1);
+  EXPECT_EQ(aries().physical_cores, 48);
+  EXPECT_EQ(aries().max_threads(), 96);
+  EXPECT_TRUE(h100(GpuRuntime::kVendor).is_gpu);
+  EXPECT_GT(h100(GpuRuntime::kVendor).runtime_efficiency,
+            h100(GpuRuntime::kOmpOffload).runtime_efficiency);
+  EXPECT_GT(h100(GpuRuntime::kVendor).link_gbs,
+            a100(GpuRuntime::kVendor).link_gbs);
+}
+
+TEST(StoredEntries, EllCarriesPadding) {
+  const auto& in = input("torso1");  // column ratio 44
+  EXPECT_GT(stored_entries(in, Format::kEll, 4),
+            10.0 * stored_entries(in, Format::kCsr, 4));
+  // Uniform-row matrix: ELL padding is negligible.
+  const auto& uniform = input("af23560");
+  EXPECT_LT(stored_entries(uniform, Format::kEll, 4),
+            1.1 * stored_entries(uniform, Format::kCsr, 4));
+}
+
+TEST(StoredEntries, BcsrGrowsWithBlockSize) {
+  const auto& in = input("bcsstk17");
+  EXPECT_LE(stored_entries(in, Format::kBcsr, 2),
+            stored_entries(in, Format::kBcsr, 4));
+  EXPECT_LT(stored_entries(in, Format::kBcsr, 4),
+            stored_entries(in, Format::kBcsr, 16));
+}
+
+TEST(StoredEntries, SellCPadsLessThanEll) {
+  const auto& in = input("torso1");
+  EXPECT_LT(stored_entries(in, Format::kSellC, 4),
+            stored_entries(in, Format::kEll, 4));
+  EXPECT_LE(stored_entries(in, Format::kBell, 4),
+            stored_entries(in, Format::kEll, 4));
+}
+
+TEST(CostModel, ParallelFasterThanSerial) {
+  const Machine gh = grace_hopper();
+  for (Format f : kCoreFormats) {
+    const double serial =
+        predict_mflops(gh, input("cant"), spec(f, Variant::kSerial));
+    const double parallel = predict_mflops(
+        gh, input("cant"), spec(f, Variant::kParallel, 32));
+    EXPECT_GT(parallel, 2.0 * serial) << format_name(f);
+  }
+}
+
+TEST(CostModel, ThreadScalingMonotoneToPhysicalCores) {
+  const Machine gh = grace_hopper();
+  double prev = 0.0;
+  for (int t : {2, 4, 8, 16, 32, 64}) {
+    const double mf = predict_mflops(gh, input("cop20k_A"),
+                                     spec(Format::kCsr, Variant::kParallel, t));
+    EXPECT_GE(mf, prev * 0.98) << "threads " << t;
+    prev = mf;
+  }
+}
+
+TEST(CostModel, SmtHelpsBlockedFormatsMore) {
+  // Paper §6.1: past the physical core count, blocked formats profit
+  // from hyperthreading; COO/CSR stall.
+  const Machine ar = aries();
+  const auto& in = input("bcsstk17");
+  const double csr_48 =
+      predict_mflops(ar, in, spec(Format::kCsr, Variant::kParallel, 48));
+  const double csr_96 =
+      predict_mflops(ar, in, spec(Format::kCsr, Variant::kParallel, 96));
+  const double bcsr_48 =
+      predict_mflops(ar, in, spec(Format::kBcsr, Variant::kParallel, 48));
+  const double bcsr_96 =
+      predict_mflops(ar, in, spec(Format::kBcsr, Variant::kParallel, 96));
+  EXPECT_GT(bcsr_96 / bcsr_48, csr_96 / csr_48);
+}
+
+TEST(CostModel, EllCollapsesOnTorso1) {
+  // The headline blocked-format failure: ELL on column ratio 44.
+  const Machine gh = grace_hopper();
+  const double ell =
+      predict_mflops(gh, input("torso1"), spec(Format::kEll, Variant::kSerial));
+  const double csr =
+      predict_mflops(gh, input("torso1"), spec(Format::kCsr, Variant::kSerial));
+  EXPECT_LT(ell, 0.15 * csr);
+  // ...but not on the uniform af23560.
+  const double ell_u = predict_mflops(gh, input("af23560"),
+                                      spec(Format::kEll, Variant::kSerial));
+  const double csr_u = predict_mflops(gh, input("af23560"),
+                                      spec(Format::kCsr, Variant::kSerial));
+  EXPECT_GT(ell_u, 0.7 * csr_u);
+}
+
+TEST(CostModel, BcsrSerialDegradesWithBlockSize) {
+  // Study 5: "the serial versions did increasingly worse as the block
+  // size got bigger", on both machines.
+  for (const Machine& m : {grace_hopper(), aries()}) {
+    const auto& in = input("pdb1HYS");
+    const double b2 =
+        predict_mflops(m, in, spec(Format::kBcsr, Variant::kSerial, 1, 128, 2));
+    const double b4 =
+        predict_mflops(m, in, spec(Format::kBcsr, Variant::kSerial, 1, 128, 4));
+    const double b16 = predict_mflops(
+        m, in, spec(Format::kBcsr, Variant::kSerial, 1, 128, 16));
+    EXPECT_GT(b2, b4) << m.name;
+    EXPECT_GT(b4, b16) << m.name;
+  }
+}
+
+TEST(CostModel, AriesSerialFasterExceptBcsr) {
+  // Study 6: x86 wins serial COO/CSR/ELL; BCSR wins on Arm.
+  const Machine gh = grace_hopper();
+  const Machine ar = aries();
+  const auto& in = input("cant");
+  for (Format f : {Format::kCoo, Format::kCsr, Format::kEll}) {
+    EXPECT_GT(predict_mflops(ar, in, spec(f, Variant::kSerial)),
+              predict_mflops(gh, in, spec(f, Variant::kSerial)))
+        << format_name(f);
+  }
+  EXPECT_GT(predict_mflops(gh, in, spec(Format::kBcsr, Variant::kSerial)),
+            predict_mflops(ar, in, spec(Format::kBcsr, Variant::kSerial)));
+}
+
+TEST(CostModel, TransposePenalizesScatteredNotBanded) {
+  // Study 8: transposing B thrashes the cache unless the nonzeros are
+  // clustered; only a few matrices benefit.
+  const Machine gh = grace_hopper();
+  const auto& scattered = input("cop20k_A");
+  const double plain = predict_mflops(
+      gh, scattered, spec(Format::kCsr, Variant::kParallel, 32));
+  const double transposed = predict_mflops(
+      gh, scattered, spec(Format::kCsr, Variant::kParallelTranspose, 32));
+  EXPECT_LT(transposed, plain);
+
+  const auto& banded = input("af23560");
+  const double plain_b = predict_mflops(
+      gh, banded, spec(Format::kCsr, Variant::kParallel, 32));
+  const double transposed_b = predict_mflops(
+      gh, banded, spec(Format::kCsr, Variant::kParallelTranspose, 32));
+  // Neutral-ish: within a factor of two rather than collapsing.
+  EXPECT_GT(transposed_b, 0.5 * plain_b);
+  // The banded matrix suffers relatively less from the transpose.
+  EXPECT_GT(transposed_b / plain_b, transposed / plain);
+}
+
+TEST(CostModel, VendorGpuBeatsOffload) {
+  // Study 7: cuSPARSE wins on most matrices.
+  const auto& in = input("cant");
+  const double offload = predict_mflops(
+      h100(GpuRuntime::kOmpOffload), in, spec(Format::kCsr, Variant::kDevice));
+  const double vendor = predict_mflops(
+      h100(GpuRuntime::kVendor), in, spec(Format::kCsr, Variant::kDevice));
+  EXPECT_GT(vendor, offload);
+}
+
+TEST(CostModel, KLoopRaisesThroughputOnArm) {
+  // Study 4 (Arm): "a higher value of k seemed to lead to more
+  // performance" across the studied range.
+  const Machine gh = grace_hopper();
+  double prev = 0.0;
+  for (int k : {8, 16, 64, 128, 256, 512, 1028}) {
+    const double mf = predict_mflops(
+        gh, input("x104"), spec(Format::kCsr, Variant::kParallel, 32, k));
+    EXPECT_GE(mf, prev * 0.95) << "k=" << k;
+    prev = mf;
+  }
+}
+
+TEST(CostModel, AriesKLoopSaturates) {
+  // Study 4 (x86): gains flatten by k≈512.
+  const Machine ar = aries();
+  const auto& in = input("x104");
+  const double k8 = predict_mflops(
+      ar, in, spec(Format::kCsr, Variant::kParallel, 32, 8));
+  const double k512 = predict_mflops(
+      ar, in, spec(Format::kCsr, Variant::kParallel, 32, 512));
+  const double k1028 = predict_mflops(
+      ar, in, spec(Format::kCsr, Variant::kParallel, 32, 1028));
+  EXPECT_GT(k512, k8);
+  // Marginal gain past 512 is small (< 10%).
+  EXPECT_LT(k1028, 1.10 * k512);
+}
+
+TEST(CostModel, ManualOptimizationHelpsSerial) {
+  const Machine ar = aries();
+  KernelSpec plain = spec(Format::kCsr, Variant::kSerial);
+  KernelSpec opt = plain;
+  opt.manually_optimized = true;
+  EXPECT_GT(predict_mflops(ar, input("cant"), opt),
+            predict_mflops(ar, input("cant"), plain));
+}
+
+TEST(CostModel, GpuTransferDominatesOnPcie) {
+  // Why the thesis's A100 numbers were fragile: everything moves over
+  // PCIe each call. The same kernel pays far more on A100 than H100.
+  const auto& in = input("cant");
+  const auto s = spec(Format::kCsr, Variant::kDevice);
+  const auto h = predict(h100(GpuRuntime::kVendor), in, s);
+  const auto a = predict(a100(GpuRuntime::kVendor), in, s);
+  EXPECT_GT(h.mflops, 2.0 * a.mflops);
+}
+
+TEST(CostModel, ExtensionFormatsRepairTorso1) {
+  // The §6.3.1 formats' raison d'être in the model: on the ELL failure
+  // case each remedy beats ELL, and the padding-free ones beat them all.
+  const Machine gh = grace_hopper();
+  const auto& in = input("torso1");
+  const double ell =
+      predict_mflops(gh, in, spec(Format::kEll, Variant::kParallel, 32));
+  const double bell =
+      predict_mflops(gh, in, spec(Format::kBell, Variant::kParallel, 32));
+  const double sellc =
+      predict_mflops(gh, in, spec(Format::kSellC, Variant::kParallel, 32));
+  const double hyb =
+      predict_mflops(gh, in, spec(Format::kHyb, Variant::kParallel, 32));
+  const double csr5 =
+      predict_mflops(gh, in, spec(Format::kCsr5, Variant::kParallel, 32));
+  EXPECT_GT(bell, ell);
+  EXPECT_GT(sellc, bell);
+  EXPECT_GT(hyb, sellc);
+  EXPECT_GT(csr5, sellc);
+}
+
+TEST(CostModel, Csr5TracksCsrOnRegularMatrices) {
+  // No padding and near-identical traffic: CSR5 should sit within ~20%
+  // of CSR everywhere, above it in parallel (better load balance).
+  const Machine gh = grace_hopper();
+  for (const char* name : {"cant", "af23560", "cop20k_A"}) {
+    const auto& in = input(name);
+    const double csr =
+        predict_mflops(gh, in, spec(Format::kCsr, Variant::kSerial));
+    const double csr5 =
+        predict_mflops(gh, in, spec(Format::kCsr5, Variant::kSerial));
+    EXPECT_GT(csr5, 0.8 * csr) << name;
+    EXPECT_LT(csr5, 1.2 * csr) << name;
+    const double csr_p =
+        predict_mflops(gh, in, spec(Format::kCsr, Variant::kParallel, 32));
+    const double csr5_p =
+        predict_mflops(gh, in, spec(Format::kCsr5, Variant::kParallel, 32));
+    EXPECT_GT(csr5_p, csr_p) << name;
+  }
+}
+
+TEST(CostModel, PredictionFieldsConsistent) {
+  const auto p = predict(grace_hopper(), input("cant"),
+                         spec(Format::kCsr, Variant::kParallel, 32));
+  EXPECT_GT(p.seconds, 0.0);
+  EXPECT_GT(p.bytes, 0.0);
+  EXPECT_NEAR(p.mflops, p.flops_true / p.seconds / 1e6, 1e-6);
+  EXPECT_GE(p.flops_padded, p.flops_true);
+}
+
+TEST(CostModel, InvalidSpecThrows) {
+  auto s = spec(Format::kCsr, Variant::kSerial);
+  s.k = 0;
+  EXPECT_THROW(predict(grace_hopper(), input("cant"), s), Error);
+  s.k = 128;
+  s.threads = 0;
+  EXPECT_THROW(predict(grace_hopper(), input("cant"), s), Error);
+  // Device variant on a CPU machine is a usage error.
+  s.threads = 1;
+  s.variant = Variant::kDevice;
+  EXPECT_THROW(predict(grace_hopper(), input("cant"), s), Error);
+}
+
+}  // namespace
+}  // namespace spmm::model

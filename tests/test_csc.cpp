@@ -1,0 +1,112 @@
+// Tests for the CSC format and its k-slice parallel SpMM.
+#include <gtest/gtest.h>
+
+#include "kernels/dense_ref.hpp"
+#include "kernels/spmm_csc.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+constexpr double kTol = 1e-10;
+
+TEST(Csc, SmallMatrixLayout) {
+  const auto csc = to_csc(testutil::small_coo());
+  // Matrix columns: col0 has rows {0,3}, col1 {2}, col2 {0,3}, col3 {3}.
+  const AlignedVector<std::int32_t> expect_ptr = {0, 2, 3, 5, 6};
+  EXPECT_EQ(csc.col_ptr(), expect_ptr);
+  EXPECT_EQ(csc.col_nnz(0), 2);
+  EXPECT_EQ(csc.col_nnz(1), 1);
+  // Rows within a column are sorted ascending.
+  EXPECT_EQ(csc.row_idx()[0], 0);
+  EXPECT_EQ(csc.row_idx()[1], 3);
+  EXPECT_DOUBLE_EQ(csc.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(csc.values()[1], 4.0);
+}
+
+TEST(Csc, RoundTrip) {
+  for (auto placement : {gen::Placement::kScattered, gen::Placement::kBanded,
+                         gen::Placement::kClustered}) {
+    const CooD m = testutil::random_coo(120, 90, 5.0, 17, placement);
+    EXPECT_EQ(to_coo(to_csc(m)), m);
+  }
+}
+
+TEST(Csc, RoundTripEmptyAndRectangular) {
+  EXPECT_EQ(to_coo(to_csc(CooD(4, 9))), CooD(4, 9));
+  const CooD wide = testutil::random_coo(10, 300, 4.0, 3);
+  EXPECT_EQ(to_coo(to_csc(wide)), wide);
+}
+
+TEST(Csc, ValidationCatchesBadColPtr) {
+  AlignedVector<std::int32_t> ptr = {0, 2, 1};
+  AlignedVector<std::int32_t> row = {0, 1};
+  AlignedVector<double> val = {1, 2};
+  EXPECT_THROW((Csc<double, std::int32_t>(2, 2, std::move(ptr),
+                                          std::move(row), std::move(val))),
+               Error);
+}
+
+TEST(Csc, ValidationCatchesRowOutOfRange) {
+  AlignedVector<std::int32_t> ptr = {0, 1};
+  AlignedVector<std::int32_t> row = {7};
+  AlignedVector<double> val = {1};
+  EXPECT_THROW((Csc<double, std::int32_t>(2, 1, std::move(ptr),
+                                          std::move(row), std::move(val))),
+               Error);
+}
+
+class CscKernelTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    a_ = testutil::random_coo(90, 110, 6.0, 23);
+    Rng rng(9);
+    b_ = Dense<double>(static_cast<usize>(a_.cols()),
+                       static_cast<usize>(GetParam()));
+    b_.fill_random(rng);
+    expected_ = spmm_reference(a_, b_);
+    c_ = Dense<double>(static_cast<usize>(a_.rows()),
+                       static_cast<usize>(GetParam()));
+    c_.fill(-3.0);
+  }
+
+  testutil::CooD a_;
+  Dense<double> b_, c_, expected_;
+};
+
+TEST_P(CscKernelTest, Serial) {
+  spmm_csc_serial(to_csc(a_), b_, c_);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(CscKernelTest, ParallelKSlices) {
+  // Thread counts below, at, and above k: slices must partition k
+  // correctly even when some threads get empty slices.
+  for (int t : {1, 2, 3, 7, 64}) {
+    c_.fill(-3.0);
+    spmm_csc_parallel(to_csc(a_), b_, c_, t);
+    EXPECT_LE(max_abs_diff(expected_, c_), kTol) << "threads " << t;
+  }
+}
+
+TEST_P(CscKernelTest, ParallelAtomic) {
+  spmm_csc_parallel_atomic(to_csc(a_), b_, c_, 4);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CscKernelTest,
+                         ::testing::Values(1, 2, 8, 13, 64),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(CscKernel, ShapeMismatchThrows) {
+  const auto csc = to_csc(testutil::small_coo());
+  Dense<double> b(3, 4);
+  Dense<double> c(4, 4);
+  EXPECT_THROW(spmm_csc_serial(csc, b, c), Error);
+}
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,75 @@
+// Tests for the CSV writer and ASCII table renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace spmm {
+namespace {
+
+TEST(Csv, QuoteRules) {
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"name", "value"});
+  w.add("x").add(std::int64_t{3});
+  w.end_row();
+  w.add("y,z").add(1.5);
+  w.end_row();
+  EXPECT_EQ(os.str(), "name,value\nx,3\n\"y,z\",1.5\n");
+  EXPECT_EQ(w.rows(), 2u);
+}
+
+TEST(Csv, RowArityEnforced) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  w.add("1");
+  EXPECT_THROW(w.end_row(), Error);       // too few
+  w.add("2");
+  EXPECT_THROW(w.add("3"), Error);        // too many
+}
+
+TEST(Csv, EmptyHeaderRejected) {
+  std::ostringstream os;
+  EXPECT_THROW(CsvWriter(os, {}), Error);
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "mflops"});
+  t.add("csr").add(1234.5, 1).end_row();
+  t.add("longer-name").add(7.0, 1).end_row();
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        |"), std::string::npos);
+  EXPECT_NE(out.find("1234.5"), std::string::npos);
+  // Numeric cells right-align: the short number ends at the same column.
+  EXPECT_NE(out.find("|    7.0 |"), std::string::npos);
+}
+
+TEST(TextTable, ArityEnforced) {
+  TextTable t({"a", "b"});
+  t.add("1");
+  EXPECT_THROW(t.end_row(), Error);
+  t.add("2");
+  EXPECT_THROW(t.add("3"), Error);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add("x").end_row();
+  t.add("y").end_row();
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,102 @@
+// Tests for the dense operand container.
+#include <gtest/gtest.h>
+
+#include "formats/dense.hpp"
+
+namespace spmm {
+namespace {
+
+TEST(Dense, ZeroInitialized) {
+  Dense<double> d(3, 5);
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 5u);
+  EXPECT_EQ(d.size(), 15u);
+  for (usize i = 0; i < d.size(); ++i) EXPECT_EQ(d.data()[i], 0.0);
+}
+
+TEST(Dense, RowMajorIndexing) {
+  Dense<double> d(2, 3);
+  d.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(d.data()[1 * 3 + 2], 7.0);
+  d.at(0, 0) = -1.0;
+  EXPECT_DOUBLE_EQ(d.data()[0], -1.0);
+}
+
+TEST(Dense, FillAndRandom) {
+  Dense<double> d(4, 4);
+  d.fill(2.5);
+  for (usize i = 0; i < d.size(); ++i) EXPECT_EQ(d.data()[i], 2.5);
+  Rng rng(1);
+  d.fill_random(rng);
+  bool any_nonzero = false;
+  for (usize i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d.data()[i], -1.0);
+    EXPECT_LT(d.data()[i], 1.0);
+    any_nonzero = any_nonzero || d.data()[i] != 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Dense, FillRandomDeterministic) {
+  Dense<double> a(5, 7), b(5, 7);
+  Rng r1(9), r2(9);
+  a.fill_random(r1);
+  b.fill_random(r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Dense, TransposeCorrect) {
+  // Rectangular shapes exercise the tiled loop's edge handling.
+  for (auto [rows, cols] : {std::pair<usize, usize>{3, 5},
+                            {64, 64},
+                            {65, 33},
+                            {1, 100},
+                            {100, 1}}) {
+    Dense<double> d(rows, cols);
+    Rng rng(4);
+    d.fill_random(rng);
+    const Dense<double> t = d.transposed();
+    ASSERT_EQ(t.rows(), cols);
+    ASSERT_EQ(t.cols(), rows);
+    for (usize r = 0; r < rows; ++r) {
+      for (usize c = 0; c < cols; ++c) {
+        ASSERT_EQ(t.at(c, r), d.at(r, c)) << rows << "x" << cols;
+      }
+    }
+  }
+}
+
+TEST(Dense, DoubleTransposeIsIdentity) {
+  Dense<double> d(37, 53);
+  Rng rng(6);
+  d.fill_random(rng);
+  EXPECT_EQ(d.transposed().transposed(), d);
+}
+
+TEST(Dense, MaxAbsDiff) {
+  Dense<double> a(2, 2), b(2, 2);
+  a.at(0, 0) = 1.0;
+  b.at(0, 0) = 1.5;
+  b.at(1, 1) = -0.25;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);
+  Dense<double> wrong(2, 3);
+  EXPECT_THROW(max_abs_diff(a, wrong), Error);
+}
+
+TEST(Dense, BytesAccounting) {
+  Dense<float> f(10, 10);
+  EXPECT_EQ(f.bytes(), 400u);
+  Dense<double> d(10, 10);
+  EXPECT_EQ(d.bytes(), 800u);
+}
+
+TEST(Dense, EmptyMatrix) {
+  Dense<double> d;
+  EXPECT_EQ(d.size(), 0u);
+  const Dense<double> t = d.transposed();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace spmm

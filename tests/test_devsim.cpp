@@ -1,0 +1,116 @@
+// Tests for the emulated device: arena accounting, capacity enforcement
+// (the Study 7 out-of-memory behaviour), and launch semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "devsim/device.hpp"
+
+namespace spmm::dev {
+namespace {
+
+TEST(DeviceArena, TracksAllocationAndPeak) {
+  DeviceArena arena;
+  [[maybe_unused]] auto a = arena.alloc<double>(100);
+  EXPECT_EQ(arena.allocated_bytes(), 800u);
+  [[maybe_unused]] auto b = arena.alloc<int>(50);
+  EXPECT_EQ(arena.allocated_bytes(), 1000u);
+  EXPECT_EQ(arena.peak_bytes(), 1000u);
+  arena.reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.peak_bytes(), 1000u);  // peak survives reset
+}
+
+TEST(DeviceArena, EnforcesCapacity) {
+  DeviceArena arena(1024);
+  [[maybe_unused]] auto a = arena.alloc<double>(100);  // 800 bytes
+  EXPECT_THROW(arena.alloc<double>(100), DeviceOutOfMemory);
+  // After reset the capacity is available again.
+  arena.reset();
+  EXPECT_NO_THROW(arena.alloc<double>(120));
+}
+
+TEST(DeviceArena, UnlimitedByDefault) {
+  DeviceArena arena;
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  EXPECT_NO_THROW(arena.alloc<double>(1 << 20));
+}
+
+TEST(DeviceArena, CopyAccounting) {
+  DeviceArena arena;
+  std::vector<double> host(64, 1.5);
+  auto dev = arena.alloc<double>(64);
+  arena.copy_to_device(dev, host.data(), 64);
+  EXPECT_EQ(arena.h2d_bytes(), 64u * 8u);
+  std::vector<double> back(64, 0.0);
+  arena.copy_to_host(back.data(), dev, 64);
+  EXPECT_EQ(arena.d2h_bytes(), 64u * 8u);
+  EXPECT_EQ(back, host);
+}
+
+TEST(DeviceArena, OversizedCopyThrows) {
+  DeviceArena arena;
+  auto dev = arena.alloc<double>(4);
+  std::vector<double> host(8, 0.0);
+  EXPECT_THROW(arena.copy_to_device(dev, host.data(), 8), Error);
+  EXPECT_THROW(arena.copy_to_host(host.data(), dev, 8), Error);
+}
+
+TEST(DeviceArena, MemsetZero) {
+  DeviceArena arena;
+  auto dev = arena.alloc<int>(16);
+  std::vector<int> ones(16, 1);
+  arena.copy_to_device(dev, ones.data(), 16);
+  arena.memset_zero(dev);
+  std::vector<int> back(16, -1);
+  arena.copy_to_host(back.data(), dev, 16);
+  for (int v : back) EXPECT_EQ(v, 0);
+}
+
+TEST(Launch, VisitsEveryThreadExactlyOnce) {
+  DeviceArena arena;
+  const Dim3 grid{4, 3, 2};
+  const Dim3 block{5, 2, 1};
+  std::vector<std::atomic<int>> visits(grid.count() * block.count());
+  launch(arena, grid, block, [&](const ThreadCtx& t) {
+    const std::uint64_t block_linear =
+        t.block_idx.x +
+        static_cast<std::uint64_t>(t.block_idx.y) * t.grid_dim.x +
+        static_cast<std::uint64_t>(t.block_idx.z) * t.grid_dim.x *
+            t.grid_dim.y;
+    const std::uint64_t thread_linear =
+        t.thread_idx.x +
+        static_cast<std::uint64_t>(t.thread_idx.y) * t.block_dim.x +
+        static_cast<std::uint64_t>(t.thread_idx.z) * t.block_dim.x *
+            t.block_dim.y;
+    ++visits[block_linear * block.count() + thread_linear];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  EXPECT_EQ(arena.launches(), 1u);
+}
+
+TEST(Launch, GlobalIndexArithmetic) {
+  DeviceArena arena;
+  std::vector<int> hit(12, 0);
+  launch(arena, Dim3{3}, Dim3{4}, [&](const ThreadCtx& t) {
+    hit[t.global_x()] = 1;
+  });
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(Launch, EmptyGridRejected) {
+  DeviceArena arena;
+  EXPECT_THROW(launch(arena, Dim3{0}, Dim3{1}, [](const ThreadCtx&) {}),
+               Error);
+}
+
+TEST(Launch, CountsLaunches) {
+  DeviceArena arena;
+  for (int i = 0; i < 3; ++i) {
+    launch(arena, Dim3{1}, Dim3{1}, [](const ThreadCtx&) {});
+  }
+  EXPECT_EQ(arena.launches(), 3u);
+}
+
+}  // namespace
+}  // namespace spmm::dev

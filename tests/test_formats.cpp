@@ -1,0 +1,291 @@
+// Conversion round-trip and invariant tests for CSR, ELL, BCSR, BELL,
+// and SELL-C-σ. Every converter must reproduce the source COO exactly
+// when lowered back (padding dropped), across a parameterized family of
+// matrix shapes and structures.
+#include <gtest/gtest.h>
+
+#include "formats/properties.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+
+// ---------- CSR ----------
+
+TEST(Csr, SmallMatrixLayout) {
+  const auto csr = to_csr(testutil::small_coo());
+  ASSERT_EQ(csr.rows(), 4);
+  ASSERT_EQ(csr.nnz(), 6u);
+  const AlignedVector<std::int32_t> expect_ptr = {0, 2, 2, 3, 6};
+  EXPECT_EQ(csr.row_ptr(), expect_ptr);
+  EXPECT_EQ(csr.row_nnz(0), 2);
+  EXPECT_EQ(csr.row_nnz(1), 0);
+  EXPECT_EQ(csr.row_nnz(3), 3);
+}
+
+TEST(Csr, ValidationCatchesBadRowPtr) {
+  AlignedVector<std::int32_t> ptr = {0, 2, 1};  // non-monotone
+  AlignedVector<std::int32_t> col = {0, 1};
+  AlignedVector<double> val = {1, 2};
+  EXPECT_THROW((Csr<double, std::int32_t>(2, 2, std::move(ptr),
+                                          std::move(col), std::move(val))),
+               Error);
+}
+
+TEST(Csr, ValidationCatchesColumnOutOfRange) {
+  AlignedVector<std::int32_t> ptr = {0, 1};
+  AlignedVector<std::int32_t> col = {4};
+  AlignedVector<double> val = {1};
+  EXPECT_THROW((Csr<double, std::int32_t>(1, 2, std::move(ptr),
+                                          std::move(col), std::move(val))),
+               Error);
+}
+
+// ---------- ELL ----------
+
+TEST(Ell, WidthIsMaxRowNnz) {
+  const auto ell = to_ell(testutil::small_coo());
+  EXPECT_EQ(ell.width(), 3);  // row 3 has three entries
+  EXPECT_EQ(ell.nnz(), 6u);
+  EXPECT_EQ(ell.padded_nnz(), 12u);  // 4 rows × width 3
+  EXPECT_DOUBLE_EQ(ell.padding_ratio(), 2.0);
+}
+
+TEST(Ell, PaddingRepeatsLastRealColumn) {
+  const auto ell = to_ell(testutil::small_coo());
+  // Row 0 has entries at cols {0, 2}; the pad slot repeats col 2.
+  EXPECT_EQ(ell.col_idx()[2], 2);
+  EXPECT_DOUBLE_EQ(ell.values()[2], 0.0);
+  // Row 1 is empty: pads use column 0.
+  EXPECT_EQ(ell.col_idx()[3], 0);
+  EXPECT_EQ(ell.col_idx()[4], 0);
+}
+
+TEST(Ell, EmptyMatrixHasZeroWidth) {
+  const auto ell = to_ell(CooD(3, 3));
+  EXPECT_EQ(ell.width(), 0);
+  EXPECT_EQ(ell.padded_nnz(), 0u);
+  EXPECT_DOUBLE_EQ(ell.padding_ratio(), 1.0);
+}
+
+// ---------- BCSR ----------
+
+TEST(Bcsr, SmallMatrixBlocks) {
+  const auto bcsr = to_bcsr(testutil::small_coo(), 2);
+  EXPECT_EQ(bcsr.block_rows(), 2);
+  EXPECT_EQ(bcsr.block_size(), 2);
+  // Blocks touched: (0,0) [rows 0-1, cols 0-1] has (0,0);
+  // (0,1) has (0,2); (1,0) has (2,1),(3,0); (1,1) has (3,2),(3,3).
+  EXPECT_EQ(bcsr.nnz_blocks(), 4u);
+  EXPECT_EQ(bcsr.nnz(), 6u);
+  EXPECT_EQ(bcsr.padded_nnz(), 16u);
+  EXPECT_DOUBLE_EQ(bcsr.fill_ratio(), 6.0 / 16.0);
+}
+
+TEST(Bcsr, TileContentsCorrect) {
+  const auto bcsr = to_bcsr(testutil::small_coo(), 2);
+  // First block row, first block (block col 0): entry (0,0)=1.
+  const double* tile0 = bcsr.values().data();
+  EXPECT_DOUBLE_EQ(tile0[0], 1.0);
+  EXPECT_DOUBLE_EQ(tile0[1], 0.0);
+  EXPECT_DOUBLE_EQ(tile0[2], 0.0);
+  EXPECT_DOUBLE_EQ(tile0[3], 0.0);
+}
+
+TEST(Bcsr, RejectsNonPositiveBlockSize) {
+  EXPECT_THROW(to_bcsr(testutil::small_coo(), 0), Error);
+}
+
+TEST(Bcsr, CountBcsrBlocksMatchesFormatter) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const CooD m = testutil::random_coo(97, 97, 5.0, seed);
+    for (std::int32_t b : {1, 2, 3, 4, 7, 16}) {
+      const auto bcsr = to_bcsr(m, b);
+      EXPECT_EQ(static_cast<std::int64_t>(bcsr.nnz_blocks()),
+                count_bcsr_blocks(m, b))
+          << "seed " << seed << " block " << b;
+      EXPECT_NEAR(bcsr.fill_ratio(), estimate_bcsr_fill(m, b), 1e-12);
+    }
+  }
+}
+
+TEST(Bcsr, BlockSizeOneEqualsCsrStructure) {
+  const CooD m = testutil::random_coo(50, 50, 4.0, 11);
+  const auto bcsr = to_bcsr(m, 1);
+  EXPECT_EQ(bcsr.nnz_blocks(), m.nnz());
+  EXPECT_DOUBLE_EQ(bcsr.fill_ratio(), 1.0);
+}
+
+// ---------- BELL ----------
+
+TEST(Bell, GroupWidthsAreLocalMaxima) {
+  const auto bell = to_bell(testutil::small_coo(), 2);
+  ASSERT_EQ(bell.groups(), 2);
+  EXPECT_EQ(bell.width()[0], 2);  // rows 0-1: max 2
+  EXPECT_EQ(bell.width()[1], 3);  // rows 2-3: max 3
+  EXPECT_EQ(bell.padded_nnz(), 2u * 2u + 2u * 3u);
+  EXPECT_LE(bell.padded_nnz(), to_ell(testutil::small_coo()).padded_nnz());
+}
+
+TEST(Bell, PaddingNeverExceedsEll) {
+  for (std::uint64_t seed : {5u, 6u}) {
+    const CooD m = testutil::random_coo(200, 200, 4.0, seed);
+    const auto ell = to_ell(m);
+    for (std::int32_t g : {4, 16, 64}) {
+      const auto bell = to_bell(m, g);
+      EXPECT_LE(bell.padded_nnz(), ell.padded_nnz()) << "group " << g;
+      EXPECT_GE(bell.padded_nnz(), m.nnz());
+    }
+  }
+}
+
+// ---------- SELL-C ----------
+
+TEST(SellC, PermIsAPermutation) {
+  const CooD m = testutil::random_coo(100, 100, 5.0, 21);
+  const auto sell = to_sellc(m, 8, 32);
+  std::vector<bool> seen(100, false);
+  for (auto r : sell.perm()) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 100);
+    ASSERT_FALSE(seen[static_cast<usize>(r)]);
+    seen[static_cast<usize>(r)] = true;
+  }
+}
+
+TEST(SellC, SigmaWindowsSortDescending) {
+  const CooD m = testutil::random_coo(64, 64, 5.0, 23);
+  const auto csr = to_csr(m);
+  const std::int32_t sigma = 16;
+  const auto sell = to_sellc(m, 8, sigma);
+  for (std::int32_t w = 0; w + sigma <= 64; w += sigma) {
+    for (std::int32_t i = 1; i < sigma; ++i) {
+      EXPECT_GE(csr.row_nnz(sell.perm()[static_cast<usize>(w + i - 1)]),
+                csr.row_nnz(sell.perm()[static_cast<usize>(w + i)]));
+    }
+  }
+}
+
+TEST(SellC, SortingReducesPaddingOnSkewedMatrix) {
+  // torso1-like: ~6% heavy rows scattered through the matrix. Unsorted,
+  // nearly every chunk contains one and pays its width; sorted, the heavy
+  // rows share a few chunks.
+  gen::MatrixSpec spec;
+  spec.name = "skewed";
+  spec.rows = spec.cols = 512;
+  spec.row_dist.kind = gen::RowDist::kConstant;
+  spec.row_dist.mean = 4;
+  spec.row_dist.max_nnz = 400;
+  spec.row_dist.heavy_fraction = 0.06;
+  spec.row_dist.heavy_min = 300;
+  spec.row_dist.heavy_max = 400;
+  spec.placement.kind = gen::Placement::kScattered;
+  const auto m = gen::generate<double, std::int32_t>(spec);
+
+  const auto unsorted = to_sellc(m, 32, 1);       // σ=1: no sorting
+  const auto sorted = to_sellc(m, 32, 512);       // global sorting
+  EXPECT_LT(sorted.padded_nnz(), unsorted.padded_nnz());
+}
+
+TEST(SellC, RejectsBadSigma) {
+  EXPECT_THROW(to_sellc(testutil::small_coo(), 4, 6), Error);
+}
+
+// ---------- round trips (parameterized over structure and converter) ----
+
+struct RoundTripCase {
+  std::string name;
+  std::int64_t rows;
+  double avg;
+  gen::Placement placement;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<RoundTripCase> {
+ protected:
+  CooD matrix() const {
+    const auto& p = GetParam();
+    return testutil::random_coo(p.rows, p.rows, p.avg, 777, p.placement);
+  }
+};
+
+TEST_P(RoundTripTest, Csr) {
+  const CooD m = matrix();
+  EXPECT_EQ(to_coo(to_csr(m)), m);
+}
+
+TEST_P(RoundTripTest, Ell) {
+  const CooD m = matrix();
+  EXPECT_EQ(to_coo(to_ell(m)), m);
+}
+
+TEST_P(RoundTripTest, BcsrSeveralBlockSizes) {
+  const CooD m = matrix();
+  for (std::int32_t b : {1, 2, 3, 4, 5, 16}) {
+    EXPECT_EQ(to_coo(to_bcsr(m, b)), m) << "block " << b;
+  }
+}
+
+TEST_P(RoundTripTest, Bell) {
+  const CooD m = matrix();
+  for (std::int32_t g : {1, 3, 8, 32}) {
+    EXPECT_EQ(to_coo(to_bell(m, g)), m) << "group " << g;
+  }
+}
+
+TEST_P(RoundTripTest, SellC) {
+  const CooD m = matrix();
+  EXPECT_EQ(to_coo(to_sellc(m, 4, 16)), m);
+  EXPECT_EQ(to_coo(to_sellc(m, 8, 8)), m);
+  EXPECT_EQ(to_coo(to_sellc(m, 16, 1)), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, RoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"tiny", 5, 2.0, gen::Placement::kScattered},
+        RoundTripCase{"scattered", 120, 6.0, gen::Placement::kScattered},
+        RoundTripCase{"banded", 120, 6.0, gen::Placement::kBanded},
+        RoundTripCase{"clustered", 120, 9.0, gen::Placement::kClustered},
+        RoundTripCase{"nondividing", 131, 5.0, gen::Placement::kClustered}),
+    [](const auto& info) { return info.param.name; });
+
+// 64-bit indices and float values round-trip too (§6.3.5 type matrix).
+TEST(RoundTrip, Float64BitIndices) {
+  gen::MatrixSpec spec;
+  spec.name = "f32i64";
+  spec.rows = spec.cols = 60;
+  spec.row_dist.mean = 4;
+  spec.row_dist.kind = gen::RowDist::kConstant;
+  spec.row_dist.max_nnz = 8;
+  spec.placement.kind = gen::Placement::kScattered;
+  const auto m = gen::generate<float, std::int64_t>(spec);
+  EXPECT_EQ(to_coo(to_csr(m)), m);
+  EXPECT_EQ(to_coo(to_ell(m)), m);
+  EXPECT_EQ(to_coo(to_bcsr(m, std::int64_t{4})), m);
+}
+
+// ---------- memory footprint (§6.3.5) ----------
+
+TEST(Footprint, NarrowTypesHalveStorage) {
+  gen::MatrixSpec spec;
+  spec.name = "foot";
+  spec.rows = spec.cols = 128;
+  spec.row_dist.mean = 6;
+  spec.row_dist.kind = gen::RowDist::kConstant;
+  spec.row_dist.max_nnz = 6;
+  spec.placement.kind = gen::Placement::kScattered;
+  const auto wide = gen::generate<double, std::int64_t>(spec);
+  const auto narrow = gen::generate<float, std::int32_t>(spec);
+  ASSERT_EQ(wide.nnz(), narrow.nnz());
+  EXPECT_EQ(wide.bytes(), 2 * narrow.bytes());
+}
+
+TEST(Footprint, CsrSmallerThanCoo) {
+  const CooD m = testutil::random_coo(300, 300, 6.0, 31);
+  EXPECT_LT(to_csr(m).bytes(), m.bytes());
+}
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,240 @@
+// Tests for the synthetic matrix generator: distributions, placement,
+// and the generator's structural guarantees.
+#include <gtest/gtest.h>
+
+#include "formats/properties.hpp"
+#include "gen/distributions.hpp"
+#include "gen/placement.hpp"
+#include "support/stats.hpp"
+#include "test_util.hpp"
+
+namespace spmm::gen {
+namespace {
+
+TEST(Distributions, ConstantIsConstant) {
+  Rng rng(1);
+  RowDistSpec d;
+  d.kind = RowDist::kConstant;
+  d.mean = 7;
+  d.max_nnz = 100;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_row_nnz(d, rng), 7);
+  }
+}
+
+TEST(Distributions, NormalHitsMeanAndClamps) {
+  Rng rng(2);
+  RowDistSpec d;
+  d.kind = RowDist::kNormal;
+  d.mean = 20;
+  d.spread = 5;
+  d.min_nnz = 1;
+  d.max_nnz = 30;
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto n = sample_row_nnz(d, rng);
+    ASSERT_GE(n, 1);
+    ASSERT_LE(n, 30);
+    sum += static_cast<double>(n);
+  }
+  EXPECT_NEAR(sum / 20000.0, 20.0, 0.5);
+}
+
+TEST(Distributions, UniformMeanUnbiased) {
+  Rng rng(3);
+  RowDistSpec d;
+  d.kind = RowDist::kUniform;
+  d.mean = 2.5;
+  d.spread = 0.5;
+  d.max_nnz = 10;
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto n = sample_row_nnz(d, rng);
+    ASSERT_GE(n, 2);
+    ASSERT_LE(n, 3);
+    sum += static_cast<double>(n);
+  }
+  EXPECT_NEAR(sum / 20000.0, 2.5, 0.05);
+}
+
+TEST(Distributions, LogNormalIsRightSkewed) {
+  Rng rng(4);
+  RowDistSpec d;
+  d.kind = RowDist::kLogNormal;
+  d.mean = 20;
+  d.spread = 0.6;
+  d.max_nnz = 1000;
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(sample_row_nnz(d, rng)));
+  }
+  // Right skew: mean above the log-space median (= d.mean).
+  EXPECT_GT(s.mean(), 20.0);
+  EXPECT_GT(s.max(), 3 * s.mean());
+}
+
+TEST(Distributions, HeavyTailMixture) {
+  Rng rng(5);
+  RowDistSpec d;
+  d.kind = RowDist::kConstant;
+  d.mean = 5;
+  d.max_nnz = 5000;
+  d.heavy_fraction = 0.1;
+  d.heavy_min = 1000;
+  d.heavy_max = 2000;
+  int heavy = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto n = sample_row_nnz(d, rng);
+    if (n >= 1000) {
+      ++heavy;
+      ASSERT_LE(n, 2000);
+    } else {
+      ASSERT_EQ(n, 5);
+    }
+  }
+  EXPECT_NEAR(heavy / 10000.0, 0.1, 0.02);
+}
+
+TEST(Distributions, InvalidSpecThrows) {
+  Rng rng(6);
+  RowDistSpec d;
+  d.mean = 0;
+  EXPECT_THROW(sample_row_nnz(d, rng), Error);
+  d.mean = 5;
+  d.min_nnz = 10;
+  d.max_nnz = 5;
+  EXPECT_THROW(sample_row_nnz(d, rng), Error);
+}
+
+class PlacementTest : public ::testing::TestWithParam<Placement> {};
+
+TEST_P(PlacementTest, DistinctSortedInRange) {
+  Rng rng(7);
+  PlacementSpec spec;
+  spec.kind = GetParam();
+  for (std::int64_t count : {1, 5, 50}) {
+    const auto cols = place_columns(spec, 10, 100, 100, count, rng);
+    ASSERT_EQ(static_cast<std::int64_t>(cols.size()), count);
+    for (usize i = 0; i < cols.size(); ++i) {
+      ASSERT_GE(cols[i], 0);
+      ASSERT_LT(cols[i], 100);
+      if (i > 0) {
+        ASSERT_LT(cols[i - 1], cols[i]);
+      }
+    }
+  }
+}
+
+TEST_P(PlacementTest, FullRowRequestSaturates) {
+  Rng rng(8);
+  PlacementSpec spec;
+  spec.kind = GetParam();
+  const auto cols = place_columns(spec, 3, 10, 10, 10, rng);
+  ASSERT_EQ(cols.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_EQ(cols[static_cast<usize>(i)], i);
+}
+
+TEST_P(PlacementTest, CountClampedToCols) {
+  Rng rng(9);
+  PlacementSpec spec;
+  spec.kind = GetParam();
+  const auto cols = place_columns(spec, 0, 4, 4, 99, rng);
+  EXPECT_EQ(cols.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PlacementTest,
+                         ::testing::Values(Placement::kBanded,
+                                           Placement::kClustered,
+                                           Placement::kScattered),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Placement::kBanded: return "banded";
+                             case Placement::kClustered: return "clustered";
+                             default: return "scattered";
+                           }
+                         });
+
+TEST(Placement, BandedStaysNearDiagonal) {
+  Rng rng(10);
+  PlacementSpec spec;
+  spec.kind = Placement::kBanded;
+  spec.bandwidth_frac = 0.02;
+  const std::int64_t n = 1000;
+  for (std::int64_t row : {100, 500, 900}) {
+    const auto cols = place_columns(spec, row, n, n, 10, rng);
+    for (std::int64_t c : cols) {
+      EXPECT_NEAR(static_cast<double>(c), static_cast<double>(row), 25.0);
+    }
+  }
+}
+
+TEST(Generator, ForcedMaxRowPresent) {
+  MatrixSpec spec;
+  spec.name = "forced";
+  spec.rows = spec.cols = 101;
+  spec.row_dist.kind = RowDist::kConstant;
+  spec.row_dist.mean = 3;
+  spec.row_dist.max_nnz = 40;
+  spec.row_dist.force_max_row = true;
+  spec.placement.kind = Placement::kScattered;
+  const auto m = generate<double, std::int32_t>(spec);
+  const auto p = compute_properties(m);
+  EXPECT_EQ(p.max_row_nnz, 40);
+}
+
+TEST(Generator, NoForcedMaxWhenDisabled) {
+  MatrixSpec spec;
+  spec.name = "unforced";
+  spec.rows = spec.cols = 101;
+  spec.row_dist.kind = RowDist::kConstant;
+  spec.row_dist.mean = 3;
+  spec.row_dist.max_nnz = 40;
+  spec.row_dist.force_max_row = false;
+  spec.placement.kind = Placement::kScattered;
+  const auto m = generate<double, std::int32_t>(spec);
+  EXPECT_EQ(compute_properties(m).max_row_nnz, 3);
+}
+
+TEST(Generator, ValuesNonZero) {
+  const auto m = testutil::random_coo(100, 100, 5.0, 42);
+  for (usize i = 0; i < m.nnz(); ++i) {
+    ASSERT_NE(m.value(i), 0.0);
+    ASSERT_GE(m.value(i), -1.0);
+    ASSERT_LT(m.value(i), 1.0);
+  }
+}
+
+TEST(Generator, RejectsBadShape) {
+  MatrixSpec spec;
+  spec.rows = 0;
+  spec.cols = 10;
+  EXPECT_THROW((generate<double, std::int32_t>(spec)), Error);
+}
+
+TEST(Generator, RejectsMatrixTooLargeForIndexType) {
+  MatrixSpec spec;
+  spec.name = "overflow";
+  spec.rows = spec.cols = 3'000'000'000;  // exceeds int32
+  spec.row_dist.kind = RowDist::kConstant;
+  spec.row_dist.mean = 1;
+  EXPECT_THROW((generate<double, std::int32_t>(spec)), Error);
+}
+
+TEST(Generator, SeedChangesMatrix) {
+  MatrixSpec spec;
+  spec.name = "seeded";
+  spec.rows = spec.cols = 64;
+  spec.row_dist.kind = RowDist::kNormal;
+  spec.row_dist.mean = 4;
+  spec.row_dist.spread = 2;
+  spec.row_dist.max_nnz = 10;
+  spec.placement.kind = Placement::kScattered;
+  spec.seed = 1;
+  const auto a = generate<double, std::int32_t>(spec);
+  spec.seed = 2;
+  const auto b = generate<double, std::int32_t>(spec);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace spmm::gen

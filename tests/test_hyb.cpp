@@ -1,0 +1,128 @@
+// Tests for the HYB (hybrid ELL+COO) extension format: the split
+// invariants, the width heuristic, round trips, and kernel correctness.
+#include <gtest/gtest.h>
+
+#include "kernels/dense_ref.hpp"
+#include "kernels/spmm_hyb.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+constexpr double kTol = 1e-10;
+
+CooD skewed_matrix() {
+  // Mostly 4-entry rows with a few heavy ones — HYB's home turf.
+  gen::MatrixSpec spec;
+  spec.name = "skewed";
+  spec.rows = spec.cols = 400;
+  spec.row_dist.kind = gen::RowDist::kConstant;
+  spec.row_dist.mean = 4;
+  spec.row_dist.max_nnz = 200;
+  spec.row_dist.heavy_fraction = 0.03;
+  spec.row_dist.heavy_min = 100;
+  spec.row_dist.heavy_max = 200;
+  spec.placement.kind = gen::Placement::kScattered;
+  return gen::generate<double, std::int32_t>(spec);
+}
+
+TEST(Hyb, SplitInvariants) {
+  const CooD m = skewed_matrix();
+  const auto hyb = to_hyb(m, 4);
+  EXPECT_EQ(hyb.width(), 4);
+  EXPECT_EQ(hyb.nnz(), m.nnz());
+  // Every row contributes at most `width` entries to the ELL region.
+  EXPECT_LE(hyb.ell().nnz(), static_cast<usize>(4 * m.rows()));
+  // Tail holds exactly the overflow.
+  EXPECT_EQ(hyb.tail().nnz(), m.nnz() - hyb.ell().nnz());
+  EXPECT_GT(hyb.tail().nnz(), 0u);  // heavy rows must spill
+}
+
+TEST(Hyb, RoundTripAcrossWidths) {
+  const CooD m = skewed_matrix();
+  for (std::int32_t w : {0, 1, 3, 4, 16, 500}) {
+    EXPECT_EQ(to_coo(to_hyb(m, w)), m) << "width " << w;
+  }
+  EXPECT_EQ(to_coo(to_hyb(m)), m) << "auto width";
+}
+
+TEST(Hyb, WidthZeroIsPureCoo) {
+  const CooD m = skewed_matrix();
+  const auto hyb = to_hyb(m, 0);
+  EXPECT_EQ(hyb.ell().nnz(), 0u);
+  EXPECT_EQ(hyb.tail().nnz(), m.nnz());
+  EXPECT_DOUBLE_EQ(hyb.tail_fraction(), 1.0);
+}
+
+TEST(Hyb, HugeWidthIsPureEll) {
+  const CooD m = skewed_matrix();
+  const auto hyb = to_hyb(m, 10000);
+  EXPECT_EQ(hyb.tail().nnz(), 0u);
+  EXPECT_EQ(hyb.ell().nnz(), m.nnz());
+}
+
+TEST(Hyb, AutoWidthMinimizesWeightedCost) {
+  const CooD m = skewed_matrix();
+  const auto w = hyb_auto_width(m);
+  const auto cost_at = [&](std::int32_t width) {
+    const auto h = to_hyb(m, width);
+    return static_cast<std::int64_t>(h.ell().padded_nnz()) +
+           kHybTailWeight * static_cast<std::int64_t>(h.tail().nnz());
+  };
+  const auto chosen = cost_at(w);
+  // The heuristic's exact objective: no other width costs less.
+  for (std::int32_t other : {0, 1, 2, 3, 4, 5, 8, 16, 64, 200}) {
+    EXPECT_LE(chosen, cost_at(other))
+        << "width " << other << " beats auto " << w;
+  }
+}
+
+TEST(Hyb, BeatsEllPaddingOnSkewedMatrix) {
+  const CooD m = skewed_matrix();
+  const auto hyb = to_hyb(m);
+  const auto ell = to_ell(m);
+  // The whole point of the format: orders of magnitude less padding.
+  EXPECT_LT(hyb.padded_nnz(), ell.padded_nnz() / 5);
+  EXPECT_LT(hyb.padding_ratio(), 2.0);
+}
+
+TEST(Hyb, EmptyMatrix) {
+  const auto hyb = to_hyb(CooD(5, 5));
+  EXPECT_EQ(hyb.nnz(), 0u);
+  EXPECT_EQ(hyb.width(), 0);
+  EXPECT_DOUBLE_EQ(hyb.padding_ratio(), 1.0);
+}
+
+class HybKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybKernelTest, AllVariantsMatchReference) {
+  const CooD m = skewed_matrix();
+  const auto hyb = to_hyb(m, GetParam());
+  Rng rng(5);
+  Dense<double> b(static_cast<usize>(m.cols()), 16);
+  b.fill_random(rng);
+  const auto expected = spmm_reference(m, b);
+  Dense<double> c(static_cast<usize>(m.rows()), 16);
+
+  spmm_hyb_serial(hyb, b, c);
+  EXPECT_LE(max_abs_diff(expected, c), kTol) << "serial";
+  c.fill(-1.0);
+  spmm_hyb_parallel(hyb, b, c, 4);
+  EXPECT_LE(max_abs_diff(expected, c), kTol) << "parallel";
+  c.fill(-1.0);
+  dev::DeviceArena arena;
+  spmm_hyb_device(arena, hyb, b, c);
+  EXPECT_LE(max_abs_diff(expected, c), kTol) << "device";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HybKernelTest,
+                         ::testing::Values(-1, 0, 2, 4, 64),
+                         [](const auto& info) {
+                           return info.param < 0
+                                      ? std::string("auto")
+                                      : "w" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,181 @@
+// Tests for Matrix Market I/O and the BCSR disk cache (§6.3.2).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/bcsr_cache.hpp"
+#include "io/matrix_market.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+
+CooD parse(const std::string& text) {
+  std::istringstream in(text);
+  return io::read_matrix_market<double, std::int32_t>(in);
+}
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  const CooD m = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 1 2.5\n"
+      "3 4 -1\n");
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  ASSERT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.value(0), 2.5);
+  EXPECT_EQ(m.row(1), 2);
+  EXPECT_EQ(m.col(1), 3);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  const CooD m = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1\n"
+      "2 1 5\n"
+      "3 2 7\n");
+  // Off-diagonal entries mirrored: nnz = 1 + 2 + 2.
+  ASSERT_EQ(m.nnz(), 5u);
+  const auto d = to_dense(m);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 7.0);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetric) {
+  const CooD m = parse(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3\n");
+  const auto d = to_dense(m);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues) {
+  const CooD m = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  ASSERT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.value(1), 1.0);
+}
+
+TEST(MatrixMarket, RejectsBadInputs) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("not a banner\n1 1 0\n"), Error);
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n1 1\n1\n"),
+               Error);
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"),
+      Error);
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"),
+      Error);
+  // Entry out of range.
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n5 1 1.0\n"),
+               Error);
+  // Truncated: promises 2 entries, delivers 1.
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 2\n1 1 1.0\n"),
+               Error);
+  // Pattern entry with no value is fine, real entry missing value is not.
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n1 1\n"),
+               Error);
+}
+
+TEST(MatrixMarket, RoundTripExact) {
+  const CooD m = testutil::random_coo(64, 80, 4.0, 77);
+  std::stringstream buf;
+  io::write_matrix_market(buf, m);
+  const CooD back = io::read_matrix_market<double, std::int32_t>(buf);
+  EXPECT_EQ(back, m);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "spmm_mm_test.mtx").string();
+  const CooD m = testutil::small_coo();
+  io::write_matrix_market_file(path, m);
+  const CooD back = io::read_matrix_market_file<double, std::int32_t>(path);
+  EXPECT_EQ(back, m);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW((io::read_matrix_market_file<double, std::int32_t>(
+                   "/no/such/file.mtx")),
+               Error);
+}
+
+TEST(BcsrCache, StreamRoundTrip) {
+  const CooD m = testutil::random_coo(90, 90, 5.0, 13);
+  const auto bcsr = to_bcsr(m, 4);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_bcsr_cache(buf, bcsr);
+  const auto back = io::read_bcsr_cache<double, std::int32_t>(buf);
+  EXPECT_EQ(back, bcsr);
+}
+
+TEST(BcsrCache, FileRoundTripAllBlockSizes) {
+  const CooD m = testutil::random_coo(77, 77, 4.0, 17);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "spmm_bcsr_test.bin").string();
+  for (std::int32_t b : {1, 2, 4, 16}) {
+    const auto bcsr = to_bcsr(m, b);
+    io::write_bcsr_cache_file(path, bcsr);
+    const auto back = io::read_bcsr_cache_file<double, std::int32_t>(path);
+    EXPECT_EQ(back, bcsr) << "block " << b;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BcsrCache, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "NOTACACHEFILE-------------------";
+  EXPECT_THROW((io::read_bcsr_cache<double, std::int32_t>(buf)), Error);
+}
+
+TEST(BcsrCache, RejectsTypeWidthMismatch) {
+  const CooD m = testutil::small_coo();
+  const auto bcsr = to_bcsr(m, 2);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_bcsr_cache(buf, bcsr);
+  // Written with double/int32; reading as float/int32 must fail loudly.
+  EXPECT_THROW((io::read_bcsr_cache<float, std::int32_t>(buf)), Error);
+}
+
+TEST(BcsrCache, RejectsTruncated) {
+  const CooD m = testutil::small_coo();
+  const auto bcsr = to_bcsr(m, 2);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_bcsr_cache(full, bcsr);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW((io::read_bcsr_cache<double, std::int32_t>(cut)), Error);
+}
+
+TEST(BcsrCache, CachedMatrixMultipliesCorrectly) {
+  // The §6.3.2 workflow: format once, cache, reload, compute.
+  const CooD m = testutil::random_coo(60, 60, 5.0, 19);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_bcsr_cache(buf, to_bcsr(m, 4));
+  const auto bcsr = io::read_bcsr_cache<double, std::int32_t>(buf);
+  EXPECT_EQ(to_coo(bcsr), m);
+}
+
+}  // namespace
+}  // namespace spmm

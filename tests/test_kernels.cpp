@@ -1,0 +1,285 @@
+// Kernel correctness: every format × variant × k against the dense GEMM
+// oracle, over a parameterized family of matrix structures. This is the
+// central correctness net for the whole kernel zoo.
+#include <gtest/gtest.h>
+
+#include "devsim/device.hpp"
+#include "kernels/dense_ref.hpp"
+#include "kernels/spmm_bcsr.hpp"
+#include "kernels/spmm_bell.hpp"
+#include "kernels/spmm_coo.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmm_ell.hpp"
+#include "kernels/spmm_sellc.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+
+constexpr double kTol = 1e-10;
+
+struct KernelCase {
+  std::string name;
+  std::int64_t rows;
+  double avg;
+  gen::Placement placement;
+  int k;
+};
+
+class SpmmKernelTest : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    const auto& p = GetParam();
+    a_ = testutil::random_coo(p.rows, p.rows, p.avg, 4242, p.placement);
+    Rng rng(7);
+    b_ = Dense<double>(static_cast<usize>(a_.cols()),
+                       static_cast<usize>(p.k));
+    b_.fill_random(rng);
+    bt_ = b_.transposed();
+    expected_ = spmm_reference(a_, b_);
+    c_ = Dense<double>(static_cast<usize>(a_.rows()),
+                       static_cast<usize>(p.k));
+  }
+
+  void expect_match(const char* what) {
+    EXPECT_LE(max_abs_diff(expected_, c_), kTol) << what;
+  }
+
+  CooD a_;
+  Dense<double> b_, bt_, c_, expected_;
+  dev::DeviceArena arena_;
+};
+
+TEST_P(SpmmKernelTest, ReferenceAgreesWithDenseGemm) {
+  // The COO reference itself is validated against the O(n³) oracle.
+  const Dense<double> ad = to_dense(a_);
+  Dense<double> oracle(ad.rows(), b_.cols());
+  gemm_reference(ad, b_, oracle);
+  EXPECT_LE(max_abs_diff(oracle, expected_), kTol);
+}
+
+TEST_P(SpmmKernelTest, CooSerial) {
+  spmm_coo_serial(a_, b_, c_);
+  expect_match("coo serial");
+}
+
+TEST_P(SpmmKernelTest, CooParallel) {
+  for (int t : {1, 3, 8}) {
+    c_.fill(-1.0);
+    spmm_coo_parallel(a_, b_, c_, t);
+    expect_match("coo parallel");
+  }
+}
+
+TEST_P(SpmmKernelTest, CooParallelAtomic) {
+  spmm_coo_parallel_atomic(a_, b_, c_, 4);
+  expect_match("coo parallel atomic");
+}
+
+TEST_P(SpmmKernelTest, CooDevice) {
+  spmm_coo_device(arena_, a_, b_, c_);
+  expect_match("coo device");
+}
+
+TEST_P(SpmmKernelTest, CooTransposeForms) {
+  spmm_coo_serial_transpose(a_, bt_, c_);
+  expect_match("coo serial-T");
+  c_.fill(-1.0);
+  spmm_coo_parallel_transpose(a_, bt_, c_, 4);
+  expect_match("coo omp-T");
+  c_.fill(-1.0);
+  spmm_coo_device_transpose(arena_, a_, bt_, c_);
+  expect_match("coo gpu-T");
+}
+
+TEST_P(SpmmKernelTest, CsrAllForms) {
+  const auto csr = to_csr(a_);
+  spmm_csr_serial(csr, b_, c_);
+  expect_match("csr serial");
+  c_.fill(-1.0);
+  spmm_csr_parallel(csr, b_, c_, 4);
+  expect_match("csr omp");
+  c_.fill(-1.0);
+  spmm_csr_device(arena_, csr, b_, c_);
+  expect_match("csr gpu");
+  c_.fill(-1.0);
+  spmm_csr_serial_transpose(csr, bt_, c_);
+  expect_match("csr serial-T");
+  c_.fill(-1.0);
+  spmm_csr_parallel_transpose(csr, bt_, c_, 4);
+  expect_match("csr omp-T");
+  c_.fill(-1.0);
+  spmm_csr_device_transpose(arena_, csr, bt_, c_);
+  expect_match("csr gpu-T");
+}
+
+TEST_P(SpmmKernelTest, EllAllForms) {
+  const auto ell = to_ell(a_);
+  spmm_ell_serial(ell, b_, c_);
+  expect_match("ell serial");
+  c_.fill(-1.0);
+  spmm_ell_parallel(ell, b_, c_, 4);
+  expect_match("ell omp");
+  c_.fill(-1.0);
+  spmm_ell_device(arena_, ell, b_, c_);
+  expect_match("ell gpu");
+  c_.fill(-1.0);
+  spmm_ell_serial_transpose(ell, bt_, c_);
+  expect_match("ell serial-T");
+  c_.fill(-1.0);
+  spmm_ell_parallel_transpose(ell, bt_, c_, 4);
+  expect_match("ell omp-T");
+  c_.fill(-1.0);
+  spmm_ell_device_transpose(arena_, ell, bt_, c_);
+  expect_match("ell gpu-T");
+}
+
+TEST_P(SpmmKernelTest, BcsrAllFormsAndBlockSizes) {
+  for (std::int32_t block : {1, 2, 3, 4, 8}) {
+    const auto bcsr = to_bcsr(a_, block);
+    c_.fill(-1.0);
+    spmm_bcsr_serial(bcsr, b_, c_);
+    expect_match("bcsr serial");
+    c_.fill(-1.0);
+    spmm_bcsr_parallel(bcsr, b_, c_, 4);
+    expect_match("bcsr omp");
+    c_.fill(-1.0);
+    spmm_bcsr_parallel_inner(bcsr, b_, c_, 4);
+    expect_match("bcsr omp-inner");
+    c_.fill(-1.0);
+    spmm_bcsr_device(arena_, bcsr, b_, c_);
+    expect_match("bcsr gpu");
+    c_.fill(-1.0);
+    spmm_bcsr_serial_transpose(bcsr, bt_, c_);
+    expect_match("bcsr serial-T");
+    c_.fill(-1.0);
+    spmm_bcsr_parallel_transpose(bcsr, bt_, c_, 4);
+    expect_match("bcsr omp-T");
+    c_.fill(-1.0);
+    spmm_bcsr_device_transpose(arena_, bcsr, bt_, c_);
+    expect_match("bcsr gpu-T");
+  }
+}
+
+TEST_P(SpmmKernelTest, BellAllForms) {
+  for (std::int32_t group : {1, 4, 32}) {
+    const auto bell = to_bell(a_, group);
+    c_.fill(-1.0);
+    spmm_bell_serial(bell, b_, c_);
+    expect_match("bell serial");
+    c_.fill(-1.0);
+    spmm_bell_parallel(bell, b_, c_, 4);
+    expect_match("bell omp");
+    c_.fill(-1.0);
+    spmm_bell_device(arena_, bell, b_, c_);
+    expect_match("bell gpu");
+  }
+}
+
+TEST_P(SpmmKernelTest, SellCAllForms) {
+  const auto sell = to_sellc(a_, 8, 32);
+  spmm_sellc_serial(sell, b_, c_);
+  expect_match("sellc serial");
+  c_.fill(-1.0);
+  spmm_sellc_parallel(sell, b_, c_, 4);
+  expect_match("sellc omp");
+  c_.fill(-1.0);
+  spmm_sellc_device(arena_, sell, b_, c_);
+  expect_match("sellc gpu");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrices, SpmmKernelTest,
+    ::testing::Values(
+        KernelCase{"tiny_k1", 7, 2.0, gen::Placement::kScattered, 1},
+        KernelCase{"scattered_k8", 64, 5.0, gen::Placement::kScattered, 8},
+        KernelCase{"banded_k16", 96, 6.0, gen::Placement::kBanded, 16},
+        KernelCase{"clustered_k5", 80, 8.0, gen::Placement::kClustered, 5},
+        KernelCase{"nondividing_k3", 61, 4.0, gen::Placement::kClustered, 3},
+        KernelCase{"wide_k33", 40, 6.0, gen::Placement::kScattered, 33}),
+    [](const auto& info) { return info.param.name; });
+
+// --- degenerate shapes ---
+
+TEST(ProbeVerification, AcceptsCorrectAndRejectsWrong) {
+  const CooD a = testutil::random_coo(120, 100, 6.0, 77);
+  Rng rng(8);
+  Dense<double> b(static_cast<usize>(a.cols()), 16);
+  b.fill_random(rng);
+  Dense<double> c = spmm_reference(a, b);
+  // Correct product: probe error at rounding level.
+  EXPECT_LT(spmm_probe_error(a, b, c), 1e-9);
+  // One corrupted element: the probe must notice.
+  c.at(57, 3) += 0.5;
+  EXPECT_GT(spmm_probe_error(a, b, c), 1e-3);
+  // A subtly-scaled column too.
+  Dense<double> c2 = spmm_reference(a, b);
+  for (usize i = 0; i < c2.rows(); ++i) c2.at(i, 7) *= 1.0 + 1e-4;
+  EXPECT_GT(spmm_probe_error(a, b, c2), 1e-7);
+}
+
+TEST(SpmmKernelEdge, EmptyMatrixYieldsZeroC) {
+  CooD a(5, 6);
+  Dense<double> b(6, 4);
+  Rng rng(1);
+  b.fill_random(rng);
+  Dense<double> c(5, 4);
+  c.fill(9.0);
+  spmm_coo_serial(a, b, c);
+  for (usize i = 0; i < c.size(); ++i) ASSERT_EQ(c.data()[i], 0.0);
+
+  const auto csr = to_csr(a);
+  c.fill(9.0);
+  spmm_csr_serial(csr, b, c);
+  for (usize i = 0; i < c.size(); ++i) ASSERT_EQ(c.data()[i], 0.0);
+}
+
+TEST(SpmmKernelEdge, SingleRowMatrix) {
+  AlignedVector<std::int32_t> r = {0, 0};
+  AlignedVector<std::int32_t> c = {1, 3};
+  AlignedVector<double> v = {2.0, -3.0};
+  CooD a(1, 4, std::move(r), std::move(c), std::move(v));
+  Dense<double> b(4, 2);
+  for (usize i = 0; i < b.size(); ++i) b.data()[i] = static_cast<double>(i);
+  Dense<double> out(1, 2);
+  spmm_csr_serial(to_csr(a), b, out);
+  // row = 2*B[1,:] - 3*B[3,:] = 2*(2,3) - 3*(6,7).
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 2 * 2.0 - 3 * 6.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 2 * 3.0 - 3 * 7.0);
+}
+
+TEST(SpmmKernelEdge, ShapeMismatchThrows) {
+  const CooD a = testutil::small_coo();
+  Dense<double> b(3, 4);  // wrong: needs 4 rows
+  Dense<double> c(4, 4);
+  EXPECT_THROW(spmm_coo_serial(a, b, c), Error);
+  Dense<double> b_ok(4, 4);
+  Dense<double> c_bad(4, 3);  // wrong width
+  EXPECT_THROW(spmm_coo_serial(a, b_ok, c_bad), Error);
+}
+
+TEST(SpmmKernelEdge, NonPositiveThreadsThrow) {
+  const CooD a = testutil::small_coo();
+  Dense<double> b(4, 4);
+  Dense<double> c(4, 4);
+  EXPECT_THROW(spmm_coo_parallel(a, b, c, 0), Error);
+  EXPECT_THROW(spmm_csr_parallel(to_csr(a), b, c, -2), Error);
+}
+
+TEST(SpmmKernelEdge, MoreThreadsThanRows) {
+  const CooD a = testutil::random_coo(6, 6, 3.0, 55);
+  Dense<double> b(6, 4);
+  Rng rng(2);
+  b.fill_random(rng);
+  Dense<double> c(6, 4);
+  const auto expected = spmm_reference(a, b);
+  spmm_coo_parallel(a, b, c, 64);
+  EXPECT_LE(max_abs_diff(expected, c), kTol);
+  spmm_csr_parallel(to_csr(a), b, c, 64);
+  EXPECT_LE(max_abs_diff(expected, c), kTol);
+}
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,175 @@
+// Tests for the Study 9 manually optimized kernels and the SpMV paths.
+// The optimized kernels must be bit-compatible with the plain kernels
+// for every k in the template instantiation set and for fallback widths.
+#include <gtest/gtest.h>
+
+#include "kernels/dense_ref.hpp"
+#include "kernels/spmm_coo.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmm_ell.hpp"
+#include "kernels/spmm_fixed_k.hpp"
+#include "kernels/spmv.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+constexpr double kTol = 1e-10;
+
+class FixedKTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    a_ = testutil::random_coo(70, 70, 5.0, 31, gen::Placement::kClustered);
+    Rng rng(3);
+    b_ = Dense<double>(static_cast<usize>(a_.cols()),
+                       static_cast<usize>(GetParam()));
+    b_.fill_random(rng);
+    expected_ = spmm_reference(a_, b_);
+    c_ = Dense<double>(static_cast<usize>(a_.rows()),
+                       static_cast<usize>(GetParam()));
+  }
+
+  CooD a_;
+  Dense<double> b_, c_, expected_;
+};
+
+TEST_P(FixedKTest, CsrSerialOpt) {
+  spmm_csr_serial_opt(to_csr(a_), b_, c_);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(FixedKTest, CsrParallelOpt) {
+  spmm_csr_parallel_opt(to_csr(a_), b_, c_, 4);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(FixedKTest, EllSerialOpt) {
+  spmm_ell_serial_opt(to_ell(a_), b_, c_);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(FixedKTest, EllParallelOpt) {
+  spmm_ell_parallel_opt(to_ell(a_), b_, c_, 4);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(FixedKTest, CooSerialOpt) {
+  spmm_coo_serial_opt(a_, b_, c_);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(FixedKTest, CooParallelOpt) {
+  spmm_coo_parallel_opt(a_, b_, c_, 4);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(FixedKTest, OptimizedBitIdenticalToPlain) {
+  // Same operation order ⇒ identical floating-point results, not merely
+  // close ones.
+  const auto csr = to_csr(a_);
+  Dense<double> plain(c_.rows(), c_.cols());
+  spmm_csr_serial(csr, b_, plain);
+  spmm_csr_serial_opt(csr, b_, c_);
+  EXPECT_EQ(plain, c_);
+}
+
+// The instantiation set {8,...,512} plus fallback widths (7, 100, 513).
+INSTANTIATE_TEST_SUITE_P(KValues, FixedKTest,
+                         ::testing::Values(7, 8, 16, 32, 64, 100, 128, 256,
+                                           512, 513),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(FixedKDispatch, HitsExactlyTheInstantiationSet) {
+  for (int k : kFixedKValues) {
+    bool called = false;
+    const bool hit = detail::dispatch_fixed_k(
+        static_cast<usize>(k), [&](auto kc) {
+          called = true;
+          EXPECT_EQ(decltype(kc)::value, k);
+        });
+    EXPECT_TRUE(hit);
+    EXPECT_TRUE(called);
+  }
+  for (usize k : {0u, 1u, 9u, 127u, 1024u}) {
+    EXPECT_FALSE(detail::dispatch_fixed_k(k, [](auto) { FAIL(); }));
+  }
+}
+
+// --- SpMV (§6.3.4) ---
+
+class SpmvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = testutil::random_coo(90, 90, 6.0, 61);
+    Rng rng(5);
+    x_.resize(static_cast<usize>(a_.cols()));
+    for (auto& v : x_) v = rng.uniform(-1.0, 1.0);
+    // Oracle: SpMM with k=1.
+    Dense<double> b(static_cast<usize>(a_.cols()), 1);
+    for (usize i = 0; i < x_.size(); ++i) b.at(i, 0) = x_[i];
+    const auto c = spmm_reference(a_, b);
+    expected_.resize(static_cast<usize>(a_.rows()));
+    for (usize i = 0; i < expected_.size(); ++i) expected_[i] = c.at(i, 0);
+    y_.assign(expected_.size(), -1.0);
+  }
+
+  void expect_match(const char* what) {
+    for (usize i = 0; i < y_.size(); ++i) {
+      ASSERT_NEAR(y_[i], expected_[i], kTol) << what << " row " << i;
+    }
+  }
+
+  CooD a_;
+  std::vector<double> x_, y_, expected_;
+};
+
+TEST_F(SpmvTest, Coo) {
+  spmv_coo(a_, x_, y_);
+  expect_match("coo");
+}
+
+TEST_F(SpmvTest, Csr) {
+  spmv_csr(to_csr(a_), x_, y_);
+  expect_match("csr");
+}
+
+TEST_F(SpmvTest, CsrParallel) {
+  spmv_csr_parallel(to_csr(a_), x_, y_, 4);
+  expect_match("csr parallel");
+}
+
+TEST_F(SpmvTest, CooParallel) {
+  spmv_coo_parallel(a_, x_, y_, 4);
+  expect_match("coo parallel");
+}
+
+TEST_F(SpmvTest, EllParallel) {
+  spmv_ell_parallel(to_ell(a_), x_, y_, 4);
+  expect_match("ell parallel");
+}
+
+TEST_F(SpmvTest, Ell) {
+  spmv_ell(to_ell(a_), x_, y_);
+  expect_match("ell");
+}
+
+TEST_F(SpmvTest, Bcsr) {
+  for (std::int32_t b : {2, 4, 7}) {
+    y_.assign(y_.size(), -1.0);
+    spmv_bcsr(to_bcsr(a_, b), x_, y_);
+    expect_match("bcsr");
+  }
+}
+
+TEST_F(SpmvTest, SizeMismatchThrows) {
+  std::vector<double> short_x(3);
+  EXPECT_THROW(spmv_coo(a_, short_x, y_), Error);
+  std::vector<double> short_y(3);
+  EXPECT_THROW(spmv_csr(to_csr(a_), x_, short_y), Error);
+}
+
+}  // namespace
+}  // namespace spmm

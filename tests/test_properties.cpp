@@ -1,0 +1,149 @@
+// Tests for the matrix property metrics (Table 5.1, paper §4.3) and the
+// generator suite's fidelity to the published statistics.
+#include <gtest/gtest.h>
+
+#include "formats/properties.hpp"
+#include "gen/suite.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+TEST(Properties, SmallMatrixExactValues) {
+  const auto p = compute_properties(testutil::small_coo(), "small");
+  EXPECT_EQ(p.rows, 4);
+  EXPECT_EQ(p.cols, 4);
+  EXPECT_EQ(p.nnz, 6);
+  EXPECT_EQ(p.max_row_nnz, 3);
+  EXPECT_DOUBLE_EQ(p.avg_row_nnz, 1.5);
+  EXPECT_DOUBLE_EQ(p.column_ratio, 2.0);
+  // Row counts {2, 0, 1, 3}: population variance 1.25.
+  EXPECT_DOUBLE_EQ(p.row_nnz_variance, 1.25);
+  EXPECT_DOUBLE_EQ(p.ell_padding_ratio, 4.0 * 3.0 / 6.0);
+}
+
+TEST(Properties, EmptyMatrix) {
+  const auto p = compute_properties(testutil::CooD(8, 8), "empty");
+  EXPECT_EQ(p.nnz, 0);
+  EXPECT_EQ(p.max_row_nnz, 0);
+  EXPECT_DOUBLE_EQ(p.avg_row_nnz, 0.0);
+  EXPECT_DOUBLE_EQ(p.column_ratio, 0.0);
+}
+
+TEST(Properties, DiagonalMatrixHasZeroBandwidth) {
+  AlignedVector<std::int32_t> r = {0, 1, 2};
+  AlignedVector<std::int32_t> c = {0, 1, 2};
+  AlignedVector<double> v = {1, 1, 1};
+  const testutil::CooD m(3, 3, std::move(r), std::move(c), std::move(v));
+  const auto p = compute_properties(m);
+  EXPECT_DOUBLE_EQ(p.normalized_bandwidth, 0.0);
+}
+
+TEST(Properties, BandedLocalityBeatsScattered) {
+  const auto banded = compute_properties(
+      testutil::random_coo(400, 400, 6.0, 3, gen::Placement::kBanded));
+  const auto scattered = compute_properties(
+      testutil::random_coo(400, 400, 6.0, 3, gen::Placement::kScattered));
+  EXPECT_LT(banded.normalized_bandwidth, scattered.normalized_bandwidth);
+  EXPECT_LT(banded.normalized_row_gap, scattered.normalized_row_gap);
+}
+
+TEST(Properties, ClusteredRowsHaveDenserBlocks) {
+  const auto clustered =
+      testutil::random_coo(400, 400, 8.0, 3, gen::Placement::kClustered);
+  const auto scattered =
+      testutil::random_coo(400, 400, 8.0, 3, gen::Placement::kScattered);
+  EXPECT_GT(estimate_bcsr_fill(clustered, 4), estimate_bcsr_fill(scattered, 4));
+}
+
+TEST(Properties, StreamPrinting) {
+  std::ostringstream os;
+  os << compute_properties(testutil::small_coo(), "small");
+  EXPECT_NE(os.str().find("small"), std::string::npos);
+  EXPECT_NE(os.str().find("nnz=6"), std::string::npos);
+}
+
+// --- suite fidelity: each generated profile must land on Table 5.1 ---
+
+class SuiteFidelityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteFidelityTest, RowStatisticsMatchPaper) {
+  const std::string name = GetParam();
+  const gen::PaperRow& row = gen::paper_row(name);
+  // Row statistics are scale-invariant; a modest scale keeps tests fast.
+  const auto coo = gen::generate<double, std::int32_t>(
+      gen::suite_spec(name, 0.05));
+  const auto p = compute_properties(coo, name);
+
+  // Max is pinned exactly by the forced row.
+  EXPECT_EQ(p.max_row_nnz, row.max);
+  // Average within 25% (published values are themselves rounded).
+  EXPECT_NEAR(p.avg_row_nnz, static_cast<double>(row.avg),
+              std::max(1.0, 0.25 * static_cast<double>(row.avg)));
+  // Column ratio within 35%.
+  EXPECT_NEAR(p.column_ratio, static_cast<double>(row.ratio),
+              std::max(1.0, 0.35 * static_cast<double>(row.ratio)));
+  // Standard deviation within 40% (or ±1.5 for the ≈0 profiles).
+  EXPECT_NEAR(p.row_nnz_stddev, static_cast<double>(row.stddev),
+              std::max(1.5, 0.4 * static_cast<double>(row.stddev)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatrices, SuiteFidelityTest,
+                         ::testing::ValuesIn(gen::suite_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Suite, FourteenMatricesInPaperOrder) {
+  const auto& names = gen::suite_names();
+  ASSERT_EQ(names.size(), 14u);
+  EXPECT_EQ(names.front(), "2cubes_sphere");
+  EXPECT_EQ(names.back(), "x104");
+}
+
+TEST(Suite, CusparseSubsetDropsFiveLargest) {
+  const auto& subset = gen::cusparse_subset();
+  EXPECT_EQ(subset.size(), 9u);
+  for (const char* dropped :
+       {"nd24k", "torso1", "crankseg_2", "x104", "rma10"}) {
+    EXPECT_EQ(std::find(subset.begin(), subset.end(), dropped), subset.end())
+        << dropped << " should be excluded (exceeded device memory)";
+  }
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(gen::paper_row("not_a_matrix"), Error);
+  EXPECT_THROW(gen::suite_spec("not_a_matrix"), Error);
+}
+
+TEST(Suite, ScaleShrinksRowsOnly) {
+  const auto full = gen::suite_spec("cant", 1.0);
+  const auto half = gen::suite_spec("cant", 0.5);
+  EXPECT_EQ(half.rows, full.rows / 2 + (full.rows % 2));
+  EXPECT_DOUBLE_EQ(half.row_dist.mean, full.row_dist.mean);
+}
+
+TEST(Suite, InvalidScaleThrows) {
+  EXPECT_THROW(gen::suite_spec("cant", 0.0), Error);
+  EXPECT_THROW(gen::suite_spec("cant", 1.5), Error);
+}
+
+TEST(Suite, FullScaleMatchesPublishedSizeAndNnz) {
+  // bcsstk13 is small enough (2003 rows) to generate at full scale: the
+  // Size and Non-zeros columns of Table 5.1 must land too, not just the
+  // per-row statistics.
+  const gen::PaperRow& row = gen::paper_row("bcsstk13");
+  const auto coo = gen::generate<double, std::int32_t>(
+      gen::suite_spec("bcsstk13", 1.0));
+  EXPECT_EQ(coo.rows(), row.size);
+  EXPECT_EQ(coo.cols(), row.size);
+  EXPECT_NEAR(static_cast<double>(coo.nnz()), static_cast<double>(row.nnz),
+              0.15 * static_cast<double>(row.nnz));
+}
+
+TEST(Suite, GenerationIsDeterministic) {
+  const auto a = gen::generate<double, std::int32_t>(gen::suite_spec("dw4096", 0.1));
+  const auto b = gen::generate<double, std::int32_t>(gen::suite_spec("dw4096", 0.1));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,165 @@
+// Property-based fuzz suite: for randomly generated matrices across many
+// seeds and shapes, every format must (a) survive a COO round trip
+// unchanged and (b) produce the same SpMM result as every other format.
+// This is the cross-format consistency net — any divergence between two
+// kernels' mathematics, padding handling, or partitioning shows up here.
+#include <gtest/gtest.h>
+
+#include "kernels/dense_ref.hpp"
+#include "kernels/spmm_bcsr.hpp"
+#include "kernels/spmm_bell.hpp"
+#include "kernels/spmm_coo.hpp"
+#include "kernels/spmm_csc.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmm_csr5.hpp"
+#include "kernels/spmm_ell.hpp"
+#include "kernels/spmm_fixed_k.hpp"
+#include "kernels/spmm_hyb.hpp"
+#include "kernels/spmm_sellc.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+constexpr double kTol = 1e-9;
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::int64_t rows;
+  std::int64_t cols;
+  double avg;
+  gen::Placement placement;
+  int k;
+};
+
+CooD make_matrix(const FuzzCase& fc) {
+  gen::MatrixSpec spec;
+  spec.name = "fuzz";
+  spec.rows = fc.rows;
+  spec.cols = fc.cols;
+  spec.row_dist.kind = gen::RowDist::kLogNormal;
+  spec.row_dist.mean = fc.avg;
+  spec.row_dist.spread = 0.8;
+  spec.row_dist.max_nnz = std::min<std::int64_t>(
+      fc.cols, static_cast<std::int64_t>(fc.avg * 8) + 1);
+  spec.row_dist.force_max_row = (fc.seed % 2) == 0;
+  spec.placement.kind = fc.placement;
+  spec.seed = fc.seed;
+  return gen::generate<double, std::int32_t>(spec);
+}
+
+class FuzzTest : public ::testing::TestWithParam<FuzzCase> {
+ protected:
+  void SetUp() override {
+    const auto& fc = GetParam();
+    a_ = make_matrix(fc);
+    Rng rng(fc.seed ^ 0xb0b);
+    b_ = Dense<double>(static_cast<usize>(a_.cols()),
+                       static_cast<usize>(fc.k));
+    b_.fill_random(rng);
+    expected_ = spmm_reference(a_, b_);
+    c_ = Dense<double>(static_cast<usize>(a_.rows()),
+                       static_cast<usize>(fc.k));
+  }
+
+  void check(const char* what) {
+    ASSERT_LE(max_abs_diff(expected_, c_), kTol) << what;
+    c_.fill(-7.0);
+  }
+
+  CooD a_;
+  Dense<double> b_, c_, expected_;
+};
+
+TEST_P(FuzzTest, RoundTripsPreserveTheMatrix) {
+  EXPECT_EQ(to_coo(to_csr(a_)), a_);
+  EXPECT_EQ(to_coo(to_csc(a_)), a_);
+  EXPECT_EQ(to_coo(to_ell(a_)), a_);
+  for (std::int32_t b : {2, 5}) {
+    EXPECT_EQ(to_coo(to_bcsr(a_, b)), a_) << "bcsr " << b;
+  }
+  EXPECT_EQ(to_coo(to_bell(a_, 16)), a_);
+  EXPECT_EQ(to_coo(to_sellc(a_, 8, 32)), a_);
+  EXPECT_EQ(to_coo(to_hyb(a_)), a_);
+  EXPECT_EQ(to_coo(to_csr5(a_, 32)), a_);
+}
+
+TEST_P(FuzzTest, EveryFormatComputesTheSameProduct) {
+  spmm_coo_serial(a_, b_, c_);
+  check("coo");
+  spmm_csr_serial(to_csr(a_), b_, c_);
+  check("csr");
+  spmm_csc_serial(to_csc(a_), b_, c_);
+  check("csc");
+  spmm_ell_serial(to_ell(a_), b_, c_);
+  check("ell");
+  spmm_bcsr_serial(to_bcsr(a_, 3), b_, c_);
+  check("bcsr");
+  spmm_bell_serial(to_bell(a_, 16), b_, c_);
+  check("bell");
+  spmm_sellc_serial(to_sellc(a_, 8, 32), b_, c_);
+  check("sellc");
+  spmm_hyb_serial(to_hyb(a_), b_, c_);
+  check("hyb");
+  spmm_csr5_serial(to_csr5(a_, 32), b_, c_);
+  check("csr5");
+}
+
+TEST_P(FuzzTest, ParallelKernelsAgreeWithSerial) {
+  const int threads = 3;
+  spmm_coo_parallel(a_, b_, c_, threads);
+  check("coo omp");
+  spmm_csr_parallel(to_csr(a_), b_, c_, threads);
+  check("csr omp");
+  spmm_csc_parallel(to_csc(a_), b_, c_, threads);
+  check("csc omp");
+  spmm_ell_parallel(to_ell(a_), b_, c_, threads);
+  check("ell omp");
+  spmm_bcsr_parallel(to_bcsr(a_, 3), b_, c_, threads);
+  check("bcsr omp");
+  spmm_hyb_parallel(to_hyb(a_), b_, c_, threads);
+  check("hyb omp");
+  spmm_csr5_parallel(to_csr5(a_, 32), b_, c_, threads);
+  check("csr5 omp");
+}
+
+TEST_P(FuzzTest, OptimizedKernelsAgree) {
+  spmm_csr_serial_opt(to_csr(a_), b_, c_);
+  check("csr opt");
+  spmm_coo_serial_opt(a_, b_, c_);
+  check("coo opt");
+  spmm_ell_serial_opt(to_ell(a_), b_, c_);
+  check("ell opt");
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  const gen::Placement placements[] = {gen::Placement::kScattered,
+                                       gen::Placement::kBanded,
+                                       gen::Placement::kClustered};
+  const std::pair<std::int64_t, std::int64_t> shapes[] = {
+      {31, 31}, {64, 128}, {128, 64}, {97, 101}};
+  const int ks[] = {1, 7, 16};
+  std::uint64_t seed = 1000;
+  for (auto placement : placements) {
+    for (auto [rows, cols] : shapes) {
+      for (int k : ks) {
+        cases.push_back({++seed, rows, cols, 4.0, placement, k});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzTest, ::testing::ValuesIn(fuzz_cases()),
+                         [](const auto& info) {
+                           const auto& fc = info.param;
+                           return "s" + std::to_string(fc.seed) + "_" +
+                                  std::to_string(fc.rows) + "x" +
+                                  std::to_string(fc.cols) + "_k" +
+                                  std::to_string(fc.k);
+                         });
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,33 @@
+// End-to-end smoke: generate a suite matrix, run every core format's
+// serial kernel through the benchmark class, verify against the COO
+// reference.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "gen/suite.hpp"
+
+namespace spmm {
+namespace {
+
+TEST(Smoke, AllCoreFormatsVerify) {
+  const auto spec = gen::suite_spec("bcsstk13", 1.0);
+  const auto coo = gen::generate<double, std::int32_t>(spec);
+
+  BenchParams params;
+  params.iterations = 1;
+  params.warmup = 0;
+  params.k = 16;
+  params.threads = 2;
+  params.block_size = 4;
+
+  for (Format f : kCoreFormats) {
+    const auto r = bench::run_benchmark<double, std::int32_t>(
+        f, Variant::kSerial, coo, params, "bcsstk13");
+    EXPECT_TRUE(r.verified) << format_name(f) << " max err "
+                            << r.max_abs_error;
+    EXPECT_GT(r.mflops, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace spmm

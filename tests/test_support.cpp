@@ -1,0 +1,171 @@
+// Unit tests for the support substrate: RNG, statistics, string helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/timer.hpp"
+
+namespace spmm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(rng.normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const double xs[] = {4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.variance, 1.25);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+}
+
+TEST(Stats, SummarizeOddMedian) {
+  const double xs[] = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 3.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarizeSingleElement) {
+  const double xs[] = {42.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  Rng rng(17);
+  std::vector<double> xs;
+  RunningStats run;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 20.0);
+    xs.push_back(x);
+    run.add(x);
+  }
+  const Summary batch = summarize(xs);
+  EXPECT_NEAR(run.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(run.variance(), batch.variance, 1e-6);
+  EXPECT_DOUBLE_EQ(run.min(), batch.min);
+  EXPECT_DOUBLE_EQ(run.max(), batch.max);
+  EXPECT_EQ(run.count(), batch.count);
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(starts_with("%%MatrixMarket", "%%"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(Timer, Monotonic) {
+  Timer t;
+  const double a = t.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  t.reset();
+  EXPECT_LT(t.seconds(), b);
+}
+
+}  // namespace
+}  // namespace spmm

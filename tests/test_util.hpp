@@ -1,0 +1,43 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "formats/convert.hpp"
+#include "gen/generator.hpp"
+
+namespace spmm::testutil {
+
+using CooD = Coo<double, std::int32_t>;
+
+/// Deterministic random matrix with scattered placement.
+inline CooD random_coo(std::int64_t rows, std::int64_t cols, double avg_nnz,
+                       std::uint64_t seed = 1,
+                       gen::Placement placement = gen::Placement::kScattered) {
+  gen::MatrixSpec spec;
+  spec.name = "random";
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.row_dist.kind = gen::RowDist::kNormal;
+  spec.row_dist.mean = avg_nnz;
+  spec.row_dist.spread = avg_nnz / 2.0;
+  spec.row_dist.max_nnz = static_cast<std::int64_t>(avg_nnz * 4) + 1;
+  spec.row_dist.force_max_row = false;
+  spec.placement.kind = placement;
+  spec.seed = seed;
+  return gen::generate<double, std::int32_t>(spec);
+}
+
+/// A small handmade matrix with known structure:
+///   [ 1 0 2 0 ]
+///   [ 0 0 0 0 ]
+///   [ 0 3 0 0 ]
+///   [ 4 0 5 6 ]
+inline CooD small_coo() {
+  AlignedVector<std::int32_t> r = {0, 0, 2, 3, 3, 3};
+  AlignedVector<std::int32_t> c = {0, 2, 1, 0, 2, 3};
+  AlignedVector<double> v = {1, 2, 3, 4, 5, 6};
+  return CooD(4, 4, std::move(r), std::move(c), std::move(v));
+}
+
+}  // namespace spmm::testutil

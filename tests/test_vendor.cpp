@@ -1,0 +1,114 @@
+// Tests for the vendor-library stand-in (Study 7's cuSPARSE role):
+// correctness across matrices and widths, the plan API, and the
+// performance property Study 7 depends on — the vendor kernel must not
+// lose to the suite's plain kernel.
+#include <gtest/gtest.h>
+
+#include "kernels/dense_ref.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "support/timer.hpp"
+#include "test_util.hpp"
+#include "vendor/vendor_spmm.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+constexpr double kTol = 1e-10;
+
+class VendorTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    a_ = testutil::random_coo(85, 85, 6.0, 91);
+    Rng rng(11);
+    b_ = Dense<double>(static_cast<usize>(a_.cols()),
+                       static_cast<usize>(GetParam()));
+    b_.fill_random(rng);
+    expected_ = spmm_reference(a_, b_);
+    c_ = Dense<double>(static_cast<usize>(a_.rows()),
+                       static_cast<usize>(GetParam()));
+    c_.fill(-5.0);
+  }
+
+  CooD a_;
+  Dense<double> b_, c_, expected_;
+};
+
+TEST_P(VendorTest, CsrCorrect) {
+  const auto csr = to_csr(a_);
+  vendor::vendor_spmm_csr(csr, b_, c_, 3);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(VendorTest, CooCorrect) {
+  vendor::vendor_spmm_coo(a_, b_, c_, 3);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+TEST_P(VendorTest, PlanApi) {
+  const auto csr = to_csr(a_);
+  const auto plan = vendor::SpmmPlan<double, std::int32_t>::make_csr(&csr);
+  plan.execute(b_, c_, 2);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+
+  const auto coo_plan =
+      vendor::SpmmPlan<double, std::int32_t>::make_coo(&a_);
+  c_.fill(0.0);
+  coo_plan.execute(b_, c_, 2);
+  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+}
+
+// Widths around the 8-wide panel: below, exact, above, non-multiples.
+INSTANTIATE_TEST_SUITE_P(Widths, VendorTest,
+                         ::testing::Values(1, 3, 7, 8, 9, 16, 23, 64),
+                         [](const auto& info) {
+                           return std::string("k").append(std::to_string(info.param));
+                         });
+
+TEST(Vendor, OverwritesStaleC) {
+  // Vendor CSR writes every C element (no accumulate): empty rows must
+  // produce zeros even if C held garbage.
+  CooD a(4, 4);
+  Dense<double> b(4, 8);
+  Rng rng(1);
+  b.fill_random(rng);
+  Dense<double> c(4, 8);
+  c.fill(123.0);
+  vendor::vendor_spmm_csr(to_csr(a), b, c, 2);
+  for (usize i = 0; i < c.size(); ++i) ASSERT_EQ(c.data()[i], 0.0);
+}
+
+TEST(Vendor, NullMatrixRejected) {
+  EXPECT_THROW(
+      (vendor::SpmmPlan<double, std::int32_t>::make_csr(nullptr)), Error);
+}
+
+TEST(Vendor, NotSlowerThanPlainKernel) {
+  // Study 7's premise: the vendor kernel is the better-optimized one.
+  // Compare serial (threads=1) best-of-5 times on a mid-size matrix.
+  const CooD a = testutil::random_coo(3000, 3000, 30.0, 5,
+                                      gen::Placement::kClustered);
+  const auto csr = to_csr(a);
+  Dense<double> b(static_cast<usize>(a.cols()), 64);
+  Rng rng(2);
+  b.fill_random(rng);
+  Dense<double> c(static_cast<usize>(a.rows()), 64);
+
+  auto best_of = [&](auto&& fn) {
+    double best = 1e30;
+    for (int i = 0; i < 5; ++i) {
+      Timer t;
+      fn();
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+  const double plain = best_of([&] { spmm_csr_serial(csr, b, c); });
+  const double vend =
+      best_of([&] { vendor::vendor_spmm_csr(csr, b, c, 1); });
+  // Allow 15% noise headroom; the vendor kernel is usually much faster.
+  EXPECT_LT(vend, plain * 1.15);
+}
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Plot spmm-bench CSV results as grouped bar charts (SVG).
+
+The thesis's suite pairs its CSV output with a plotting script (§6.3.3);
+this is that script, dependency-free: it reads the CSV written by
+`spmm_bench_cli --csv` (or `spmm::bench::write_csv`) and emits an SVG
+grouped-bar chart of MFLOPs per matrix, one bar group per matrix and one
+bar per kernel/variant series — the layout of the paper's figures.
+
+Usage:
+    spmm_bench_cli --matrix cant --format all --variant serial,omp \
+                   --csv results.csv
+    python3 tools/plot_results.py results.csv -o results.svg
+"""
+
+import argparse
+import csv
+import html
+import sys
+
+PALETTE = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+def read_results(path):
+    """Read the suite CSV: returns (matrices, series, values).
+
+    values[(matrix, series)] = MFLOPs; series = "kernel/variant".
+    """
+    matrices, series, values = [], [], {}
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"matrix", "kernel", "variant", "mflops"}
+        missing = required - set(reader.fieldnames or [])
+        if missing:
+            raise SystemExit(
+                f"{path}: not a spmm-bench CSV (missing {sorted(missing)})")
+        for row in reader:
+            matrix = row["matrix"]
+            name = f'{row["kernel"]}/{row["variant"]}'
+            if matrix not in matrices:
+                matrices.append(matrix)
+            if name not in series:
+                series.append(name)
+            values[(matrix, name)] = float(row["mflops"])
+    if not matrices:
+        raise SystemExit(f"{path}: no data rows")
+    return matrices, series, values
+
+
+def render_svg(matrices, series, values, title):
+    """Grouped vertical bars; returns the SVG document as a string."""
+    bar_w = 18
+    group_gap = 24
+    group_w = len(series) * bar_w + group_gap
+    margin_l, margin_r, margin_t, margin_b = 70, 20, 40, 90
+    plot_h = 320
+    width = margin_l + len(matrices) * group_w + margin_r
+    legend_h = 18 * len(series)
+    height = margin_t + plot_h + margin_b + legend_h
+
+    vmax = max(values.values()) or 1.0
+    # Round the axis ceiling up to 1/2/5 × 10^n.
+    import math
+    exp = 10 ** math.floor(math.log10(vmax))
+    for mult in (1, 2, 5, 10):
+        if vmax <= mult * exp:
+            vmax = mult * exp
+            break
+
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">')
+    out.append(f'<text x="{width/2}" y="20" text-anchor="middle" '
+               f'font-size="14">{html.escape(title)}</text>')
+
+    # Axis + gridlines.
+    for i in range(5):
+        v = vmax * i / 4
+        y = margin_t + plot_h - plot_h * i / 4
+        out.append(f'<line x1="{margin_l}" y1="{y}" '
+                   f'x2="{width - margin_r}" y2="{y}" stroke="#ddd"/>')
+        out.append(f'<text x="{margin_l - 6}" y="{y + 4}" '
+                   f'text-anchor="end">{v:,.0f}</text>')
+    out.append(f'<text x="14" y="{margin_t + plot_h / 2}" '
+               f'transform="rotate(-90 14 {margin_t + plot_h / 2})" '
+               f'text-anchor="middle">MFLOPs</text>')
+
+    # Bars.
+    for mi, matrix in enumerate(matrices):
+        gx = margin_l + mi * group_w + group_gap / 2
+        for si, name in enumerate(series):
+            v = values.get((matrix, name))
+            if v is None:
+                continue
+            h = plot_h * v / vmax
+            x = gx + si * bar_w
+            y = margin_t + plot_h - h
+            color = PALETTE[si % len(PALETTE)]
+            out.append(f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w - 2}" '
+                       f'height="{h:.1f}" fill="{color}">'
+                       f'<title>{html.escape(matrix)} {html.escape(name)}: '
+                       f'{v:,.0f} MFLOPs</title></rect>')
+        cx = gx + len(series) * bar_w / 2
+        ty = margin_t + plot_h + 12
+        out.append(f'<text x="{cx:.1f}" y="{ty}" text-anchor="end" '
+                   f'transform="rotate(-40 {cx:.1f} {ty})">'
+                   f'{html.escape(matrix)}</text>')
+
+    # Legend.
+    ly = margin_t + plot_h + margin_b - 10
+    for si, name in enumerate(series):
+        color = PALETTE[si % len(PALETTE)]
+        y = ly + si * 18
+        out.append(f'<rect x="{margin_l}" y="{y}" width="12" height="12" '
+                   f'fill="{color}"/>')
+        out.append(f'<text x="{margin_l + 18}" y="{y + 10}">'
+                   f'{html.escape(name)}</text>')
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="CSV written by spmm_bench_cli --csv")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output SVG path (default: <csv>.svg)")
+    parser.add_argument("--title", default="SpMM throughput",
+                        help="chart title")
+    args = parser.parse_args(argv)
+
+    matrices, series, values = read_results(args.csv)
+    svg = render_svg(matrices, series, values, args.title)
+    out = args.output or (args.csv.rsplit(".", 1)[0] + ".svg")
+    with open(out, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {out}: {len(matrices)} matrices x {len(series)} series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,147 @@
+// The suite driver — the paper's §6.3.3 improvement implemented: instead
+// of maintaining per-kernel binaries tied together with shell scripts,
+// one driver runs any (matrix × format × variant) combination from the
+// command line and emits the standard report or CSV.
+//
+//   spmm_bench_cli --matrix cant --scale 0.1 --format csr --variant omp
+//   spmm_bench_cli --file m.mtx --format all --variant all -k 64 -t 8
+//   spmm_bench_cli --matrix torso1 --format coo --thread-list 1,2,4
+//   spmm_bench_cli --list                        # show suite matrices
+#include <fstream>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "gen/suite.hpp"
+#include "io/matrix_market.hpp"
+#include "support/string_util.hpp"
+
+using namespace spmm;
+
+namespace {
+
+std::vector<Format> parse_formats(const std::string& arg) {
+  if (arg == "all") {
+    return {kAllFormats, kAllFormats + std::size(kAllFormats)};
+  }
+  if (arg == "core") {
+    return {kCoreFormats, kCoreFormats + std::size(kCoreFormats)};
+  }
+  std::vector<Format> out;
+  for (const std::string& piece : split(arg, ',')) {
+    out.push_back(format_from_name(trim(piece)));
+  }
+  return out;
+}
+
+std::vector<Variant> parse_variants(const std::string& arg) {
+  if (arg == "all") {
+    return {kAllVariants, kAllVariants + std::size(kAllVariants)};
+  }
+  std::vector<Variant> out;
+  for (const std::string& piece : split(arg, ',')) {
+    const std::string v = trim(piece);
+    if (v == "serial") out.push_back(Variant::kSerial);
+    else if (v == "omp" || v == "parallel") out.push_back(Variant::kParallel);
+    else if (v == "gpu" || v == "device") out.push_back(Variant::kDevice);
+    else if (v == "serial-T") out.push_back(Variant::kSerialTranspose);
+    else if (v == "omp-T") out.push_back(Variant::kParallelTranspose);
+    else if (v == "gpu-T") out.push_back(Variant::kDeviceTranspose);
+    else SPMM_FAIL("unknown variant: " + v);
+  }
+  return out;
+}
+
+bool supports(Format f, Variant v) {
+  const bool extension =
+      f == Format::kBell || f == Format::kSellC || f == Format::kHyb;
+  return !(extension && variant_is_transpose(v));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser parser(
+        "spmm-bench driver: run any matrix x format x variant combination");
+    BenchParams::register_options(parser);
+    parser.add_string("matrix", 'm', "cant",
+                      "suite matrix name (see --list)");
+    parser.add_string("file", 'f', "", "Matrix Market file (overrides --matrix)");
+    parser.add_double("scale", 0, 0.05, "suite matrix scale in (0,1]");
+    parser.add_string("format", 0, "core",
+                      "comma list of formats, or 'core' / 'all'");
+    parser.add_string("variant", 0, "serial,omp",
+                      "comma list of variants, or 'all'");
+    parser.add_string("csv", 0, "", "also write results to this CSV file");
+    parser.add_flag("list", 'l', "list the built-in suite matrices and exit");
+    parser.add_flag("optimized", 'o',
+                    "use the Study 9 manually optimized kernels");
+    if (!parser.parse(argc, argv)) return 0;
+
+    if (parser.get_flag("list")) {
+      for (const std::string& name : gen::suite_names()) {
+        const gen::PaperRow& row = gen::paper_row(name);
+        std::cout << name << "  (" << row.size << "x" << row.size << ", "
+                  << row.nnz << " nnz, ratio " << row.ratio << ")\n";
+      }
+      return 0;
+    }
+
+    const BenchParams params = BenchParams::from_parser(parser);
+    Coo<double, std::int32_t> matrix;
+    std::string name;
+    if (!parser.get_string("file").empty()) {
+      name = parser.get_string("file");
+      matrix = io::read_matrix_market_file<double, std::int32_t>(name);
+    } else {
+      name = parser.get_string("matrix");
+      matrix = gen::generate<double, std::int32_t>(
+          gen::suite_spec(name, parser.get_double("scale"), params.seed));
+    }
+    std::cout << compute_properties(matrix, name) << "\n\n";
+
+    const auto formats = parse_formats(parser.get_string("format"));
+    const auto variants = parse_variants(parser.get_string("variant"));
+    const bool optimized = parser.get_flag("optimized");
+
+    std::vector<bench::BenchResult> results;
+    for (Format f : formats) {
+      if (!params.thread_list.empty()) {
+        // Study 3.1 mode: best-thread sweep for this format.
+        const auto sweep = bench::thread_sweep<double, std::int32_t>(
+            f, matrix, params, name);
+        for (const auto& [t, mflops] : sweep.series) {
+          std::cout << name << " " << format_name(f) << "/omp t=" << t
+                    << ": " << format_double(mflops, 1) << " MFLOPs\n";
+        }
+        std::cout << "  best: t=" << sweep.best_threads << "\n";
+        results.push_back(sweep.best);
+        continue;
+      }
+      for (Variant v : variants) {
+        if (!supports(f, v)) continue;
+        if (optimized && (f == Format::kBcsr || f == Format::kBell ||
+                          f == Format::kSellC || f == Format::kHyb)) {
+          continue;
+        }
+        bench::BenchResult r = bench::run_benchmark<double, std::int32_t>(
+            f, v, matrix, params, name, optimized);
+        bench::print_result(std::cout, r);
+        results.push_back(std::move(r));
+      }
+    }
+
+    if (!parser.get_string("csv").empty()) {
+      std::ofstream out(parser.get_string("csv"));
+      SPMM_CHECK(out.good(), "cannot open CSV output file");
+      bench::write_csv(out, results);
+      std::cout << "\nwrote " << results.size() << " rows to "
+                << parser.get_string("csv") << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conclusions"
+  "../bench/bench_conclusions.pdb"
+  "CMakeFiles/bench_conclusions.dir/bench_conclusions.cpp.o"
+  "CMakeFiles/bench_conclusions.dir/bench_conclusions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conclusions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

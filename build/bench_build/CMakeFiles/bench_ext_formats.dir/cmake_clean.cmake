@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_formats"
+  "../bench/bench_ext_formats.pdb"
+  "CMakeFiles/bench_ext_formats.dir/bench_ext_formats.cpp.o"
+  "CMakeFiles/bench_ext_formats.dir/bench_ext_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spmv"
+  "../bench/bench_spmv.pdb"
+  "CMakeFiles/bench_spmv.dir/bench_spmv.cpp.o"
+  "CMakeFiles/bench_spmv.dir/bench_spmv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study1_formats"
+  "../bench/bench_study1_formats.pdb"
+  "CMakeFiles/bench_study1_formats.dir/bench_study1_formats.cpp.o"
+  "CMakeFiles/bench_study1_formats.dir/bench_study1_formats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study1_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

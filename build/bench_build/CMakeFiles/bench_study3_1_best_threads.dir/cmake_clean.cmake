@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study3_1_best_threads"
+  "../bench/bench_study3_1_best_threads.pdb"
+  "CMakeFiles/bench_study3_1_best_threads.dir/bench_study3_1_best_threads.cpp.o"
+  "CMakeFiles/bench_study3_1_best_threads.dir/bench_study3_1_best_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study3_1_best_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study3_parallelism"
+  "../bench/bench_study3_parallelism.pdb"
+  "CMakeFiles/bench_study3_parallelism.dir/bench_study3_parallelism.cpp.o"
+  "CMakeFiles/bench_study3_parallelism.dir/bench_study3_parallelism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study3_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_study4_kloop.cpp" "bench_build/CMakeFiles/bench_study4_kloop.dir/bench_study4_kloop.cpp.o" "gcc" "bench_build/CMakeFiles/bench_study4_kloop.dir/bench_study4_kloop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendor/CMakeFiles/spmm_vendor.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/spmm_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/spmm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/spmm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/spmm_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spmm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

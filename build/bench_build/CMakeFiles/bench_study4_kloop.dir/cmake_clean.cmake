@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study4_kloop"
+  "../bench/bench_study4_kloop.pdb"
+  "CMakeFiles/bench_study4_kloop.dir/bench_study4_kloop.cpp.o"
+  "CMakeFiles/bench_study4_kloop.dir/bench_study4_kloop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study4_kloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

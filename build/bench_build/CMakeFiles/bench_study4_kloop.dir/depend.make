@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_study4_kloop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study5_bcsr"
+  "../bench/bench_study5_bcsr.pdb"
+  "CMakeFiles/bench_study5_bcsr.dir/bench_study5_bcsr.cpp.o"
+  "CMakeFiles/bench_study5_bcsr.dir/bench_study5_bcsr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study5_bcsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study7_cusparse"
+  "../bench/bench_study7_cusparse.pdb"
+  "CMakeFiles/bench_study7_cusparse.dir/bench_study7_cusparse.cpp.o"
+  "CMakeFiles/bench_study7_cusparse.dir/bench_study7_cusparse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study7_cusparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

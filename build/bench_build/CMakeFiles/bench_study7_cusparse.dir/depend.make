@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_study7_cusparse.
+# This may be replaced when dependencies are built.

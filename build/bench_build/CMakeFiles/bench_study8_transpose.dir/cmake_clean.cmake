@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study8_transpose"
+  "../bench/bench_study8_transpose.pdb"
+  "CMakeFiles/bench_study8_transpose.dir/bench_study8_transpose.cpp.o"
+  "CMakeFiles/bench_study8_transpose.dir/bench_study8_transpose.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study8_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study9_manual_opt"
+  "../bench/bench_study9_manual_opt.pdb"
+  "CMakeFiles/bench_study9_manual_opt.dir/bench_study9_manual_opt.cpp.o"
+  "CMakeFiles/bench_study9_manual_opt.dir/bench_study9_manual_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study9_manual_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_vectors.dir/batched_vectors.cpp.o"
+  "CMakeFiles/batched_vectors.dir/batched_vectors.cpp.o.d"
+  "batched_vectors"
+  "batched_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_cg.dir/block_cg.cpp.o"
+  "CMakeFiles/block_cg.dir/block_cg.cpp.o.d"
+  "block_cg"
+  "block_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_format.dir/custom_format.cpp.o"
+  "CMakeFiles/custom_format.dir/custom_format.cpp.o.d"
+  "custom_format"
+  "custom_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_batch.dir/pagerank_batch.cpp.o"
+  "CMakeFiles/pagerank_batch.dir/pagerank_batch.cpp.o.d"
+  "pagerank_batch"
+  "pagerank_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_core.dir/advisor.cpp.o"
+  "CMakeFiles/spmm_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/spmm_core.dir/report.cpp.o"
+  "CMakeFiles/spmm_core.dir/report.cpp.o.d"
+  "libspmm_core.a"
+  "libspmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_formats.dir/properties.cpp.o"
+  "CMakeFiles/spmm_formats.dir/properties.cpp.o.d"
+  "libspmm_formats.a"
+  "libspmm_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspmm_formats.a"
+)

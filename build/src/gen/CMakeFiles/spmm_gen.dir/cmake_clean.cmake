@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_gen.dir/distributions.cpp.o"
+  "CMakeFiles/spmm_gen.dir/distributions.cpp.o.d"
+  "CMakeFiles/spmm_gen.dir/placement.cpp.o"
+  "CMakeFiles/spmm_gen.dir/placement.cpp.o.d"
+  "CMakeFiles/spmm_gen.dir/suite.cpp.o"
+  "CMakeFiles/spmm_gen.dir/suite.cpp.o.d"
+  "libspmm_gen.a"
+  "libspmm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

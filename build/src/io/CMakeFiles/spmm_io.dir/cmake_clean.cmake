@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_io.dir/bcsr_cache.cpp.o"
+  "CMakeFiles/spmm_io.dir/bcsr_cache.cpp.o.d"
+  "CMakeFiles/spmm_io.dir/matrix_market.cpp.o"
+  "CMakeFiles/spmm_io.dir/matrix_market.cpp.o.d"
+  "libspmm_io.a"
+  "libspmm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_perfmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/spmm_perfmodel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/spmm_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/spmm_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/spmm_perfmodel.dir/suite_input.cpp.o"
+  "CMakeFiles/spmm_perfmodel.dir/suite_input.cpp.o.d"
+  "libspmm_perfmodel.a"
+  "libspmm_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_support.dir/cli.cpp.o"
+  "CMakeFiles/spmm_support.dir/cli.cpp.o.d"
+  "CMakeFiles/spmm_support.dir/csv.cpp.o"
+  "CMakeFiles/spmm_support.dir/csv.cpp.o.d"
+  "CMakeFiles/spmm_support.dir/stats.cpp.o"
+  "CMakeFiles/spmm_support.dir/stats.cpp.o.d"
+  "CMakeFiles/spmm_support.dir/string_util.cpp.o"
+  "CMakeFiles/spmm_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/spmm_support.dir/table.cpp.o"
+  "CMakeFiles/spmm_support.dir/table.cpp.o.d"
+  "libspmm_support.a"
+  "libspmm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspmm_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_vendor.dir/vendor_spmm.cpp.o"
+  "CMakeFiles/spmm_vendor.dir/vendor_spmm.cpp.o.d"
+  "libspmm_vendor.a"
+  "libspmm_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

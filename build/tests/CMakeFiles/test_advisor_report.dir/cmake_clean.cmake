@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advisor_report.dir/test_advisor_report.cpp.o"
+  "CMakeFiles/test_advisor_report.dir/test_advisor_report.cpp.o.d"
+  "test_advisor_report"
+  "test_advisor_report.pdb"
+  "test_advisor_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advisor_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

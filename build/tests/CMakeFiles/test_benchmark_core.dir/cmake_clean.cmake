@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmark_core.dir/test_benchmark_core.cpp.o"
+  "CMakeFiles/test_benchmark_core.dir/test_benchmark_core.cpp.o.d"
+  "test_benchmark_core"
+  "test_benchmark_core.pdb"
+  "test_benchmark_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmark_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csc.dir/test_csc.cpp.o"
+  "CMakeFiles/test_csc.dir/test_csc.cpp.o.d"
+  "test_csc"
+  "test_csc.pdb"
+  "test_csc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

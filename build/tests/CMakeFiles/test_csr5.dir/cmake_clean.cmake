@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr5.dir/test_csr5.cpp.o"
+  "CMakeFiles/test_csr5.dir/test_csr5.cpp.o.d"
+  "test_csr5"
+  "test_csr5.pdb"
+  "test_csr5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_plan.dir/test_device_plan.cpp.o"
+  "CMakeFiles/test_device_plan.dir/test_device_plan.cpp.o.d"
+  "test_device_plan"
+  "test_device_plan.pdb"
+  "test_device_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_devsim.dir/test_devsim.cpp.o"
+  "CMakeFiles/test_devsim.dir/test_devsim.cpp.o.d"
+  "test_devsim"
+  "test_devsim.pdb"
+  "test_devsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_devsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyb.dir/test_hyb.cpp.o"
+  "CMakeFiles/test_hyb.dir/test_hyb.cpp.o.d"
+  "test_hyb"
+  "test_hyb.pdb"
+  "test_hyb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hyb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vendor.dir/test_vendor.cpp.o"
+  "CMakeFiles/test_vendor.dir/test_vendor.cpp.o.d"
+  "test_vendor"
+  "test_vendor.pdb"
+  "test_vendor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_advisor_report[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmark_core[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_coo[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_csc[1]_include.cmake")
+include("/root/repo/build/tests/test_csr5[1]_include.cmake")
+include("/root/repo/build/tests/test_csv_table[1]_include.cmake")
+include("/root/repo/build/tests/test_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_device_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_devsim[1]_include.cmake")
+include("/root/repo/build/tests/test_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_hyb[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_umbrella[1]_include.cmake")
+include("/root/repo/build/tests/test_vendor[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcsr_cache_tool.dir/bcsr_cache_tool.cpp.o"
+  "CMakeFiles/bcsr_cache_tool.dir/bcsr_cache_tool.cpp.o.d"
+  "bcsr_cache_tool"
+  "bcsr_cache_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcsr_cache_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_bench_cli.dir/spmm_bench_cli.cpp.o"
+  "CMakeFiles/spmm_bench_cli.dir/spmm_bench_cli.cpp.o.d"
+  "spmm_bench_cli"
+  "spmm_bench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_bench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

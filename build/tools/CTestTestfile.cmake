@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_cli_core_formats "/root/repo/build/tools/spmm_bench_cli" "--matrix" "bcsstk13" "--scale" "0.5" "--format" "core" "--variant" "serial" "-n" "2" "-w" "0" "-k" "16" "--csv" "/root/repo/build/tools/cli_test.csv")
+set_tests_properties(tool_cli_core_formats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cli_thread_sweep "/root/repo/build/tools/spmm_bench_cli" "--matrix" "dw4096" "--scale" "0.2" "--format" "csr" "--thread-list" "1,2" "-n" "1" "-w" "0" "-k" "8")
+set_tests_properties(tool_cli_thread_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cli_list "/root/repo/build/tools/spmm_bench_cli" "--list")
+set_tests_properties(tool_cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_bcsr_cache "/root/repo/build/tools/bcsr_cache_tool" "gen" "dw4096" "/root/repo/build/tools/cache_test.bcsr" "-b" "4" "--scale" "0.2")
+set_tests_properties(tool_bcsr_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")

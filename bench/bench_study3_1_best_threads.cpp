@@ -78,6 +78,8 @@ int main() {
   for (const auto& [t, mf] : sweep.series) {
     std::cout << "  t=" << t << ": " << format_double(mf, 0) << " MFLOPs\n";
   }
-  std::cout << "  best: t=" << sweep.best_threads << "\n";
+  std::cout << "  best: t=" << sweep.best_threads << " (formatted once: "
+            << format_double(sweep.format_seconds * 1e3, 3) << " ms for "
+            << sweep.series.size() << " thread counts)\n";
   return 0;
 }

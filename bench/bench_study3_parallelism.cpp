@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "core/runner.hpp"
 #include "perfmodel/suite_input.hpp"
 
 using namespace spmm;
@@ -47,5 +48,26 @@ int main() {
                               "Figures 5.5 (Arm) and 5.6 (x86)", "k=128");
   print_machine(model::grace_hopper());
   print_machine(model::aries());
+
+  // Native demonstration: one CSR instance, formatted once, serves the
+  // whole thread plan; every run after the first reuses the conversion.
+  std::cout << "\n--- native run_plan thread scan (this host, scaled cant) ---\n";
+  BenchParams params;
+  params.iterations = 2;
+  params.warmup = 1;
+  params.k = 64;
+  params.verify = false;
+  std::vector<bench::PlanCell> plan;
+  for (int t : {1, 2, 4}) {
+    plan.push_back({Variant::kParallel, t, 0});
+  }
+  const auto results = bench::run_plan<double, std::int32_t>(
+      Format::kCsr, benchx::suite_matrix("cant"), params, plan, "cant");
+  for (const auto& r : results) {
+    std::cout << "  t=" << r.threads << ": " << format_double(r.mflops, 0)
+              << " MFLOPs (format "
+              << (r.format_cached ? "cached" : "fresh") << ", "
+              << format_double(r.format_seconds * 1e3, 3) << " ms)\n";
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "core/runner.hpp"
 #include "perfmodel/suite_input.hpp"
 
 using namespace spmm;
@@ -54,5 +55,25 @@ int main() {
       "omp-32; paper: Arm keeps rising with k, Aries caps near k=512");
   print_machine(model::grace_hopper());
   print_machine(model::aries());
+
+  // Native k scan: none of the formats depend on k, so one formatted CSR
+  // instance serves every k — run_plan regenerates only the dense B/C.
+  std::cout << "\n--- native run_plan k scan (this host, scaled cant) ---\n";
+  BenchParams params;
+  params.iterations = 2;
+  params.warmup = 1;
+  params.k = 8;
+  params.verify = false;
+  std::vector<bench::PlanCell> plan;
+  for (int k : {8, 32, 128}) {
+    plan.push_back({Variant::kSerial, 0, k});
+  }
+  const auto results = bench::run_plan<double, std::int32_t>(
+      Format::kCsr, benchx::suite_matrix("cant"), params, plan, "cant");
+  for (const auto& r : results) {
+    std::cout << "  k=" << r.k << ": " << format_double(r.mflops, 0)
+              << " MFLOPs (format "
+              << (r.format_cached ? "cached" : "fresh") << ")\n";
+  }
   return 0;
 }

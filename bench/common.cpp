@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <tuple>
 
 #include "gen/generator.hpp"
 #include "perfmodel/suite_input.hpp"
@@ -39,6 +41,24 @@ const model::ModelInput& suite_input(const std::string& name) {
     it = cache.emplace(name, model::suite_model_input(name)).first;
   }
   return it->second;
+}
+
+BenchD& suite_benchmark(const std::string& name, Format format,
+                        const BenchParams& params, bool optimized) {
+  using Key = std::tuple<std::string, Format, bool>;
+  static std::map<Key, std::unique_ptr<BenchD>> cache;
+  const Key key{name, format, optimized};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto bench = bench::make_benchmark<double, std::int32_t>(format, optimized);
+    bench->setup(suite_matrix(name), params, name);
+    bench->ensure_formatted();
+    it = cache.emplace(key, std::move(bench)).first;
+  } else {
+    it->second->set_threads(params.threads);
+    it->second->set_k(params.k);
+  }
+  return *it->second;
 }
 
 void print_figure_header(const std::string& study, const std::string& figures,

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/runner.hpp"
 #include "gen/suite.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/machine.hpp"
@@ -21,6 +22,7 @@
 namespace spmm::benchx {
 
 using CooD = Coo<double, std::int32_t>;
+using BenchD = bench::SpmmBenchmark<double, std::int32_t>;
 
 /// Scale for natively-executed matrices (default 0.05; override with
 /// SPMM_BENCH_SCALE, e.g. SPMM_BENCH_SCALE=1.0 for full size).
@@ -31,6 +33,17 @@ const CooD& suite_matrix(const std::string& name);
 
 /// Full-scale model input for a suite matrix, cached.
 const model::ModelInput& suite_input(const std::string& name);
+
+/// Process-wide formatted benchmark cache: one instance per
+/// (matrix, format, optimized) triple, set up and formatted on first use
+/// and reused afterwards through the format-once lifecycle. Later calls
+/// retarget threads/k from `params` (which never invalidates the
+/// formatted structures); iterations/warmup/verify are fixed by the
+/// first caller, which is fine for the study binaries — each uses one
+/// parameter block. Studies that revisit a pair across kernel variants
+/// pay the conversion once per process instead of once per run.
+BenchD& suite_benchmark(const std::string& name, Format format,
+                        const BenchParams& params, bool optimized = false);
 
 /// Print a figure banner: which paper artifact this output regenerates.
 void print_figure_header(const std::string& study,

@@ -1,5 +1,7 @@
 #include "core/report.hpp"
 
+#include <cmath>
+
 #include "support/csv.hpp"
 #include "support/string_util.hpp"
 
@@ -10,7 +12,11 @@ void print_result(std::ostream& os, const BenchResult& r) {
      << variant_name(r.variant) << " k=" << r.k << " t=" << r.threads
      << " b=" << r.block_size << ": " << format_double(r.mflops, 1)
      << " MFLOPs (avg " << format_double(r.avg_compute_seconds * 1e3, 3)
-     << " ms, format " << format_double(r.format_seconds * 1e3, 3) << " ms)";
+     << " ms, format " << format_double(r.format_seconds * 1e3, 3) << " ms"
+     << (r.format_cached ? ", cached" : "") << ")";
+  if (!std::isfinite(r.mflops)) {
+    os << " [NON-FINITE RATE]";
+  }
   if (r.verification_run) {
     os << (r.verified ? " [verified]" : " [VERIFY FAILED]");
   }
@@ -22,7 +28,8 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
                      "threads",      "k",          "block_size",
                      "iterations",   "mflops",     "gflops",
                      "avg_seconds",  "min_seconds", "format_seconds",
-                     "total_seconds", "flops",     "format_bytes",
+                     "format_cached", "total_seconds", "flops",
+                     "format_bytes",
                      "verified",     "max_abs_error",
                      "rows",         "cols",       "nnz",
                      "max_row_nnz",  "avg_row_nnz", "column_ratio",
@@ -40,6 +47,7 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
         .add(r.avg_compute_seconds)
         .add(r.min_compute_seconds)
         .add(r.format_seconds)
+        .add(r.format_cached ? "yes" : "no")
         .add(r.total_seconds)
         .add(r.flops)
         .add(r.format_bytes)

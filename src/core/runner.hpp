@@ -5,6 +5,7 @@
 // inputs").
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -63,31 +64,92 @@ struct ThreadSweepResult {
   int best_threads = 0;
   double best_mflops = 0.0;
   BenchResult best;
+  /// Conversion cost paid once for the whole sweep (format-once
+  /// lifecycle); every reused run reports format_cached = true.
+  double format_seconds = 0.0;
 };
 
-/// Run the parallel kernel across params.thread_list (or the given list)
-/// and pick the best thread count. The matrix is formatted once.
+/// Run the parallel kernel across params().thread_list on an already
+/// set-up benchmark and pick the best thread count. The matrix is
+/// formatted exactly once for the whole sweep, and the instance's thread
+/// parameter is restored afterwards so it can keep serving other runs.
+/// If every point reports a zero or non-finite rate, the first series
+/// entry is returned as the best (best_mflops stays 0) rather than a
+/// default-constructed result.
+template <ValueType V, IndexType I>
+ThreadSweepResult thread_sweep(SpmmBenchmark<V, I>& bench) {
+  SPMM_CHECK(!bench.params().thread_list.empty(),
+             "thread sweep requires a non-empty --thread-list");
+  const int original_threads = bench.params().threads;
+  bench.ensure_formatted();
+
+  ThreadSweepResult sweep;
+  sweep.format_seconds = bench.format_seconds();
+  bool have_best = false;
+  for (int t : bench.params().thread_list) {
+    bench.set_threads(t);
+    BenchResult r = bench.run(Variant::kParallel);
+    sweep.series.emplace_back(t, r.mflops);
+    const bool usable = std::isfinite(r.mflops) && r.mflops > 0.0;
+    if ((usable && r.mflops > sweep.best_mflops) || !have_best) {
+      sweep.best_mflops = usable ? r.mflops : 0.0;
+      sweep.best_threads = t;
+      sweep.best = std::move(r);
+      have_best = true;
+    }
+  }
+  bench.set_threads(original_threads);
+  return sweep;
+}
+
+/// One-shot sweep: build the suite benchmark for a format, bind the
+/// matrix, sweep params.thread_list.
 template <ValueType V, IndexType I>
 ThreadSweepResult thread_sweep(Format format, Coo<V, I> matrix,
                                BenchParams params,
                                std::string matrix_name = {}) {
-  SPMM_CHECK(!params.thread_list.empty(),
-             "thread sweep requires a non-empty --thread-list");
   auto bench = make_benchmark<V, I>(format);
   bench->setup(std::move(matrix), params, std::move(matrix_name));
+  return thread_sweep(*bench);
+}
 
-  ThreadSweepResult sweep;
-  for (int t : params.thread_list) {
-    bench->mutable_params().threads = t;
-    BenchResult r = bench->run(Variant::kParallel);
-    sweep.series.emplace_back(t, r.mflops);
-    if (r.mflops > sweep.best_mflops) {
-      sweep.best_mflops = r.mflops;
-      sweep.best_threads = t;
-      sweep.best = r;
-    }
+/// One cell of a run plan: a kernel variant plus optional parameter
+/// retargets (0 = keep the benchmark's current value).
+struct PlanCell {
+  Variant variant = Variant::kSerial;
+  int threads = 0;
+  int k = 0;
+};
+
+/// Execute a list of (variant, threads, k) cells against one formatted
+/// benchmark instance. The conversion runs exactly once — retargeting
+/// threads or k never invalidates the formatted structures — so every
+/// result after the first reports format_cached = true.
+template <ValueType V, IndexType I>
+std::vector<BenchResult> run_plan(SpmmBenchmark<V, I>& bench,
+                                  const std::vector<PlanCell>& plan) {
+  std::vector<BenchResult> results;
+  results.reserve(plan.size());
+  bench.ensure_formatted();
+  for (const PlanCell& cell : plan) {
+    if (cell.threads > 0) bench.set_threads(cell.threads);
+    if (cell.k > 0) bench.set_k(cell.k);
+    results.push_back(bench.run(cell.variant));
   }
-  return sweep;
+  return results;
+}
+
+/// One-shot plan: build the suite benchmark, bind the matrix, run every
+/// cell against the single formatted instance.
+template <ValueType V, IndexType I>
+std::vector<BenchResult> run_plan(Format format, Coo<V, I> matrix,
+                                  const BenchParams& params,
+                                  const std::vector<PlanCell>& plan,
+                                  std::string matrix_name = {},
+                                  bool optimized = false) {
+  auto bench = make_benchmark<V, I>(format, optimized);
+  bench->setup(std::move(matrix), params, std::move(matrix_name));
+  return run_plan(*bench, plan);
 }
 
 }  // namespace spmm::bench

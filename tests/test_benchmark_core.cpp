@@ -257,6 +257,175 @@ TEST(ThreadSweep, EmptyListThrows) {
                Error);
 }
 
+TEST(ThreadSweep, DegenerateRatesFallBackToFirstEntry) {
+  // An empty matrix yields 0 FLOPs, hence 0 MFLOPs at every thread
+  // count. The sweep must still return the first series entry as the
+  // best rather than best_threads == 0 with a default-constructed
+  // result.
+  const CooD m(8, 8);
+  BenchParams p = fast_params();
+  p.thread_list = {2, 4};
+  const ThreadSweepResult sweep = thread_sweep<double, std::int32_t>(
+      Format::kCsr, m, p, "empty");
+  ASSERT_EQ(sweep.series.size(), 2u);
+  EXPECT_EQ(sweep.best_threads, 2);
+  EXPECT_EQ(sweep.best_mflops, 0.0);
+  EXPECT_EQ(sweep.best.kernel_name, "CSR");
+  EXPECT_EQ(sweep.best.matrix_name, "empty");
+  EXPECT_TRUE(sweep.best.verification_run);
+}
+
+/// Counts do_format() invocations: the format-once regression guard.
+template <ValueType V, IndexType I>
+class CountingBenchmark final : public SpmmBenchmark<V, I> {
+ public:
+  int format_calls = 0;
+
+ protected:
+  void do_format() override { ++format_calls; }
+};
+
+TEST(Lifecycle, FormatRunsOnceAcrossVariantRuns) {
+  const CooD m = testutil::random_coo(50, 50, 4.0, 21);
+  CountingBenchmark<double, std::int32_t> bench;
+  bench.setup(m, fast_params(), "count");
+  EXPECT_FALSE(bench.is_formatted());
+
+  const BenchResult serial = bench.run(Variant::kSerial);
+  const BenchResult parallel = bench.run(Variant::kParallel);
+  const BenchResult transpose = bench.run(Variant::kSerialTranspose);
+  EXPECT_EQ(bench.format_calls, 1);
+  EXPECT_TRUE(bench.is_formatted());
+  EXPECT_FALSE(serial.format_cached);
+  EXPECT_TRUE(parallel.format_cached);
+  EXPECT_TRUE(transpose.format_cached);
+  // Reused runs echo the one-and-only measured formatting time.
+  EXPECT_EQ(parallel.format_seconds, serial.format_seconds);
+  EXPECT_EQ(transpose.format_seconds, serial.format_seconds);
+}
+
+TEST(Lifecycle, FormatRunsOncePerThreadSweep) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 22);
+  CountingBenchmark<double, std::int32_t> bench;
+  BenchParams p = fast_params();
+  p.thread_list = {1, 2, 4};
+  bench.setup(m, p, "count");
+
+  const ThreadSweepResult sweep = thread_sweep(bench);
+  ASSERT_EQ(sweep.series.size(), 3u);
+  EXPECT_EQ(bench.format_calls, 1);
+  EXPECT_EQ(sweep.format_seconds, bench.format_seconds());
+  // The sweep's threads mutation must not leak out of the sweep.
+  EXPECT_EQ(bench.params().threads, p.threads);
+  // Follow-up runs on the same instance keep reusing the conversion.
+  EXPECT_TRUE(bench.run(Variant::kSerial).format_cached);
+  EXPECT_EQ(bench.format_calls, 1);
+}
+
+TEST(Lifecycle, ReformatRetimesAndSetupInvalidates) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 23);
+  CountingBenchmark<double, std::int32_t> bench;
+  bench.setup(m, fast_params(), "count");
+  EXPECT_FALSE(bench.run(Variant::kSerial).format_cached);
+  EXPECT_EQ(bench.format_calls, 1);
+
+  bench.reformat();
+  EXPECT_EQ(bench.format_calls, 2);
+  EXPECT_TRUE(bench.run(Variant::kSerial).format_cached);
+  EXPECT_EQ(bench.format_calls, 2);
+
+  // setup() is the other cache invalidation point.
+  bench.setup(m, fast_params(), "count");
+  EXPECT_FALSE(bench.is_formatted());
+  EXPECT_FALSE(bench.run(Variant::kSerial).format_cached);
+  EXPECT_EQ(bench.format_calls, 3);
+}
+
+TEST(Lifecycle, TransposeOperandRebuiltAfterSetup) {
+  const CooD m = testutil::random_coo(50, 50, 4.0, 24);
+  CsrBenchmark<double, std::int32_t> bench;
+  BenchParams p = fast_params();
+  bench.setup(m, p, "bt");
+  EXPECT_TRUE(bench.run(Variant::kSerialTranspose).verified);
+
+  // A different seed regenerates B; a stale Bᵀ would fail verification.
+  p.seed = 7;
+  bench.setup(m, p, "bt");
+  EXPECT_TRUE(bench.run(Variant::kSerialTranspose).verified);
+}
+
+TEST(Lifecycle, ZeroIterationsRejectedAtRunTime) {
+  const CooD m = testutil::random_coo(20, 20, 3.0, 25);
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  BenchParams p = fast_params();
+  p.iterations = 0;  // constructed directly, bypassing from_parser
+  bench->setup(m, p, "bad");
+  EXPECT_THROW(bench->run(Variant::kSerial), Error);
+  p.iterations = 1;
+  p.warmup = -1;
+  bench->setup(m, p, "bad");
+  EXPECT_THROW(bench->run(Variant::kSerial), Error);
+}
+
+TEST(RunPlan, FormatsOnceAndRetargetsThreadsAndK) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 26);
+  CountingBenchmark<double, std::int32_t> bench;
+  bench.setup(m, fast_params(), "plan");
+  const std::vector<PlanCell> plan = {
+      {Variant::kSerial, 0, 0},
+      {Variant::kParallel, 2, 0},
+      {Variant::kSerial, 0, 16},
+  };
+  const auto results = run_plan(bench, plan);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(bench.format_calls, 1);
+  // ensure_formatted() ran before the first cell, so even it is cached.
+  EXPECT_TRUE(results[0].format_cached);
+  EXPECT_TRUE(results[2].format_cached);
+  EXPECT_EQ(results[1].threads, 2);
+  EXPECT_EQ(results[2].k, 16);
+  EXPECT_DOUBLE_EQ(results[2].flops,
+                   2.0 * static_cast<double>(m.nnz()) * 16.0);
+  for (const auto& r : results) EXPECT_TRUE(r.verified);
+}
+
+TEST(RunPlan, MatchesPerCallRunBenchmark) {
+  const CooD m = testutil::random_coo(70, 70, 5.0, 27);
+  const BenchParams p = fast_params();
+  const std::vector<PlanCell> plan = {
+      {Variant::kSerial, 0, 0},
+      {Variant::kParallel, 0, 0},
+      {Variant::kSerial, 0, 16},
+  };
+  const auto planned = run_plan<double, std::int32_t>(
+      Format::kCsr, m, p, plan, "plan");
+
+  BenchParams p16 = p;
+  p16.k = 16;
+  const BenchResult singles[] = {
+      run_benchmark<double, std::int32_t>(Format::kCsr, Variant::kSerial, m,
+                                          p, "plan"),
+      run_benchmark<double, std::int32_t>(Format::kCsr, Variant::kParallel,
+                                          m, p, "plan"),
+      run_benchmark<double, std::int32_t>(Format::kCsr, Variant::kSerial, m,
+                                          p16, "plan"),
+  };
+  ASSERT_EQ(planned.size(), std::size(singles));
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    // Deterministic fields must match the one-shot path bit-for-bit:
+    // set_k() regenerates B from the same seed a fresh setup() uses.
+    EXPECT_EQ(planned[i].kernel_name, singles[i].kernel_name);
+    EXPECT_EQ(planned[i].variant, singles[i].variant);
+    EXPECT_EQ(planned[i].threads, singles[i].threads);
+    EXPECT_EQ(planned[i].k, singles[i].k);
+    EXPECT_EQ(planned[i].flops, singles[i].flops);
+    EXPECT_EQ(planned[i].format_bytes, singles[i].format_bytes);
+    EXPECT_EQ(planned[i].verified, singles[i].verified);
+    EXPECT_EQ(planned[i].max_abs_error, singles[i].max_abs_error);
+    EXPECT_EQ(planned[i].properties.nnz, singles[i].properties.nnz);
+  }
+}
+
 TEST(Benchmark, DeviceMemoryCapEnforced) {
   // Study 7's dropout: a device run whose operands exceed the emulated
   // device capacity throws DeviceOutOfMemory.

@@ -149,7 +149,8 @@ TEST(BenchParams, ParsesFullCommandLine) {
 
 TEST(BenchParams, RejectsInvalidValues) {
   for (const char* bad :
-       {"--iterations=0", "--threads=-1", "--block-size=0", "--k=0"}) {
+       {"--iterations=0", "--warmup=-1", "--threads=-1", "--block-size=0",
+        "--k=0", "--thread-list=2,0"}) {
     ArgParser p;
     BenchParams::register_options(p);
     auto args = argv_of({bad});

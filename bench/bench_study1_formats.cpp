@@ -54,7 +54,9 @@ void print_machine(const model::Machine& cpu, const model::Machine& gpu) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchx::StudyTelemetry tel(
+      argc, argv, "Study 1: formats x kernel types (Figures 5.1/5.2)");
   benchx::print_figure_header(
       "Study 1: Formats — all formats x {serial, omp-32, gpu}",
       "Figures 5.1 (Arm) and 5.2 (x86)",
@@ -73,6 +75,7 @@ int main() {
   params.k = 128;
   params.block_size = 4;
   params.verify = false;
+  params.sink = tel.sink();
   TextTable table({"matrix", "COO", "CSR", "ELL", "BCSR", "best"});
   for (const std::string& name : gen::suite_names()) {
     table.add(name);

@@ -56,7 +56,9 @@ void print_machine(const model::Machine& cpu) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchx::StudyTelemetry tel(
+      argc, argv, "Study 3.1: best thread count sweep (Figures 5.7/5.8)");
   benchx::print_figure_header(
       "Study 3.1: Best Thread Count — sweep {2,4,8,16,32,48,64,72}",
       "Figures 5.7 (Arm) and 5.8 (Aries)",
@@ -73,6 +75,7 @@ int main() {
   params.k = 64;
   params.verify = false;
   params.thread_list = {1, 2, 4};
+  params.sink = tel.sink();
   const auto sweep = bench::thread_sweep<double, std::int32_t>(
       Format::kCsr, benchx::suite_matrix("cant"), params, "cant");
   for (const auto& [t, mf] : sweep.series) {

@@ -48,7 +48,9 @@ void print_machine(const model::Machine& cpu) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchx::StudyTelemetry tel(
+      argc, argv, "Study 4: k-loop scan (Figures 5.9/5.10)");
   benchx::print_figure_header(
       "Study 4: K-Loop — k in {8,16,64,128,256,512,1028}",
       "Figures 5.9 (Arm) and 5.10 (x86)",
@@ -64,6 +66,7 @@ int main() {
   params.warmup = 1;
   params.k = 8;
   params.verify = false;
+  params.sink = tel.sink();
   std::vector<bench::PlanCell> plan;
   for (int k : {8, 32, 128}) {
     plan.push_back({Variant::kSerial, 0, k});

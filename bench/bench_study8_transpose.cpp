@@ -42,7 +42,9 @@ void print_machine(const model::Machine& cpu) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchx::StudyTelemetry tel(
+      argc, argv, "Study 8: transposed-B kernels (Figures 5.17/5.18)");
   benchx::print_figure_header(
       "Study 8: Transpose — parallel kernels with Bᵀ",
       "Figures 5.17 (Arm) and 5.18 (x86)",
@@ -59,6 +61,7 @@ int main() {
   params.warmup = 1;
   params.k = 128;
   params.verify = false;
+  params.sink = tel.sink();
   TextTable table({"matrix", "plain", "transposed", "delta %"});
   for (const char* name :
        {"af23560", "cant", "cop20k_A", "2cubes_sphere"}) {

@@ -12,7 +12,9 @@
 
 using namespace spmm;
 
-int main() {
+int main(int argc, char** argv) {
+  benchx::StudyTelemetry tel(
+      argc, argv, "Study 9: manual kernel optimizations (Figure 5.19)");
   benchx::print_figure_header(
       "Study 9: Manual Optimizations — hoisted load + template-k",
       "Figure 5.19",
@@ -24,6 +26,7 @@ int main() {
   params.warmup = 1;
   params.k = 128;  // in the template instantiation set
   params.verify = false;
+  params.sink = tel.sink();
 
   for (Variant v : {Variant::kSerial, Variant::kParallel}) {
     std::cout << "\nnative " << variant_name(v) << " kernels:\n";

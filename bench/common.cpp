@@ -58,7 +58,26 @@ BenchD& suite_benchmark(const std::string& name, Format format,
     it->second->set_threads(params.threads);
     it->second->set_k(params.k);
   }
+  // The caller's sink may differ from the one captured at setup() (or be
+  // the first one, on a cache hit from a traced run) — always re-attach.
+  it->second->set_telemetry(params.sink);
   return *it->second;
+}
+
+StudyTelemetry::StudyTelemetry(int argc, char** argv,
+                               const std::string& description) {
+  ArgParser parser(description);
+  telemetry::register_trace_options(parser);
+  if (!parser.parse(argc, argv)) std::exit(0);
+  setup_ = telemetry::trace_setup_from_parser(parser);
+}
+
+StudyTelemetry::~StudyTelemetry() { finish(); }
+
+void StudyTelemetry::finish() {
+  if (finished_) return;
+  finished_ = true;
+  setup_.finish(std::cout);
 }
 
 void print_figure_header(const std::string& study, const std::string& figures,

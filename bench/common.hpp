@@ -18,6 +18,7 @@
 #include "perfmodel/machine.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
+#include "telemetry/options.hpp"
 
 namespace spmm::benchx {
 
@@ -44,6 +45,34 @@ const model::ModelInput& suite_input(const std::string& name);
 /// pay the conversion once per process instead of once per run.
 BenchD& suite_benchmark(const std::string& name, Format format,
                         const BenchParams& params, bool optimized = false);
+
+/// Per-study telemetry wiring: parses --trace / --perf-summary from the
+/// study binary's argv and owns the sink stack for the process. Attach
+/// `sink()` to BenchParams before running; the trace is flushed and the
+/// summary printed when the object goes out of scope (or by `finish()`).
+/// With neither flag given, `sink()` is null and every benchmark takes
+/// the zero-overhead disabled path — study output is unchanged.
+class StudyTelemetry {
+ public:
+  /// Parses argv. Exits the process (status 0) on --help.
+  StudyTelemetry(int argc, char** argv, const std::string& description);
+  ~StudyTelemetry();
+
+  StudyTelemetry(const StudyTelemetry&) = delete;
+  StudyTelemetry& operator=(const StudyTelemetry&) = delete;
+
+  [[nodiscard]] const std::shared_ptr<telemetry::Sink>& sink() const {
+    return setup_.sink;
+  }
+  [[nodiscard]] bool enabled() const { return setup_.enabled(); }
+
+  /// Flush the trace and print the summary now (idempotent).
+  void finish();
+
+ private:
+  telemetry::TraceSetup setup_;
+  bool finished_ = false;
+};
 
 /// Print a figure banner: which paper artifact this output regenerates.
 void print_figure_header(const std::string& study,

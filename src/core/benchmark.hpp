@@ -16,9 +16,11 @@
 // shows a third-party extension.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "devsim/device.hpp"
 #include "formats/convert.hpp"
@@ -26,7 +28,9 @@
 #include "formats/properties.hpp"
 #include "kernels/dense_ref.hpp"
 #include "support/cli.hpp"
+#include "support/stats.hpp"
 #include "support/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace spmm::bench {
 
@@ -54,6 +58,30 @@ struct BenchResult {
   double avg_compute_seconds = 0.0;
   double min_compute_seconds = 0.0;
   double total_seconds = 0.0;
+
+  // Timing distribution over the timed iterations (the average alone
+  // hides warmup drift, outliers, and run-to-run jitter — the
+  // per-phase/per-event accounting SpChar argues characterization
+  // needs). p50/p95 use linear interpolation between order statistics;
+  // stddev is the population standard deviation.
+  double p50_compute_seconds = 0.0;
+  double p95_compute_seconds = 0.0;
+  double max_compute_seconds = 0.0;
+  double stddev_compute_seconds = 0.0;
+  /// First timed iteration took > 1.5× the median: the warmup count was
+  /// likely too low for this kernel/matrix.
+  bool warmup_drift = false;
+  /// Iterations slower than mean + 3·stddev.
+  int outlier_count = 0;
+  /// Every timed iteration's seconds, in run order (size = iterations).
+  std::vector<double> iteration_seconds;
+
+  // Emulated-device traffic across this run() (warmup + timed
+  // iterations + verification): byte deltas of the benchmark's arena,
+  // plus its peak allocation high-water mark. Zero for host variants.
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+  std::size_t device_peak_bytes = 0;
 
   // Work and rates (true work: 2·nnz·k).
   double flops = 0.0;
@@ -89,7 +117,9 @@ class SpmmBenchmark {
   void setup(Coo<V, I> matrix, const BenchParams& params,
              std::string matrix_name = {}) {
     params_ = params;
+    tel_ = telemetry::Session(params.sink);
     matrix_name_ = std::move(matrix_name);
+    telemetry::ScopedSpan span(tel_, "setup", "bench", matrix_name_);
     coo_ = std::move(matrix);
     Rng rng(params.seed);
     b_ = Dense<V>(static_cast<usize>(coo_.cols()),
@@ -101,6 +131,7 @@ class SpmmBenchmark {
     // Device variants run against a capacity-limited arena when the
     // parameters ask for one (Study 7's out-of-memory dropout).
     arena_ = std::make_unique<dev::DeviceArena>(params.device_memory_bytes);
+    arena_->set_telemetry(tel_);
     formatted_ = false;
     format_seconds_ = 0.0;
     format_bytes_ = 0;
@@ -118,6 +149,7 @@ class SpmmBenchmark {
     SPMM_CHECK(setup_done_,
                "setup() must be called before ensure_formatted()");
     if (formatted_) return;
+    telemetry::ScopedSpan span(tel_, "format", "bench", name());
     Timer t;
     do_format();
     format_seconds_ = t.seconds();
@@ -171,6 +203,14 @@ class SpmmBenchmark {
     SPMM_CHECK(params_.iterations >= 1, "iterations must be >= 1");
     SPMM_CHECK(params_.warmup >= 0, "warmup must be non-negative");
     Timer total;
+    // One enabled() check up front; the iteration loop branches on a
+    // plain bool and does no telemetry work at all when it is false.
+    const bool tel_on = tel_.enabled();
+    std::string run_detail;
+    if (tel_on) {
+      run_detail = name() + "/" + std::string(variant_name(variant));
+    }
+    telemetry::ScopedSpan run_span(tel_, "run", "bench", run_detail);
 
     BenchResult r;
     r.kernel_name = name();
@@ -195,34 +235,85 @@ class SpmmBenchmark {
       bt_ = b_.transposed();
     }
 
-    for (int i = 0; i < params_.warmup; ++i) {
-      do_compute(variant);
+    // Device-traffic accounting: deltas of this benchmark's arena over
+    // the whole run (host variants never touch it, so deltas stay 0).
+    const std::size_t h2d0 = arena_->h2d_bytes();
+    const std::size_t d2h0 = arena_->d2h_bytes();
+
+    {
+      telemetry::ScopedSpan span(tel_, "warmup", "bench");
+      for (int i = 0; i < params_.warmup; ++i) {
+        do_compute(variant);
+      }
     }
 
+    // The sample vector is the only allocation the timed loop performs,
+    // and its capacity is reserved here, outside the loop.
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(params_.iterations));
     double sum = 0.0;
     double best = 0.0;
     for (int i = 0; i < params_.iterations; ++i) {
+      std::uint64_t span_id = 0;
+      std::int64_t begin_ns = 0;
+      if (tel_on) {
+        begin_ns = telemetry::now_ns();
+        span_id = tel_.begin_span("iteration", "bench", run_detail, i);
+      }
       Timer t;
       do_compute(variant);
       const double s = t.seconds();
+      if (tel_on) {
+        tel_.end_span(span_id, "iteration", begin_ns);
+        tel_.sample("iteration_seconds", i, s);
+      }
       sum += s;
       best = (i == 0) ? s : std::min(best, s);
+      samples.push_back(s);
       if (params_.debug) {
-        std::fprintf(stderr, "[debug] %s/%s iteration %d: %.6f s\n",
-                     name().c_str(), std::string(variant_name(variant)).c_str(),
-                     i, s);
+        // Single instrumentation point: into the trace when a sink is
+        // attached (debug output and traces must not interleave),
+        // otherwise to stderr as before.
+        char line[160];
+        std::snprintf(line, sizeof line, "[debug] %s/%s iteration %d: %.6f s",
+                      name().c_str(),
+                      std::string(variant_name(variant)).c_str(), i, s);
+        tel_.debug_line(line);
       }
     }
+    // The average keeps the pre-telemetry left-to-right accumulation so
+    // results are bit-identical to the old path; the distribution is
+    // derived from the same samples.
     r.avg_compute_seconds = sum / params_.iterations;
     r.min_compute_seconds = best;
+    const Summary dist = summarize(samples);
+    r.max_compute_seconds = dist.max;
+    r.p50_compute_seconds = dist.median;
+    r.p95_compute_seconds = percentile(samples, 0.95);
+    r.stddev_compute_seconds = dist.stddev;
+    r.warmup_drift = samples.size() >= 2 && dist.median > 0.0 &&
+                     samples.front() > 1.5 * dist.median;
+    if (dist.stddev > 0.0) {
+      for (double s : samples) {
+        if (s > dist.mean + 3.0 * dist.stddev) ++r.outlier_count;
+      }
+    }
+    r.iteration_seconds = std::move(samples);
 
     r.flops = 2.0 * static_cast<double>(coo_.nnz()) *
               static_cast<double>(params_.k);
-    r.flops_per_second = r.flops / r.avg_compute_seconds;
-    r.mflops = r.flops_per_second / 1e6;
-    r.gflops = r.flops_per_second / 1e9;
+    // Sub-resolution timings on tiny matrices can average to exactly 0;
+    // report a zero rate instead of inf/NaN (which PR 1 only patched
+    // downstream in thread_sweep).
+    if (r.avg_compute_seconds > 0.0) {
+      r.flops_per_second = r.flops / r.avg_compute_seconds;
+      r.mflops = r.flops_per_second / 1e6;
+      r.gflops = r.flops_per_second / 1e9;
+    }
 
     if (params_.verify) {
+      telemetry::ScopedSpan span(tel_, "verify", "bench",
+                                 params_.verify_probe ? "probe" : "reference");
       r.verification_run = true;
       if (params_.verify_probe) {
         // Freivalds probe: O(nnz + (m+n)k) instead of the O(nnz·k) COO
@@ -233,6 +324,14 @@ class SpmmBenchmark {
         r.max_abs_error = max_abs_diff(ref, c_);
       }
       r.verified = r.max_abs_error <= verify_tolerance();
+    }
+
+    r.h2d_bytes = arena_->h2d_bytes() - h2d0;
+    r.d2h_bytes = arena_->d2h_bytes() - d2h0;
+    r.device_peak_bytes = arena_->peak_bytes();
+    if (tel_on && (r.h2d_bytes > 0 || r.d2h_bytes > 0)) {
+      tel_.counter("run.h2d_bytes", static_cast<double>(r.h2d_bytes), "dev");
+      tel_.counter("run.d2h_bytes", static_cast<double>(r.d2h_bytes), "dev");
     }
 
     r.properties = compute_properties(coo_, matrix_name_);
@@ -247,6 +346,17 @@ class SpmmBenchmark {
 
   /// The emulated device used by device variants.
   [[nodiscard]] dev::DeviceArena& arena() { return *arena_; }
+
+  /// Attach (or detach, with a null sink) a telemetry sink after
+  /// setup(). setup() itself wires params.sink; this exists for cached
+  /// instances that outlive the params they were set up with.
+  void set_telemetry(std::shared_ptr<telemetry::Sink> sink) {
+    tel_ = telemetry::Session(std::move(sink));
+    if (arena_) arena_->set_telemetry(tel_);
+  }
+
+  /// The telemetry session (disabled unless a sink is attached).
+  [[nodiscard]] telemetry::Session& telemetry_session() { return tel_; }
 
  protected:
   /// Build the format-specific structures from the COO input. The base
@@ -283,6 +393,7 @@ class SpmmBenchmark {
   std::optional<Dense<V>> bt_;
   Dense<V> c_;
   BenchParams params_;
+  telemetry::Session tel_;
   std::string matrix_name_;
   std::unique_ptr<dev::DeviceArena> arena_ =
       std::make_unique<dev::DeviceArena>();

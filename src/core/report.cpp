@@ -12,10 +12,18 @@ void print_result(std::ostream& os, const BenchResult& r) {
      << variant_name(r.variant) << " k=" << r.k << " t=" << r.threads
      << " b=" << r.block_size << ": " << format_double(r.mflops, 1)
      << " MFLOPs (avg " << format_double(r.avg_compute_seconds * 1e3, 3)
+     << " ms, p95 " << format_double(r.p95_compute_seconds * 1e3, 3)
      << " ms, format " << format_double(r.format_seconds * 1e3, 3) << " ms"
      << (r.format_cached ? ", cached" : "") << ")";
   if (!std::isfinite(r.mflops)) {
     os << " [NON-FINITE RATE]";
+  }
+  if (r.warmup_drift) {
+    os << " [warmup-drift]";
+  }
+  if (r.outlier_count > 0) {
+    os << " [" << r.outlier_count << " outlier"
+       << (r.outlier_count > 1 ? "s" : "") << "]";
   }
   if (r.verification_run) {
     os << (r.verified ? " [verified]" : " [VERIFY FAILED]");
@@ -24,6 +32,9 @@ void print_result(std::ostream& os, const BenchResult& r) {
 }
 
 void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
+  // Column order is frozen for downstream consumers (plot_results.py);
+  // new telemetry/distribution columns are appended at the end only.
+  // The header is pinned by test_csv_table.
   CsvWriter csv(os, {"matrix",       "kernel",     "variant",
                      "threads",      "k",          "block_size",
                      "iterations",   "mflops",     "gflops",
@@ -33,7 +44,10 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
                      "verified",     "max_abs_error",
                      "rows",         "cols",       "nnz",
                      "max_row_nnz",  "avg_row_nnz", "column_ratio",
-                     "row_variance", "row_stddev"});
+                     "row_variance", "row_stddev",
+                     "p50_seconds",  "p95_seconds", "max_seconds",
+                     "stddev_seconds", "warmup_drift", "outliers",
+                     "h2d_bytes",    "d2h_bytes",  "device_peak_bytes"});
   for (const BenchResult& r : results) {
     csv.add(r.matrix_name)
         .add(r.kernel_name)
@@ -60,7 +74,16 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
         .add(r.properties.avg_row_nnz)
         .add(r.properties.column_ratio)
         .add(r.properties.row_nnz_variance)
-        .add(r.properties.row_nnz_stddev);
+        .add(r.properties.row_nnz_stddev)
+        .add(r.p50_compute_seconds)
+        .add(r.p95_compute_seconds)
+        .add(r.max_compute_seconds)
+        .add(r.stddev_compute_seconds)
+        .add(r.warmup_drift ? "yes" : "no")
+        .add(static_cast<std::int64_t>(r.outlier_count))
+        .add(r.h2d_bytes)
+        .add(r.d2h_bytes)
+        .add(r.device_peak_bytes);
     csv.end_row();
   }
 }

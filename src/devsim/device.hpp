@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace spmm::dev {
 
@@ -89,11 +90,24 @@ class DeviceArena {
   DeviceArena(const DeviceArena&) = delete;
   DeviceArena& operator=(const DeviceArena&) = delete;
 
+  /// Attach a telemetry session: allocations, frees, transfers, peak
+  /// growth, and launches are emitted as "dev.*" counter events. A
+  /// disabled session (the default) costs one null-pointer branch per
+  /// operation.
+  void set_telemetry(telemetry::Session session) {
+    tel_ = std::move(session);
+  }
+
   /// Allocate `n` elements of device memory.
   template <class T>
   DeviceBuffer<T> alloc(std::size_t n) {
     const std::size_t bytes = n * sizeof(T);
     if (capacity_ != 0 && allocated_ + bytes > capacity_) {
+      if (tel_.enabled()) {
+        tel_.log("dev.oom", "allocation of " + std::to_string(bytes) +
+                                " bytes over capacity " +
+                                std::to_string(capacity_));
+      }
       throw DeviceOutOfMemory(
           "device allocation of " + std::to_string(bytes) +
           " bytes exceeds arena capacity (" + std::to_string(capacity_) +
@@ -103,7 +117,14 @@ class DeviceArena {
     T* p = reinterpret_cast<T*>(storage.get());
     allocations_.push_back(std::move(storage));
     allocated_ += bytes;
+    const bool new_peak = allocated_ > peak_;
     peak_ = std::max(peak_, allocated_);
+    if (tel_.enabled()) {
+      tel_.counter("dev.alloc_bytes", static_cast<double>(bytes), "dev");
+      if (new_peak) {
+        tel_.counter("dev.peak_bytes", static_cast<double>(peak_), "dev");
+      }
+    }
     return DeviceBuffer<T>(p, n);
   }
 
@@ -113,6 +134,10 @@ class DeviceArena {
     SPMM_CHECK(n <= dst.size(), "H2D copy larger than destination buffer");
     std::memcpy(dst.data(), src, n * sizeof(T));
     h2d_bytes_ += n * sizeof(T);
+    if (tel_.enabled()) {
+      tel_.counter("dev.h2d_bytes", static_cast<double>(n * sizeof(T)),
+                   "dev");
+    }
   }
 
   /// Copy device → host; accounted as D2H traffic.
@@ -121,6 +146,10 @@ class DeviceArena {
     SPMM_CHECK(n <= src.size(), "D2H copy larger than source buffer");
     std::memcpy(dst, src.data(), n * sizeof(T));
     d2h_bytes_ += n * sizeof(T);
+    if (tel_.enabled()) {
+      tel_.counter("dev.d2h_bytes", static_cast<double>(n * sizeof(T)),
+                   "dev");
+    }
   }
 
   /// Zero-fill a device buffer (cudaMemset analogue).
@@ -138,14 +167,21 @@ class DeviceArena {
 
   /// Release every allocation (buffers become dangling).
   void reset() {
+    if (tel_.enabled() && allocated_ > 0) {
+      tel_.counter("dev.free_bytes", static_cast<double>(allocated_), "dev");
+    }
     allocations_.clear();
     allocated_ = 0;
   }
 
   /// Internal: counts kernel launches (used by tests and reports).
-  void note_launch() { ++launches_; }
+  void note_launch() {
+    ++launches_;
+    if (tel_.enabled()) tel_.counter("dev.launch", 1.0, "dev");
+  }
 
  private:
+  telemetry::Session tel_;
   std::size_t capacity_;
   std::size_t allocated_ = 0;
   std::size_t peak_ = 0;

@@ -10,11 +10,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace spmm {
+
+namespace telemetry {
+class Sink;
+}  // namespace telemetry
 
 /// Generic option parser: registers typed options, then parses argv.
 /// Options are spelled `--name value`, `--name=value`, or for bools just
@@ -109,6 +114,12 @@ struct BenchParams {
   /// 0 = unlimited. Device runs exceeding it throw DeviceOutOfMemory —
   /// the paper's Study 7 dropped matrices exactly this way.
   std::size_t device_memory_bytes = 0;
+  /// Telemetry sink for spans/counters/samples (see src/telemetry).
+  /// Null (the default) disables telemetry entirely: the benchmark run
+  /// loop takes the zero-overhead path. Populated by tools from
+  /// --trace / --perf-summary, never by from_parser (support cannot
+  /// construct sinks — layering).
+  std::shared_ptr<telemetry::Sink> sink;
 
   /// Register the shared options on `parser`.
   static void register_options(ArgParser& parser);

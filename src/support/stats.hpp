@@ -26,6 +26,10 @@ struct Summary {
 /// Compute a Summary over `samples`. Empty input yields a zeroed Summary.
 Summary summarize(std::span<const double> samples);
 
+/// Quantile q in [0,1] of `samples` with linear interpolation between
+/// order statistics (q = 0.5 is the median). Empty input yields 0.
+double percentile(std::span<const double> samples, double q);
+
 /// Streaming mean/variance accumulator (Welford), used where the sample
 /// set is too large to keep (per-row counts of multi-million-row matrices
 /// would be fine, but the generators stream rows anyway).

@@ -1,0 +1,372 @@
+#include "telemetry/jsonl.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace spmm::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string event_to_jsonl(const Event& e) {
+  std::ostringstream os;
+  os << "{\"ts_ns\":" << e.ts_ns << ",\"kind\":\""
+     << event_kind_name(e.kind) << "\",\"name\":\"" << json_escape(e.name)
+     << '"';
+  if (e.kind == EventKind::kSpanBegin || e.kind == EventKind::kSpanEnd) {
+    os << ",\"id\":" << e.span_id;
+  }
+  if (e.kind == EventKind::kSpanEnd) {
+    os << ",\"dur_ns\":" << e.dur_ns;
+  }
+  if (e.iteration >= 0 &&
+      (e.kind == EventKind::kSample || e.kind == EventKind::kSpanBegin)) {
+    os << ",\"iter\":" << e.iteration;
+  }
+  if (e.kind == EventKind::kCounter || e.kind == EventKind::kSample) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", e.value);
+    os << ",\"value\":" << buf;
+  }
+  if (!e.category.empty()) os << ",\"cat\":\"" << json_escape(e.category) << '"';
+  if (!e.detail.empty()) os << ",\"detail\":\"" << json_escape(e.detail) << '"';
+  os << '}';
+  return os.str();
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  SPMM_CHECK(file->good(), "cannot open trace file for writing: " + path);
+  os_ = file.get();
+  owned_ = std::move(file);
+}
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+JsonlSink::~JsonlSink() { flush(); }
+
+void JsonlSink::consume(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  *os_ << event_to_jsonl(event) << '\n';
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->flush();
+}
+
+namespace {
+
+/// A parsed flat JSON object: string fields and numeric fields.
+struct FlatObject {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+};
+
+/// Minimal parser for the flat JSON objects the JSONL writer emits.
+/// Returns std::nullopt (with a message) on any syntax violation.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view line) : s_(line) {}
+
+  std::optional<FlatObject> parse(std::string& error) {
+    FlatObject obj;
+    skip_ws();
+    if (!consume('{')) return fail(error, "expected '{'");
+    skip_ws();
+    if (consume('}')) return finish(obj, error);
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return fail(error, "expected string key");
+      skip_ws();
+      if (!consume(':')) return fail(error, "expected ':'");
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '"') {
+        std::string value;
+        if (!parse_string(value)) return fail(error, "bad string value");
+        obj.strings[key] = value;
+      } else {
+        double value = 0.0;
+        if (!parse_number(value)) return fail(error, "bad numeric value");
+        obj.numbers[key] = value;
+      }
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return finish(obj, error);
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+ private:
+  std::optional<FlatObject> finish(FlatObject& obj, std::string& error) {
+    skip_ws();
+    if (pos_ != s_.size()) {
+      error = "trailing characters after object";
+      return std::nullopt;
+    }
+    return obj;
+  }
+
+  std::optional<FlatObject> fail(std::string& error, const char* what) {
+    error = what;
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            auto [p, ec] = std::from_chars(s_.data() + pos_,
+                                           s_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc() || p != s_.data() + pos_ + 4) return false;
+            pos_ += 4;
+            // The writer only emits \u for control bytes; anything in
+            // the BMP below 0x80 round-trips as one byte.
+            out += static_cast<char>(code < 0x80 ? code : '?');
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      std::size_t used = 0;
+      const std::string text(s_.substr(start, pos_ - start));
+      out = std::stod(text, &used);
+      return used == text.size();
+    } catch (const std::logic_error&) {
+      return false;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<EventKind> kind_from_name(const std::string& name) {
+  for (EventKind k : {EventKind::kSpanBegin, EventKind::kSpanEnd,
+                      EventKind::kCounter, EventKind::kSample,
+                      EventKind::kLog}) {
+    if (event_kind_name(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TraceParseResult read_trace(std::istream& in) {
+  TraceParseResult result;
+  // Open spans: id -> (name, line number of the begin).
+  std::map<std::uint64_t, std::pair<std::string, std::size_t>> open;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto error = [&](const std::string& what) {
+    result.errors.push_back("line " + std::to_string(line_no) + ": " + what);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string parse_error;
+    FlatJsonParser parser(line);
+    const auto obj = parser.parse(parse_error);
+    if (!obj) {
+      error("not a JSON object (" + parse_error + ")");
+      continue;
+    }
+
+    auto require_number = [&](const char* key, double& out) {
+      auto it = obj->numbers.find(key);
+      if (it == obj->numbers.end()) {
+        error("missing numeric field \"" + std::string(key) + "\"");
+        return false;
+      }
+      out = it->second;
+      return true;
+    };
+    auto require_string = [&](const char* key, std::string& out) {
+      auto it = obj->strings.find(key);
+      if (it == obj->strings.end()) {
+        error("missing string field \"" + std::string(key) + "\"");
+        return false;
+      }
+      out = it->second;
+      return true;
+    };
+
+    Event e;
+    std::string kind_name;
+    double ts = 0.0;
+    if (!require_string("kind", kind_name) || !require_string("name", e.name) ||
+        !require_number("ts_ns", ts)) {
+      continue;
+    }
+    e.ts_ns = static_cast<std::int64_t>(ts);
+    const auto kind = kind_from_name(kind_name);
+    if (!kind) {
+      error("unknown kind \"" + kind_name + "\"");
+      continue;
+    }
+    e.kind = *kind;
+    if (auto it = obj->strings.find("cat"); it != obj->strings.end()) {
+      e.category = it->second;
+    }
+    if (auto it = obj->strings.find("detail"); it != obj->strings.end()) {
+      e.detail = it->second;
+    }
+    if (auto it = obj->numbers.find("iter"); it != obj->numbers.end()) {
+      e.iteration = static_cast<std::int64_t>(it->second);
+    }
+
+    bool valid = true;
+    switch (e.kind) {
+      case EventKind::kSpanBegin: {
+        double id = 0.0;
+        valid = require_number("id", id);
+        if (valid) {
+          e.span_id = static_cast<std::uint64_t>(id);
+          if (e.span_id == 0) {
+            error("span id must be nonzero");
+            valid = false;
+          } else if (!open.emplace(e.span_id, std::pair{e.name, line_no})
+                          .second) {
+            error("span id " + std::to_string(e.span_id) +
+                  " opened twice");
+            valid = false;
+          }
+        }
+        break;
+      }
+      case EventKind::kSpanEnd: {
+        double id = 0.0;
+        double dur = 0.0;
+        valid = require_number("id", id) && require_number("dur_ns", dur);
+        if (valid) {
+          e.span_id = static_cast<std::uint64_t>(id);
+          e.dur_ns = static_cast<std::int64_t>(dur);
+          auto it = open.find(e.span_id);
+          if (it == open.end()) {
+            error("span_end id " + std::to_string(e.span_id) +
+                  " without a matching span_begin");
+            valid = false;
+          } else if (it->second.first != e.name) {
+            error("span_end name \"" + e.name + "\" does not match begin \"" +
+                  it->second.first + "\" (id " + std::to_string(e.span_id) +
+                  ")");
+            valid = false;
+          } else {
+            open.erase(it);
+          }
+        }
+        break;
+      }
+      case EventKind::kCounter:
+        valid = require_number("value", e.value);
+        break;
+      case EventKind::kSample: {
+        double iter = 0.0;
+        valid = require_number("value", e.value) &&
+                require_number("iter", iter);
+        if (valid) e.iteration = static_cast<std::int64_t>(iter);
+        break;
+      }
+      case EventKind::kLog:
+        break;
+    }
+    if (valid) result.events.push_back(std::move(e));
+  }
+
+  for (const auto& [id, info] : open) {
+    result.errors.push_back("span \"" + info.first + "\" (id " +
+                            std::to_string(id) + ", opened at line " +
+                            std::to_string(info.second) + ") never ends");
+  }
+  return result;
+}
+
+TraceParseResult read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    TraceParseResult result;
+    result.errors.push_back("cannot open trace file: " + path);
+    return result;
+  }
+  return read_trace(in);
+}
+
+}  // namespace spmm::telemetry

@@ -1,0 +1,66 @@
+// JSONL trace pipeline: serialize telemetry events one JSON object per
+// line, and parse + validate such traces back (the trace_report tool and
+// the round-trip tests share this reader).
+//
+// Schema (flat objects; field presence depends on "kind"):
+//   {"ts_ns":N,"kind":"span_begin","id":N,"name":S[,"cat":S][,"detail":S][,"iter":N]}
+//   {"ts_ns":N,"kind":"span_end","id":N,"name":S,"dur_ns":N}
+//   {"ts_ns":N,"kind":"counter","name":S,"value":X[,"cat":S]}
+//   {"ts_ns":N,"kind":"sample","name":S,"iter":N,"value":X}
+//   {"ts_ns":N,"kind":"log","name":S[,"detail":S]}
+// Every span_end must pair with an earlier span_begin of the same id and
+// name; a trace with unclosed spans is invalid.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace spmm::telemetry {
+
+/// Serialize one event as a single JSONL line (no trailing newline).
+[[nodiscard]] std::string event_to_jsonl(const Event& event);
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Sink writing one JSONL line per event to a stream or file.
+class JsonlSink final : public Sink {
+ public:
+  /// Open `path` for writing; throws spmm::Error when it cannot.
+  explicit JsonlSink(const std::string& path);
+  /// Write to a caller-owned stream (tests).
+  explicit JsonlSink(std::ostream& os);
+  ~JsonlSink() override;
+
+  void consume(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_ = nullptr;
+};
+
+/// Result of parsing a JSONL trace: the events plus every schema or
+/// span-pairing violation found (with 1-based line numbers).
+struct TraceParseResult {
+  std::vector<Event> events;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parse and validate a JSONL trace. Never throws on malformed input —
+/// problems are reported in `errors` so callers (trace_report, CI) can
+/// print all of them.
+[[nodiscard]] TraceParseResult read_trace(std::istream& in);
+
+/// Convenience: open `path` and read_trace it. A missing/unreadable file
+/// is reported as a parse error.
+[[nodiscard]] TraceParseResult read_trace_file(const std::string& path);
+
+}  // namespace spmm::telemetry

@@ -1,0 +1,48 @@
+#include "telemetry/options.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "telemetry/summary.hpp"
+
+namespace spmm::telemetry {
+
+void register_trace_options(ArgParser& parser) {
+  parser.add_string("trace", 0, "",
+                    "write a JSONL telemetry trace to this file");
+  parser.add_flag("perf-summary", 0,
+                  "print a per-phase/device telemetry summary at the end");
+}
+
+TraceSetup trace_setup_from_parser(const ArgParser& parser) {
+  TraceSetup setup;
+  setup.trace_path = parser.get_string("trace");
+  if (!setup.trace_path.empty()) {
+    setup.jsonl = std::make_shared<JsonlSink>(setup.trace_path);
+  }
+  if (parser.get_flag("perf-summary")) {
+    setup.memory = std::make_shared<MemorySink>();
+  }
+  if (setup.jsonl && setup.memory) {
+    setup.sink = std::make_shared<TeeSink>(
+        std::vector<std::shared_ptr<Sink>>{setup.jsonl, setup.memory});
+  } else if (setup.jsonl) {
+    setup.sink = setup.jsonl;
+  } else if (setup.memory) {
+    setup.sink = setup.memory;
+  }
+  return setup;
+}
+
+void TraceSetup::finish(std::ostream& os) {
+  if (jsonl) jsonl->flush();
+  if (memory) {
+    os << "\n--- telemetry summary ---\n";
+    print_summary(os, summarize_trace(memory->events()));
+  }
+  if (jsonl) {
+    os << "wrote telemetry trace to " << trace_path << "\n";
+  }
+}
+
+}  // namespace spmm::telemetry

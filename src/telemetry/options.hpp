@@ -1,0 +1,40 @@
+// Shared --trace / --perf-summary wiring for the driver, the study
+// binaries, and any tool that wants a trace pipeline: register the
+// options, build the sink stack from the parsed flags, and flush /
+// print the summary at the end of the run.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "support/cli.hpp"
+#include "telemetry/jsonl.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace spmm::telemetry {
+
+/// Register `--trace <file.jsonl>` and `--perf-summary` on `parser`.
+void register_trace_options(ArgParser& parser);
+
+/// The sink stack a tool run owns: a JSONL writer when --trace was
+/// given, a memory collector when --perf-summary was given, tee'd when
+/// both. `sink` is null when neither flag is set (telemetry disabled).
+struct TraceSetup {
+  std::shared_ptr<Sink> sink;
+  std::shared_ptr<JsonlSink> jsonl;
+  std::shared_ptr<MemorySink> memory;
+  std::string trace_path;
+
+  [[nodiscard]] bool enabled() const { return sink != nullptr; }
+
+  /// Flush the trace file and, when --perf-summary was requested, print
+  /// the aggregated per-phase/device breakdown to `os`.
+  void finish(std::ostream& os);
+};
+
+/// Build the sink stack from a parsed ArgParser carrying the
+/// register_trace_options() flags.
+[[nodiscard]] TraceSetup trace_setup_from_parser(const ArgParser& parser);
+
+}  // namespace spmm::telemetry

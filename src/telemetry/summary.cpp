@@ -1,0 +1,117 @@
+#include "telemetry/summary.hpp"
+
+#include <algorithm>
+
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace spmm::telemetry {
+
+TraceSummary summarize_trace(std::span<const Event> events,
+                             std::size_t top_n) {
+  TraceSummary summary;
+  summary.events = events.size();
+
+  // Begin events by id, so span_end can recover detail/iteration.
+  std::map<std::uint64_t, const Event*> begins;
+  std::map<std::string, PhaseStat> phases;
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kSpanBegin:
+        begins[e.span_id] = &e;
+        break;
+      case EventKind::kSpanEnd: {
+        ++summary.completed_spans;
+        PhaseStat& p = phases[e.name];
+        p.name = e.name;
+        ++p.count;
+        p.total_ns += e.dur_ns;
+        p.max_ns = std::max(p.max_ns, e.dur_ns);
+
+        SpanRecord record;
+        record.name = e.name;
+        record.dur_ns = e.dur_ns;
+        if (auto it = begins.find(e.span_id); it != begins.end()) {
+          record.detail = it->second->detail;
+          record.ts_ns = it->second->ts_ns;
+          record.iteration = it->second->iteration;
+          begins.erase(it);
+        }
+        summary.slowest.push_back(std::move(record));
+        break;
+      }
+      case EventKind::kCounter:
+        summary.counter_totals[e.name] += e.value;
+        break;
+      case EventKind::kSample:
+        ++summary.samples;
+        break;
+      case EventKind::kLog:
+        ++summary.logs;
+        break;
+    }
+  }
+
+  for (auto& [name, stat] : phases) summary.phases.push_back(stat);
+  std::sort(summary.phases.begin(), summary.phases.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              return a.total_ns > b.total_ns;
+            });
+
+  std::sort(summary.slowest.begin(), summary.slowest.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.dur_ns > b.dur_ns;
+            });
+  if (summary.slowest.size() > top_n) summary.slowest.resize(top_n);
+  return summary;
+}
+
+void print_summary(std::ostream& os, const TraceSummary& summary) {
+  os << "trace: " << summary.events << " events, "
+     << summary.completed_spans << " spans, " << summary.samples
+     << " samples, " << summary.logs << " log lines\n";
+
+  if (!summary.phases.empty()) {
+    std::int64_t grand_total = 0;
+    for (const PhaseStat& p : summary.phases) grand_total += p.total_ns;
+    os << "\nper-phase time breakdown:\n";
+    TextTable table({"phase", "count", "total ms", "share %", "max ms"});
+    for (const PhaseStat& p : summary.phases) {
+      table.add(p.name)
+          .add(static_cast<double>(p.count), 0)
+          .add(static_cast<double>(p.total_ns) / 1e6, 3)
+          .add(grand_total > 0 ? 100.0 * static_cast<double>(p.total_ns) /
+                                     static_cast<double>(grand_total)
+                               : 0.0,
+               1)
+          .add(static_cast<double>(p.max_ns) / 1e6, 3);
+      table.end_row();
+    }
+    table.print(os);
+  }
+
+  bool any_dev = false;
+  for (const auto& [name, total] : summary.counter_totals) {
+    if (name.rfind("dev.", 0) == 0) {
+      if (!any_dev) {
+        os << "\ndevice traffic totals:\n";
+        any_dev = true;
+      }
+      os << "  " << name << ": " << format_double(total, 0) << "\n";
+    }
+  }
+
+  if (!summary.slowest.empty()) {
+    os << "\nslowest spans:\n";
+    for (const SpanRecord& s : summary.slowest) {
+      os << "  " << s.name;
+      if (!s.detail.empty()) os << " [" << s.detail << "]";
+      if (s.iteration >= 0) os << " iter=" << s.iteration;
+      os << ": " << format_double(static_cast<double>(s.dur_ns) / 1e6, 3)
+         << " ms\n";
+    }
+  }
+}
+
+}  // namespace spmm::telemetry

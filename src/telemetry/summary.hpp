@@ -1,0 +1,58 @@
+// Trace aggregation: the per-phase time breakdown, device-traffic
+// totals, and slowest-span list that trace_report prints and
+// --perf-summary shows at process exit. Works over in-memory events, so
+// the live path (MemorySink) and the offline path (read_trace) share
+// one implementation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace spmm::telemetry {
+
+/// Aggregate of all spans sharing one name (a "phase": format, warmup,
+/// iteration, verify, run, ...).
+struct PhaseStat {
+  std::string name;
+  std::size_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+/// One finished span, kept for the slowest-spans list.
+struct SpanRecord {
+  std::string name;
+  std::string detail;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::int64_t iteration = -1;
+};
+
+struct TraceSummary {
+  /// Phases sorted by total time, descending.
+  std::vector<PhaseStat> phases;
+  /// Counter totals by name (e.g. dev.h2d_bytes -> total bytes).
+  std::map<std::string, double> counter_totals;
+  /// The slowest completed spans, longest first.
+  std::vector<SpanRecord> slowest;
+  std::size_t events = 0;
+  std::size_t completed_spans = 0;
+  std::size_t samples = 0;
+  std::size_t logs = 0;
+};
+
+/// Aggregate a validated event stream (span_end events carry the
+/// durations; begins supply detail/iteration for the slowest list).
+[[nodiscard]] TraceSummary summarize_trace(std::span<const Event> events,
+                                           std::size_t top_n = 10);
+
+/// Human-readable report: phase table, device traffic, slowest spans.
+void print_summary(std::ostream& os, const TraceSummary& summary);
+
+}  // namespace spmm::telemetry

@@ -1,0 +1,163 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace spmm::telemetry {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kCounter: return "counter";
+    case EventKind::kSample: return "sample";
+    case EventKind::kLog: return "log";
+  }
+  return "unknown";
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+Sink::~Sink() = default;
+
+void MemorySink::consume(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<Event> MemorySink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t MemorySink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void MemorySink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+TeeSink::TeeSink(std::vector<std::shared_ptr<Sink>> children)
+    : children_(std::move(children)) {}
+
+void TeeSink::consume(const Event& event) {
+  for (const auto& child : children_) child->consume(event);
+}
+
+void TeeSink::flush() {
+  for (const auto& child : children_) child->flush();
+}
+
+std::uint64_t Session::begin_span(std::string_view name,
+                                  std::string_view category,
+                                  std::string_view detail,
+                                  std::int64_t iteration) {
+  if (!sink_) return 0;
+  Event e;
+  e.kind = EventKind::kSpanBegin;
+  e.ts_ns = now_ns();
+  e.span_id = next_span_id();
+  e.iteration = iteration;
+  e.name = name;
+  e.category = category;
+  e.detail = detail;
+  sink_->consume(e);
+  return e.span_id;
+}
+
+void Session::end_span(std::uint64_t id, std::string_view name,
+                       std::int64_t begin_ns) {
+  if (!sink_ || id == 0) return;
+  Event e;
+  e.kind = EventKind::kSpanEnd;
+  e.ts_ns = now_ns();
+  e.span_id = id;
+  e.dur_ns = e.ts_ns - begin_ns;
+  e.name = name;
+  sink_->consume(e);
+}
+
+void Session::counter(std::string_view name, double value,
+                      std::string_view category) {
+  if (!sink_) return;
+  Event e;
+  e.kind = EventKind::kCounter;
+  e.ts_ns = now_ns();
+  e.value = value;
+  e.name = name;
+  e.category = category;
+  sink_->consume(e);
+}
+
+void Session::sample(std::string_view name, std::int64_t iteration,
+                     double value) {
+  if (!sink_) return;
+  Event e;
+  e.kind = EventKind::kSample;
+  e.ts_ns = now_ns();
+  e.iteration = iteration;
+  e.value = value;
+  e.name = name;
+  sink_->consume(e);
+}
+
+void Session::log(std::string_view name, std::string_view message) {
+  if (!sink_) return;
+  Event e;
+  e.kind = EventKind::kLog;
+  e.ts_ns = now_ns();
+  e.name = name;
+  e.detail = message;
+  sink_->consume(e);
+}
+
+void Session::debug_line(std::string_view message) {
+  if (sink_) {
+    log("debug", message);
+  } else {
+    std::fprintf(stderr, "%.*s\n", static_cast<int>(message.size()),
+                 message.data());
+  }
+}
+
+void Session::flush() {
+  if (sink_) sink_->flush();
+}
+
+ScopedSpan::ScopedSpan(Session& session, std::string_view name,
+                       std::string_view category, std::string_view detail,
+                       std::int64_t iteration) {
+  if (!session.enabled()) return;
+  session_ = &session;
+  name_ = name;
+  begin_ns_ = now_ns();
+  id_ = session.begin_span(name, category, detail, iteration);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (session_ != nullptr) session_->end_span(id_, name_, begin_ns_);
+}
+
+}  // namespace spmm::telemetry

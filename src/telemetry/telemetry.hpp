@@ -1,0 +1,169 @@
+// spmm::telemetry — the observability layer (phase spans, counters,
+// per-iteration samples, pluggable sinks).
+//
+// The paper's suite reports only the average multiply time per run
+// (§4.3), so every anomaly it discusses — ELL padding blowups, BCSR fill
+// overhead, Study 7's device out-of-memory dropouts — is invisible until
+// it distorts a final MFLOPS number. This module gives every layer of
+// the stack one instrumentation point: RAII scoped spans with monotonic
+// timestamps, named counters, per-iteration samples, and a Sink
+// interface with a JSONL trace writer (jsonl.hpp) and an in-memory
+// collector.
+//
+// Cost model: telemetry is OFF by default. A default-constructed Session
+// has no sink; every emit call is a branch on a null pointer and
+// nothing else — no clock reads, no allocation, no formatting. The
+// benchmark iteration loop therefore times identically with telemetry
+// disabled (the tier-1 guarantee). All string building happens only on
+// the enabled path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spmm::telemetry {
+
+/// Trace event kinds. Span begin/end pairs share a process-unique id;
+/// counters are named deltas; samples carry an iteration index; logs
+/// carry free-form text (the benchmark debug lines route here so debug
+/// output and traces cannot interleave).
+enum class EventKind { kSpanBegin, kSpanEnd, kCounter, kSample, kLog };
+
+[[nodiscard]] std::string_view event_kind_name(EventKind kind);
+
+/// One telemetry event. Which fields are meaningful depends on `kind`:
+///   span_begin: ts_ns, span_id, name, category, detail, iteration(opt)
+///   span_end:   ts_ns, span_id, name, dur_ns
+///   counter:    ts_ns, name, value, category
+///   sample:     ts_ns, name, iteration, value
+///   log:        ts_ns, name, detail
+struct Event {
+  EventKind kind = EventKind::kLog;
+  /// Monotonic nanoseconds since the process telemetry epoch.
+  std::int64_t ts_ns = 0;
+  /// Span pairing id (span_begin/span_end only; 0 elsewhere).
+  std::uint64_t span_id = 0;
+  /// Span duration (span_end only).
+  std::int64_t dur_ns = 0;
+  /// Iteration index for samples / iteration spans; -1 = not applicable.
+  std::int64_t iteration = -1;
+  /// Counter / sample value.
+  double value = 0.0;
+  std::string name;
+  std::string category;
+  std::string detail;
+};
+
+/// Monotonic nanoseconds since the process-wide telemetry epoch (first
+/// use). steady_clock based: safe against wall-clock adjustment.
+[[nodiscard]] std::int64_t now_ns();
+
+/// Pluggable event consumer. Implementations must tolerate being called
+/// from the thread that runs the benchmark loop; the shipped sinks
+/// serialize internally.
+class Sink {
+ public:
+  virtual ~Sink();
+  virtual void consume(const Event& event) = 0;
+  /// Push buffered events to their destination (file sinks).
+  virtual void flush() {}
+};
+
+/// In-memory collector: keeps every event for later aggregation
+/// (--perf-summary) or assertions in tests.
+class MemorySink final : public Sink {
+ public:
+  void consume(const Event& event) override;
+
+  /// Snapshot of the events collected so far.
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// Fan-out sink: forwards every event to each child (e.g. JSONL trace
+/// file + in-memory summary collector in the same run).
+class TeeSink final : public Sink {
+ public:
+  explicit TeeSink(std::vector<std::shared_ptr<Sink>> children);
+  void consume(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::vector<std::shared_ptr<Sink>> children_;
+};
+
+/// A lightweight handle to a sink plus the emit API. Copyable (shares
+/// the sink); a default-constructed Session is disabled and every emit
+/// is a no-op branch.
+class Session {
+ public:
+  Session() = default;
+  explicit Session(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] const std::shared_ptr<Sink>& sink() const { return sink_; }
+
+  /// Open a span. Returns the pairing id (0 when disabled — end_span
+  /// ignores id 0, so manual begin/end code needs no enabled() check).
+  std::uint64_t begin_span(std::string_view name,
+                           std::string_view category = {},
+                           std::string_view detail = {},
+                           std::int64_t iteration = -1);
+
+  /// Close a span opened at `begin_ns` (as returned by now_ns() just
+  /// before begin_span). No-op for id 0.
+  void end_span(std::uint64_t id, std::string_view name,
+                std::int64_t begin_ns);
+
+  /// Record a named counter increment (bytes moved, launches, ...).
+  void counter(std::string_view name, double value,
+               std::string_view category = {});
+
+  /// Record one per-iteration sample (e.g. a timed iteration's seconds).
+  void sample(std::string_view name, std::int64_t iteration, double value);
+
+  /// Free-form log line into the trace. Dropped when disabled.
+  void log(std::string_view name, std::string_view message);
+
+  /// Diagnostic line with a guaranteed destination: into the sink when
+  /// one is attached (so traces and debug output cannot interleave),
+  /// otherwise to stderr — the pre-telemetry behaviour of the
+  /// benchmark's --debug output.
+  void debug_line(std::string_view message);
+
+  void flush();
+
+ private:
+  std::shared_ptr<Sink> sink_;
+};
+
+/// RAII span: opens on construction, closes (with duration) on
+/// destruction. Zero work when the session is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(Session& session, std::string_view name,
+             std::string_view category = {}, std::string_view detail = {},
+             std::int64_t iteration = -1);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Session* session_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::int64_t begin_ns_ = 0;
+  std::string name_;
+};
+
+}  // namespace spmm::telemetry

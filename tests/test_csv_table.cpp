@@ -1,8 +1,10 @@
 // Tests for the CSV writer and ASCII table renderer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
+#include "core/report.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
@@ -61,6 +63,32 @@ TEST(TextTable, ArityEnforced) {
   EXPECT_THROW(t.end_row(), Error);
   t.add("2");
   EXPECT_THROW(t.add("3"), Error);
+}
+
+// Pins the benchmark CSV header. plot_results.py (and any spreadsheet a
+// user built on top of the CSV) reads columns by name and position: the
+// original 26 columns must keep their exact order, and new columns may
+// only ever be appended at the end. If this test fails, you reordered or
+// renamed a column — append instead.
+TEST(BenchCsv, HeaderIsPinned) {
+  std::ostringstream os;
+  bench::write_csv(os, {bench::BenchResult{}});
+  const std::string out = os.str();
+  const std::string header = out.substr(0, out.find('\n'));
+  EXPECT_EQ(header,
+            "matrix,kernel,variant,threads,k,block_size,iterations,"
+            "mflops,gflops,avg_seconds,min_seconds,format_seconds,"
+            "format_cached,total_seconds,flops,format_bytes,verified,"
+            "max_abs_error,rows,cols,nnz,max_row_nnz,avg_row_nnz,"
+            "column_ratio,row_variance,row_stddev,"
+            // Appended by the telemetry PR — distribution + device traffic.
+            "p50_seconds,p95_seconds,max_seconds,stddev_seconds,"
+            "warmup_drift,outliers,h2d_bytes,d2h_bytes,device_peak_bytes");
+  // One data row with matching arity must follow.
+  EXPECT_NE(out.find('\n'), std::string::npos);
+  const std::string row = out.substr(out.find('\n') + 1);
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','),
+            std::count(header.begin(), header.end(), ','));
 }
 
 TEST(TextTable, CountsRows) {

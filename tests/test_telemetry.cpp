@@ -1,0 +1,420 @@
+// Tests for the telemetry subsystem: sessions/spans/sinks, the JSONL
+// round trip and its schema/pairing validation, trace summarization, the
+// benchmark integration (spans, samples, distribution stats, device
+// counters, debug routing), and the zero-overhead disabled path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "core/runner.hpp"
+#include "support/stats.hpp"
+#include "telemetry/jsonl.hpp"
+#include "telemetry/options.hpp"
+#include "telemetry/summary.hpp"
+#include "telemetry/telemetry.hpp"
+#include "test_util.hpp"
+
+namespace spmm::telemetry {
+namespace {
+
+using testutil::CooD;
+
+BenchParams fast_params(int k = 8) {
+  BenchParams p;
+  p.iterations = 3;
+  p.warmup = 1;
+  p.threads = 2;
+  p.k = k;
+  return p;
+}
+
+std::size_t count_spans(const std::vector<Event>& events,
+                        const std::string& name) {
+  std::size_t n = 0;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kSpanEnd && e.name == name) ++n;
+  }
+  return n;
+}
+
+TEST(Session, DisabledSessionIsInert) {
+  Session s;
+  EXPECT_FALSE(s.enabled());
+  EXPECT_EQ(s.begin_span("x"), 0u);
+  s.end_span(0, "x", 0);  // id 0 must be ignored
+  s.counter("c", 1.0);
+  s.sample("s", 0, 1.0);
+  s.log("l", "msg");
+  s.flush();
+}
+
+TEST(Session, ScopedSpanEmitsPairedBeginEnd) {
+  auto mem = std::make_shared<MemorySink>();
+  Session s(mem);
+  {
+    ScopedSpan span(s, "phase", "cat", "detail", 3);
+  }
+  const auto events = mem->events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kSpanBegin);
+  EXPECT_EQ(events[1].kind, EventKind::kSpanEnd);
+  EXPECT_EQ(events[0].name, "phase");
+  EXPECT_EQ(events[1].name, "phase");
+  EXPECT_EQ(events[0].category, "cat");
+  EXPECT_EQ(events[0].detail, "detail");
+  EXPECT_EQ(events[0].iteration, 3);
+  EXPECT_NE(events[0].span_id, 0u);
+  EXPECT_EQ(events[0].span_id, events[1].span_id);
+  EXPECT_GE(events[1].dur_ns, 0);
+  EXPECT_GE(events[1].ts_ns, events[0].ts_ns);
+}
+
+TEST(Session, SpanIdsAreUnique) {
+  auto mem = std::make_shared<MemorySink>();
+  Session s(mem);
+  const std::uint64_t a = s.begin_span("a");
+  const std::uint64_t b = s.begin_span("b");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Session, TeeFansOutToAllChildren) {
+  auto m1 = std::make_shared<MemorySink>();
+  auto m2 = std::make_shared<MemorySink>();
+  Session s(std::make_shared<TeeSink>(
+      std::vector<std::shared_ptr<Sink>>{m1, m2}));
+  s.counter("c", 2.0, "cat");
+  EXPECT_EQ(m1->size(), 1u);
+  EXPECT_EQ(m2->size(), 1u);
+  EXPECT_EQ(m1->events()[0].value, 2.0);
+}
+
+TEST(Jsonl, RoundTripPreservesEveryKind) {
+  std::ostringstream os;
+  {
+    JsonlSink sink(os);
+    Session s(std::shared_ptr<Sink>(&sink, [](Sink*) {}));
+    const std::int64_t t0 = now_ns();
+    const std::uint64_t id = s.begin_span("format", "bench", "CSR", -1);
+    s.counter("dev.h2d_bytes", 4096.0, "dev");
+    s.sample("iteration_seconds", 2, 0.125);
+    s.log("debug", "a \"quoted\" line\nwith newline");
+    s.end_span(id, "format", t0);
+    sink.flush();
+  }
+  std::istringstream in(os.str());
+  const TraceParseResult trace = read_trace(in);
+  ASSERT_TRUE(trace.ok()) << (trace.errors.empty() ? "" : trace.errors[0]);
+  ASSERT_EQ(trace.events.size(), 5u);
+
+  const Event& begin = trace.events[0];
+  EXPECT_EQ(begin.kind, EventKind::kSpanBegin);
+  EXPECT_EQ(begin.name, "format");
+  EXPECT_EQ(begin.category, "bench");
+  EXPECT_EQ(begin.detail, "CSR");
+
+  const Event& counter = trace.events[1];
+  EXPECT_EQ(counter.kind, EventKind::kCounter);
+  EXPECT_EQ(counter.name, "dev.h2d_bytes");
+  EXPECT_DOUBLE_EQ(counter.value, 4096.0);
+  EXPECT_EQ(counter.category, "dev");
+
+  const Event& sample = trace.events[2];
+  EXPECT_EQ(sample.kind, EventKind::kSample);
+  EXPECT_EQ(sample.iteration, 2);
+  EXPECT_DOUBLE_EQ(sample.value, 0.125);
+
+  const Event& log = trace.events[3];
+  EXPECT_EQ(log.kind, EventKind::kLog);
+  EXPECT_EQ(log.detail, "a \"quoted\" line\nwith newline");
+
+  const Event& end = trace.events[4];
+  EXPECT_EQ(end.kind, EventKind::kSpanEnd);
+  EXPECT_EQ(end.span_id, begin.span_id);
+  EXPECT_GE(end.dur_ns, 0);
+}
+
+TEST(Jsonl, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+}
+
+TEST(Jsonl, DetectsUnpairedAndMalformedSpans) {
+  // End without begin.
+  {
+    std::istringstream in(
+        R"({"ts_ns":1,"kind":"span_end","id":7,"name":"x","dur_ns":1})"
+        "\n");
+    EXPECT_FALSE(read_trace(in).ok());
+  }
+  // Begin without end (unclosed at EOF).
+  {
+    std::istringstream in(
+        R"({"ts_ns":1,"kind":"span_begin","id":7,"name":"x"})"
+        "\n");
+    EXPECT_FALSE(read_trace(in).ok());
+  }
+  // Name mismatch between begin and end of the same id.
+  {
+    std::istringstream in(
+        R"({"ts_ns":1,"kind":"span_begin","id":7,"name":"x"})"
+        "\n"
+        R"({"ts_ns":2,"kind":"span_end","id":7,"name":"y","dur_ns":1})"
+        "\n");
+    EXPECT_FALSE(read_trace(in).ok());
+  }
+  // Malformed JSON and unknown kind.
+  {
+    std::istringstream in(
+        "not json at all\n"
+        R"({"ts_ns":1,"kind":"mystery","name":"x"})"
+        "\n");
+    const TraceParseResult r = read_trace(in);
+    EXPECT_EQ(r.errors.size(), 2u);
+  }
+  // A valid paired trace passes.
+  {
+    std::istringstream in(
+        R"({"ts_ns":1,"kind":"span_begin","id":7,"name":"x"})"
+        "\n"
+        R"({"ts_ns":2,"kind":"span_end","id":7,"name":"x","dur_ns":1})"
+        "\n");
+    EXPECT_TRUE(read_trace(in).ok());
+  }
+}
+
+TEST(Stats, PercentileInterpolatesBetweenOrderStatistics) {
+  const std::vector<double> s = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.95), 3.85);
+  const std::vector<double> empty;
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.95), 7.0);
+}
+
+TEST(Summarize, AggregatesPhasesCountersAndSlowest) {
+  auto mem = std::make_shared<MemorySink>();
+  Session s(mem);
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span(s, "iteration", "bench", "", i);
+  }
+  {
+    ScopedSpan span(s, "format", "bench");
+  }
+  s.counter("dev.h2d_bytes", 100.0, "dev");
+  s.counter("dev.h2d_bytes", 50.0, "dev");
+  s.sample("iteration_seconds", 0, 0.5);
+  s.log("debug", "x");
+
+  const TraceSummary sum = summarize_trace(mem->events(), 2);
+  ASSERT_EQ(sum.phases.size(), 2u);
+  EXPECT_EQ(sum.completed_spans, 4u);
+  EXPECT_EQ(sum.samples, 1u);
+  EXPECT_EQ(sum.logs, 1u);
+  EXPECT_DOUBLE_EQ(sum.counter_totals.at("dev.h2d_bytes"), 150.0);
+  EXPECT_LE(sum.slowest.size(), 2u);
+  std::size_t iteration_count = 0;
+  for (const PhaseStat& p : sum.phases) {
+    if (p.name == "iteration") iteration_count = p.count;
+    EXPECT_GE(p.total_ns, p.max_ns);
+  }
+  EXPECT_EQ(iteration_count, 3u);
+}
+
+TEST(Benchmark, EmitsSpansForEveryPhase) {
+  const CooD m = testutil::random_coo(50, 50, 4.0, 31);
+  auto mem = std::make_shared<MemorySink>();
+  BenchParams p = fast_params();
+  p.sink = mem;
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "tele");
+  EXPECT_TRUE(r.verified);
+
+  const auto events = mem->events();
+  EXPECT_EQ(count_spans(events, "setup"), 1u);
+  EXPECT_EQ(count_spans(events, "format"), 1u);
+  EXPECT_EQ(count_spans(events, "run"), 1u);
+  EXPECT_EQ(count_spans(events, "warmup"), 1u);
+  EXPECT_EQ(count_spans(events, "iteration"),
+            static_cast<std::size_t>(p.iterations));
+  EXPECT_EQ(count_spans(events, "verify"), 1u);
+
+  // Per-iteration samples with ascending indices.
+  std::size_t samples = 0;
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kSample) continue;
+    EXPECT_EQ(e.name, "iteration_seconds");
+    EXPECT_EQ(e.iteration, static_cast<std::int64_t>(samples));
+    EXPECT_GT(e.value, 0.0);
+    ++samples;
+  }
+  EXPECT_EQ(samples, static_cast<std::size_t>(p.iterations));
+
+  // Every span in the stream pairs up (the JSONL validator agrees).
+  std::ostringstream os;
+  JsonlSink jsonl(os);
+  for (const Event& e : events) jsonl.consume(e);
+  jsonl.flush();
+  std::istringstream in(os.str());
+  const TraceParseResult trace = read_trace(in);
+  EXPECT_TRUE(trace.ok()) << (trace.errors.empty() ? "" : trace.errors[0]);
+  EXPECT_EQ(trace.events.size(), events.size());
+}
+
+TEST(Benchmark, DistributionStatsMatchHandComputedValues) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 32);
+  BenchParams p = fast_params();
+  p.iterations = 5;
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "dist");
+
+  ASSERT_EQ(r.iteration_seconds.size(), 5u);
+  const Summary s = summarize(r.iteration_seconds);
+  EXPECT_EQ(r.min_compute_seconds, s.min);
+  EXPECT_EQ(r.max_compute_seconds, s.max);
+  EXPECT_EQ(r.p50_compute_seconds, s.median);
+  EXPECT_EQ(r.stddev_compute_seconds, s.stddev);
+  EXPECT_EQ(r.p95_compute_seconds, percentile(r.iteration_seconds, 0.95));
+  EXPECT_GE(r.p95_compute_seconds, r.p50_compute_seconds);
+  EXPECT_LE(r.p95_compute_seconds, r.max_compute_seconds);
+  // avg is the unchanged left-to-right mean of the recorded samples.
+  double sum = 0.0;
+  for (double x : r.iteration_seconds) sum += x;
+  EXPECT_EQ(r.avg_compute_seconds, sum / 5);
+  EXPECT_GE(r.outlier_count, 0);
+}
+
+// The tier-1 guarantee: with no sink attached, the run loop takes the
+// zero-overhead path and the published timing fields are exactly the
+// aggregates of the recorded per-iteration samples (same fold order, no
+// extra work between Timer reads).
+TEST(Benchmark, DisabledTelemetryKeepsTimingFieldsConsistent) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 33);
+  BenchParams p = fast_params();
+  ASSERT_EQ(p.sink, nullptr);
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCoo, Variant::kSerial, m, p, "plain");
+  ASSERT_EQ(r.iteration_seconds.size(),
+            static_cast<std::size_t>(p.iterations));
+  double sum = 0.0;
+  double best = r.iteration_seconds[0];
+  for (std::size_t i = 0; i < r.iteration_seconds.size(); ++i) {
+    sum += r.iteration_seconds[i];
+    if (i > 0) best = std::min(best, r.iteration_seconds[i]);
+  }
+  EXPECT_EQ(r.avg_compute_seconds, sum / p.iterations);
+  EXPECT_EQ(r.min_compute_seconds, best);
+  EXPECT_TRUE(std::isfinite(r.mflops));
+}
+
+TEST(Benchmark, DeviceRunEmitsTrafficCountersAndByteFields) {
+  const CooD m = testutil::random_coo(80, 80, 5.0, 34);
+  auto mem = std::make_shared<MemorySink>();
+  BenchParams p = fast_params();
+  p.sink = mem;
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kDevice, m, p, "dev");
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.h2d_bytes, 0u);
+  EXPECT_GT(r.d2h_bytes, 0u);
+  EXPECT_GT(r.device_peak_bytes, 0u);
+
+  double alloc = 0.0, h2d = 0.0, d2h = 0.0;
+  for (const Event& e : mem->events()) {
+    if (e.kind != EventKind::kCounter) continue;
+    if (e.name == "dev.alloc_bytes") alloc += e.value;
+    if (e.name == "dev.h2d_bytes") h2d += e.value;
+    if (e.name == "dev.d2h_bytes") d2h += e.value;
+  }
+  EXPECT_GT(alloc, 0.0);
+  EXPECT_GT(h2d, 0.0);
+  EXPECT_GT(d2h, 0.0);
+}
+
+TEST(Benchmark, CpuRunReportsNoDeviceTraffic) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 35);
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, fast_params(), "cpu");
+  EXPECT_EQ(r.h2d_bytes, 0u);
+  EXPECT_EQ(r.d2h_bytes, 0u);
+}
+
+// Satellite: with a sink attached, --debug output goes into the trace as
+// log events — nothing is written to stderr, so debug diagnostics can
+// never interleave with (or corrupt) a redirected trace.
+TEST(Benchmark, DebugRoutesToSinkInsteadOfStderr) {
+  const CooD m = testutil::random_coo(20, 20, 3.0, 36);
+  auto mem = std::make_shared<MemorySink>();
+  BenchParams p = fast_params();
+  p.debug = true;
+  p.iterations = 2;
+  p.sink = mem;
+  testing::internal::CaptureStderr();
+  bench::run_benchmark<double, std::int32_t>(Format::kCoo, Variant::kSerial,
+                                             m, p, "dbg");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  std::size_t debug_logs = 0;
+  for (const Event& e : mem->events()) {
+    if (e.kind == EventKind::kLog && e.name == "debug") {
+      EXPECT_NE(e.detail.find("iteration"), std::string::npos);
+      ++debug_logs;
+    }
+  }
+  EXPECT_EQ(debug_logs, 2u);
+}
+
+// Satellite: the rate guard — an empty matrix yields zero FLOPs and the
+// rates must come out finite (0), never inf/NaN.
+TEST(Benchmark, DegenerateRunProducesFiniteRates) {
+  const CooD empty(8, 8);
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, empty, fast_params(), "empty");
+  EXPECT_TRUE(std::isfinite(r.mflops));
+  EXPECT_TRUE(std::isfinite(r.gflops));
+  EXPECT_TRUE(std::isfinite(r.flops_per_second));
+}
+
+TEST(Options, TraceSetupBuildsSinkStackAndWritesFile) {
+  const std::string path = testing::TempDir() + "tel_options_trace.jsonl";
+  ArgParser parser("test");
+  register_trace_options(parser);
+  const char* argv[] = {"prog", "--trace", path.c_str(), "--perf-summary"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  TraceSetup setup = trace_setup_from_parser(parser);
+  ASSERT_TRUE(setup.enabled());
+  ASSERT_NE(setup.jsonl, nullptr);
+  ASSERT_NE(setup.memory, nullptr);
+
+  Session s(setup.sink);
+  {
+    ScopedSpan span(s, "format", "bench");
+  }
+  std::ostringstream os;
+  setup.finish(os);
+  EXPECT_NE(os.str().find("format"), std::string::npos);
+  EXPECT_NE(os.str().find(path), std::string::npos);
+
+  const TraceParseResult trace = read_trace_file(path);
+  EXPECT_TRUE(trace.ok()) << (trace.errors.empty() ? "" : trace.errors[0]);
+  EXPECT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(setup.memory->size(), 2u);
+}
+
+TEST(Options, NoFlagsMeansDisabled) {
+  ArgParser parser("test");
+  register_trace_options(parser);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  const TraceSetup setup = trace_setup_from_parser(parser);
+  EXPECT_FALSE(setup.enabled());
+  EXPECT_EQ(setup.sink, nullptr);
+}
+
+}  // namespace
+}  // namespace spmm::telemetry

@@ -15,6 +15,7 @@
 #include "gen/suite.hpp"
 #include "io/matrix_market.hpp"
 #include "support/string_util.hpp"
+#include "telemetry/options.hpp"
 
 using namespace spmm;
 
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
     ArgParser parser(
         "spmm-bench driver: run any matrix x format x variant combination");
     BenchParams::register_options(parser);
+    telemetry::register_trace_options(parser);
     parser.add_string("matrix", 'm', "cant",
                       "suite matrix name (see --list)");
     parser.add_string("file", 'f', "", "Matrix Market file (overrides --matrix)");
@@ -88,7 +90,9 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const BenchParams params = BenchParams::from_parser(parser);
+    BenchParams params = BenchParams::from_parser(parser);
+    telemetry::TraceSetup trace = telemetry::trace_setup_from_parser(parser);
+    params.sink = trace.sink;
     Coo<double, std::int32_t> matrix;
     std::string name;
     if (!parser.get_string("file").empty()) {
@@ -144,6 +148,7 @@ int main(int argc, char** argv) {
       std::cout << "\nwrote " << results.size() << " rows to "
                 << parser.get_string("csv") << "\n";
     }
+    trace.finish(std::cout);
     return 0;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";

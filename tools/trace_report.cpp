@@ -1,0 +1,49 @@
+// Summarize a JSONL telemetry trace written with --trace: per-phase time
+// breakdown, device-traffic totals, and the slowest spans. Validates the
+// schema and span begin/end pairing first and exits nonzero on any
+// violation, so CI can gate on trace integrity.
+//
+//   spmm_bench_cli --matrix cant --format csr --trace run.jsonl
+//   trace_report run.jsonl --top 5
+#include <iostream>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "telemetry/jsonl.hpp"
+#include "telemetry/summary.hpp"
+
+using namespace spmm;
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser parser(
+        "trace_report: validate and summarize a spmm-bench JSONL trace");
+    parser.add_int("top", 0, 10, "number of slowest spans to list");
+    if (!parser.parse(argc, argv)) return 0;
+    SPMM_CHECK(parser.positional().size() == 1,
+               "expected exactly one trace file argument");
+    const std::string& path = parser.positional().front();
+    const std::int64_t top = parser.get_int("top");
+    SPMM_CHECK(top >= 0, "--top must be non-negative");
+
+    const telemetry::TraceParseResult trace =
+        telemetry::read_trace_file(path);
+    if (!trace.ok()) {
+      std::cerr << path << ": " << trace.errors.size()
+                << " schema/pairing error(s):\n";
+      for (const std::string& e : trace.errors) {
+        std::cerr << "  " << e << "\n";
+      }
+      return 1;
+    }
+
+    std::cout << path << ": valid trace\n";
+    telemetry::print_summary(
+        std::cout, telemetry::summarize_trace(
+                       trace.events, static_cast<std::size_t>(top)));
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,120 @@
+// spmm::audit — umbrella header plus the conversion-path auditor.
+//
+// `audit_conversions()` is the analyzer's end-to-end driver: starting
+// from a canonical COO matrix it runs every COO → format → COO path,
+// audits the intermediate structure with the rules in rules.hpp, and
+// checks the round trip reproduces the input exactly
+// (convert.roundtrip.identity). The spmm_audit CLI and the fuzz tests
+// both call it; the per-format audit() overloads remain available for
+// targeted checks (e.g. SpmmBenchmark --audit).
+#pragma once
+
+#include <string>
+
+#include "audit/diagnostics.hpp"
+#include "audit/rules.hpp"
+#include "formats/convert.hpp"
+
+namespace spmm::audit {
+
+/// Conversion parameters for the formats that take them; defaults match
+/// the benchmark suite (BenchParams.block_size = 4, BELL groups of
+/// block_size*8 rows, SELL-32-256, CSR5 tiles of 256).
+struct ConvertParams {
+  int block_size = 4;
+  int bell_group = 32;
+  int sellc_chunk = 32;
+  int sellc_sigma = 256;
+  int csr5_tile = 256;
+};
+
+namespace detail {
+
+/// Compare a round-tripped COO against the original, reporting
+/// convert.roundtrip.identity findings tagged with `object`.
+template <ValueType V, IndexType I>
+void check_roundtrip(const Coo<V, I>& original, const Coo<V, I>& back,
+                     AuditReport& report, std::string_view object) {
+  if (back.rows() != original.rows() || back.cols() != original.cols()) {
+    report.add("convert.roundtrip.identity", object, {},
+               "shape changed: " + std::to_string(original.rows()) + "x" +
+                   std::to_string(original.cols()) + " -> " +
+                   std::to_string(back.rows()) + "x" +
+                   std::to_string(back.cols()));
+    return;
+  }
+  if (back.nnz() != original.nnz()) {
+    report.add("convert.roundtrip.identity", object, {},
+               "nnz changed: " + std::to_string(original.nnz()) + " -> " +
+                   std::to_string(back.nnz()));
+    return;
+  }
+  for (usize i = 0; i < original.nnz(); ++i) {
+    if (back.row(i) != original.row(i) || back.col(i) != original.col(i) ||
+        back.value(i) != original.value(i)) {
+      report.add("convert.roundtrip.identity", object,
+                 at("entry", static_cast<std::int64_t>(i)),
+                 "entry differs: (" + std::to_string(original.row(i)) + ", " +
+                     std::to_string(original.col(i)) + ") -> (" +
+                     std::to_string(back.row(i)) + ", " +
+                     std::to_string(back.col(i)) + ")");
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Audit every COO → format → COO conversion path for `coo`. Findings are
+/// tagged "<tag>/<FORMAT>" so one report can cover several matrices.
+template <ValueType V, IndexType I>
+void audit_conversions(const Coo<V, I>& coo, AuditReport& report,
+                       std::string_view tag = "matrix",
+                       const ConvertParams& params = {}) {
+  const std::string base(tag);
+  audit(coo, report, base + "/COO");
+
+  {
+    const Csr<V, I> csr = to_csr(coo);
+    audit(csr, report, base + "/CSR");
+    detail::check_roundtrip(coo, to_coo(csr), report, base + "/CSR");
+  }
+  {
+    const Csc<V, I> csc = to_csc(coo);
+    audit(csc, report, base + "/CSC");
+    detail::check_roundtrip(coo, to_coo(csc), report, base + "/CSC");
+  }
+  {
+    const Ell<V, I> ell = to_ell(coo);
+    audit(ell, report, base + "/ELL");
+    detail::check_roundtrip(coo, to_coo(ell), report, base + "/ELL");
+  }
+  {
+    const SellC<V, I> sell =
+        to_sellc(coo, static_cast<I>(params.sellc_chunk),
+                 static_cast<I>(params.sellc_sigma));
+    audit(sell, report, base + "/SELL-C");
+    detail::check_roundtrip(coo, to_coo(sell), report, base + "/SELL-C");
+  }
+  {
+    const Bcsr<V, I> bcsr = to_bcsr(coo, static_cast<I>(params.block_size));
+    audit(bcsr, report, base + "/BCSR");
+    detail::check_roundtrip(coo, to_coo(bcsr), report, base + "/BCSR");
+  }
+  {
+    const Bell<V, I> bell = to_bell(coo, static_cast<I>(params.bell_group));
+    audit(bell, report, base + "/BELL");
+    detail::check_roundtrip(coo, to_coo(bell), report, base + "/BELL");
+  }
+  {
+    const Hyb<V, I> hyb = to_hyb(coo);
+    audit(hyb, report, base + "/HYB");
+    detail::check_roundtrip(coo, to_coo(hyb), report, base + "/HYB");
+  }
+  if (coo.nnz() > 0) {  // CSR5 tiles need at least one nonzero
+    const Csr5<V, I> csr5 = to_csr5(coo, static_cast<I>(params.csr5_tile));
+    audit(csr5, report, base + "/CSR5");
+    detail::check_roundtrip(coo, to_coo(csr5), report, base + "/CSR5");
+  }
+}
+
+}  // namespace spmm::audit

@@ -1,0 +1,117 @@
+// spmm::audit — structured diagnostics for the structural analyzer.
+//
+// The analyzer (rules.hpp) inspects every sparse format and reports
+// violations as Diagnostic records instead of scattered asserts: each
+// carries a stable rule id ("csr.row_ptr.monotone"), a severity, the
+// object it was found on, a location (row / slice / block index), and a
+// human-readable message. AuditReport collects them with a per-rule cap
+// so one systematic corruption cannot flood the output; the true counts
+// are kept even when individual records are suppressed.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spmm::audit {
+
+/// Diagnostic severity. Errors make a report fail (ok() == false);
+/// warnings flag suspicious-but-legal structure (e.g. an all-zero BCSR
+/// block: valid, but wasted storage the formatter should never emit).
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] std::string_view severity_name(Severity s);
+
+/// One analyzer finding.
+struct Diagnostic {
+  /// Stable rule id, e.g. "csr.row_ptr.monotone" (see rule_registry()).
+  std::string rule;
+  Severity severity = Severity::kError;
+  /// The structure audited, e.g. "CSR", "HYB/ell", "bcsstk13/BCSR".
+  std::string object;
+  /// Structural location: "row 17", "tile 3", "block_row 2/block 5", or
+  /// empty for whole-object findings.
+  std::string location;
+  std::string message;
+};
+
+/// Static metadata for one analyzer rule (the rule table printed by
+/// `spmm_audit --list-rules` and docs/STATIC_ANALYSIS.md).
+struct RuleInfo {
+  std::string_view id;
+  std::string_view format;  // "CSR", "ELL", ... or "*" for cross-format
+  Severity severity = Severity::kError;
+  std::string_view description;
+};
+
+/// All rules the analyzer can emit, sorted by id.
+[[nodiscard]] const std::vector<RuleInfo>& rule_registry();
+
+/// Registry lookup; nullptr for unknown ids.
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id);
+
+/// Collector for analyzer findings. Records every finding's rule/severity
+/// in the counters, but keeps at most kMaxPerRule Diagnostic records per
+/// rule id (suppressed_count() says how many were dropped).
+class AuditReport {
+ public:
+  /// Cap on stored records per rule id (counters are exact regardless).
+  static constexpr std::size_t kMaxPerRule = 16;
+
+  /// Record a finding. `rule` must name a registered rule in debug
+  /// builds; severity defaults to the registry's severity for the rule.
+  void add(std::string_view rule, std::string_view object,
+           std::string_view location, std::string message);
+
+  /// Record a finding with an explicit severity override.
+  void add(std::string_view rule, Severity severity, std::string_view object,
+           std::string_view location, std::string message);
+
+  /// True when no error-severity finding was recorded.
+  [[nodiscard]] bool ok() const { return error_count_ == 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const { return warning_count_; }
+  /// Findings dropped by the per-rule cap (still counted above).
+  [[nodiscard]] std::size_t suppressed_count() const { return suppressed_; }
+
+  /// Stored records, in emission order.
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// Exact number of findings for `rule` (including suppressed records).
+  [[nodiscard]] std::size_t count(std::string_view rule) const;
+  [[nodiscard]] bool has(std::string_view rule) const {
+    return count(rule) > 0;
+  }
+
+  /// Distinct rule ids that fired, in first-seen order.
+  [[nodiscard]] const std::vector<std::string>& fired_rules() const {
+    return fired_order_;
+  }
+
+  void clear();
+
+ private:
+  struct RuleCount {
+    std::string rule;
+    std::size_t count = 0;
+  };
+
+  std::vector<Diagnostic> diagnostics_;
+  std::vector<RuleCount> counts_;  // linear scan; rule count is small
+  std::vector<std::string> fired_order_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+  std::size_t suppressed_ = 0;
+};
+
+/// Render the report as a diagnostics table plus a summary line.
+void print_report(std::ostream& os, const AuditReport& report);
+
+/// Render the rule registry as a table (spmm_audit --list-rules).
+void print_rule_table(std::ostream& os);
+
+}  // namespace spmm::audit

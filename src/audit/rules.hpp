@@ -1,0 +1,786 @@
+// spmm::audit — the structural rules, one audit function per format.
+//
+// Every rule the formats' constructors enforce with SPMM_CHECK is
+// re-stated here as a reportable diagnostic, plus the deeper semantic
+// invariants the constructors cannot see (within-row column ordering,
+// ELL/BELL/SELL-C padding sentinels, BCSR edge-block zero bounds, CSR5
+// tile bracketing, HYB spill discipline). Two entry points per format:
+//
+//   audit_<fmt>_raw(...)   — takes the raw component arrays, so tests can
+//                            audit deliberately corrupted structures that
+//                            the format constructors would reject;
+//   audit(const Fmt&, ...) — convenience overload for live objects.
+//
+// All functions append to an AuditReport and never throw on findings;
+// `object` tags the findings so nested audits (HYB's ELL region, CSR5's
+// embedded CSR) stay attributable.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "audit/diagnostics.hpp"
+#include "formats/bcsr.hpp"
+#include "formats/bell.hpp"
+#include "formats/coo.hpp"
+#include "formats/csc.hpp"
+#include "formats/csr.hpp"
+#include "formats/csr5.hpp"
+#include "formats/dense.hpp"
+#include "formats/ell.hpp"
+#include "formats/hyb.hpp"
+#include "formats/sellc.hpp"
+
+namespace spmm::audit {
+
+namespace detail {
+
+inline std::string at(std::string_view kind, std::int64_t index) {
+  return std::string(kind) + " " + std::to_string(index);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- COO --
+
+template <ValueType V, IndexType I>
+void audit_coo_raw(I rows, I cols, const AlignedVector<I>& row_idx,
+                   const AlignedVector<I>& col_idx,
+                   const AlignedVector<V>& values, AuditReport& report,
+                   std::string_view object = "COO") {
+  if (rows < 0 || cols < 0) {
+    report.add("coo.shape.valid", object, {},
+               "negative matrix shape " + std::to_string(rows) + "x" +
+                   std::to_string(cols));
+    return;
+  }
+  if (row_idx.size() != col_idx.size() || row_idx.size() != values.size()) {
+    report.add("coo.shape.valid", object, {},
+               "triplet arrays disagree: " + std::to_string(row_idx.size()) +
+                   " rows, " + std::to_string(col_idx.size()) + " cols, " +
+                   std::to_string(values.size()) + " values");
+    return;
+  }
+  for (usize i = 0; i < row_idx.size(); ++i) {
+    if (row_idx[i] < 0 || row_idx[i] >= rows || col_idx[i] < 0 ||
+        col_idx[i] >= cols) {
+      report.add("coo.index.range", object,
+                 detail::at("entry", static_cast<std::int64_t>(i)),
+                 "(" + std::to_string(row_idx[i]) + ", " +
+                     std::to_string(col_idx[i]) + ") outside " +
+                     std::to_string(rows) + "x" + std::to_string(cols));
+    }
+  }
+  for (usize i = 1; i < row_idx.size(); ++i) {
+    const bool ordered = row_idx[i - 1] < row_idx[i] ||
+                         (row_idx[i - 1] == row_idx[i] &&
+                          col_idx[i - 1] < col_idx[i]);
+    if (!ordered) {
+      report.add("coo.order.canonical", object,
+                 detail::at("entry", static_cast<std::int64_t>(i)),
+                 "entry (" + std::to_string(row_idx[i]) + ", " +
+                     std::to_string(col_idx[i]) +
+                     ") does not follow its predecessor");
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const Coo<V, I>& coo, AuditReport& report,
+           std::string_view object = "COO") {
+  audit_coo_raw(coo.rows(), coo.cols(), coo.row_idx(), coo.col_idx(),
+                coo.values(), report, object);
+}
+
+// ---------------------------------------------------------------- CSR --
+
+template <ValueType V, IndexType I>
+void audit_csr_raw(I rows, I cols, const AlignedVector<I>& row_ptr,
+                   const AlignedVector<I>& col_idx,
+                   const AlignedVector<V>& values, AuditReport& report,
+                   std::string_view object = "CSR") {
+  bool shape_ok = true;
+  if (rows < 0 || cols < 0 ||
+      row_ptr.size() != static_cast<usize>(rows) + 1) {
+    report.add("csr.shape.valid", object, {},
+               "row_ptr has " + std::to_string(row_ptr.size()) +
+                   " entries, want rows+1 = " + std::to_string(rows + 1));
+    shape_ok = false;
+  }
+  if (col_idx.size() != values.size()) {
+    report.add("csr.shape.valid", object, {},
+               "col_idx (" + std::to_string(col_idx.size()) +
+                   ") and values (" + std::to_string(values.size()) +
+                   ") lengths differ");
+    shape_ok = false;
+  }
+  if (!shape_ok) return;
+
+  bool monotone = true;
+  if (!row_ptr.empty() && row_ptr.front() != 0) {
+    report.add("csr.row_ptr.monotone", object, detail::at("row", 0),
+               "row_ptr starts at " + std::to_string(row_ptr.front()) +
+                   ", want 0");
+    monotone = false;
+  }
+  for (usize r = 0; r < static_cast<usize>(rows); ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      report.add("csr.row_ptr.monotone", object,
+                 detail::at("row", static_cast<std::int64_t>(r)),
+                 "row_ptr decreases: " + std::to_string(row_ptr[r]) + " -> " +
+                     std::to_string(row_ptr[r + 1]));
+      monotone = false;
+    }
+  }
+  if (!row_ptr.empty() &&
+      static_cast<usize>(row_ptr.back()) != col_idx.size()) {
+    report.add("csr.row_ptr.monotone", object,
+               detail::at("row", static_cast<std::int64_t>(rows)),
+               "row_ptr ends at " + std::to_string(row_ptr.back()) +
+                   ", want nnz = " + std::to_string(col_idx.size()));
+    monotone = false;
+  }
+
+  for (usize i = 0; i < col_idx.size(); ++i) {
+    if (col_idx[i] < 0 || col_idx[i] >= cols) {
+      report.add("csr.col.range", object,
+                 detail::at("entry", static_cast<std::int64_t>(i)),
+                 "column " + std::to_string(col_idx[i]) + " outside [0, " +
+                     std::to_string(cols) + ")");
+    }
+  }
+  if (!monotone) return;  // per-row ranges are meaningless
+  for (I r = 0; r < rows; ++r) {
+    for (I i = row_ptr[static_cast<usize>(r)] + 1;
+         i < row_ptr[static_cast<usize>(r) + 1]; ++i) {
+      if (col_idx[static_cast<usize>(i) - 1] >= col_idx[static_cast<usize>(i)]) {
+        report.add("csr.col.order", object, detail::at("row", r),
+                   "columns " + std::to_string(col_idx[static_cast<usize>(i) - 1]) +
+                       ", " + std::to_string(col_idx[static_cast<usize>(i)]) +
+                       " not strictly increasing");
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const Csr<V, I>& csr, AuditReport& report,
+           std::string_view object = "CSR") {
+  audit_csr_raw(csr.rows(), csr.cols(), csr.row_ptr(), csr.col_idx(),
+                csr.values(), report, object);
+}
+
+// ---------------------------------------------------------------- CSC --
+
+template <ValueType V, IndexType I>
+void audit_csc_raw(I rows, I cols, const AlignedVector<I>& col_ptr,
+                   const AlignedVector<I>& row_idx,
+                   const AlignedVector<V>& values, AuditReport& report,
+                   std::string_view object = "CSC") {
+  bool shape_ok = true;
+  if (rows < 0 || cols < 0 ||
+      col_ptr.size() != static_cast<usize>(cols) + 1) {
+    report.add("csc.shape.valid", object, {},
+               "col_ptr has " + std::to_string(col_ptr.size()) +
+                   " entries, want cols+1 = " + std::to_string(cols + 1));
+    shape_ok = false;
+  }
+  if (row_idx.size() != values.size()) {
+    report.add("csc.shape.valid", object, {},
+               "row_idx (" + std::to_string(row_idx.size()) +
+                   ") and values (" + std::to_string(values.size()) +
+                   ") lengths differ");
+    shape_ok = false;
+  }
+  if (!shape_ok) return;
+
+  bool monotone = true;
+  if (!col_ptr.empty() && col_ptr.front() != 0) {
+    report.add("csc.col_ptr.monotone", object, detail::at("col", 0),
+               "col_ptr starts at " + std::to_string(col_ptr.front()) +
+                   ", want 0");
+    monotone = false;
+  }
+  for (usize c = 0; c < static_cast<usize>(cols); ++c) {
+    if (col_ptr[c] > col_ptr[c + 1]) {
+      report.add("csc.col_ptr.monotone", object,
+                 detail::at("col", static_cast<std::int64_t>(c)),
+                 "col_ptr decreases: " + std::to_string(col_ptr[c]) + " -> " +
+                     std::to_string(col_ptr[c + 1]));
+      monotone = false;
+    }
+  }
+  if (!col_ptr.empty() &&
+      static_cast<usize>(col_ptr.back()) != row_idx.size()) {
+    report.add("csc.col_ptr.monotone", object,
+               detail::at("col", static_cast<std::int64_t>(cols)),
+               "col_ptr ends at " + std::to_string(col_ptr.back()) +
+                   ", want nnz = " + std::to_string(row_idx.size()));
+    monotone = false;
+  }
+
+  for (usize i = 0; i < row_idx.size(); ++i) {
+    if (row_idx[i] < 0 || row_idx[i] >= rows) {
+      report.add("csc.row.range", object,
+                 detail::at("entry", static_cast<std::int64_t>(i)),
+                 "row " + std::to_string(row_idx[i]) + " outside [0, " +
+                     std::to_string(rows) + ")");
+    }
+  }
+  if (!monotone) return;
+  for (I c = 0; c < cols; ++c) {
+    for (I i = col_ptr[static_cast<usize>(c)] + 1;
+         i < col_ptr[static_cast<usize>(c) + 1]; ++i) {
+      if (row_idx[static_cast<usize>(i) - 1] >= row_idx[static_cast<usize>(i)]) {
+        report.add("csc.row.order", object, detail::at("col", c),
+                   "rows " + std::to_string(row_idx[static_cast<usize>(i) - 1]) +
+                       ", " + std::to_string(row_idx[static_cast<usize>(i)]) +
+                       " not strictly increasing");
+      }
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const Csc<V, I>& csc, AuditReport& report,
+           std::string_view object = "CSC") {
+  audit_csc_raw(csc.rows(), csc.cols(), csc.col_ptr(), csc.row_idx(),
+                csc.values(), report, object);
+}
+
+// ---------------------------------------------------------------- ELL --
+
+/// Audit one padded ELL-style row stored at col_idx/values [base, base+width)
+/// with stride `stride` between consecutive slots (1 for row-major ELL/BELL,
+/// C for SELL-C lanes). Returns the row's real (nonzero) entry count.
+template <ValueType V, IndexType I>
+I audit_padded_row(std::string_view rule_prefix, I cols, usize base,
+                   I width, usize stride, const AlignedVector<I>& col_idx,
+                   const AlignedVector<V>& values, AuditReport& report,
+                   std::string_view object, const std::string& location) {
+  // Real entries are the prefix up to the last nonzero value; everything
+  // after is padding (the repo-wide "explicit zeros are padding" rule).
+  I real = 0;
+  for (I s = 0; s < width; ++s) {
+    if (values[base + static_cast<usize>(s) * stride] != V{0}) real = s + 1;
+  }
+  const std::string prefix(rule_prefix);
+  for (I s = 0; s < real; ++s) {
+    if (values[base + static_cast<usize>(s) * stride] == V{0}) {
+      report.add(prefix + ".pad.interior", object, location,
+                 "zero value at slot " + std::to_string(s) +
+                     " inside the real prefix (" + std::to_string(real) +
+                     " entries)");
+    }
+  }
+  for (I s = 1; s < real; ++s) {
+    const I prev = col_idx[base + static_cast<usize>(s - 1) * stride];
+    const I cur = col_idx[base + static_cast<usize>(s) * stride];
+    if (prev >= cur) {
+      report.add(prefix + ".col.order", object, location,
+                 "columns " + std::to_string(prev) + ", " +
+                     std::to_string(cur) + " not strictly increasing");
+    }
+  }
+  const I sentinel =
+      real > 0 ? col_idx[base + static_cast<usize>(real - 1) * stride] : I{0};
+  for (I s = real; s < width; ++s) {
+    const I pad = col_idx[base + static_cast<usize>(s) * stride];
+    if (pad != sentinel) {
+      report.add(prefix + ".pad.sentinel", object, location,
+                 "pad slot " + std::to_string(s) + " repeats column " +
+                     std::to_string(pad) + ", want sentinel " +
+                     std::to_string(sentinel));
+    }
+  }
+  for (I s = 0; s < width; ++s) {
+    const I c = col_idx[base + static_cast<usize>(s) * stride];
+    if (c < 0 || (c >= cols && !(cols == 0 && c == 0))) {
+      report.add(prefix + ".col.range", object, location,
+                 "column " + std::to_string(c) + " outside [0, " +
+                     std::to_string(cols) + ")");
+    }
+  }
+  return real;
+}
+
+template <ValueType V, IndexType I>
+void audit_ell_raw(I rows, I cols, I width, usize nnz,
+                   const AlignedVector<I>& col_idx,
+                   const AlignedVector<V>& values, AuditReport& report,
+                   std::string_view object = "ELL") {
+  const usize expect = rows < 0 || width < 0
+                           ? 0
+                           : static_cast<usize>(rows) * static_cast<usize>(width);
+  if (rows < 0 || cols < 0 || width < 0 || col_idx.size() != expect ||
+      values.size() != expect) {
+    report.add("ell.shape.valid", object, {},
+               "want rows*width = " + std::to_string(expect) +
+                   " slots, have " + std::to_string(col_idx.size()) +
+                   " columns / " + std::to_string(values.size()) + " values");
+    return;
+  }
+  usize total_real = 0;
+  for (I r = 0; r < rows; ++r) {
+    const usize base = static_cast<usize>(r) * static_cast<usize>(width);
+    total_real += static_cast<usize>(
+        audit_padded_row("ell", cols, base, width, usize{1}, col_idx, values,
+                         report, object, detail::at("row", r)));
+  }
+  if (total_real != nnz) {
+    report.add("ell.nnz.count", object, {},
+               "declared nnz " + std::to_string(nnz) + " but " +
+                   std::to_string(total_real) + " nonzeros stored");
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const Ell<V, I>& ell, AuditReport& report,
+           std::string_view object = "ELL") {
+  audit_ell_raw(ell.rows(), ell.cols(), ell.width(), ell.nnz(), ell.col_idx(),
+                ell.values(), report, object);
+}
+
+// --------------------------------------------------------------- BELL --
+
+template <ValueType V, IndexType I>
+void audit_bell_raw(I rows, I cols, I group_size, usize nnz,
+                    const AlignedVector<I>& width,
+                    const AlignedVector<usize>& offset,
+                    const AlignedVector<I>& col_idx,
+                    const AlignedVector<V>& values, AuditReport& report,
+                    std::string_view object = "BELL") {
+  if (rows < 0 || cols < 0 || group_size <= 0) {
+    report.add("bell.shape.valid", object, {},
+               "invalid shape/group_size " + std::to_string(rows) + "x" +
+                   std::to_string(cols) + "/" + std::to_string(group_size));
+    return;
+  }
+  const I groups = (rows + group_size - 1) / group_size;
+  if (width.size() != static_cast<usize>(groups) ||
+      offset.size() != static_cast<usize>(groups) + 1 ||
+      col_idx.size() != values.size()) {
+    report.add("bell.shape.valid", object, {},
+               "want " + std::to_string(groups) + " widths / " +
+                   std::to_string(groups + 1) + " offsets, have " +
+                   std::to_string(width.size()) + " / " +
+                   std::to_string(offset.size()));
+    return;
+  }
+  bool extent_ok = offset.front() == 0;
+  if (!extent_ok) {
+    report.add("bell.group.extent", object, detail::at("group", 0),
+               "offsets start at " + std::to_string(offset.front()) +
+                   ", want 0");
+  }
+  for (I g = 0; g < groups; ++g) {
+    const I start = g * group_size;
+    const I rows_in = std::min<I>(group_size, rows - start);
+    const usize want = static_cast<usize>(rows_in) *
+                       static_cast<usize>(std::max<I>(width[static_cast<usize>(g)], 0));
+    if (offset[static_cast<usize>(g) + 1] <
+            offset[static_cast<usize>(g)] ||
+        offset[static_cast<usize>(g) + 1] - offset[static_cast<usize>(g)] !=
+            want) {
+      report.add("bell.group.extent", object, detail::at("group", g),
+                 "group extent is not rows_in_group*width = " +
+                     std::to_string(want));
+      extent_ok = false;
+    }
+  }
+  if (offset.back() != values.size()) {
+    report.add("bell.group.extent", object, {},
+               "offsets end at " + std::to_string(offset.back()) +
+                   ", want storage size " + std::to_string(values.size()));
+    extent_ok = false;
+  }
+  if (!extent_ok) return;
+
+  usize total_real = 0;
+  for (I g = 0; g < groups; ++g) {
+    const I start = g * group_size;
+    const I rows_in = std::min<I>(group_size, rows - start);
+    const I w = width[static_cast<usize>(g)];
+    for (I local = 0; local < rows_in; ++local) {
+      const usize base = offset[static_cast<usize>(g)] +
+                         static_cast<usize>(local) * static_cast<usize>(w);
+      total_real += static_cast<usize>(audit_padded_row(
+          "bell", cols, base, w, usize{1}, col_idx, values, report, object,
+          detail::at("row", start + local)));
+    }
+  }
+  if (total_real != nnz) {
+    report.add("bell.nnz.count", object, {},
+               "declared nnz " + std::to_string(nnz) + " but " +
+                   std::to_string(total_real) + " nonzeros stored");
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const Bell<V, I>& bell, AuditReport& report,
+           std::string_view object = "BELL") {
+  audit_bell_raw(bell.rows(), bell.cols(), bell.group_size(), bell.nnz(),
+                 bell.width(), bell.offset(), bell.col_idx(), bell.values(),
+                 report, object);
+}
+
+// ------------------------------------------------------------- SELL-C --
+
+template <ValueType V, IndexType I>
+void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
+                     const AlignedVector<I>& perm,
+                     const AlignedVector<I>& chunk_width,
+                     const AlignedVector<usize>& chunk_offset,
+                     const AlignedVector<I>& col_idx,
+                     const AlignedVector<V>& values, AuditReport& report,
+                     std::string_view object = "SELL-C") {
+  if (rows < 0 || cols < 0 || chunk_size <= 0) {
+    report.add("sellc.shape.valid", object, {},
+               "invalid shape/chunk_size " + std::to_string(rows) + "x" +
+                   std::to_string(cols) + "/" + std::to_string(chunk_size));
+    return;
+  }
+  const I chunks = (rows + chunk_size - 1) / chunk_size;
+  if (perm.size() != static_cast<usize>(rows) ||
+      chunk_width.size() != static_cast<usize>(chunks) ||
+      chunk_offset.size() != static_cast<usize>(chunks) + 1 ||
+      col_idx.size() != values.size()) {
+    report.add("sellc.shape.valid", object, {},
+               "want " + std::to_string(rows) + " perm / " +
+                   std::to_string(chunks) + " widths / " +
+                   std::to_string(chunks + 1) + " offsets, have " +
+                   std::to_string(perm.size()) + " / " +
+                   std::to_string(chunk_width.size()) + " / " +
+                   std::to_string(chunk_offset.size()));
+    return;
+  }
+
+  // Permutation must be a bijection on [0, rows).
+  {
+    AlignedVector<I> seen(static_cast<usize>(rows), 0);
+    for (usize p = 0; p < perm.size(); ++p) {
+      const I r = perm[p];
+      if (r < 0 || r >= rows) {
+        report.add("sellc.perm.bijective", object,
+                   detail::at("position", static_cast<std::int64_t>(p)),
+                   "perm entry " + std::to_string(r) + " outside [0, " +
+                       std::to_string(rows) + ")");
+      } else if (seen[static_cast<usize>(r)]++ != 0) {
+        report.add("sellc.perm.bijective", object,
+                   detail::at("position", static_cast<std::int64_t>(p)),
+                   "row " + std::to_string(r) + " appears more than once");
+      }
+    }
+  }
+
+  bool extent_ok = chunk_offset.front() == 0;
+  if (!extent_ok) {
+    report.add("sellc.chunk.extent", object, detail::at("chunk", 0),
+               "offsets start at " + std::to_string(chunk_offset.front()) +
+                   ", want 0");
+  }
+  for (I c = 0; c < chunks; ++c) {
+    const usize want =
+        static_cast<usize>(chunk_size) *
+        static_cast<usize>(std::max<I>(chunk_width[static_cast<usize>(c)], 0));
+    if (chunk_offset[static_cast<usize>(c) + 1] <
+            chunk_offset[static_cast<usize>(c)] ||
+        chunk_offset[static_cast<usize>(c) + 1] -
+                chunk_offset[static_cast<usize>(c)] !=
+            want) {
+      report.add("sellc.chunk.extent", object, detail::at("chunk", c),
+                 "chunk extent is not C*width = " + std::to_string(want));
+      extent_ok = false;
+    }
+  }
+  if (chunk_offset.back() != values.size()) {
+    report.add("sellc.chunk.extent", object, {},
+               "offsets end at " + std::to_string(chunk_offset.back()) +
+                   ", want storage size " + std::to_string(values.size()));
+    extent_ok = false;
+  }
+  if (!extent_ok) return;
+
+  usize total_real = 0;
+  for (I c = 0; c < chunks; ++c) {
+    const usize base = chunk_offset[static_cast<usize>(c)];
+    const I w = chunk_width[static_cast<usize>(c)];
+    for (I lane = 0; lane < chunk_size; ++lane) {
+      const I pos = c * chunk_size + lane;
+      const std::string loc =
+          detail::at("chunk", c) + "/" + detail::at("lane", lane);
+      if (pos >= rows) {
+        // Unused lane in the final chunk: all slots must stay zero.
+        for (I s = 0; s < w; ++s) {
+          const usize slot = base +
+                             static_cast<usize>(s) *
+                                 static_cast<usize>(chunk_size) +
+                             static_cast<usize>(lane);
+          if (values[slot] != V{0}) {
+            report.add("sellc.lane.empty", object, loc,
+                       "unused lane holds nonzero at slot " +
+                           std::to_string(s));
+          }
+        }
+        continue;
+      }
+      total_real += static_cast<usize>(audit_padded_row(
+          "sellc", cols, base + static_cast<usize>(lane), w,
+          static_cast<usize>(chunk_size), col_idx, values, report, object,
+          loc));
+    }
+  }
+  if (total_real != nnz) {
+    report.add("sellc.nnz.count", object, {},
+               "declared nnz " + std::to_string(nnz) + " but " +
+                   std::to_string(total_real) + " nonzeros stored");
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const SellC<V, I>& sell, AuditReport& report,
+           std::string_view object = "SELL-C") {
+  audit_sellc_raw(sell.rows(), sell.cols(), sell.chunk_size(), sell.nnz(),
+                  sell.perm(), sell.chunk_width(), sell.chunk_offset(),
+                  sell.col_idx(), sell.values(), report, object);
+}
+
+// --------------------------------------------------------------- BCSR --
+
+template <ValueType V, IndexType I>
+void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
+                    const AlignedVector<I>& block_row_ptr,
+                    const AlignedVector<I>& block_col_idx,
+                    const AlignedVector<V>& values, AuditReport& report,
+                    std::string_view object = "BCSR") {
+  if (rows < 0 || cols < 0 || block_size <= 0) {
+    report.add("bcsr.block.geometry", object, {},
+               "invalid shape/block_size " + std::to_string(rows) + "x" +
+                   std::to_string(cols) + "/" + std::to_string(block_size));
+    return;
+  }
+  const I brows = (rows + block_size - 1) / block_size;
+  const I bcols = (cols + block_size - 1) / block_size;
+  const usize bs = static_cast<usize>(block_size);
+
+  bool geometry_ok = true;
+  if (block_row_ptr.size() != static_cast<usize>(brows) + 1) {
+    report.add("bcsr.block.geometry", object, {},
+               "block_row_ptr has " + std::to_string(block_row_ptr.size()) +
+                   " entries, want block_rows+1 = " +
+                   std::to_string(brows + 1));
+    geometry_ok = false;
+  } else {
+    if (block_row_ptr.front() != 0) {
+      report.add("bcsr.block.geometry", object, detail::at("block_row", 0),
+                 "block_row_ptr starts at " +
+                     std::to_string(block_row_ptr.front()) + ", want 0");
+      geometry_ok = false;
+    }
+    for (I r = 0; r < brows; ++r) {
+      if (block_row_ptr[static_cast<usize>(r)] >
+          block_row_ptr[static_cast<usize>(r) + 1]) {
+        report.add("bcsr.block.geometry", object, detail::at("block_row", r),
+                   "block_row_ptr decreases: " +
+                       std::to_string(block_row_ptr[static_cast<usize>(r)]) +
+                       " -> " +
+                       std::to_string(
+                           block_row_ptr[static_cast<usize>(r) + 1]));
+        geometry_ok = false;
+      }
+    }
+    if (static_cast<usize>(block_row_ptr.back()) != block_col_idx.size()) {
+      report.add("bcsr.block.geometry", object, {},
+                 "block_row_ptr ends at " +
+                     std::to_string(block_row_ptr.back()) +
+                     ", want block count " +
+                     std::to_string(block_col_idx.size()));
+      geometry_ok = false;
+    }
+  }
+  if (values.size() != block_col_idx.size() * bs * bs) {
+    report.add("bcsr.block.geometry", object, {},
+               "values holds " + std::to_string(values.size()) +
+                   " entries, want nblocks*b*b = " +
+                   std::to_string(block_col_idx.size() * bs * bs));
+    geometry_ok = false;
+  }
+
+  for (usize blk = 0; blk < block_col_idx.size(); ++blk) {
+    if (block_col_idx[blk] < 0 || block_col_idx[blk] >= bcols) {
+      report.add("bcsr.block.col_range", object,
+                 detail::at("block", static_cast<std::int64_t>(blk)),
+                 "block column " + std::to_string(block_col_idx[blk]) +
+                     " outside [0, " + std::to_string(bcols) + ")");
+    }
+  }
+  if (!geometry_ok) return;
+
+  usize total_real = 0;
+  for (I brow = 0; brow < brows; ++brow) {
+    for (I blk = block_row_ptr[static_cast<usize>(brow)];
+         blk < block_row_ptr[static_cast<usize>(brow) + 1]; ++blk) {
+      const std::string loc =
+          detail::at("block_row", brow) + "/" +
+          detail::at("block", static_cast<std::int64_t>(blk));
+      if (blk > block_row_ptr[static_cast<usize>(brow)] &&
+          block_col_idx[static_cast<usize>(blk) - 1] >=
+              block_col_idx[static_cast<usize>(blk)]) {
+        report.add("bcsr.block.order", object, loc,
+                   "block columns " +
+                       std::to_string(
+                           block_col_idx[static_cast<usize>(blk) - 1]) +
+                       ", " +
+                       std::to_string(block_col_idx[static_cast<usize>(blk)]) +
+                       " not strictly increasing");
+      }
+      const I bcol = block_col_idx[static_cast<usize>(blk)];
+      const V* tile = values.data() + static_cast<usize>(blk) * bs * bs;
+      usize tile_real = 0;
+      for (I lr = 0; lr < block_size; ++lr) {
+        for (I lc = 0; lc < block_size; ++lc) {
+          const V v = tile[static_cast<usize>(lr) * bs + static_cast<usize>(lc)];
+          if (v == V{0}) continue;
+          ++tile_real;
+          const I gr = brow * block_size + lr;
+          const I gc = bcol * block_size + lc;
+          if (gr >= rows || gc >= cols) {
+            report.add("bcsr.block.bounds", object, loc,
+                       "nonzero at (" + std::to_string(gr) + ", " +
+                           std::to_string(gc) + ") outside " +
+                           std::to_string(rows) + "x" + std::to_string(cols));
+          }
+        }
+      }
+      if (tile_real == 0) {
+        report.add("bcsr.block.occupancy", object, loc,
+                   "stored block contains no nonzeros");
+      }
+      total_real += tile_real;
+    }
+  }
+  if (total_real != nnz) {
+    report.add("bcsr.nnz.count", object, {},
+               "declared nnz " + std::to_string(nnz) + " but " +
+                   std::to_string(total_real) + " nonzeros stored");
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const Bcsr<V, I>& bcsr, AuditReport& report,
+           std::string_view object = "BCSR") {
+  audit_bcsr_raw(bcsr.rows(), bcsr.cols(), bcsr.block_size(), bcsr.nnz(),
+                 bcsr.block_row_ptr(), bcsr.block_col_idx(), bcsr.values(),
+                 report, object);
+}
+
+// ---------------------------------------------------------------- HYB --
+
+template <ValueType V, IndexType I>
+void audit(const Hyb<V, I>& hyb, AuditReport& report,
+           std::string_view object = "HYB") {
+  const std::string obj(object);
+  if (hyb.ell().rows() != hyb.tail().rows() ||
+      hyb.ell().cols() != hyb.tail().cols()) {
+    report.add("hyb.shape.match", object, {},
+               "ELL region is " + std::to_string(hyb.ell().rows()) + "x" +
+                   std::to_string(hyb.ell().cols()) + " but tail is " +
+                   std::to_string(hyb.tail().rows()) + "x" +
+                   std::to_string(hyb.tail().cols()));
+    return;
+  }
+  audit(hyb.ell(), report, obj + "/ell");
+  audit(hyb.tail(), report, obj + "/tail");
+
+  // Spill discipline: a row may only have tail entries once its ELL
+  // region is full (the converter fills ELL first).
+  const Ell<V, I>& ell = hyb.ell();
+  AlignedVector<I> fill(static_cast<usize>(std::max<I>(ell.rows(), 0)), 0);
+  for (I r = 0; r < ell.rows(); ++r) {
+    const usize base = static_cast<usize>(r) * static_cast<usize>(ell.width());
+    for (I s = 0; s < ell.width(); ++s) {
+      if (ell.values()[base + static_cast<usize>(s)] != V{0}) {
+        fill[static_cast<usize>(r)] = s + 1;
+      }
+    }
+  }
+  for (usize i = 0; i < hyb.tail().nnz(); ++i) {
+    const I r = hyb.tail().row(i);
+    if (r >= 0 && r < ell.rows() && fill[static_cast<usize>(r)] < ell.width()) {
+      report.add("hyb.tail.overflow", object, detail::at("row", r),
+                 "row spills to the tail with only " +
+                     std::to_string(fill[static_cast<usize>(r)]) + " of " +
+                     std::to_string(ell.width()) + " ELL slots used");
+    }
+  }
+}
+
+// --------------------------------------------------------------- CSR5 --
+
+template <ValueType V, IndexType I>
+void audit_csr5_raw(const Csr<V, I>& csr, I tile_size,
+                    const AlignedVector<I>& tile_row, AuditReport& report,
+                    std::string_view object = "CSR5") {
+  audit(csr, report, std::string(object) + "/csr");
+  if (tile_size <= 0) {
+    report.add("csr5.tile.meta", object, {},
+               "tile size " + std::to_string(tile_size) +
+                   " must be positive");
+    return;
+  }
+  const usize want = (csr.nnz() + static_cast<usize>(tile_size) - 1) /
+                     static_cast<usize>(tile_size);
+  if (tile_row.size() != want) {
+    report.add("csr5.tile.meta", object, {},
+               "tile_row has " + std::to_string(tile_row.size()) +
+                   " entries, want ceil(nnz/tile) = " + std::to_string(want));
+    return;
+  }
+  for (usize t = 0; t < tile_row.size(); ++t) {
+    const I tr = tile_row[t];
+    const std::string loc = detail::at("tile", static_cast<std::int64_t>(t));
+    if (tr < 0 || tr >= csr.rows()) {
+      report.add("csr5.tile.meta", object, loc,
+                 "tile row " + std::to_string(tr) + " outside [0, " +
+                     std::to_string(csr.rows()) + ")");
+      continue;
+    }
+    if (t > 0 && tr < tile_row[t - 1]) {
+      report.add("csr5.tile.meta", object, loc,
+                 "tile rows decrease: " + std::to_string(tile_row[t - 1]) +
+                     " -> " + std::to_string(tr));
+    }
+    // tile_row[t] must be the row containing the tile's first nonzero.
+    const I first = static_cast<I>(t * static_cast<usize>(tile_size));
+    if (!(csr.row_ptr()[static_cast<usize>(tr)] <= first &&
+          first < csr.row_ptr()[static_cast<usize>(tr) + 1])) {
+      report.add("csr5.tile.meta", object, loc,
+                 "row " + std::to_string(tr) +
+                     " does not bracket the tile's first entry " +
+                     std::to_string(first));
+    }
+  }
+}
+
+template <ValueType V, IndexType I>
+void audit(const Csr5<V, I>& csr5, AuditReport& report,
+           std::string_view object = "CSR5") {
+  audit_csr5_raw(csr5.csr(), csr5.tile_size(), csr5.tile_row(), report,
+                 object);
+}
+
+// -------------------------------------------------------------- Dense --
+
+template <ValueType V>
+void audit(const Dense<V>& dense, AuditReport& report,
+           std::string_view object = "Dense") {
+  for (usize i = 0; i < dense.size(); ++i) {
+    if (!std::isfinite(static_cast<double>(dense.data()[i]))) {
+      report.add("dense.value.finite", object,
+                 detail::at("element", static_cast<std::int64_t>(i)),
+                 "non-finite value");
+    }
+  }
+}
+
+}  // namespace spmm::audit

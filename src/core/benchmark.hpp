@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/rules.hpp"
 #include "devsim/device.hpp"
 #include "formats/convert.hpp"
 #include "formats/format_id.hpp"
@@ -93,6 +94,14 @@ struct BenchResult {
   bool verified = false;
   bool verification_run = false;
   double max_abs_error = 0.0;
+
+  // Structural audit (--audit): the analyzer's verdict on the formatted
+  // structure, plus the distinct rule ids that fired. Kept out of the
+  // CSV (its column order is frozen); print_result tags the line.
+  bool audit_run = false;
+  std::size_t audit_errors = 0;
+  std::size_t audit_warnings = 0;
+  std::vector<std::string> audit_rules;
 
   // Storage.
   std::size_t format_bytes = 0;
@@ -231,6 +240,14 @@ class SpmmBenchmark {
     r.format_seconds = format_seconds_;
     r.format_bytes = format_bytes_;
 
+    // Structural audit of the formatted structure, before any timing so
+    // a corrupt structure is reported even if the kernel then crashes.
+    audit::AuditReport audit_report;
+    if (params_.audit) {
+      telemetry::ScopedSpan span(tel_, "audit", "bench", run_detail);
+      do_audit(audit_report);
+    }
+
     if (variant_is_transpose(variant) && !bt_.has_value()) {
       bt_ = b_.transposed();
     }
@@ -324,6 +341,19 @@ class SpmmBenchmark {
         r.max_abs_error = max_abs_diff(ref, c_);
       }
       r.verified = r.max_abs_error <= verify_tolerance();
+      if (params_.audit && !r.verified) {
+        audit_report.add("kernel.verify.diff", name(),
+                         std::string(variant_name(variant)),
+                         "max abs error " + std::to_string(r.max_abs_error) +
+                             " exceeds tolerance " +
+                             std::to_string(verify_tolerance()));
+      }
+    }
+    if (params_.audit) {
+      r.audit_run = true;
+      r.audit_errors = audit_report.error_count();
+      r.audit_warnings = audit_report.warning_count();
+      r.audit_rules = audit_report.fired_rules();
     }
 
     r.h2d_bytes = arena_->h2d_bytes() - h2d0;
@@ -369,6 +399,15 @@ class SpmmBenchmark {
   /// Bytes of the formatted representation.
   [[nodiscard]] virtual std::size_t do_format_bytes() const {
     return coo_.bytes();
+  }
+
+  /// Structural audit of this benchmark's formatted structure (--audit).
+  /// The base class audits the COO input and the dense B operand;
+  /// subclasses extend it with their format's rules. Only called once
+  /// the format-once lifecycle has formatted the structures.
+  virtual void do_audit(audit::AuditReport& report) const {
+    audit::audit(coo_, report, name() + "/input");
+    audit::audit(b_, report, name() + "/B");
   }
 
   /// Verification tolerance scaled to the accumulation depth.

@@ -74,6 +74,11 @@ class CsrBenchmark : public SpmmBenchmark<V, I> {
     return csr_.bytes();
   }
 
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    audit::audit(csr_, report, this->name());
+  }
+
   void do_compute(Variant variant) override {
     switch (variant) {
       case Variant::kSerial:
@@ -134,6 +139,11 @@ class EllBenchmark final : public SpmmBenchmark<V, I> {
     return ell_.bytes();
   }
 
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    audit::audit(ell_, report, this->name());
+  }
+
   void do_compute(Variant variant) override {
     switch (variant) {
       case Variant::kSerial:
@@ -191,6 +201,11 @@ class BcsrBenchmark final : public SpmmBenchmark<V, I> {
     return bcsr_.bytes();
   }
 
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    audit::audit(bcsr_, report, this->name());
+  }
+
   void do_compute(Variant variant) override {
     switch (variant) {
       case Variant::kSerial:
@@ -241,6 +256,11 @@ class BellBenchmark final : public SpmmBenchmark<V, I> {
     return bell_.bytes();
   }
 
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    audit::audit(bell_, report, this->name());
+  }
+
   void do_compute(Variant variant) override {
     switch (variant) {
       case Variant::kSerial:
@@ -276,6 +296,11 @@ class SellCBenchmark final : public SpmmBenchmark<V, I> {
 
   [[nodiscard]] std::size_t do_format_bytes() const override {
     return sell_.bytes();
+  }
+
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    audit::audit(sell_, report, this->name());
   }
 
   void do_compute(Variant variant) override {
@@ -315,6 +340,11 @@ class Csr5Benchmark final : public SpmmBenchmark<V, I> {
     return csr5_.bytes();
   }
 
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    audit::audit(csr5_, report, this->name());
+  }
+
   void do_compute(Variant variant) override {
     switch (variant) {
       case Variant::kSerial:
@@ -346,6 +376,11 @@ class HybBenchmark final : public SpmmBenchmark<V, I> {
 
   [[nodiscard]] std::size_t do_format_bytes() const override {
     return hyb_.bytes();
+  }
+
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    audit::audit(hyb_, report, this->name());
   }
 
   void do_compute(Variant variant) override {
@@ -391,6 +426,13 @@ class VendorBenchmark final : public SpmmBenchmark<V, I> {
 
   [[nodiscard]] std::size_t do_format_bytes() const override {
     return format_ == Format::kCsr ? csr_.bytes() : this->coo_.bytes();
+  }
+
+  void do_audit(audit::AuditReport& report) const override {
+    SpmmBenchmark<V, I>::do_audit(report);
+    if (format_ == Format::kCsr) {
+      audit::audit(csr_, report, this->name());
+    }
   }
 
   void do_compute(Variant variant) override {

@@ -28,6 +28,16 @@ void print_result(std::ostream& os, const BenchResult& r) {
   if (r.verification_run) {
     os << (r.verified ? " [verified]" : " [VERIFY FAILED]");
   }
+  if (r.audit_run) {
+    if (r.audit_errors == 0 && r.audit_warnings == 0) {
+      os << " [audit clean]";
+    } else {
+      os << " [AUDIT " << r.audit_errors << " error(s), " << r.audit_warnings
+         << " warning(s):";
+      for (const std::string& rule : r.audit_rules) os << " " << rule;
+      os << "]";
+    }
+  }
   os << "\n";
 }
 

@@ -27,6 +27,7 @@ namespace spmm {
 /// COO → CSR: compress the sorted row array into rows+1 offsets.
 template <ValueType V, IndexType I>
 Csr<V, I> to_csr(const Coo<V, I>& coo) {
+  SPMM_ASSERT(coo.is_canonical());
   const I rows = coo.rows();
   AlignedVector<I> row_ptr(static_cast<usize>(rows) + 1, 0);
   for (usize i = 0; i < coo.nnz(); ++i) {
@@ -84,6 +85,7 @@ Coo<V, I> to_coo(const Csr5<V, I>& csr5) {
 /// within a column ordered by row (the input is row-major sorted).
 template <ValueType V, IndexType I>
 Csc<V, I> to_csc(const Coo<V, I>& coo) {
+  SPMM_ASSERT(coo.is_canonical());
   const I cols = coo.cols();
   AlignedVector<I> col_ptr(static_cast<usize>(cols) + 1, 0);
   for (usize i = 0; i < coo.nnz(); ++i) {
@@ -124,6 +126,7 @@ Coo<V, I> to_coo(const Csc<V, I>& csc) {
 /// keeping pad reads adjacent to real data (paper §2.2).
 template <ValueType V, IndexType I>
 Ell<V, I> to_ell(const Coo<V, I>& coo) {
+  SPMM_ASSERT(coo.is_canonical());
   const I rows = coo.rows();
   AlignedVector<I> counts(static_cast<usize>(rows), 0);
   for (usize i = 0; i < coo.nnz(); ++i) {
@@ -191,6 +194,7 @@ Coo<V, I> to_coo(const Ell<V, I>& ell) {
 /// replaces the thesis's prohibitively slow formatter (§6.3.2).
 template <ValueType V, IndexType I>
 Bcsr<V, I> to_bcsr(const Coo<V, I>& coo, I block_size) {
+  SPMM_ASSERT(coo.is_canonical());
   SPMM_CHECK(block_size > 0, "BCSR block size must be positive");
   const I rows = coo.rows();
   const I brows = (rows + block_size - 1) / block_size;
@@ -273,6 +277,7 @@ Coo<V, I> to_coo(const Bcsr<V, I>& bcsr) {
 /// own maximum row width.
 template <ValueType V, IndexType I>
 Bell<V, I> to_bell(const Coo<V, I>& coo, I group_size) {
+  SPMM_ASSERT(coo.is_canonical());
   SPMM_CHECK(group_size > 0, "BELL group size must be positive");
   const I rows = coo.rows();
   const I groups = (rows + group_size - 1) / group_size;
@@ -359,6 +364,7 @@ Coo<V, I> to_coo(const Bell<V, I>& bell) {
 /// to the chunk max, column-major lanes within each chunk.
 template <ValueType V, IndexType I>
 SellC<V, I> to_sellc(const Coo<V, I>& coo, I chunk_size, I sigma) {
+  SPMM_ASSERT(coo.is_canonical());
   SPMM_CHECK(chunk_size > 0, "SELL-C chunk size must be positive");
   SPMM_CHECK(sigma > 0, "SELL-C sigma must be positive");
   // Sorting windows must cover whole chunks for the layout to make sense.
@@ -497,6 +503,7 @@ I hyb_auto_width(const Coo<V, I>& coo) {
 /// the rest spill to the COO tail. width < 0 selects hyb_auto_width().
 template <ValueType V, IndexType I>
 Hyb<V, I> to_hyb(const Coo<V, I>& coo, I width = -1) {
+  SPMM_ASSERT(coo.is_canonical());
   if (width < 0) width = hyb_auto_width(coo);
   const I rows = coo.rows();
   const usize padded = static_cast<usize>(rows) * static_cast<usize>(width);

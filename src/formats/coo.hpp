@@ -60,6 +60,21 @@ class Coo {
   [[nodiscard]] const AlignedVector<I>& col_idx() const { return col_idx_; }
   [[nodiscard]] const AlignedVector<V>& values() const { return values_; }
 
+  /// True when entries are sorted row-major with strictly increasing
+  /// (row, col) pairs — the invariant every converter in convert.hpp
+  /// relies on. The constructor establishes it; this exists so debug
+  /// builds can re-assert it at the conversion boundary and the audit
+  /// rules can report violations on raw triplet arrays.
+  [[nodiscard]] bool is_canonical() const {
+    for (usize i = 1; i < values_.size(); ++i) {
+      if (std::tie(row_idx_[i - 1], col_idx_[i - 1]) >=
+          std::tie(row_idx_[i], col_idx_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Entry accessors (canonical order).
   [[nodiscard]] I row(usize i) const { return row_idx_[i]; }
   [[nodiscard]] I col(usize i) const { return col_idx_[i]; }

@@ -94,4 +94,21 @@ constexpr bool variant_is_device(Variant v) {
   return v == Variant::kDevice || v == Variant::kDeviceTranspose;
 }
 
+/// Which variants each shipped benchmark implements. The extension
+/// formats (BELL, SELL-C, HYB) have no transpose kernels, and CSR5 ships
+/// serial + parallel only; asking a benchmark for an unsupported variant
+/// throws, so drivers filter through this first.
+constexpr bool format_supports(Format f, Variant v) {
+  switch (f) {
+    case Format::kBell:
+    case Format::kSellC:
+    case Format::kHyb:
+      return !variant_is_transpose(v);
+    case Format::kCsr5:
+      return v == Variant::kSerial || v == Variant::kParallel;
+    default:
+      return true;
+  }
+}
+
 }  // namespace spmm

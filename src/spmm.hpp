@@ -33,6 +33,11 @@
 #include "formats/properties.hpp"
 #include "formats/sellc.hpp"
 
+// Structural analyzer.
+#include "audit/audit.hpp"
+#include "audit/diagnostics.hpp"
+#include "audit/rules.hpp"
+
 // I/O.
 #include "io/bcsr_cache.hpp"
 #include "io/matrix_market.hpp"

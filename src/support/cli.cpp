@@ -265,6 +265,9 @@ void BenchParams::register_options(ArgParser& parser) {
                   "verify with the O(nnz) random probe instead of the full "
                   "COO reference multiply");
   parser.add_flag("debug", 'd', "print extra diagnostics");
+  parser.add_flag("audit", 0,
+                  "run the structural analyzer over the formatted "
+                  "structure before timing");
   parser.add_int("seed", 's', 42, "seed for generators and operand fill");
   parser.add_int("device-memory-mb", 0, 0,
                  "emulated device memory cap in MiB (0 = unlimited)");
@@ -283,6 +286,7 @@ BenchParams BenchParams::from_parser(const ArgParser& parser) {
   p.verify = !parser.get_flag("no-verify");
   p.verify_probe = parser.get_flag("probe-verify");
   p.debug = parser.get_flag("debug");
+  p.audit = parser.get_flag("audit");
   p.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
   const std::int64_t dev_mb = parser.get_int("device-memory-mb");
   SPMM_CHECK(dev_mb >= 0, "--device-memory-mb must be non-negative");

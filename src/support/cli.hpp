@@ -108,6 +108,9 @@ struct BenchParams {
   bool verify_probe = false;
   /// Extra diagnostics.
   bool debug = false;
+  /// Run the structural analyzer (src/audit) over the formatted
+  /// structure before timing; findings are attached to the BenchResult.
+  bool audit = false;
   /// Seed for matrix generation / dense operand fill.
   std::uint64_t seed = 42;
   /// Emulated device memory capacity in bytes for device variants;

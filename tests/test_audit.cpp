@@ -1,0 +1,451 @@
+// The structural analyzer's own test suite.
+//
+// Three layers: the rule registry and report plumbing, clean structures
+// passing every rule, and — the important part — seeded corruptions:
+// each format is deliberately broken the way a buggy formatter would
+// break it (swapped row_ptr entries, misaligned BCSR blocks, truncated
+// ELL padding, off-by-one CSR5 tile metadata) and the analyzer must
+// report the exact expected rule id.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audit/audit.hpp"
+#include "core/format_benchmarks.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+using I32 = std::int32_t;
+
+// ----------------------------------------------------- registry/report --
+
+TEST(AuditRegistry, ContainsTheCoreRuleIds) {
+  for (const char* id :
+       {"csr.row_ptr.monotone", "ell.pad.sentinel", "bcsr.block.geometry",
+        "csr5.tile.meta", "convert.roundtrip.identity",
+        "kernel.verify.diff"}) {
+    const audit::RuleInfo* info = audit::find_rule(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_EQ(info->id, id);
+    EXPECT_FALSE(info->description.empty());
+  }
+  EXPECT_EQ(audit::find_rule("no.such.rule"), nullptr);
+}
+
+TEST(AuditRegistry, IsSortedById) {
+  const auto& reg = audit::rule_registry();
+  ASSERT_FALSE(reg.empty());
+  for (usize i = 1; i < reg.size(); ++i) {
+    EXPECT_LT(reg[i - 1].id, reg[i].id);
+  }
+}
+
+TEST(AuditReport, CountsSeveritiesAndCapsStoredRecords) {
+  audit::AuditReport report;
+  EXPECT_TRUE(report.ok());
+  const usize n = audit::AuditReport::kMaxPerRule + 4;
+  for (usize i = 0; i < n; ++i) {
+    report.add("coo.index.range", "COO", "entry " + std::to_string(i),
+               "out of range");
+  }
+  report.add("bcsr.block.occupancy", "BCSR", "block 0", "empty block");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), n);
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_EQ(report.count("coo.index.range"), n);
+  EXPECT_EQ(report.suppressed_count(), 4u);
+  EXPECT_EQ(report.diagnostics().size(), audit::AuditReport::kMaxPerRule + 1);
+  ASSERT_EQ(report.fired_rules().size(), 2u);
+  EXPECT_EQ(report.fired_rules()[0], "coo.index.range");
+  EXPECT_TRUE(report.has("bcsr.block.occupancy"));
+
+  report.clear();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.diagnostics().size(), 0u);
+  EXPECT_FALSE(report.has("coo.index.range"));
+}
+
+// ------------------------------------------------------- clean passes --
+
+TEST(AuditClean, EveryConversionPathPassesOnRandomMatrices) {
+  for (std::uint64_t seed : {3u, 17u, 99u}) {
+    const CooD a = testutil::random_coo(60, 45, 4.0, seed);
+    audit::AuditReport report;
+    audit::audit_conversions(a, report, "random");
+    EXPECT_TRUE(report.ok()) << "seed " << seed;
+    EXPECT_EQ(report.warning_count(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(AuditClean, AdversarialEdgeMatricesPass) {
+  std::vector<std::pair<const char*, CooD>> edges;
+  edges.emplace_back("empty-5x7", CooD(5, 7));  // every row empty
+  edges.emplace_back("0xN", CooD(0, 6));
+  edges.emplace_back("Nx0", CooD(6, 0));
+  {
+    // One fully dense row amid empty ones.
+    AlignedVector<I32> r(8, 2), c(8);
+    AlignedVector<double> v(8);
+    for (I32 j = 0; j < 8; ++j) {
+      c[static_cast<usize>(j)] = j;
+      v[static_cast<usize>(j)] = j + 1.0;
+    }
+    edges.emplace_back("dense-row",
+                       CooD(5, 8, std::move(r), std::move(c), std::move(v)));
+  }
+  {
+    // Single-column matrix.
+    AlignedVector<I32> r = {0, 2, 3}, c = {0, 0, 0};
+    AlignedVector<double> v = {1.0, 2.0, 3.0};
+    edges.emplace_back("single-col",
+                       CooD(4, 1, std::move(r), std::move(c), std::move(v)));
+  }
+  for (auto& [name, matrix] : edges) {
+    audit::AuditReport report;
+    audit::audit_conversions(matrix, report, name);
+    EXPECT_TRUE(report.ok()) << name;
+  }
+}
+
+// ------------------------------------------------- seeded corruptions --
+
+TEST(AuditCorruption, UnsortedCooTriplets) {
+  AlignedVector<I32> r = {2, 0, 1}, c = {1, 0, 2};
+  AlignedVector<double> v = {1, 2, 3};
+  audit::AuditReport report;
+  audit::audit_coo_raw<double, I32>(3, 3, r, c, v, report);
+  EXPECT_TRUE(report.has("coo.order.canonical"));
+}
+
+TEST(AuditCorruption, CooIndexOutOfRange) {
+  AlignedVector<I32> r = {0, 5}, c = {0, 1};
+  AlignedVector<double> v = {1, 2};
+  audit::AuditReport report;
+  audit::audit_coo_raw<double, I32>(3, 3, r, c, v, report);
+  EXPECT_TRUE(report.has("coo.index.range"));
+}
+
+TEST(AuditCorruption, SwappedCsrRowPtrEntries) {
+  const auto csr = to_csr(testutil::small_coo());
+  AlignedVector<I32> row_ptr(csr.row_ptr());
+  std::swap(row_ptr[2], row_ptr[3]);  // [0,2,2,3,6] -> [0,2,3,2,6]
+  audit::AuditReport report;
+  audit::audit_csr_raw(csr.rows(), csr.cols(), row_ptr, csr.col_idx(),
+                       csr.values(), report);
+  EXPECT_TRUE(report.has("csr.row_ptr.monotone"));
+  const audit::Diagnostic& d = report.diagnostics().front();
+  EXPECT_EQ(d.rule, "csr.row_ptr.monotone");
+  EXPECT_EQ(d.severity, audit::Severity::kError);
+  EXPECT_FALSE(d.location.empty());
+}
+
+TEST(AuditCorruption, CsrColumnDefects) {
+  const auto csr = to_csr(testutil::small_coo());
+  {
+    AlignedVector<I32> col_idx(csr.col_idx());
+    col_idx[0] = 17;  // way outside the 4 columns
+    audit::AuditReport report;
+    audit::audit_csr_raw(csr.rows(), csr.cols(), csr.row_ptr(), col_idx,
+                         csr.values(), report);
+    EXPECT_TRUE(report.has("csr.col.range"));
+  }
+  {
+    AlignedVector<I32> col_idx(csr.col_idx());
+    std::swap(col_idx[0], col_idx[1]);  // row 0 columns out of order
+    audit::AuditReport report;
+    audit::audit_csr_raw(csr.rows(), csr.cols(), csr.row_ptr(), col_idx,
+                         csr.values(), report);
+    EXPECT_TRUE(report.has("csr.col.order"));
+  }
+  {
+    AlignedVector<I32> row_ptr(csr.row_ptr());
+    row_ptr.pop_back();  // rows+1 invariant broken
+    audit::AuditReport report;
+    audit::audit_csr_raw(csr.rows(), csr.cols(), row_ptr, csr.col_idx(),
+                         csr.values(), report);
+    EXPECT_TRUE(report.has("csr.shape.valid"));
+  }
+}
+
+TEST(AuditCorruption, SwappedCscColPtrEntries) {
+  const auto csc = to_csc(testutil::small_coo());
+  AlignedVector<I32> col_ptr(csc.col_ptr());
+  std::swap(col_ptr[1], col_ptr[2]);  // [0,2,3,5,6] -> [0,3,2,5,6]
+  audit::AuditReport report;
+  audit::audit_csc_raw(csc.rows(), csc.cols(), col_ptr, csc.row_idx(),
+                       csc.values(), report);
+  EXPECT_TRUE(report.has("csc.col_ptr.monotone"));
+}
+
+TEST(AuditCorruption, EllPadSentinelBroken) {
+  const auto ell = to_ell(testutil::small_coo());  // width 3
+  AlignedVector<I32> col_idx(ell.col_idx());
+  // Row 0 has 2 real entries (cols 0, 2); its pad slot must repeat 2.
+  col_idx[2] = 1;
+  audit::AuditReport report;
+  audit::audit_ell_raw(ell.rows(), ell.cols(), ell.width(), ell.nnz(),
+                       col_idx, ell.values(), report);
+  EXPECT_TRUE(report.has("ell.pad.sentinel"));
+}
+
+TEST(AuditCorruption, EllPaddingTruncated) {
+  const auto ell = to_ell(testutil::small_coo());
+  AlignedVector<I32> col_idx(ell.col_idx());
+  AlignedVector<double> values(ell.values());
+  col_idx.pop_back();
+  values.pop_back();
+  audit::AuditReport report;
+  audit::audit_ell_raw(ell.rows(), ell.cols(), ell.width(), ell.nnz(),
+                       col_idx, values, report);
+  EXPECT_TRUE(report.has("ell.shape.valid"));
+}
+
+TEST(AuditCorruption, EllInteriorZeroAndNnzMismatch) {
+  const auto ell = to_ell(testutil::small_coo());
+  {
+    AlignedVector<double> values(ell.values());
+    // Row 3 holds 3 real entries; zeroing the middle one makes it
+    // padding-inside-the-prefix (the entry would vanish on round trip).
+    values[3 * 3 + 1] = 0.0;
+    audit::AuditReport report;
+    audit::audit_ell_raw(ell.rows(), ell.cols(), ell.width(), ell.nnz(),
+                         ell.col_idx(), values, report);
+    EXPECT_TRUE(report.has("ell.pad.interior"));
+  }
+  {
+    audit::AuditReport report;
+    audit::audit_ell_raw(ell.rows(), ell.cols(), ell.width(), ell.nnz() + 1,
+                         ell.col_idx(), ell.values(), report);
+    EXPECT_TRUE(report.has("ell.nnz.count"));
+  }
+}
+
+TEST(AuditCorruption, BcsrBlockMisaligned) {
+  const auto bcsr = to_bcsr(testutil::small_coo(), I32{2});
+  AlignedVector<double> values(bcsr.values());
+  values.pop_back();  // values no longer nblocks * b * b
+  audit::AuditReport report;
+  audit::audit_bcsr_raw(bcsr.rows(), bcsr.cols(), bcsr.block_size(),
+                        bcsr.nnz(), bcsr.block_row_ptr(),
+                        bcsr.block_col_idx(), values, report);
+  EXPECT_TRUE(report.has("bcsr.block.geometry"));
+}
+
+TEST(AuditCorruption, BcsrBlockColumnAndBounds) {
+  const auto bcsr = to_bcsr(testutil::small_coo(), I32{2});
+  {
+    AlignedVector<I32> block_col_idx(bcsr.block_col_idx());
+    block_col_idx[0] = 9;  // only 2 block columns exist
+    audit::AuditReport report;
+    audit::audit_bcsr_raw(bcsr.rows(), bcsr.cols(), bcsr.block_size(),
+                          bcsr.nnz(), bcsr.block_row_ptr(), block_col_idx,
+                          bcsr.values(), report);
+    EXPECT_TRUE(report.has("bcsr.block.col_range"));
+  }
+  {
+    // 3x3 diagonal with b=2: the last block row covers rows 2..3 but only
+    // row 2 exists; a nonzero in its local row 1 lands outside the matrix.
+    AlignedVector<I32> r = {0, 1, 2}, c = {0, 1, 2};
+    AlignedVector<double> v = {1, 2, 3};
+    const CooD diag(3, 3, std::move(r), std::move(c), std::move(v));
+    const auto edge = to_bcsr(diag, I32{2});
+    AlignedVector<double> values(edge.values());
+    const usize last_block = edge.nnz_blocks() - 1;
+    values[last_block * 4 + 2] = 7.0;  // local (1, 0) of the edge block
+    audit::AuditReport report;
+    audit::audit_bcsr_raw(edge.rows(), edge.cols(), edge.block_size(),
+                          edge.nnz() + 1, edge.block_row_ptr(),
+                          edge.block_col_idx(), values, report);
+    EXPECT_TRUE(report.has("bcsr.block.bounds"));
+  }
+  {
+    // Zeroing every entry of one stored block leaves a vacuous block:
+    // legal but wasteful — a warning, plus the nnz count error.
+    AlignedVector<double> values(bcsr.values());
+    for (usize i = 0; i < 4; ++i) values[i] = 0.0;
+    audit::AuditReport report;
+    audit::audit_bcsr_raw(bcsr.rows(), bcsr.cols(), bcsr.block_size(),
+                          bcsr.nnz(), bcsr.block_row_ptr(),
+                          bcsr.block_col_idx(), values, report);
+    EXPECT_TRUE(report.has("bcsr.block.occupancy"));
+    EXPECT_TRUE(report.has("bcsr.nnz.count"));
+  }
+}
+
+TEST(AuditCorruption, BellGroupExtentBroken) {
+  const auto bell = to_bell(testutil::small_coo(), I32{2});
+  AlignedVector<usize> offset(bell.offset());
+  offset[1] += 1;
+  audit::AuditReport report;
+  audit::audit_bell_raw(bell.rows(), bell.cols(), bell.group_size(),
+                        bell.nnz(), bell.width(), offset, bell.col_idx(),
+                        bell.values(), report);
+  EXPECT_TRUE(report.has("bell.group.extent"));
+}
+
+TEST(AuditCorruption, BellPadSentinelBroken) {
+  const auto bell = to_bell(testutil::small_coo(), I32{2});
+  // Group 1 (rows 2..3) has width 3; row 2 holds one real entry (col 1),
+  // so its two pad slots must repeat column 1.
+  AlignedVector<I32> col_idx(bell.col_idx());
+  const usize row2_base = bell.offset()[1];
+  col_idx[row2_base + 1] = 3;
+  audit::AuditReport report;
+  audit::audit_bell_raw(bell.rows(), bell.cols(), bell.group_size(),
+                        bell.nnz(), bell.width(), bell.offset(), col_idx,
+                        bell.values(), report);
+  EXPECT_TRUE(report.has("bell.pad.sentinel"));
+}
+
+TEST(AuditCorruption, SellcPermNotBijective) {
+  const auto sell = to_sellc(testutil::small_coo(), I32{2}, I32{2});
+  AlignedVector<I32> perm(sell.perm());
+  perm[0] = perm[1];  // one row mapped twice, another lost
+  audit::AuditReport report;
+  audit::audit_sellc_raw(sell.rows(), sell.cols(), sell.chunk_size(),
+                         sell.nnz(), perm, sell.chunk_width(),
+                         sell.chunk_offset(), sell.col_idx(), sell.values(),
+                         report);
+  EXPECT_TRUE(report.has("sellc.perm.bijective"));
+}
+
+TEST(AuditCorruption, SellcUnusedLaneHoldsData) {
+  // 3 rows with chunk size 2: the final chunk's lane 1 is unused and must
+  // stay zero.
+  AlignedVector<I32> r = {0, 1, 2}, c = {0, 1, 2};
+  AlignedVector<double> v = {1, 2, 3};
+  const CooD diag(3, 3, std::move(r), std::move(c), std::move(v));
+  const auto sell = to_sellc(diag, I32{2}, I32{2});
+  AlignedVector<double> values(sell.values());
+  const usize unused_slot = sell.chunk_offset()[1] + 1;  // chunk 1, lane 1
+  values[unused_slot] = 5.0;
+  audit::AuditReport report;
+  audit::audit_sellc_raw(sell.rows(), sell.cols(), sell.chunk_size(),
+                         sell.nnz(), sell.perm(), sell.chunk_width(),
+                         sell.chunk_offset(), sell.col_idx(), values, report);
+  EXPECT_TRUE(report.has("sellc.lane.empty"));
+}
+
+TEST(AuditCorruption, Csr5TileMetaOffByOne) {
+  const auto csr5 = to_csr5(testutil::small_coo(), I32{2});
+  AlignedVector<I32> tile_row(csr5.tile_row());  // [0, 2, 3]
+  ASSERT_GE(tile_row.size(), 2u);
+  tile_row[1] = 1;  // row 1 is empty: it cannot bracket tile 1's entries
+  audit::AuditReport report;
+  audit::audit_csr5_raw(csr5.csr(), csr5.tile_size(), tile_row, report);
+  EXPECT_TRUE(report.has("csr5.tile.meta"));
+}
+
+TEST(AuditCorruption, HybTailSpillsFromUnfilledRow) {
+  // Row 0 uses only 1 of 2 ELL slots yet spills an entry to the tail —
+  // the converter's fill-ELL-first discipline is violated.
+  AlignedVector<I32> ell_cols = {0, 0, 1, 2};
+  AlignedVector<double> ell_vals = {1.0, 0.0, 2.0, 3.0};
+  Ell<double, I32> ell(2, 4, 2, 3, std::move(ell_cols), std::move(ell_vals));
+  AlignedVector<I32> tr = {0}, tc = {3};
+  AlignedVector<double> tv = {9.0};
+  Coo<double, I32> tail(2, 4, std::move(tr), std::move(tc), std::move(tv));
+  const Hyb<double, I32> hyb(std::move(ell), std::move(tail));
+  audit::AuditReport report;
+  audit::audit(hyb, report);
+  EXPECT_TRUE(report.has("hyb.tail.overflow"));
+}
+
+TEST(AuditCorruption, DenseNonFiniteValue) {
+  Dense<double> d(2, 3);
+  d.data()[4] = std::nan("");
+  audit::AuditReport report;
+  audit::audit(d, report);
+  EXPECT_TRUE(report.has("dense.value.finite"));
+  EXPECT_FALSE(report.ok());
+}
+
+// ------------------------------------------- converter preconditions --
+
+TEST(ConverterPrecondition, ShuffledCooCanonicalizesBeforeConversion) {
+  // The same six triplets as small_coo(), deliberately shuffled. The Coo
+  // constructor must canonicalize them, so every converter sees sorted
+  // input and the results are identical to the sorted-input ones.
+  AlignedVector<I32> r = {3, 0, 2, 3, 0, 3};
+  AlignedVector<I32> c = {2, 2, 1, 0, 0, 3};
+  AlignedVector<double> v = {5, 2, 3, 4, 1, 6};
+  const CooD shuffled(4, 4, std::move(r), std::move(c), std::move(v));
+  EXPECT_TRUE(shuffled.is_canonical());
+  EXPECT_EQ(shuffled, testutil::small_coo());
+  EXPECT_EQ(to_coo(to_csr(shuffled)), testutil::small_coo());
+  EXPECT_EQ(to_coo(to_csc(shuffled)), testutil::small_coo());
+  EXPECT_EQ(to_coo(to_ell(shuffled)), testutil::small_coo());
+  EXPECT_EQ(to_coo(to_bcsr(shuffled, I32{2})), testutil::small_coo());
+
+  audit::AuditReport report;
+  audit::audit_conversions(shuffled, report, "shuffled");
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(ConverterPrecondition, RawUnsortedTripletsAreFlaggedByTheAnalyzer) {
+  // Bypassing the Coo constructor (as a buggy loader might) leaves
+  // non-canonical triplets; the analyzer is the net that catches them.
+  AlignedVector<I32> r = {1, 0}, c = {0, 0};
+  AlignedVector<double> v = {1, 2};
+  audit::AuditReport report;
+  audit::audit_coo_raw<double, I32>(2, 2, r, c, v, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("coo.order.canonical"));
+}
+
+// ------------------------------------------------ benchmark --audit --
+
+TEST(BenchmarkAudit, AuditFlagAttachesCleanVerdict) {
+  bench::CsrBenchmark<double, I32> benchmark;
+  BenchParams params;
+  params.iterations = 1;
+  params.warmup = 0;
+  params.k = 4;
+  params.threads = 2;
+  params.audit = true;
+  benchmark.setup(testutil::random_coo(48, 48, 3.0, 7), params, "m");
+  const bench::BenchResult r = benchmark.run(Variant::kSerial);
+  EXPECT_TRUE(r.audit_run);
+  EXPECT_EQ(r.audit_errors, 0u);
+  EXPECT_EQ(r.audit_warnings, 0u);
+  EXPECT_TRUE(r.audit_rules.empty());
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(BenchmarkAudit, AuditOffByDefault) {
+  bench::EllBenchmark<double, I32> benchmark;
+  BenchParams params;
+  params.iterations = 1;
+  params.warmup = 0;
+  params.k = 4;
+  benchmark.setup(testutil::random_coo(32, 32, 3.0, 9), params, "m");
+  const bench::BenchResult r = benchmark.run(Variant::kSerial);
+  EXPECT_FALSE(r.audit_run);
+  EXPECT_EQ(r.audit_errors, 0u);
+}
+
+TEST(BenchmarkAudit, AuditEmitsTelemetrySpan) {
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  bench::CsrBenchmark<double, I32> benchmark;
+  BenchParams params;
+  params.iterations = 1;
+  params.warmup = 0;
+  params.k = 4;
+  params.audit = true;
+  params.sink = sink;
+  benchmark.setup(testutil::random_coo(32, 32, 3.0, 5), params, "m");
+  benchmark.run(Variant::kSerial);
+  bool saw_audit_span = false;
+  for (const auto& e : sink->events()) {
+    if (e.kind == telemetry::EventKind::kSpanBegin && e.name == "audit") {
+      saw_audit_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_audit_span);
+}
+
+}  // namespace
+}  // namespace spmm

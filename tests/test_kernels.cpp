@@ -7,6 +7,7 @@
 #include "kernels/dense_ref.hpp"
 #include "kernels/spmm_bcsr.hpp"
 #include "kernels/spmm_bell.hpp"
+#include "kernels/spmm_common.hpp"
 #include "kernels/spmm_coo.hpp"
 #include "kernels/spmm_csr.hpp"
 #include "kernels/spmm_ell.hpp"
@@ -258,6 +259,58 @@ TEST(SpmmKernelEdge, ShapeMismatchThrows) {
   Dense<double> b_ok(4, 4);
   Dense<double> c_bad(4, 3);  // wrong width
   EXPECT_THROW(spmm_coo_serial(a, b_ok, c_bad), Error);
+}
+
+// The shape checks must throw spmm::Error whose what() leads with the
+// throw site's file:line — the property diagnostics and bug reports rely
+// on (support/error.hpp prepends it via SPMM_CHECK).
+TEST(SpmmKernelEdge, ShapeErrorsCarryFileLinePrefix) {
+  const CooD a = testutil::small_coo();
+  const auto expect_prefixed = [](const auto& fn, const char* msg) {
+    try {
+      fn();
+      FAIL() << "expected spmm::Error for " << msg;
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      const auto colon = what.find(':');
+      ASSERT_NE(colon, std::string::npos) << what;
+      EXPECT_NE(what.find("spmm_common.hpp"), std::string::npos) << what;
+      // file:line: message — the line number parses as a positive int.
+      const auto line_end = what.find(':', colon + 1);
+      ASSERT_NE(line_end, std::string::npos) << what;
+      EXPECT_GT(std::stoi(what.substr(colon + 1, line_end - colon - 1)), 0)
+          << what;
+      EXPECT_NE(what.find(msg), std::string::npos) << what;
+    }
+  };
+
+  Dense<double> b_bad(3, 4), c_ok(4, 4);
+  expect_prefixed(
+      [&] { check_spmm_shapes(a.rows(), a.cols(), b_bad, c_ok); },
+      "SpMM: B must have A.cols rows");
+  Dense<double> b_ok(4, 4), c_bad_rows(3, 4);
+  expect_prefixed(
+      [&] { check_spmm_shapes(a.rows(), a.cols(), b_ok, c_bad_rows); },
+      "SpMM: C must have A.rows rows");
+  Dense<double> c_bad_width(4, 3);
+  expect_prefixed(
+      [&] { check_spmm_shapes(a.rows(), a.cols(), b_ok, c_bad_width); },
+      "SpMM: B and C must have equal width");
+
+  Dense<double> bt_bad(4, 3);  // wrong: needs a.cols() = 4 columns
+  expect_prefixed(
+      [&] { check_spmm_shapes_transpose(a.rows(), a.cols(), bt_bad, c_ok); },
+      "SpMM-T: Bt must have A.cols columns");
+  Dense<double> bt_ok(4, 4);
+  expect_prefixed(
+      [&] {
+        check_spmm_shapes_transpose(a.rows(), a.cols(), bt_ok, c_bad_rows);
+      },
+      "SpMM-T: C must have A.rows rows");
+  Dense<double> c_bad_k(4, 5);
+  expect_prefixed(
+      [&] { check_spmm_shapes_transpose(a.rows(), a.cols(), bt_ok, c_bad_k); },
+      "SpMM-T: Bt height and C width must match");
 }
 
 TEST(SpmmKernelEdge, NonPositiveThreadsThrow) {

@@ -5,6 +5,9 @@
 // kernels' mathematics, padding handling, or partitioning shows up here.
 #include <gtest/gtest.h>
 
+#include <iostream>
+
+#include "audit/audit.hpp"
 #include "kernels/dense_ref.hpp"
 #include "kernels/spmm_bcsr.hpp"
 #include "kernels/spmm_bell.hpp"
@@ -124,6 +127,17 @@ TEST_P(FuzzTest, ParallelKernelsAgreeWithSerial) {
   check("csr5 omp");
 }
 
+TEST_P(FuzzTest, StructuralAuditIsCleanOnEveryFormat) {
+  // The analyzer runs over every conversion path of the fuzzed matrix:
+  // no generated structure may trip a rule, and no roundtrip may lose
+  // entries. This is the fuzz-shaped mirror of the spmm_audit CLI gate.
+  audit::AuditReport report;
+  audit::audit_conversions(a_, report, "fuzz");
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warning_count(), 0u);
+  if (!report.ok()) print_report(std::cerr, report);
+}
+
 TEST_P(FuzzTest, OptimizedKernelsAgree) {
   spmm_csr_serial_opt(to_csr(a_), b_, c_);
   check("csr opt");
@@ -132,6 +146,89 @@ TEST_P(FuzzTest, OptimizedKernelsAgree) {
   spmm_ell_serial_opt(to_ell(a_), b_, c_);
   check("ell opt");
 }
+
+// Adversarial edge matrices the generator's distributions never produce:
+// degenerate shapes and pathological row profiles that stress padding,
+// chunking, and empty-row handling in every converter.
+std::vector<std::pair<std::string, CooD>> edge_matrices() {
+  std::vector<std::pair<std::string, CooD>> out;
+  out.emplace_back("all_empty_rows", CooD(7, 5));
+  out.emplace_back("zero_rows", CooD(0, 9));
+  out.emplace_back("zero_cols", CooD(9, 0));
+  {
+    // One fully dense row in an otherwise sparse matrix: ELL width jumps
+    // to cols, HYB spills, SELL-C gets one heavy chunk.
+    AlignedVector<std::int32_t> r, c;
+    AlignedVector<double> v;
+    for (std::int32_t j = 0; j < 12; ++j) {
+      r.push_back(3);
+      c.push_back(j);
+      v.push_back(j + 1.0);
+    }
+    r.push_back(0);
+    c.push_back(5);
+    v.push_back(99.0);
+    out.emplace_back("one_dense_row", CooD(9, 12, std::move(r), std::move(c),
+                                           std::move(v)));
+  }
+  {
+    // Single-column matrix: every format degenerates to width/chunk 1.
+    AlignedVector<std::int32_t> r = {0, 3, 4, 6};
+    AlignedVector<std::int32_t> c = {0, 0, 0, 0};
+    AlignedVector<double> v = {1, 2, 3, 4};
+    out.emplace_back("single_column",
+                     CooD(7, 1, std::move(r), std::move(c), std::move(v)));
+  }
+  return out;
+}
+
+class EdgeMatrixTest
+    : public ::testing::TestWithParam<std::pair<std::string, CooD>> {};
+
+TEST_P(EdgeMatrixTest, RoundTripsAndAuditStayClean) {
+  const CooD& m = GetParam().second;
+  EXPECT_EQ(to_coo(to_csr(m)), m);
+  EXPECT_EQ(to_coo(to_csc(m)), m);
+  EXPECT_EQ(to_coo(to_ell(m)), m);
+  EXPECT_EQ(to_coo(to_bcsr(m, 2)), m);
+  EXPECT_EQ(to_coo(to_bell(m, 4)), m);
+  EXPECT_EQ(to_coo(to_sellc(m, 4, 8)), m);
+  EXPECT_EQ(to_coo(to_hyb(m)), m);
+  if (m.nnz() > 0) {
+    EXPECT_EQ(to_coo(to_csr5(m, 8)), m);
+  }
+
+  audit::AuditReport report;
+  audit::audit_conversions(m, report, GetParam().first);
+  EXPECT_TRUE(report.ok());
+  if (!report.ok()) print_report(std::cerr, report);
+}
+
+TEST_P(EdgeMatrixTest, KernelsAgreeWithTheReference) {
+  const CooD& m = GetParam().second;
+  const int k = 5;
+  Rng rng(7);
+  Dense<double> b(static_cast<usize>(m.cols()), static_cast<usize>(k));
+  b.fill_random(rng);
+  const Dense<double> expected = spmm_reference(m, b);
+  Dense<double> c(static_cast<usize>(m.rows()), static_cast<usize>(k));
+
+  spmm_csr_serial(to_csr(m), b, c);
+  EXPECT_LE(max_abs_diff(expected, c), kTol) << "csr";
+  c.fill(-7.0);
+  spmm_ell_serial(to_ell(m), b, c);
+  EXPECT_LE(max_abs_diff(expected, c), kTol) << "ell";
+  c.fill(-7.0);
+  spmm_sellc_serial(to_sellc(m, 4, 8), b, c);
+  EXPECT_LE(max_abs_diff(expected, c), kTol) << "sellc";
+  c.fill(-7.0);
+  spmm_hyb_serial(to_hyb(m), b, c);
+  EXPECT_LE(max_abs_diff(expected, c), kTol) << "hyb";
+}
+
+INSTANTIATE_TEST_SUITE_P(Edges, EdgeMatrixTest,
+                         ::testing::ValuesIn(edge_matrices()),
+                         [](const auto& info) { return info.param.first; });
 
 std::vector<FuzzCase> fuzz_cases() {
   std::vector<FuzzCase> cases;

@@ -1,0 +1,137 @@
+// spmm_audit — lint the suite through the structural analyzer.
+//
+// Two passes over every selected matrix:
+//   1. Structural: every COO → format → COO conversion path is audited
+//      against the analyzer rules (src/audit/rules.hpp), including the
+//      round-trip identity check.
+//   2. Differential: every format × kernel variant runs once and is
+//      verified against the COO reference multiply; failures are
+//      reported as kernel.verify.diff.
+// Prints a diagnostics table and exits nonzero on any error-severity
+// finding — the CI smoke gate for format/kernel structural integrity.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "core/format_benchmarks.hpp"
+#include "core/runner.hpp"
+#include "gen/suite.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+
+using namespace spmm;
+
+namespace {
+
+std::vector<std::string> parse_matrices(const std::string& arg) {
+  if (arg.empty() || arg == "all") return gen::suite_names();
+  std::vector<std::string> out;
+  for (const std::string& piece : split(arg, ',')) {
+    out.push_back(trim(piece));
+  }
+  return out;
+}
+
+std::vector<Variant> parse_variants(const std::string& arg) {
+  if (arg == "all") {
+    return {kAllVariants, kAllVariants + std::size(kAllVariants)};
+  }
+  std::vector<Variant> out;
+  for (const std::string& piece : split(arg, ',')) {
+    const std::string v = trim(piece);
+    if (v == "serial") out.push_back(Variant::kSerial);
+    else if (v == "omp" || v == "parallel") out.push_back(Variant::kParallel);
+    else if (v == "gpu" || v == "device") out.push_back(Variant::kDevice);
+    else if (v == "serial-T") out.push_back(Variant::kSerialTranspose);
+    else if (v == "omp-T") out.push_back(Variant::kParallelTranspose);
+    else if (v == "gpu-T") out.push_back(Variant::kDeviceTranspose);
+    else SPMM_FAIL("unknown variant: " + v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser parser(
+        "spmm_audit: structural analyzer over the synthetic suite — lints "
+        "every conversion path and differentially verifies every kernel");
+    parser.add_string("matrix", 'm', "all",
+                      "comma list of suite matrices, or 'all'");
+    parser.add_double("scale", 0, 0.05, "suite matrix scale in (0,1]");
+    parser.add_string("variant", 0, "serial,omp",
+                      "comma list of kernel variants to verify, or 'all'");
+    parser.add_int("k", 'k', 16, "dense operand width for verification runs");
+    parser.add_int("threads", 't', 4, "thread count for parallel variants");
+    parser.add_int("block-size", 'b', 4, "BCSR block size");
+    parser.add_int("seed", 's', 42, "generator seed");
+    parser.add_flag("list-rules", 0, "print the rule registry and exit");
+    parser.add_flag("skip-kernels", 0,
+                    "structural lint only; skip the differential kernel "
+                    "verification pass");
+    if (!parser.parse(argc, argv)) return 0;
+
+    if (parser.get_flag("list-rules")) {
+      audit::print_rule_table(std::cout);
+      return 0;
+    }
+
+    const auto matrices = parse_matrices(parser.get_string("matrix"));
+    const auto variants = parse_variants(parser.get_string("variant"));
+    const double scale = parser.get_double("scale");
+    const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+    BenchParams params;
+    params.iterations = 1;
+    params.warmup = 0;
+    params.k = static_cast<int>(parser.get_int("k"));
+    params.threads = static_cast<int>(parser.get_int("threads"));
+    params.block_size = static_cast<int>(parser.get_int("block-size"));
+    params.seed = seed;
+    params.verify = true;
+    params.audit = true;
+
+    audit::ConvertParams convert_params;
+    convert_params.block_size = params.block_size;
+
+    audit::AuditReport report;
+    for (const std::string& name : matrices) {
+      const auto matrix = gen::generate<double, std::int32_t>(
+          gen::suite_spec(name, scale, seed));
+      std::cout << "auditing " << name << " (" << matrix.rows() << "x"
+                << matrix.cols() << ", " << matrix.nnz() << " nnz)\n";
+      audit::audit_conversions(matrix, report, name, convert_params);
+
+      if (parser.get_flag("skip-kernels")) continue;
+      for (Format f : kAllFormats) {
+        auto benchmark =
+            bench::make_benchmark<double, std::int32_t>(f, false);
+        benchmark->setup(matrix, params, name);
+        for (Variant v : variants) {
+          if (!format_supports(f, v)) continue;
+          const bench::BenchResult r = benchmark->run(v);
+          // The run's own --audit pass (structure + verify diff) reports
+          // summary rule ids; lift any findings into the global report.
+          if (r.audit_run && (r.audit_errors > 0 || r.audit_warnings > 0)) {
+            for (const std::string& rule : r.audit_rules) {
+              report.add(rule, name + "/" + r.kernel_name,
+                         std::string(variant_name(v)),
+                         "reported by the benchmark audit pass (max abs "
+                         "error " + std::to_string(r.max_abs_error) + ")");
+            }
+          }
+        }
+      }
+    }
+
+    std::cout << "\n";
+    audit::print_report(std::cout, report);
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "spmm_audit: " << e.what() << "\n";
+    return 2;
+  }
+}

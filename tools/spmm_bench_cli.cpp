@@ -53,11 +53,7 @@ std::vector<Variant> parse_variants(const std::string& arg) {
   return out;
 }
 
-bool supports(Format f, Variant v) {
-  const bool extension =
-      f == Format::kBell || f == Format::kSellC || f == Format::kHyb;
-  return !(extension && variant_is_transpose(v));
-}
+bool supports(Format f, Variant v) { return format_supports(f, v); }
 
 }  // namespace
 

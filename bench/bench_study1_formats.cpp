@@ -55,6 +55,7 @@ void print_machine(const model::Machine& cpu, const model::Machine& gpu) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  return benchx::guarded_main([&] {
   benchx::StudyTelemetry tel(
       argc, argv, "Study 1: formats x kernel types (Figures 5.1/5.2)");
   benchx::print_figure_header(
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
   params.k = 128;
   params.block_size = 4;
   params.verify = false;
-  params.sink = tel.sink();
+  tel.configure(params);
   TextTable table({"matrix", "COO", "CSR", "ELL", "BCSR", "best"});
   for (const std::string& name : gen::suite_names()) {
     table.add(name);
@@ -97,4 +98,5 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+  });
 }

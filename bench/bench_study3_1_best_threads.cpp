@@ -57,6 +57,7 @@ void print_machine(const model::Machine& cpu) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  return benchx::guarded_main([&] {
   benchx::StudyTelemetry tel(
       argc, argv, "Study 3.1: best thread count sweep (Figures 5.7/5.8)");
   benchx::print_figure_header(
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
   params.k = 64;
   params.verify = false;
   params.thread_list = {1, 2, 4};
-  params.sink = tel.sink();
+  tel.configure(params);
   const auto sweep = bench::thread_sweep<double, std::int32_t>(
       Format::kCsr, benchx::suite_matrix("cant"), params, "cant");
   for (const auto& [t, mf] : sweep.series) {
@@ -85,4 +86,5 @@ int main(int argc, char** argv) {
             << format_double(sweep.format_seconds * 1e3, 3) << " ms for "
             << sweep.series.size() << " thread counts)\n";
   return 0;
+  });
 }

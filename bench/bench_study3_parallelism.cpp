@@ -43,7 +43,10 @@ void print_machine(const model::Machine& cpu) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  return benchx::guarded_main([&] {
+  benchx::StudyTelemetry tel(
+      argc, argv, "Study 3: CPU parallelism (Figures 5.5/5.6)");
   benchx::print_figure_header("Study 3: CPU Parallelism — thread counts 8/16/32",
                               "Figures 5.5 (Arm) and 5.6 (x86)", "k=128");
   print_machine(model::grace_hopper());
@@ -57,6 +60,7 @@ int main() {
   params.warmup = 1;
   params.k = 64;
   params.verify = false;
+  tel.configure(params);
   std::vector<bench::PlanCell> plan;
   for (int t : {1, 2, 4}) {
     plan.push_back({Variant::kParallel, t, 0});
@@ -70,4 +74,5 @@ int main() {
               << format_double(r.format_seconds * 1e3, 3) << " ms)\n";
   }
   return 0;
+  });
 }

@@ -49,6 +49,7 @@ void print_machine(const model::Machine& cpu) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  return benchx::guarded_main([&] {
   benchx::StudyTelemetry tel(
       argc, argv, "Study 4: k-loop scan (Figures 5.9/5.10)");
   benchx::print_figure_header(
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
   params.warmup = 1;
   params.k = 8;
   params.verify = false;
-  params.sink = tel.sink();
+  tel.configure(params);
   std::vector<bench::PlanCell> plan;
   for (int k : {8, 32, 128}) {
     plan.push_back({Variant::kSerial, 0, k});
@@ -79,4 +80,5 @@ int main(int argc, char** argv) {
               << (r.format_cached ? "cached" : "fresh") << ")\n";
   }
   return 0;
+  });
 }

@@ -43,6 +43,7 @@ void print_machine(const model::Machine& cpu) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  return benchx::guarded_main([&] {
   benchx::StudyTelemetry tel(
       argc, argv, "Study 8: transposed-B kernels (Figures 5.17/5.18)");
   benchx::print_figure_header(
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
   params.warmup = 1;
   params.k = 128;
   params.verify = false;
-  params.sink = tel.sink();
+  tel.configure(params);
   TextTable table({"matrix", "plain", "transposed", "delta %"});
   for (const char* name :
        {"af23560", "cant", "cop20k_A", "2cubes_sphere"}) {
@@ -81,4 +82,5 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+  });
 }

@@ -13,6 +13,7 @@
 using namespace spmm;
 
 int main(int argc, char** argv) {
+  return benchx::guarded_main([&] {
   benchx::StudyTelemetry tel(
       argc, argv, "Study 9: manual kernel optimizations (Figure 5.19)");
   benchx::print_figure_header(
@@ -26,7 +27,7 @@ int main(int argc, char** argv) {
   params.warmup = 1;
   params.k = 128;  // in the template instantiation set
   params.verify = false;
-  params.sink = tel.sink();
+  tel.configure(params);
 
   for (Variant v : {Variant::kSerial, Variant::kParallel}) {
     std::cout << "\nnative " << variant_name(v) << " kernels:\n";
@@ -76,4 +77,5 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+  });
 }

@@ -58,9 +58,13 @@ BenchD& suite_benchmark(const std::string& name, Format format,
     it->second->set_threads(params.threads);
     it->second->set_k(params.k);
   }
-  // The caller's sink may differ from the one captured at setup() (or be
-  // the first one, on a cache hit from a traced run) — always re-attach.
+  // The caller's sink/injector/policy may differ from what setup()
+  // captured (or be the first caller's, on a cache hit) — always
+  // re-attach all three.
   it->second->set_telemetry(params.sink);
+  it->second->set_fault_injector(params.faults);
+  it->second->set_resilience_policy(params.cell_timeout_seconds,
+                                    params.retries, params.on_error);
   return *it->second;
 }
 
@@ -68,8 +72,41 @@ StudyTelemetry::StudyTelemetry(int argc, char** argv,
                                const std::string& description) {
   ArgParser parser(description);
   telemetry::register_trace_options(parser);
+  resilience::register_fault_options(parser);
+  parser.add_double("cell-timeout", 0, 0.0,
+                    "wall-clock deadline per benchmark cell in seconds "
+                    "(0 = no deadline)");
+  parser.add_int("retries", 0, 0,
+                 "extra attempts for cells that fail transiently");
+  parser.add_string("on-error", 0, "continue",
+                    "cell failure policy: continue (default for studies: "
+                    "record the failure, keep the campaign going) or abort");
   if (!parser.parse(argc, argv)) std::exit(0);
   setup_ = telemetry::trace_setup_from_parser(parser);
+  faults_ = resilience::injector_from_parser(
+      parser, 42);
+  cell_timeout_seconds_ = parser.get_double("cell-timeout");
+  SPMM_CHECK(cell_timeout_seconds_ >= 0.0,
+             "--cell-timeout must be non-negative");
+  retries_ = static_cast<int>(parser.get_int("retries"));
+  SPMM_CHECK(retries_ >= 0, "--retries must be non-negative");
+  const std::string& on_error = parser.get_string("on-error");
+  if (on_error == "abort") {
+    on_error_ = OnError::kAbort;
+  } else {
+    SPMM_CHECK(on_error == "continue",
+               "--on-error must be 'continue' or 'abort', got '" + on_error +
+                   "'");
+    on_error_ = OnError::kContinue;
+  }
+}
+
+void StudyTelemetry::configure(BenchParams& params) const {
+  params.sink = setup_.sink;
+  params.faults = faults_;
+  params.cell_timeout_seconds = cell_timeout_seconds_;
+  params.retries = retries_;
+  params.on_error = on_error_;
 }
 
 StudyTelemetry::~StudyTelemetry() { finish(); }
@@ -89,5 +126,20 @@ void print_figure_header(const std::string& study, const std::string& figures,
 }
 
 std::string mflops_cell(double mflops) { return format_double(mflops, 0); }
+
+int guarded_main(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::cerr << "error [" << e.error_code() << "]: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 2;
+  }
+}
 
 }  // namespace spmm::benchx

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "gen/suite.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/machine.hpp"
+#include "resilience/fault_injector.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 #include "telemetry/options.hpp"
@@ -46,12 +48,14 @@ const model::ModelInput& suite_input(const std::string& name);
 BenchD& suite_benchmark(const std::string& name, Format format,
                         const BenchParams& params, bool optimized = false);
 
-/// Per-study telemetry wiring: parses --trace / --perf-summary from the
-/// study binary's argv and owns the sink stack for the process. Attach
-/// `sink()` to BenchParams before running; the trace is flushed and the
-/// summary printed when the object goes out of scope (or by `finish()`).
-/// With neither flag given, `sink()` is null and every benchmark takes
-/// the zero-overhead disabled path — study output is unchanged.
+/// Per-study telemetry + resilience wiring: parses --trace /
+/// --perf-summary plus the hardened-runner options (--faults,
+/// --cell-timeout, --retries, --on-error) from the study binary's argv
+/// and owns the sink stack for the process. Call `configure(params)`
+/// before running; the trace is flushed and the summary printed when the
+/// object goes out of scope (or by `finish()`). With no flags given,
+/// `sink()` and the injector are null and every benchmark takes the
+/// zero-overhead disabled path — study output is unchanged.
 class StudyTelemetry {
  public:
   /// Parses argv. Exits the process (status 0) on --help.
@@ -66,13 +70,26 @@ class StudyTelemetry {
   }
   [[nodiscard]] bool enabled() const { return setup_.enabled(); }
 
+  /// Attach the parsed sink, fault injector, and failure policy to a
+  /// parameter block (pass it to setup()/suite_benchmark afterwards).
+  void configure(BenchParams& params) const;
+
   /// Flush the trace and print the summary now (idempotent).
   void finish();
 
  private:
   telemetry::TraceSetup setup_;
+  std::shared_ptr<resilience::FaultInjector> faults_;
+  double cell_timeout_seconds_ = 0.0;
+  int retries_ = 0;
+  OnError on_error_ = OnError::kAbort;
   bool finished_ = false;
 };
+
+/// Study main() wrapper: runs `body` behind the standard exception
+/// backstops so a failed campaign exits with a labelled error instead of
+/// std::terminate (exit codes: 1 = benchmark error, 2 = internal).
+int guarded_main(const std::function<int()>& body);
 
 /// Print a figure banner: which paper artifact this output regenerates.
 void print_figure_header(const std::string& study,

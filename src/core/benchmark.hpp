@@ -16,13 +16,18 @@
 // shows a third-party extension.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "audit/rules.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
 #include "devsim/device.hpp"
 #include "formats/convert.hpp"
 #include "formats/format_id.hpp"
@@ -34,6 +39,27 @@
 #include "telemetry/telemetry.hpp"
 
 namespace spmm::bench {
+
+/// Outcome of one benchmark cell under the hardened runner. `kOk` is the
+/// only status the pre-resilience code could report; everything else is
+/// a failure mode recorded as a result instead of a crash:
+///   kDegraded  the requested variant failed (device OOM) and the cell
+///              re-ran on the degradation ladder's host fallback
+///   kFailed    the cell failed and no fallback applied
+///   kTimeout   the cell exceeded its wall-clock deadline
+///   kSkipped   the cell was never attempted (unsupported variant)
+enum class RunStatus { kOk, kDegraded, kFailed, kTimeout, kSkipped };
+
+constexpr std::string_view status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kDegraded: return "degraded";
+    case RunStatus::kFailed: return "failed";
+    case RunStatus::kTimeout: return "timeout";
+    case RunStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
 
 /// Everything one benchmark run reports (paper §4.3: FLOPS / MFLOPS /
 /// GFLOPS against average multiply time, plus formatting and total time,
@@ -106,6 +132,25 @@ struct BenchResult {
   // Storage.
   std::size_t format_bytes = 0;
 
+  // Resilience outcome (docs/ROBUSTNESS.md). A clean run reports
+  // status=ok, empty error_code, attempts=1 — the pre-resilience CSV
+  // rows gain three constant columns and nothing else changes.
+  RunStatus status = RunStatus::kOk;
+  /// True when the cell completed on the degradation ladder's fallback
+  /// variant rather than the requested one.
+  bool degraded = false;
+  /// Stable failure identity ("dev.oom", "timeout.cell", ...); empty on
+  /// a clean run. Values are pinned by tests — treat as API.
+  std::string error_code;
+  /// Human-readable failure detail (not in the CSV; see print_result).
+  std::string error_message;
+  /// Total run attempts consumed, including retries and the degraded
+  /// fallback execution.
+  int attempts = 1;
+  /// The variant that actually executed: equals `variant` unless the
+  /// cell degraded to a host fallback.
+  Variant executed_variant = Variant::kSerial;
+
   MatrixProperties properties;
 };
 
@@ -141,6 +186,7 @@ class SpmmBenchmark {
     // parameters ask for one (Study 7's out-of-memory dropout).
     arena_ = std::make_unique<dev::DeviceArena>(params.device_memory_bytes);
     arena_->set_telemetry(tel_);
+    arena_->set_fault_injector(params.faults);
     formatted_ = false;
     format_seconds_ = 0.0;
     format_bytes_ = 0;
@@ -158,6 +204,14 @@ class SpmmBenchmark {
     SPMM_CHECK(setup_done_,
                "setup() must be called before ensure_formatted()");
     if (formatted_) return;
+    if (params_.faults && params_.faults->should_fire("format.alloc.fail")) {
+      if (tel_.enabled()) {
+        tel_.counter("fault.format.alloc.fail", 1.0, "resilience");
+      }
+      throw resilience::FormatError(
+          "format.alloc", "fault injection: formatter allocation budget "
+                          "exhausted for " + name());
+    }
     telemetry::ScopedSpan span(tel_, "format", "bench", name());
     Timer t;
     do_format();
@@ -204,14 +258,28 @@ class SpmmBenchmark {
     c_ = Dense<V>(static_cast<usize>(coo_.rows()), static_cast<usize>(k));
   }
 
-  /// Run the benchmark for one kernel variant: format (timed once per
-  /// setup(), cached thereafter), warm-up, timed iterations, optional
-  /// verification.
-  BenchResult run(Variant variant) {
+  /// Run the benchmark for one kernel variant under the hardened
+  /// lifecycle: cell isolation (failures become labelled results when
+  /// params.on_error == kContinue), a wall-clock deadline
+  /// (params.cell_timeout_seconds), retry-with-backoff for transient
+  /// faults (params.retries), and the device-OOM → host-parallel
+  /// degradation ladder. With the default parameters (no deadline, no
+  /// retries, kAbort, no injector) this is exactly the pre-resilience
+  /// run(): same numbers, same exceptions. Defined in benchmark_impl.hpp.
+  BenchResult run(Variant variant);
+
+  /// One unguarded attempt: format (timed once per setup(), cached
+  /// thereafter), warm-up, timed iterations, optional verification.
+  /// Throws on any failure — run() is the harness that turns throws
+  /// into outcomes. The deadline watchdog lives here, on the iteration
+  /// loop: it costs one comparison per iteration when armed and nothing
+  /// when cell_timeout_seconds is 0.
+  BenchResult run_unguarded(Variant variant) {
     SPMM_CHECK(setup_done_, "setup() must be called before run()");
     SPMM_CHECK(params_.iterations >= 1, "iterations must be >= 1");
     SPMM_CHECK(params_.warmup >= 0, "warmup must be non-negative");
     Timer total;
+    const double deadline = params_.cell_timeout_seconds;
     // One enabled() check up front; the iteration loop branches on a
     // plain bool and does no telemetry work at all when it is false.
     const bool tel_on = tel_.enabled();
@@ -226,6 +294,7 @@ class SpmmBenchmark {
     r.matrix_name = matrix_name_;
     r.format = format_id();
     r.variant = variant;
+    r.executed_variant = variant;
     r.threads = variant_is_parallel(variant) ? params_.threads : 1;
     r.k = params_.k;
     r.block_size = params_.block_size;
@@ -257,10 +326,32 @@ class SpmmBenchmark {
     const std::size_t h2d0 = arena_->h2d_bytes();
     const std::size_t d2h0 = arena_->d2h_bytes();
 
+    // Cell-level fault sites: a stall (drives the deadline watchdog,
+    // emulating a hung kernel) and an outright failure (transient by
+    // default, so it exercises retry-with-backoff).
+    if (auto* fi = params_.faults.get()) {
+      if (fi->should_fire("cell.stall")) {
+        const double ms = fi->param("cell.stall", "ms", 100.0);
+        if (tel_on) tel_.counter("fault.cell.stall", 1.0, "resilience");
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3)));
+      }
+      if (fi->should_fire("cell.fail")) {
+        if (tel_on) tel_.counter("fault.cell.fail", 1.0, "resilience");
+        throw resilience::KernelError(
+            "kernel.injected",
+            "fault injection: cell.fail in " + name() + "/" +
+                std::string(variant_name(variant)),
+            fi->param("cell.fail", "transient", 1.0) != 0.0);
+      }
+    }
+    check_deadline(deadline, total, "before warmup");
+
     {
       telemetry::ScopedSpan span(tel_, "warmup", "bench");
       for (int i = 0; i < params_.warmup; ++i) {
         do_compute(variant);
+        check_deadline(deadline, total, "during warmup");
       }
     }
 
@@ -278,7 +369,19 @@ class SpmmBenchmark {
         span_id = tel_.begin_span("iteration", "bench", run_detail, i);
       }
       Timer t;
-      do_compute(variant);
+      if (tel_on) {
+        // Close the span even when the kernel throws (device OOM, an
+        // injected cell fault): an unbalanced trace is invalid, and under
+        // --on-error=continue the campaign keeps tracing after the throw.
+        try {
+          do_compute(variant);
+        } catch (...) {
+          tel_.end_span(span_id, "iteration", begin_ns);
+          throw;
+        }
+      } else {
+        do_compute(variant);
+      }
       const double s = t.seconds();
       if (tel_on) {
         tel_.end_span(span_id, "iteration", begin_ns);
@@ -287,6 +390,7 @@ class SpmmBenchmark {
       sum += s;
       best = (i == 0) ? s : std::min(best, s);
       samples.push_back(s);
+      check_deadline(deadline, total, "during timed iterations");
       if (params_.debug) {
         // Single instrumentation point: into the trace when a sink is
         // attached (debug output and traces must not interleave),
@@ -385,10 +489,87 @@ class SpmmBenchmark {
     if (arena_) arena_->set_telemetry(tel_);
   }
 
+  /// Attach (or detach, with null) a fault injector after setup() —
+  /// the analogue of set_telemetry for cached instances that outlive
+  /// the params they were set up with.
+  void set_fault_injector(std::shared_ptr<resilience::FaultInjector> faults) {
+    params_.faults = std::move(faults);
+    if (arena_) arena_->set_fault_injector(params_.faults);
+  }
+
+  /// Retarget the resilience policy (deadline/retries/on_error) without
+  /// touching the formatted structures — the cached-instance analogue
+  /// of set_threads()/set_k().
+  void set_resilience_policy(double cell_timeout_seconds, int retries,
+                             OnError on_error) {
+    SPMM_CHECK(cell_timeout_seconds >= 0.0,
+               "cell timeout must be non-negative");
+    SPMM_CHECK(retries >= 0, "retries must be non-negative");
+    params_.cell_timeout_seconds = cell_timeout_seconds;
+    params_.retries = retries;
+    params_.on_error = on_error;
+  }
+
   /// The telemetry session (disabled unless a sink is attached).
   [[nodiscard]] telemetry::Session& telemetry_session() { return tel_; }
 
+  /// Build a non-ok result for this benchmark's current parameters:
+  /// the parameter echo, cached formatting cost, and matrix properties
+  /// are filled in; timing and rates stay zero. Used by run() for
+  /// failure/timeout outcomes and by run_plan() for skipped cells.
+  [[nodiscard]] BenchResult outcome_result(Variant variant, RunStatus status,
+                                           std::string_view error_code,
+                                           const std::string& message,
+                                           int attempts) const {
+    BenchResult r;
+    r.kernel_name = name();
+    r.matrix_name = matrix_name_;
+    r.format = format_id();
+    r.variant = variant;
+    r.executed_variant = variant;
+    r.threads = variant_is_parallel(variant) ? params_.threads : 1;
+    r.k = params_.k;
+    r.block_size = params_.block_size;
+    r.iterations = params_.iterations;
+    r.format_cached = formatted_;
+    r.format_seconds = format_seconds_;
+    r.format_bytes = format_bytes_;
+    r.status = status;
+    r.error_code = std::string(error_code);
+    r.error_message = message;
+    r.attempts = attempts;
+    r.properties = compute_properties(coo_, matrix_name_);
+    return r;
+  }
+
  protected:
+  /// Deadline watchdog on the iteration loop: zero clock reads when no
+  /// deadline is armed, one Timer::seconds() per check otherwise.
+  void check_deadline(double deadline, const Timer& total,
+                      const char* where) const {
+    if (deadline > 0.0 && total.seconds() > deadline) {
+      throw resilience::TimeoutError(
+          "cell exceeded " + std::to_string(deadline) + " s deadline " +
+          where + " (" + name() + ")");
+    }
+  }
+
+  /// Telemetry bookkeeping for a failed attempt: one aggregate counter
+  /// plus a per-code counter, so trace_report can break outcomes down.
+  void note_cell_error(std::string_view code) {
+    if (tel_.enabled()) {
+      tel_.counter("cell.error", 1.0, "resilience");
+      tel_.counter("cell.error." + std::string(code), 1.0, "resilience");
+      tel_.log("cell.error", std::string(code) + " in " + name());
+    }
+  }
+
+  /// Degradation ladder: a device variant that hit device OOM re-runs
+  /// on the host-parallel equivalent. Defined in benchmark_impl.hpp.
+  BenchResult run_degraded(Variant requested, std::string_view cause_code,
+                           const std::string& cause_message,
+                           int attempts_used);
+
   /// Build the format-specific structures from the COO input. The base
   /// class's COO "formatting" is the identity.
   virtual void do_format() {}

@@ -1,5 +1,9 @@
-// Out-of-line parts of SpmmBenchmark: the base (COO) compute dispatch.
+// Out-of-line parts of SpmmBenchmark: the base (COO) compute dispatch
+// and the hardened run() harness (cell isolation, retry-with-backoff,
+// the degradation ladder).
 #pragma once
+
+#include <algorithm>
 
 #include "kernels/spmm_coo.hpp"
 
@@ -28,6 +32,96 @@ void SpmmBenchmark<V, I>::do_compute(Variant variant) {
       arena_->reset();
       spmm_coo_device_transpose(*arena_, coo_, bt(), c_);
       break;
+  }
+}
+
+// The hardened cell harness. Catch order matters: TimeoutError and
+// DeviceOutOfMemory are handled specially, then the typed taxonomy
+// (retry eligibility), then any other spmm::Error. Non-spmm exceptions
+// (std::bad_alloc, ...) deliberately propagate — they indicate harness
+// bugs, and the tool-level backstops map them to exit code 2.
+template <ValueType V, IndexType I>
+BenchResult SpmmBenchmark<V, I>::run(Variant variant) {
+  const int max_attempts = 1 + std::max(0, params_.retries);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      BenchResult r = run_unguarded(variant);
+      r.attempts = attempt;
+      return r;
+    } catch (const resilience::TimeoutError& e) {
+      note_cell_error(e.error_code());
+      if (tel_.enabled()) tel_.counter("cell.timeout", 1.0, "resilience");
+      if (params_.on_error == OnError::kAbort) throw;
+      // A stalled cell is expected to stall again — never retried.
+      return outcome_result(variant, RunStatus::kTimeout, e.error_code(),
+                            e.what(), attempt);
+    } catch (const dev::DeviceOutOfMemory& e) {
+      note_cell_error(e.error_code());
+      // Leave the arena consistent for whatever runs next on this
+      // instance: drop every allocation of the failed attempt.
+      arena_->reset();
+      if (params_.on_error == OnError::kAbort) throw;
+      if (variant_is_device(variant)) {
+        return run_degraded(variant, e.error_code(), e.what(), attempt);
+      }
+      return outcome_result(variant, RunStatus::kFailed, e.error_code(),
+                            e.what(), attempt);
+    } catch (const resilience::TypedError& e) {
+      note_cell_error(e.error_code());
+      if (e.transient() && attempt < max_attempts) {
+        if (tel_.enabled()) tel_.counter("cell.retry", 1.0, "resilience");
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            params_.retry_backoff_seconds * attempt));
+        continue;
+      }
+      if (params_.on_error == OnError::kAbort) throw;
+      return outcome_result(variant, RunStatus::kFailed, e.error_code(),
+                            e.what(), attempt);
+    } catch (const Error& e) {
+      note_cell_error(e.error_code());
+      if (params_.on_error == OnError::kAbort) throw;
+      return outcome_result(variant, RunStatus::kFailed, e.error_code(),
+                            e.what(), attempt);
+    }
+  }
+}
+
+// Device OOM fallback: the run the paper's Study 7 would have dropped
+// completes on the host-parallel kernel instead, flagged degraded so no
+// downstream consumer mistakes it for device throughput. The transpose
+// device variant falls back to the transpose host variant, preserving
+// the memory-access pattern under study.
+template <ValueType V, IndexType I>
+BenchResult SpmmBenchmark<V, I>::run_degraded(Variant requested,
+                                              std::string_view cause_code,
+                                              const std::string& cause_message,
+                                              int attempts_used) {
+  const Variant fallback = (requested == Variant::kDevice)
+                               ? Variant::kParallel
+                               : Variant::kParallelTranspose;
+  if (tel_.enabled()) {
+    tel_.counter("cell.degraded", 1.0, "resilience");
+    tel_.log("cell.degraded",
+             std::string(cause_code) + ": " + name() + "/" +
+                 std::string(variant_name(requested)) + " -> " +
+                 std::string(variant_name(fallback)));
+  }
+  try {
+    BenchResult r = run_unguarded(fallback);
+    r.variant = requested;
+    r.executed_variant = fallback;
+    r.status = RunStatus::kDegraded;
+    r.degraded = true;
+    r.error_code = std::string(cause_code);
+    r.error_message = cause_message;
+    r.attempts = attempts_used + 1;
+    return r;
+  } catch (const Error& e) {
+    note_cell_error(e.error_code());
+    return outcome_result(requested, RunStatus::kFailed, e.error_code(),
+                          std::string(cause_message) +
+                              "; fallback also failed: " + e.what(),
+                          attempts_used + 1);
   }
 }
 

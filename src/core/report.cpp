@@ -38,6 +38,28 @@ void print_result(std::ostream& os, const BenchResult& r) {
       os << "]";
     }
   }
+  // Resilience outcome tags (docs/ROBUSTNESS.md). Clean runs stay
+  // untagged so pre-resilience output is reproduced byte-for-byte.
+  switch (r.status) {
+    case RunStatus::kOk:
+      break;
+    case RunStatus::kDegraded:
+      os << " [degraded " << r.error_code << " -> "
+         << variant_name(r.executed_variant) << "]";
+      break;
+    case RunStatus::kTimeout:
+      os << " [TIMEOUT " << r.error_code << "]";
+      break;
+    case RunStatus::kFailed:
+      os << " [FAILED " << r.error_code << "]";
+      break;
+    case RunStatus::kSkipped:
+      os << " [skipped " << r.error_code << "]";
+      break;
+  }
+  if (r.attempts > 1) {
+    os << " [attempts " << r.attempts << "]";
+  }
   os << "\n";
 }
 
@@ -57,7 +79,8 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
                      "row_variance", "row_stddev",
                      "p50_seconds",  "p95_seconds", "max_seconds",
                      "stddev_seconds", "warmup_drift", "outliers",
-                     "h2d_bytes",    "d2h_bytes",  "device_peak_bytes"});
+                     "h2d_bytes",    "d2h_bytes",  "device_peak_bytes",
+                     "status",       "error_code", "attempts"});
   for (const BenchResult& r : results) {
     csv.add(r.matrix_name)
         .add(r.kernel_name)
@@ -93,7 +116,10 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
         .add(static_cast<std::int64_t>(r.outlier_count))
         .add(r.h2d_bytes)
         .add(r.d2h_bytes)
-        .add(r.device_peak_bytes);
+        .add(r.device_peak_bytes)
+        .add(std::string(status_name(r.status)))
+        .add(r.error_code)
+        .add(static_cast<std::int64_t>(r.attempts));
     csv.end_row();
   }
 }

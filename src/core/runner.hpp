@@ -88,7 +88,18 @@ ThreadSweepResult thread_sweep(SpmmBenchmark<V, I>& bench) {
   bool have_best = false;
   for (int t : bench.params().thread_list) {
     bench.set_threads(t);
-    BenchResult r = bench.run(Variant::kParallel);
+    // Cell isolation: run() converts failures into labelled results
+    // under the continue policy; the catch is the backstop for errors
+    // that escape it (setup-level validation). A failed point scores
+    // mflops 0 and never wins the sweep.
+    BenchResult r;
+    try {
+      r = bench.run(Variant::kParallel);
+    } catch (const Error& e) {
+      if (bench.params().on_error == OnError::kAbort) throw;
+      r = bench.outcome_result(Variant::kParallel, RunStatus::kFailed,
+                               e.error_code(), e.what(), 1);
+    }
     sweep.series.emplace_back(t, r.mflops);
     const bool usable = std::isfinite(r.mflops) && r.mflops > 0.0;
     if ((usable && r.mflops > sweep.best_mflops) || !have_best) {
@@ -134,7 +145,28 @@ std::vector<BenchResult> run_plan(SpmmBenchmark<V, I>& bench,
   for (const PlanCell& cell : plan) {
     if (cell.threads > 0) bench.set_threads(cell.threads);
     if (cell.k > 0) bench.set_k(cell.k);
-    results.push_back(bench.run(cell.variant));
+    // Cell isolation (see docs/ROBUSTNESS.md): under the continue
+    // policy an unsupported variant becomes a `skipped` row and any
+    // error that escapes run() becomes a `failed` row, so one bad cell
+    // never takes the rest of the plan with it. Under kAbort (the
+    // default) behaviour is exactly the pre-resilience throw-through.
+    if (bench.params().on_error == OnError::kContinue &&
+        !format_supports(bench.format_id(), cell.variant)) {
+      results.push_back(bench.outcome_result(
+          cell.variant, RunStatus::kSkipped, "variant.unsupported",
+          std::string(format_name(bench.format_id())) +
+              " does not implement " +
+              std::string(variant_name(cell.variant)),
+          0));
+      continue;
+    }
+    try {
+      results.push_back(bench.run(cell.variant));
+    } catch (const Error& e) {
+      if (bench.params().on_error == OnError::kAbort) throw;
+      results.push_back(bench.outcome_result(cell.variant, RunStatus::kFailed,
+                                             e.error_code(), e.what(), 1));
+    }
   }
   return results;
 }

@@ -12,13 +12,16 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "resilience/fault_injector.hpp"
 #include "support/error.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -57,6 +60,10 @@ struct ThreadCtx {
 class DeviceOutOfMemory : public Error {
  public:
   explicit DeviceOutOfMemory(const std::string& what) : Error(what) {}
+
+  [[nodiscard]] std::string_view error_code() const override {
+    return "dev.oom";
+  }
 };
 
 class DeviceArena;
@@ -98,10 +105,43 @@ class DeviceArena {
     tel_ = std::move(session);
   }
 
+  /// Attach a fault injector (null detaches). Every injection site in
+  /// the arena is guarded by one null-pointer branch, so a detached
+  /// arena behaves — and costs — exactly as before this API existed.
+  /// A `dev.capacity.limit` action shrinks the arena capacity
+  /// immediately (its `bytes=` parameter), emulating a device that is
+  /// smaller than the run assumed.
+  void set_fault_injector(std::shared_ptr<resilience::FaultInjector> faults) {
+    faults_ = std::move(faults);
+    if (faults_ && faults_->armed("dev.capacity.limit")) {
+      const double bytes = faults_->param("dev.capacity.limit", "bytes", 0.0);
+      if (bytes > 0.0) {
+        const auto limit = static_cast<std::size_t>(bytes);
+        capacity_ = capacity_ == 0 ? limit : std::min(capacity_, limit);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::shared_ptr<resilience::FaultInjector>&
+  fault_injector() const {
+    return faults_;
+  }
+
   /// Allocate `n` elements of device memory.
   template <class T>
   DeviceBuffer<T> alloc(std::size_t n) {
     const std::size_t bytes = n * sizeof(T);
+    if (faults_ && faults_->should_fire("dev.alloc.fail")) {
+      if (tel_.enabled()) {
+        tel_.counter("fault.dev.alloc.fail", 1.0, "resilience");
+        tel_.log("dev.oom", "injected allocation failure (" +
+                                std::to_string(bytes) + " bytes)");
+      }
+      // The injected failure leaves the arena exactly as a real
+      // capacity miss would: nothing allocated, accounting untouched.
+      throw DeviceOutOfMemory("fault injection: device allocation of " +
+                              std::to_string(bytes) + " bytes failed");
+    }
     if (capacity_ != 0 && allocated_ + bytes > capacity_) {
       if (tel_.enabled()) {
         tel_.log("dev.oom", "allocation of " + std::to_string(bytes) +
@@ -133,6 +173,10 @@ class DeviceArena {
   void copy_to_device(DeviceBuffer<T> dst, const T* src, std::size_t n) {
     SPMM_CHECK(n <= dst.size(), "H2D copy larger than destination buffer");
     std::memcpy(dst.data(), src, n * sizeof(T));
+    if (faults_ && n > 0 && faults_->should_fire("h2d.corrupt")) {
+      corrupt_byte("h2d.corrupt", reinterpret_cast<std::byte*>(dst.data()),
+                   n * sizeof(T));
+    }
     h2d_bytes_ += n * sizeof(T);
     if (tel_.enabled()) {
       tel_.counter("dev.h2d_bytes", static_cast<double>(n * sizeof(T)),
@@ -145,6 +189,10 @@ class DeviceArena {
   void copy_to_host(T* dst, DeviceBuffer<T> src, std::size_t n) {
     SPMM_CHECK(n <= src.size(), "D2H copy larger than source buffer");
     std::memcpy(dst, src.data(), n * sizeof(T));
+    if (faults_ && n > 0 && faults_->should_fire("d2h.corrupt")) {
+      corrupt_byte("d2h.corrupt", reinterpret_cast<std::byte*>(dst),
+                   n * sizeof(T));
+    }
     d2h_bytes_ += n * sizeof(T);
     if (tel_.enabled()) {
       tel_.counter("dev.d2h_bytes", static_cast<double>(n * sizeof(T)),
@@ -178,10 +226,32 @@ class DeviceArena {
   void note_launch() {
     ++launches_;
     if (tel_.enabled()) tel_.counter("dev.launch", 1.0, "dev");
+    if (faults_ && faults_->should_fire("dev.launch.stall")) {
+      const double ms = faults_->param("dev.launch.stall", "ms", 50.0);
+      if (tel_.enabled()) {
+        tel_.counter("fault.dev.launch.stall", 1.0, "resilience");
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3)));
+    }
   }
 
  private:
+  /// Flip one bit of a deterministic byte in [data, data+bytes): the
+  /// emulation of a corrupted transfer. 0x40 lands in a double's
+  /// mantissa/exponent region, so the damage is visible to the COO
+  /// verification instead of vanishing in round-off.
+  void corrupt_byte(std::string_view site, std::byte* data,
+                    std::size_t bytes) {
+    data[faults_->pick(site, bytes)] ^= std::byte{0x40};
+    if (tel_.enabled()) {
+      tel_.counter(std::string("fault.") + std::string(site), 1.0,
+                   "resilience");
+    }
+  }
+
   telemetry::Session tel_;
+  std::shared_ptr<resilience::FaultInjector> faults_;
   std::size_t capacity_;
   std::size_t allocated_ = 0;
   std::size_t peak_ = 0;

@@ -7,7 +7,9 @@
 #include <istream>
 #include <ostream>
 
+#include "resilience/errors.hpp"
 #include "support/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace spmm::io {
 
@@ -15,35 +17,68 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'S', 'P', 'M', 'M',
                                         'B', 'C', 'S', 'R'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends an integrity footer (payload byte count + FNV-1a
+// checksum) so truncated or bit-flipped cache files are detected and
+// treated as cache misses instead of silently feeding a corrupt matrix
+// into a 40-hour study (the thesis's BCSR corpus; see §6.3.2).
+constexpr std::uint32_t kVersion = 2;
+
+[[noreturn]] void corrupt(const std::string& message) {
+  throw resilience::InputError("cache.corrupt", "BCSR cache: " + message);
+}
+
+/// FNV-1a over every payload byte (everything between the version word
+/// and the footer), accumulated as the stream is written/read.
+class Checksum {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ULL;
+    }
+    bytes_ += n;
+  }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+  std::uint64_t bytes_ = 0;
+};
 
 template <class T>
-void write_pod(std::ostream& out, const T& v) {
+void write_pod(std::ostream& out, const T& v, Checksum* sum = nullptr) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  if (sum != nullptr) sum->update(&v, sizeof(T));
 }
 
 template <class T>
-T read_pod(std::istream& in) {
+T read_pod(std::istream& in, Checksum* sum = nullptr) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  SPMM_CHECK(in.good(), "BCSR cache: truncated input");
+  if (!in.good()) corrupt("truncated input");
+  if (sum != nullptr) sum->update(&v, sizeof(T));
   return v;
 }
 
 template <class T>
-void write_array(std::ostream& out, const spmm::AlignedVector<T>& v) {
-  write_pod<std::uint64_t>(out, v.size());
+void write_array(std::ostream& out, const spmm::AlignedVector<T>& v,
+                 Checksum& sum) {
+  write_pod<std::uint64_t>(out, v.size(), &sum);
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  sum.update(v.data(), v.size() * sizeof(T));
 }
 
 template <class T>
-spmm::AlignedVector<T> read_array(std::istream& in) {
-  const auto n = read_pod<std::uint64_t>(in);
+spmm::AlignedVector<T> read_array(std::istream& in, Checksum& sum) {
+  const auto n = read_pod<std::uint64_t>(in, &sum);
   spmm::AlignedVector<T> v(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(T)));
-  SPMM_CHECK(in.good(), "BCSR cache: truncated array");
+  if (!in.good()) corrupt("truncated array");
+  sum.update(v.data(), n * sizeof(T));
   return v;
 }
 
@@ -53,15 +88,19 @@ template <ValueType V, IndexType I>
 void write_bcsr_cache(std::ostream& out, const Bcsr<V, I>& bcsr) {
   out.write(kMagic.data(), kMagic.size());
   write_pod(out, kVersion);
-  write_pod<std::uint8_t>(out, sizeof(V));
-  write_pod<std::uint8_t>(out, sizeof(I));
-  write_pod<std::int64_t>(out, bcsr.rows());
-  write_pod<std::int64_t>(out, bcsr.cols());
-  write_pod<std::int64_t>(out, bcsr.block_size());
-  write_pod<std::uint64_t>(out, bcsr.nnz());
-  write_array(out, bcsr.block_row_ptr());
-  write_array(out, bcsr.block_col_idx());
-  write_array(out, bcsr.values());
+  Checksum sum;
+  write_pod<std::uint8_t>(out, sizeof(V), &sum);
+  write_pod<std::uint8_t>(out, sizeof(I), &sum);
+  write_pod<std::int64_t>(out, bcsr.rows(), &sum);
+  write_pod<std::int64_t>(out, bcsr.cols(), &sum);
+  write_pod<std::int64_t>(out, bcsr.block_size(), &sum);
+  write_pod<std::uint64_t>(out, bcsr.nnz(), &sum);
+  write_array(out, bcsr.block_row_ptr(), sum);
+  write_array(out, bcsr.block_col_idx(), sum);
+  write_array(out, bcsr.values(), sum);
+  // Footer: payload byte count, then FNV-1a of the payload.
+  write_pod<std::uint64_t>(out, sum.bytes());
+  write_pod<std::uint64_t>(out, sum.hash());
   SPMM_CHECK(out.good(), "BCSR cache: write failed");
 }
 
@@ -69,22 +108,35 @@ template <ValueType V, IndexType I>
 Bcsr<V, I> read_bcsr_cache(std::istream& in) {
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
-  SPMM_CHECK(in.good() && magic == kMagic, "BCSR cache: bad magic");
+  if (!in.good() || magic != kMagic) corrupt("bad magic");
   const auto version = read_pod<std::uint32_t>(in);
-  SPMM_CHECK(version == kVersion, "BCSR cache: unsupported version " +
-                                      std::to_string(version));
-  const auto vw = read_pod<std::uint8_t>(in);
-  const auto iw = read_pod<std::uint8_t>(in);
-  SPMM_CHECK(vw == sizeof(V), "BCSR cache: value width mismatch");
-  SPMM_CHECK(iw == sizeof(I), "BCSR cache: index width mismatch");
+  if (version != kVersion) {
+    // Older (footer-less) versions are indistinguishable from a
+    // truncated v2 file; readers treat both as a miss and regenerate.
+    corrupt("unsupported version " + std::to_string(version));
+  }
+  Checksum sum;
+  const auto vw = read_pod<std::uint8_t>(in, &sum);
+  const auto iw = read_pod<std::uint8_t>(in, &sum);
+  if (vw != sizeof(V)) corrupt("value width mismatch");
+  if (iw != sizeof(I)) corrupt("index width mismatch");
 
-  const auto rows = read_pod<std::int64_t>(in);
-  const auto cols = read_pod<std::int64_t>(in);
-  const auto block = read_pod<std::int64_t>(in);
-  const auto nnz = read_pod<std::uint64_t>(in);
-  auto row_ptr = read_array<I>(in);
-  auto col_idx = read_array<I>(in);
-  auto values = read_array<V>(in);
+  const auto rows = read_pod<std::int64_t>(in, &sum);
+  const auto cols = read_pod<std::int64_t>(in, &sum);
+  const auto block = read_pod<std::int64_t>(in, &sum);
+  const auto nnz = read_pod<std::uint64_t>(in, &sum);
+  auto row_ptr = read_array<I>(in, sum);
+  auto col_idx = read_array<I>(in, sum);
+  auto values = read_array<V>(in, sum);
+
+  const auto stored_bytes = read_pod<std::uint64_t>(in);
+  const auto stored_hash = read_pod<std::uint64_t>(in);
+  if (stored_bytes != sum.bytes()) {
+    corrupt("payload size mismatch (footer says " +
+            std::to_string(stored_bytes) + " bytes, read " +
+            std::to_string(sum.bytes()) + ")");
+  }
+  if (stored_hash != sum.hash()) corrupt("payload checksum mismatch");
 
   return Bcsr<V, I>(static_cast<I>(rows), static_cast<I>(cols),
                     static_cast<I>(block), nnz, std::move(row_ptr),
@@ -101,8 +153,35 @@ void write_bcsr_cache_file(const std::string& path, const Bcsr<V, I>& bcsr) {
 template <ValueType V, IndexType I>
 Bcsr<V, I> read_bcsr_cache_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  SPMM_CHECK(in.good(), "cannot open BCSR cache file: " + path);
+  if (!in.good()) {
+    throw resilience::InputError("input.open",
+                                 "cannot open BCSR cache file: " + path);
+  }
   return read_bcsr_cache<V, I>(in);
+}
+
+template <ValueType V, IndexType I>
+std::optional<Bcsr<V, I>> try_read_bcsr_cache_file(
+    const std::string& path, telemetry::Session* telemetry) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (telemetry != nullptr && telemetry->enabled()) {
+      telemetry->counter("cache.miss", 1.0, "io");
+    }
+    return std::nullopt;
+  }
+  try {
+    return read_bcsr_cache<V, I>(in);
+  } catch (const Error& e) {
+    // A corrupt or truncated cache file is a miss, not a crash: the
+    // caller regenerates (and usually rewrites) the entry. The eviction
+    // counter makes silent regeneration visible in traces.
+    if (telemetry != nullptr && telemetry->enabled()) {
+      telemetry->counter("cache.evict", 1.0, "io");
+      telemetry->log("cache.evict", path + ": " + e.what());
+    }
+    return std::nullopt;
+  }
 }
 
 #define SPMM_INSTANTIATE_CACHE(V, I)                                       \
@@ -110,7 +189,9 @@ Bcsr<V, I> read_bcsr_cache_file(const std::string& path) {
   template Bcsr<V, I> read_bcsr_cache<V, I>(std::istream&);                \
   template void write_bcsr_cache_file<V, I>(const std::string&,            \
                                             const Bcsr<V, I>&);            \
-  template Bcsr<V, I> read_bcsr_cache_file<V, I>(const std::string&);
+  template Bcsr<V, I> read_bcsr_cache_file<V, I>(const std::string&);      \
+  template std::optional<Bcsr<V, I>> try_read_bcsr_cache_file<V, I>(       \
+      const std::string&, telemetry::Session*);
 
 SPMM_INSTANTIATE_CACHE(double, std::int32_t)
 SPMM_INSTANTIATE_CACHE(double, std::int64_t)

@@ -5,18 +5,27 @@
 // formatter is fast, but the cache remains part of the public surface —
 // a pre-formatted matrix is useful to anyone re-running an evaluation.
 //
-// File layout (little-endian):
-//   magic "SPMMBCSR"  u32 version  u8 value_width  u8 index_width
+// File layout (little-endian), version 2:
+//   magic "SPMMBCSR"  u32 version
+//   -- checksummed payload starts here --
+//   u8 value_width  u8 index_width
 //   i64 rows  i64 cols  i64 block_size  u64 nnz
 //   u64 n_block_rows_plus_1  [block_row_ptr]
 //   u64 n_blocks            [block_col_idx]
 //   u64 n_values            [values]
+//   -- integrity footer (not checksummed) --
+//   u64 payload_bytes  u64 fnv1a64(payload)
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "formats/bcsr.hpp"
+
+namespace spmm::telemetry {
+class Session;
+}  // namespace spmm::telemetry
 
 namespace spmm::io {
 
@@ -27,12 +36,21 @@ void write_bcsr_cache(std::ostream& out, const Bcsr<V, I>& bcsr);
 template <ValueType V, IndexType I>
 void write_bcsr_cache_file(const std::string& path, const Bcsr<V, I>& bcsr);
 
-/// Deserialize. Throws spmm::Error on magic/version/type-width mismatch
-/// or truncated input.
+/// Deserialize. Throws resilience::InputError (code "cache.corrupt") on
+/// magic/version/type-width mismatch, truncated input, or a payload
+/// size/checksum mismatch against the footer.
 template <ValueType V, IndexType I>
 Bcsr<V, I> read_bcsr_cache(std::istream& in);
 
 template <ValueType V, IndexType I>
 Bcsr<V, I> read_bcsr_cache_file(const std::string& path);
+
+/// Cache-miss-on-corruption read: a missing file counts `cache.miss`, a
+/// corrupt or truncated one counts `cache.evict` (plus a log event with
+/// the reason); both return nullopt so the caller regenerates. Never
+/// throws for bad cache contents.
+template <ValueType V, IndexType I>
+std::optional<Bcsr<V, I>> try_read_bcsr_cache_file(
+    const std::string& path, telemetry::Session* telemetry = nullptr);
 
 }  // namespace spmm::io

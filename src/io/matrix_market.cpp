@@ -1,12 +1,16 @@
 #include "io/matrix_market.hpp"
 
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
 #include "support/error.hpp"
 #include "support/string_util.hpp"
 
@@ -20,27 +24,42 @@ struct Header {
   bool skew = false;
 };
 
-Header parse_header(std::istream& in) {
+// All reader failures are typed InputErrors carrying the 1-based line
+// number: a mis-parsed 40-hour matrix set (the thesis's BCSR corpus)
+// must point at the offending line, not just "malformed input".
+[[noreturn]] void fail(std::string code, std::int64_t lineno,
+                       const std::string& message) {
+  throw resilience::InputError(
+      std::move(code),
+      "Matrix Market: line " + std::to_string(lineno) + ": " + message);
+}
+
+Header parse_header(std::istream& in, std::int64_t& lineno) {
   std::string line;
-  SPMM_CHECK(static_cast<bool>(std::getline(in, line)),
-             "Matrix Market: empty input");
+  if (!std::getline(in, line)) {
+    fail("input.truncated", 1, "empty input (no banner line)");
+  }
+  ++lineno;
   std::istringstream hs(line);
   std::string banner, object, fmt, field, symmetry;
   hs >> banner >> object >> fmt >> field >> symmetry;
-  SPMM_CHECK(banner == "%%MatrixMarket",
-             "Matrix Market: missing %%MatrixMarket banner");
-  SPMM_CHECK(to_lower(object) == "matrix",
-             "Matrix Market: only 'matrix' objects are supported");
-  SPMM_CHECK(to_lower(fmt) == "coordinate",
-             "Matrix Market: only coordinate (sparse) format is supported");
+  if (banner != "%%MatrixMarket") {
+    fail("input.header", lineno, "missing %%MatrixMarket banner");
+  }
+  if (to_lower(object) != "matrix") {
+    fail("input.header", lineno, "only 'matrix' objects are supported");
+  }
+  if (to_lower(fmt) != "coordinate") {
+    fail("input.header", lineno,
+         "only coordinate (sparse) format is supported");
+  }
 
   Header h;
   const std::string f = to_lower(field);
   if (f == "pattern") {
     h.pattern = true;
-  } else {
-    SPMM_CHECK(f == "real" || f == "integer" || f == "double",
-               "Matrix Market: unsupported field '" + field + "'");
+  } else if (f != "real" && f != "integer" && f != "double") {
+    fail("input.header", lineno, "unsupported field '" + field + "'");
   }
   const std::string s = to_lower(symmetry);
   if (s == "symmetric") {
@@ -48,35 +67,59 @@ Header parse_header(std::istream& in) {
   } else if (s == "skew-symmetric") {
     h.symmetric = true;
     h.skew = true;
-  } else {
-    SPMM_CHECK(s == "general",
-               "Matrix Market: unsupported symmetry '" + symmetry + "'");
+  } else if (s != "general") {
+    fail("input.header", lineno, "unsupported symmetry '" + symmetry + "'");
   }
   return h;
+}
+
+// After the expected fields of an entry/size line, only whitespace may
+// remain; trailing garbage means the file is not what we think it is,
+// and silently ignoring it would mis-parse the matrix.
+void check_line_consumed(std::istringstream& ss, std::int64_t lineno,
+                         const std::string& t) {
+  std::string rest;
+  ss >> rest;
+  if (!rest.empty()) {
+    fail("input.parse", lineno, "trailing garbage '" + rest + "' in: " + t);
+  }
 }
 
 }  // namespace
 
 template <ValueType V, IndexType I>
 Coo<V, I> read_matrix_market(std::istream& in) {
-  const Header h = parse_header(in);
+  std::int64_t lineno = 0;
+  const Header h = parse_header(in, lineno);
 
   std::string line;
   // Skip comments and blank lines to the size line.
   std::int64_t rows = -1, cols = -1, entries = -1;
+  bool have_size = false;
   while (std::getline(in, line)) {
+    ++lineno;
     const std::string t = trim(line);
     if (t.empty() || t[0] == '%') continue;
     std::istringstream ss(t);
     ss >> rows >> cols >> entries;
-    SPMM_CHECK(!ss.fail(), "Matrix Market: malformed size line: " + t);
+    if (ss.fail()) fail("input.parse", lineno, "malformed size line: " + t);
+    check_line_consumed(ss, lineno, t);
+    have_size = true;
     break;
   }
-  SPMM_CHECK(rows >= 0 && cols >= 0 && entries >= 0,
-             "Matrix Market: missing size line");
-  SPMM_CHECK(rows <= std::numeric_limits<I>::max() &&
-                 cols <= std::numeric_limits<I>::max(),
-             "Matrix Market: matrix too large for the chosen index type");
+  if (!have_size) {
+    fail("input.truncated", lineno, "missing size line");
+  }
+  if (rows < 0 || cols < 0 || entries < 0) {
+    fail("input.parse", lineno, "negative dimension in size line");
+  }
+  if (rows > std::numeric_limits<I>::max() ||
+      cols > std::numeric_limits<I>::max()) {
+    fail("input.index", lineno,
+         "matrix " + std::to_string(rows) + "x" + std::to_string(cols) +
+             " overflows the chosen " + std::to_string(sizeof(I) * 8) +
+             "-bit index type");
+  }
 
   AlignedVector<I> row_idx, col_idx;
   AlignedVector<V> values;
@@ -85,21 +128,43 @@ Coo<V, I> read_matrix_market(std::istream& in) {
   col_idx.reserve(reserve);
   values.reserve(reserve);
 
+  // Chaos site: a fired io.truncate cuts the stream short here, which
+  // must surface as the same input.truncated error a really-truncated
+  // file produces (see tests/test_resilience.cpp).
+  auto* faults = resilience::FaultInjector::global();
+
   std::int64_t seen = 0;
   while (seen < entries && std::getline(in, line)) {
+    ++lineno;
+    if (faults != nullptr && faults->should_fire("io.truncate")) break;
     const std::string t = trim(line);
     if (t.empty() || t[0] == '%') continue;
     std::istringstream ss(t);
     std::int64_t r = 0, c = 0;
     double v = 1.0;
     ss >> r >> c;
-    SPMM_CHECK(!ss.fail(), "Matrix Market: malformed entry line: " + t);
+    if (ss.fail()) fail("input.parse", lineno, "malformed entry line: " + t);
     if (!h.pattern) {
-      ss >> v;
-      SPMM_CHECK(!ss.fail(), "Matrix Market: entry missing value: " + t);
+      // Read the value as a token and convert with strtod: stream
+      // extraction of double rejects "nan"/"inf" spellings outright,
+      // which would misreport them as parse errors instead of
+      // input.nonfinite.
+      std::string vtok;
+      ss >> vtok;
+      if (vtok.empty()) fail("input.parse", lineno, "entry missing value: " + t);
+      char* vend = nullptr;
+      v = std::strtod(vtok.c_str(), &vend);
+      if (vend == vtok.c_str() || *vend != '\0') {
+        fail("input.parse", lineno, "malformed entry value: " + t);
+      }
+      if (!std::isfinite(v)) {
+        fail("input.nonfinite", lineno, "non-finite value in: " + t);
+      }
     }
-    SPMM_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
-               "Matrix Market: entry index out of range: " + t);
+    check_line_consumed(ss, lineno, t);
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      fail("input.index", lineno, "entry index out of range: " + t);
+    }
     ++seen;
     row_idx.push_back(static_cast<I>(r - 1));
     col_idx.push_back(static_cast<I>(c - 1));
@@ -110,9 +175,11 @@ Coo<V, I> read_matrix_market(std::istream& in) {
       values.push_back(static_cast<V>(h.skew ? -v : v));
     }
   }
-  SPMM_CHECK(seen == entries,
-             "Matrix Market: expected " + std::to_string(entries) +
-                 " entries, found " + std::to_string(seen));
+  if (seen != entries) {
+    fail("input.truncated", lineno,
+         "expected " + std::to_string(entries) + " entries, found " +
+             std::to_string(seen));
+  }
 
   return Coo<V, I>(static_cast<I>(rows), static_cast<I>(cols),
                    std::move(row_idx), std::move(col_idx), std::move(values));
@@ -121,7 +188,10 @@ Coo<V, I> read_matrix_market(std::istream& in) {
 template <ValueType V, IndexType I>
 Coo<V, I> read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
-  SPMM_CHECK(in.good(), "cannot open Matrix Market file: " + path);
+  if (!in.good()) {
+    throw resilience::InputError("input.open",
+                                 "cannot open Matrix Market file: " + path);
+  }
   return read_matrix_market<V, I>(in);
 }
 

@@ -1,0 +1,102 @@
+// spmm::resilience — the typed error taxonomy.
+//
+// The paper's studies are long multi-cell sweeps; on real hardware they
+// die mid-campaign on device OOM, hung kernels, and bad inputs. SpChar
+// (Sgherzi et al.) argues a characterization campaign is only
+// trustworthy when those failure modes are *recorded as outcomes*
+// rather than crashes — which requires every failure to carry a stable,
+// machine-readable identity. This header layers that identity on
+// spmm::Error: four categories (input / format / kernel / timeout),
+// each with an error_code() string that flows into CSV columns,
+// report tags, and fault.* / cell.* telemetry counters unchanged.
+//
+// Code vocabulary (stable; see docs/ROBUSTNESS.md for the full table):
+//   input.*    bad or truncated input data          (InputError)
+//   format.*   conversion / formatting failures     (FormatError)
+//   kernel.*   compute-time failures                (KernelError)
+//   timeout.*  cell wall-clock deadline exceeded    (TimeoutError)
+//   dev.oom    device arena capacity exhausted      (dev::DeviceOutOfMemory)
+//   error      untyped spmm::Error                  (base class)
+#pragma once
+
+#include <exception>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace spmm::resilience {
+
+/// Common base for the taxonomy: a stable code plus a transience flag.
+/// Transient errors (injected flakes, resource races) are eligible for
+/// the hardened runner's retry-with-backoff; persistent ones fail the
+/// cell on the first attempt.
+class TypedError : public Error {
+ public:
+  TypedError(std::string code, const std::string& what,
+             bool transient = false)
+      : Error(what), code_(std::move(code)), transient_(transient) {}
+
+  [[nodiscard]] std::string_view error_code() const override {
+    return code_;
+  }
+  [[nodiscard]] bool transient() const { return transient_; }
+
+ private:
+  std::string code_;
+  bool transient_;
+};
+
+/// Bad input data: malformed Matrix Market files, out-of-range indices,
+/// non-finite values, truncated streams. Never transient.
+class InputError : public TypedError {
+ public:
+  InputError(std::string code, const std::string& what)
+      : TypedError(std::move(code), what) {}
+  explicit InputError(const std::string& what)
+      : TypedError("input.invalid", what) {}
+};
+
+/// Formatting / conversion failure: allocation budget exhausted while
+/// building the format-specific structures, impossible geometry.
+class FormatError : public TypedError {
+ public:
+  FormatError(std::string code, const std::string& what,
+              bool transient = false)
+      : TypedError(std::move(code), what, transient) {}
+  explicit FormatError(const std::string& what)
+      : TypedError("format.failed", what) {}
+};
+
+/// Compute-time failure inside a kernel invocation.
+class KernelError : public TypedError {
+ public:
+  KernelError(std::string code, const std::string& what,
+              bool transient = false)
+      : TypedError(std::move(code), what, transient) {}
+  explicit KernelError(const std::string& what)
+      : TypedError("kernel.failed", what) {}
+};
+
+/// A cell exceeded its wall-clock deadline (--cell-timeout). The
+/// hardened runner records the cell as `timeout` and moves on; a stalled
+/// kernel is expected to stall again, so timeouts are never retried.
+class TimeoutError : public TypedError {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : TypedError("timeout.cell", what) {}
+};
+
+/// Map any in-flight exception to its stable error code: spmm::Error
+/// subclasses report their own code ("dev.oom", "timeout.cell", ...),
+/// other std::exceptions (std::bad_alloc included) classify as
+/// "internal.unexpected".
+[[nodiscard]] inline std::string_view classify(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e)) {
+    return err->error_code();
+  }
+  return "internal.unexpected";
+}
+
+}  // namespace spmm::resilience

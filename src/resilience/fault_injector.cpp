@@ -1,0 +1,219 @@
+#include "resilience/fault_injector.hpp"
+
+#include <charconv>
+
+#include "resilience/errors.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+
+namespace spmm::resilience {
+
+namespace {
+
+[[noreturn]] void plan_error(const std::string& plan, const std::string& why) {
+  throw InputError("input.faultplan",
+                   "bad fault plan '" + plan + "': " + why);
+}
+
+/// SplitMix64 — a full-period mixer; the per-hit rate decision hashes
+/// (seed, site, hit index) through it so rate-triggered faults are
+/// reproducible across runs and independent across sites.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_uint(std::string_view text, std::uint64_t& out) {
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+FaultInjector* g_global = nullptr;
+
+}  // namespace
+
+const std::vector<std::string_view>& FaultInjector::known_sites() {
+  static const std::vector<std::string_view> sites = {
+      "dev.alloc.fail",   "dev.capacity.limit", "h2d.corrupt",
+      "d2h.corrupt",      "dev.launch.stall",   "cell.stall",
+      "cell.fail",        "format.alloc.fail",  "io.truncate",
+  };
+  return sites;
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::parse(const std::string& plan,
+                                                    std::uint64_t seed) {
+  const std::string trimmed = trim(plan);
+  if (trimmed.empty()) return nullptr;
+
+  // make_shared cannot reach the private constructor; the injector is
+  // immutable after parse apart from its counters, so plain new is fine.
+  std::shared_ptr<FaultInjector> injector(
+      new FaultInjector(trimmed, seed));
+  for (const std::string& piece : split(trimmed, ';')) {
+    const std::string action = trim(piece);
+    if (action.empty()) continue;
+    const auto at = action.find('@');
+    if (at == std::string::npos) {
+      plan_error(plan, "action '" + action + "' is missing '@trigger'");
+    }
+    const std::string site = trim(action.substr(0, at));
+    bool known = false;
+    for (std::string_view s : known_sites()) known |= (s == site);
+    if (!known) plan_error(plan, "unknown site '" + site + "'");
+    if (injector->sites_.count(site) != 0) {
+      plan_error(plan, "site '" + site + "' appears twice");
+    }
+
+    Site parsed;
+    const std::vector<std::string> tokens = split(action.substr(at + 1), ',');
+    if (tokens.empty() || trim(tokens.front()).empty()) {
+      plan_error(plan, "site '" + site + "' has an empty trigger");
+    }
+    const std::string trigger = trim(tokens.front());
+    if (trigger == "always") {
+      parsed.trigger = Trigger::kAlways;
+    } else if (trigger.rfind("rate=", 0) == 0) {
+      parsed.trigger = Trigger::kRate;
+      if (!parse_double(trigger.substr(5), parsed.rate) ||
+          parsed.rate < 0.0 || parsed.rate > 1.0) {
+        plan_error(plan, "site '" + site + "' needs rate in [0,1], got '" +
+                             trigger + "'");
+      }
+    } else {
+      parsed.trigger = Trigger::kNth;
+      if (!parse_uint(trigger, parsed.nth) || parsed.nth == 0) {
+        plan_error(plan, "site '" + site +
+                             "' trigger must be a positive hit index, "
+                             "'always', or 'rate=R'; got '" +
+                             trigger + "'");
+      }
+    }
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string token = trim(tokens[i]);
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        plan_error(plan, "site '" + site + "' has a malformed parameter '" +
+                             token + "' (expected key=value)");
+      }
+      double value = 0.0;
+      if (!parse_double(trim(token.substr(eq + 1)), value)) {
+        plan_error(plan, "site '" + site + "' parameter '" + token +
+                             "' is not numeric");
+      }
+      parsed.params[trim(token.substr(0, eq))] = value;
+    }
+    injector->sites_.emplace(site, std::move(parsed));
+  }
+  if (injector->sites_.empty()) plan_error(plan, "no actions");
+  return injector;
+}
+
+bool FaultInjector::armed(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_.find(site) != sites_.end();
+}
+
+bool FaultInjector::should_fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  const std::uint64_t hit = ++s.hit_count;
+  bool fire = false;
+  switch (s.trigger) {
+    case Trigger::kNth:
+      fire = (hit == s.nth);
+      break;
+    case Trigger::kRate: {
+      const std::uint64_t h = mix64(seed_ ^ hash_site(site) ^ hit);
+      fire = (static_cast<double>(h >> 11) * 0x1.0p-53 < s.rate);
+      break;
+    }
+    case Trigger::kAlways:
+      fire = true;
+      break;
+  }
+  if (fire) ++s.fire_count;
+  return fire;
+}
+
+double FaultInjector::param(std::string_view site, std::string_view key,
+                            double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return fallback;
+  auto p = it->second.params.find(key);
+  return p == it->second.params.end() ? fallback : p->second;
+}
+
+std::size_t FaultInjector::pick(std::string_view site, std::size_t n) const {
+  if (n == 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t fires = 0;
+  if (auto it = sites_.find(site); it != sites_.end()) {
+    fires = it->second.fire_count;
+  }
+  return static_cast<std::size_t>(mix64(seed_ ^ hash_site(site) ^ fires) %
+                                  n);
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+std::uint64_t FaultInjector::fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fire_count;
+}
+
+FaultInjector* FaultInjector::global() { return g_global; }
+
+FaultInjector::ScopedGlobal::ScopedGlobal(
+    std::shared_ptr<FaultInjector> injector)
+    : owned_(std::move(injector)), previous_(g_global) {
+  g_global = owned_.get();
+}
+
+FaultInjector::ScopedGlobal::~ScopedGlobal() { g_global = previous_; }
+
+void register_fault_options(ArgParser& parser) {
+  std::string sites;
+  for (std::string_view s : FaultInjector::known_sites()) {
+    if (!sites.empty()) sites += " ";
+    sites += s;
+  }
+  parser.add_string("faults", 0, "",
+                    "fault-injection plan, e.g. "
+                    "'dev.alloc.fail@2;cell.stall@1,ms=200' (sites: " +
+                        sites + ")");
+}
+
+std::shared_ptr<FaultInjector> injector_from_parser(const ArgParser& parser,
+                                                    std::uint64_t seed) {
+  return FaultInjector::parse(parser.get_string("faults"), seed);
+}
+
+}  // namespace spmm::resilience

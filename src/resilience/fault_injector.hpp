@@ -1,0 +1,136 @@
+// spmm::resilience — deterministic, seeded fault injection.
+//
+// A FaultInjector is parsed from a fault-plan string and threaded (as a
+// nullable shared_ptr) through the device arena, the benchmark core, and
+// the IO loaders. Each layer guards every injection point with a single
+// null-pointer branch, so the no-injector path — the only path
+// production runs take — does no work at all.
+//
+// Fault-plan grammar (see docs/ROBUSTNESS.md):
+//
+//   plan    := action (';' action)*
+//   action  := site '@' trigger (',' key '=' value)*
+//   trigger := N            fire on the Nth hit of the site (1-based)
+//            | 'rate=' R    fire each hit with probability R (seeded,
+//                           deterministic: same seed -> same fires)
+//            | 'always'     fire on every hit
+//
+// Example: "dev.alloc.fail@3;h2d.corrupt@rate=0.01;cell.stall@1,ms=200"
+//
+// Sites are a closed vocabulary (unknown names are a parse error, so a
+// typo cannot silently disarm a chaos test):
+//
+//   dev.alloc.fail    Nth device allocation throws DeviceOutOfMemory
+//   dev.capacity.limit  shrink arena capacity to `bytes=` at attach
+//   h2d.corrupt       flip one bit of a host->device transfer
+//   d2h.corrupt       flip one bit of a device->host transfer
+//   dev.launch.stall  sleep `ms=` (default 50) inside a kernel launch
+//   cell.stall        sleep `ms=` (default 100) at the start of a
+//                     benchmark cell (drives the cell deadline)
+//   cell.fail         throw KernelError from a cell; `transient=1`
+//                     (default) makes it eligible for retry
+//   format.alloc.fail formatter allocation budget exhaustion
+//   io.truncate       stop the Matrix Market entry loop early, as if
+//                     the file were truncated
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spmm {
+class ArgParser;
+}  // namespace spmm
+
+namespace spmm::resilience {
+
+/// Deterministic fault injector. Thread-safe: hit counters are guarded
+/// by a mutex (injection sites sit outside the hot per-element loops).
+class FaultInjector {
+ public:
+  /// Parse a fault plan. Returns nullptr for an empty plan (the
+  /// canonical "no injection" value). Throws InputError with code
+  /// "input.faultplan" on grammar errors or unknown sites.
+  static std::shared_ptr<FaultInjector> parse(const std::string& plan,
+                                              std::uint64_t seed = 42);
+
+  /// The closed site vocabulary, for --help text and validation.
+  static const std::vector<std::string_view>& known_sites();
+
+  /// True when the plan references `site` at all.
+  [[nodiscard]] bool armed(std::string_view site) const;
+
+  /// Count one hit of `site` and decide whether the fault fires. A site
+  /// absent from the plan never fires (and is not counted).
+  bool should_fire(std::string_view site);
+
+  /// Numeric parameter attached to a site's action (`key=value`), or
+  /// `fallback` when absent.
+  [[nodiscard]] double param(std::string_view site, std::string_view key,
+                             double fallback) const;
+
+  /// Deterministic index in [0, n) for corruption targets; advances
+  /// with the site's fire count so repeated corruptions hit different
+  /// elements, reproducibly.
+  [[nodiscard]] std::size_t pick(std::string_view site, std::size_t n) const;
+
+  /// Observability for tests and reports.
+  [[nodiscard]] std::uint64_t hits(std::string_view site) const;
+  [[nodiscard]] std::uint64_t fires(std::string_view site) const;
+  [[nodiscard]] const std::string& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // -- Process-global injector (for layers the benchmark cannot thread
+  //    a pointer into, e.g. the Matrix Market loader). Null by default;
+  //    ScopedGlobal installs and restores it RAII-style.
+  static FaultInjector* global();
+  class ScopedGlobal {
+   public:
+    explicit ScopedGlobal(std::shared_ptr<FaultInjector> injector);
+    ~ScopedGlobal();
+    ScopedGlobal(const ScopedGlobal&) = delete;
+    ScopedGlobal& operator=(const ScopedGlobal&) = delete;
+
+   private:
+    std::shared_ptr<FaultInjector> owned_;
+    FaultInjector* previous_;
+  };
+
+ private:
+  enum class Trigger { kNth, kRate, kAlways };
+
+  struct Site {
+    Trigger trigger = Trigger::kNth;
+    std::uint64_t nth = 1;
+    double rate = 0.0;
+    std::map<std::string, double, std::less<>> params;
+    std::uint64_t hit_count = 0;
+    std::uint64_t fire_count = 0;
+  };
+
+  FaultInjector(std::string plan, std::uint64_t seed)
+      : plan_(std::move(plan)), seed_(seed) {}
+
+  std::string plan_;
+  std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+/// Register the --faults option (the plan string) on a parser. The
+/// numeric resilience knobs (--cell-timeout, --retries, --on-error)
+/// live in BenchParams::register_options; this lives here because only
+/// the resilience layer can construct injectors (same layering rule as
+/// telemetry sinks).
+void register_fault_options(ArgParser& parser);
+
+/// Build the injector a parsed --faults plan describes (nullptr when
+/// the flag was empty).
+std::shared_ptr<FaultInjector> injector_from_parser(const ArgParser& parser,
+                                                    std::uint64_t seed);
+
+}  // namespace spmm::resilience

@@ -271,6 +271,14 @@ void BenchParams::register_options(ArgParser& parser) {
   parser.add_int("seed", 's', 42, "seed for generators and operand fill");
   parser.add_int("device-memory-mb", 0, 0,
                  "emulated device memory cap in MiB (0 = unlimited)");
+  parser.add_double("cell-timeout", 0, 0.0,
+                    "wall-clock deadline per benchmark cell in seconds "
+                    "(0 = no deadline)");
+  parser.add_int("retries", 0, 0,
+                 "extra attempts for cells that fail transiently");
+  parser.add_string("on-error", 0, "abort",
+                    "cell failure policy: continue (record as a labelled "
+                    "result) or abort (propagate)");
 }
 
 BenchParams BenchParams::from_parser(const ArgParser& parser) {
@@ -291,6 +299,20 @@ BenchParams BenchParams::from_parser(const ArgParser& parser) {
   const std::int64_t dev_mb = parser.get_int("device-memory-mb");
   SPMM_CHECK(dev_mb >= 0, "--device-memory-mb must be non-negative");
   p.device_memory_bytes = static_cast<std::size_t>(dev_mb) * 1024 * 1024;
+  p.cell_timeout_seconds = parser.get_double("cell-timeout");
+  SPMM_CHECK(p.cell_timeout_seconds >= 0.0,
+             "--cell-timeout must be non-negative");
+  p.retries = static_cast<int>(parser.get_int("retries"));
+  SPMM_CHECK(p.retries >= 0, "--retries must be non-negative");
+  const std::string& on_error = parser.get_string("on-error");
+  if (on_error == "continue") {
+    p.on_error = OnError::kContinue;
+  } else {
+    SPMM_CHECK(on_error == "abort",
+               "--on-error must be 'continue' or 'abort', got '" + on_error +
+                   "'");
+    p.on_error = OnError::kAbort;
+  }
 
   SPMM_CHECK(p.iterations > 0, "--iterations must be positive");
   SPMM_CHECK(p.warmup >= 0, "--warmup must be non-negative");

@@ -21,6 +21,16 @@ namespace telemetry {
 class Sink;
 }  // namespace telemetry
 
+namespace resilience {
+class FaultInjector;
+}  // namespace resilience
+
+/// What a runner does when a cell fails: abort (propagate the exception,
+/// the pre-resilience behaviour and the library default) or continue
+/// (record the failure as a labelled result and move to the next cell —
+/// the hardened-study mode).
+enum class OnError { kAbort, kContinue };
+
 /// Generic option parser: registers typed options, then parses argv.
 /// Options are spelled `--name value`, `--name=value`, or for bools just
 /// `--name`. Single-dash short aliases are supported (`-k 128`).
@@ -123,6 +133,24 @@ struct BenchParams {
   /// --trace / --perf-summary, never by from_parser (support cannot
   /// construct sinks — layering).
   std::shared_ptr<telemetry::Sink> sink;
+
+  // -- Resilience (see docs/ROBUSTNESS.md). ---------------------------
+  /// Wall-clock deadline per benchmark cell in seconds; 0 (default)
+  /// disables the watchdog — and with it every per-iteration clock read.
+  double cell_timeout_seconds = 0.0;
+  /// Extra attempts granted to a cell that fails with a *transient*
+  /// typed error (retry-with-backoff); 0 = first failure is final.
+  int retries = 0;
+  /// Base backoff between retry attempts (linear: attempt × base).
+  double retry_backoff_seconds = 0.01;
+  /// Failure policy for run()/run_plan()/thread_sweep(). kAbort keeps
+  /// the pre-resilience throw-through semantics bit-for-bit.
+  OnError on_error = OnError::kAbort;
+  /// Fault injector for chaos testing. Null (the default) disarms every
+  /// injection site at the cost of one null-pointer branch. Populated
+  /// by tools from --faults, never by from_parser (support cannot parse
+  /// fault plans — layering, same rule as `sink`).
+  std::shared_ptr<resilience::FaultInjector> faults;
 
   /// Register the shared options on `parser`.
   static void register_options(ArgParser& parser);

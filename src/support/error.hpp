@@ -9,13 +9,25 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace spmm {
 
 /// Exception type thrown for all recoverable library errors.
+///
+/// error_code() is a stable, machine-readable identifier for CSV /
+/// telemetry consumers (dot-separated, e.g. "dev.oom", "input.truncated",
+/// "timeout.cell"). The base class reports the generic "error"; the
+/// typed taxonomy in src/resilience/errors.hpp and DeviceOutOfMemory
+/// override it. Codes are part of the output contract: renaming one
+/// breaks downstream tooling the same way renaming a CSV column would.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+
+  [[nodiscard]] virtual std::string_view error_code() const {
+    return "error";
+  }
 };
 
 namespace detail {

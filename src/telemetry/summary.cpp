@@ -102,6 +102,21 @@ void print_summary(std::ostream& os, const TraceSummary& summary) {
     }
   }
 
+  // Resilience outcomes: fired fault-injection sites (fault.*) and cell
+  // failure/degradation/retry counters (cell.*, cache.*); see
+  // docs/ROBUSTNESS.md. Absent from clean traces.
+  bool any_fault = false;
+  for (const auto& [name, total] : summary.counter_totals) {
+    if (name.rfind("fault.", 0) == 0 || name.rfind("cell.", 0) == 0 ||
+        name.rfind("cache.", 0) == 0) {
+      if (!any_fault) {
+        os << "\nfailure outcomes:\n";
+        any_fault = true;
+      }
+      os << "  " << name << ": " << format_double(total, 0) << "\n";
+    }
+  }
+
   if (!summary.slowest.empty()) {
     os << "\nslowest spans:\n";
     for (const SpanRecord& s : summary.slowest) {

@@ -83,7 +83,9 @@ TEST(BenchCsv, HeaderIsPinned) {
             "column_ratio,row_variance,row_stddev,"
             // Appended by the telemetry PR — distribution + device traffic.
             "p50_seconds,p95_seconds,max_seconds,stddev_seconds,"
-            "warmup_drift,outliers,h2d_bytes,d2h_bytes,device_peak_bytes");
+            "warmup_drift,outliers,h2d_bytes,d2h_bytes,device_peak_bytes,"
+            // Appended by the resilience PR — cell outcome labelling.
+            "status,error_code,attempts");
   // One data row with matching arity must follow.
   EXPECT_NE(out.find('\n'), std::string::npos);
   const std::string row = out.substr(out.find('\n') + 1);

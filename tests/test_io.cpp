@@ -8,6 +8,8 @@
 
 #include "io/bcsr_cache.hpp"
 #include "io/matrix_market.hpp"
+#include "resilience/errors.hpp"
+#include "telemetry/telemetry.hpp"
 #include "test_util.hpp"
 
 namespace spmm {
@@ -96,6 +98,65 @@ TEST(MatrixMarket, RejectsBadInputs) {
                Error);
 }
 
+// Helper: parse and return the typed error for assertion on code + line.
+resilience::InputError capture_error(const std::string& text) {
+  try {
+    parse(text);
+  } catch (const resilience::InputError& e) {
+    return e;
+  }
+  return resilience::InputError("none", "no error thrown");
+}
+
+TEST(MatrixMarket, ErrorsCarryCodeAndLineNumber) {
+  const auto truncated = capture_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_EQ(truncated.error_code(), "input.truncated");
+  EXPECT_NE(std::string(truncated.what()).find("line 3"), std::string::npos);
+
+  const auto bad_entry = capture_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "x y z\n");
+  EXPECT_EQ(bad_entry.error_code(), "input.parse");
+  EXPECT_NE(std::string(bad_entry.what()).find("line 3"), std::string::npos);
+
+  const auto out_of_range = capture_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "5 1 1.0\n");
+  EXPECT_EQ(out_of_range.error_code(), "input.index");
+}
+
+TEST(MatrixMarket, RejectsNonFiniteValues) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    const auto e = capture_error(
+        std::string("%%MatrixMarket matrix coordinate real general\n"
+                    "2 2 1\n"
+                    "1 1 ") + bad + "\n");
+    EXPECT_EQ(e.error_code(), "input.nonfinite") << bad;
+  }
+}
+
+TEST(MatrixMarket, RejectsIndexTypeOverflow) {
+  // 3e9 rows fits the file format but not a 32-bit index.
+  const auto e = capture_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3000000000 2 0\n");
+  EXPECT_EQ(e.error_code(), "input.index");
+  EXPECT_NE(std::string(e.what()).find("32-bit"), std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsTrailingGarbage) {
+  const auto e = capture_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0 surprise\n");
+  EXPECT_EQ(e.error_code(), "input.parse");
+}
+
 TEST(MatrixMarket, RoundTripExact) {
   const CooD m = testutil::random_coo(64, 80, 4.0, 77);
   std::stringstream buf;
@@ -166,6 +227,68 @@ TEST(BcsrCache, RejectsTruncated) {
   std::stringstream cut(bytes.substr(0, bytes.size() / 2),
                         std::ios::in | std::ios::binary);
   EXPECT_THROW((io::read_bcsr_cache<double, std::int32_t>(cut)), Error);
+}
+
+TEST(BcsrCache, RejectsBitFlippedPayload) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 23);
+  const auto bcsr = to_bcsr(m, 2);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_bcsr_cache(full, bcsr);
+  std::string bytes = full.str();
+  bytes[bytes.size() / 2] ^= 0x01;  // one flipped bit mid-payload
+  std::stringstream bad(bytes, std::ios::in | std::ios::binary);
+  try {
+    io::read_bcsr_cache<double, std::int32_t>(bad);
+    FAIL() << "expected cache.corrupt";
+  } catch (const resilience::InputError& e) {
+    EXPECT_EQ(e.error_code(), "cache.corrupt");
+  }
+}
+
+TEST(BcsrCache, TryReadTreatsCorruptionAsMiss) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 29);
+  const auto bcsr = to_bcsr(m, 4);
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "spmm_bcsr_tryread.bin")
+                        .string();
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  telemetry::Session session(sink);
+
+  // Missing file: miss, no throw.
+  std::remove(path.c_str());
+  EXPECT_EQ((io::try_read_bcsr_cache_file<double, std::int32_t>(path,
+                                                                &session)),
+            std::nullopt);
+
+  // Intact file: hit.
+  io::write_bcsr_cache_file(path, bcsr);
+  const auto hit =
+      io::try_read_bcsr_cache_file<double, std::int32_t>(path, &session);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, bcsr);
+
+  // Truncated file: evicted (miss), regeneration is the caller's job.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ((io::try_read_bcsr_cache_file<double, std::int32_t>(path,
+                                                                &session)),
+            std::nullopt);
+  std::remove(path.c_str());
+
+  double miss = 0.0, evict = 0.0;
+  for (const telemetry::Event& e : sink->events()) {
+    if (e.kind != telemetry::EventKind::kCounter) continue;
+    if (e.name == "cache.miss") miss += e.value;
+    if (e.name == "cache.evict") evict += e.value;
+  }
+  EXPECT_EQ(miss, 1.0);
+  EXPECT_EQ(evict, 1.0);
 }
 
 TEST(BcsrCache, CachedMatrixMultipliesCorrectly) {

@@ -1,0 +1,436 @@
+// Tests for spmm::resilience: the typed error taxonomy, the
+// deterministic fault injector, the hardened run() harness (retry,
+// degradation ladder, cell deadline watchdog), and the run_plan /
+// thread_sweep cell isolation under --on-error=continue.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "devsim/device.hpp"
+#include "io/matrix_market.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
+#include "telemetry/telemetry.hpp"
+#include "test_util.hpp"
+
+namespace spmm::bench {
+namespace {
+
+using resilience::FaultInjector;
+using testutil::CooD;
+
+BenchParams fast_params(int k = 8) {
+  BenchParams p;
+  p.iterations = 2;
+  p.warmup = 1;
+  p.threads = 2;
+  p.block_size = 4;
+  p.k = k;
+  p.verify = false;
+  return p;
+}
+
+double counter_total(const telemetry::MemorySink& sink,
+                     const std::string& name) {
+  double total = 0.0;
+  for (const telemetry::Event& e : sink.events()) {
+    if (e.kind == telemetry::EventKind::kCounter && e.name == name) {
+      total += e.value;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- taxonomy
+
+TEST(Taxonomy, CodesAreStable) {
+  EXPECT_EQ(resilience::InputError("x").error_code(), "input.invalid");
+  EXPECT_EQ(resilience::InputError("input.truncated", "x").error_code(),
+            "input.truncated");
+  EXPECT_EQ(resilience::FormatError("x").error_code(), "format.failed");
+  EXPECT_EQ(resilience::KernelError("x").error_code(), "kernel.failed");
+  EXPECT_EQ(resilience::TimeoutError("x").error_code(), "timeout.cell");
+  EXPECT_EQ(dev::DeviceOutOfMemory("x").error_code(), "dev.oom");
+  EXPECT_EQ(Error("x").error_code(), "error");
+}
+
+TEST(Taxonomy, ClassifyMapsExceptionsToCodes) {
+  const resilience::TimeoutError timeout("t");
+  EXPECT_EQ(resilience::classify(timeout), "timeout.cell");
+  const dev::DeviceOutOfMemory oom("o");
+  EXPECT_EQ(resilience::classify(oom), "dev.oom");
+  const std::runtime_error other("boom");
+  EXPECT_EQ(resilience::classify(other), "internal.unexpected");
+}
+
+TEST(Taxonomy, TimeoutIsNeverTransient) {
+  EXPECT_FALSE(resilience::TimeoutError("t").transient());
+  EXPECT_TRUE(resilience::KernelError("k", "x", true).transient());
+}
+
+// ------------------------------------------------------------- fault plans
+
+TEST(FaultPlan, EmptyPlanMeansNoInjector) {
+  EXPECT_EQ(FaultInjector::parse(""), nullptr);
+  EXPECT_EQ(FaultInjector::parse("   "), nullptr);
+}
+
+TEST(FaultPlan, UnknownSiteRejected) {
+  try {
+    FaultInjector::parse("dev.alloc.fial@1");
+    FAIL() << "expected InputError";
+  } catch (const resilience::InputError& e) {
+    EXPECT_EQ(e.error_code(), "input.faultplan");
+  }
+}
+
+TEST(FaultPlan, BadGrammarRejected) {
+  EXPECT_THROW(FaultInjector::parse("dev.alloc.fail"), resilience::InputError);
+  EXPECT_THROW(FaultInjector::parse("dev.alloc.fail@"),
+               resilience::InputError);
+  EXPECT_THROW(FaultInjector::parse("dev.alloc.fail@x"),
+               resilience::InputError);
+  EXPECT_THROW(FaultInjector::parse("dev.alloc.fail@rate=2.0"),
+               resilience::InputError);
+  EXPECT_THROW(FaultInjector::parse("dev.alloc.fail@1;dev.alloc.fail@2"),
+               resilience::InputError);
+}
+
+TEST(FaultPlan, NthTriggerFiresExactlyOnce) {
+  auto inj = FaultInjector::parse("dev.alloc.fail@3");
+  ASSERT_NE(inj, nullptr);
+  EXPECT_TRUE(inj->armed("dev.alloc.fail"));
+  EXPECT_FALSE(inj->armed("h2d.corrupt"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(inj->should_fire("dev.alloc.fail"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(inj->hits("dev.alloc.fail"), 6u);
+  EXPECT_EQ(inj->fires("dev.alloc.fail"), 1u);
+  // Unarmed sites never fire and are not counted.
+  EXPECT_FALSE(inj->should_fire("h2d.corrupt"));
+  EXPECT_EQ(inj->hits("h2d.corrupt"), 0u);
+}
+
+TEST(FaultPlan, RateTriggerIsDeterministicPerSeed) {
+  auto a = FaultInjector::parse("h2d.corrupt@rate=0.3", 7);
+  auto b = FaultInjector::parse("h2d.corrupt@rate=0.3", 7);
+  std::vector<bool> fa, fb;
+  for (int i = 0; i < 200; ++i) {
+    fa.push_back(a->should_fire("h2d.corrupt"));
+    fb.push_back(b->should_fire("h2d.corrupt"));
+  }
+  EXPECT_EQ(fa, fb);
+  // ~0.3 of 200 hits should fire; a huge tolerance keeps this exact for
+  // any reasonable mixer while still catching always/never bugs.
+  EXPECT_GT(a->fires("h2d.corrupt"), 20u);
+  EXPECT_LT(a->fires("h2d.corrupt"), 140u);
+}
+
+TEST(FaultPlan, ParamsAndPickAreExposed) {
+  auto inj = FaultInjector::parse("cell.stall@1,ms=250;dev.launch.stall@2");
+  EXPECT_DOUBLE_EQ(inj->param("cell.stall", "ms", 100.0), 250.0);
+  EXPECT_DOUBLE_EQ(inj->param("dev.launch.stall", "ms", 50.0), 50.0);
+  const std::size_t i = inj->pick("cell.stall", 16);
+  EXPECT_LT(i, 16u);
+  EXPECT_EQ(inj->pick("cell.stall", 16), i);  // same fire count -> same pick
+}
+
+TEST(FaultPlan, GlobalInjectorScoping) {
+  EXPECT_EQ(FaultInjector::global(), nullptr);
+  {
+    FaultInjector::ScopedGlobal scope(FaultInjector::parse("io.truncate@1"));
+    ASSERT_NE(FaultInjector::global(), nullptr);
+    EXPECT_TRUE(FaultInjector::global()->armed("io.truncate"));
+  }
+  EXPECT_EQ(FaultInjector::global(), nullptr);
+}
+
+// -------------------------------------------------- arena injection sites
+
+TEST(ArenaFaults, NthAllocThrowsAndLeavesArenaConsistent) {
+  dev::DeviceArena arena;
+  arena.set_fault_injector(FaultInjector::parse("dev.alloc.fail@2"));
+  (void)arena.alloc<double>(8);
+  const std::size_t before = arena.allocated_bytes();
+  EXPECT_EQ(before, 8 * sizeof(double));
+  EXPECT_THROW(arena.alloc<double>(8), dev::DeviceOutOfMemory);
+  // The failed allocation must not change accounting.
+  EXPECT_EQ(arena.allocated_bytes(), before);
+  EXPECT_EQ(arena.peak_bytes(), before);
+  // The arena keeps working after the fault.
+  (void)arena.alloc<double>(4);
+  EXPECT_EQ(arena.allocated_bytes(), before + 4 * sizeof(double));
+  arena.reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+}
+
+TEST(ArenaFaults, CapacityLimitShrinksArena) {
+  dev::DeviceArena arena;  // unlimited
+  arena.set_fault_injector(
+      FaultInjector::parse("dev.capacity.limit@always,bytes=64"));
+  EXPECT_EQ(arena.capacity_bytes(), 64u);
+  EXPECT_THROW(arena.alloc<double>(16), dev::DeviceOutOfMemory);
+}
+
+TEST(ArenaFaults, H2dCorruptionFlipsExactlyOneByte) {
+  dev::DeviceArena arena;
+  arena.set_fault_injector(FaultInjector::parse("h2d.corrupt@1"));
+  std::vector<double> host(16, 1.0);
+  auto buf = arena.alloc<double>(16);
+  arena.copy_to_device(buf, host.data(), 16);
+  int diffs = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (buf.data()[i] != 1.0) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST(ArenaFaults, RealOomEmitsCounterAndStaysConsistent) {
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  dev::DeviceArena arena(64);
+  arena.set_telemetry(telemetry::Session(sink));
+  (void)arena.alloc<double>(4);
+  EXPECT_THROW(arena.alloc<double>(64), dev::DeviceOutOfMemory);
+  EXPECT_EQ(arena.allocated_bytes(), 4 * sizeof(double));
+  bool saw_oom_log = false;
+  for (const telemetry::Event& e : sink->events()) {
+    if (e.kind == telemetry::EventKind::kLog && e.name == "dev.oom") {
+      saw_oom_log = true;
+    }
+  }
+  EXPECT_TRUE(saw_oom_log);
+}
+
+// --------------------------------------------------------- hardened run()
+
+TEST(HardenedRun, CleanPathIsPure) {
+  const CooD m = testutil::random_coo(50, 50, 4.0, 3);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;  // policy alone must not change output
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "m50");
+  EXPECT_EQ(r.status, RunStatus::kOk);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.error_code, "");
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.executed_variant, Variant::kSerial);
+  EXPECT_GT(r.mflops, 0.0);
+}
+
+TEST(HardenedRun, CellStallPlusDeadlineTimesOut) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 4);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;
+  p.cell_timeout_seconds = 0.05;
+  p.faults = FaultInjector::parse("cell.stall@1,ms=200");
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "m40");
+  EXPECT_EQ(r.status, RunStatus::kTimeout);
+  EXPECT_EQ(r.error_code, "timeout.cell");
+  EXPECT_EQ(r.attempts, 1);
+}
+
+TEST(HardenedRun, TimeoutUnderAbortPolicyThrows) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 4);
+  BenchParams p = fast_params();
+  p.cell_timeout_seconds = 0.05;
+  p.faults = FaultInjector::parse("cell.stall@1,ms=200");
+  EXPECT_THROW(
+      (run_benchmark<double, std::int32_t>(Format::kCsr, Variant::kSerial, m,
+                                           p, "m40")),
+      resilience::TimeoutError);
+}
+
+TEST(HardenedRun, TransientFailureRetriesAndSucceeds) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 5);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;
+  p.retries = 2;
+  p.retry_backoff_seconds = 0.001;
+  p.faults = FaultInjector::parse("cell.fail@1,transient=1");
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "m40");
+  EXPECT_EQ(r.status, RunStatus::kOk);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_GT(r.mflops, 0.0);
+}
+
+TEST(HardenedRun, PersistentFailureExhaustsRetries) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 5);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;
+  p.retries = 1;
+  p.retry_backoff_seconds = 0.001;
+  p.faults = FaultInjector::parse("cell.fail@always,transient=1");
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "m40");
+  EXPECT_EQ(r.status, RunStatus::kFailed);
+  EXPECT_EQ(r.error_code, "kernel.injected");
+  EXPECT_EQ(r.attempts, 2);  // 1 + retries
+}
+
+TEST(HardenedRun, DeviceOomDegradesToHostParallel) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 6);
+  auto sink = std::make_shared<telemetry::MemorySink>();
+  BenchParams p = fast_params(16);
+  p.on_error = OnError::kContinue;
+  p.device_memory_bytes = 1024;  // far too small for the operands
+  p.sink = sink;
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kDevice, m, p, "m60");
+  EXPECT_EQ(r.status, RunStatus::kDegraded);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.variant, Variant::kDevice);           // what was asked for
+  EXPECT_EQ(r.executed_variant, Variant::kParallel);  // what actually ran
+  EXPECT_EQ(r.error_code, "dev.oom");
+  EXPECT_GT(r.mflops, 0.0);
+  EXPECT_GE(counter_total(*sink, "cell.degraded"), 1.0);
+  EXPECT_GE(counter_total(*sink, "cell.error"), 1.0);
+  EXPECT_GE(counter_total(*sink, "cell.error.dev.oom"), 1.0);
+}
+
+TEST(HardenedRun, DeviceOomUnderAbortStillThrows) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 6);
+  BenchParams p = fast_params(16);
+  p.device_memory_bytes = 1024;
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(m, p, "m60");
+  EXPECT_THROW(bench->run(Variant::kDevice), dev::DeviceOutOfMemory);
+  // The arena must be usable afterwards: a host run still works.
+  const BenchResult r = bench->run(Variant::kSerial);
+  EXPECT_EQ(r.status, RunStatus::kOk);
+}
+
+TEST(HardenedRun, FormatAllocFaultFailsCell) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 7);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;
+  p.faults = FaultInjector::parse("format.alloc.fail@1");
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(m, p, "m40");
+  const BenchResult r = bench->run(Variant::kSerial);
+  EXPECT_EQ(r.status, RunStatus::kFailed);
+  EXPECT_EQ(r.error_code, "format.alloc");
+}
+
+// --------------------------------------------- plan-level cell isolation
+
+TEST(HardenedPlan, ChaosPlanYieldsOkDegradedAndTimeoutRows) {
+  // The acceptance scenario: dev.alloc.fail@2 kills the second device
+  // allocation (first device cell degrades to host-parallel) and
+  // cell.stall@1 stalls the first cell past a 50 ms deadline (timeout);
+  // everything else is ok. The study completes instead of dying.
+  const CooD m = testutil::random_coo(60, 60, 5.0, 8);
+  BenchParams p = fast_params(16);
+  p.on_error = OnError::kContinue;
+  p.cell_timeout_seconds = 0.05;
+  p.faults = FaultInjector::parse("dev.alloc.fail@2;cell.stall@1,ms=200");
+  const std::vector<PlanCell> plan = {
+      {Variant::kSerial, 0, 0},    // first cell: stalled -> timeout
+      {Variant::kParallel, 2, 0},  // clean -> ok
+      {Variant::kDevice, 0, 0},    // 2nd device alloc fails -> degraded
+  };
+  const auto results =
+      run_plan<double, std::int32_t>(Format::kCsr, m, p, plan, "m60");
+  ASSERT_EQ(results.size(), 3u);
+
+  EXPECT_EQ(results[0].status, RunStatus::kTimeout);
+  EXPECT_EQ(results[0].error_code, "timeout.cell");
+
+  EXPECT_EQ(results[1].status, RunStatus::kOk);
+  EXPECT_EQ(results[1].error_code, "");
+
+  EXPECT_EQ(results[2].status, RunStatus::kDegraded);
+  EXPECT_EQ(results[2].error_code, "dev.oom");
+  EXPECT_EQ(results[2].executed_variant, Variant::kParallel);
+  EXPECT_GT(results[2].mflops, 0.0);
+
+  // The CSV records the outcome column with the stable codes.
+  std::ostringstream csv;
+  write_csv(csv, results);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find(",status,error_code,attempts"), std::string::npos);
+  EXPECT_NE(text.find("timeout,timeout.cell"), std::string::npos);
+  EXPECT_NE(text.find("degraded,dev.oom"), std::string::npos);
+  EXPECT_NE(text.find(",ok,"), std::string::npos);
+}
+
+TEST(HardenedPlan, UnsupportedVariantSkippedUnderContinue) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 9);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;
+  const std::vector<PlanCell> plan = {
+      {Variant::kSerial, 0, 0},
+      {Variant::kSerialTranspose, 0, 0},  // CSR5 has no transpose kernel
+  };
+  const auto results =
+      run_plan<double, std::int32_t>(Format::kCsr5, m, p, plan, "m40");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, RunStatus::kOk);
+  EXPECT_EQ(results[1].status, RunStatus::kSkipped);
+  EXPECT_EQ(results[1].error_code, "variant.unsupported");
+  EXPECT_EQ(results[1].attempts, 0);
+}
+
+TEST(HardenedPlan, AbortPolicyPreservesThrowThrough) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 9);
+  BenchParams p = fast_params();  // default kAbort
+  const std::vector<PlanCell> plan = {{Variant::kSerialTranspose, 0, 0}};
+  EXPECT_THROW(
+      (run_plan<double, std::int32_t>(Format::kCsr5, m, p, plan, "m40")),
+      Error);
+}
+
+TEST(HardenedSweep, FailedPointsScoreZeroAndNeverWin) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 10);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;
+  p.thread_list = {1, 2};
+  // Fail the first sweep point; the second must win.
+  p.faults = FaultInjector::parse("cell.fail@1");
+  const auto sweep =
+      thread_sweep<double, std::int32_t>(Format::kCsr, m, p, "m40");
+  ASSERT_EQ(sweep.series.size(), 2u);
+  EXPECT_EQ(sweep.series[0].second, 0.0);
+  EXPECT_GT(sweep.series[1].second, 0.0);
+  EXPECT_EQ(sweep.best_threads, 2);
+}
+
+// -------------------------------------------------------- report surface
+
+TEST(Report, StatusTagsPrinted) {
+  const CooD m = testutil::random_coo(40, 40, 4.0, 11);
+  BenchParams p = fast_params();
+  p.on_error = OnError::kContinue;
+  p.cell_timeout_seconds = 0.05;
+  p.faults = FaultInjector::parse("cell.stall@1,ms=200");
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "m40");
+  std::ostringstream os;
+  print_result(os, r);
+  EXPECT_NE(os.str().find("[TIMEOUT timeout.cell]"), std::string::npos);
+}
+
+// ---------------------------------------------------- io injection sites
+
+TEST(IoFaults, TruncationSiteProducesTruncatedError) {
+  const char* mtx =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n"
+      "3 3 3.0\n";
+  FaultInjector::ScopedGlobal scope(FaultInjector::parse("io.truncate@2"));
+  std::istringstream in(mtx);
+  try {
+    io::read_matrix_market<double, std::int32_t>(in);
+    FAIL() << "expected InputError";
+  } catch (const resilience::InputError& e) {
+    EXPECT_EQ(e.error_code(), "input.truncated");
+  }
+}
+
+}  // namespace
+}  // namespace spmm::bench

@@ -67,7 +67,13 @@ int main(int argc, char** argv) {
               << args[2] << " (" << format_bytes(bcsr.bytes()) << ")\n";
     return 0;
   } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error [" << e.error_code() << "]: " << e.what() << "\n";
     return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 2;
   }
 }

@@ -130,8 +130,15 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     audit::print_report(std::cout, report);
     return report.ok() ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "spmm_audit: error [" << e.error_code() << "]: " << e.what()
+              << "\n";
+    return 1;
   } catch (const std::exception& e) {
-    std::cerr << "spmm_audit: " << e.what() << "\n";
+    std::cerr << "spmm_audit: internal error: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "spmm_audit: internal error: unknown exception\n";
     return 2;
   }
 }

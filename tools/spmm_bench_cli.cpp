@@ -14,6 +14,8 @@
 #include "core/runner.hpp"
 #include "gen/suite.hpp"
 #include "io/matrix_market.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
 #include "support/string_util.hpp"
 #include "telemetry/options.hpp"
 
@@ -58,11 +60,30 @@ bool supports(Format f, Variant v) { return format_supports(f, v); }
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Declared outside the try so the CSV flush of completed rows survives
+  // any exception — a crash mid-campaign must not discard finished cells
+  // (exit codes: 0 ok, 1 benchmark error, 2 internal/unexpected; see
+  // docs/ROBUSTNESS.md).
+  std::vector<bench::BenchResult> results;
+  std::string csv_path;
+  const auto flush_csv = [&]() noexcept {
+    try {
+      if (csv_path.empty()) return;
+      std::ofstream out(csv_path);
+      if (!out.good()) return;
+      bench::write_csv(out, results);
+      std::cout << "\nwrote " << results.size() << " rows to " << csv_path
+                << "\n";
+    } catch (...) {
+      // Best-effort: never let the flush itself mask the real error.
+    }
+  };
   try {
     ArgParser parser(
         "spmm-bench driver: run any matrix x format x variant combination");
     BenchParams::register_options(parser);
     telemetry::register_trace_options(parser);
+    resilience::register_fault_options(parser);
     parser.add_string("matrix", 'm', "cant",
                       "suite matrix name (see --list)");
     parser.add_string("file", 'f', "", "Matrix Market file (overrides --matrix)");
@@ -89,6 +110,11 @@ int main(int argc, char** argv) {
     BenchParams params = BenchParams::from_parser(parser);
     telemetry::TraceSetup trace = telemetry::trace_setup_from_parser(parser);
     params.sink = trace.sink;
+    params.faults = resilience::injector_from_parser(parser, params.seed);
+    // Make the injector visible to layers no pointer is threaded into
+    // (the Matrix Market loader's io.truncate site).
+    resilience::FaultInjector::ScopedGlobal fault_scope(params.faults);
+    csv_path = parser.get_string("csv");
     Coo<double, std::int32_t> matrix;
     std::string name;
     if (!parser.get_string("file").empty()) {
@@ -105,7 +131,6 @@ int main(int argc, char** argv) {
     const auto variants = parse_variants(parser.get_string("variant"));
     const bool optimized = parser.get_flag("optimized");
 
-    std::vector<bench::BenchResult> results;
     for (Format f : formats) {
       if (optimized && (f == Format::kBcsr || f == Format::kBell ||
                         f == Format::kSellC || f == Format::kHyb)) {
@@ -137,17 +162,25 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (!parser.get_string("csv").empty()) {
-      std::ofstream out(parser.get_string("csv"));
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
       SPMM_CHECK(out.good(), "cannot open CSV output file");
-      bench::write_csv(out, results);
-      std::cout << "\nwrote " << results.size() << " rows to "
-                << parser.get_string("csv") << "\n";
     }
+    flush_csv();
     trace.finish(std::cout);
     return 0;
   } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error [" << e.error_code() << "]: " << e.what() << "\n";
+    flush_csv();
     return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error [" << resilience::classify(e)
+              << "]: " << e.what() << "\n";
+    flush_csv();
+    return 2;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    flush_csv();
+    return 2;
   }
 }

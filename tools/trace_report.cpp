@@ -43,7 +43,13 @@ int main(int argc, char** argv) {
                        trace.events, static_cast<std::size_t>(top)));
     return 0;
   } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error [" << e.error_code() << "]: " << e.what() << "\n";
     return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 2;
   }
 }

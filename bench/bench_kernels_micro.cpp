@@ -1,6 +1,6 @@
 // Kernel micro-benchmarks (google-benchmark): per-kernel throughput on a
 // fixed mid-size matrix, plus the DESIGN.md ablations:
-//   * row-aligned parallel COO vs the atomic alternative,
+//   * row-aligned parallel COO vs the exact-split slab reduction,
 //   * block-row-parallel BCSR vs the inner-loop parallelization the
 //     thesis accidentally shipped in Study 9,
 //   * plain vs manually optimized (template-k) kernels.
@@ -184,7 +184,8 @@ void BM_CsrDevicePlanResident(benchmark::State& state) {
 }
 BENCHMARK(BM_CsrDevicePlanResident);
 
-// Ablation: row-aligned partition vs atomics (2 threads on this host).
+// Ablation: row-aligned partition vs the atomic-free slab reduction
+// (2 threads on this host).
 void BM_CooParallelPartitioned(benchmark::State& state) {
   auto& f = fixture();
   for (auto _ : state) {
@@ -195,15 +196,15 @@ void BM_CooParallelPartitioned(benchmark::State& state) {
 }
 BENCHMARK(BM_CooParallelPartitioned);
 
-void BM_CooParallelAtomic(benchmark::State& state) {
+void BM_CooParallelSlab(benchmark::State& state) {
   auto& f = fixture();
   for (auto _ : state) {
-    spmm::spmm_coo_parallel_atomic(f.coo, f.b, f.c, 2);
+    spmm::spmm_coo_parallel_slab(f.coo, f.b, f.c, 2);
     benchmark::DoNotOptimize(f.c.data());
   }
   report(state);
 }
-BENCHMARK(BM_CooParallelAtomic);
+BENCHMARK(BM_CooParallelSlab);
 
 // Ablation (DESIGN.md #1): row-major ELL layout vs column-major. The
 // library stores ELL row-major for CPU k-panel locality; the

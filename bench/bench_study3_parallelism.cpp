@@ -73,6 +73,30 @@ int main(int argc, char** argv) {
               << (r.format_cached ? "cached" : "fresh") << ", "
               << format_double(r.format_seconds * 1e3, 3) << " ms)\n";
   }
+
+  // Scheduling-policy comparison (this host): the same formatted CSR
+  // instance under each --sched policy. rows keeps the historical
+  // dynamic row-chunk schedule; nnz uses the precomputed nnz-balanced
+  // partition (kernels/sched.hpp). torso1 is the suite's power-law
+  // profile, where nnz balancing matters most; dw4096 is banded
+  // (near-uniform rows), the policy-insensitive control.
+  std::cout << "\n--- sched policy: rows vs nnz (this host, t=4, k=64) ---\n";
+  for (const char* mat : {"torso1", "dw4096"}) {
+    std::vector<bench::PlanCell> sched_plan;
+    for (Sched s : {Sched::kRows, Sched::kNnz}) {
+      bench::PlanCell cell;
+      cell.variant = Variant::kParallel;
+      cell.threads = 4;
+      cell.sched = s;
+      sched_plan.push_back(cell);
+    }
+    const auto sched_results = bench::run_plan<double, std::int32_t>(
+        Format::kCsr, benchx::suite_matrix(mat), params, sched_plan, mat);
+    for (const auto& r : sched_results) {
+      std::cout << "  " << mat << " sched=" << sched_name(r.sched) << ": "
+                << format_double(r.mflops, 0) << " MFLOPs\n";
+    }
+  }
   return 0;
   });
 }

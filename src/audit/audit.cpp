@@ -95,6 +95,9 @@ const std::vector<RuleInfo>& rule_registry() {
        "a row may only spill to the tail once its ELL region is full"},
       {"kernel.verify.diff", "*", Severity::kError,
        "kernel output must match the reference multiply within tolerance"},
+      {"sched.partition.cover", "*", Severity::kError,
+       "a RowPartition must cover [0, rows) contiguously: bounds start "
+       "at 0, never decrease, and end at rows"},
       {"sellc.chunk.extent", "SELL-C", Severity::kError,
        "chunk extent must equal C*chunk_width and offsets must be a "
        "monotone 0..storage array"},

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "audit/diagnostics.hpp"
 #include "formats/bcsr.hpp"
@@ -767,6 +769,45 @@ void audit(const Csr5<V, I>& csr5, AuditReport& report,
            std::string_view object = "CSR5") {
   audit_csr5_raw(csr5.csr(), csr5.tile_size(), csr5.tile_row(), report,
                  object);
+}
+
+// ---------------------------------------------------------- Partition --
+
+/// Rule sched.partition.cover: the bounds of a row partition
+/// (kernels/sched.hpp RowPartition, or any part-boundary array) must
+/// cover [0, rows) contiguously without overlap — bounds.front() == 0,
+/// non-decreasing throughout, bounds.back() == rows. Contiguity of the
+/// ranges [bounds[p], bounds[p+1]) makes gaps and overlaps the same
+/// defect: a decrease (overlap) or an endpoint mismatch (gap).
+inline void audit_partition(const std::vector<std::int64_t>& bounds,
+                            std::int64_t rows, AuditReport& report,
+                            std::string_view object = "partition") {
+  if (bounds.size() < 2) {
+    report.add("sched.partition.cover", object, {},
+               "partition has " + std::to_string(bounds.size()) +
+                   " bounds, want at least 2 (one part)");
+    return;
+  }
+  if (bounds.front() != 0) {
+    report.add("sched.partition.cover", object, detail::at("part", 0),
+               "bounds start at " + std::to_string(bounds.front()) +
+                   ", want 0");
+  }
+  for (usize p = 1; p < bounds.size(); ++p) {
+    if (bounds[p] < bounds[p - 1]) {
+      report.add("sched.partition.cover", object,
+                 detail::at("part", static_cast<std::int64_t>(p) - 1),
+                 "bounds decrease: " + std::to_string(bounds[p - 1]) +
+                     " -> " + std::to_string(bounds[p]) +
+                     " (parts overlap)");
+    }
+  }
+  if (bounds.back() != rows) {
+    report.add("sched.partition.cover", object,
+               detail::at("part", static_cast<std::int64_t>(bounds.size()) - 2),
+               "bounds end at " + std::to_string(bounds.back()) +
+                   ", want rows = " + std::to_string(rows));
+  }
 }
 
 // -------------------------------------------------------------- Dense --

@@ -33,6 +33,7 @@
 #include "formats/format_id.hpp"
 #include "formats/properties.hpp"
 #include "kernels/dense_ref.hpp"
+#include "kernels/sched.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
@@ -75,6 +76,9 @@ struct BenchResult {
   int k = 0;
   int block_size = 0;
   int iterations = 0;
+  /// Work-distribution policy the parallel kernels ran under (echoed for
+  /// serial/device variants too, which ignore it).
+  Sched sched = Sched::kRows;
 
   // Timing.
   double format_seconds = 0.0;
@@ -190,6 +194,7 @@ class SpmmBenchmark {
     formatted_ = false;
     format_seconds_ = 0.0;
     format_bytes_ = 0;
+    partition_key_ = nullptr;
     setup_done_ = true;
   }
 
@@ -217,6 +222,10 @@ class SpmmBenchmark {
     do_format();
     format_seconds_ = t.seconds();
     format_bytes_ = do_format_bytes();
+    // Formatting may reallocate the prefix arrays the cached partition
+    // was keyed on (and a reused buffer address would alias the stale
+    // key), so drop the cache explicitly.
+    partition_key_ = nullptr;
     formatted_ = true;
   }
 
@@ -241,6 +250,10 @@ class SpmmBenchmark {
     SPMM_CHECK(threads >= 1, "thread count must be >= 1");
     params_.threads = threads;
   }
+
+  /// Retarget the work-distribution policy without touching the
+  /// formatted structures (the Study 3 sched sweep's per-point update).
+  void set_sched(Sched sched) { params_.sched = sched; }
 
   /// Retarget the dense operand width k: regenerates B (from the same
   /// seed, so a fresh setup() at this k would produce the identical
@@ -299,6 +312,7 @@ class SpmmBenchmark {
     r.k = params_.k;
     r.block_size = params_.block_size;
     r.iterations = params_.iterations;
+    r.sched = params_.sched;
 
     // Formatting (paper: formatting time is reported alongside FLOPS).
     // Only the first run() after setup() — or after reformat() — pays
@@ -531,6 +545,7 @@ class SpmmBenchmark {
     r.k = params_.k;
     r.block_size = params_.block_size;
     r.iterations = params_.iterations;
+    r.sched = params_.sched;
     r.format_cached = formatted_;
     r.format_seconds = format_seconds_;
     r.format_bytes = format_bytes_;
@@ -582,13 +597,49 @@ class SpmmBenchmark {
     return coo_.bytes();
   }
 
+  /// Nnz-balanced partition cache (the scheduling half of the
+  /// format-once lifecycle). The partition is a pure function of the
+  /// prefix array and the thread count, so it is computed on first use
+  /// and reused across every later run on this instance; the cache is
+  /// keyed on the prefix buffer address (invalidated by do_format())
+  /// and the part count (invalidated by set_threads()).
+  template <class PrefixVec>
+  const sched::RowPartition& cached_partition(const PrefixVec& prefix) {
+    const void* key = static_cast<const void*>(prefix.data());
+    if (partition_key_ != key || partition_.parts() != params_.threads) {
+      partition_ = sched::partition_rows_balanced(prefix, params_.threads);
+      partition_key_ = key;
+      if (tel_.enabled()) {
+        tel_.counter("sched.parts", static_cast<double>(partition_.parts()),
+                     "sched");
+        tel_.counter("sched.max_imbalance", partition_.max_imbalance(),
+                     "sched");
+      }
+    }
+    return partition_;
+  }
+
+  /// Partition pointer to pass straight into kernel calls: the cached
+  /// nnz-balanced partition under Sched::kNnz, null under Sched::kRows
+  /// (kernels then take their historical per-format schedule).
+  template <class PrefixVec>
+  const sched::RowPartition* row_partition(const PrefixVec& prefix) {
+    if (params_.sched != Sched::kNnz) return nullptr;
+    return &cached_partition(prefix);
+  }
+
   /// Structural audit of this benchmark's formatted structure (--audit).
-  /// The base class audits the COO input and the dense B operand;
+  /// The base class audits the COO input, the dense B operand, and —
+  /// once a run has materialized it — the cached nnz-balanced partition;
   /// subclasses extend it with their format's rules. Only called once
   /// the format-once lifecycle has formatted the structures.
   virtual void do_audit(audit::AuditReport& report) const {
     audit::audit(coo_, report, name() + "/input");
     audit::audit(b_, report, name() + "/B");
+    if (partition_key_ != nullptr) {
+      audit::audit_partition(partition_.bounds, partition_.rows(), report,
+                             name() + "/partition");
+    }
   }
 
   /// Verification tolerance scaled to the accumulation depth.
@@ -621,6 +672,9 @@ class SpmmBenchmark {
   bool setup_done_ = false;
   double format_seconds_ = 0.0;
   std::size_t format_bytes_ = 0;
+  // Sched::kNnz partition cache (see cached_partition()).
+  sched::RowPartition partition_;
+  const void* partition_key_ = nullptr;
 };
 
 }  // namespace spmm::bench

@@ -16,7 +16,7 @@ void SpmmBenchmark<V, I>::do_compute(Variant variant) {
       spmm_coo_serial(coo_, b_, c_);
       break;
     case Variant::kParallel:
-      spmm_coo_parallel(coo_, b_, c_, params_.threads);
+      spmm_coo_parallel(coo_, b_, c_, params_.threads, params_.sched);
       break;
     case Variant::kDevice:
       arena_->reset();  // offload maps operands fresh each invocation
@@ -26,7 +26,8 @@ void SpmmBenchmark<V, I>::do_compute(Variant variant) {
       spmm_coo_serial_transpose(coo_, bt(), c_);
       break;
     case Variant::kParallelTranspose:
-      spmm_coo_parallel_transpose(coo_, bt(), c_, params_.threads);
+      spmm_coo_parallel_transpose(coo_, bt(), c_, params_.threads,
+                                  params_.sched);
       break;
     case Variant::kDeviceTranspose:
       arena_->reset();

@@ -91,9 +91,12 @@ class CsrBenchmark : public SpmmBenchmark<V, I> {
       case Variant::kParallel:
         if (optimized_) {
           spmm_csr_parallel_opt(csr_, this->b_, this->c_,
-                                this->params_.threads);
+                                this->params_.threads, this->params_.sched,
+                                this->row_partition(csr_.row_ptr()));
         } else {
-          spmm_csr_parallel(csr_, this->b_, this->c_, this->params_.threads);
+          spmm_csr_parallel(csr_, this->b_, this->c_, this->params_.threads,
+                            this->params_.sched,
+                            this->row_partition(csr_.row_ptr()));
         }
         break;
       case Variant::kDevice:
@@ -105,7 +108,9 @@ class CsrBenchmark : public SpmmBenchmark<V, I> {
         break;
       case Variant::kParallelTranspose:
         spmm_csr_parallel_transpose(csr_, this->bt(), this->c_,
-                                    this->params_.threads);
+                                    this->params_.threads,
+                                    this->params_.sched,
+                                    this->row_partition(csr_.row_ptr()));
         break;
       case Variant::kDeviceTranspose:
         this->arena_->reset();
@@ -156,9 +161,10 @@ class EllBenchmark final : public SpmmBenchmark<V, I> {
       case Variant::kParallel:
         if (optimized_) {
           spmm_ell_parallel_opt(ell_, this->b_, this->c_,
-                                this->params_.threads);
+                                this->params_.threads, this->params_.sched);
         } else {
-          spmm_ell_parallel(ell_, this->b_, this->c_, this->params_.threads);
+          spmm_ell_parallel(ell_, this->b_, this->c_, this->params_.threads,
+                            this->params_.sched);
         }
         break;
       case Variant::kDevice:
@@ -170,7 +176,8 @@ class EllBenchmark final : public SpmmBenchmark<V, I> {
         break;
       case Variant::kParallelTranspose:
         spmm_ell_parallel_transpose(ell_, this->bt(), this->c_,
-                                    this->params_.threads);
+                                    this->params_.threads,
+                                    this->params_.sched);
         break;
       case Variant::kDeviceTranspose:
         this->arena_->reset();
@@ -212,7 +219,9 @@ class BcsrBenchmark final : public SpmmBenchmark<V, I> {
         spmm_bcsr_serial(bcsr_, this->b_, this->c_);
         break;
       case Variant::kParallel:
-        spmm_bcsr_parallel(bcsr_, this->b_, this->c_, this->params_.threads);
+        spmm_bcsr_parallel(bcsr_, this->b_, this->c_, this->params_.threads,
+                           this->params_.sched,
+                           this->row_partition(bcsr_.block_row_ptr()));
         break;
       case Variant::kDevice:
         this->arena_->reset();
@@ -223,7 +232,9 @@ class BcsrBenchmark final : public SpmmBenchmark<V, I> {
         break;
       case Variant::kParallelTranspose:
         spmm_bcsr_parallel_transpose(bcsr_, this->bt(), this->c_,
-                                     this->params_.threads);
+                                     this->params_.threads,
+                                     this->params_.sched,
+                                     this->row_partition(bcsr_.block_row_ptr()));
         break;
       case Variant::kDeviceTranspose:
         this->arena_->reset();
@@ -309,7 +320,9 @@ class SellCBenchmark final : public SpmmBenchmark<V, I> {
         spmm_sellc_serial(sell_, this->b_, this->c_);
         break;
       case Variant::kParallel:
-        spmm_sellc_parallel(sell_, this->b_, this->c_, this->params_.threads);
+        spmm_sellc_parallel(sell_, this->b_, this->c_, this->params_.threads,
+                            this->params_.sched,
+                            this->row_partition(sell_.chunk_offset()));
         break;
       case Variant::kDevice:
         this->arena_->reset();
@@ -389,7 +402,8 @@ class HybBenchmark final : public SpmmBenchmark<V, I> {
         spmm_hyb_serial(hyb_, this->b_, this->c_);
         break;
       case Variant::kParallel:
-        spmm_hyb_parallel(hyb_, this->b_, this->c_, this->params_.threads);
+        spmm_hyb_parallel(hyb_, this->b_, this->c_, this->params_.threads,
+                          this->params_.sched);
         break;
       case Variant::kDevice:
         this->arena_->reset();

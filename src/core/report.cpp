@@ -10,7 +10,11 @@ namespace spmm::bench {
 void print_result(std::ostream& os, const BenchResult& r) {
   os << r.matrix_name << " " << r.kernel_name << "/"
      << variant_name(r.variant) << " k=" << r.k << " t=" << r.threads
-     << " b=" << r.block_size << ": " << format_double(r.mflops, 1)
+     << " b=" << r.block_size;
+  // Non-default scheduling policy only, so default-run output stays
+  // byte-identical to earlier releases.
+  if (r.sched != Sched::kRows) os << " sched=" << sched_name(r.sched);
+  os << ": " << format_double(r.mflops, 1)
      << " MFLOPs (avg " << format_double(r.avg_compute_seconds * 1e3, 3)
      << " ms, p95 " << format_double(r.p95_compute_seconds * 1e3, 3)
      << " ms, format " << format_double(r.format_seconds * 1e3, 3) << " ms"
@@ -80,7 +84,8 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
                      "p50_seconds",  "p95_seconds", "max_seconds",
                      "stddev_seconds", "warmup_drift", "outliers",
                      "h2d_bytes",    "d2h_bytes",  "device_peak_bytes",
-                     "status",       "error_code", "attempts"});
+                     "status",       "error_code", "attempts",
+                     "sched"});
   for (const BenchResult& r : results) {
     csv.add(r.matrix_name)
         .add(r.kernel_name)
@@ -119,7 +124,8 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
         .add(r.device_peak_bytes)
         .add(std::string(status_name(r.status)))
         .add(r.error_code)
-        .add(static_cast<std::int64_t>(r.attempts));
+        .add(static_cast<std::int64_t>(r.attempts))
+        .add(std::string(sched_name(r.sched)));
     csv.end_row();
   }
 }

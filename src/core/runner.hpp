@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -125,17 +126,21 @@ ThreadSweepResult thread_sweep(Format format, Coo<V, I> matrix,
 }
 
 /// One cell of a run plan: a kernel variant plus optional parameter
-/// retargets (0 = keep the benchmark's current value).
+/// retargets (0 / nullopt = keep the benchmark's current value).
 struct PlanCell {
   Variant variant = Variant::kSerial;
   int threads = 0;
   int k = 0;
+  /// Work-distribution policy retarget for this cell (Study 3's
+  /// rows-vs-nnz comparison sweeps this without reformatting).
+  std::optional<Sched> sched;
 };
 
-/// Execute a list of (variant, threads, k) cells against one formatted
-/// benchmark instance. The conversion runs exactly once — retargeting
-/// threads or k never invalidates the formatted structures — so every
-/// result after the first reports format_cached = true.
+/// Execute a list of (variant, threads, k, sched) cells against one
+/// formatted benchmark instance. The conversion runs exactly once —
+/// retargeting threads, k, or sched never invalidates the formatted
+/// structures — so every result after the first reports
+/// format_cached = true.
 template <ValueType V, IndexType I>
 std::vector<BenchResult> run_plan(SpmmBenchmark<V, I>& bench,
                                   const std::vector<PlanCell>& plan) {
@@ -145,6 +150,7 @@ std::vector<BenchResult> run_plan(SpmmBenchmark<V, I>& bench,
   for (const PlanCell& cell : plan) {
     if (cell.threads > 0) bench.set_threads(cell.threads);
     if (cell.k > 0) bench.set_k(cell.k);
+    if (cell.sched) bench.set_sched(*cell.sched);
     // Cell isolation (see docs/ROBUSTNESS.md): under the continue
     // policy an unsupported variant becomes a `skipped` row and any
     // error that escapes run() becomes a `failed` row, so one bad cell

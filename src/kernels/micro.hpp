@@ -1,0 +1,106 @@
+// spmm::micro — the SIMD half of the shared execution layer.
+//
+// Every row-structured SpMM kernel bottoms out in one of two inner
+// shapes over the dense operand's k extent:
+//   * axpy_row:   crow[j] += v · brow[j]       (B row-major)
+//   * transpose:  crow[j]  = Σᵢ vᵢ · Bᵀ[j][colᵢ]  (B supplied transposed)
+// The plain kernels express both as scalar j-loops the compiler must
+// prove non-aliasing to vectorize (it can't: the value and C arrays
+// share an element type). These microkernels give it the proof
+// (__restrict) and the shape (a register-blocked KT∈{4,8} tile under
+// `#pragma omp simd`), with a scalar tail for ragged k.
+//
+// Numerics: tiling over j never reorders the per-element accumulation —
+// each C element still receives the same additions in the same order as
+// the scalar loop, so kernels built on these helpers stay bit-identical
+// to their pre-microkernel selves (tests/test_kernels_opt.cpp pins
+// this with exact equality, no epsilon).
+#pragma once
+
+#include "support/types.hpp"
+
+namespace spmm::micro {
+
+/// Primary k-tile width (elements of C touched per SIMD step) and the
+/// secondary half tile used before falling to the scalar tail.
+inline constexpr int kTile = 8;
+inline constexpr int kHalfTile = 4;
+
+/// c[0..k) += v * b[0..k). KT=8 tiles, then one KT=4 tile, then a
+/// scalar tail for ragged k.
+template <ValueType V>
+inline void axpy_row(V* __restrict__ c, const V* __restrict__ b, V v,
+                     usize k) {
+  usize j = 0;
+  for (; j + kTile <= k; j += kTile) {
+    V* __restrict__ ct = c + j;
+    const V* __restrict__ bt = b + j;
+#pragma omp simd
+    for (int u = 0; u < kTile; ++u) {
+      ct[u] += v * bt[u];
+    }
+  }
+  if (j + kHalfTile <= k) {
+    V* __restrict__ ct = c + j;
+    const V* __restrict__ bt = b + j;
+#pragma omp simd
+    for (int u = 0; u < kHalfTile; ++u) {
+      ct[u] += v * bt[u];
+    }
+    j += kHalfTile;
+  }
+  for (; j < k; ++j) {
+    c[j] += v * b[j];
+  }
+}
+
+/// axpy_row with a compile-time k: the whole extent is one simd region
+/// the compiler can fully unroll (Study 9's fixed-k kernels use this).
+template <int K, ValueType V>
+inline void axpy_row_fixed(V* __restrict__ c, const V* __restrict__ b, V v) {
+#pragma omp simd
+  for (int j = 0; j < K; ++j) {
+    c[j] += v * b[j];
+  }
+}
+
+/// Transpose-B dot-product row: crow[j] = Σ over [begin,end) of
+/// vals[i] · bt[j·n + cols[i]], register-blocked four j's at a time so
+/// each vals/cols load is amortized over four accumulators. Every
+/// crow[j] accumulates over i in identical order to the scalar kernel.
+template <ValueType V, IndexType I>
+inline void dot_row_transpose(const I* __restrict__ cols,
+                              const V* __restrict__ vals, I begin, I end,
+                              const V* __restrict__ bt, usize n, usize k,
+                              V* __restrict__ crow) {
+  usize j = 0;
+  for (; j + kHalfTile <= k; j += kHalfTile) {
+    const V* __restrict__ b0 = bt + j * n;
+    const V* __restrict__ b1 = bt + (j + 1) * n;
+    const V* __restrict__ b2 = bt + (j + 2) * n;
+    const V* __restrict__ b3 = bt + (j + 3) * n;
+    V s0{}, s1{}, s2{}, s3{};
+    for (I i = begin; i < end; ++i) {
+      const V v = vals[i];
+      const usize col = static_cast<usize>(cols[i]);
+      s0 += v * b0[col];
+      s1 += v * b1[col];
+      s2 += v * b2[col];
+      s3 += v * b3[col];
+    }
+    crow[j] = s0;
+    crow[j + 1] = s1;
+    crow[j + 2] = s2;
+    crow[j + 3] = s3;
+  }
+  for (; j < k; ++j) {
+    const V* __restrict__ bj = bt + j * n;
+    V sum{};
+    for (I i = begin; i < end; ++i) {
+      sum += vals[i] * bj[static_cast<usize>(cols[i])];
+    }
+    crow[j] = sum;
+  }
+}
+
+}  // namespace spmm::micro

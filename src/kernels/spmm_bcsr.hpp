@@ -12,6 +12,8 @@
 
 #include "devsim/device.hpp"
 #include "formats/bcsr.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
 namespace spmm {
@@ -30,11 +32,7 @@ inline void bcsr_tile_multiply(const V* tile, usize bs, usize rows_in_tile,
   for (usize lr = 0; lr < rows_in_tile; ++lr) {
     V* crow = c_panel + lr * k;
     for (usize lc = 0; lc < cols_in_tile; ++lc) {
-      const V v = tile[lr * bs + lc];
-      const V* brow = b_panel + lc * k;
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += v * brow[j];
-      }
+      micro::axpy_row(crow, b_panel + lc * k, tile[lr * bs + lc], k);
     }
   }
 }
@@ -51,11 +49,8 @@ inline void bcsr_tile_multiply_fixed(const V* __restrict__ tile,
   for (int lr = 0; lr < B; ++lr) {
     V* __restrict__ crow = c_panel + static_cast<usize>(lr) * k;
     for (int lc = 0; lc < B; ++lc) {
-      const V v = tile[lr * B + lc];
-      const V* __restrict__ brow = b_panel + static_cast<usize>(lc) * k;
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += v * brow[j];
-      }
+      micro::axpy_row(crow, b_panel + static_cast<usize>(lc) * k,
+                      tile[lr * B + lc], k);
     }
   }
 }
@@ -134,9 +129,15 @@ void spmm_bcsr_serial(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   }
 }
 
+/// Parallel BCSR SpMM over block rows. Sched::kRows keeps the
+/// historical schedule(dynamic, 16); Sched::kNnz uses a precomputed
+/// stored-block-balanced partition of the block-row space
+/// (block_row_ptr is the per-block-row prefix of stored blocks — each
+/// block is bs² work, so block count is the right weight).
 template <ValueType V, IndexType I>
 void spmm_bcsr_parallel(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                        int threads) {
+                        int threads, Sched sched = Sched::kRows,
+                        const sched::RowPartition* partition = nullptr) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -150,17 +151,35 @@ void spmm_bcsr_parallel(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c,
   const usize rows = static_cast<usize>(a.rows());
   const usize cols = static_cast<usize>(a.cols());
   const std::int64_t brows = a.block_rows();
+  const auto brow_range = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t brow = begin; brow < end; ++brow) {
+      const usize r0 = static_cast<usize>(brow) * bs;
+      const usize rows_in = std::min(bs, rows - r0);
+      for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+        const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+        const usize cols_in = std::min(bs, cols - c0);
+        detail::bcsr_tile_multiply(vals + static_cast<usize>(blk) * bs * bs,
+                                   bs, rows_in, cols_in, bp + c0 * k, k,
+                                   cp + r0 * k);
+      }
+    }
+  };
+  if (sched == Sched::kNnz) {
+    sched::RowPartition local;
+    if (!sched::partition_matches(partition, brows, threads)) {
+      local = sched::partition_rows_balanced(a.block_row_ptr(), threads);
+      partition = &local;
+    }
+    const std::int64_t* bounds = partition->bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      brow_range(bounds[t], bounds[t + 1]);
+    }
+    return;
+  }
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 16)
   for (std::int64_t brow = 0; brow < brows; ++brow) {
-    const usize r0 = static_cast<usize>(brow) * bs;
-    const usize rows_in = std::min(bs, rows - r0);
-    for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
-      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
-      const usize cols_in = std::min(bs, cols - c0);
-      detail::bcsr_tile_multiply(vals + static_cast<usize>(blk) * bs * bs, bs,
-                                 rows_in, cols_in, bp + c0 * k, k,
-                                 cp + r0 * k);
-    }
+    brow_range(brow, brow + 1);
   }
 }
 
@@ -296,7 +315,10 @@ void spmm_bcsr_serial_transpose(const Bcsr<V, I>& a, const Dense<V>& bt,
 
 template <ValueType V, IndexType I>
 void spmm_bcsr_parallel_transpose(const Bcsr<V, I>& a, const Dense<V>& bt,
-                                  Dense<V>& c, int threads) {
+                                  Dense<V>& c, int threads,
+                                  Sched sched = Sched::kRows,
+                                  const sched::RowPartition* partition =
+                                      nullptr) {
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -311,25 +333,43 @@ void spmm_bcsr_parallel_transpose(const Bcsr<V, I>& a, const Dense<V>& bt,
   const usize rows = static_cast<usize>(a.rows());
   const usize cols = static_cast<usize>(a.cols());
   const std::int64_t brows = a.block_rows();
-#pragma omp parallel for num_threads(threads) schedule(dynamic, 16)
-  for (std::int64_t brow = 0; brow < brows; ++brow) {
-    const usize r0 = static_cast<usize>(brow) * bs;
-    const usize rows_in = std::min(bs, rows - r0);
-    for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
-      const usize c0 = static_cast<usize>(bcols[blk]) * bs;
-      const usize cols_in = std::min(bs, cols - c0);
-      const V* tile = vals + static_cast<usize>(blk) * bs * bs;
-      for (usize lr = 0; lr < rows_in; ++lr) {
-        V* crow = cp + (r0 + lr) * k;
-        for (usize j = 0; j < k; ++j) {
-          V sum = V{0};
-          for (usize lc = 0; lc < cols_in; ++lc) {
-            sum += tile[lr * bs + lc] * bp[j * n + c0 + lc];
+  const auto brow_range = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t brow = begin; brow < end; ++brow) {
+      const usize r0 = static_cast<usize>(brow) * bs;
+      const usize rows_in = std::min(bs, rows - r0);
+      for (I blk = row_ptr[brow]; blk < row_ptr[brow + 1]; ++blk) {
+        const usize c0 = static_cast<usize>(bcols[blk]) * bs;
+        const usize cols_in = std::min(bs, cols - c0);
+        const V* tile = vals + static_cast<usize>(blk) * bs * bs;
+        for (usize lr = 0; lr < rows_in; ++lr) {
+          V* crow = cp + (r0 + lr) * k;
+          for (usize j = 0; j < k; ++j) {
+            V sum = V{0};
+            for (usize lc = 0; lc < cols_in; ++lc) {
+              sum += tile[lr * bs + lc] * bp[j * n + c0 + lc];
+            }
+            crow[j] += sum;
           }
-          crow[j] += sum;
         }
       }
     }
+  };
+  if (sched == Sched::kNnz) {
+    sched::RowPartition local;
+    if (!sched::partition_matches(partition, brows, threads)) {
+      local = sched::partition_rows_balanced(a.block_row_ptr(), threads);
+      partition = &local;
+    }
+    const std::int64_t* bounds = partition->bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      brow_range(bounds[t], bounds[t + 1]);
+    }
+    return;
+  }
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 16)
+  for (std::int64_t brow = 0; brow < brows; ++brow) {
+    brow_range(brow, brow + 1);
   }
 }
 

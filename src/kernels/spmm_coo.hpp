@@ -7,13 +7,22 @@
 // must keep the load in the loop; the manually optimized variants in
 // spmm_fixed_k.hpp hoist it (Study 9 measures the difference).
 //
-// Parallel COO partitions the nonzero array into row-aligned chunks so
-// no two threads ever touch the same C row — no atomics needed. The
-// atomic alternative is kept for the ablation bench.
+// Parallel COO is atomic-free under both Sched policies:
+//   kRows  row-aligned nonzero chunks (row_aligned_partition) — no two
+//          threads touch the same C row, but one heavy row pins its
+//          whole chunk to one thread;
+//   kNnz   exact equal-nnz entry ranges; threads that split a row
+//          accumulate into private C slabs covering just their row
+//          span, merged afterwards in ascending part order (per-thread
+//          slab reduction — deterministic, still atomic-free).
 #pragma once
+
+#include <vector>
 
 #include "devsim/device.hpp"
 #include "formats/coo.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
 namespace spmm {
@@ -37,9 +46,93 @@ void spmm_coo_serial(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   }
 }
 
+namespace detail {
+
+/// Shared body of the slab-reduction COO kernels. Entries are split into
+/// exact equal-nnz ranges [nnz·p/P, nnz·(p+1)/P) — perfect balance, row
+/// alignment not required. Each part accumulates into a private C slab
+/// covering only the row span its (row-sorted) entries touch; a second
+/// row-parallel pass folds the slabs into C in ascending part order, so
+/// the result is deterministic for any thread count. Memory cost is the
+/// sum of slab spans ≈ m·k plus one overlap row per part boundary.
+/// `accumulate(slab_row, i)` adds entry i's contribution to a slab row.
+template <ValueType V, IndexType I, class Accumulate>
+inline void coo_slab_reduce(const I* rows, usize nnz, std::int64_t m,
+                            usize k, V* cp, int threads,
+                            Accumulate&& accumulate) {
+  if (nnz == 0) return;
+  const usize parts = static_cast<usize>(threads);
+  std::vector<usize> ebounds(parts + 1);
+  for (usize p = 0; p <= parts; ++p) {
+    ebounds[p] = nnz * p / parts;
+  }
+  std::vector<std::int64_t> first_row(parts, 0);
+  std::vector<std::vector<V>> slabs(parts);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t p = 0; p < static_cast<std::int64_t>(parts); ++p) {
+    const usize begin = ebounds[static_cast<usize>(p)];
+    const usize end = ebounds[static_cast<usize>(p) + 1];
+    if (begin == end) continue;
+    const std::int64_t lo = static_cast<std::int64_t>(rows[begin]);
+    const std::int64_t hi = static_cast<std::int64_t>(rows[end - 1]);
+    first_row[static_cast<usize>(p)] = lo;
+    std::vector<V>& slab = slabs[static_cast<usize>(p)];
+    slab.assign(static_cast<usize>(hi - lo + 1) * k, V{0});
+    for (usize i = begin; i < end; ++i) {
+      const usize sr = static_cast<usize>(rows[i]) - static_cast<usize>(lo);
+      accumulate(slab.data() + sr * k, i);
+    }
+  }
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t r = 0; r < m; ++r) {
+    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+    for (usize p = 0; p < parts; ++p) {
+      if (slabs[p].empty()) continue;
+      const std::int64_t lo = first_row[p];
+      const std::int64_t span =
+          static_cast<std::int64_t>(slabs[p].size() / k);
+      if (r < lo || r >= lo + span) continue;
+      const V* __restrict__ srow =
+          slabs[p].data() + static_cast<usize>(r - lo) * k;
+      for (usize j = 0; j < k; ++j) {
+        crow[j] += srow[j];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Slab-reduction COO kernel (Sched::kNnz): exact equal-nnz entry
+/// partition, per-thread C-slab accumulation, ordered merge. Replaces
+/// the old `#pragma omp atomic` ablation kernel — same perfect nonzero
+/// balance, none of the per-element synchronization.
+template <ValueType V, IndexType I>
+void spmm_coo_parallel_slab(const Coo<V, I>& a, const Dense<V>& b,
+                            Dense<V>& c, int threads) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = b.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = b.data();
+  detail::coo_slab_reduce<V, I>(
+      rows, a.nnz(), a.rows(), k, c.data(), threads,
+      [=](V* __restrict__ srow, usize i) {
+        micro::axpy_row(srow, bp + static_cast<usize>(cols[i]) * k, vals[i],
+                        k);
+      });
+}
+
 template <ValueType V, IndexType I>
 void spmm_coo_parallel(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                       int threads) {
+                       int threads, Sched sched = Sched::kRows) {
+  if (sched == Sched::kNnz) {
+    spmm_coo_parallel_slab(a, b, c, threads);
+    return;
+  }
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -59,34 +152,6 @@ void spmm_coo_parallel(const Coo<V, I>& a, const Dense<V>& b, Dense<V>& c,
       for (usize j = 0; j < k; ++j) {
         cp[r * k + j] += vals[i] * bp[col * k + j];
       }
-    }
-  }
-}
-
-/// Ablation variant: parallelize directly over nonzeros with atomic
-/// updates to C. Simpler partitioning, heavy synchronization cost —
-/// bench_kernels_micro quantifies the gap against the row-aligned kernel.
-template <ValueType V, IndexType I>
-void spmm_coo_parallel_atomic(const Coo<V, I>& a, const Dense<V>& b,
-                              Dense<V>& c, int threads) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  SPMM_CHECK(threads > 0, "thread count must be positive");
-  c.fill(V{0});
-  const usize k = b.cols();
-  const I* rows = a.row_idx().data();
-  const I* cols = a.col_idx().data();
-  const V* vals = a.values().data();
-  const V* bp = b.data();
-  V* cp = c.data();
-  const std::int64_t nnz = static_cast<std::int64_t>(a.nnz());
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (std::int64_t i = 0; i < nnz; ++i) {
-    const usize r = static_cast<usize>(rows[i]);
-    const usize col = static_cast<usize>(cols[i]);
-    for (usize j = 0; j < k; ++j) {
-      const V contrib = vals[i] * bp[col * k + j];
-#pragma omp atomic
-      cp[r * k + j] += contrib;
     }
   }
 }
@@ -156,9 +221,39 @@ void spmm_coo_serial_transpose(const Coo<V, I>& a, const Dense<V>& bt,
   }
 }
 
+/// Transpose-B slab kernel: same reduction as spmm_coo_parallel_slab
+/// with the Bᵀ (k×n) addressing.
+template <ValueType V, IndexType I>
+void spmm_coo_parallel_slab_transpose(const Coo<V, I>& a, const Dense<V>& bt,
+                                      Dense<V>& c, int threads) {
+  check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const I* rows = a.row_idx().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  detail::coo_slab_reduce<V, I>(
+      rows, a.nnz(), a.rows(), k, c.data(), threads,
+      [=](V* __restrict__ srow, usize i) {
+        const usize col = static_cast<usize>(cols[i]);
+        const V v = vals[i];
+        for (usize j = 0; j < k; ++j) {
+          srow[j] += v * bp[j * n + col];
+        }
+      });
+}
+
 template <ValueType V, IndexType I>
 void spmm_coo_parallel_transpose(const Coo<V, I>& a, const Dense<V>& bt,
-                                 Dense<V>& c, int threads) {
+                                 Dense<V>& c, int threads,
+                                 Sched sched = Sched::kRows) {
+  if (sched == Sched::kNnz) {
+    spmm_coo_parallel_slab_transpose(a, bt, c, threads);
+    return;
+  }
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});

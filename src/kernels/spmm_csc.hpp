@@ -8,13 +8,19 @@
 //   * parallel over k slices: each thread owns a contiguous slice of
 //     B/C columns — no races, perfect when k ≥ threads (the common SpMM
 //     case; impossible in SpMV where k = 1);
-//   * parallel over A columns with atomics: the ablation showing why the
-//     k-slice strategy exists.
+//   * parallel over A columns with per-thread C slabs: an nnz-balanced
+//     column partition (binary search over col_ptr, kernels/sched.hpp),
+//     each part accumulating into a private m×k slab, merged row-parallel
+//     in ascending part order — atomic-free and deterministic. Replaces
+//     the old `#pragma omp atomic` ablation.
 #pragma once
 
 #include <algorithm>
+#include <vector>
 
 #include "formats/csc.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
 namespace spmm {
@@ -74,10 +80,16 @@ void spmm_csc_parallel(const Csc<V, I>& a, const Dense<V>& b, Dense<V>& c,
   }
 }
 
-/// Ablation: parallel over A columns with atomic C updates.
+/// Column-parallel CSC with per-thread slab reduction. Columns are
+/// split by nnz (col_ptr is the nnz prefix over columns); because every
+/// column can scatter anywhere in C, each part needs a full private m×k
+/// slab — P·m·k values of transient memory, the documented cost of
+/// making column-parallel CSC atomic-free. The merge folds slabs into C
+/// row-parallel in ascending part order, so results are deterministic
+/// for any thread count.
 template <ValueType V, IndexType I>
-void spmm_csc_parallel_atomic(const Csc<V, I>& a, const Dense<V>& b,
-                              Dense<V>& c, int threads) {
+void spmm_csc_parallel_slab(const Csc<V, I>& a, const Dense<V>& b,
+                            Dense<V>& c, int threads) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -87,16 +99,38 @@ void spmm_csc_parallel_atomic(const Csc<V, I>& a, const Dense<V>& b,
   const V* vals = a.values().data();
   const V* bp = b.data();
   V* cp = c.data();
-  const std::int64_t ncols = a.cols();
-#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
-  for (std::int64_t col = 0; col < ncols; ++col) {
-    const V* brow = bp + static_cast<usize>(col) * k;
-    for (I i = col_ptr[col]; i < col_ptr[col + 1]; ++i) {
-      V* crow = cp + static_cast<usize>(rows[i]) * k;
+  const std::int64_t m = a.rows();
+  if (a.nnz() == 0) return;
+  const sched::RowPartition part =
+      sched::partition_rows_balanced(a.col_ptr(), threads);
+  const std::int64_t* bounds = part.bounds.data();
+  const usize parts = static_cast<usize>(threads);
+  std::vector<std::vector<V>> slabs(parts);
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    const std::int64_t col_begin = bounds[t];
+    const std::int64_t col_end = bounds[t + 1];
+    if (col_begin == col_end) continue;
+    std::vector<V>& slab = slabs[static_cast<usize>(t)];
+    slab.assign(static_cast<usize>(m) * k, V{0});
+    V* sp = slab.data();
+    for (std::int64_t col = col_begin; col < col_end; ++col) {
+      const V* brow = bp + static_cast<usize>(col) * k;
+      for (I i = col_ptr[col]; i < col_ptr[col + 1]; ++i) {
+        micro::axpy_row(sp + static_cast<usize>(rows[i]) * k, brow, vals[i],
+                        k);
+      }
+    }
+  }
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t r = 0; r < m; ++r) {
+    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+    for (usize p = 0; p < parts; ++p) {
+      if (slabs[p].empty()) continue;
+      const V* __restrict__ srow =
+          slabs[p].data() + static_cast<usize>(r) * k;
       for (usize j = 0; j < k; ++j) {
-        const V contrib = vals[i] * brow[j];
-#pragma omp atomic
-        crow[j] += contrib;
+        crow[j] += srow[j];
       }
     }
   }

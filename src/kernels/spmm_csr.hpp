@@ -1,39 +1,75 @@
 // CSR SpMM kernels: serial, OpenMP-parallel, device, and transpose-B
-// variants. Rows are independent, so the parallel kernels distribute rows
-// with a dynamic schedule (row lengths vary; static chunks would load-
-// imbalance on high-column-ratio matrices like torso1).
+// variants. Inner k-loops run the shared k-tile SIMD microkernels
+// (kernels/micro.hpp). The parallel kernels expose the Sched axis:
+//   Sched::kRows  schedule(dynamic, 64) over row indices — the
+//                 historical schedule, repairing imbalance at per-chunk
+//                 dispatch cost on every invocation;
+//   Sched::kNnz   a precomputed nnz-balanced row partition
+//                 (kernels/sched.hpp), one static contiguous range per
+//                 thread — zero runtime scheduling, bounded imbalance.
+// Both are bit-identical to the serial kernel (row-aligned ranges, same
+// per-element accumulation order). The other formats' schedules are
+// tabulated in docs/KERNELS.md.
 #pragma once
 
 #include "devsim/device.hpp"
 #include "formats/csr.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
 namespace spmm {
 
+namespace detail {
+
+/// Shared row-range body of the serial and parallel CSR kernels.
 template <ValueType V, IndexType I>
-void spmm_csr_serial(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  c.fill(V{0});
-  const usize k = b.cols();
-  const I* row_ptr = a.row_ptr().data();
-  const I* cols = a.col_idx().data();
-  const V* vals = a.values().data();
-  const V* bp = b.data();
-  V* cp = c.data();
-  for (I r = 0; r < a.rows(); ++r) {
-    V* crow = cp + static_cast<usize>(r) * k;
+inline void csr_rows_ktile(const I* __restrict__ row_ptr,
+                           const I* __restrict__ cols,
+                           const V* __restrict__ vals,
+                           const V* __restrict__ bp, V* __restrict__ cp,
+                           usize k, std::int64_t row_begin,
+                           std::int64_t row_end) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
     for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      const usize col = static_cast<usize>(cols[i]);
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += vals[i] * bp[col * k + j];
-      }
+      micro::axpy_row(crow, bp + static_cast<usize>(cols[i]) * k, vals[i], k);
     }
   }
 }
 
 template <ValueType V, IndexType I>
+inline void csr_rows_ktile_transpose(const I* __restrict__ row_ptr,
+                                     const I* __restrict__ cols,
+                                     const V* __restrict__ vals,
+                                     const V* __restrict__ bp,
+                                     V* __restrict__ cp, usize k, usize n,
+                                     std::int64_t row_begin,
+                                     std::int64_t row_end) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    micro::dot_row_transpose(cols, vals, row_ptr[r], row_ptr[r + 1], bp, n,
+                             k, cp + static_cast<usize>(r) * k);
+  }
+}
+
+}  // namespace detail
+
+template <ValueType V, IndexType I>
+void spmm_csr_serial(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  detail::csr_rows_ktile(a.row_ptr().data(), a.col_idx().data(),
+                         a.values().data(), b.data(), c.data(), b.cols(), 0,
+                         a.rows());
+}
+
+/// Parallel CSR SpMM. Under Sched::kNnz a caller-supplied cached
+/// `partition` (format-once lifecycle) is used when it matches this
+/// matrix and thread count; otherwise a local one is computed.
+template <ValueType V, IndexType I>
 void spmm_csr_parallel(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                       int threads) {
+                       int threads, Sched sched = Sched::kRows,
+                       const sched::RowPartition* partition = nullptr) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -44,15 +80,23 @@ void spmm_csr_parallel(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
   const V* bp = b.data();
   V* cp = c.data();
   const std::int64_t rows = a.rows();
+  if (sched == Sched::kNnz) {
+    sched::RowPartition local;
+    if (!sched::partition_matches(partition, rows, threads)) {
+      local = sched::partition_rows_balanced(a.row_ptr(), threads);
+      partition = &local;
+    }
+    const std::int64_t* bounds = partition->bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      detail::csr_rows_ktile(row_ptr, cols, vals, bp, cp, k, bounds[t],
+                             bounds[t + 1]);
+    }
+    return;
+  }
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
   for (std::int64_t r = 0; r < rows; ++r) {
-    V* crow = cp + static_cast<usize>(r) * k;
-    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      const usize col = static_cast<usize>(cols[i]);
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += vals[i] * bp[col * k + j];
-      }
-    }
+    detail::csr_rows_ktile(row_ptr, cols, vals, bp, cp, k, r, r + 1);
   }
 }
 
@@ -105,29 +149,20 @@ void spmm_csr_serial_transpose(const Csr<V, I>& a, const Dense<V>& bt,
   c.fill(V{0});
   const usize k = bt.rows();
   const usize n = bt.cols();
-  const I* row_ptr = a.row_ptr().data();
-  const I* cols = a.col_idx().data();
-  const V* vals = a.values().data();
-  const V* bp = bt.data();
-  V* cp = c.data();
-  for (I r = 0; r < a.rows(); ++r) {
-    V* crow = cp + static_cast<usize>(r) * k;
-    // Loop order j-then-i: each output element accumulates a full dot
-    // product over the row against one Bᵀ row — the dense-multiply access
-    // pattern the paper's Study 8 discusses.
-    for (usize j = 0; j < k; ++j) {
-      V sum = V{0};
-      for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-        sum += vals[i] * bp[j * n + static_cast<usize>(cols[i])];
-      }
-      crow[j] = sum;
-    }
-  }
+  // Loop order j-then-i (inside the microkernel): each output element
+  // accumulates a full dot product over the row against one Bᵀ row — the
+  // dense-multiply access pattern the paper's Study 8 discusses.
+  detail::csr_rows_ktile_transpose(a.row_ptr().data(), a.col_idx().data(),
+                                   a.values().data(), bt.data(), c.data(), k,
+                                   n, 0, a.rows());
 }
 
 template <ValueType V, IndexType I>
 void spmm_csr_parallel_transpose(const Csr<V, I>& a, const Dense<V>& bt,
-                                 Dense<V>& c, int threads) {
+                                 Dense<V>& c, int threads,
+                                 Sched sched = Sched::kRows,
+                                 const sched::RowPartition* partition =
+                                     nullptr) {
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -139,16 +174,24 @@ void spmm_csr_parallel_transpose(const Csr<V, I>& a, const Dense<V>& bt,
   const V* bp = bt.data();
   V* cp = c.data();
   const std::int64_t rows = a.rows();
+  if (sched == Sched::kNnz) {
+    sched::RowPartition local;
+    if (!sched::partition_matches(partition, rows, threads)) {
+      local = sched::partition_rows_balanced(a.row_ptr(), threads);
+      partition = &local;
+    }
+    const std::int64_t* bounds = partition->bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      detail::csr_rows_ktile_transpose(row_ptr, cols, vals, bp, cp, k, n,
+                                       bounds[t], bounds[t + 1]);
+    }
+    return;
+  }
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
   for (std::int64_t r = 0; r < rows; ++r) {
-    V* crow = cp + static_cast<usize>(r) * k;
-    for (usize j = 0; j < k; ++j) {
-      V sum = V{0};
-      for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-        sum += vals[i] * bp[j * n + static_cast<usize>(cols[i])];
-      }
-      crow[j] = sum;
-    }
+    detail::csr_rows_ktile_transpose(row_ptr, cols, vals, bp, cp, k, n, r,
+                                     r + 1);
   }
 }
 

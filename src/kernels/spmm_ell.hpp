@@ -6,35 +6,50 @@
 
 #include "devsim/device.hpp"
 #include "formats/ell.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
 namespace spmm {
+
+namespace detail {
+
+/// Shared row-range body of the serial and parallel ELL kernels.
+template <ValueType V, IndexType I>
+inline void ell_rows_ktile(const I* __restrict__ cols,
+                           const V* __restrict__ vals,
+                           const V* __restrict__ bp, V* __restrict__ cp,
+                           usize width, usize k, std::int64_t row_begin,
+                           std::int64_t row_end) {
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const usize base = static_cast<usize>(r) * width;
+    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+    for (usize s = 0; s < width; ++s) {
+      micro::axpy_row(crow, bp + static_cast<usize>(cols[base + s]) * k,
+                      vals[base + s], k);
+    }
+  }
+}
+
+}  // namespace detail
 
 template <ValueType V, IndexType I>
 void spmm_ell_serial(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   c.fill(V{0});
-  const usize k = b.cols();
-  const usize width = static_cast<usize>(a.width());
-  const I* cols = a.col_idx().data();
-  const V* vals = a.values().data();
-  const V* bp = b.data();
-  V* cp = c.data();
-  for (I r = 0; r < a.rows(); ++r) {
-    const usize base = static_cast<usize>(r) * width;
-    V* crow = cp + static_cast<usize>(r) * k;
-    for (usize s = 0; s < width; ++s) {
-      const usize col = static_cast<usize>(cols[base + s]);
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += vals[base + s] * bp[col * k + j];
-      }
-    }
-  }
+  detail::ell_rows_ktile(a.col_idx().data(), a.values().data(), b.data(),
+                         c.data(), static_cast<usize>(a.width()), b.cols(),
+                         0, a.rows());
 }
 
+/// Parallel ELL SpMM. Per-row work is the padded width regardless of
+/// real nonzeros, so both Sched policies distribute rows evenly:
+/// kRows via schedule(static), kNnz via an explicit even partition
+/// (the balanced split of the *padded* work — balancing on real nnz
+/// would imbalance it). The axis is wired for sweep uniformity.
 template <ValueType V, IndexType I>
 void spmm_ell_parallel(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                       int threads) {
+                       int threads, Sched sched = Sched::kRows) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -45,17 +60,19 @@ void spmm_ell_parallel(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
   const V* bp = b.data();
   V* cp = c.data();
   const std::int64_t rows = a.rows();
-  // Uniform per-row work: static schedule is optimal for ELL.
+  if (sched == Sched::kNnz) {
+    const sched::RowPartition part = sched::partition_rows_even(rows, threads);
+    const std::int64_t* bounds = part.bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      detail::ell_rows_ktile(cols, vals, bp, cp, width, k, bounds[t],
+                             bounds[t + 1]);
+    }
+    return;
+  }
 #pragma omp parallel for num_threads(threads) schedule(static)
   for (std::int64_t r = 0; r < rows; ++r) {
-    const usize base = static_cast<usize>(r) * width;
-    V* crow = cp + static_cast<usize>(r) * k;
-    for (usize s = 0; s < width; ++s) {
-      const usize col = static_cast<usize>(cols[base + s]);
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += vals[base + s] * bp[col * k + j];
-      }
-    }
+    detail::ell_rows_ktile(cols, vals, bp, cp, width, k, r, r + 1);
   }
 }
 
@@ -110,22 +127,20 @@ void spmm_ell_serial_transpose(const Ell<V, I>& a, const Dense<V>& bt,
   const V* vals = a.values().data();
   const V* bp = bt.data();
   V* cp = c.data();
+  // Each row's slots are contiguous (base..base+width), so the shared
+  // transpose dot-product microkernel applies directly.
   for (I r = 0; r < a.rows(); ++r) {
     const usize base = static_cast<usize>(r) * width;
-    V* crow = cp + static_cast<usize>(r) * k;
-    for (usize j = 0; j < k; ++j) {
-      V sum = V{0};
-      for (usize s = 0; s < width; ++s) {
-        sum += vals[base + s] * bp[j * n + static_cast<usize>(cols[base + s])];
-      }
-      crow[j] = sum;
-    }
+    micro::dot_row_transpose(cols + base, vals + base, I{0},
+                             static_cast<I>(width), bp, n, k,
+                             cp + static_cast<usize>(r) * k);
   }
 }
 
 template <ValueType V, IndexType I>
 void spmm_ell_parallel_transpose(const Ell<V, I>& a, const Dense<V>& bt,
-                                 Dense<V>& c, int threads) {
+                                 Dense<V>& c, int threads,
+                                 Sched sched = Sched::kRows) {
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -137,17 +152,26 @@ void spmm_ell_parallel_transpose(const Ell<V, I>& a, const Dense<V>& bt,
   const V* bp = bt.data();
   V* cp = c.data();
   const std::int64_t rows = a.rows();
+  const auto row_range = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      const usize base = static_cast<usize>(r) * width;
+      micro::dot_row_transpose(cols + base, vals + base, I{0},
+                               static_cast<I>(width), bp, n, k,
+                               cp + static_cast<usize>(r) * k);
+    }
+  };
+  if (sched == Sched::kNnz) {
+    const sched::RowPartition part = sched::partition_rows_even(rows, threads);
+    const std::int64_t* bounds = part.bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      row_range(bounds[t], bounds[t + 1]);
+    }
+    return;
+  }
 #pragma omp parallel for num_threads(threads) schedule(static)
   for (std::int64_t r = 0; r < rows; ++r) {
-    const usize base = static_cast<usize>(r) * width;
-    V* crow = cp + static_cast<usize>(r) * k;
-    for (usize j = 0; j < k; ++j) {
-      V sum = V{0};
-      for (usize s = 0; s < width; ++s) {
-        sum += vals[base + s] * bp[j * n + static_cast<usize>(cols[base + s])];
-      }
-      crow[j] = sum;
-    }
+    row_range(r, r + 1);
   }
 }
 

@@ -20,6 +20,8 @@
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
 #include "formats/ell.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
 namespace spmm {
@@ -58,11 +60,8 @@ void csr_fixed_k_rows(const I* __restrict__ row_ptr,
   for (std::int64_t r = row_begin; r < row_end; ++r) {
     V* __restrict__ crow = cp + static_cast<usize>(r) * K;
     for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      const V v = vals[i];
-      const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * K;
-      for (int j = 0; j < K; ++j) {
-        crow[j] += v * brow[j];
-      }
+      micro::axpy_row_fixed<K>(crow, bp + static_cast<usize>(cols[i]) * K,
+                               vals[i]);
     }
   }
 }
@@ -75,11 +74,7 @@ void csr_hoisted_rows(const I* __restrict__ row_ptr,
   for (std::int64_t r = row_begin; r < row_end; ++r) {
     V* __restrict__ crow = cp + static_cast<usize>(r) * k;
     for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      const V v = vals[i];
-      const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * k;
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += v * brow[j];
-      }
+      micro::axpy_row(crow, bp + static_cast<usize>(cols[i]) * k, vals[i], k);
     }
   }
 }
@@ -93,11 +88,8 @@ void ell_fixed_k_rows(const I* __restrict__ cols, const V* __restrict__ vals,
     const usize base = static_cast<usize>(r) * width;
     V* __restrict__ crow = cp + static_cast<usize>(r) * K;
     for (usize s = 0; s < width; ++s) {
-      const V v = vals[base + s];
-      const V* __restrict__ brow = bp + static_cast<usize>(cols[base + s]) * K;
-      for (int j = 0; j < K; ++j) {
-        crow[j] += v * brow[j];
-      }
+      micro::axpy_row_fixed<K>(
+          crow, bp + static_cast<usize>(cols[base + s]) * K, vals[base + s]);
     }
   }
 }
@@ -111,11 +103,8 @@ void ell_hoisted_rows(const I* __restrict__ cols, const V* __restrict__ vals,
     const usize base = static_cast<usize>(r) * width;
     V* __restrict__ crow = cp + static_cast<usize>(r) * k;
     for (usize s = 0; s < width; ++s) {
-      const V v = vals[base + s];
-      const V* __restrict__ brow = bp + static_cast<usize>(cols[base + s]) * k;
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += v * brow[j];
-      }
+      micro::axpy_row(crow, bp + static_cast<usize>(cols[base + s]) * k,
+                      vals[base + s], k);
     }
   }
 }
@@ -125,12 +114,8 @@ void coo_fixed_k_range(const I* __restrict__ rows, const I* __restrict__ cols,
                        const V* __restrict__ vals, const V* __restrict__ bp,
                        V* __restrict__ cp, usize begin, usize end) {
   for (usize i = begin; i < end; ++i) {
-    const V v = vals[i];
-    V* __restrict__ crow = cp + static_cast<usize>(rows[i]) * K;
-    const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * K;
-    for (int j = 0; j < K; ++j) {
-      crow[j] += v * brow[j];
-    }
+    micro::axpy_row_fixed<K>(cp + static_cast<usize>(rows[i]) * K,
+                             bp + static_cast<usize>(cols[i]) * K, vals[i]);
   }
 }
 
@@ -139,12 +124,8 @@ void coo_hoisted_range(const I* __restrict__ rows, const I* __restrict__ cols,
                        const V* __restrict__ vals, const V* __restrict__ bp,
                        V* __restrict__ cp, usize k, usize begin, usize end) {
   for (usize i = begin; i < end; ++i) {
-    const V v = vals[i];
-    V* __restrict__ crow = cp + static_cast<usize>(rows[i]) * k;
-    const V* __restrict__ brow = bp + static_cast<usize>(cols[i]) * k;
-    for (usize j = 0; j < k; ++j) {
-      crow[j] += v * brow[j];
-    }
+    micro::axpy_row(cp + static_cast<usize>(rows[i]) * k,
+                    bp + static_cast<usize>(cols[i]) * k, vals[i], k);
   }
 }
 
@@ -170,10 +151,13 @@ void spmm_csr_serial_opt(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   }
 }
 
-/// Manually optimized parallel CSR SpMM.
+/// Manually optimized parallel CSR SpMM. Same Sched axis as the plain
+/// parallel kernel: kRows → dynamic,64 over rows, kNnz → precomputed
+/// nnz-balanced static partition.
 template <ValueType V, IndexType I>
 void spmm_csr_parallel_opt(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                           int threads) {
+                           int threads, Sched sched = Sched::kRows,
+                           const sched::RowPartition* partition = nullptr) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -184,6 +168,30 @@ void spmm_csr_parallel_opt(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
   const V* bp = b.data();
   V* cp = c.data();
   const std::int64_t rows = a.rows();
+  if (sched == Sched::kNnz) {
+    sched::RowPartition local;
+    if (!sched::partition_matches(partition, rows, threads)) {
+      local = sched::partition_rows_balanced(a.row_ptr(), threads);
+      partition = &local;
+    }
+    const std::int64_t* bounds = partition->bounds.data();
+    const bool hit_nnz = detail::dispatch_fixed_k(k, [&](auto kc) {
+      constexpr int K = decltype(kc)::value;
+#pragma omp parallel for num_threads(threads) schedule(static)
+      for (int t = 0; t < threads; ++t) {
+        detail::csr_fixed_k_rows<K>(rp, ci, va, bp, cp, bounds[t],
+                                    bounds[t + 1]);
+      }
+    });
+    if (!hit_nnz) {
+#pragma omp parallel for num_threads(threads) schedule(static)
+      for (int t = 0; t < threads; ++t) {
+        detail::csr_hoisted_rows(rp, ci, va, bp, cp, k, bounds[t],
+                                 bounds[t + 1]);
+      }
+    }
+    return;
+  }
   const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
     constexpr int K = decltype(kc)::value;
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
@@ -219,10 +227,12 @@ void spmm_ell_serial_opt(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   }
 }
 
-/// Manually optimized parallel ELL SpMM.
+/// Manually optimized parallel ELL SpMM. Sched::kNnz maps to the even
+/// row partition (padded per-row work is uniform), as in the plain
+/// parallel ELL kernel.
 template <ValueType V, IndexType I>
 void spmm_ell_parallel_opt(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                           int threads) {
+                           int threads, Sched sched = Sched::kRows) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
@@ -233,6 +243,26 @@ void spmm_ell_parallel_opt(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
   const V* bp = b.data();
   V* cp = c.data();
   const std::int64_t rows = a.rows();
+  if (sched == Sched::kNnz) {
+    const sched::RowPartition part = sched::partition_rows_even(rows, threads);
+    const std::int64_t* bounds = part.bounds.data();
+    const bool hit_nnz = detail::dispatch_fixed_k(k, [&](auto kc) {
+      constexpr int K = decltype(kc)::value;
+#pragma omp parallel for num_threads(threads) schedule(static)
+      for (int t = 0; t < threads; ++t) {
+        detail::ell_fixed_k_rows<K>(ci, va, bp, cp, width, bounds[t],
+                                    bounds[t + 1]);
+      }
+    });
+    if (!hit_nnz) {
+#pragma omp parallel for num_threads(threads) schedule(static)
+      for (int t = 0; t < threads; ++t) {
+        detail::ell_hoisted_rows(ci, va, bp, cp, width, k, bounds[t],
+                                 bounds[t + 1]);
+      }
+    }
+    return;
+  }
   const bool hit = detail::dispatch_fixed_k(k, [&](auto kc) {
     constexpr int K = decltype(kc)::value;
 #pragma omp parallel for num_threads(threads) schedule(static)

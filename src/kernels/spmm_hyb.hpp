@@ -21,12 +21,8 @@ void hyb_tail_accumulate(const Coo<V, I>& tail, const V* bp, usize k, V* cp) {
   const I* cols = tail.col_idx().data();
   const V* vals = tail.values().data();
   for (usize i = 0; i < tail.nnz(); ++i) {
-    const usize r = static_cast<usize>(rows[i]);
-    const usize col = static_cast<usize>(cols[i]);
-    V* crow = cp + r * k;
-    for (usize j = 0; j < k; ++j) {
-      crow[j] += vals[i] * bp[col * k + j];
-    }
+    micro::axpy_row(cp + static_cast<usize>(rows[i]) * k,
+                    bp + static_cast<usize>(cols[i]) * k, vals[i], k);
   }
 }
 
@@ -39,12 +35,16 @@ void spmm_hyb_serial(const Hyb<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   detail::hyb_tail_accumulate(a.tail(), b.data(), b.cols(), c.data());
 }
 
+/// Parallel HYB SpMM: the Sched policy is forwarded to the ELL region
+/// (where nearly all the work lives). The COO tail stays row-aligned
+/// under both policies — it must never race the merge of a row the ELL
+/// region wrote, and its entry count is too small to imbalance.
 template <ValueType V, IndexType I>
 void spmm_hyb_parallel(const Hyb<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                       int threads) {
+                       int threads, Sched sched = Sched::kRows) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
-  spmm_ell_parallel(a.ell(), b, c, threads);
+  spmm_ell_parallel(a.ell(), b, c, threads, sched);
   // Tail entries may hit rows the ELL region also touched; partition the
   // tail by row boundaries so threads never share a C row.
   const usize k = b.cols();
@@ -59,12 +59,8 @@ void spmm_hyb_parallel(const Hyb<V, I>& a, const Dense<V>& b, Dense<V>& c,
   for (int t = 0; t < threads; ++t) {
     for (usize i = bounds[static_cast<usize>(t)];
          i < bounds[static_cast<usize>(t) + 1]; ++i) {
-      const usize r = static_cast<usize>(rows[i]);
-      const usize col = static_cast<usize>(cols[i]);
-      V* crow = cp + r * k;
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += vals[i] * bp[col * k + j];
-      }
+      micro::axpy_row(cp + static_cast<usize>(rows[i]) * k,
+                      bp + static_cast<usize>(cols[i]) * k, vals[i], k);
     }
   }
 }

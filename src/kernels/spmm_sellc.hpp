@@ -6,6 +6,8 @@
 
 #include "devsim/device.hpp"
 #include "formats/sellc.hpp"
+#include "kernels/micro.hpp"
+#include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
 namespace spmm {
@@ -30,10 +32,8 @@ inline void sellc_chunk_multiply(const SellC<V, I>& a, I chunk, const V* bp,
     V* crow = cp + r * k;
     for (usize s = 0; s < w; ++s) {
       const usize slot = base + s * C + lane;
-      const usize col = static_cast<usize>(cols[slot]);
-      for (usize j = 0; j < k; ++j) {
-        crow[j] += vals[slot] * bp[col * k + j];
-      }
+      micro::axpy_row(crow, bp + static_cast<usize>(cols[slot]) * k,
+                      vals[slot], k);
     }
   }
 }
@@ -50,14 +50,35 @@ void spmm_sellc_serial(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   }
 }
 
+/// Parallel SELL-C SpMM over chunks. Sched::kRows keeps the historical
+/// schedule(dynamic, 8); Sched::kNnz uses a precomputed slot-balanced
+/// chunk partition (chunk_offset is the padded-slot prefix sum over
+/// chunks — slots, not raw nnz, are the real per-chunk work).
 template <ValueType V, IndexType I>
 void spmm_sellc_parallel(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                         int threads) {
+                         int threads, Sched sched = Sched::kRows,
+                         const sched::RowPartition* partition = nullptr) {
   check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
   c.fill(V{0});
   const usize k = b.cols();
   const std::int64_t chunks = a.chunks();
+  if (sched == Sched::kNnz) {
+    sched::RowPartition local;
+    if (!sched::partition_matches(partition, chunks, threads)) {
+      local = sched::partition_rows_balanced(a.chunk_offset(), threads);
+      partition = &local;
+    }
+    const std::int64_t* bounds = partition->bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      for (std::int64_t chunk = bounds[t]; chunk < bounds[t + 1]; ++chunk) {
+        detail::sellc_chunk_multiply(a, static_cast<I>(chunk), b.data(), k,
+                                     c.data());
+      }
+    }
+    return;
+  }
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 8)
   for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
     detail::sellc_chunk_multiply(a, static_cast<I>(chunk), b.data(), k,

@@ -258,6 +258,10 @@ void BenchParams::register_options(ArgParser& parser) {
   parser.add_int("threads", 't', 32, "thread count for parallel kernels");
   parser.add_int("block-size", 'b', 4, "block size for blocked formats (BCSR)");
   parser.add_int("k", 'k', 128, "dense operand width (k-loop bound)");
+  parser.add_string("sched", 0, "rows",
+                    "work distribution for parallel kernels: rows "
+                    "(per-format historical schedule) or nnz "
+                    "(precomputed nnz-balanced partition)");
   parser.add_int_list("thread-list", 0, {},
                       "comma-separated thread counts for the best-thread sweep");
   parser.add_flag("no-verify", 0, "skip COO-reference verification");
@@ -288,6 +292,7 @@ BenchParams BenchParams::from_parser(const ArgParser& parser) {
   p.threads = static_cast<int>(parser.get_int("threads"));
   p.block_size = static_cast<int>(parser.get_int("block-size"));
   p.k = static_cast<int>(parser.get_int("k"));
+  p.sched = sched_from_name(parser.get_string("sched"));
   for (std::int64_t t : parser.get_int_list("thread-list")) {
     p.thread_list.push_back(static_cast<int>(t));
   }
@@ -321,6 +326,12 @@ BenchParams BenchParams::from_parser(const ArgParser& parser) {
   SPMM_CHECK(p.k > 0, "--k must be positive");
   for (int t : p.thread_list) SPMM_CHECK(t > 0, "--thread-list entries must be positive");
   return p;
+}
+
+Sched sched_from_name(const std::string& name) {
+  if (name == "rows") return Sched::kRows;
+  if (name == "nnz") return Sched::kNnz;
+  SPMM_FAIL("--sched must be 'rows' or 'nnz', got '" + name + "'");
 }
 
 }  // namespace spmm

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "support/types.hpp"
+
 namespace spmm {
 
 namespace telemetry {
@@ -109,6 +111,10 @@ struct BenchParams {
   int block_size = 4;
   /// Width of the dense operand: the k-loop bound (paper default: 128).
   int k = 128;
+  /// Work-distribution policy for host-parallel kernels (--sched):
+  /// kRows keeps each format's historical schedule, kNnz uses the
+  /// precomputed nnz-balanced partition (kernels/sched.hpp).
+  Sched sched = Sched::kRows;
   /// Thread-count list for the best-thread-count sweep (Study 3.1).
   std::vector<int> thread_list;
   /// Verify kernel output against the COO reference multiply.
@@ -157,5 +163,8 @@ struct BenchParams {
   /// Extract a BenchParams from a parsed parser. Validates ranges.
   static BenchParams from_parser(const ArgParser& parser);
 };
+
+/// Parse a --sched value ("rows" or "nnz"); throws spmm::Error otherwise.
+Sched sched_from_name(const std::string& name);
 
 }  // namespace spmm

@@ -30,6 +30,23 @@ constexpr const char* layout_name(Layout l) {
   return l == Layout::kRowMajor ? "row-major" : "col-major";
 }
 
+/// Work-distribution policy for the host-parallel kernels (Study 3's
+/// load-balancing axis):
+///   kRows  distribute row indices (each format's historical schedule —
+///          dynamic chunks for CSR/BCSR, static for ELL/COO);
+///   kNnz   distribute *work*: a precomputed nnz-balanced partition of
+///          the row space (binary search over the nnz prefix sum, see
+///          kernels/sched.hpp), one contiguous range per thread.
+/// Serial and device variants ignore the policy.
+enum class Sched : std::uint8_t {
+  kRows,
+  kNnz,
+};
+
+constexpr const char* sched_name(Sched s) {
+  return s == Sched::kRows ? "rows" : "nnz";
+}
+
 template <class T>
 constexpr const char* value_type_name() {
   if constexpr (std::is_same_v<T, float>) return "f32";

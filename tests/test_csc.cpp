@@ -90,9 +90,17 @@ TEST_P(CscKernelTest, ParallelKSlices) {
   }
 }
 
-TEST_P(CscKernelTest, ParallelAtomic) {
-  spmm_csc_parallel_atomic(to_csc(a_), b_, c_, 4);
-  EXPECT_LE(max_abs_diff(expected_, c_), kTol);
+TEST_P(CscKernelTest, ParallelSlab) {
+  // Atomic-free column-parallel path: each part owns a private m×k slab
+  // (columns scatter into arbitrary rows), merged in part order. Thread
+  // counts stay modest: each one allocates t full slabs, and TSan runs
+  // this instrumented on small CI hosts.
+  const auto csc = to_csc(a_);
+  for (int t : {1, 2, 3, 7, 16}) {
+    c_.fill(-3.0);
+    spmm_csc_parallel_slab(csc, b_, c_, t);
+    EXPECT_LE(max_abs_diff(expected_, c_), kTol) << "threads " << t;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, CscKernelTest,

@@ -85,7 +85,9 @@ TEST(BenchCsv, HeaderIsPinned) {
             "p50_seconds,p95_seconds,max_seconds,stddev_seconds,"
             "warmup_drift,outliers,h2d_bytes,d2h_bytes,device_peak_bytes,"
             // Appended by the resilience PR — cell outcome labelling.
-            "status,error_code,attempts");
+            "status,error_code,attempts,"
+            // Appended by the scheduling PR — work-distribution policy.
+            "sched");
   // One data row with matching arity must follow.
   EXPECT_NE(out.find('\n'), std::string::npos);
   const std::string row = out.substr(out.find('\n') + 1);

@@ -74,9 +74,23 @@ TEST_P(SpmmKernelTest, CooParallel) {
   }
 }
 
-TEST_P(SpmmKernelTest, CooParallelAtomic) {
-  spmm_coo_parallel_atomic(a_, b_, c_, 4);
-  expect_match("coo parallel atomic");
+TEST_P(SpmmKernelTest, CooParallelSlab) {
+  // Atomic-free nnz-balanced path: equal-nnz entry ranges may split a
+  // row mid-way, so each part accumulates into a private slab and the
+  // merge phase folds slabs in ascending part order.
+  for (int t : {1, 3, 8}) {
+    c_.fill(-1.0);
+    spmm_coo_parallel_slab(a_, b_, c_, t);
+    expect_match("coo parallel slab");
+  }
+}
+
+TEST_P(SpmmKernelTest, CooParallelNnzSched) {
+  spmm_coo_parallel(a_, b_, c_, 4, Sched::kNnz);
+  expect_match("coo parallel sched=nnz");
+  c_.fill(-1.0);
+  spmm_coo_parallel_transpose(a_, bt_, c_, 4, Sched::kNnz);
+  expect_match("coo parallel-T sched=nnz");
 }
 
 TEST_P(SpmmKernelTest, CooDevice) {

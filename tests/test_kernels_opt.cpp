@@ -82,6 +82,85 @@ INSTANTIATE_TEST_SUITE_P(KValues, FixedKTest,
                            return "k" + std::to_string(info.param);
                          });
 
+// The k-tiled + nnz-scheduled kernels never reorder a row's per-element
+// accumulation, so they must be *bit-identical* to the serial reference
+// — EXPECT_EQ, no tolerance — across ragged k (tile tails of every
+// shape) and both operand layouts.
+class RaggedKTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    a_ = testutil::random_coo(83, 61, 6.0, 47);
+    Rng rng(7);
+    b_ = Dense<double>(static_cast<usize>(a_.cols()),
+                       static_cast<usize>(GetParam()));
+    b_.fill_random(rng);
+    bt_ = b_.transposed();
+    c_ = Dense<double>(static_cast<usize>(a_.rows()),
+                       static_cast<usize>(GetParam()));
+    ref_ = Dense<double>(c_.rows(), c_.cols());
+  }
+
+  void expect_bits_equal(const char* what) {
+    for (usize i = 0; i < c_.size(); ++i) {
+      ASSERT_EQ(ref_.data()[i], c_.data()[i]) << what << " element " << i;
+    }
+  }
+
+  CooD a_;
+  Dense<double> b_, bt_, c_, ref_;
+};
+
+TEST_P(RaggedKTest, CsrNnzSchedBitIdentical) {
+  const auto csr = to_csr(a_);
+  spmm_csr_serial(csr, b_, ref_);
+  for (int t : {1, 3, 5}) {
+    c_.fill(-7.0);
+    spmm_csr_parallel(csr, b_, c_, t, Sched::kNnz);
+    expect_bits_equal("csr nnz");
+  }
+}
+
+TEST_P(RaggedKTest, CsrNnzSchedTransposeBitIdentical) {
+  const auto csr = to_csr(a_);
+  spmm_csr_serial_transpose(csr, bt_, ref_);
+  for (int t : {1, 3, 5}) {
+    c_.fill(-7.0);
+    spmm_csr_parallel_transpose(csr, bt_, c_, t, Sched::kNnz);
+    expect_bits_equal("csr nnz T");
+  }
+}
+
+TEST_P(RaggedKTest, EllNnzSchedBitIdentical) {
+  const auto ell = to_ell(a_);
+  spmm_ell_serial(ell, b_, ref_);
+  c_.fill(-7.0);
+  spmm_ell_parallel(ell, b_, c_, 4, Sched::kNnz);
+  expect_bits_equal("ell nnz");
+}
+
+TEST_P(RaggedKTest, EllNnzSchedTransposeBitIdentical) {
+  const auto ell = to_ell(a_);
+  spmm_ell_serial_transpose(ell, bt_, ref_);
+  c_.fill(-7.0);
+  spmm_ell_parallel_transpose(ell, bt_, c_, 4, Sched::kNnz);
+  expect_bits_equal("ell nnz T");
+}
+
+TEST_P(RaggedKTest, CsrOptNnzSchedBitIdenticalToSerialOpt) {
+  const auto csr = to_csr(a_);
+  spmm_csr_serial_opt(csr, b_, ref_);
+  c_.fill(-7.0);
+  spmm_csr_parallel_opt(csr, b_, c_, 4, Sched::kNnz);
+  expect_bits_equal("csr-opt nnz");
+}
+
+// Ragged widths around the microkernel tiles: 1 and 3 (below the half
+// tile), 8 (exactly one full tile), 37 (4 full tiles + half tile + 1).
+INSTANTIATE_TEST_SUITE_P(RaggedK, RaggedKTest, ::testing::Values(1, 3, 8, 37),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
 TEST(FixedKDispatch, HitsExactlyTheInstantiationSet) {
   for (int k : kFixedKValues) {
     bool called = false;

@@ -1,0 +1,288 @@
+// Tests for the shared execution layer (kernels/sched.hpp): the
+// nnz-balanced partitioner, the uniform partitioner, the cache validity
+// check, the sched.partition.cover audit rule, and the atomic-free
+// slab-reduction kernels. The *Parallel* test names are deliberate:
+// they match the TSan preset's test filter, so every slab kernel run
+// here is also a data-race gate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "audit/rules.hpp"
+#include "kernels/dense_ref.hpp"
+#include "kernels/sched.hpp"
+#include "kernels/spmm_coo.hpp"
+#include "kernels/spmm_csc.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using sched::RowPartition;
+using testutil::CooD;
+constexpr double kTol = 1e-10;
+
+// Sum of nonzeros part p owns, straight off the prefix array.
+std::int64_t part_nnz(const std::vector<std::int64_t>& bounds,
+                      const AlignedVector<std::int32_t>& prefix, int p) {
+  return prefix[static_cast<usize>(bounds[static_cast<usize>(p) + 1])] -
+         prefix[static_cast<usize>(bounds[static_cast<usize>(p)])];
+}
+
+// Structural invariants every partition must satisfy: parts()+1 bounds,
+// starting at 0, non-decreasing, ending at rows.
+void expect_covers(const RowPartition& part, std::int64_t rows, int nparts) {
+  ASSERT_EQ(part.parts(), nparts);
+  EXPECT_EQ(part.rows(), rows);
+  EXPECT_EQ(part.bounds.front(), 0);
+  EXPECT_EQ(part.bounds.back(), rows);
+  for (usize p = 1; p < part.bounds.size(); ++p) {
+    EXPECT_LE(part.bounds[p - 1], part.bounds[p]) << "bound " << p;
+  }
+}
+
+TEST(SchedPartition, EmptyMatrix) {
+  const AlignedVector<std::int32_t> prefix = {0};  // rows = 0
+  const RowPartition part = sched::partition_rows_balanced(prefix, 4);
+  expect_covers(part, 0, 4);
+  EXPECT_EQ(part.total_nnz, 0);
+  EXPECT_EQ(part.max_part_nnz, 0);
+  EXPECT_DOUBLE_EQ(part.max_imbalance(), 1.0);
+}
+
+TEST(SchedPartition, AllEmptyRows) {
+  const AlignedVector<std::int32_t> prefix(7, 0);  // 6 rows, 0 nnz
+  const RowPartition part = sched::partition_rows_balanced(prefix, 3);
+  expect_covers(part, 6, 3);
+  EXPECT_EQ(part.total_nnz, 0);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(part_nnz(part.bounds, prefix, p), 0);
+  }
+}
+
+TEST(SchedPartition, OneDenseRowAmongEmpties) {
+  // Row 5 carries all 1000 nonzeros; every other row is empty. The
+  // dense row lands in exactly one part; the work cannot be split
+  // below max_row_nnz, and coverage must still hold.
+  AlignedVector<std::int32_t> prefix(101, 0);
+  for (usize r = 6; r <= 100; ++r) prefix[r] = 1000;
+  const RowPartition part = sched::partition_rows_balanced(prefix, 8);
+  expect_covers(part, 100, 8);
+  EXPECT_EQ(part.total_nnz, 1000);
+  EXPECT_EQ(part.max_part_nnz, 1000);
+  int heavy_parts = 0;
+  for (int p = 0; p < 8; ++p) {
+    if (part_nnz(part.bounds, prefix, p) > 0) ++heavy_parts;
+  }
+  EXPECT_EQ(heavy_parts, 1);
+}
+
+TEST(SchedPartition, MorePartsThanRows) {
+  const AlignedVector<std::int32_t> prefix = {0, 2, 5, 9};  // 3 rows
+  const RowPartition part = sched::partition_rows_balanced(prefix, 10);
+  expect_covers(part, 3, 10);
+  // Every row is owned by exactly one part; surplus parts are empty.
+  std::int64_t total = 0;
+  for (int p = 0; p < 10; ++p) total += part_nnz(part.bounds, prefix, p);
+  EXPECT_EQ(total, 9);
+}
+
+TEST(SchedPartition, SinglePartOwnsEverything) {
+  const AlignedVector<std::int32_t> prefix = {0, 4, 4, 7};
+  const RowPartition part = sched::partition_rows_balanced(prefix, 1);
+  expect_covers(part, 3, 1);
+  EXPECT_EQ(part.max_part_nnz, 7);
+  EXPECT_DOUBLE_EQ(part.max_imbalance(), 1.0);
+}
+
+// The partitioner's balance guarantee, over random matrices of every
+// generator placement: each part's nonzeros never exceed
+// ceil(total/nparts) + max_row_nnz.
+TEST(SchedPartition, BalanceBoundProperty) {
+  for (auto placement : {gen::Placement::kScattered, gen::Placement::kBanded,
+                         gen::Placement::kClustered}) {
+    for (int seed : {3, 17, 91}) {
+      const CooD m = testutil::random_coo(257, 193, 6.0, seed, placement);
+      const auto csr = to_csr(m);
+      const auto& prefix = csr.row_ptr();
+      std::int64_t max_row = 0;
+      for (std::int64_t r = 0; r < csr.rows(); ++r) {
+        max_row = std::max<std::int64_t>(
+            max_row, csr.row_nnz(static_cast<std::int32_t>(r)));
+      }
+      for (int nparts : {1, 2, 3, 7, 16, 300}) {
+        const RowPartition part =
+            sched::partition_rows_balanced(prefix, nparts);
+        expect_covers(part, csr.rows(), nparts);
+        const std::int64_t ceil_share =
+            (part.total_nnz + nparts - 1) / nparts;
+        for (int p = 0; p < nparts; ++p) {
+          EXPECT_LE(part_nnz(part.bounds, prefix, p), ceil_share + max_row)
+              << "placement " << static_cast<int>(placement) << " seed "
+              << seed << " nparts " << nparts << " part " << p;
+        }
+        EXPECT_EQ(part.max_imbalance() >= 1.0 || part.total_nnz == 0, true);
+      }
+    }
+  }
+}
+
+TEST(SchedPartition, EvenSplitsRowsUniformly) {
+  const RowPartition part = sched::partition_rows_even(10, 4);
+  expect_covers(part, 10, 4);
+  // 10 rows over 4 parts: sizes differ by at most one.
+  for (int p = 0; p < 4; ++p) {
+    const std::int64_t size = part.bounds[static_cast<usize>(p) + 1] -
+                              part.bounds[static_cast<usize>(p)];
+    EXPECT_GE(size, 2);
+    EXPECT_LE(size, 3);
+  }
+  expect_covers(sched::partition_rows_even(0, 3), 0, 3);
+}
+
+TEST(SchedPartition, MatchesValidatesCachedPartition) {
+  const AlignedVector<std::int32_t> prefix = {0, 2, 5, 9};
+  const RowPartition part = sched::partition_rows_balanced(prefix, 2);
+  EXPECT_TRUE(sched::partition_matches(&part, 3, 2));
+  EXPECT_FALSE(sched::partition_matches(nullptr, 3, 2));
+  EXPECT_FALSE(sched::partition_matches(&part, 4, 2));  // wrong rows
+  EXPECT_FALSE(sched::partition_matches(&part, 3, 3));  // wrong parts
+}
+
+TEST(SchedPartition, RejectsInvalidArguments) {
+  const AlignedVector<std::int32_t> prefix = {0, 1};
+  EXPECT_THROW(sched::partition_rows_balanced(prefix, 0), Error);
+  EXPECT_THROW(
+      sched::partition_rows_balanced(AlignedVector<std::int32_t>{}, 2), Error);
+  EXPECT_THROW(sched::partition_rows_even(5, 0), Error);
+  EXPECT_THROW(sched::partition_rows_even(-1, 2), Error);
+}
+
+// ---- the sched.partition.cover audit rule -------------------------------
+
+TEST(SchedAudit, CleanPartitionPasses) {
+  const AlignedVector<std::int32_t> prefix = {0, 3, 3, 8, 10};
+  const RowPartition part = sched::partition_rows_balanced(prefix, 3);
+  audit::AuditReport report;
+  audit::audit_partition(part.bounds, part.rows(), report, "test");
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(SchedAudit, CorruptedBoundsFireCoverRule) {
+  audit::AuditReport report;
+  // Does not start at 0.
+  audit::audit_partition({1, 4}, 4, report, "t");
+  EXPECT_GT(report.count("sched.partition.cover"), 0u);
+
+  // Decreasing bound (overlap).
+  report.clear();
+  audit::audit_partition({0, 3, 2, 4}, 4, report, "t");
+  EXPECT_GT(report.count("sched.partition.cover"), 0u);
+
+  // Does not end at rows (gap at the top).
+  report.clear();
+  audit::audit_partition({0, 2, 3}, 4, report, "t");
+  EXPECT_GT(report.count("sched.partition.cover"), 0u);
+
+  // Too short to describe even one part.
+  report.clear();
+  audit::audit_partition({0}, 0, report, "t");
+  EXPECT_GT(report.count("sched.partition.cover"), 0u);
+}
+
+// ---- atomic-free slab kernels (also the TSan race gate) -----------------
+
+class SlabKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Scattered placement with a wide row-length spread: equal-nnz entry
+    // ranges are guaranteed to split rows across part boundaries.
+    a_ = testutil::random_coo(120, 90, 7.0, 29);
+    Rng rng(11);
+    b_ = Dense<double>(static_cast<usize>(a_.cols()), 33);
+    b_.fill_random(rng);
+    expected_ = spmm_reference(a_, b_);
+    c_ = Dense<double>(static_cast<usize>(a_.rows()), 33);
+  }
+
+  CooD a_;
+  Dense<double> b_, c_, expected_;
+};
+
+TEST_F(SlabKernelTest, CooSlabParallelMatchesReference) {
+  for (int t : {1, 2, 3, 7, 16}) {
+    c_.fill(-5.0);
+    spmm_coo_parallel_slab(a_, b_, c_, t);
+    EXPECT_LE(max_abs_diff(expected_, c_), kTol) << "threads " << t;
+  }
+}
+
+TEST_F(SlabKernelTest, CooSlabTransposeParallelMatchesReference) {
+  const Dense<double> bt = b_.transposed();
+  for (int t : {1, 3, 8}) {
+    c_.fill(-5.0);
+    spmm_coo_parallel_slab_transpose(a_, bt, c_, t);
+    EXPECT_LE(max_abs_diff(expected_, c_), kTol) << "threads " << t;
+  }
+}
+
+TEST_F(SlabKernelTest, CscSlabParallelMatchesReference) {
+  const auto csc = to_csc(a_);
+  for (int t : {1, 2, 5, 16}) {
+    c_.fill(-5.0);
+    spmm_csc_parallel_slab(csc, b_, c_, t);
+    EXPECT_LE(max_abs_diff(expected_, c_), kTol) << "threads " << t;
+  }
+}
+
+TEST_F(SlabKernelTest, CscSlabParallelEmptyMatrix) {
+  const auto csc = to_csc(CooD(8, 5));
+  Dense<double> b(5, 4);
+  Dense<double> c(8, 4);
+  c.fill(-1.0);
+  spmm_csc_parallel_slab(csc, b, c, 4);
+  for (usize i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0);
+}
+
+TEST_F(SlabKernelTest, CooSlabDeterministicAcrossThreadCounts) {
+  // The ordered merge makes the slab kernel's result independent of the
+  // thread count (parenthesization is fixed by part order, and the part
+  // layout for t threads is deterministic).
+  Dense<double> c1(static_cast<usize>(a_.rows()), 33);
+  spmm_coo_parallel_slab(a_, b_, c1, 1);
+  for (int t : {2, 7}) {
+    Dense<double> ct(static_cast<usize>(a_.rows()), 33);
+    spmm_coo_parallel_slab(a_, b_, ct, t);
+    // Same thread count re-run must be bitwise identical.
+    Dense<double> ct2(static_cast<usize>(a_.rows()), 33);
+    spmm_coo_parallel_slab(a_, b_, ct2, t);
+    for (usize i = 0; i < ct.size(); ++i) {
+      EXPECT_EQ(ct.data()[i], ct2.data()[i]) << "i=" << i << " t=" << t;
+    }
+    // Across thread counts only tolerance equality holds (different
+    // part boundaries parenthesize split-row sums differently).
+    EXPECT_LE(max_abs_diff(c1, ct), kTol);
+  }
+}
+
+// CSR under Sched::kNnz is row-aligned, so it must be bit-identical to
+// the serial kernel — no tolerance.
+TEST_F(SlabKernelTest, CsrNnzSchedParallelBitIdenticalToSerial) {
+  const auto csr = to_csr(a_);
+  Dense<double> ref(static_cast<usize>(a_.rows()), 33);
+  spmm_csr_serial(csr, b_, ref);
+  for (int t : {1, 2, 3, 8}) {
+    c_.fill(-5.0);
+    const RowPartition part =
+        sched::partition_rows_balanced(csr.row_ptr(), t);
+    spmm_csr_parallel(csr, b_, c_, t, Sched::kNnz, &part);
+    for (usize i = 0; i < c_.size(); ++i) {
+      EXPECT_EQ(ref.data()[i], c_.data()[i]) << "i=" << i << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spmm

@@ -1,0 +1,196 @@
+// Perf-regression smoke harness: a small, fixed-seed kernel sweep that
+// emits machine-readable GFLOP/s so CI can archive one JSON artifact
+// per commit (BENCH_kernels.json) and regressions can be diagnosed by
+// diffing artifacts — no thresholds, no flaky gating.
+//
+// Grid: three generator profiles spanning the suite's locality classes
+// (torso1 = scattered power-law, dw4096 = banded, cant = clustered FEM)
+// × the host formats × {serial, omp} × {rows, nnz} scheduling. Rates
+// are median-of-N (p50 over the timed iterations), the stable statistic
+// for short runs; min and mean ride along. The JSON schema is
+// documented in docs/KERNELS.md (spmm-perf-smoke/v1).
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "gen/suite.hpp"
+
+using namespace spmm;
+
+namespace {
+
+/// The slice of BenchResult the artifact keeps.
+struct BenchResultLite {
+  int threads = 0;
+  int k = 0;
+  int iterations = 0;
+  double p50_seconds = 0.0;
+  double min_seconds = 0.0;
+  double avg_seconds = 0.0;
+  double gflops_p50 = 0.0;
+  std::int64_t rows = 0;
+  std::int64_t nnz = 0;
+};
+
+struct Row {
+  std::string matrix;
+  std::string format;
+  std::string variant;
+  std::string sched;
+  BenchResultLite lite;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser parser(
+        "Perf smoke sweep: fixed-seed GFLOP/s grid -> BENCH_kernels.json");
+    parser.add_string("out", 'o', "BENCH_kernels.json", "output JSON path");
+    parser.add_double("scale", 0, 0.05,
+                      "suite profile scale (row count multiplier)");
+    parser.add_int("iterations", 'n', 9, "timed iterations (p50 source)");
+    parser.add_int("warmup", 'w', 2, "untimed warm-up iterations");
+    parser.add_int("threads", 't', 4, "thread count for parallel kernels");
+    parser.add_int("k", 'k', 32, "dense operand width");
+    parser.add_int("seed", 's', 42, "generator / operand seed");
+    if (!parser.parse(argc, argv)) return 0;
+
+    BenchParams params;
+    params.iterations = static_cast<int>(parser.get_int("iterations"));
+    params.warmup = static_cast<int>(parser.get_int("warmup"));
+    params.threads = static_cast<int>(parser.get_int("threads"));
+    params.k = static_cast<int>(parser.get_int("k"));
+    params.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+    params.verify = false;  // timing sweep; correctness gates live in ctest
+    const double scale = parser.get_double("scale");
+
+    // One profile per locality class the paper studies.
+    const std::vector<std::string> profiles = {"torso1", "dw4096", "cant"};
+    // Host formats with both a serial and an OpenMP kernel.
+    const std::vector<Format> formats = {Format::kCoo,  Format::kCsr,
+                                         Format::kEll,  Format::kBcsr,
+                                         Format::kSellC, Format::kHyb};
+
+    std::vector<Row> rows;
+    for (const std::string& mat : profiles) {
+      const auto coo = gen::generate<double, std::int32_t>(
+          gen::suite_spec(mat, scale, params.seed));
+      for (Format f : formats) {
+        auto bench = bench::make_benchmark<double, std::int32_t>(f);
+        bench->setup(coo, params, mat);
+        // Serial once, then the parallel kernel under each policy —
+        // interleaved rows/nnz/rows/nnz so slow clock or load drift
+        // hits both policies equally; the faster cell per policy is
+        // kept. The instance is formatted exactly once for all cells.
+        std::vector<bench::PlanCell> plan;
+        bench::PlanCell serial;
+        serial.variant = Variant::kSerial;
+        plan.push_back(serial);
+        for (int rep = 0; rep < 2; ++rep) {
+          for (Sched s : {Sched::kRows, Sched::kNnz}) {
+            bench::PlanCell cell;
+            cell.variant = Variant::kParallel;
+            cell.sched = s;
+            plan.push_back(cell);
+          }
+        }
+        std::vector<Row> cells;
+        for (const bench::BenchResult& r : bench::run_plan(*bench, plan)) {
+          Row row;
+          row.matrix = mat;
+          row.format = r.kernel_name;
+          row.variant = std::string(variant_name(r.variant));
+          row.sched = std::string(sched_name(r.sched));
+          row.lite.threads = r.threads;
+          row.lite.k = r.k;
+          row.lite.iterations = r.iterations;
+          row.lite.p50_seconds = r.p50_compute_seconds;
+          row.lite.min_seconds = r.min_compute_seconds;
+          row.lite.avg_seconds = r.avg_compute_seconds;
+          row.lite.gflops_p50 =
+              r.p50_compute_seconds > 0.0
+                  ? r.flops / r.p50_compute_seconds / 1e9
+                  : 0.0;
+          row.lite.rows = r.properties.rows;
+          row.lite.nnz = r.properties.nnz;
+          cells.push_back(std::move(row));
+        }
+        // Fold interleaved repetitions: keep the best (lowest p50) cell
+        // per (variant, sched).
+        for (Row& cell : cells) {
+          Row* existing = nullptr;
+          for (Row& kept : rows) {
+            if (kept.matrix == cell.matrix && kept.format == cell.format &&
+                kept.variant == cell.variant && kept.sched == cell.sched) {
+              existing = &kept;
+            }
+          }
+          if (existing == nullptr) {
+            rows.push_back(std::move(cell));
+          } else if (cell.lite.p50_seconds < existing->lite.p50_seconds) {
+            existing->lite = cell.lite;
+          }
+        }
+      }
+    }
+
+    const std::string out_path = parser.get_string("out");
+    std::ofstream os(out_path);
+    SPMM_CHECK(os.good(), "cannot open " + out_path + " for writing");
+    os << "{\n"
+       << "  \"schema\": \"spmm-perf-smoke/v1\",\n"
+       << "  \"params\": {\"scale\": " << scale
+       << ", \"iterations\": " << params.iterations
+       << ", \"warmup\": " << params.warmup
+       << ", \"threads\": " << params.threads << ", \"k\": " << params.k
+       << ", \"seed\": " << params.seed << "},\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      os << "    {\"matrix\": \"" << row.matrix << "\", \"format\": \""
+         << row.format << "\", \"variant\": \"" << row.variant
+         << "\", \"sched\": \"" << row.sched
+         << "\", \"threads\": " << row.lite.threads
+         << ", \"k\": " << row.lite.k
+         << ", \"iterations\": " << row.lite.iterations
+         << ", \"rows\": " << row.lite.rows << ", \"nnz\": " << row.lite.nnz
+         << ", \"p50_seconds\": " << row.lite.p50_seconds
+         << ", \"min_seconds\": " << row.lite.min_seconds
+         << ", \"avg_seconds\": " << row.lite.avg_seconds
+         << ", \"gflops_p50\": " << row.lite.gflops_p50 << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    os.close();
+
+    // Console digest: the rows-vs-nnz CSR comparison per profile, the
+    // number the scheduling work is accountable to.
+    std::cout << "perf smoke: " << rows.size() << " cells -> " << out_path
+              << "\n";
+    for (const std::string& mat : profiles) {
+      double rows_rate = 0.0;
+      double nnz_rate = 0.0;
+      for (const Row& row : rows) {
+        if (row.matrix != mat || row.format != "CSR" || row.variant != "omp") {
+          continue;
+        }
+        (row.sched == "nnz" ? nnz_rate : rows_rate) = row.lite.gflops_p50;
+      }
+      std::cout << "  " << mat << " CSR/omp: rows " << rows_rate
+                << " GFLOP/s, nnz " << nnz_rate << " GFLOP/s";
+      if (rows_rate > 0.0) {
+        std::cout << " (nnz/rows = " << nnz_rate / rows_rate << ")";
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -33,6 +33,7 @@
 #include "formats/format_id.hpp"
 #include "formats/properties.hpp"
 #include "kernels/dense_ref.hpp"
+#include "kernels/isa.hpp"
 #include "kernels/sched.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
@@ -79,6 +80,11 @@ struct BenchResult {
   /// Work-distribution policy the parallel kernels ran under (echoed for
   /// serial/device variants too, which ignore it).
   Sched sched = Sched::kRows;
+  /// Instruction-set tier as requested (--isa; may be kAuto) and as
+  /// resolved for this host at run time (never kAuto). Device variants
+  /// echo the request but ignore the axis.
+  Isa isa = Isa::kAuto;
+  Isa executed_isa = Isa::kScalar;
 
   // Timing.
   double format_seconds = 0.0;
@@ -255,6 +261,10 @@ class SpmmBenchmark {
   /// formatted structures (the Study 3 sched sweep's per-point update).
   void set_sched(Sched sched) { params_.sched = sched; }
 
+  /// Retarget the instruction-set tier without touching the formatted
+  /// structures (the --isa sweep's per-point update).
+  void set_isa(Isa isa) { params_.isa = isa; }
+
   /// Retarget the dense operand width k: regenerates B (from the same
   /// seed, so a fresh setup() at this k would produce the identical
   /// operand) and C, and drops the transpose operand. The formatted
@@ -302,17 +312,33 @@ class SpmmBenchmark {
     }
     telemetry::ScopedSpan run_span(tel_, "run", "bench", run_detail);
 
+    // Minimum-work guard: below params_.min_parallel_work of nnz·k, a
+    // parallel request executes the serial kernel — fork/join overhead
+    // dominates tiny cells (BENCH_kernels.json dw4096: every omp cell
+    // was 2–3.6× slower than serial before this guard). The decision is
+    // visible in executed_variant and the sched.serial_fallback counter.
+    Variant exec = variant;
+    if (variant_is_parallel(variant) && params_.min_parallel_work > 0 &&
+        static_cast<std::int64_t>(coo_.nnz()) * params_.k <
+            params_.min_parallel_work) {
+      exec = variant_is_transpose(variant) ? Variant::kSerialTranspose
+                                           : Variant::kSerial;
+      if (tel_on) tel_.counter("sched.serial_fallback", 1.0, "sched");
+    }
+
     BenchResult r;
     r.kernel_name = name();
     r.matrix_name = matrix_name_;
     r.format = format_id();
     r.variant = variant;
-    r.executed_variant = variant;
-    r.threads = variant_is_parallel(variant) ? params_.threads : 1;
+    r.executed_variant = exec;
+    r.threads = variant_is_parallel(exec) ? params_.threads : 1;
     r.k = params_.k;
     r.block_size = params_.block_size;
     r.iterations = params_.iterations;
     r.sched = params_.sched;
+    r.isa = params_.isa;
+    r.executed_isa = isa::resolve(params_.isa);
 
     // Formatting (paper: formatting time is reported alongside FLOPS).
     // Only the first run() after setup() — or after reformat() — pays
@@ -331,7 +357,7 @@ class SpmmBenchmark {
       do_audit(audit_report);
     }
 
-    if (variant_is_transpose(variant) && !bt_.has_value()) {
+    if (variant_is_transpose(exec) && !bt_.has_value()) {
       bt_ = b_.transposed();
     }
 
@@ -364,7 +390,7 @@ class SpmmBenchmark {
     {
       telemetry::ScopedSpan span(tel_, "warmup", "bench");
       for (int i = 0; i < params_.warmup; ++i) {
-        do_compute(variant);
+        do_compute(exec);
         check_deadline(deadline, total, "during warmup");
       }
     }
@@ -388,13 +414,13 @@ class SpmmBenchmark {
         // injected cell fault): an unbalanced trace is invalid, and under
         // --on-error=continue the campaign keeps tracing after the throw.
         try {
-          do_compute(variant);
+          do_compute(exec);
         } catch (...) {
           tel_.end_span(span_id, "iteration", begin_ns);
           throw;
         }
       } else {
-        do_compute(variant);
+        do_compute(exec);
       }
       const double s = t.seconds();
       if (tel_on) {
@@ -546,6 +572,8 @@ class SpmmBenchmark {
     r.block_size = params_.block_size;
     r.iterations = params_.iterations;
     r.sched = params_.sched;
+    r.isa = params_.isa;
+    r.executed_isa = isa::resolve(params_.isa);
     r.format_cached = formatted_;
     r.format_seconds = format_seconds_;
     r.format_bytes = format_bytes_;

@@ -85,7 +85,7 @@ class CsrBenchmark : public SpmmBenchmark<V, I> {
         if (optimized_) {
           spmm_csr_serial_opt(csr_, this->b_, this->c_);
         } else {
-          spmm_csr_serial(csr_, this->b_, this->c_);
+          spmm_csr_serial(csr_, this->b_, this->c_, this->params_.isa);
         }
         break;
       case Variant::kParallel:
@@ -96,7 +96,8 @@ class CsrBenchmark : public SpmmBenchmark<V, I> {
         } else {
           spmm_csr_parallel(csr_, this->b_, this->c_, this->params_.threads,
                             this->params_.sched,
-                            this->row_partition(csr_.row_ptr()));
+                            this->row_partition(csr_.row_ptr()),
+                            this->params_.isa);
         }
         break;
       case Variant::kDevice:
@@ -104,13 +105,15 @@ class CsrBenchmark : public SpmmBenchmark<V, I> {
         spmm_csr_device(*this->arena_, csr_, this->b_, this->c_);
         break;
       case Variant::kSerialTranspose:
-        spmm_csr_serial_transpose(csr_, this->bt(), this->c_);
+        spmm_csr_serial_transpose(csr_, this->bt(), this->c_,
+                                  this->params_.isa);
         break;
       case Variant::kParallelTranspose:
         spmm_csr_parallel_transpose(csr_, this->bt(), this->c_,
                                     this->params_.threads,
                                     this->params_.sched,
-                                    this->row_partition(csr_.row_ptr()));
+                                    this->row_partition(csr_.row_ptr()),
+                                    this->params_.isa);
         break;
       case Variant::kDeviceTranspose:
         this->arena_->reset();
@@ -155,7 +158,7 @@ class EllBenchmark final : public SpmmBenchmark<V, I> {
         if (optimized_) {
           spmm_ell_serial_opt(ell_, this->b_, this->c_);
         } else {
-          spmm_ell_serial(ell_, this->b_, this->c_);
+          spmm_ell_serial(ell_, this->b_, this->c_, this->params_.isa);
         }
         break;
       case Variant::kParallel:
@@ -164,7 +167,7 @@ class EllBenchmark final : public SpmmBenchmark<V, I> {
                                 this->params_.threads, this->params_.sched);
         } else {
           spmm_ell_parallel(ell_, this->b_, this->c_, this->params_.threads,
-                            this->params_.sched);
+                            this->params_.sched, this->params_.isa);
         }
         break;
       case Variant::kDevice:
@@ -172,12 +175,13 @@ class EllBenchmark final : public SpmmBenchmark<V, I> {
         spmm_ell_device(*this->arena_, ell_, this->b_, this->c_);
         break;
       case Variant::kSerialTranspose:
-        spmm_ell_serial_transpose(ell_, this->bt(), this->c_);
+        spmm_ell_serial_transpose(ell_, this->bt(), this->c_,
+                                  this->params_.isa);
         break;
       case Variant::kParallelTranspose:
         spmm_ell_parallel_transpose(ell_, this->bt(), this->c_,
                                     this->params_.threads,
-                                    this->params_.sched);
+                                    this->params_.sched, this->params_.isa);
         break;
       case Variant::kDeviceTranspose:
         this->arena_->reset();
@@ -317,12 +321,13 @@ class SellCBenchmark final : public SpmmBenchmark<V, I> {
   void do_compute(Variant variant) override {
     switch (variant) {
       case Variant::kSerial:
-        spmm_sellc_serial(sell_, this->b_, this->c_);
+        spmm_sellc_serial(sell_, this->b_, this->c_, this->params_.isa);
         break;
       case Variant::kParallel:
         spmm_sellc_parallel(sell_, this->b_, this->c_, this->params_.threads,
                             this->params_.sched,
-                            this->row_partition(sell_.chunk_offset()));
+                            this->row_partition(sell_.chunk_offset()),
+                            this->params_.isa);
         break;
       case Variant::kDevice:
         this->arena_->reset();

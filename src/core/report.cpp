@@ -14,6 +14,10 @@ void print_result(std::ostream& os, const BenchResult& r) {
   // Non-default scheduling policy only, so default-run output stays
   // byte-identical to earlier releases.
   if (r.sched != Sched::kRows) os << " sched=" << sched_name(r.sched);
+  // Same stability rule for the ISA axis: only a non-default request is
+  // tagged, and the tag shows the tier that actually executed (a forced
+  // avx2 on a host without AVX2+FMA shows isa=scalar).
+  if (r.isa != Isa::kAuto) os << " isa=" << isa_name(r.executed_isa);
   os << ": " << format_double(r.mflops, 1)
      << " MFLOPs (avg " << format_double(r.avg_compute_seconds * 1e3, 3)
      << " ms, p95 " << format_double(r.p95_compute_seconds * 1e3, 3)
@@ -41,6 +45,11 @@ void print_result(std::ostream& os, const BenchResult& r) {
       for (const std::string& rule : r.audit_rules) os << " " << rule;
       os << "]";
     }
+  }
+  // Min-work guard visibility: an ok cell whose parallel request ran the
+  // serial kernel (BenchParams::min_parallel_work).
+  if (r.status == RunStatus::kOk && r.executed_variant != r.variant) {
+    os << " [serial-fallback]";
   }
   // Resilience outcome tags (docs/ROBUSTNESS.md). Clean runs stay
   // untagged so pre-resilience output is reproduced byte-for-byte.
@@ -85,7 +94,8 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
                      "stddev_seconds", "warmup_drift", "outliers",
                      "h2d_bytes",    "d2h_bytes",  "device_peak_bytes",
                      "status",       "error_code", "attempts",
-                     "sched"});
+                     "sched",        "isa",        "executed_isa",
+                     "executed_variant"});
   for (const BenchResult& r : results) {
     csv.add(r.matrix_name)
         .add(r.kernel_name)
@@ -125,7 +135,10 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
         .add(std::string(status_name(r.status)))
         .add(r.error_code)
         .add(static_cast<std::int64_t>(r.attempts))
-        .add(std::string(sched_name(r.sched)));
+        .add(std::string(sched_name(r.sched)))
+        .add(std::string(isa_name(r.isa)))
+        .add(std::string(isa_name(r.executed_isa)))
+        .add(std::string(variant_name(r.executed_variant)));
     csv.end_row();
   }
 }

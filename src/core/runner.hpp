@@ -134,6 +134,9 @@ struct PlanCell {
   /// Work-distribution policy retarget for this cell (Study 3's
   /// rows-vs-nnz comparison sweeps this without reformatting).
   std::optional<Sched> sched;
+  /// Instruction-set tier retarget for this cell (the --isa sweep:
+  /// scalar vs avx2 on one formatted instance).
+  std::optional<Isa> isa;
 };
 
 /// Execute a list of (variant, threads, k, sched) cells against one
@@ -151,6 +154,7 @@ std::vector<BenchResult> run_plan(SpmmBenchmark<V, I>& bench,
     if (cell.threads > 0) bench.set_threads(cell.threads);
     if (cell.k > 0) bench.set_k(cell.k);
     if (cell.sched) bench.set_sched(*cell.sched);
+    if (cell.isa) bench.set_isa(*cell.isa);
     // Cell isolation (see docs/ROBUSTNESS.md): under the continue
     // policy an unsupported variant becomes a `skipped` row and any
     // error that escapes run() becomes a `failed` row, so one bad cell

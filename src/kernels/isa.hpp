@@ -1,0 +1,57 @@
+// Runtime CPU-feature dispatch for the SIMD kernel tiers.
+//
+// The kernels ship two inner-loop implementations: the portable
+// `omp simd` microkernels (kernels/micro.hpp) and an explicit AVX2/FMA
+// tier (kernels/micro_avx2.hpp). Which one runs is decided here, once
+// per kernel invocation, from the requested Isa and the host CPU:
+//
+//   requested | compiled-in | CPU has AVX2+FMA | executes
+//   ----------+-------------+------------------+---------
+//   auto      | yes         | yes              | avx2
+//   auto      | yes         | no               | scalar
+//   auto      | no          | —                | scalar
+//   scalar    | —           | —                | scalar
+//   avx2      | yes         | yes              | avx2
+//   avx2      | yes         | no               | scalar (degrade, no crash)
+//   avx2      | no          | —                | scalar (degrade, no crash)
+//
+// Detection uses __builtin_cpu_supports (GCC/Clang), which reads cpuid
+// once at startup; resolve() is therefore branch-cheap enough to sit on
+// every kernel call.
+#pragma once
+
+#include "support/types.hpp"
+
+// The AVX2 tier is compiled via per-function target attributes, so it
+// needs no global -mavx2 flag — translation units stay runnable on any
+// x86-64, and non-x86 builds fall back to scalar everywhere.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SPMM_ISA_HAS_AVX2_TIER 1
+#else
+#define SPMM_ISA_HAS_AVX2_TIER 0
+#endif
+
+namespace spmm::isa {
+
+/// True when the AVX2/FMA microkernels were compiled into this binary.
+constexpr bool compiled_avx2() { return SPMM_ISA_HAS_AVX2_TIER != 0; }
+
+/// Runtime probe: does this CPU execute AVX2 and FMA3?
+inline bool cpu_has_avx2_fma() {
+#if SPMM_ISA_HAS_AVX2_TIER
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+/// Collapse a requested tier to the one that will actually execute
+/// (kScalar or kAvx2 — never kAuto).
+inline Isa resolve(Isa requested) {
+  if (requested == Isa::kScalar) return Isa::kScalar;
+  return (compiled_avx2() && cpu_has_avx2_fma()) ? Isa::kAvx2 : Isa::kScalar;
+}
+
+}  // namespace spmm::isa

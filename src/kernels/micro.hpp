@@ -26,6 +26,18 @@ namespace spmm::micro {
 inline constexpr int kTile = 8;
 inline constexpr int kHalfTile = 4;
 
+/// Cache-block extents for the 2D (rows × k) tiling the row-structured
+/// kernels apply once k exceeds kColBlock: a kRowBlock×kColBlock C tile
+/// (128·64 doubles = 64 KiB) plus the gathered B columns stay resident
+/// while every nonzero of the row block is visited exactly once per
+/// k-tile. Each C element lives in exactly one k-tile and its row's
+/// nonzeros are walked in order within it, so tiling never reorders any
+/// element's accumulation — the scalar tier stays bit-identical to the
+/// untiled serial kernel. k ≤ kColBlock (every benchmark default) takes
+/// the untiled path unchanged.
+inline constexpr std::int64_t kRowBlock = 128;
+inline constexpr usize kColBlock = 64;
+
 /// c[0..k) += v * b[0..k). KT=8 tiles, then one KT=4 tile, then a
 /// scalar tail for ragged k.
 template <ValueType V>

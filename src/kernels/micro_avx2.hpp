@@ -1,0 +1,336 @@
+// spmm::micro — explicit AVX2/FMA tier of the shared execution layer.
+//
+// The portable microkernels (micro.hpp) hand the compiler the shape and
+// the aliasing proof and hope it vectorizes; this tier writes the
+// 256-bit lanes out as intrinsics (`_mm256_fmadd_pd/ps`), so the hot
+// loops are wide-SIMD regardless of the baseline the binary was built
+// for. Each function carries `target("avx2,fma")` — no global -mavx2
+// flag, the same binary runs on pre-AVX2 hosts and simply never enters
+// these functions (kernels/isa.hpp gates every call behind cpuid).
+//
+// Numerics: lane tiling over j keeps each C element's accumulation in
+// nonzero order, exactly like the scalar tier — but FMA fuses the
+// multiply-add rounding step, so results are *not* bit-identical to
+// scalar; they agree within the pinned tolerance tests/test_isa.cpp
+// enforces. Ragged tails fall to plain scalar ops.
+//
+// The MicroScalar / MicroAvx2 policy structs at the bottom are the
+// compile-time seam the kernels template their row bodies over: one
+// body, two instantiations, runtime-selected via isa::resolve().
+#pragma once
+
+#include "kernels/isa.hpp"
+#include "kernels/micro.hpp"
+#include "support/types.hpp"
+
+#if SPMM_ISA_HAS_AVX2_TIER
+#include <immintrin.h>
+#endif
+
+namespace spmm::micro {
+
+#if SPMM_ISA_HAS_AVX2_TIER
+
+/// c[0..k) += v * b[0..k), 8 doubles (two 256-bit FMAs) per step, then
+/// one 4-wide step, then a scalar tail.
+__attribute__((target("avx2,fma"))) inline void axpy_row_avx2(
+    double* __restrict__ c, const double* __restrict__ b, double v, usize k) {
+  const __m256d vv = _mm256_set1_pd(v);
+  usize j = 0;
+  for (; j + 8 <= k; j += 8) {
+    _mm256_storeu_pd(
+        c + j, _mm256_fmadd_pd(vv, _mm256_loadu_pd(b + j),
+                               _mm256_loadu_pd(c + j)));
+    _mm256_storeu_pd(
+        c + j + 4, _mm256_fmadd_pd(vv, _mm256_loadu_pd(b + j + 4),
+                                   _mm256_loadu_pd(c + j + 4)));
+  }
+  if (j + 4 <= k) {
+    _mm256_storeu_pd(
+        c + j, _mm256_fmadd_pd(vv, _mm256_loadu_pd(b + j),
+                               _mm256_loadu_pd(c + j)));
+    j += 4;
+  }
+  for (; j < k; ++j) {
+    c[j] += v * b[j];
+  }
+}
+
+/// Float flavour: 16 lanes (two 256-bit FMAs), then 8, then the tail.
+__attribute__((target("avx2,fma"))) inline void axpy_row_avx2(
+    float* __restrict__ c, const float* __restrict__ b, float v, usize k) {
+  const __m256 vv = _mm256_set1_ps(v);
+  usize j = 0;
+  for (; j + 16 <= k; j += 16) {
+    _mm256_storeu_ps(
+        c + j, _mm256_fmadd_ps(vv, _mm256_loadu_ps(b + j),
+                               _mm256_loadu_ps(c + j)));
+    _mm256_storeu_ps(
+        c + j + 8, _mm256_fmadd_ps(vv, _mm256_loadu_ps(b + j + 8),
+                                   _mm256_loadu_ps(c + j + 8)));
+  }
+  if (j + 8 <= k) {
+    _mm256_storeu_ps(
+        c + j, _mm256_fmadd_ps(vv, _mm256_loadu_ps(b + j),
+                               _mm256_loadu_ps(c + j)));
+    j += 8;
+  }
+  for (; j < k; ++j) {
+    c[j] += v * b[j];
+  }
+}
+
+/// Whole-row CSR body, AVX2: the C row block stays resident in ymm
+/// accumulators across ALL nonzeros of the row, so per nonzero only the
+/// B row is loaded — no C load/store traffic inside the nnz loop. This
+/// is the part an auto-vectorizer cannot do from the per-nonzero axpy
+/// shape (it would have to hoist C across the i-loop), and it is where
+/// the explicit tier actually beats `omp simd` under -march=native.
+/// Accumulation per C element still runs in ascending nonzero order —
+/// only the FMA rounding differs from the scalar tier.
+/// Columns [j0, j0+jn) of the row are processed; `bstride` is B's row
+/// stride (= full k, also when a k-tile narrows jn).
+template <IndexType I>
+__attribute__((target("avx2,fma"))) inline void csr_row_avx2(
+    const I* __restrict__ cols, const double* __restrict__ vals, I begin,
+    I end, const double* __restrict__ b, usize bstride, usize j0, usize jn,
+    double* __restrict__ crow) {
+  usize j = 0;
+  for (; j + 32 <= jn; j += 32) {  // 8 resident accumulators
+    double* __restrict__ cj = crow + j;
+    __m256d a0 = _mm256_loadu_pd(cj);
+    __m256d a1 = _mm256_loadu_pd(cj + 4);
+    __m256d a2 = _mm256_loadu_pd(cj + 8);
+    __m256d a3 = _mm256_loadu_pd(cj + 12);
+    __m256d a4 = _mm256_loadu_pd(cj + 16);
+    __m256d a5 = _mm256_loadu_pd(cj + 20);
+    __m256d a6 = _mm256_loadu_pd(cj + 24);
+    __m256d a7 = _mm256_loadu_pd(cj + 28);
+    for (I i = begin; i < end; ++i) {
+      const double* __restrict__ brow =
+          b + static_cast<usize>(cols[i]) * bstride + j0 + j;
+      const __m256d vv = _mm256_set1_pd(vals[i]);
+      a0 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow), a0);
+      a1 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 4), a1);
+      a2 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 8), a2);
+      a3 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 12), a3);
+      a4 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 16), a4);
+      a5 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 20), a5);
+      a6 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 24), a6);
+      a7 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 28), a7);
+    }
+    _mm256_storeu_pd(cj, a0);
+    _mm256_storeu_pd(cj + 4, a1);
+    _mm256_storeu_pd(cj + 8, a2);
+    _mm256_storeu_pd(cj + 12, a3);
+    _mm256_storeu_pd(cj + 16, a4);
+    _mm256_storeu_pd(cj + 20, a5);
+    _mm256_storeu_pd(cj + 24, a6);
+    _mm256_storeu_pd(cj + 28, a7);
+  }
+  for (; j + 8 <= jn; j += 8) {
+    double* __restrict__ cj = crow + j;
+    __m256d a0 = _mm256_loadu_pd(cj);
+    __m256d a1 = _mm256_loadu_pd(cj + 4);
+    for (I i = begin; i < end; ++i) {
+      const double* __restrict__ brow =
+          b + static_cast<usize>(cols[i]) * bstride + j0 + j;
+      const __m256d vv = _mm256_set1_pd(vals[i]);
+      a0 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow), a0);
+      a1 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(brow + 4), a1);
+    }
+    _mm256_storeu_pd(cj, a0);
+    _mm256_storeu_pd(cj + 4, a1);
+  }
+  if (j + 4 <= jn) {
+    __m256d a0 = _mm256_loadu_pd(crow + j);
+    for (I i = begin; i < end; ++i) {
+      a0 = _mm256_fmadd_pd(
+          _mm256_set1_pd(vals[i]),
+          _mm256_loadu_pd(b + static_cast<usize>(cols[i]) * bstride + j0 + j),
+          a0);
+    }
+    _mm256_storeu_pd(crow + j, a0);
+    j += 4;
+  }
+  for (; j < jn; ++j) {
+    double acc = crow[j];
+    for (I i = begin; i < end; ++i) {
+      acc += vals[i] * b[static_cast<usize>(cols[i]) * bstride + j0 + j];
+    }
+    crow[j] = acc;
+  }
+}
+
+/// Float flavour: 32 columns = four 256-bit accumulators.
+template <IndexType I>
+__attribute__((target("avx2,fma"))) inline void csr_row_avx2(
+    const I* __restrict__ cols, const float* __restrict__ vals, I begin,
+    I end, const float* __restrict__ b, usize bstride, usize j0, usize jn,
+    float* __restrict__ crow) {
+  usize j = 0;
+  for (; j + 32 <= jn; j += 32) {
+    float* __restrict__ cj = crow + j;
+    __m256 a0 = _mm256_loadu_ps(cj);
+    __m256 a1 = _mm256_loadu_ps(cj + 8);
+    __m256 a2 = _mm256_loadu_ps(cj + 16);
+    __m256 a3 = _mm256_loadu_ps(cj + 24);
+    for (I i = begin; i < end; ++i) {
+      const float* __restrict__ brow =
+          b + static_cast<usize>(cols[i]) * bstride + j0 + j;
+      const __m256 vv = _mm256_set1_ps(vals[i]);
+      a0 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(brow), a0);
+      a1 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(brow + 8), a1);
+      a2 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(brow + 16), a2);
+      a3 = _mm256_fmadd_ps(vv, _mm256_loadu_ps(brow + 24), a3);
+    }
+    _mm256_storeu_ps(cj, a0);
+    _mm256_storeu_ps(cj + 8, a1);
+    _mm256_storeu_ps(cj + 16, a2);
+    _mm256_storeu_ps(cj + 24, a3);
+  }
+  for (; j + 8 <= jn; j += 8) {
+    __m256 a0 = _mm256_loadu_ps(crow + j);
+    for (I i = begin; i < end; ++i) {
+      a0 = _mm256_fmadd_ps(
+          _mm256_set1_ps(vals[i]),
+          _mm256_loadu_ps(b + static_cast<usize>(cols[i]) * bstride + j0 + j),
+          a0);
+    }
+    _mm256_storeu_ps(crow + j, a0);
+  }
+  for (; j < jn; ++j) {
+    float acc = crow[j];
+    for (I i = begin; i < end; ++i) {
+      acc += vals[i] * b[static_cast<usize>(cols[i]) * bstride + j0 + j];
+    }
+    crow[j] = acc;
+  }
+}
+
+/// Transpose-B dot-product row, AVX2: four output columns share one
+/// 256-bit accumulator; per nonzero the four strided Bᵀ loads are packed
+/// into a lane vector and folded with a single FMA. Accumulation over i
+/// stays in nonzero order per element.
+template <IndexType I>
+__attribute__((target("avx2,fma"))) inline void dot_row_transpose_avx2(
+    const I* __restrict__ cols, const double* __restrict__ vals, I begin,
+    I end, const double* __restrict__ bt, usize n, usize k,
+    double* __restrict__ crow) {
+  usize j = 0;
+  for (; j + 4 <= k; j += 4) {
+    const double* __restrict__ b0 = bt + j * n;
+    const double* __restrict__ b1 = b0 + n;
+    const double* __restrict__ b2 = b1 + n;
+    const double* __restrict__ b3 = b2 + n;
+    __m256d acc = _mm256_setzero_pd();
+    for (I i = begin; i < end; ++i) {
+      const usize col = static_cast<usize>(cols[i]);
+      const __m256d bv = _mm256_set_pd(b3[col], b2[col], b1[col], b0[col]);
+      acc = _mm256_fmadd_pd(_mm256_set1_pd(vals[i]), bv, acc);
+    }
+    _mm256_storeu_pd(crow + j, acc);
+  }
+  for (; j < k; ++j) {
+    const double* __restrict__ bj = bt + j * n;
+    double sum = 0.0;
+    for (I i = begin; i < end; ++i) {
+      sum += vals[i] * bj[static_cast<usize>(cols[i])];
+    }
+    crow[j] = sum;
+  }
+}
+
+/// Float flavour: four columns per 128-bit FMA accumulator (the strided
+/// pack dominates, so wider lanes would not pay here).
+template <IndexType I>
+__attribute__((target("avx2,fma"))) inline void dot_row_transpose_avx2(
+    const I* __restrict__ cols, const float* __restrict__ vals, I begin,
+    I end, const float* __restrict__ bt, usize n, usize k,
+    float* __restrict__ crow) {
+  usize j = 0;
+  for (; j + 4 <= k; j += 4) {
+    const float* __restrict__ b0 = bt + j * n;
+    const float* __restrict__ b1 = b0 + n;
+    const float* __restrict__ b2 = b1 + n;
+    const float* __restrict__ b3 = b2 + n;
+    __m128 acc = _mm_setzero_ps();
+    for (I i = begin; i < end; ++i) {
+      const usize col = static_cast<usize>(cols[i]);
+      const __m128 bv = _mm_set_ps(b3[col], b2[col], b1[col], b0[col]);
+      acc = _mm_fmadd_ps(_mm_set1_ps(vals[i]), bv, acc);
+    }
+    _mm_storeu_ps(crow + j, acc);
+  }
+  for (; j < k; ++j) {
+    const float* __restrict__ bj = bt + j * n;
+    float sum = 0.0F;
+    for (I i = begin; i < end; ++i) {
+      sum += vals[i] * bj[static_cast<usize>(cols[i])];
+    }
+    crow[j] = sum;
+  }
+}
+
+#endif  // SPMM_ISA_HAS_AVX2_TIER
+
+/// Portable tier: forwards to the `omp simd` microkernels. `row` is the
+/// historical per-nonzero axpy sweep — the exact accumulation order the
+/// bit-identity tests pin.
+struct MicroScalar {
+  template <ValueType V>
+  static void axpy(V* __restrict__ c, const V* __restrict__ b, V v, usize k) {
+    axpy_row(c, b, v, k);
+  }
+  template <ValueType V, IndexType I>
+  static void dot(const I* __restrict__ cols, const V* __restrict__ vals,
+                  I begin, I end, const V* __restrict__ bt, usize n, usize k,
+                  V* __restrict__ crow) {
+    dot_row_transpose(cols, vals, begin, end, bt, n, k, crow);
+  }
+  template <ValueType V, IndexType I>
+  static void row(const I* __restrict__ cols, const V* __restrict__ vals,
+                  I begin, I end, const V* __restrict__ b, usize bstride,
+                  usize j0, usize jn, V* __restrict__ crow) {
+    for (I i = begin; i < end; ++i) {
+      axpy_row(crow, b + static_cast<usize>(cols[i]) * bstride + j0, vals[i],
+               jn);
+    }
+  }
+};
+
+/// AVX2/FMA tier. On builds without the tier this aliases the scalar
+/// path so kernel instantiations stay well-formed; isa::resolve() never
+/// selects it there.
+struct MicroAvx2 {
+  template <ValueType V>
+  static void axpy(V* __restrict__ c, const V* __restrict__ b, V v, usize k) {
+#if SPMM_ISA_HAS_AVX2_TIER
+    axpy_row_avx2(c, b, v, k);
+#else
+    axpy_row(c, b, v, k);
+#endif
+  }
+  template <ValueType V, IndexType I>
+  static void dot(const I* __restrict__ cols, const V* __restrict__ vals,
+                  I begin, I end, const V* __restrict__ bt, usize n, usize k,
+                  V* __restrict__ crow) {
+#if SPMM_ISA_HAS_AVX2_TIER
+    dot_row_transpose_avx2(cols, vals, begin, end, bt, n, k, crow);
+#else
+    dot_row_transpose(cols, vals, begin, end, bt, n, k, crow);
+#endif
+  }
+  template <ValueType V, IndexType I>
+  static void row(const I* __restrict__ cols, const V* __restrict__ vals,
+                  I begin, I end, const V* __restrict__ b, usize bstride,
+                  usize j0, usize jn, V* __restrict__ crow) {
+#if SPMM_ISA_HAS_AVX2_TIER
+    csr_row_avx2(cols, vals, begin, end, b, bstride, j0, jn, crow);
+#else
+    MicroScalar::row(cols, vals, begin, end, b, bstride, j0, jn, crow);
+#endif
+  }
+};
+
+}  // namespace spmm::micro

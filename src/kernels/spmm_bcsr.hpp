@@ -129,11 +129,19 @@ void spmm_bcsr_serial(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
   }
 }
 
-/// Parallel BCSR SpMM over block rows. Sched::kRows keeps the
-/// historical schedule(dynamic, 16); Sched::kNnz uses a precomputed
-/// stored-block-balanced partition of the block-row space
-/// (block_row_ptr is the per-block-row prefix of stored blocks — each
-/// block is bs² work, so block count is the right weight).
+/// Parallel BCSR SpMM over block rows. Both policies hand each thread
+/// one precomputed contiguous block-row range — the hot path carries no
+/// per-chunk dynamic dispatch and no atomics (the only atomic in this
+/// file lives in the spmm_bcsr_parallel_inner counter-example below):
+///   Sched::kRows  even split of the block-row space (the historical
+///                 schedule(dynamic, 16) dispatched chunks on every
+///                 invocation, which is pure overhead at block-row
+///                 counts this small — it lost to serial on both
+///                 BENCH_kernels.json profiles);
+///   Sched::kNnz   partition_rows_balanced over block_row_ptr
+///                 (the per-block-row prefix of stored blocks — each
+///                 block is bs² work, so block count is the right
+///                 weight).
 template <ValueType V, IndexType I>
 void spmm_bcsr_parallel(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c,
                         int threads, Sched sched = Sched::kRows,
@@ -177,9 +185,11 @@ void spmm_bcsr_parallel(const Bcsr<V, I>& a, const Dense<V>& b, Dense<V>& c,
     }
     return;
   }
-#pragma omp parallel for num_threads(threads) schedule(dynamic, 16)
-  for (std::int64_t brow = 0; brow < brows; ++brow) {
-    brow_range(brow, brow + 1);
+  const sched::RowPartition even = sched::partition_rows_even(brows, threads);
+  const std::int64_t* bounds = even.bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    brow_range(bounds[t], bounds[t + 1]);
   }
 }
 
@@ -367,9 +377,11 @@ void spmm_bcsr_parallel_transpose(const Bcsr<V, I>& a, const Dense<V>& bt,
     }
     return;
   }
-#pragma omp parallel for num_threads(threads) schedule(dynamic, 16)
-  for (std::int64_t brow = 0; brow < brows; ++brow) {
-    brow_range(brow, brow + 1);
+  const sched::RowPartition even = sched::partition_rows_even(brows, threads);
+  const std::int64_t* bounds = even.bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (int t = 0; t < threads; ++t) {
+    brow_range(bounds[t], bounds[t + 1]);
   }
 }
 

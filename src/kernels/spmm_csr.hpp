@@ -1,20 +1,31 @@
 // CSR SpMM kernels: serial, OpenMP-parallel, device, and transpose-B
-// variants. Inner k-loops run the shared k-tile SIMD microkernels
-// (kernels/micro.hpp). The parallel kernels expose the Sched axis:
+// variants. Inner k-loops run the shared SIMD microkernels through a
+// compile-time Micro policy — micro::MicroScalar (`omp simd`, portable)
+// or micro::MicroAvx2 (explicit `_mm256_fmadd` tier) — selected once
+// per invocation from the Isa argument via isa::resolve(). The parallel
+// kernels expose the Sched axis:
 //   Sched::kRows  schedule(dynamic, 64) over row indices — the
 //                 historical schedule, repairing imbalance at per-chunk
 //                 dispatch cost on every invocation;
 //   Sched::kNnz   a precomputed nnz-balanced row partition
 //                 (kernels/sched.hpp), one static contiguous range per
 //                 thread — zero runtime scheduling, bounded imbalance.
-// Both are bit-identical to the serial kernel (row-aligned ranges, same
-// per-element accumulation order). The other formats' schedules are
-// tabulated in docs/KERNELS.md.
+// Row bodies tile (rows × k) in micro::kRowBlock × micro::kColBlock
+// cache blocks when k > kColBlock. Under Isa::kScalar both schedules
+// and the tiling are bit-identical to the serial kernel (row-aligned
+// ranges, per-element accumulation order preserved); the AVX2 tier's
+// FMA contraction changes rounding and is covered by pinned-tolerance
+// tests instead. The other formats' schedules are tabulated in
+// docs/KERNELS.md.
 #pragma once
+
+#include <algorithm>
 
 #include "devsim/device.hpp"
 #include "formats/csr.hpp"
+#include "kernels/isa.hpp"
 #include "kernels/micro.hpp"
+#include "kernels/micro_avx2.hpp"
 #include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
@@ -22,23 +33,37 @@ namespace spmm {
 
 namespace detail {
 
-/// Shared row-range body of the serial and parallel CSR kernels.
-template <ValueType V, IndexType I>
+/// Shared row-range body of the serial and parallel CSR kernels,
+/// templated on the microkernel tier. k ≤ kColBlock runs untiled; wider
+/// operands run the 2D (rows × k) cache blocking.
+template <class Micro, ValueType V, IndexType I>
 inline void csr_rows_ktile(const I* __restrict__ row_ptr,
                            const I* __restrict__ cols,
                            const V* __restrict__ vals,
                            const V* __restrict__ bp, V* __restrict__ cp,
                            usize k, std::int64_t row_begin,
                            std::int64_t row_end) {
-  for (std::int64_t r = row_begin; r < row_end; ++r) {
-    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
-    for (I i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
-      micro::axpy_row(crow, bp + static_cast<usize>(cols[i]) * k, vals[i], k);
+  if (k <= micro::kColBlock) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      Micro::row(cols, vals, row_ptr[r], row_ptr[r + 1], bp, k, usize{0}, k,
+                 cp + static_cast<usize>(r) * k);
+    }
+    return;
+  }
+  for (std::int64_t r0 = row_begin; r0 < row_end; r0 += micro::kRowBlock) {
+    const std::int64_t r1 = std::min<std::int64_t>(row_end,
+                                                   r0 + micro::kRowBlock);
+    for (usize j0 = 0; j0 < k; j0 += micro::kColBlock) {
+      const usize jn = std::min(k, j0 + micro::kColBlock) - j0;
+      for (std::int64_t r = r0; r < r1; ++r) {
+        Micro::row(cols, vals, row_ptr[r], row_ptr[r + 1], bp, k, j0, jn,
+                   cp + static_cast<usize>(r) * k + j0);
+      }
     }
   }
 }
 
-template <ValueType V, IndexType I>
+template <class Micro, ValueType V, IndexType I>
 inline void csr_rows_ktile_transpose(const I* __restrict__ row_ptr,
                                      const I* __restrict__ cols,
                                      const V* __restrict__ vals,
@@ -46,32 +71,33 @@ inline void csr_rows_ktile_transpose(const I* __restrict__ row_ptr,
                                      V* __restrict__ cp, usize k, usize n,
                                      std::int64_t row_begin,
                                      std::int64_t row_end) {
-  for (std::int64_t r = row_begin; r < row_end; ++r) {
-    micro::dot_row_transpose(cols, vals, row_ptr[r], row_ptr[r + 1], bp, n,
-                             k, cp + static_cast<usize>(r) * k);
+  if (k <= micro::kColBlock) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      Micro::dot(cols, vals, row_ptr[r], row_ptr[r + 1], bp, n, k,
+                 cp + static_cast<usize>(r) * k);
+    }
+    return;
+  }
+  // Bᵀ rows j0..j0+jn stay resident while the row block's dot products
+  // run; each output element is written (not accumulated) by exactly
+  // one k-tile, so tiling is exact here under every tier.
+  for (std::int64_t r0 = row_begin; r0 < row_end; r0 += micro::kRowBlock) {
+    const std::int64_t r1 = std::min<std::int64_t>(row_end,
+                                                   r0 + micro::kRowBlock);
+    for (usize j0 = 0; j0 < k; j0 += micro::kColBlock) {
+      const usize jn = std::min(k, j0 + micro::kColBlock) - j0;
+      for (std::int64_t r = r0; r < r1; ++r) {
+        Micro::dot(cols, vals, row_ptr[r], row_ptr[r + 1], bp + j0 * n, n,
+                   jn, cp + static_cast<usize>(r) * k + j0);
+      }
+    }
   }
 }
 
-}  // namespace detail
-
-template <ValueType V, IndexType I>
-void spmm_csr_serial(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  c.fill(V{0});
-  detail::csr_rows_ktile(a.row_ptr().data(), a.col_idx().data(),
-                         a.values().data(), b.data(), c.data(), b.cols(), 0,
-                         a.rows());
-}
-
-/// Parallel CSR SpMM. Under Sched::kNnz a caller-supplied cached
-/// `partition` (format-once lifecycle) is used when it matches this
-/// matrix and thread count; otherwise a local one is computed.
-template <ValueType V, IndexType I>
-void spmm_csr_parallel(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                       int threads, Sched sched = Sched::kRows,
-                       const sched::RowPartition* partition = nullptr) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  SPMM_CHECK(threads > 0, "thread count must be positive");
+template <class Micro, ValueType V, IndexType I>
+void spmm_csr_parallel_impl(const Csr<V, I>& a, const Dense<V>& b,
+                            Dense<V>& c, int threads, Sched sched,
+                            const sched::RowPartition* partition) {
   c.fill(V{0});
   const usize k = b.cols();
   const I* row_ptr = a.row_ptr().data();
@@ -89,14 +115,88 @@ void spmm_csr_parallel(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
     const std::int64_t* bounds = partition->bounds.data();
 #pragma omp parallel for num_threads(threads) schedule(static)
     for (int t = 0; t < threads; ++t) {
-      detail::csr_rows_ktile(row_ptr, cols, vals, bp, cp, k, bounds[t],
-                             bounds[t + 1]);
+      csr_rows_ktile<Micro>(row_ptr, cols, vals, bp, cp, k, bounds[t],
+                            bounds[t + 1]);
     }
     return;
   }
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
   for (std::int64_t r = 0; r < rows; ++r) {
-    detail::csr_rows_ktile(row_ptr, cols, vals, bp, cp, k, r, r + 1);
+    csr_rows_ktile<Micro>(row_ptr, cols, vals, bp, cp, k, r, r + 1);
+  }
+}
+
+template <class Micro, ValueType V, IndexType I>
+void spmm_csr_parallel_transpose_impl(const Csr<V, I>& a, const Dense<V>& bt,
+                                      Dense<V>& c, int threads, Sched sched,
+                                      const sched::RowPartition* partition) {
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const I* row_ptr = a.row_ptr().data();
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+  if (sched == Sched::kNnz) {
+    sched::RowPartition local;
+    if (!sched::partition_matches(partition, rows, threads)) {
+      local = sched::partition_rows_balanced(a.row_ptr(), threads);
+      partition = &local;
+    }
+    const std::int64_t* bounds = partition->bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      csr_rows_ktile_transpose<Micro>(row_ptr, cols, vals, bp, cp, k, n,
+                                      bounds[t], bounds[t + 1]);
+    }
+    return;
+  }
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    csr_rows_ktile_transpose<Micro>(row_ptr, cols, vals, bp, cp, k, n, r,
+                                    r + 1);
+  }
+}
+
+}  // namespace detail
+
+/// Serial CSR SpMM. `isa` defaults to the scalar tier so existing call
+/// sites (and the bit-identity tests) are unaffected; the benchmark
+/// layer resolves Isa::kAuto and passes a concrete tier down.
+template <ValueType V, IndexType I>
+void spmm_csr_serial(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                     Isa isa = Isa::kScalar) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::csr_rows_ktile<micro::MicroAvx2>(
+        a.row_ptr().data(), a.col_idx().data(), a.values().data(), b.data(),
+        c.data(), b.cols(), 0, a.rows());
+  } else {
+    detail::csr_rows_ktile<micro::MicroScalar>(
+        a.row_ptr().data(), a.col_idx().data(), a.values().data(), b.data(),
+        c.data(), b.cols(), 0, a.rows());
+  }
+}
+
+/// Parallel CSR SpMM. Under Sched::kNnz a caller-supplied cached
+/// `partition` (format-once lifecycle) is used when it matches this
+/// matrix and thread count; otherwise a local one is computed.
+template <ValueType V, IndexType I>
+void spmm_csr_parallel(const Csr<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                       int threads, Sched sched = Sched::kRows,
+                       const sched::RowPartition* partition = nullptr,
+                       Isa isa = Isa::kScalar) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::spmm_csr_parallel_impl<micro::MicroAvx2>(a, b, c, threads, sched,
+                                                     partition);
+  } else {
+    detail::spmm_csr_parallel_impl<micro::MicroScalar>(a, b, c, threads,
+                                                       sched, partition);
   }
 }
 
@@ -144,7 +244,7 @@ void spmm_csr_device(dev::DeviceArena& arena, const Csr<V, I>& a,
 
 template <ValueType V, IndexType I>
 void spmm_csr_serial_transpose(const Csr<V, I>& a, const Dense<V>& bt,
-                               Dense<V>& c) {
+                               Dense<V>& c, Isa isa = Isa::kScalar) {
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   c.fill(V{0});
   const usize k = bt.rows();
@@ -152,9 +252,15 @@ void spmm_csr_serial_transpose(const Csr<V, I>& a, const Dense<V>& bt,
   // Loop order j-then-i (inside the microkernel): each output element
   // accumulates a full dot product over the row against one Bᵀ row — the
   // dense-multiply access pattern the paper's Study 8 discusses.
-  detail::csr_rows_ktile_transpose(a.row_ptr().data(), a.col_idx().data(),
-                                   a.values().data(), bt.data(), c.data(), k,
-                                   n, 0, a.rows());
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::csr_rows_ktile_transpose<micro::MicroAvx2>(
+        a.row_ptr().data(), a.col_idx().data(), a.values().data(), bt.data(),
+        c.data(), k, n, 0, a.rows());
+  } else {
+    detail::csr_rows_ktile_transpose<micro::MicroScalar>(
+        a.row_ptr().data(), a.col_idx().data(), a.values().data(), bt.data(),
+        c.data(), k, n, 0, a.rows());
+  }
 }
 
 template <ValueType V, IndexType I>
@@ -162,36 +268,16 @@ void spmm_csr_parallel_transpose(const Csr<V, I>& a, const Dense<V>& bt,
                                  Dense<V>& c, int threads,
                                  Sched sched = Sched::kRows,
                                  const sched::RowPartition* partition =
-                                     nullptr) {
+                                     nullptr,
+                                 Isa isa = Isa::kScalar) {
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
-  c.fill(V{0});
-  const usize k = bt.rows();
-  const usize n = bt.cols();
-  const I* row_ptr = a.row_ptr().data();
-  const I* cols = a.col_idx().data();
-  const V* vals = a.values().data();
-  const V* bp = bt.data();
-  V* cp = c.data();
-  const std::int64_t rows = a.rows();
-  if (sched == Sched::kNnz) {
-    sched::RowPartition local;
-    if (!sched::partition_matches(partition, rows, threads)) {
-      local = sched::partition_rows_balanced(a.row_ptr(), threads);
-      partition = &local;
-    }
-    const std::int64_t* bounds = partition->bounds.data();
-#pragma omp parallel for num_threads(threads) schedule(static)
-    for (int t = 0; t < threads; ++t) {
-      detail::csr_rows_ktile_transpose(row_ptr, cols, vals, bp, cp, k, n,
-                                       bounds[t], bounds[t + 1]);
-    }
-    return;
-  }
-#pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
-  for (std::int64_t r = 0; r < rows; ++r) {
-    detail::csr_rows_ktile_transpose(row_ptr, cols, vals, bp, cp, k, n, r,
-                                     r + 1);
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::spmm_csr_parallel_transpose_impl<micro::MicroAvx2>(
+        a, bt, c, threads, sched, partition);
+  } else {
+    detail::spmm_csr_parallel_transpose_impl<micro::MicroScalar>(
+        a, bt, c, threads, sched, partition);
   }
 }
 

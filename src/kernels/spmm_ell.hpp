@@ -1,12 +1,19 @@
 // ELLPACK SpMM kernels. The fixed per-row trip count (width) is what
 // makes ELL "simple and easily vectorizable" (paper §2.2) — and what
 // makes it degrade when one heavy row inflates the width: every kernel
-// here does width×k work per row regardless of real nonzeros.
+// here does width×k work per row regardless of real nonzeros. Inner
+// loops run through the Micro policy tier (scalar `omp simd` or
+// explicit AVX2/FMA, kernels/micro_avx2.hpp) selected by the Isa
+// argument, with (rows × k) cache blocking once k > micro::kColBlock.
 #pragma once
+
+#include <algorithm>
 
 #include "devsim/device.hpp"
 #include "formats/ell.hpp"
+#include "kernels/isa.hpp"
 #include "kernels/micro.hpp"
+#include "kernels/micro_avx2.hpp"
 #include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
@@ -14,44 +21,78 @@ namespace spmm {
 
 namespace detail {
 
-/// Shared row-range body of the serial and parallel ELL kernels.
-template <ValueType V, IndexType I>
+/// Shared row-range body of the serial and parallel ELL kernels,
+/// templated on the microkernel tier.
+template <class Micro, ValueType V, IndexType I>
 inline void ell_rows_ktile(const I* __restrict__ cols,
                            const V* __restrict__ vals,
                            const V* __restrict__ bp, V* __restrict__ cp,
                            usize width, usize k, std::int64_t row_begin,
                            std::int64_t row_end) {
-  for (std::int64_t r = row_begin; r < row_end; ++r) {
-    const usize base = static_cast<usize>(r) * width;
-    V* __restrict__ crow = cp + static_cast<usize>(r) * k;
-    for (usize s = 0; s < width; ++s) {
-      micro::axpy_row(crow, bp + static_cast<usize>(cols[base + s]) * k,
-                      vals[base + s], k);
+  if (k <= micro::kColBlock) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      const usize base = static_cast<usize>(r) * width;
+      V* __restrict__ crow = cp + static_cast<usize>(r) * k;
+      for (usize s = 0; s < width; ++s) {
+        Micro::axpy(crow, bp + static_cast<usize>(cols[base + s]) * k,
+                    vals[base + s], k);
+      }
+    }
+    return;
+  }
+  for (std::int64_t r0 = row_begin; r0 < row_end; r0 += micro::kRowBlock) {
+    const std::int64_t r1 = std::min<std::int64_t>(row_end,
+                                                   r0 + micro::kRowBlock);
+    for (usize j0 = 0; j0 < k; j0 += micro::kColBlock) {
+      const usize jn = std::min(k, j0 + micro::kColBlock) - j0;
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const usize base = static_cast<usize>(r) * width;
+        V* __restrict__ crow = cp + static_cast<usize>(r) * k + j0;
+        for (usize s = 0; s < width; ++s) {
+          Micro::axpy(crow,
+                      bp + static_cast<usize>(cols[base + s]) * k + j0,
+                      vals[base + s], jn);
+        }
+      }
     }
   }
 }
 
-}  // namespace detail
-
-template <ValueType V, IndexType I>
-void spmm_ell_serial(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  c.fill(V{0});
-  detail::ell_rows_ktile(a.col_idx().data(), a.values().data(), b.data(),
-                         c.data(), static_cast<usize>(a.width()), b.cols(),
-                         0, a.rows());
+/// Shared transpose-B row-range body: each row's slots are contiguous
+/// (base..base+width), so the dot microkernel applies directly; k-tiles
+/// write disjoint output slices, so the blocking is exact.
+template <class Micro, ValueType V, IndexType I>
+inline void ell_rows_ktile_transpose(const I* __restrict__ cols,
+                                     const V* __restrict__ vals,
+                                     const V* __restrict__ bp,
+                                     V* __restrict__ cp, usize width, usize k,
+                                     usize n, std::int64_t row_begin,
+                                     std::int64_t row_end) {
+  if (k <= micro::kColBlock) {
+    for (std::int64_t r = row_begin; r < row_end; ++r) {
+      const usize base = static_cast<usize>(r) * width;
+      Micro::dot(cols + base, vals + base, I{0}, static_cast<I>(width), bp,
+                 n, k, cp + static_cast<usize>(r) * k);
+    }
+    return;
+  }
+  for (std::int64_t r0 = row_begin; r0 < row_end; r0 += micro::kRowBlock) {
+    const std::int64_t r1 = std::min<std::int64_t>(row_end,
+                                                   r0 + micro::kRowBlock);
+    for (usize j0 = 0; j0 < k; j0 += micro::kColBlock) {
+      const usize jn = std::min(k, j0 + micro::kColBlock) - j0;
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const usize base = static_cast<usize>(r) * width;
+        Micro::dot(cols + base, vals + base, I{0}, static_cast<I>(width),
+                   bp + j0 * n, n, jn, cp + static_cast<usize>(r) * k + j0);
+      }
+    }
+  }
 }
 
-/// Parallel ELL SpMM. Per-row work is the padded width regardless of
-/// real nonzeros, so both Sched policies distribute rows evenly:
-/// kRows via schedule(static), kNnz via an explicit even partition
-/// (the balanced split of the *padded* work — balancing on real nnz
-/// would imbalance it). The axis is wired for sweep uniformity.
-template <ValueType V, IndexType I>
-void spmm_ell_parallel(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                       int threads, Sched sched = Sched::kRows) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  SPMM_CHECK(threads > 0, "thread count must be positive");
+template <class Micro, ValueType V, IndexType I>
+void spmm_ell_parallel_impl(const Ell<V, I>& a, const Dense<V>& b,
+                            Dense<V>& c, int threads, Sched sched) {
   c.fill(V{0});
   const usize k = b.cols();
   const usize width = static_cast<usize>(a.width());
@@ -65,14 +106,80 @@ void spmm_ell_parallel(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
     const std::int64_t* bounds = part.bounds.data();
 #pragma omp parallel for num_threads(threads) schedule(static)
     for (int t = 0; t < threads; ++t) {
-      detail::ell_rows_ktile(cols, vals, bp, cp, width, k, bounds[t],
-                             bounds[t + 1]);
+      ell_rows_ktile<Micro>(cols, vals, bp, cp, width, k, bounds[t],
+                            bounds[t + 1]);
     }
     return;
   }
 #pragma omp parallel for num_threads(threads) schedule(static)
   for (std::int64_t r = 0; r < rows; ++r) {
-    detail::ell_rows_ktile(cols, vals, bp, cp, width, k, r, r + 1);
+    ell_rows_ktile<Micro>(cols, vals, bp, cp, width, k, r, r + 1);
+  }
+}
+
+template <class Micro, ValueType V, IndexType I>
+void spmm_ell_parallel_transpose_impl(const Ell<V, I>& a, const Dense<V>& bt,
+                                      Dense<V>& c, int threads, Sched sched) {
+  c.fill(V{0});
+  const usize k = bt.rows();
+  const usize n = bt.cols();
+  const usize width = static_cast<usize>(a.width());
+  const I* cols = a.col_idx().data();
+  const V* vals = a.values().data();
+  const V* bp = bt.data();
+  V* cp = c.data();
+  const std::int64_t rows = a.rows();
+  if (sched == Sched::kNnz) {
+    const sched::RowPartition part = sched::partition_rows_even(rows, threads);
+    const std::int64_t* bounds = part.bounds.data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (int t = 0; t < threads; ++t) {
+      ell_rows_ktile_transpose<Micro>(cols, vals, bp, cp, width, k, n,
+                                      bounds[t], bounds[t + 1]);
+    }
+    return;
+  }
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    ell_rows_ktile_transpose<Micro>(cols, vals, bp, cp, width, k, n, r,
+                                    r + 1);
+  }
+}
+
+}  // namespace detail
+
+template <ValueType V, IndexType I>
+void spmm_ell_serial(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                     Isa isa = Isa::kScalar) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::ell_rows_ktile<micro::MicroAvx2>(
+        a.col_idx().data(), a.values().data(), b.data(), c.data(),
+        static_cast<usize>(a.width()), b.cols(), 0, a.rows());
+  } else {
+    detail::ell_rows_ktile<micro::MicroScalar>(
+        a.col_idx().data(), a.values().data(), b.data(), c.data(),
+        static_cast<usize>(a.width()), b.cols(), 0, a.rows());
+  }
+}
+
+/// Parallel ELL SpMM. Per-row work is the padded width regardless of
+/// real nonzeros, so both Sched policies distribute rows evenly:
+/// kRows via schedule(static), kNnz via an explicit even partition
+/// (the balanced split of the *padded* work — balancing on real nnz
+/// would imbalance it). The axis is wired for sweep uniformity.
+template <ValueType V, IndexType I>
+void spmm_ell_parallel(const Ell<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                       int threads, Sched sched = Sched::kRows,
+                       Isa isa = Isa::kScalar) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::spmm_ell_parallel_impl<micro::MicroAvx2>(a, b, c, threads, sched);
+  } else {
+    detail::spmm_ell_parallel_impl<micro::MicroScalar>(a, b, c, threads,
+                                                       sched);
   }
 }
 
@@ -117,61 +224,35 @@ void spmm_ell_device(dev::DeviceArena& arena, const Ell<V, I>& a,
 
 template <ValueType V, IndexType I>
 void spmm_ell_serial_transpose(const Ell<V, I>& a, const Dense<V>& bt,
-                               Dense<V>& c) {
+                               Dense<V>& c, Isa isa = Isa::kScalar) {
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   c.fill(V{0});
   const usize k = bt.rows();
   const usize n = bt.cols();
-  const usize width = static_cast<usize>(a.width());
-  const I* cols = a.col_idx().data();
-  const V* vals = a.values().data();
-  const V* bp = bt.data();
-  V* cp = c.data();
-  // Each row's slots are contiguous (base..base+width), so the shared
-  // transpose dot-product microkernel applies directly.
-  for (I r = 0; r < a.rows(); ++r) {
-    const usize base = static_cast<usize>(r) * width;
-    micro::dot_row_transpose(cols + base, vals + base, I{0},
-                             static_cast<I>(width), bp, n, k,
-                             cp + static_cast<usize>(r) * k);
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::ell_rows_ktile_transpose<micro::MicroAvx2>(
+        a.col_idx().data(), a.values().data(), bt.data(), c.data(),
+        static_cast<usize>(a.width()), k, n, 0, a.rows());
+  } else {
+    detail::ell_rows_ktile_transpose<micro::MicroScalar>(
+        a.col_idx().data(), a.values().data(), bt.data(), c.data(),
+        static_cast<usize>(a.width()), k, n, 0, a.rows());
   }
 }
 
 template <ValueType V, IndexType I>
 void spmm_ell_parallel_transpose(const Ell<V, I>& a, const Dense<V>& bt,
                                  Dense<V>& c, int threads,
-                                 Sched sched = Sched::kRows) {
+                                 Sched sched = Sched::kRows,
+                                 Isa isa = Isa::kScalar) {
   check_spmm_shapes_transpose<V>(a.rows(), a.cols(), bt, c);
   SPMM_CHECK(threads > 0, "thread count must be positive");
-  c.fill(V{0});
-  const usize k = bt.rows();
-  const usize n = bt.cols();
-  const usize width = static_cast<usize>(a.width());
-  const I* cols = a.col_idx().data();
-  const V* vals = a.values().data();
-  const V* bp = bt.data();
-  V* cp = c.data();
-  const std::int64_t rows = a.rows();
-  const auto row_range = [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t r = begin; r < end; ++r) {
-      const usize base = static_cast<usize>(r) * width;
-      micro::dot_row_transpose(cols + base, vals + base, I{0},
-                               static_cast<I>(width), bp, n, k,
-                               cp + static_cast<usize>(r) * k);
-    }
-  };
-  if (sched == Sched::kNnz) {
-    const sched::RowPartition part = sched::partition_rows_even(rows, threads);
-    const std::int64_t* bounds = part.bounds.data();
-#pragma omp parallel for num_threads(threads) schedule(static)
-    for (int t = 0; t < threads; ++t) {
-      row_range(bounds[t], bounds[t + 1]);
-    }
-    return;
-  }
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (std::int64_t r = 0; r < rows; ++r) {
-    row_range(r, r + 1);
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::spmm_ell_parallel_transpose_impl<micro::MicroAvx2>(
+        a, bt, c, threads, sched);
+  } else {
+    detail::spmm_ell_parallel_transpose_impl<micro::MicroScalar>(
+        a, bt, c, threads, sched);
   }
 }
 

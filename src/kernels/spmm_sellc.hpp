@@ -1,12 +1,20 @@
 // SELL-C-σ SpMM kernels (future-work direction, paper §6.3.1 / [13]).
 // Chunks are independent; within a chunk the column-major lane layout
 // makes the s-loop's loads contiguous across lanes — the vector-friendly
-// property the format exists for.
+// property the format exists for. Inner loops run through the Micro
+// policy tier (scalar `omp simd` or explicit AVX2/FMA) selected by the
+// Isa argument; when k > micro::kColBlock each chunk is processed in
+// k-tiles so the gathered B columns stay resident (a chunk is already a
+// bounded row block, so no extra row tiling is needed).
 #pragma once
+
+#include <algorithm>
 
 #include "devsim/device.hpp"
 #include "formats/sellc.hpp"
+#include "kernels/isa.hpp"
 #include "kernels/micro.hpp"
+#include "kernels/micro_avx2.hpp"
 #include "kernels/sched.hpp"
 #include "kernels/spmm_common.hpp"
 
@@ -14,7 +22,7 @@ namespace spmm {
 
 namespace detail {
 
-template <ValueType V, IndexType I>
+template <class Micro, ValueType V, IndexType I>
 inline void sellc_chunk_multiply(const SellC<V, I>& a, I chunk, const V* bp,
                                  usize k, V* cp) {
   const usize C = static_cast<usize>(a.chunk_size());
@@ -25,41 +33,26 @@ inline void sellc_chunk_multiply(const SellC<V, I>& a, I chunk, const V* bp,
   const I* perm = a.perm().data();
   const I* cols = a.col_idx().data();
   const V* vals = a.values().data();
-  for (usize lane = 0; lane < C; ++lane) {
-    const usize pos = static_cast<usize>(chunk) * C + lane;
-    if (pos >= rows) break;  // unused lanes of the final chunk
-    const usize r = static_cast<usize>(perm[pos]);
-    V* crow = cp + r * k;
-    for (usize s = 0; s < w; ++s) {
-      const usize slot = base + s * C + lane;
-      micro::axpy_row(crow, bp + static_cast<usize>(cols[slot]) * k,
-                      vals[slot], k);
+  for (usize j0 = 0; j0 < k; j0 += micro::kColBlock) {
+    const usize jn = std::min(k, j0 + micro::kColBlock) - j0;
+    for (usize lane = 0; lane < C; ++lane) {
+      const usize pos = static_cast<usize>(chunk) * C + lane;
+      if (pos >= rows) break;  // unused lanes of the final chunk
+      const usize r = static_cast<usize>(perm[pos]);
+      V* crow = cp + r * k + j0;
+      for (usize s = 0; s < w; ++s) {
+        const usize slot = base + s * C + lane;
+        Micro::axpy(crow, bp + static_cast<usize>(cols[slot]) * k + j0,
+                    vals[slot], jn);
+      }
     }
   }
 }
 
-}  // namespace detail
-
-template <ValueType V, IndexType I>
-void spmm_sellc_serial(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  c.fill(V{0});
-  const usize k = b.cols();
-  for (I chunk = 0; chunk < a.chunks(); ++chunk) {
-    detail::sellc_chunk_multiply(a, chunk, b.data(), k, c.data());
-  }
-}
-
-/// Parallel SELL-C SpMM over chunks. Sched::kRows keeps the historical
-/// schedule(dynamic, 8); Sched::kNnz uses a precomputed slot-balanced
-/// chunk partition (chunk_offset is the padded-slot prefix sum over
-/// chunks — slots, not raw nnz, are the real per-chunk work).
-template <ValueType V, IndexType I>
-void spmm_sellc_parallel(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c,
-                         int threads, Sched sched = Sched::kRows,
-                         const sched::RowPartition* partition = nullptr) {
-  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
-  SPMM_CHECK(threads > 0, "thread count must be positive");
+template <class Micro, ValueType V, IndexType I>
+void spmm_sellc_parallel_impl(const SellC<V, I>& a, const Dense<V>& b,
+                              Dense<V>& c, int threads, Sched sched,
+                              const sched::RowPartition* partition) {
   c.fill(V{0});
   const usize k = b.cols();
   const std::int64_t chunks = a.chunks();
@@ -73,16 +66,57 @@ void spmm_sellc_parallel(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c,
 #pragma omp parallel for num_threads(threads) schedule(static)
     for (int t = 0; t < threads; ++t) {
       for (std::int64_t chunk = bounds[t]; chunk < bounds[t + 1]; ++chunk) {
-        detail::sellc_chunk_multiply(a, static_cast<I>(chunk), b.data(), k,
-                                     c.data());
+        sellc_chunk_multiply<Micro>(a, static_cast<I>(chunk), b.data(), k,
+                                    c.data());
       }
     }
     return;
   }
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 8)
   for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
-    detail::sellc_chunk_multiply(a, static_cast<I>(chunk), b.data(), k,
-                                 c.data());
+    sellc_chunk_multiply<Micro>(a, static_cast<I>(chunk), b.data(), k,
+                                c.data());
+  }
+}
+
+}  // namespace detail
+
+template <ValueType V, IndexType I>
+void spmm_sellc_serial(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                       Isa isa = Isa::kScalar) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  c.fill(V{0});
+  const usize k = b.cols();
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    for (I chunk = 0; chunk < a.chunks(); ++chunk) {
+      detail::sellc_chunk_multiply<micro::MicroAvx2>(a, chunk, b.data(), k,
+                                                     c.data());
+    }
+  } else {
+    for (I chunk = 0; chunk < a.chunks(); ++chunk) {
+      detail::sellc_chunk_multiply<micro::MicroScalar>(a, chunk, b.data(), k,
+                                                       c.data());
+    }
+  }
+}
+
+/// Parallel SELL-C SpMM over chunks. Sched::kRows keeps the historical
+/// schedule(dynamic, 8); Sched::kNnz uses a precomputed slot-balanced
+/// chunk partition (chunk_offset is the padded-slot prefix sum over
+/// chunks — slots, not raw nnz, are the real per-chunk work).
+template <ValueType V, IndexType I>
+void spmm_sellc_parallel(const SellC<V, I>& a, const Dense<V>& b, Dense<V>& c,
+                         int threads, Sched sched = Sched::kRows,
+                         const sched::RowPartition* partition = nullptr,
+                         Isa isa = Isa::kScalar) {
+  check_spmm_shapes<V>(a.rows(), a.cols(), b, c);
+  SPMM_CHECK(threads > 0, "thread count must be positive");
+  if (isa::resolve(isa) == Isa::kAvx2) {
+    detail::spmm_sellc_parallel_impl<micro::MicroAvx2>(a, b, c, threads,
+                                                       sched, partition);
+  } else {
+    detail::spmm_sellc_parallel_impl<micro::MicroScalar>(a, b, c, threads,
+                                                         sched, partition);
   }
 }
 

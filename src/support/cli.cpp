@@ -262,6 +262,13 @@ void BenchParams::register_options(ArgParser& parser) {
                     "work distribution for parallel kernels: rows "
                     "(per-format historical schedule) or nnz "
                     "(precomputed nnz-balanced partition)");
+  parser.add_string("isa", 0, "auto",
+                    "instruction-set tier for kernel inner loops: auto "
+                    "(AVX2/FMA when the host supports it), scalar, or "
+                    "avx2 (degrades to scalar on unsupported hosts)");
+  parser.add_int("min-parallel-work", 0, std::int64_t{1} << 18,
+                 "minimum nnz*k below which parallel variants fall back "
+                 "to the serial kernel (0 = never)");
   parser.add_int_list("thread-list", 0, {},
                       "comma-separated thread counts for the best-thread sweep");
   parser.add_flag("no-verify", 0, "skip COO-reference verification");
@@ -293,6 +300,10 @@ BenchParams BenchParams::from_parser(const ArgParser& parser) {
   p.block_size = static_cast<int>(parser.get_int("block-size"));
   p.k = static_cast<int>(parser.get_int("k"));
   p.sched = sched_from_name(parser.get_string("sched"));
+  p.isa = isa_from_name(parser.get_string("isa"));
+  p.min_parallel_work = parser.get_int("min-parallel-work");
+  SPMM_CHECK(p.min_parallel_work >= 0,
+             "--min-parallel-work must be non-negative");
   for (std::int64_t t : parser.get_int_list("thread-list")) {
     p.thread_list.push_back(static_cast<int>(t));
   }
@@ -332,6 +343,13 @@ Sched sched_from_name(const std::string& name) {
   if (name == "rows") return Sched::kRows;
   if (name == "nnz") return Sched::kNnz;
   SPMM_FAIL("--sched must be 'rows' or 'nnz', got '" + name + "'");
+}
+
+Isa isa_from_name(const std::string& name) {
+  if (name == "auto") return Isa::kAuto;
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  SPMM_FAIL("--isa must be 'auto', 'scalar', or 'avx2', got '" + name + "'");
 }
 
 }  // namespace spmm

@@ -115,6 +115,17 @@ struct BenchParams {
   /// kRows keeps each format's historical schedule, kNnz uses the
   /// precomputed nnz-balanced partition (kernels/sched.hpp).
   Sched sched = Sched::kRows;
+  /// Instruction-set tier for the kernels' inner loops (--isa): auto
+  /// resolves per host (AVX2/FMA when available, scalar otherwise),
+  /// scalar/avx2 force a tier (avx2 degrades to scalar off-host).
+  Isa isa = Isa::kAuto;
+  /// Minimum nnz·k work below which a requested parallel variant runs
+  /// the serial kernel instead (--min-parallel-work): at tiny problem
+  /// sizes fork/join overhead dominates and `omp` cells measure slower
+  /// than serial (BENCH_kernels.json, dw4096). 0 disables the guard.
+  /// The decision is recorded in BenchResult::executed_variant and the
+  /// `sched.serial_fallback` telemetry counter.
+  std::int64_t min_parallel_work = std::int64_t{1} << 18;
   /// Thread-count list for the best-thread-count sweep (Study 3.1).
   std::vector<int> thread_list;
   /// Verify kernel output against the COO reference multiply.
@@ -166,5 +177,9 @@ struct BenchParams {
 
 /// Parse a --sched value ("rows" or "nnz"); throws spmm::Error otherwise.
 Sched sched_from_name(const std::string& name);
+
+/// Parse an --isa value ("auto", "scalar", or "avx2"); throws
+/// spmm::Error otherwise.
+Isa isa_from_name(const std::string& name);
 
 }  // namespace spmm

@@ -47,6 +47,31 @@ constexpr const char* sched_name(Sched s) {
   return s == Sched::kRows ? "rows" : "nnz";
 }
 
+/// Instruction-set tier for the host kernels' inner loops (the --isa
+/// axis):
+///   kAuto    resolve at runtime: AVX2/FMA when the CPU supports it and
+///            the tier was compiled in, portable scalar otherwise;
+///   kScalar  force the portable `omp simd` microkernels;
+///   kAvx2    request the explicit AVX2/FMA microkernels (resolves to
+///            scalar on hosts without AVX2+FMA — requesting a tier the
+///            host lacks degrades, it never crashes).
+/// The resolution logic lives in kernels/isa.hpp; this enum is the
+/// cross-layer vocabulary (params, results, CSV).
+enum class Isa : std::uint8_t {
+  kAuto,
+  kScalar,
+  kAvx2,
+};
+
+constexpr const char* isa_name(Isa i) {
+  switch (i) {
+    case Isa::kAuto: return "auto";
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
 template <class T>
 constexpr const char* value_type_name() {
   if constexpr (std::is_same_v<T, float>) return "f32";

@@ -370,7 +370,12 @@ TEST(Lifecycle, ZeroIterationsRejectedAtRunTime) {
 TEST(RunPlan, FormatsOnceAndRetargetsThreadsAndK) {
   const CooD m = testutil::random_coo(60, 60, 5.0, 26);
   CountingBenchmark<double, std::int32_t> bench;
-  bench.setup(m, fast_params(), "plan");
+  // This test is about plan retargeting, not the min-work guard: the
+  // matrix is tiny, so leave the guard off to keep the parallel cell
+  // actually parallel (test_isa covers the fallback itself).
+  BenchParams p = fast_params();
+  p.min_parallel_work = 0;
+  bench.setup(m, p, "plan");
   const std::vector<PlanCell> plan = {
       {Variant::kSerial, 0, 0},
       {Variant::kParallel, 2, 0},

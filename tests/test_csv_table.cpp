@@ -87,7 +87,10 @@ TEST(BenchCsv, HeaderIsPinned) {
             // Appended by the resilience PR — cell outcome labelling.
             "status,error_code,attempts,"
             // Appended by the scheduling PR — work-distribution policy.
-            "sched");
+            "sched,"
+            // Appended by the SIMD-tier PR — requested/executed ISA and
+            // the kernel the min-work guard actually ran.
+            "isa,executed_isa,executed_variant");
   // One data row with matching arity must follow.
   EXPECT_NE(out.find('\n'), std::string::npos);
   const std::string row = out.substr(out.find('\n') + 1);

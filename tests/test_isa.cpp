@@ -1,0 +1,390 @@
+// Tests for the explicit SIMD kernel tier (kernels/isa.hpp,
+// kernels/micro_avx2.hpp): dispatcher resolution semantics, forced-scalar
+// bit-identity (including the cache-blocked k-tile path), the
+// pinned-tolerance band for AVX2/FMA against the serial accumulation
+// order, and the min-work serial fallback in the benchmark layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "kernels/dense_ref.hpp"
+#include "kernels/isa.hpp"
+#include "kernels/spmm_csr.hpp"
+#include "kernels/spmm_ell.hpp"
+#include "kernels/spmm_sellc.hpp"
+#include "support/cli.hpp"
+#include "test_util.hpp"
+
+namespace spmm {
+namespace {
+
+using testutil::CooD;
+using bench::BenchResult;
+using bench::print_result;
+using bench::run_benchmark;
+using bench::RunStatus;
+
+// Correctness band for the FMA tier: fused multiply-adds round once
+// where the scalar tier rounds twice, and the 4-wide j-lanes of the
+// transpose dot reassociate the nnz sum. With O(1) operands and the
+// small row counts here the drift stays orders of magnitude under this.
+constexpr double kFmaTol = 1e-12;
+
+// The widths the microkernels must survive: sub-vector (1, 3), exactly
+// one 8-lane body (8), the benchmark default (32), and a ragged tail
+// that exercises the 8-wide, 4-wide, and scalar remainders at once (37).
+const std::vector<int> kWidths = {1, 3, 8, 32, 37};
+
+/// Dense operand pair (B and its transpose) for a given width.
+struct Operands {
+  Dense<double> b, bt;
+  Operands(std::int64_t cols, int k)
+      : b(static_cast<usize>(cols), static_cast<usize>(k)),
+        bt(0, 0) {
+    Rng rng(7);
+    b.fill_random(rng);
+    bt = b.transposed();
+  }
+};
+
+TEST(IsaResolve, ScalarIsAlwaysScalar) {
+  EXPECT_EQ(isa::resolve(Isa::kScalar), Isa::kScalar);
+}
+
+TEST(IsaResolve, NeverReturnsAuto) {
+  EXPECT_NE(isa::resolve(Isa::kAuto), Isa::kAuto);
+  EXPECT_NE(isa::resolve(Isa::kAvx2), Isa::kAuto);
+}
+
+TEST(IsaResolve, AutoMatchesExplicitAvx2Request) {
+  // kAuto means "best available", which is exactly what a forced kAvx2
+  // degrades to when the tier or the CPU is missing.
+  EXPECT_EQ(isa::resolve(Isa::kAuto), isa::resolve(Isa::kAvx2));
+}
+
+TEST(IsaResolve, Avx2OnlyWhenCompiledAndSupported) {
+  const bool runnable = isa::compiled_avx2() && isa::cpu_has_avx2_fma();
+  EXPECT_EQ(isa::resolve(Isa::kAvx2) == Isa::kAvx2, runnable);
+}
+
+TEST(IsaResolve, NameParsingRoundTrips) {
+  EXPECT_EQ(isa_from_name("auto"), Isa::kAuto);
+  EXPECT_EQ(isa_from_name("scalar"), Isa::kScalar);
+  EXPECT_EQ(isa_from_name("avx2"), Isa::kAvx2);
+  EXPECT_THROW(isa_from_name("sse9"), Error);
+  EXPECT_EQ(isa_name(Isa::kAuto), std::string("auto"));
+  EXPECT_EQ(isa_name(Isa::kScalar), std::string("scalar"));
+  EXPECT_EQ(isa_name(Isa::kAvx2), std::string("avx2"));
+}
+
+// ---------------------------------------------------------------------
+// Forced-scalar bit-identity: Isa::kScalar must reproduce the serial
+// accumulation order exactly, element-for-element — including the
+// cache-blocked (rows × k) tiling, which walks the nnz of each row
+// in-order within every k-tile and assigns each C element to exactly
+// one tile.
+
+/// The canonical accumulation order: rows outer, nnz in-order, columns
+/// inner. Every scalar-tier kernel is bit-identical to this.
+Dense<double> naive_csr(const Csr<double, std::int32_t>& a,
+                        const Dense<double>& b) {
+  Dense<double> c(static_cast<usize>(a.rows()), b.cols());
+  c.fill(0.0);
+  const auto& rp = a.row_ptr();
+  for (std::int32_t r = 0; r < a.rows(); ++r) {
+    double* crow = c.data() + static_cast<usize>(r) * b.cols();
+    for (std::int32_t i = rp[static_cast<usize>(r)];
+         i < rp[static_cast<usize>(r) + 1]; ++i) {
+      const double v = a.values()[static_cast<usize>(i)];
+      const double* brow =
+          b.data() +
+          static_cast<usize>(a.col_idx()[static_cast<usize>(i)]) * b.cols();
+      for (usize j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+void expect_bitwise_equal(const Dense<double>& a, const Dense<double>& b,
+                          const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (usize i = 0; i < a.rows() * a.cols(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << what << " element " << i;
+  }
+}
+
+TEST(IsaScalarBitIdentity, CsrSerialMatchesNaiveOrder) {
+  const CooD m = testutil::random_coo(90, 90, 6.0, 11);
+  const auto csr = to_csr(m);
+  // k=32 stays on the untiled fast path; k=200 > micro::kColBlock forces
+  // the 2D k-tile path, whose accumulation order must be unchanged.
+  for (int k : {32, 200}) {
+    const Operands ops(m.cols(), k);
+    const Dense<double> expected = naive_csr(csr, ops.b);
+    Dense<double> c(static_cast<usize>(m.rows()), static_cast<usize>(k));
+    spmm_csr_serial(csr, ops.b, c, Isa::kScalar);
+    expect_bitwise_equal(expected, c, "csr serial scalar");
+  }
+}
+
+TEST(IsaScalarBitIdentity, CsrParallelMatchesSerial) {
+  const CooD m = testutil::random_coo(90, 90, 6.0, 12);
+  const auto csr = to_csr(m);
+  for (int k : {32, 200}) {
+    const Operands ops(m.cols(), k);
+    Dense<double> serial(static_cast<usize>(m.rows()), static_cast<usize>(k));
+    spmm_csr_serial(csr, ops.b, serial, Isa::kScalar);
+    for (Sched s : {Sched::kRows, Sched::kNnz}) {
+      for (int t : {1, 4}) {
+        Dense<double> c(static_cast<usize>(m.rows()), static_cast<usize>(k));
+        c.fill(-1.0);
+        spmm_csr_parallel(csr, ops.b, c, t, s, nullptr, Isa::kScalar);
+        expect_bitwise_equal(serial, c, "csr parallel scalar");
+      }
+    }
+  }
+}
+
+TEST(IsaScalarBitIdentity, EllAndSellcDefaultIsScalar) {
+  // The default Isa argument is kScalar, so existing callers (and the
+  // bit-identity guarantees of the pre-tier kernels) are unchanged.
+  const CooD m = testutil::random_coo(80, 80, 5.0, 13);
+  const Operands ops(m.cols(), 37);
+  const auto ell = to_ell(m);
+  Dense<double> c1(static_cast<usize>(m.rows()), 37);
+  Dense<double> c2(static_cast<usize>(m.rows()), 37);
+  spmm_ell_serial(ell, ops.b, c1);
+  spmm_ell_serial(ell, ops.b, c2, Isa::kScalar);
+  expect_bitwise_equal(c1, c2, "ell default == scalar");
+  const auto sell = to_sellc(m, 8, 32);
+  spmm_sellc_serial(sell, ops.b, c1);
+  spmm_sellc_serial(sell, ops.b, c2, Isa::kScalar);
+  expect_bitwise_equal(c1, c2, "sellc default == scalar");
+}
+
+// ---------------------------------------------------------------------
+// AVX2 tier vs serial accumulation order: pinned tolerance, every
+// format in the tier, every width class, both operand layouts, serial
+// and parallel under both schedules. On hosts without AVX2+FMA the
+// forced-avx2 request resolves to scalar and the comparisons hold at
+// tolerance zero.
+
+class IsaAvx2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = testutil::random_coo(120, 120, 7.0, 4242);
+    expected_k_.clear();
+    for (int k : kWidths) {
+      Operands ops(a_.cols(), k);
+      expected_k_.push_back(spmm_reference(a_, ops.b));
+    }
+  }
+
+  void expect_close(const Dense<double>& expected, const Dense<double>& c,
+                    const char* what, int k) {
+    EXPECT_LE(max_abs_diff(expected, c), kFmaTol) << what << " k=" << k;
+  }
+
+  CooD a_;
+  std::vector<Dense<double>> expected_k_;
+};
+
+TEST_F(IsaAvx2Test, CsrAllWidthsAndLayouts) {
+  const auto csr = to_csr(a_);
+  for (usize wi = 0; wi < kWidths.size(); ++wi) {
+    const int k = kWidths[wi];
+    const Operands ops(a_.cols(), k);
+    Dense<double> c(static_cast<usize>(a_.rows()), static_cast<usize>(k));
+    spmm_csr_serial(csr, ops.b, c, Isa::kAvx2);
+    expect_close(expected_k_[wi], c, "csr serial avx2", k);
+    c.fill(-1.0);
+    spmm_csr_serial_transpose(csr, ops.bt, c, Isa::kAvx2);
+    expect_close(expected_k_[wi], c, "csr serial-T avx2", k);
+    for (Sched s : {Sched::kRows, Sched::kNnz}) {
+      for (int t : {1, 4}) {
+        c.fill(-1.0);
+        spmm_csr_parallel(csr, ops.b, c, t, s, nullptr, Isa::kAvx2);
+        expect_close(expected_k_[wi], c, "csr omp avx2", k);
+        c.fill(-1.0);
+        spmm_csr_parallel_transpose(csr, ops.bt, c, t, s, nullptr,
+                                    Isa::kAvx2);
+        expect_close(expected_k_[wi], c, "csr omp-T avx2", k);
+      }
+    }
+  }
+}
+
+TEST_F(IsaAvx2Test, EllAllWidthsAndLayouts) {
+  const auto ell = to_ell(a_);
+  for (usize wi = 0; wi < kWidths.size(); ++wi) {
+    const int k = kWidths[wi];
+    const Operands ops(a_.cols(), k);
+    Dense<double> c(static_cast<usize>(a_.rows()), static_cast<usize>(k));
+    spmm_ell_serial(ell, ops.b, c, Isa::kAvx2);
+    expect_close(expected_k_[wi], c, "ell serial avx2", k);
+    c.fill(-1.0);
+    spmm_ell_serial_transpose(ell, ops.bt, c, Isa::kAvx2);
+    expect_close(expected_k_[wi], c, "ell serial-T avx2", k);
+    for (int t : {1, 4}) {
+      c.fill(-1.0);
+      spmm_ell_parallel(ell, ops.b, c, t, Sched::kRows, Isa::kAvx2);
+      expect_close(expected_k_[wi], c, "ell omp avx2", k);
+      c.fill(-1.0);
+      spmm_ell_parallel_transpose(ell, ops.bt, c, t, Sched::kRows,
+                                  Isa::kAvx2);
+      expect_close(expected_k_[wi], c, "ell omp-T avx2", k);
+    }
+  }
+}
+
+TEST_F(IsaAvx2Test, SellcAllWidths) {
+  const auto sell = to_sellc(a_, 8, 32);
+  for (usize wi = 0; wi < kWidths.size(); ++wi) {
+    const int k = kWidths[wi];
+    const Operands ops(a_.cols(), k);
+    Dense<double> c(static_cast<usize>(a_.rows()), static_cast<usize>(k));
+    spmm_sellc_serial(sell, ops.b, c, Isa::kAvx2);
+    expect_close(expected_k_[wi], c, "sellc serial avx2", k);
+    for (Sched s : {Sched::kRows, Sched::kNnz}) {
+      for (int t : {1, 4}) {
+        c.fill(-1.0);
+        spmm_sellc_parallel(sell, ops.b, c, t, s, nullptr, Isa::kAvx2);
+        expect_close(expected_k_[wi], c, "sellc omp avx2", k);
+      }
+    }
+  }
+}
+
+TEST_F(IsaAvx2Test, FloatTier) {
+  // The float microkernels (16/8-lane axpy, SSE dot) share the dispatch.
+  AlignedVector<float> fvals;
+  fvals.reserve(a_.values().size());
+  for (double v : a_.values()) fvals.push_back(static_cast<float>(v));
+  const Coo<float, std::int32_t> af(
+      static_cast<std::int32_t>(a_.rows()),
+      static_cast<std::int32_t>(a_.cols()),
+      AlignedVector<std::int32_t>(a_.row_idx()),
+      AlignedVector<std::int32_t>(a_.col_idx()), std::move(fvals));
+  const auto csr = to_csr(af);
+  Rng rng(7);
+  Dense<float> b(static_cast<usize>(a_.cols()), 37);
+  b.fill_random(rng);
+  Dense<float> scalar(static_cast<usize>(a_.rows()), 37);
+  Dense<float> vec(static_cast<usize>(a_.rows()), 37);
+  spmm_csr_serial(csr, b, scalar, Isa::kScalar);
+  spmm_csr_serial(csr, b, vec, Isa::kAvx2);
+  EXPECT_LE(max_abs_diff(scalar, vec), 1e-4);
+}
+
+// ---------------------------------------------------------------------
+// Benchmark-layer dispatch: the --isa axis must reach the kernels and
+// the result must echo both the requested and the executed tier.
+
+BenchParams fast_params(int k = 8) {
+  BenchParams p;
+  p.iterations = 2;
+  p.warmup = 1;
+  p.threads = 3;
+  p.block_size = 4;
+  p.k = k;
+  return p;
+}
+
+TEST(IsaDispatch, ForcedScalarIsEchoed) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);
+  BenchParams p = fast_params();
+  p.isa = Isa::kScalar;
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, p, "m60");
+  EXPECT_EQ(r.isa, Isa::kScalar);
+  EXPECT_EQ(r.executed_isa, Isa::kScalar);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(IsaDispatch, AutoResolvesToHostBestTier) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, fast_params(), "m60");
+  EXPECT_EQ(r.isa, Isa::kAuto);
+  EXPECT_EQ(r.executed_isa, isa::resolve(Isa::kAuto));
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(IsaDispatch, PrintTagsOnlyNonDefaultRequests) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);
+  BenchParams p = fast_params();
+  std::ostringstream default_run;
+  print_result(default_run, run_benchmark<double, std::int32_t>(
+                                Format::kCsr, Variant::kSerial, m, p, "m60"));
+  EXPECT_EQ(default_run.str().find("isa="), std::string::npos);
+  p.isa = Isa::kScalar;
+  std::ostringstream forced;
+  print_result(forced, run_benchmark<double, std::int32_t>(
+                           Format::kCsr, Variant::kSerial, m, p, "m60"));
+  EXPECT_NE(forced.str().find("isa=scalar"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Min-work serial fallback: a parallel request whose nnz·k falls under
+// BenchParams::min_parallel_work runs the serial kernel (fork/join and
+// partition overhead dominate tiny cells; see BENCH_kernels.json's
+// dw4096 rows, which were 2-3.6x slower under omp than serial).
+
+TEST(MinWorkGuard, TinyParallelCellFallsBackToSerial) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);  // ~300 nnz * k=8
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kParallel, m, fast_params(), "m60");
+  EXPECT_EQ(r.status, RunStatus::kOk);
+  EXPECT_EQ(r.variant, Variant::kParallel);
+  EXPECT_EQ(r.executed_variant, Variant::kSerial);
+  EXPECT_EQ(r.threads, 1);  // echoes what actually ran
+  EXPECT_TRUE(r.verified);
+  std::ostringstream os;
+  print_result(os, r);
+  EXPECT_NE(os.str().find("[serial-fallback]"), std::string::npos);
+}
+
+TEST(MinWorkGuard, TransposeRequestFallsBackToSerialTranspose) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kParallelTranspose, m, fast_params(), "m60");
+  EXPECT_EQ(r.status, RunStatus::kOk);
+  EXPECT_EQ(r.executed_variant, Variant::kSerialTranspose);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(MinWorkGuard, ZeroThresholdDisablesTheGuard) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);
+  BenchParams p = fast_params();
+  p.min_parallel_work = 0;
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kParallel, m, p, "m60");
+  EXPECT_EQ(r.executed_variant, Variant::kParallel);
+  EXPECT_EQ(r.threads, 3);
+  std::ostringstream os;
+  print_result(os, r);
+  EXPECT_EQ(os.str().find("[serial-fallback]"), std::string::npos);
+}
+
+TEST(MinWorkGuard, LargeWorkStaysParallel) {
+  // 400 rows * ~40 nnz/row * k=32 comfortably clears the 2^18 default.
+  const CooD m = testutil::random_coo(400, 400, 40.0, 2);
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kParallel, m, fast_params(32), "m400");
+  EXPECT_EQ(r.executed_variant, Variant::kParallel);
+  EXPECT_EQ(r.threads, 3);
+}
+
+TEST(MinWorkGuard, SerialRequestsAreNeverRewritten) {
+  const CooD m = testutil::random_coo(60, 60, 5.0, 1);
+  const BenchResult r = run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, m, fast_params(), "m60");
+  EXPECT_EQ(r.executed_variant, Variant::kSerial);
+}
+
+}  // namespace
+}  // namespace spmm

@@ -32,6 +32,8 @@
 #include "formats/convert.hpp"
 #include "formats/format_id.hpp"
 #include "formats/properties.hpp"
+#include "hwprof/hwprof.hpp"
+#include "hwprof/roofline.hpp"
 #include "kernels/dense_ref.hpp"
 #include "kernels/isa.hpp"
 #include "kernels/sched.hpp"
@@ -160,6 +162,43 @@ struct BenchResult {
   /// The variant that actually executed: equals `variant` unless the
   /// cell degraded to a host fallback.
   Variant executed_variant = Variant::kSerial;
+
+  // Hardware-counter profile of the timed loop (--hw-counters;
+  // src/hwprof). Counter fields are per-invocation averages (loop
+  // totals / iterations). hw_backend names the backend that produced
+  // them: "perf_event" when counters were live, "none" when profiling
+  // was off or degraded to the no-op backend — counter deltas are then
+  // zero and the derived ratios 0. The roofline fields need no
+  // counters (model bytes + wall time), so they are populated whenever
+  // profiling was requested, whatever the backend.
+  std::string hw_backend = "none";
+  /// True when the run was profiled (--hw-counters), whatever backend
+  /// resulted. Gates the print_result tag (the output-stability rule:
+  /// only non-default requests add tags); kept out of the CSV, where
+  /// hw_backend already distinguishes the three states.
+  bool hw_profiled = false;
+  /// True when any live counter was time-multiplexed by the kernel
+  /// (its value is a scaled estimate, not an exact count).
+  bool hw_multiplexed = false;
+  double hw_cycles = 0.0;
+  double hw_instructions = 0.0;
+  double hw_llc_loads = 0.0;
+  double hw_llc_misses = 0.0;
+  double hw_l1d_misses = 0.0;
+  double hw_stalled_cycles = 0.0;
+  /// Instructions per cycle over the timed loop; 0 without live counters.
+  double hw_ipc = 0.0;
+  /// LLC misses per nonzero per invocation; 0 without live counters.
+  double llc_miss_per_nnz = 0.0;
+  /// DRAM traffic per invocation measured as LLC misses × 64 B;
+  /// 0 without live counters.
+  double measured_bytes = 0.0;
+  /// Roofline point (src/hwprof/roofline.hpp): operational intensity
+  /// from the per-format byte model, achieved bandwidth, and the
+  /// fraction of the STREAM-triad ceiling that bandwidth represents.
+  double operational_intensity = 0.0;
+  double achieved_bw_gbs = 0.0;
+  double stream_bw_fraction = 0.0;
 
   MatrixProperties properties;
 };
@@ -399,6 +438,16 @@ class SpmmBenchmark {
     // and its capacity is reserved here, outside the loop.
     std::vector<double> samples;
     samples.reserve(static_cast<std::size_t>(params_.iterations));
+    // Hardware counters wrap the whole timed loop, not each iteration:
+    // start/stop are syscalls (ioctl per fd) and per-iteration
+    // bracketing would perturb exactly the timings being measured.
+    // The counter fields are therefore loop totals, normalized to
+    // per-invocation averages in collect_hw_profile(). When
+    // --hw-counters is off this is one branch on a local bool — the
+    // loop body is untouched (the zero-overhead rule telemetry set).
+    const bool hw_on = params_.hw_counters;
+    if (hw_on && !hw_) hw_ = std::make_unique<hwprof::CounterSet>();
+    if (hw_on) hw_->start();
     double sum = 0.0;
     double best = 0.0;
     for (int i = 0; i < params_.iterations; ++i) {
@@ -442,6 +491,7 @@ class SpmmBenchmark {
         tel_.debug_line(line);
       }
     }
+    if (hw_on) hw_->stop();
     // The average keeps the pre-telemetry left-to-right accumulation so
     // results are bit-identical to the old path; the distribution is
     // derived from the same samples.
@@ -471,6 +521,11 @@ class SpmmBenchmark {
       r.mflops = r.flops_per_second / 1e6;
       r.gflops = r.flops_per_second / 1e9;
     }
+    // Fill the hw.*/roofline result fields from the counter deltas and
+    // the byte model; needs flops and avg_compute_seconds, so it runs
+    // after the rate computation (defined in benchmark_impl.hpp — the
+    // cell-harness half of the hwprof wiring).
+    if (hw_on) collect_hw_profile(r);
 
     if (params_.verify) {
       telemetry::ScopedSpan span(tel_, "verify", "bench",
@@ -613,6 +668,12 @@ class SpmmBenchmark {
                            const std::string& cause_message,
                            int attempts_used);
 
+  /// Read the counter deltas accumulated over the timed loop and fill
+  /// the BenchResult hw.*/roofline fields; emits the hw.* telemetry
+  /// counters when a sink is attached. Only called when
+  /// params_.hw_counters is set. Defined in benchmark_impl.hpp.
+  void collect_hw_profile(BenchResult& r);
+
   /// Build the format-specific structures from the COO input. The base
   /// class's COO "formatting" is the identity.
   virtual void do_format() {}
@@ -703,6 +764,11 @@ class SpmmBenchmark {
   // Sched::kNnz partition cache (see cached_partition()).
   sched::RowPartition partition_;
   const void* partition_key_ = nullptr;
+  // Hardware-counter group (--hw-counters). Constructed lazily on the
+  // first profiled run and reused across runs on this instance — the
+  // perf_event fds survive the format-once lifecycle the same way the
+  // partition cache does. Null whenever profiling was never requested.
+  std::unique_ptr<hwprof::CounterSet> hw_;
 };
 
 }  // namespace spmm::bench

@@ -36,6 +36,63 @@ void SpmmBenchmark<V, I>::do_compute(Variant variant) {
   }
 }
 
+// The cell-harness half of the hwprof wiring: turn the counter deltas
+// accumulated across the timed loop into the BenchResult hw.* fields,
+// normalized to per-invocation averages, and combine them with the
+// per-format flop/byte model into a roofline point. Counter fields stay
+// zero under the no-op backend; the roofline fields need only wall time
+// and the byte model, so they are filled for every profiled run.
+template <ValueType V, IndexType I>
+void SpmmBenchmark<V, I>::collect_hw_profile(BenchResult& r) {
+  const hwprof::CounterDeltas d = hw_->read();
+  r.hw_profiled = true;
+  r.hw_backend = std::string(hwprof::backend_name(d.backend));
+  r.hw_multiplexed = d.multiplexed;
+  const double iters = static_cast<double>(params_.iterations);
+  const double nnz = static_cast<double>(coo_.nnz());
+  const bool live = d.backend != hwprof::Backend::kNone;
+  if (live) {
+    r.hw_cycles = d.value(hwprof::Counter::kCycles) / iters;
+    r.hw_instructions = d.value(hwprof::Counter::kInstructions) / iters;
+    r.hw_llc_loads = d.value(hwprof::Counter::kLlcLoads) / iters;
+    r.hw_llc_misses = d.value(hwprof::Counter::kLlcMisses) / iters;
+    r.hw_l1d_misses = d.value(hwprof::Counter::kL1dMisses) / iters;
+    r.hw_stalled_cycles = d.value(hwprof::Counter::kStalledCycles) / iters;
+    r.hw_ipc = d.ipc();
+    r.measured_bytes = d.llc_miss_bytes() / iters;
+    if (nnz > 0.0) r.llc_miss_per_nnz = r.hw_llc_misses / nnz;
+  }
+  hwprof::RooflineInput in;
+  in.flops = r.flops;
+  in.seconds = r.avg_compute_seconds;
+  in.measured_bytes = r.measured_bytes;
+  in.model_bytes = hwprof::model_bytes(
+      format_bytes_, static_cast<std::int64_t>(coo_.rows()),
+      static_cast<std::int64_t>(coo_.cols()), params_.k, sizeof(V));
+  in.stream_bw_gbs = hwprof::stream_bandwidth_gbs();
+  const hwprof::RooflinePoint pt = hwprof::roofline(in);
+  r.operational_intensity = pt.oi;
+  r.achieved_bw_gbs = pt.achieved_bw_gbs;
+  r.stream_bw_fraction = pt.stream_bw_fraction;
+  if (tel_.enabled()) {
+    if (live) {
+      for (int i = 0; i < hwprof::kCounterCount; ++i) {
+        const auto c = static_cast<hwprof::Counter>(i);
+        if (!d.has(c)) continue;
+        tel_.counter("hw." + std::string(hwprof::counter_name(c)),
+                     d.value(c), "hwprof");
+      }
+    }
+    // Roofline ingredients, emitted whatever the backend so
+    // trace_report's roofline section works in counter-denied
+    // environments (containers, CI) too. hw.flops/hw.bytes are loop
+    // totals — the summary divides by the "iteration" phase total.
+    tel_.counter("hw.flops", r.flops * iters, "hwprof");
+    tel_.counter("hw.bytes", in.model_bytes * iters, "hwprof");
+    tel_.counter("hw.stream_bw_gbs", in.stream_bw_gbs, "hwprof");
+  }
+}
+
 // The hardened cell harness. Catch order matters: TimeoutError and
 // DeviceOutOfMemory are handled specially, then the typed taxonomy
 // (retry eligibility), then any other spmm::Error. Non-spmm exceptions

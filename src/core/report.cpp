@@ -46,6 +46,21 @@ void print_result(std::ostream& os, const BenchResult& r) {
       os << "]";
     }
   }
+  // Hardware-counter profile (--hw-counters). Same stability rule as
+  // sched/isa: unprofiled runs print nothing. The roofline half (OI,
+  // %-of-STREAM) is always present for a profiled run; the counter half
+  // (ipc, LLC misses per nnz) only when the backend was live.
+  if (r.hw_profiled) {
+    os << " [hw=" << r.hw_backend
+       << " oi=" << format_double(r.operational_intensity, 3) << " "
+       << format_double(r.stream_bw_fraction * 100.0, 1) << "%bw";
+    if (r.hw_backend != "none") {
+      os << " ipc=" << format_double(r.hw_ipc, 2)
+         << " llcm/nnz=" << format_double(r.llc_miss_per_nnz, 3);
+      if (r.hw_multiplexed) os << " multiplexed";
+    }
+    os << "]";
+  }
   // Min-work guard visibility: an ok cell whose parallel request ran the
   // serial kernel (BenchParams::min_parallel_work).
   if (r.status == RunStatus::kOk && r.executed_variant != r.variant) {
@@ -95,7 +110,9 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
                      "h2d_bytes",    "d2h_bytes",  "device_peak_bytes",
                      "status",       "error_code", "attempts",
                      "sched",        "isa",        "executed_isa",
-                     "executed_variant"});
+                     "executed_variant",
+                     "llc_miss_per_nnz", "ipc",    "measured_bytes",
+                     "hw_backend"});
   for (const BenchResult& r : results) {
     csv.add(r.matrix_name)
         .add(r.kernel_name)
@@ -138,7 +155,11 @@ void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
         .add(std::string(sched_name(r.sched)))
         .add(std::string(isa_name(r.isa)))
         .add(std::string(isa_name(r.executed_isa)))
-        .add(std::string(variant_name(r.executed_variant)));
+        .add(std::string(variant_name(r.executed_variant)))
+        .add(r.llc_miss_per_nnz)
+        .add(r.hw_ipc)
+        .add(r.measured_bytes)
+        .add(r.hw_backend);
     csv.end_row();
   }
 }

@@ -1,0 +1,217 @@
+#include "hwprof/hwprof.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace spmm::hwprof {
+
+std::string_view backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kNone: return "none";
+    case Backend::kPerfEvent: return "perf_event";
+  }
+  return "?";
+}
+
+std::string_view counter_name(Counter counter) {
+  switch (counter) {
+    case Counter::kCycles: return "cycles";
+    case Counter::kInstructions: return "instructions";
+    case Counter::kLlcLoads: return "llc_loads";
+    case Counter::kLlcMisses: return "llc_misses";
+    case Counter::kL1dMisses: return "l1d_misses";
+    case Counter::kStalledCycles: return "stalled_cycles";
+  }
+  return "?";
+}
+
+double CounterDeltas::ipc() const {
+  const double cycles = value(Counter::kCycles);
+  if (!has(Counter::kCycles) || !has(Counter::kInstructions) ||
+      cycles <= 0.0) {
+    return 0.0;
+  }
+  return value(Counter::kInstructions) / cycles;
+}
+
+double CounterDeltas::llc_miss_bytes() const {
+  if (!has(Counter::kLlcMisses)) return 0.0;
+  return value(Counter::kLlcMisses) * kCacheLineBytes;
+}
+
+bool disabled_by_env() {
+  const char* env = std::getenv("SPMM_HWPROF");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return v == "off" || v == "none" || v == "0";
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// perf_event_open(2) has no glibc wrapper.
+int perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                    unsigned long flags) {
+  return static_cast<int>(
+      ::syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+/// Open one self-profiling, user-space-only event. Returns -1 on any
+/// refusal (EACCES under perf_event_paranoid, ENOENT/ENODEV on hosts
+/// without the event or a PMU at all, ENOSYS under seccomp) — the
+/// caller degrades instead of throwing.
+int open_event(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // group enables via the leader
+  attr.exclude_kernel = 1;  // paranoid<=2 allows user-space-only counts
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return perf_event_open(&attr, 0, -1, group_fd, 0);
+}
+
+constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
+                                     std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+/// Scale a raw count by time_enabled/time_running (the standard
+/// multiplexing estimate). Flags `multiplexed` when the event was
+/// time-shared. A never-scheduled event (running == 0) reads 0.
+double scale_count(std::uint64_t raw, std::uint64_t enabled,
+                   std::uint64_t running, bool& multiplexed) {
+  if (running == 0) return 0.0;
+  if (running >= enabled) return static_cast<double>(raw);
+  multiplexed = true;
+  return static_cast<double>(raw) *
+         (static_cast<double>(enabled) / static_cast<double>(running));
+}
+
+}  // namespace
+
+CounterSet::CounterSet() {
+  fds_.fill(-1);
+  if (disabled_by_env()) return;
+
+  // Cycles leads a two-event group with instructions: the kernel
+  // schedules a group atomically, so their ratio (IPC) never mixes
+  // multiplex windows. If even this pair is refused there is no usable
+  // backend — stay at kNone.
+  const int leader =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader < 0) return;
+  const int instructions =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader);
+  if (instructions < 0) {
+    ::close(leader);
+    return;
+  }
+  fds_[static_cast<int>(Counter::kCycles)] = leader;
+  fds_[static_cast<int>(Counter::kInstructions)] = instructions;
+
+  // The cache and stall events open standalone: one unsupported event
+  // (VMs often lack LLC events) must not evict the others from the
+  // PMU, and standalone events multiplex independently.
+  fds_[static_cast<int>(Counter::kLlcLoads)] =
+      open_event(PERF_TYPE_HW_CACHE,
+                 cache_config(PERF_COUNT_HW_CACHE_LL,
+                              PERF_COUNT_HW_CACHE_OP_READ,
+                              PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+                 -1);
+  fds_[static_cast<int>(Counter::kLlcMisses)] =
+      open_event(PERF_TYPE_HW_CACHE,
+                 cache_config(PERF_COUNT_HW_CACHE_LL,
+                              PERF_COUNT_HW_CACHE_OP_READ,
+                              PERF_COUNT_HW_CACHE_RESULT_MISS),
+                 -1);
+  fds_[static_cast<int>(Counter::kL1dMisses)] =
+      open_event(PERF_TYPE_HW_CACHE,
+                 cache_config(PERF_COUNT_HW_CACHE_L1D,
+                              PERF_COUNT_HW_CACHE_OP_READ,
+                              PERF_COUNT_HW_CACHE_RESULT_MISS),
+                 -1);
+  // Backend stalls explain memory-bound cells best; fall back to
+  // frontend stalls where the backend event does not exist.
+  int stalled = open_event(PERF_TYPE_HARDWARE,
+                           PERF_COUNT_HW_STALLED_CYCLES_BACKEND, -1);
+  if (stalled < 0) {
+    stalled = open_event(PERF_TYPE_HARDWARE,
+                         PERF_COUNT_HW_STALLED_CYCLES_FRONTEND, -1);
+  }
+  fds_[static_cast<int>(Counter::kStalledCycles)] = stalled;
+
+  backend_ = Backend::kPerfEvent;
+}
+
+CounterSet::~CounterSet() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void CounterSet::start() {
+  if (backend_ == Backend::kNone) return;
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void CounterSet::stop() {
+  if (backend_ == Backend::kNone) return;
+  for (int fd : fds_) {
+    if (fd >= 0) ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+CounterDeltas CounterSet::read() const {
+  CounterDeltas d;
+  d.backend = backend_;
+  if (backend_ == Backend::kNone) return d;
+  for (int i = 0; i < kCounterCount; ++i) {
+    const int fd = fds_[static_cast<std::size_t>(i)];
+    if (fd < 0) continue;
+    // read_format layout: value, time_enabled, time_running.
+    std::uint64_t buf[3] = {0, 0, 0};
+    if (::read(fd, buf, sizeof buf) != sizeof buf) continue;
+    d.values[static_cast<std::size_t>(i)] =
+        scale_count(buf[0], buf[1], buf[2], d.multiplexed);
+    d.available[static_cast<std::size_t>(i)] = true;
+  }
+  return d;
+}
+
+#else  // !__linux__
+
+CounterSet::CounterSet() { fds_.fill(-1); }
+CounterSet::~CounterSet() = default;
+void CounterSet::start() {}
+void CounterSet::stop() {}
+CounterDeltas CounterSet::read() const {
+  CounterDeltas d;
+  d.backend = Backend::kNone;
+  return d;
+}
+
+#endif  // __linux__
+
+bool available() {
+  CounterSet probe;
+  return probe.backend() != Backend::kNone;
+}
+
+}  // namespace spmm::hwprof

@@ -1,0 +1,146 @@
+// spmm::hwprof — hardware performance-counter profiling.
+//
+// The suite's numbers are wall-clock-derived GFLOP/s; this module adds
+// the microarchitectural side: a CounterSet wraps perf_event_open(2)
+// over the counters that explain format behaviour (cycles, instructions,
+// LLC loads/misses, L1D misses, stalled cycles) so every benchmark cell
+// can report measured hardware truth — IPC, cache misses per nonzero,
+// bytes actually moved — next to its rate. SpChar (PAPERS.md) shows
+// exactly these features predict format winners; the roofline helper
+// (roofline.hpp) turns them into operational intensity and
+// %-of-STREAM-bandwidth.
+//
+// Availability contract: perf counters are a kernel/hardware privilege,
+// not a given. Containers and CI runners routinely deny the syscall
+// (perf_event_paranoid, seccomp) or lack a PMU entirely (VMs return
+// ENOENT for hardware events). A CounterSet therefore NEVER throws on
+// denial — it degrades to Backend::kNone, where start()/stop()/read()
+// are no-ops and every delta reads zero. Callers behave identically
+// everywhere; the backend is reported so downstream consumers
+// (BenchResult::hw_backend, the CSV, BENCH_kernels.json) can tell a
+// measured zero from an unmeasured one. Tier-1 tests never depend on
+// kernel configuration.
+//
+// Cost model: profiling is OFF by default (BenchParams::hw_counters).
+// When off, no CounterSet is ever constructed — the benchmark iteration
+// loop is bit-identical to the pre-hwprof suite. When on, the cost is
+// two ioctls around the timed loop plus one read(2) after it; the
+// counters are opened once per benchmark instance and reused across
+// cells (the format-once discipline applied to file descriptors).
+//
+// Multiplexing: the kernel time-shares PMU slots when more events are
+// requested than fit. Every event is opened with
+// PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING and its value is scaled by
+// enabled/running on read — the standard estimate for multiplexed
+// counts. Cycles+instructions are opened as one atomic group so IPC is
+// always an exact ratio, never a cross-multiplex estimate; the cache
+// and stall events are opened standalone so one unsupported event
+// (common in VMs) cannot keep the whole group off the PMU.
+//
+// Environment knobs:
+//   SPMM_HWPROF=off|none  force the no-op backend (CI determinism, the
+//                         fallback-path tests, A/B overhead checks).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace spmm::hwprof {
+
+/// Which measurement backend a CounterSet ended up with.
+enum class Backend {
+  /// No counters: profiling disabled, denied, or unsupported. All
+  /// deltas read zero; start/stop/read are no-ops.
+  kNone,
+  /// Linux perf_event_open(2) hardware counters.
+  kPerfEvent,
+};
+
+[[nodiscard]] std::string_view backend_name(Backend backend);
+
+/// The fixed counter vocabulary a CounterSet measures. Kept small and
+/// stable: these are the events SpChar identifies as format-predictive,
+/// and their names are API (telemetry counters are "hw." + name).
+enum class Counter : int {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcMisses,
+  kL1dMisses,
+  kStalledCycles,
+};
+inline constexpr int kCounterCount = 6;
+
+/// Stable short name ("cycles", "instructions", "llc_loads",
+/// "llc_misses", "l1d_misses", "stalled_cycles").
+[[nodiscard]] std::string_view counter_name(Counter counter);
+
+/// Cache-line size assumed when converting LLC misses to bytes moved.
+inline constexpr double kCacheLineBytes = 64.0;
+
+/// One start()..stop() window's multiplex-scaled counter deltas.
+struct CounterDeltas {
+  Backend backend = Backend::kNone;
+  /// Scaled event counts, indexed by Counter. An event that could not
+  /// be opened (unsupported on this PMU) reads 0 with available false.
+  std::array<double, kCounterCount> values{};
+  std::array<bool, kCounterCount> available{};
+  /// True when any event was time-shared on the PMU (running <
+  /// enabled): its value is a scaled estimate, not an exact count.
+  bool multiplexed = false;
+
+  [[nodiscard]] double value(Counter c) const {
+    return values[static_cast<int>(c)];
+  }
+  [[nodiscard]] bool has(Counter c) const {
+    return available[static_cast<int>(c)];
+  }
+
+  /// Instructions per cycle; 0 when either event is missing or cycles
+  /// read 0. Always an exact ratio (same PMU group).
+  [[nodiscard]] double ipc() const;
+
+  /// Bytes moved through the last-level cache boundary: LLC misses ×
+  /// the cache-line size. 0 when the miss event is unavailable.
+  [[nodiscard]] double llc_miss_bytes() const;
+};
+
+/// RAII set of perf counters for the calling thread (self-profiling,
+/// user space only — works at perf_event_paranoid <= 2). Construction
+/// probes and opens the events; destruction closes every descriptor.
+/// Never throws on denial: check backend() for the outcome.
+class CounterSet {
+ public:
+  CounterSet();
+  ~CounterSet();
+
+  CounterSet(const CounterSet&) = delete;
+  CounterSet& operator=(const CounterSet&) = delete;
+
+  [[nodiscard]] Backend backend() const { return backend_; }
+
+  /// Reset every counter to zero and enable counting. Safe to call
+  /// again without stop() (each start is a fresh window).
+  void start();
+  /// Disable counting; read() then reports the start()..stop() window.
+  void stop();
+  /// Multiplex-scaled deltas of the last window. Zeroes under kNone.
+  [[nodiscard]] CounterDeltas read() const;
+
+ private:
+  Backend backend_ = Backend::kNone;
+  /// Group leader (cycles) + instructions share fds_[0..1]; the rest
+  /// are standalone events. -1 = not open.
+  std::array<int, kCounterCount> fds_{};
+};
+
+/// True when this process can open at least the cycles+instructions
+/// group right now (one probe CounterSet; not cached — cheap enough,
+/// and honours a changed SPMM_HWPROF between calls).
+[[nodiscard]] bool available();
+
+/// True when SPMM_HWPROF=off|none|0 forces the no-op backend.
+[[nodiscard]] bool disabled_by_env();
+
+}  // namespace spmm::hwprof

@@ -1,0 +1,87 @@
+#include "hwprof/roofline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace spmm::hwprof {
+
+RooflinePoint roofline(const RooflineInput& in) {
+  RooflinePoint pt;
+  if (in.seconds > 0.0 && in.flops > 0.0) {
+    pt.gflops = in.flops / in.seconds / 1e9;
+  }
+  const double bytes =
+      in.measured_bytes > 0.0 ? in.measured_bytes : in.model_bytes;
+  pt.oi_measured = in.measured_bytes > 0.0;
+  if (bytes > 0.0 && in.flops > 0.0) {
+    pt.oi = in.flops / bytes;
+  }
+  if (bytes > 0.0 && in.seconds > 0.0) {
+    pt.achieved_bw_gbs = bytes / in.seconds / 1e9;
+    if (in.stream_bw_gbs > 0.0) {
+      pt.stream_bw_fraction = pt.achieved_bw_gbs / in.stream_bw_gbs;
+    }
+  }
+  if (in.stream_bw_gbs > 0.0) {
+    pt.roof_gflops = pt.oi * in.stream_bw_gbs;
+  }
+  return pt;
+}
+
+double model_bytes(std::size_t format_bytes, std::int64_t rows,
+                   std::int64_t cols, int k, std::size_t value_size) {
+  const double vs = static_cast<double>(value_size);
+  const double kk = static_cast<double>(std::max(0, k));
+  return static_cast<double>(format_bytes) +
+         static_cast<double>(std::max<std::int64_t>(0, cols)) * kk * vs +
+         2.0 * static_cast<double>(std::max<std::int64_t>(0, rows)) * kk * vs;
+}
+
+namespace {
+
+/// STREAM triad over a buffer several times the typical LLC, best of 3
+/// sweeps. Counts the triad's compulsory traffic (two reads + one
+/// write per element; write-allocate traffic is deliberately not
+/// charged — STREAM's own convention).
+double measure_stream_triad_gbs() {
+  constexpr std::size_t kElems = std::size_t{1} << 22;  // 4 Mi doubles/array
+  std::vector<double> a(kElems, 1.0);
+  std::vector<double> b(kElems, 2.0);
+  std::vector<double> c(kElems, 3.0);
+  const double scalar = 3.0;
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kElems; ++i) {
+      a[i] = b[i] + scalar * c[i];
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || s < best_seconds) best_seconds = s;
+    // Defeat dead-store elimination across reps.
+    b[0] = a[kElems - 1];
+  }
+  if (best_seconds <= 0.0) return 0.0;
+  const double bytes = 3.0 * static_cast<double>(kElems) * sizeof(double);
+  return bytes / best_seconds / 1e9;
+}
+
+}  // namespace
+
+double stream_bandwidth_gbs() {
+  // The env override wins on every call (not just the first), so tests
+  // can pin a deterministic bandwidth regardless of call order.
+  if (const char* env = std::getenv("SPMM_STREAM_BW_GBS")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  static std::once_flag once;
+  static double measured = 0.0;
+  std::call_once(once, [] { measured = measure_stream_triad_gbs(); });
+  return measured;
+}
+
+}  // namespace spmm::hwprof

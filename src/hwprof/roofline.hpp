@@ -1,0 +1,83 @@
+// Roofline analysis over benchmark cells (spmm::hwprof).
+//
+// Kreutzer et al. (PAPERS.md) validate sparse kernels against a roofline
+// bandwidth bound: a kernel at operational intensity OI (flop/byte)
+// cannot exceed OI × memory bandwidth. This header turns a cell's
+// measured rate, its hardware-counter byte traffic (hwprof.hpp), and a
+// per-format flop/byte traffic model into that comparison: operational
+// intensity, achieved bandwidth, and the fraction of the machine's
+// STREAM bandwidth the cell sustained.
+//
+// Bytes come from two sources, both reported:
+//   measured — LLC misses × cache line (what actually crossed the LLC
+//              boundary; only with a live perf backend),
+//   modeled  — the compulsory-traffic model: the formatted structure
+//              streamed once, the dense B panel read once, C written
+//              (and read back for accumulation) once. This is the same
+//              flop/byte accounting the analytical cost model
+//              (src/perfmodel) uses for its memory term, reduced to
+//              what a cell knows about itself.
+// The roofline point prefers measured bytes and falls back to the
+// model, flagged via `oi_measured` — so the no-PMU fallback path still
+// yields a roofline, just a modeled one.
+//
+// STREAM bandwidth is calibrated once per process by a triad sweep
+// (a[i] = b[i] + s·c[i] over a buffer far larger than LLC), overridable
+// with SPMM_STREAM_BW_GBS for deterministic tests and CI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spmm::hwprof {
+
+/// Everything one cell contributes to its roofline point. All
+/// per-invocation quantities (one kernel call).
+struct RooflineInput {
+  /// True work: 2·nnz·k.
+  double flops = 0.0;
+  /// Average seconds of one kernel invocation.
+  double seconds = 0.0;
+  /// Measured bytes per invocation (LLC misses × line); 0 = no PMU.
+  double measured_bytes = 0.0;
+  /// Modeled compulsory bytes per invocation (model_bytes()).
+  double model_bytes = 0.0;
+  /// Calibrated STREAM bandwidth of this host, GB/s.
+  double stream_bw_gbs = 0.0;
+};
+
+/// One cell's position against the bandwidth roof.
+struct RooflinePoint {
+  /// Achieved rate, GFLOP/s (flops / seconds).
+  double gflops = 0.0;
+  /// Operational intensity, flop/byte — measured bytes when available,
+  /// modeled otherwise.
+  double oi = 0.0;
+  bool oi_measured = false;
+  /// Sustained memory bandwidth, GB/s (bytes / seconds).
+  double achieved_bw_gbs = 0.0;
+  /// achieved_bw / STREAM bandwidth, in [0, ~1] (can exceed 1 when the
+  /// model overestimates traffic a cache actually absorbed).
+  double stream_bw_fraction = 0.0;
+  /// The bandwidth ceiling at this OI: oi × stream_bw, GFLOP/s.
+  double roof_gflops = 0.0;
+};
+
+/// Combine a cell's numbers into its roofline point. Degenerate inputs
+/// (zero time, zero bytes) yield zeros, never inf/NaN.
+[[nodiscard]] RooflinePoint roofline(const RooflineInput& in);
+
+/// Compulsory-traffic model for one SpMM invocation, bytes: the
+/// formatted structure (values + indices, padding included — that is
+/// exactly what format_bytes stores) streamed once, B (cols×k values)
+/// read once, C (rows×k values) written and read back once.
+[[nodiscard]] double model_bytes(std::size_t format_bytes, std::int64_t rows,
+                                 std::int64_t cols, int k,
+                                 std::size_t value_size);
+
+/// This host's STREAM-triad bandwidth in GB/s. Measured once per
+/// process (~tens of ms, cached); SPMM_STREAM_BW_GBS overrides the
+/// measurement (checked on every call, so tests can retarget it).
+[[nodiscard]] double stream_bandwidth_gbs();
+
+}  // namespace spmm::hwprof

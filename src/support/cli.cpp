@@ -279,6 +279,10 @@ void BenchParams::register_options(ArgParser& parser) {
   parser.add_flag("audit", 0,
                   "run the structural analyzer over the formatted "
                   "structure before timing");
+  parser.add_flag("hw-counters", 0,
+                  "profile the timed loop with hardware performance "
+                  "counters (perf_event); degrades to a no-op backend "
+                  "where counters are denied or unsupported");
   parser.add_int("seed", 's', 42, "seed for generators and operand fill");
   parser.add_int("device-memory-mb", 0, 0,
                  "emulated device memory cap in MiB (0 = unlimited)");
@@ -311,6 +315,7 @@ BenchParams BenchParams::from_parser(const ArgParser& parser) {
   p.verify_probe = parser.get_flag("probe-verify");
   p.debug = parser.get_flag("debug");
   p.audit = parser.get_flag("audit");
+  p.hw_counters = parser.get_flag("hw-counters");
   p.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
   const std::int64_t dev_mb = parser.get_int("device-memory-mb");
   SPMM_CHECK(dev_mb >= 0, "--device-memory-mb must be non-negative");

@@ -138,6 +138,13 @@ struct BenchParams {
   /// Run the structural analyzer (src/audit) over the formatted
   /// structure before timing; findings are attached to the BenchResult.
   bool audit = false;
+  /// Profile the timed iteration loop with hardware performance
+  /// counters (--hw-counters; src/hwprof). Off by default: the run
+  /// loop then never constructs a CounterSet and times bit-identically
+  /// to the pre-hwprof suite. When counters are denied or unsupported
+  /// the profiler degrades to a no-op backend (hw_backend = "none")
+  /// and the run succeeds regardless of kernel configuration.
+  bool hw_counters = false;
   /// Seed for matrix generation / dense operand fill.
   std::uint64_t seed = 42;
   /// Emulated device memory capacity in bytes for device variants;

@@ -1,0 +1,104 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/jsonl.hpp"
+
+namespace spmm::telemetry {
+
+namespace {
+
+// Nanoseconds -> the format's microseconds, exactly: integer part plus
+// the 3-digit fractional remainder ("1234.567"). Avoids double
+// formatting so huge timestamps keep full precision.
+std::string ts_us(std::int64_t ts_ns) {
+  char buf[40];
+  const std::int64_t us = ts_ns / 1000;
+  const std::int64_t frac = ts_ns % 1000;
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03" PRId64, us,
+                frac < 0 ? -frac : frac);
+  return buf;
+}
+
+// Counter/sample values round-trip through the same shortest-exact
+// formatting the JSONL writer uses.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::span<const Event> events) {
+  os << "{\"traceEvents\":[";
+  // Metadata first: name the single process/thread the suite traces.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"spmm-bench\"}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"bench\"}}";
+  for (const Event& e : events) {
+    os << ",{";
+    switch (e.kind) {
+      case EventKind::kSpanBegin:
+        os << "\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"B\"";
+        if (!e.category.empty()) {
+          os << ",\"cat\":\"" << json_escape(e.category) << "\"";
+        }
+        os << ",\"ts\":" << ts_us(e.ts_ns) << ",\"pid\":1,\"tid\":1";
+        if (!e.detail.empty() || e.iteration >= 0) {
+          os << ",\"args\":{";
+          bool first = true;
+          if (!e.detail.empty()) {
+            os << "\"detail\":\"" << json_escape(e.detail) << "\"";
+            first = false;
+          }
+          if (e.iteration >= 0) {
+            if (!first) os << ",";
+            os << "\"iteration\":" << e.iteration;
+          }
+          os << "}";
+        }
+        break;
+      case EventKind::kSpanEnd:
+        os << "\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"E\""
+           << ",\"ts\":" << ts_us(e.ts_ns) << ",\"pid\":1,\"tid\":1";
+        break;
+      case EventKind::kCounter:
+        os << "\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"C\"";
+        if (!e.category.empty()) {
+          os << ",\"cat\":\"" << json_escape(e.category) << "\"";
+        }
+        os << ",\"ts\":" << ts_us(e.ts_ns) << ",\"pid\":1"
+           << ",\"args\":{\"value\":" << num(e.value) << "}";
+        break;
+      case EventKind::kSample:
+        // Samples render as their own counter track: the per-iteration
+        // series (iteration_seconds) plots directly in the viewer.
+        os << "\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"C\""
+           << ",\"ts\":" << ts_us(e.ts_ns) << ",\"pid\":1"
+           << ",\"args\":{\"value\":" << num(e.value) << "}";
+        break;
+      case EventKind::kLog:
+        os << "\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"i\""
+           << ",\"s\":\"g\",\"ts\":" << ts_us(e.ts_ns)
+           << ",\"pid\":1,\"tid\":1";
+        if (!e.detail.empty()) {
+          os << ",\"args\":{\"detail\":\"" << json_escape(e.detail) << "\"}";
+        }
+        break;
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(std::span<const Event> events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+}  // namespace spmm::telemetry

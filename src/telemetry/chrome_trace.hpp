@@ -1,0 +1,38 @@
+// Chrome/Perfetto trace export: convert a validated telemetry event
+// stream into the Trace Event Format JSON that chrome://tracing and
+// ui.perfetto.dev load directly.
+//
+// Mapping (one traceEvents entry per telemetry event):
+//   span_begin -> ph "B" (duration-begin; detail/iteration as args)
+//   span_end   -> ph "E"
+//   counter    -> ph "C" (a counter track named after the counter; the
+//                 value becomes the track's single series)
+//   sample     -> ph "C" (per-iteration series, e.g. iteration_seconds)
+//   log        -> ph "i" (global instant; detail as args)
+// Timestamps are the trace's monotonic nanoseconds converted to the
+// format's microseconds, with the sub-microsecond part kept as a
+// decimal fraction — nothing is rounded away. All events share pid 1 /
+// tid 1: the suite's benchmark loop is single-threaded by design
+// (parallelism lives inside one timed kernel invocation).
+//
+// The exporter assumes a *validated* stream (read_trace enforces span
+// pairing); trace_report refuses to convert an invalid trace, because
+// an unbalanced B/E sequence renders as garbage nesting in the viewer.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace spmm::telemetry {
+
+/// Write the event stream as a complete Trace Event Format JSON object
+/// ({"traceEvents":[...],"displayTimeUnit":"ms"}) to `os`.
+void write_chrome_trace(std::ostream& os, std::span<const Event> events);
+
+/// Same, returned as a string (tests, in-memory use).
+[[nodiscard]] std::string chrome_trace_json(std::span<const Event> events);
+
+}  // namespace spmm::telemetry

@@ -1,6 +1,7 @@
 #include "telemetry/options.hpp"
 
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "telemetry/summary.hpp"
@@ -17,10 +18,14 @@ void register_trace_options(ArgParser& parser) {
 TraceSetup trace_setup_from_parser(const ArgParser& parser) {
   TraceSetup setup;
   setup.trace_path = parser.get_string("trace");
+  setup.summary_to_stdout = parser.get_flag("perf-summary");
   if (!setup.trace_path.empty()) {
     setup.jsonl = std::make_shared<JsonlSink>(setup.trace_path);
   }
-  if (parser.get_flag("perf-summary")) {
+  // The memory collector rides along with every trace file, not just
+  // --perf-summary: finish() aggregates it into the trace's final
+  // perf_summary log event.
+  if (setup.summary_to_stdout || setup.jsonl) {
     setup.memory = std::make_shared<MemorySink>();
   }
   if (setup.jsonl && setup.memory) {
@@ -35,10 +40,28 @@ TraceSetup trace_setup_from_parser(const ArgParser& parser) {
 }
 
 void TraceSetup::finish(std::ostream& os) {
-  if (jsonl) jsonl->flush();
+  std::string rendered;
   if (memory) {
+    std::ostringstream text;
+    print_summary(text, summarize_trace(memory->events()));
+    rendered = text.str();
+  }
+  if (jsonl && memory) {
+    // Self-contained trace: the aggregated breakdown becomes the file's
+    // final log event, so a trace can be read standalone — no re-run,
+    // no separate report. Appended directly to the JSONL sink (not the
+    // tee) so the summary never recursively counts itself.
+    Event e;
+    e.kind = EventKind::kLog;
+    e.ts_ns = now_ns();
+    e.name = "perf_summary";
+    e.detail = rendered;
+    jsonl->consume(e);
+  }
+  if (jsonl) jsonl->flush();
+  if (memory && summary_to_stdout) {
     os << "\n--- telemetry summary ---\n";
-    print_summary(os, summarize_trace(memory->events()));
+    os << rendered;
   }
   if (jsonl) {
     os << "wrote telemetry trace to " << trace_path << "\n";

@@ -18,18 +18,26 @@ namespace spmm::telemetry {
 void register_trace_options(ArgParser& parser);
 
 /// The sink stack a tool run owns: a JSONL writer when --trace was
-/// given, a memory collector when --perf-summary was given, tee'd when
-/// both. `sink` is null when neither flag is set (telemetry disabled).
+/// given, a memory collector when --perf-summary was given — and also
+/// whenever --trace was given, because finish() appends the aggregated
+/// summary to the trace file as its final "perf_summary" log event: a
+/// trace is self-contained, readable without re-running the tool that
+/// wrote it. `sink` is null when neither flag is set (telemetry
+/// disabled).
 struct TraceSetup {
   std::shared_ptr<Sink> sink;
   std::shared_ptr<JsonlSink> jsonl;
   std::shared_ptr<MemorySink> memory;
   std::string trace_path;
+  /// True only when --perf-summary asked for the stdout report; the
+  /// memory sink alone no longer implies it (see above).
+  bool summary_to_stdout = false;
 
   [[nodiscard]] bool enabled() const { return sink != nullptr; }
 
-  /// Flush the trace file and, when --perf-summary was requested, print
-  /// the aggregated per-phase/device breakdown to `os`.
+  /// Append the summary log event to the trace, flush the trace file,
+  /// and, when --perf-summary was requested, print the aggregated
+  /// per-phase/device breakdown to `os`.
   void finish(std::ostream& os);
 };
 

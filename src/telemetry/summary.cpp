@@ -43,6 +43,7 @@ TraceSummary summarize_trace(std::span<const Event> events,
       }
       case EventKind::kCounter:
         summary.counter_totals[e.name] += e.value;
+        ++summary.counter_counts[e.name];
         break;
       case EventKind::kSample:
         ++summary.samples;
@@ -91,29 +92,85 @@ void print_summary(std::ostream& os, const TraceSummary& summary) {
     table.print(os);
   }
 
-  bool any_dev = false;
-  for (const auto& [name, total] : summary.counter_totals) {
-    if (name.rfind("dev.", 0) == 0) {
-      if (!any_dev) {
-        os << "\ndevice traffic totals:\n";
-        any_dev = true;
+  // Counter totals, grouped under one heading per counter family so a
+  // mixed trace (profiled chaos run on a device variant) reads as
+  // sections, not one interleaved alphabetical dump. A family's heading
+  // appears only when the trace carries its counters; a counter whose
+  // prefix matches no family lands under "other counters". run.* device
+  // deltas group with dev.* (same subsystem, per-run granularity).
+  struct CounterFamily {
+    const char* heading;
+    std::vector<const char*> prefixes;
+  };
+  const CounterFamily families[] = {
+      {"hardware counters (hw.*):", {"hw."}},
+      {"device traffic totals:", {"dev.", "run."}},
+      {"scheduling (sched.*):", {"sched."}},
+      {"fault injections (fault.*):", {"fault."}},
+      {"failure outcomes (cell.*):", {"cell.", "cache."}},
+  };
+  std::map<std::string, double> ungrouped = summary.counter_totals;
+  for (const CounterFamily& family : families) {
+    bool any = false;
+    for (const auto& [name, total] : summary.counter_totals) {
+      bool match = false;
+      for (const char* prefix : family.prefixes) {
+        if (name.rfind(prefix, 0) == 0) { match = true; break; }
       }
+      if (!match) continue;
+      if (!any) {
+        os << "\n" << family.heading << "\n";
+        any = true;
+      }
+      os << "  " << name << ": " << format_double(total, 0) << "\n";
+      ungrouped.erase(name);
+    }
+  }
+  if (!ungrouped.empty()) {
+    os << "\nother counters:\n";
+    for (const auto& [name, total] : ungrouped) {
       os << "  " << name << ": " << format_double(total, 0) << "\n";
     }
   }
 
-  // Resilience outcomes: fired fault-injection sites (fault.*) and cell
-  // failure/degradation/retry counters (cell.*, cache.*); see
-  // docs/ROBUSTNESS.md. Absent from clean traces.
-  bool any_fault = false;
-  for (const auto& [name, total] : summary.counter_totals) {
-    if (name.rfind("fault.", 0) == 0 || name.rfind("cell.", 0) == 0 ||
-        name.rfind("cache.", 0) == 0) {
-      if (!any_fault) {
-        os << "\nfailure outcomes:\n";
-        any_fault = true;
+  // Roofline over the whole trace, from the hw.* profiling counters
+  // (emitted per profiled run: hw.flops/hw.bytes are timed-loop totals,
+  // hw.stream_bw_gbs a per-run gauge) against the "iteration" phase's
+  // total time. Modeled bytes — present whatever the counter backend,
+  // so counter-denied environments still get the section.
+  {
+    const auto flops_it = summary.counter_totals.find("hw.flops");
+    const auto bytes_it = summary.counter_totals.find("hw.bytes");
+    const PhaseStat* iter = nullptr;
+    for (const PhaseStat& p : summary.phases) {
+      if (p.name == "iteration") { iter = &p; break; }
+    }
+    if (flops_it != summary.counter_totals.end() &&
+        bytes_it != summary.counter_totals.end() && iter != nullptr &&
+        iter->total_ns > 0 && bytes_it->second > 0.0) {
+      const double seconds = static_cast<double>(iter->total_ns) / 1e9;
+      const double oi = flops_it->second / bytes_it->second;
+      const double gflops = flops_it->second / seconds / 1e9;
+      const double bw_gbs = bytes_it->second / seconds / 1e9;
+      os << "\nroofline (modeled bytes, over all profiled iterations):\n"
+         << "  flops: " << format_double(flops_it->second, 0)
+         << "  bytes: " << format_double(bytes_it->second, 0) << "\n"
+         << "  operational intensity: " << format_double(oi, 3)
+         << " flop/byte\n"
+         << "  achieved: " << format_double(gflops, 3) << " GFLOP/s at "
+         << format_double(bw_gbs, 3) << " GB/s";
+      const auto bw_it = summary.counter_totals.find("hw.stream_bw_gbs");
+      const auto bwc_it = summary.counter_counts.find("hw.stream_bw_gbs");
+      if (bw_it != summary.counter_totals.end() &&
+          bwc_it != summary.counter_counts.end() && bwc_it->second > 0) {
+        const double stream =
+            bw_it->second / static_cast<double>(bwc_it->second);
+        if (stream > 0.0) {
+          os << " (" << format_double(100.0 * bw_gbs / stream, 1)
+             << "% of STREAM " << format_double(stream, 1) << " GB/s)";
+        }
       }
-      os << "  " << name << ": " << format_double(total, 0) << "\n";
+      os << "\n";
     }
   }
 

@@ -39,6 +39,9 @@ struct TraceSummary {
   std::vector<PhaseStat> phases;
   /// Counter totals by name (e.g. dev.h2d_bytes -> total bytes).
   std::map<std::string, double> counter_totals;
+  /// How many events contributed to each total — the mean of a
+  /// per-emission gauge (hw.stream_bw_gbs) is total / count.
+  std::map<std::string, std::size_t> counter_counts;
   /// The slowest completed spans, longest first.
   std::vector<SpanRecord> slowest;
   std::size_t events = 0;

@@ -90,7 +90,10 @@ TEST(BenchCsv, HeaderIsPinned) {
             "sched,"
             // Appended by the SIMD-tier PR — requested/executed ISA and
             // the kernel the min-work guard actually ran.
-            "isa,executed_isa,executed_variant");
+            "isa,executed_isa,executed_variant,"
+            // Appended by the hwprof PR — hardware-counter profile.
+            // hw_backend tells a measured zero ("none") from a real one.
+            "llc_miss_per_nnz,ipc,measured_bytes,hw_backend");
   // One data row with matching arity must follow.
   EXPECT_NE(out.find('\n'), std::string::npos);
   const std::string row = out.substr(out.find('\n') + 1);

@@ -1,0 +1,281 @@
+// Tests for the hwprof subsystem: the roofline math and byte model, the
+// STREAM-bandwidth env override, the CounterSet availability contract
+// (graceful degradation to the no-op backend — the path containers and
+// CI exercise), and the benchmark integration: hw fields populated on
+// profiled runs, bit-identical kernel results with profiling on vs off,
+// and the null path (profiling off) leaving the result untouched.
+//
+// None of these tests require a PMU. The ones that exercise the live
+// perf_event backend are conditional on hwprof::available(), so the
+// suite passes identically on bare metal, in VMs, and under seccomp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+#include "core/runner.hpp"
+#include "hwprof/hwprof.hpp"
+#include "hwprof/roofline.hpp"
+#include "telemetry/telemetry.hpp"
+#include "test_util.hpp"
+
+namespace spmm::hwprof {
+namespace {
+
+using testutil::CooD;
+
+// Scoped environment override (POSIX setenv; the test binary is
+// single-threaded, so this is safe).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+BenchParams fast_params(int k = 8) {
+  BenchParams p;
+  p.iterations = 3;
+  p.warmup = 1;
+  p.threads = 2;
+  p.k = k;
+  return p;
+}
+
+TEST(Roofline, ModeledPoint) {
+  RooflineInput in;
+  in.flops = 2e9;
+  in.seconds = 1.0;
+  in.model_bytes = 1e9;
+  in.stream_bw_gbs = 10.0;
+  const RooflinePoint pt = roofline(in);
+  EXPECT_DOUBLE_EQ(pt.gflops, 2.0);
+  EXPECT_DOUBLE_EQ(pt.oi, 2.0);
+  EXPECT_FALSE(pt.oi_measured);
+  EXPECT_DOUBLE_EQ(pt.achieved_bw_gbs, 1.0);
+  EXPECT_DOUBLE_EQ(pt.stream_bw_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(pt.roof_gflops, 20.0);
+}
+
+TEST(Roofline, MeasuredBytesPreferred) {
+  RooflineInput in;
+  in.flops = 2e9;
+  in.seconds = 1.0;
+  in.measured_bytes = 5e8;
+  in.model_bytes = 1e9;
+  in.stream_bw_gbs = 10.0;
+  const RooflinePoint pt = roofline(in);
+  EXPECT_DOUBLE_EQ(pt.oi, 4.0);
+  EXPECT_TRUE(pt.oi_measured);
+  EXPECT_DOUBLE_EQ(pt.achieved_bw_gbs, 0.5);
+}
+
+TEST(Roofline, DegenerateInputsYieldZerosNotNan) {
+  const RooflinePoint pt = roofline(RooflineInput{});
+  EXPECT_EQ(pt.gflops, 0.0);
+  EXPECT_EQ(pt.oi, 0.0);
+  EXPECT_EQ(pt.achieved_bw_gbs, 0.0);
+  EXPECT_EQ(pt.stream_bw_fraction, 0.0);
+  EXPECT_EQ(pt.roof_gflops, 0.0);
+  EXPECT_TRUE(std::isfinite(pt.gflops));
+  EXPECT_TRUE(std::isfinite(pt.oi));
+}
+
+TEST(Roofline, ModelBytesAccountsAllThreeOperands) {
+  // format structure once + B (cols×k) read + C (rows×k) written and
+  // read back: format_bytes + cols·k·vs + 2·rows·k·vs.
+  const double bytes = model_bytes(1000, 10, 20, 4, 8);
+  EXPECT_DOUBLE_EQ(bytes, 1000.0 + 20.0 * 4 * 8 + 2.0 * 10 * 4 * 8);
+}
+
+TEST(Roofline, StreamBandwidthEnvOverride) {
+  ScopedEnv bw("SPMM_STREAM_BW_GBS", "33.5");
+  EXPECT_DOUBLE_EQ(stream_bandwidth_gbs(), 33.5);
+}
+
+TEST(CounterSet, EnvForcesNoopBackend) {
+  ScopedEnv off("SPMM_HWPROF", "off");
+  EXPECT_TRUE(disabled_by_env());
+  EXPECT_FALSE(available());
+  CounterSet set;
+  EXPECT_EQ(set.backend(), Backend::kNone);
+  set.start();
+  set.stop();
+  const CounterDeltas d = set.read();
+  EXPECT_EQ(d.backend, Backend::kNone);
+  for (int i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    EXPECT_EQ(d.value(c), 0.0);
+    EXPECT_FALSE(d.has(c));
+  }
+  EXPECT_EQ(d.ipc(), 0.0);
+  EXPECT_EQ(d.llc_miss_bytes(), 0.0);
+  EXPECT_EQ(backend_name(d.backend), "none");
+}
+
+TEST(CounterSet, LiveBackendCountsWork) {
+  if (!available()) {
+    GTEST_SKIP() << "perf_event counters unavailable in this environment";
+  }
+  CounterSet set;
+  ASSERT_EQ(set.backend(), Backend::kPerfEvent);
+  set.start();
+  // Enough work that cycles/instructions cannot plausibly read zero.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  set.stop();
+  const CounterDeltas d = set.read();
+  EXPECT_EQ(d.backend, Backend::kPerfEvent);
+  EXPECT_TRUE(d.has(Counter::kCycles));
+  EXPECT_TRUE(d.has(Counter::kInstructions));
+  EXPECT_GT(d.value(Counter::kCycles), 0.0);
+  EXPECT_GT(d.value(Counter::kInstructions), 0.0);
+  EXPECT_GT(d.ipc(), 0.0);
+}
+
+TEST(CounterSet, RestartResetsTheWindow) {
+  if (!available()) {
+    GTEST_SKIP() << "perf_event counters unavailable in this environment";
+  }
+  CounterSet set;
+  set.start();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + 1.0;
+  set.stop();
+  const double big = set.read().value(Counter::kInstructions);
+  set.start();  // fresh window: the million-add loop must not carry over
+  set.stop();
+  const double small = set.read().value(Counter::kInstructions);
+  EXPECT_LT(small, big);
+}
+
+// --- Benchmark integration ---------------------------------------------
+
+// The no-op fallback is the acceptance contract: with counters forced
+// off, a profiled run still succeeds, reports hw_backend "none" with
+// zeroed counter deltas, and the roofline half (modeled bytes + wall
+// time) is still populated.
+TEST(BenchmarkHwprof, FallbackReportsNoneWithZeroDeltasAndRoofline) {
+  ScopedEnv off("SPMM_HWPROF", "off");
+  ScopedEnv bw("SPMM_STREAM_BW_GBS", "25");
+  BenchParams p = fast_params();
+  p.hw_counters = true;
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, testutil::random_coo(64, 64, 6), p,
+      "rnd");
+  EXPECT_TRUE(r.hw_profiled);
+  EXPECT_EQ(r.hw_backend, "none");
+  EXPECT_EQ(r.hw_cycles, 0.0);
+  EXPECT_EQ(r.hw_instructions, 0.0);
+  EXPECT_EQ(r.hw_ipc, 0.0);
+  EXPECT_EQ(r.llc_miss_per_nnz, 0.0);
+  EXPECT_EQ(r.measured_bytes, 0.0);
+  // Modeled roofline: OI and the STREAM fraction need no counters.
+  EXPECT_GT(r.operational_intensity, 0.0);
+  EXPECT_GT(r.achieved_bw_gbs, 0.0);
+  EXPECT_GT(r.stream_bw_fraction, 0.0);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(BenchmarkHwprof, LiveBackendYieldsNonzeroCountersAndIpc) {
+  if (!available()) {
+    GTEST_SKIP() << "perf_event counters unavailable in this environment";
+  }
+  ScopedEnv bw("SPMM_STREAM_BW_GBS", "25");
+  BenchParams p = fast_params();
+  p.hw_counters = true;
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, testutil::random_coo(64, 64, 6), p,
+      "rnd");
+  EXPECT_EQ(r.hw_backend, "perf_event");
+  EXPECT_GT(r.hw_cycles, 0.0);
+  EXPECT_GT(r.hw_instructions, 0.0);
+  EXPECT_GT(r.hw_ipc, 0.0);
+}
+
+// Profiling must not perturb the computation: the kernel output (and
+// with it the verification error) is bit-identical with profiling on
+// and off — same matrix, same seed, same kernel.
+TEST(BenchmarkHwprof, ProfilingOnVsOffIsBitIdentical) {
+  ScopedEnv bw("SPMM_STREAM_BW_GBS", "25");
+  const CooD coo = testutil::random_coo(96, 96, 5);
+
+  auto off_bench = bench::make_benchmark<double, std::int32_t>(Format::kCsr);
+  off_bench->setup(coo, fast_params(), "rnd");
+  const auto r_off = off_bench->run(Variant::kSerial);
+
+  BenchParams p = fast_params();
+  p.hw_counters = true;
+  auto on_bench = bench::make_benchmark<double, std::int32_t>(Format::kCsr);
+  on_bench->setup(coo, p, "rnd");
+  const auto r_on = on_bench->run(Variant::kSerial);
+
+  ASSERT_EQ(off_bench->c().rows(), on_bench->c().rows());
+  ASSERT_EQ(off_bench->c().cols(), on_bench->c().cols());
+  EXPECT_EQ(max_abs_diff(off_bench->c(), on_bench->c()), 0.0);
+  EXPECT_EQ(r_off.max_abs_error, r_on.max_abs_error);
+  EXPECT_TRUE(r_on.verified);
+}
+
+// Null-path regression: with hw_counters off (the default), the run
+// must not touch any hw field — the result reads exactly as the
+// pre-hwprof suite produced it.
+TEST(BenchmarkHwprof, DisabledProfilingLeavesResultUntouched) {
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, testutil::random_coo(64, 64, 6),
+      fast_params(), "rnd");
+  EXPECT_FALSE(r.hw_profiled);
+  EXPECT_EQ(r.hw_backend, "none");
+  EXPECT_EQ(r.hw_cycles, 0.0);
+  EXPECT_EQ(r.hw_ipc, 0.0);
+  EXPECT_EQ(r.operational_intensity, 0.0);
+  EXPECT_EQ(r.stream_bw_fraction, 0.0);
+  EXPECT_EQ(r.measured_bytes, 0.0);
+}
+
+// Profiled runs with a sink attached emit the roofline ingredient
+// counters whatever the backend (hw.flops / hw.bytes / hw.stream_bw_gbs
+// feed trace_report's roofline section in counter-denied environments).
+TEST(BenchmarkHwprof, TelemetryCarriesRooflineIngredients) {
+  ScopedEnv bw("SPMM_STREAM_BW_GBS", "25");
+  auto mem = std::make_shared<telemetry::MemorySink>();
+  BenchParams p = fast_params();
+  p.hw_counters = true;
+  p.sink = mem;
+  const auto r = bench::run_benchmark<double, std::int32_t>(
+      Format::kCsr, Variant::kSerial, testutil::random_coo(64, 64, 6), p,
+      "rnd");
+  EXPECT_TRUE(r.hw_profiled);
+  double flops = 0.0, bytes = 0.0, stream = 0.0;
+  for (const telemetry::Event& e : mem->events()) {
+    if (e.kind != telemetry::EventKind::kCounter) continue;
+    if (e.name == "hw.flops") flops = e.value;
+    if (e.name == "hw.bytes") bytes = e.value;
+    if (e.name == "hw.stream_bw_gbs") stream = e.value;
+  }
+  // Loop totals: per-invocation flops × iterations.
+  EXPECT_DOUBLE_EQ(flops, r.flops * p.iterations);
+  EXPECT_GT(bytes, 0.0);
+  EXPECT_DOUBLE_EQ(stream, 25.0);
+}
+
+}  // namespace
+}  // namespace spmm::hwprof

@@ -10,6 +10,7 @@
 
 #include "core/runner.hpp"
 #include "support/stats.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/jsonl.hpp"
 #include "telemetry/options.hpp"
 #include "telemetry/summary.hpp"
@@ -402,8 +403,129 @@ TEST(Options, TraceSetupBuildsSinkStackAndWritesFile) {
 
   const TraceParseResult trace = read_trace_file(path);
   EXPECT_TRUE(trace.ok()) << (trace.errors.empty() ? "" : trace.errors[0]);
-  EXPECT_EQ(trace.events.size(), 2u);
+  // Span begin/end plus the appended perf_summary log event — the trace
+  // file is self-contained (the memory sink never sees the summary, so
+  // it cannot recursively count itself).
+  ASSERT_EQ(trace.events.size(), 3u);
+  EXPECT_EQ(trace.events.back().kind, EventKind::kLog);
+  EXPECT_EQ(trace.events.back().name, "perf_summary");
+  EXPECT_NE(trace.events.back().detail.find("per-phase"), std::string::npos);
   EXPECT_EQ(setup.memory->size(), 2u);
+}
+
+// A trace without --perf-summary still gets the memory collector (for
+// the embedded summary event) but prints nothing to stdout.
+TEST(Options, TraceWithoutPerfSummaryEmbedsButDoesNotPrint) {
+  const std::string path = testing::TempDir() + "tel_options_trace2.jsonl";
+  ArgParser parser("test");
+  register_trace_options(parser);
+  const char* argv[] = {"prog", "--trace", path.c_str()};
+  ASSERT_TRUE(parser.parse(3, argv));
+  TraceSetup setup = trace_setup_from_parser(parser);
+  ASSERT_NE(setup.memory, nullptr);
+  EXPECT_FALSE(setup.summary_to_stdout);
+
+  Session s(setup.sink);
+  {
+    ScopedSpan span(s, "format", "bench");
+  }
+  std::ostringstream os;
+  setup.finish(os);
+  EXPECT_EQ(os.str().find("--- telemetry summary ---"), std::string::npos);
+
+  const TraceParseResult trace = read_trace_file(path);
+  ASSERT_TRUE(trace.ok()) << (trace.errors.empty() ? "" : trace.errors[0]);
+  ASSERT_EQ(trace.events.size(), 3u);
+  EXPECT_EQ(trace.events.back().name, "perf_summary");
+}
+
+// Chrome-trace conversion: every event kind maps to its Trace Event
+// Format phase, wrapped in a single traceEvents JSON object.
+TEST(ChromeTrace, MapsEveryEventKind) {
+  auto mem = std::make_shared<MemorySink>();
+  Session s(mem);
+  const std::int64_t t0 = now_ns();
+  const std::uint64_t id = s.begin_span("iteration", "bench", "CSR/serial", 2);
+  s.counter("hw.cycles", 12345.0, "hwprof");
+  s.sample("iteration_seconds", 2, 0.125);
+  s.log("note", "a \"quoted\" detail");
+  s.end_span(id, "iteration", t0);
+
+  const std::string json = chrome_trace_json(mem->events());
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"hw.cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"CSR/serial\""), std::string::npos);
+  EXPECT_NE(json.find("\"iteration\":2"), std::string::npos);
+  // The log detail must be escaped, not embedded raw.
+  EXPECT_NE(json.find("a \\\"quoted\\\" detail"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+// Summary counters group under one heading per family; a counter with
+// no known prefix lands under "other counters".
+TEST(Summary, CountersGroupUnderFamilyHeadings) {
+  auto mem = std::make_shared<MemorySink>();
+  Session s(mem);
+  s.counter("hw.cycles", 100.0, "hwprof");
+  s.counter("dev.h2d_bytes", 64.0, "dev");
+  s.counter("sched.parts", 2.0, "sched");
+  s.counter("fault.cell.fail", 1.0, "resilience");
+  s.counter("cell.error", 1.0, "resilience");
+  s.counter("custom.thing", 7.0);
+
+  std::ostringstream os;
+  print_summary(os, summarize_trace(mem->events()));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("hardware counters (hw.*):"), std::string::npos);
+  EXPECT_NE(out.find("device traffic totals:"), std::string::npos);
+  EXPECT_NE(out.find("scheduling (sched.*):"), std::string::npos);
+  EXPECT_NE(out.find("fault injections (fault.*):"), std::string::npos);
+  EXPECT_NE(out.find("failure outcomes (cell.*):"), std::string::npos);
+  EXPECT_NE(out.find("other counters:"), std::string::npos);
+  EXPECT_NE(out.find("custom.thing"), std::string::npos);
+  // Headings appear in family order and each counter under its own.
+  EXPECT_LT(out.find("hardware counters"), out.find("device traffic"));
+  EXPECT_LT(out.find("device traffic"), out.find("scheduling"));
+}
+
+// A trace carrying the roofline ingredient counters plus iteration
+// spans yields the roofline section, including the STREAM fraction.
+TEST(Summary, RooflineSectionFromHwCounters) {
+  auto mem = std::make_shared<MemorySink>();
+  Session s(mem);
+  {
+    ScopedSpan span(s, "iteration", "bench", "CSR/serial", 0);
+  }
+  s.counter("hw.flops", 2e9, "hwprof");
+  s.counter("hw.bytes", 1e9, "hwprof");
+  s.counter("hw.stream_bw_gbs", 10.0, "hwprof");
+
+  std::ostringstream os;
+  print_summary(os, summarize_trace(mem->events()));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("roofline"), std::string::npos);
+  EXPECT_NE(out.find("operational intensity: 2.000 flop/byte"),
+            std::string::npos);
+  EXPECT_NE(out.find("% of STREAM 10.0 GB/s"), std::string::npos);
+}
+
+// Without hw.* counters the roofline section must not appear — the
+// summary of an unprofiled trace is unchanged.
+TEST(Summary, NoRooflineSectionWithoutHwCounters) {
+  auto mem = std::make_shared<MemorySink>();
+  Session s(mem);
+  {
+    ScopedSpan span(s, "iteration", "bench");
+  }
+  s.counter("dev.h2d_bytes", 64.0, "dev");
+  std::ostringstream os;
+  print_summary(os, summarize_trace(mem->events()));
+  EXPECT_EQ(os.str().find("roofline"), std::string::npos);
 }
 
 TEST(Options, NoFlagsMeansDisabled) {

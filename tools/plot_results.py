@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Plot spmm-bench CSV results as grouped bar charts (SVG).
+"""Plot spmm-bench CSV results as grouped bar charts or a roofline (SVG).
 
 The thesis's suite pairs its CSV output with a plotting script (§6.3.3);
 this is that script, dependency-free: it reads the CSV written by
@@ -7,15 +7,26 @@ this is that script, dependency-free: it reads the CSV written by
 grouped-bar chart of MFLOPs per matrix, one bar group per matrix and one
 bar per kernel/variant series — the layout of the paper's figures.
 
+With --roofline it instead draws an operational-intensity vs GFLOP/s
+scatter (log-log) with the bandwidth ceiling (--bw-gbs, e.g. the STREAM
+number the suite calibrates) and optional compute ceiling
+(--peak-gflops). Bytes per cell come from the measured_bytes column
+when the run had live hardware counters (hw_backend != none), else from
+the same compulsory-traffic model src/hwprof/roofline.cpp uses:
+format_bytes + cols*k*8 + 2*rows*k*8 (double-precision operands).
+
 Usage:
     spmm_bench_cli --matrix cant --format all --variant serial,omp \
                    --csv results.csv
     python3 tools/plot_results.py results.csv -o results.svg
+    python3 tools/plot_results.py results.csv --roofline --bw-gbs 25 \
+                   -o roofline.svg
 """
 
 import argparse
 import csv
 import html
+import math
 import sys
 
 PALETTE = [
@@ -48,6 +59,161 @@ def read_results(path):
     if not matrices:
         raise SystemExit(f"{path}: no data rows")
     return matrices, series, values
+
+
+def read_roofline_points(path):
+    """Read (label, oi, gflops, measured) roofline points from the CSV.
+
+    measured is True when the bytes came from live hardware counters
+    (measured_bytes > 0), False when the compulsory-traffic model
+    supplied them. Rows without timing (failed/skipped cells) are
+    dropped.
+    """
+    points = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"matrix", "kernel", "variant", "gflops", "flops",
+                    "format_bytes", "rows", "cols", "k"}
+        missing = required - set(reader.fieldnames or [])
+        if missing:
+            raise SystemExit(
+                f"{path}: not a spmm-bench CSV (missing {sorted(missing)})")
+        for row in reader:
+            gflops = float(row["gflops"])
+            flops = float(row["flops"])
+            if gflops <= 0 or flops <= 0:
+                continue
+            measured = float(row.get("measured_bytes") or 0.0)
+            if measured > 0:
+                bytes_, is_measured = measured, True
+            else:
+                # The model in src/hwprof/roofline.cpp, for the suite's
+                # double-precision operands (8-byte values).
+                bytes_ = (float(row["format_bytes"])
+                          + float(row["cols"]) * float(row["k"]) * 8
+                          + 2 * float(row["rows"]) * float(row["k"]) * 8)
+                is_measured = False
+            if bytes_ <= 0:
+                continue
+            label = f'{row["matrix"]} {row["kernel"]}/{row["variant"]}'
+            points.append((label, flops / bytes_, gflops, is_measured))
+    if not points:
+        raise SystemExit(f"{path}: no usable rows for a roofline plot")
+    return points
+
+
+def render_roofline(points, title, bw_gbs, peak_gflops):
+    """Log-log OI vs GFLOP/s scatter with bandwidth/compute ceilings."""
+    margin_l, margin_r, margin_t, margin_b = 70, 30, 40, 50
+    plot_w, plot_h = 480, 320
+    width = margin_l + plot_w + margin_r
+    height = margin_t + plot_h + margin_b
+
+    ois = [p[1] for p in points]
+    rates = [p[2] for p in points]
+    xmin = 10 ** math.floor(math.log10(min(ois)))
+    xmax = 10 ** math.ceil(math.log10(max(ois)))
+    roofs = [r for r in (peak_gflops, bw_gbs * xmax if bw_gbs else 0) if r]
+    ymin = 10 ** math.floor(math.log10(min(rates)))
+    ymax = 10 ** math.ceil(math.log10(max(rates + roofs)))
+    if xmax <= xmin:
+        xmax = xmin * 10
+    if ymax <= ymin:
+        ymax = ymin * 10
+
+    def sx(v):
+        return margin_l + plot_w * (math.log10(v) - math.log10(xmin)) / (
+            math.log10(xmax) - math.log10(xmin))
+
+    def sy(v):
+        return margin_t + plot_h - plot_h * (
+            math.log10(v) - math.log10(ymin)) / (
+            math.log10(ymax) - math.log10(ymin))
+
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">')
+    out.append(f'<text x="{width/2}" y="20" text-anchor="middle" '
+               f'font-size="14">{html.escape(title)}</text>')
+
+    # Decade gridlines + labels, both axes.
+    d = math.log10(xmin)
+    while d <= math.log10(xmax) + 1e-9:
+        x = sx(10 ** d)
+        out.append(f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+                   f'y2="{margin_t + plot_h}" stroke="#eee"/>')
+        out.append(f'<text x="{x:.1f}" y="{margin_t + plot_h + 14}" '
+                   f'text-anchor="middle">{10 ** d:g}</text>')
+        d += 1
+    d = math.log10(ymin)
+    while d <= math.log10(ymax) + 1e-9:
+        y = sy(10 ** d)
+        out.append(f'<line x1="{margin_l}" y1="{y:.1f}" '
+                   f'x2="{margin_l + plot_w}" y2="{y:.1f}" stroke="#eee"/>')
+        out.append(f'<text x="{margin_l - 6}" y="{y + 4:.1f}" '
+                   f'text-anchor="end">{10 ** d:g}</text>')
+        d += 1
+    out.append(f'<text x="{margin_l + plot_w / 2}" '
+               f'y="{margin_t + plot_h + 34}" text-anchor="middle">'
+               f'operational intensity (flop/byte)</text>')
+    out.append(f'<text x="14" y="{margin_t + plot_h / 2}" '
+               f'transform="rotate(-90 14 {margin_t + plot_h / 2})" '
+               f'text-anchor="middle">GFLOP/s</text>')
+
+    # Ceilings: the bandwidth roof (gflops = oi * bw, a 45-degree line
+    # in log-log) clipped at the compute roof when one is given.
+    if bw_gbs:
+        x0, x1 = xmin, xmax
+        if peak_gflops:
+            x1 = min(xmax, peak_gflops / bw_gbs)
+        y0 = max(ymin, min(ymax, x0 * bw_gbs))
+        x0 = y0 / bw_gbs
+        y1 = max(ymin, min(ymax, x1 * bw_gbs))
+        x1 = y1 / bw_gbs
+        out.append(f'<line x1="{sx(x0):.1f}" y1="{sy(y0):.1f}" '
+                   f'x2="{sx(x1):.1f}" y2="{sy(y1):.1f}" '
+                   f'stroke="#888" stroke-dasharray="6 3"/>')
+        out.append(f'<text x="{sx(x1) - 4:.1f}" y="{sy(y1) - 6:.1f}" '
+                   f'text-anchor="end" fill="#666">'
+                   f'{bw_gbs:g} GB/s</text>')
+    if peak_gflops and ymin <= peak_gflops <= ymax:
+        y = sy(peak_gflops)
+        out.append(f'<line x1="{margin_l}" y1="{y:.1f}" '
+                   f'x2="{margin_l + plot_w}" y2="{y:.1f}" '
+                   f'stroke="#888" stroke-dasharray="6 3"/>')
+        out.append(f'<text x="{margin_l + plot_w - 4}" y="{y - 6:.1f}" '
+                   f'text-anchor="end" fill="#666">'
+                   f'{peak_gflops:g} GFLOP/s</text>')
+
+    # Points: one palette color per kernel/variant series; modeled-byte
+    # points render hollow so measured and modeled OI are tellable
+    # apart at a glance.
+    series = []
+    for label, oi, gflops, is_measured in points:
+        name = label.split(" ", 1)[1]
+        if name not in series:
+            series.append(name)
+        color = PALETTE[series.index(name) % len(PALETTE)]
+        fill = color if is_measured else "none"
+        out.append(f'<circle cx="{sx(oi):.1f}" cy="{sy(gflops):.1f}" r="4" '
+                   f'fill="{fill}" stroke="{color}" stroke-width="1.5">'
+                   f'<title>{html.escape(label)}: OI {oi:.3f}, '
+                   f'{gflops:.3f} GFLOP/s'
+                   f'{"" if is_measured else " (modeled bytes)"}'
+                   f'</title></circle>')
+
+    # Legend.
+    for si, name in enumerate(series):
+        color = PALETTE[si % len(PALETTE)]
+        y = margin_t + 8 + si * 16
+        out.append(f'<circle cx="{margin_l + 10}" cy="{y}" r="4" '
+                   f'fill="{color}" stroke="{color}"/>')
+        out.append(f'<text x="{margin_l + 20}" y="{y + 4}">'
+                   f'{html.escape(name)}</text>')
+
+    out.append("</svg>")
+    return "\n".join(out)
 
 
 def render_svg(matrices, series, values, title):
@@ -129,16 +295,34 @@ def main(argv):
     parser.add_argument("csv", help="CSV written by spmm_bench_cli --csv")
     parser.add_argument("-o", "--output", default=None,
                         help="output SVG path (default: <csv>.svg)")
-    parser.add_argument("--title", default="SpMM throughput",
-                        help="chart title")
+    parser.add_argument("--title", default=None, help="chart title")
+    parser.add_argument("--roofline", action="store_true",
+                        help="draw an OI vs GFLOP/s roofline scatter "
+                             "instead of the throughput bars")
+    parser.add_argument("--bw-gbs", type=float, default=0.0,
+                        help="memory-bandwidth ceiling for --roofline "
+                             "(GB/s; e.g. the calibrated STREAM number)")
+    parser.add_argument("--peak-gflops", type=float, default=0.0,
+                        help="compute ceiling for --roofline (GFLOP/s)")
     args = parser.parse_args(argv)
 
-    matrices, series, values = read_results(args.csv)
-    svg = render_svg(matrices, series, values, args.title)
     out = args.output or (args.csv.rsplit(".", 1)[0] + ".svg")
-    with open(out, "w") as fh:
+    if args.roofline:
+        points = read_roofline_points(args.csv)
+        svg = render_roofline(points, args.title or "SpMM roofline",
+                              args.bw_gbs, args.peak_gflops)
+        with open(out, "w") as fh:
+            fh.write(svg)
+        print(f"wrote {out}: {len(points)} roofline points")
+        return 0
+    matrices, series, values = read_results(args.csv)
+    svg = render_svg(matrices, series, values,
+                     args.title or "SpMM throughput")
+    out_path = out
+    with open(out_path, "w") as fh:
         fh.write(svg)
-    print(f"wrote {out}: {len(matrices)} matrices x {len(series)} series")
+    print(f"wrote {out_path}: {len(matrices)} matrices x "
+          f"{len(series)} series")
     return 0
 
 

@@ -9,8 +9,10 @@
 // × the host formats × {serial, omp} × {rows, nnz} scheduling, plus a
 // CSR scalar-vs-avx2 ISA ablation pair per profile. Rates are
 // median-of-N (p50 over the timed iterations), the stable statistic
-// for short runs; min and mean ride along. The JSON schema is
-// documented in docs/KERNELS.md (spmm-perf-smoke/v2).
+// for short runs; min and mean ride along. With --hw-counters each
+// cell also carries its hardware profile (backend, IPC, LLC misses
+// per nnz) and modeled roofline point. The JSON schema is documented
+// in docs/KERNELS.md (spmm-perf-smoke/v3).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -36,6 +38,14 @@ struct BenchResultLite {
   double gflops_p50 = 0.0;
   std::int64_t rows = 0;
   std::int64_t nnz = 0;
+  // Hardware profile + roofline (v3; zeros/"none" unless --hw-counters
+  // ran with a live counter backend — oi and stream_bw_fraction are
+  // modeled, so they are nonzero whenever profiling was requested).
+  std::string hw_backend = "none";
+  double ipc = 0.0;
+  double llc_miss_per_nnz = 0.0;
+  double oi = 0.0;
+  double stream_bw_fraction = 0.0;
 };
 
 struct Row {
@@ -78,8 +88,9 @@ double json_num_field(const std::string& line, const std::string& name,
   return std::strtod(line.c_str() + p + tag.size(), nullptr);
 }
 
-/// Parse a reference artifact into key -> gflops_p50. Accepts both
-/// schema v1 (no isa field; defaults to "auto") and v2.
+/// Parse a reference artifact into key -> gflops_p50. Field-based, so
+/// it accepts schema v1 (no isa field; defaults to "auto"), v2, and v3
+/// (extra hw/roofline fields are simply never looked up).
 std::map<std::string, double> load_reference(const std::string& path) {
   std::ifstream is(path);
   SPMM_CHECK(is.good(), "cannot open reference artifact " + path);
@@ -122,6 +133,10 @@ int main(int argc, char** argv) {
     parser.add_double("compare-scale-ref", 0, 1.0,
                       "multiply reference rates before comparing (test hook "
                       "for injecting a synthetic regression)");
+    parser.add_flag("hw-counters", 0,
+                    "profile every cell with hardware counters (perf_event; "
+                    "no-op backend where denied) and record the hw/roofline "
+                    "fields in the artifact");
     if (!parser.parse(argc, argv)) return 0;
 
     BenchParams params;
@@ -130,6 +145,7 @@ int main(int argc, char** argv) {
     params.threads = static_cast<int>(parser.get_int("threads"));
     params.k = static_cast<int>(parser.get_int("k"));
     params.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+    params.hw_counters = parser.get_flag("hw-counters");
     params.verify = false;  // timing sweep; correctness gates live in ctest
     const double scale = parser.get_double("scale");
 
@@ -214,6 +230,11 @@ int main(int argc, char** argv) {
                   : 0.0;
           row.lite.rows = r.properties.rows;
           row.lite.nnz = r.properties.nnz;
+          row.lite.hw_backend = r.hw_backend;
+          row.lite.ipc = r.hw_ipc;
+          row.lite.llc_miss_per_nnz = r.llc_miss_per_nnz;
+          row.lite.oi = r.operational_intensity;
+          row.lite.stream_bw_fraction = r.stream_bw_fraction;
           // Fold interleaved repetitions: keep the best (lowest p50)
           // repetition per key, never mixing identity fields across
           // cells (the pre-v2 linear scan kept the first match's
@@ -268,7 +289,7 @@ int main(int argc, char** argv) {
     std::ofstream os(out_path);
     SPMM_CHECK(os.good(), "cannot open " + out_path + " for writing");
     os << "{\n"
-       << "  \"schema\": \"spmm-perf-smoke/v2\",\n"
+       << "  \"schema\": \"spmm-perf-smoke/v3\",\n"
        << "  \"params\": {\"scale\": " << scale
        << ", \"iterations\": " << params.iterations
        << ", \"warmup\": " << params.warmup
@@ -289,8 +310,13 @@ int main(int argc, char** argv) {
          << ", \"p50_seconds\": " << row.lite.p50_seconds
          << ", \"min_seconds\": " << row.lite.min_seconds
          << ", \"avg_seconds\": " << row.lite.avg_seconds
-         << ", \"gflops_p50\": " << row.lite.gflops_p50 << "}"
-         << (i + 1 < rows.size() ? "," : "") << "\n";
+         << ", \"gflops_p50\": " << row.lite.gflops_p50
+         << ", \"hw_backend\": \"" << row.lite.hw_backend
+         << "\", \"ipc\": " << row.lite.ipc
+         << ", \"llc_miss_per_nnz\": " << row.lite.llc_miss_per_nnz
+         << ", \"oi\": " << row.lite.oi
+         << ", \"stream_bw_fraction\": " << row.lite.stream_bw_fraction
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
     os.close();

@@ -1,14 +1,19 @@
 // Summarize a JSONL telemetry trace written with --trace: per-phase time
-// breakdown, device-traffic totals, and the slowest spans. Validates the
+// breakdown, grouped counter totals, a roofline section when the trace
+// carries hw.* profiling counters, and the slowest spans. Validates the
 // schema and span begin/end pairing first and exits nonzero on any
-// violation, so CI can gate on trace integrity.
+// violation, so CI can gate on trace integrity. --chrome-trace converts
+// the trace to Trace Event Format JSON for Perfetto / chrome://tracing.
 //
 //   spmm_bench_cli --matrix cant --format csr --trace run.jsonl
 //   trace_report run.jsonl --top 5
+//   trace_report run.jsonl --chrome-trace run.trace.json
+#include <fstream>
 #include <iostream>
 
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/jsonl.hpp"
 #include "telemetry/summary.hpp"
 
@@ -19,6 +24,10 @@ int main(int argc, char** argv) {
     ArgParser parser(
         "trace_report: validate and summarize a spmm-bench JSONL trace");
     parser.add_int("top", 0, 10, "number of slowest spans to list");
+    parser.add_string("chrome-trace", 0, "",
+                      "also convert the trace to Chrome Trace Event Format "
+                      "JSON at this path (loads in Perfetto and "
+                      "chrome://tracing)");
     if (!parser.parse(argc, argv)) return 0;
     SPMM_CHECK(parser.positional().size() == 1,
                "expected exactly one trace file argument");
@@ -41,6 +50,21 @@ int main(int argc, char** argv) {
     telemetry::print_summary(
         std::cout, telemetry::summarize_trace(
                        trace.events, static_cast<std::size_t>(top)));
+
+    // Conversion runs only after validation: an unbalanced B/E stream
+    // renders as garbage nesting in the viewer, so invalid traces were
+    // already rejected above.
+    const std::string& chrome_path = parser.get_string("chrome-trace");
+    if (!chrome_path.empty()) {
+      std::ofstream out(chrome_path, std::ios::binary);
+      SPMM_CHECK(out.good(),
+                 "cannot open --chrome-trace output file: " + chrome_path);
+      telemetry::write_chrome_trace(out, trace.events);
+      SPMM_CHECK(out.good(),
+                 "failed writing --chrome-trace output: " + chrome_path);
+      std::cout << "\nchrome trace written: " << chrome_path << " ("
+                << trace.events.size() << " events)\n";
+    }
     return 0;
   } catch (const Error& e) {
     std::cerr << "error [" << e.error_code() << "]: " << e.what() << "\n";

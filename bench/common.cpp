@@ -9,6 +9,7 @@
 #include "gen/generator.hpp"
 #include "perfmodel/suite_input.hpp"
 #include "support/string_util.hpp"
+#include "support/registry.hpp"
 
 namespace spmm::benchx {
 
@@ -73,24 +74,24 @@ StudyTelemetry::StudyTelemetry(int argc, char** argv,
   ArgParser parser(description);
   telemetry::register_trace_options(parser);
   resilience::register_fault_options(parser);
-  parser.add_double("cell-timeout", 0, 0.0,
+  parser.add_double(spmm::names::flag::kCellTimeout, 0, 0.0,
                     "wall-clock deadline per benchmark cell in seconds "
                     "(0 = no deadline)");
-  parser.add_int("retries", 0, 0,
+  parser.add_int(spmm::names::flag::kRetries, 0, 0,
                  "extra attempts for cells that fail transiently");
-  parser.add_string("on-error", 0, "continue",
+  parser.add_string(spmm::names::flag::kOnError, 0, "continue",
                     "cell failure policy: continue (default for studies: "
                     "record the failure, keep the campaign going) or abort");
   if (!parser.parse(argc, argv)) std::exit(0);
   setup_ = telemetry::trace_setup_from_parser(parser);
   faults_ = resilience::injector_from_parser(
       parser, 42);
-  cell_timeout_seconds_ = parser.get_double("cell-timeout");
+  cell_timeout_seconds_ = parser.get_double(spmm::names::flag::kCellTimeout);
   SPMM_CHECK(cell_timeout_seconds_ >= 0.0,
              "--cell-timeout must be non-negative");
-  retries_ = static_cast<int>(parser.get_int("retries"));
+  retries_ = static_cast<int>(parser.get_int(spmm::names::flag::kRetries));
   SPMM_CHECK(retries_ >= 0, "--retries must be non-negative");
-  const std::string& on_error = parser.get_string("on-error");
+  const std::string& on_error = parser.get_string(spmm::names::flag::kOnError);
   if (on_error == "abort") {
     on_error_ = OnError::kAbort;
   } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/registry.hpp"
 #include "support/table.hpp"
 
 namespace spmm::audit {
@@ -16,110 +17,21 @@ std::string_view severity_name(Severity s) {
   return "?";
 }
 
+// The rule vocabulary lives in SPMM_AUDIT_RULES (support/registry.hpp,
+// sorted by id — find_rule binary-searches it); this materializes the
+// table with the string severities mapped onto the audit enum.
 const std::vector<RuleInfo>& rule_registry() {
-  static const std::vector<RuleInfo> registry = {
-      {"bcsr.block.bounds", "BCSR", Severity::kError,
-       "edge blocks must hold zeros outside the matrix bounds"},
-      {"bcsr.block.col_range", "BCSR", Severity::kError,
-       "block column indices must lie in [0, block_cols)"},
-      {"bcsr.block.geometry", "BCSR", Severity::kError,
-       "block_row_ptr must be a monotone 0..nblocks offset array and "
-       "values must hold one dense b*b tile per stored block"},
-      {"bcsr.block.occupancy", "BCSR", Severity::kWarning,
-       "stored blocks should contain at least one nonzero"},
-      {"bcsr.block.order", "BCSR", Severity::kError,
-       "block columns must be strictly increasing within a block row"},
-      {"bcsr.nnz.count", "BCSR", Severity::kError,
-       "declared nnz must equal the nonzeros stored in the tiles"},
-      {"bell.col.order", "BELL", Severity::kError,
-       "real columns must be strictly increasing within a row"},
-      {"bell.col.range", "BELL", Severity::kError,
-       "column indices must lie in [0, cols)"},
-      {"bell.group.extent", "BELL", Severity::kError,
-       "group extent must equal rows_in_group*width and offsets must be "
-       "a monotone 0..storage array"},
-      {"bell.nnz.count", "BELL", Severity::kError,
-       "declared nnz must equal the stored nonzero count"},
-      {"bell.pad.interior", "BELL", Severity::kError,
-       "zero values must not appear inside a row's real-entry prefix"},
-      {"bell.pad.sentinel", "BELL", Severity::kError,
-       "padding slots must repeat the row's last real column (0 for "
-       "empty rows) with zero value"},
-      {"bell.shape.valid", "BELL", Severity::kError,
-       "width/offset/col_idx/values array shapes must be consistent"},
-      {"convert.roundtrip.identity", "*", Severity::kError,
-       "COO -> format -> COO must reproduce the input matrix exactly"},
-      {"coo.index.range", "COO", Severity::kError,
-       "row/column indices must lie inside the matrix shape"},
-      {"coo.order.canonical", "COO", Severity::kError,
-       "entries must be sorted row-major with no duplicate coordinates"},
-      {"coo.shape.valid", "COO", Severity::kError,
-       "triplet arrays must have equal length and a non-negative shape"},
-      {"csc.col_ptr.monotone", "CSC", Severity::kError,
-       "col_ptr must start at 0, be non-decreasing, and end at nnz"},
-      {"csc.row.order", "CSC", Severity::kError,
-       "row indices must be strictly increasing within a column"},
-      {"csc.row.range", "CSC", Severity::kError,
-       "row indices must lie in [0, rows)"},
-      {"csc.shape.valid", "CSC", Severity::kError,
-       "col_ptr must have cols+1 entries; row_idx/values equal length"},
-      {"csr.col.order", "CSR", Severity::kError,
-       "column indices must be strictly increasing within a row"},
-      {"csr.col.range", "CSR", Severity::kError,
-       "column indices must lie in [0, cols)"},
-      {"csr.row_ptr.monotone", "CSR", Severity::kError,
-       "row_ptr must start at 0, be non-decreasing, and end at nnz"},
-      {"csr.shape.valid", "CSR", Severity::kError,
-       "row_ptr must have rows+1 entries; col_idx/values equal length"},
-      {"csr5.tile.meta", "CSR5", Severity::kError,
-       "tile_row must have one monotone in-range entry per tile that "
-       "brackets the tile's first nonzero"},
-      {"dense.value.finite", "Dense", Severity::kError,
-       "dense operand values must be finite (no NaN/Inf)"},
-      {"ell.col.order", "ELL", Severity::kError,
-       "real columns must be strictly increasing within a row"},
-      {"ell.col.range", "ELL", Severity::kError,
-       "column indices must lie in [0, cols)"},
-      {"ell.nnz.count", "ELL", Severity::kError,
-       "declared nnz must equal the stored nonzero count"},
-      {"ell.pad.interior", "ELL", Severity::kError,
-       "zero values must not appear inside a row's real-entry prefix"},
-      {"ell.pad.sentinel", "ELL", Severity::kError,
-       "padding slots must repeat the row's last real column (0 for "
-       "empty rows) with zero value"},
-      {"ell.shape.valid", "ELL", Severity::kError,
-       "col_idx and values must both hold rows*width entries"},
-      {"hyb.shape.match", "HYB", Severity::kError,
-       "ELL region and COO tail must share the matrix shape"},
-      {"hyb.tail.overflow", "HYB", Severity::kError,
-       "a row may only spill to the tail once its ELL region is full"},
-      {"kernel.verify.diff", "*", Severity::kError,
-       "kernel output must match the reference multiply within tolerance"},
-      {"sched.partition.cover", "*", Severity::kError,
-       "a RowPartition must cover [0, rows) contiguously: bounds start "
-       "at 0, never decrease, and end at rows"},
-      {"sellc.chunk.extent", "SELL-C", Severity::kError,
-       "chunk extent must equal C*chunk_width and offsets must be a "
-       "monotone 0..storage array"},
-      {"sellc.col.order", "SELL-C", Severity::kError,
-       "real columns must be strictly increasing within a lane"},
-      {"sellc.col.range", "SELL-C", Severity::kError,
-       "column indices must lie in [0, cols)"},
-      {"sellc.lane.empty", "SELL-C", Severity::kError,
-       "unused lanes in the final chunk must hold zero values"},
-      {"sellc.nnz.count", "SELL-C", Severity::kError,
-       "declared nnz must equal the stored nonzero count"},
-      {"sellc.pad.interior", "SELL-C", Severity::kError,
-       "zero values must not appear inside a lane's real-entry prefix"},
-      {"sellc.pad.sentinel", "SELL-C", Severity::kError,
-       "padding slots must repeat the lane's last real column with zero "
-       "value"},
-      {"sellc.perm.bijective", "SELL-C", Severity::kError,
-       "the row permutation must be a bijection on [0, rows)"},
-      {"sellc.shape.valid", "SELL-C", Severity::kError,
-       "perm/chunk_width/chunk_offset/col_idx/values shapes must be "
-       "consistent"},
-  };
+  static const std::vector<RuleInfo> registry = [] {
+    std::vector<RuleInfo> rules;
+    rules.reserve(std::size(spmm::registry::kAuditRules));
+    for (const spmm::registry::AuditRule& r : spmm::registry::kAuditRules) {
+      rules.push_back({r.name, r.format,
+                       r.severity == "warning" ? Severity::kWarning
+                                               : Severity::kError,
+                       r.description});
+    }
+    return rules;
+  }();
   return registry;
 }
 

@@ -14,6 +14,7 @@
 #include "audit/diagnostics.hpp"
 #include "audit/rules.hpp"
 #include "formats/convert.hpp"
+#include "support/registry.hpp"
 
 namespace spmm::audit {
 
@@ -36,7 +37,7 @@ template <ValueType V, IndexType I>
 void check_roundtrip(const Coo<V, I>& original, const Coo<V, I>& back,
                      AuditReport& report, std::string_view object) {
   if (back.rows() != original.rows() || back.cols() != original.cols()) {
-    report.add("convert.roundtrip.identity", object, {},
+    report.add(names::rule::kConvertRoundtripIdentity, object, {},
                "shape changed: " + std::to_string(original.rows()) + "x" +
                    std::to_string(original.cols()) + " -> " +
                    std::to_string(back.rows()) + "x" +
@@ -44,7 +45,7 @@ void check_roundtrip(const Coo<V, I>& original, const Coo<V, I>& back,
     return;
   }
   if (back.nnz() != original.nnz()) {
-    report.add("convert.roundtrip.identity", object, {},
+    report.add(names::rule::kConvertRoundtripIdentity, object, {},
                "nnz changed: " + std::to_string(original.nnz()) + " -> " +
                    std::to_string(back.nnz()));
     return;
@@ -52,7 +53,7 @@ void check_roundtrip(const Coo<V, I>& original, const Coo<V, I>& back,
   for (usize i = 0; i < original.nnz(); ++i) {
     if (back.row(i) != original.row(i) || back.col(i) != original.col(i) ||
         back.value(i) != original.value(i)) {
-      report.add("convert.roundtrip.identity", object,
+      report.add(names::rule::kConvertRoundtripIdentity, object,
                  at("entry", static_cast<std::int64_t>(i)),
                  "entry differs: (" + std::to_string(original.row(i)) + ", " +
                      std::to_string(original.col(i)) + ") -> (" +

@@ -32,6 +32,7 @@
 #include "formats/ell.hpp"
 #include "formats/hyb.hpp"
 #include "formats/sellc.hpp"
+#include "support/registry.hpp"
 
 namespace spmm::audit {
 
@@ -51,13 +52,13 @@ void audit_coo_raw(I rows, I cols, const AlignedVector<I>& row_idx,
                    const AlignedVector<V>& values, AuditReport& report,
                    std::string_view object = "COO") {
   if (rows < 0 || cols < 0) {
-    report.add("coo.shape.valid", object, {},
+    report.add(names::rule::kCooShapeValid, object, {},
                "negative matrix shape " + std::to_string(rows) + "x" +
                    std::to_string(cols));
     return;
   }
   if (row_idx.size() != col_idx.size() || row_idx.size() != values.size()) {
-    report.add("coo.shape.valid", object, {},
+    report.add(names::rule::kCooShapeValid, object, {},
                "triplet arrays disagree: " + std::to_string(row_idx.size()) +
                    " rows, " + std::to_string(col_idx.size()) + " cols, " +
                    std::to_string(values.size()) + " values");
@@ -66,7 +67,7 @@ void audit_coo_raw(I rows, I cols, const AlignedVector<I>& row_idx,
   for (usize i = 0; i < row_idx.size(); ++i) {
     if (row_idx[i] < 0 || row_idx[i] >= rows || col_idx[i] < 0 ||
         col_idx[i] >= cols) {
-      report.add("coo.index.range", object,
+      report.add(names::rule::kCooIndexRange, object,
                  detail::at("entry", static_cast<std::int64_t>(i)),
                  "(" + std::to_string(row_idx[i]) + ", " +
                      std::to_string(col_idx[i]) + ") outside " +
@@ -78,7 +79,7 @@ void audit_coo_raw(I rows, I cols, const AlignedVector<I>& row_idx,
                          (row_idx[i - 1] == row_idx[i] &&
                           col_idx[i - 1] < col_idx[i]);
     if (!ordered) {
-      report.add("coo.order.canonical", object,
+      report.add(names::rule::kCooOrderCanonical, object,
                  detail::at("entry", static_cast<std::int64_t>(i)),
                  "entry (" + std::to_string(row_idx[i]) + ", " +
                      std::to_string(col_idx[i]) +
@@ -104,13 +105,13 @@ void audit_csr_raw(I rows, I cols, const AlignedVector<I>& row_ptr,
   bool shape_ok = true;
   if (rows < 0 || cols < 0 ||
       row_ptr.size() != static_cast<usize>(rows) + 1) {
-    report.add("csr.shape.valid", object, {},
+    report.add(names::rule::kCsrShapeValid, object, {},
                "row_ptr has " + std::to_string(row_ptr.size()) +
                    " entries, want rows+1 = " + std::to_string(rows + 1));
     shape_ok = false;
   }
   if (col_idx.size() != values.size()) {
-    report.add("csr.shape.valid", object, {},
+    report.add(names::rule::kCsrShapeValid, object, {},
                "col_idx (" + std::to_string(col_idx.size()) +
                    ") and values (" + std::to_string(values.size()) +
                    ") lengths differ");
@@ -120,14 +121,14 @@ void audit_csr_raw(I rows, I cols, const AlignedVector<I>& row_ptr,
 
   bool monotone = true;
   if (!row_ptr.empty() && row_ptr.front() != 0) {
-    report.add("csr.row_ptr.monotone", object, detail::at("row", 0),
+    report.add(names::rule::kCsrRowPtrMonotone, object, detail::at("row", 0),
                "row_ptr starts at " + std::to_string(row_ptr.front()) +
                    ", want 0");
     monotone = false;
   }
   for (usize r = 0; r < static_cast<usize>(rows); ++r) {
     if (row_ptr[r] > row_ptr[r + 1]) {
-      report.add("csr.row_ptr.monotone", object,
+      report.add(names::rule::kCsrRowPtrMonotone, object,
                  detail::at("row", static_cast<std::int64_t>(r)),
                  "row_ptr decreases: " + std::to_string(row_ptr[r]) + " -> " +
                      std::to_string(row_ptr[r + 1]));
@@ -136,7 +137,7 @@ void audit_csr_raw(I rows, I cols, const AlignedVector<I>& row_ptr,
   }
   if (!row_ptr.empty() &&
       static_cast<usize>(row_ptr.back()) != col_idx.size()) {
-    report.add("csr.row_ptr.monotone", object,
+    report.add(names::rule::kCsrRowPtrMonotone, object,
                detail::at("row", static_cast<std::int64_t>(rows)),
                "row_ptr ends at " + std::to_string(row_ptr.back()) +
                    ", want nnz = " + std::to_string(col_idx.size()));
@@ -145,7 +146,7 @@ void audit_csr_raw(I rows, I cols, const AlignedVector<I>& row_ptr,
 
   for (usize i = 0; i < col_idx.size(); ++i) {
     if (col_idx[i] < 0 || col_idx[i] >= cols) {
-      report.add("csr.col.range", object,
+      report.add(names::rule::kCsrColRange, object,
                  detail::at("entry", static_cast<std::int64_t>(i)),
                  "column " + std::to_string(col_idx[i]) + " outside [0, " +
                      std::to_string(cols) + ")");
@@ -156,7 +157,7 @@ void audit_csr_raw(I rows, I cols, const AlignedVector<I>& row_ptr,
     for (I i = row_ptr[static_cast<usize>(r)] + 1;
          i < row_ptr[static_cast<usize>(r) + 1]; ++i) {
       if (col_idx[static_cast<usize>(i) - 1] >= col_idx[static_cast<usize>(i)]) {
-        report.add("csr.col.order", object, detail::at("row", r),
+        report.add(names::rule::kCsrColOrder, object, detail::at("row", r),
                    "columns " + std::to_string(col_idx[static_cast<usize>(i) - 1]) +
                        ", " + std::to_string(col_idx[static_cast<usize>(i)]) +
                        " not strictly increasing");
@@ -182,13 +183,13 @@ void audit_csc_raw(I rows, I cols, const AlignedVector<I>& col_ptr,
   bool shape_ok = true;
   if (rows < 0 || cols < 0 ||
       col_ptr.size() != static_cast<usize>(cols) + 1) {
-    report.add("csc.shape.valid", object, {},
+    report.add(names::rule::kCscShapeValid, object, {},
                "col_ptr has " + std::to_string(col_ptr.size()) +
                    " entries, want cols+1 = " + std::to_string(cols + 1));
     shape_ok = false;
   }
   if (row_idx.size() != values.size()) {
-    report.add("csc.shape.valid", object, {},
+    report.add(names::rule::kCscShapeValid, object, {},
                "row_idx (" + std::to_string(row_idx.size()) +
                    ") and values (" + std::to_string(values.size()) +
                    ") lengths differ");
@@ -198,14 +199,14 @@ void audit_csc_raw(I rows, I cols, const AlignedVector<I>& col_ptr,
 
   bool monotone = true;
   if (!col_ptr.empty() && col_ptr.front() != 0) {
-    report.add("csc.col_ptr.monotone", object, detail::at("col", 0),
+    report.add(names::rule::kCscColPtrMonotone, object, detail::at("col", 0),
                "col_ptr starts at " + std::to_string(col_ptr.front()) +
                    ", want 0");
     monotone = false;
   }
   for (usize c = 0; c < static_cast<usize>(cols); ++c) {
     if (col_ptr[c] > col_ptr[c + 1]) {
-      report.add("csc.col_ptr.monotone", object,
+      report.add(names::rule::kCscColPtrMonotone, object,
                  detail::at("col", static_cast<std::int64_t>(c)),
                  "col_ptr decreases: " + std::to_string(col_ptr[c]) + " -> " +
                      std::to_string(col_ptr[c + 1]));
@@ -214,7 +215,7 @@ void audit_csc_raw(I rows, I cols, const AlignedVector<I>& col_ptr,
   }
   if (!col_ptr.empty() &&
       static_cast<usize>(col_ptr.back()) != row_idx.size()) {
-    report.add("csc.col_ptr.monotone", object,
+    report.add(names::rule::kCscColPtrMonotone, object,
                detail::at("col", static_cast<std::int64_t>(cols)),
                "col_ptr ends at " + std::to_string(col_ptr.back()) +
                    ", want nnz = " + std::to_string(row_idx.size()));
@@ -223,7 +224,7 @@ void audit_csc_raw(I rows, I cols, const AlignedVector<I>& col_ptr,
 
   for (usize i = 0; i < row_idx.size(); ++i) {
     if (row_idx[i] < 0 || row_idx[i] >= rows) {
-      report.add("csc.row.range", object,
+      report.add(names::rule::kCscRowRange, object,
                  detail::at("entry", static_cast<std::int64_t>(i)),
                  "row " + std::to_string(row_idx[i]) + " outside [0, " +
                      std::to_string(rows) + ")");
@@ -234,7 +235,7 @@ void audit_csc_raw(I rows, I cols, const AlignedVector<I>& col_ptr,
     for (I i = col_ptr[static_cast<usize>(c)] + 1;
          i < col_ptr[static_cast<usize>(c) + 1]; ++i) {
       if (row_idx[static_cast<usize>(i) - 1] >= row_idx[static_cast<usize>(i)]) {
-        report.add("csc.row.order", object, detail::at("col", c),
+        report.add(names::rule::kCscRowOrder, object, detail::at("col", c),
                    "rows " + std::to_string(row_idx[static_cast<usize>(i) - 1]) +
                        ", " + std::to_string(row_idx[static_cast<usize>(i)]) +
                        " not strictly increasing");
@@ -252,11 +253,31 @@ void audit(const Csc<V, I>& csc, AuditReport& report,
 
 // ---------------------------------------------------------------- ELL --
 
+/// The four padded-row rule ids for one format family. ELL, BELL, and
+/// SELL-C share the padded-row walk but each reports under its own
+/// registry-declared ids (SPMM_AUDIT_RULES).
+struct PaddedRowRules {
+  std::string_view pad_interior;
+  std::string_view col_order;
+  std::string_view pad_sentinel;
+  std::string_view col_range;
+};
+
+inline constexpr PaddedRowRules kEllPaddedRules = {
+    names::rule::kEllPadInterior, names::rule::kEllColOrder,
+    names::rule::kEllPadSentinel, names::rule::kEllColRange};
+inline constexpr PaddedRowRules kBellPaddedRules = {
+    names::rule::kBellPadInterior, names::rule::kBellColOrder,
+    names::rule::kBellPadSentinel, names::rule::kBellColRange};
+inline constexpr PaddedRowRules kSellcPaddedRules = {
+    names::rule::kSellcPadInterior, names::rule::kSellcColOrder,
+    names::rule::kSellcPadSentinel, names::rule::kSellcColRange};
+
 /// Audit one padded ELL-style row stored at col_idx/values [base, base+width)
 /// with stride `stride` between consecutive slots (1 for row-major ELL/BELL,
 /// C for SELL-C lanes). Returns the row's real (nonzero) entry count.
 template <ValueType V, IndexType I>
-I audit_padded_row(std::string_view rule_prefix, I cols, usize base,
+I audit_padded_row(const PaddedRowRules& rules, I cols, usize base,
                    I width, usize stride, const AlignedVector<I>& col_idx,
                    const AlignedVector<V>& values, AuditReport& report,
                    std::string_view object, const std::string& location) {
@@ -266,10 +287,9 @@ I audit_padded_row(std::string_view rule_prefix, I cols, usize base,
   for (I s = 0; s < width; ++s) {
     if (values[base + static_cast<usize>(s) * stride] != V{0}) real = s + 1;
   }
-  const std::string prefix(rule_prefix);
   for (I s = 0; s < real; ++s) {
     if (values[base + static_cast<usize>(s) * stride] == V{0}) {
-      report.add(prefix + ".pad.interior", object, location,
+      report.add(rules.pad_interior, object, location,
                  "zero value at slot " + std::to_string(s) +
                      " inside the real prefix (" + std::to_string(real) +
                      " entries)");
@@ -279,7 +299,7 @@ I audit_padded_row(std::string_view rule_prefix, I cols, usize base,
     const I prev = col_idx[base + static_cast<usize>(s - 1) * stride];
     const I cur = col_idx[base + static_cast<usize>(s) * stride];
     if (prev >= cur) {
-      report.add(prefix + ".col.order", object, location,
+      report.add(rules.col_order, object, location,
                  "columns " + std::to_string(prev) + ", " +
                      std::to_string(cur) + " not strictly increasing");
     }
@@ -289,7 +309,7 @@ I audit_padded_row(std::string_view rule_prefix, I cols, usize base,
   for (I s = real; s < width; ++s) {
     const I pad = col_idx[base + static_cast<usize>(s) * stride];
     if (pad != sentinel) {
-      report.add(prefix + ".pad.sentinel", object, location,
+      report.add(rules.pad_sentinel, object, location,
                  "pad slot " + std::to_string(s) + " repeats column " +
                      std::to_string(pad) + ", want sentinel " +
                      std::to_string(sentinel));
@@ -298,7 +318,7 @@ I audit_padded_row(std::string_view rule_prefix, I cols, usize base,
   for (I s = 0; s < width; ++s) {
     const I c = col_idx[base + static_cast<usize>(s) * stride];
     if (c < 0 || (c >= cols && !(cols == 0 && c == 0))) {
-      report.add(prefix + ".col.range", object, location,
+      report.add(rules.col_range, object, location,
                  "column " + std::to_string(c) + " outside [0, " +
                      std::to_string(cols) + ")");
     }
@@ -316,7 +336,7 @@ void audit_ell_raw(I rows, I cols, I width, usize nnz,
                            : static_cast<usize>(rows) * static_cast<usize>(width);
   if (rows < 0 || cols < 0 || width < 0 || col_idx.size() != expect ||
       values.size() != expect) {
-    report.add("ell.shape.valid", object, {},
+    report.add(names::rule::kEllShapeValid, object, {},
                "want rows*width = " + std::to_string(expect) +
                    " slots, have " + std::to_string(col_idx.size()) +
                    " columns / " + std::to_string(values.size()) + " values");
@@ -326,11 +346,12 @@ void audit_ell_raw(I rows, I cols, I width, usize nnz,
   for (I r = 0; r < rows; ++r) {
     const usize base = static_cast<usize>(r) * static_cast<usize>(width);
     total_real += static_cast<usize>(
-        audit_padded_row("ell", cols, base, width, usize{1}, col_idx, values,
-                         report, object, detail::at("row", r)));
+        audit_padded_row(kEllPaddedRules, cols, base, width, usize{1},
+                         col_idx, values, report, object,
+                         detail::at("row", r)));
   }
   if (total_real != nnz) {
-    report.add("ell.nnz.count", object, {},
+    report.add(names::rule::kEllNnzCount, object, {},
                "declared nnz " + std::to_string(nnz) + " but " +
                    std::to_string(total_real) + " nonzeros stored");
   }
@@ -353,7 +374,7 @@ void audit_bell_raw(I rows, I cols, I group_size, usize nnz,
                     const AlignedVector<V>& values, AuditReport& report,
                     std::string_view object = "BELL") {
   if (rows < 0 || cols < 0 || group_size <= 0) {
-    report.add("bell.shape.valid", object, {},
+    report.add(names::rule::kBellShapeValid, object, {},
                "invalid shape/group_size " + std::to_string(rows) + "x" +
                    std::to_string(cols) + "/" + std::to_string(group_size));
     return;
@@ -362,7 +383,7 @@ void audit_bell_raw(I rows, I cols, I group_size, usize nnz,
   if (width.size() != static_cast<usize>(groups) ||
       offset.size() != static_cast<usize>(groups) + 1 ||
       col_idx.size() != values.size()) {
-    report.add("bell.shape.valid", object, {},
+    report.add(names::rule::kBellShapeValid, object, {},
                "want " + std::to_string(groups) + " widths / " +
                    std::to_string(groups + 1) + " offsets, have " +
                    std::to_string(width.size()) + " / " +
@@ -371,7 +392,7 @@ void audit_bell_raw(I rows, I cols, I group_size, usize nnz,
   }
   bool extent_ok = offset.front() == 0;
   if (!extent_ok) {
-    report.add("bell.group.extent", object, detail::at("group", 0),
+    report.add(names::rule::kBellGroupExtent, object, detail::at("group", 0),
                "offsets start at " + std::to_string(offset.front()) +
                    ", want 0");
   }
@@ -384,14 +405,14 @@ void audit_bell_raw(I rows, I cols, I group_size, usize nnz,
             offset[static_cast<usize>(g)] ||
         offset[static_cast<usize>(g) + 1] - offset[static_cast<usize>(g)] !=
             want) {
-      report.add("bell.group.extent", object, detail::at("group", g),
+      report.add(names::rule::kBellGroupExtent, object, detail::at("group", g),
                  "group extent is not rows_in_group*width = " +
                      std::to_string(want));
       extent_ok = false;
     }
   }
   if (offset.back() != values.size()) {
-    report.add("bell.group.extent", object, {},
+    report.add(names::rule::kBellGroupExtent, object, {},
                "offsets end at " + std::to_string(offset.back()) +
                    ", want storage size " + std::to_string(values.size()));
     extent_ok = false;
@@ -407,12 +428,12 @@ void audit_bell_raw(I rows, I cols, I group_size, usize nnz,
       const usize base = offset[static_cast<usize>(g)] +
                          static_cast<usize>(local) * static_cast<usize>(w);
       total_real += static_cast<usize>(audit_padded_row(
-          "bell", cols, base, w, usize{1}, col_idx, values, report, object,
-          detail::at("row", start + local)));
+          kBellPaddedRules, cols, base, w, usize{1}, col_idx, values, report,
+          object, detail::at("row", start + local)));
     }
   }
   if (total_real != nnz) {
-    report.add("bell.nnz.count", object, {},
+    report.add(names::rule::kBellNnzCount, object, {},
                "declared nnz " + std::to_string(nnz) + " but " +
                    std::to_string(total_real) + " nonzeros stored");
   }
@@ -437,7 +458,7 @@ void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
                      const AlignedVector<V>& values, AuditReport& report,
                      std::string_view object = "SELL-C") {
   if (rows < 0 || cols < 0 || chunk_size <= 0) {
-    report.add("sellc.shape.valid", object, {},
+    report.add(names::rule::kSellcShapeValid, object, {},
                "invalid shape/chunk_size " + std::to_string(rows) + "x" +
                    std::to_string(cols) + "/" + std::to_string(chunk_size));
     return;
@@ -447,7 +468,7 @@ void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
       chunk_width.size() != static_cast<usize>(chunks) ||
       chunk_offset.size() != static_cast<usize>(chunks) + 1 ||
       col_idx.size() != values.size()) {
-    report.add("sellc.shape.valid", object, {},
+    report.add(names::rule::kSellcShapeValid, object, {},
                "want " + std::to_string(rows) + " perm / " +
                    std::to_string(chunks) + " widths / " +
                    std::to_string(chunks + 1) + " offsets, have " +
@@ -463,12 +484,12 @@ void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
     for (usize p = 0; p < perm.size(); ++p) {
       const I r = perm[p];
       if (r < 0 || r >= rows) {
-        report.add("sellc.perm.bijective", object,
+        report.add(names::rule::kSellcPermBijective, object,
                    detail::at("position", static_cast<std::int64_t>(p)),
                    "perm entry " + std::to_string(r) + " outside [0, " +
                        std::to_string(rows) + ")");
       } else if (seen[static_cast<usize>(r)]++ != 0) {
-        report.add("sellc.perm.bijective", object,
+        report.add(names::rule::kSellcPermBijective, object,
                    detail::at("position", static_cast<std::int64_t>(p)),
                    "row " + std::to_string(r) + " appears more than once");
       }
@@ -477,7 +498,7 @@ void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
 
   bool extent_ok = chunk_offset.front() == 0;
   if (!extent_ok) {
-    report.add("sellc.chunk.extent", object, detail::at("chunk", 0),
+    report.add(names::rule::kSellcChunkExtent, object, detail::at("chunk", 0),
                "offsets start at " + std::to_string(chunk_offset.front()) +
                    ", want 0");
   }
@@ -490,13 +511,13 @@ void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
         chunk_offset[static_cast<usize>(c) + 1] -
                 chunk_offset[static_cast<usize>(c)] !=
             want) {
-      report.add("sellc.chunk.extent", object, detail::at("chunk", c),
+      report.add(names::rule::kSellcChunkExtent, object, detail::at("chunk", c),
                  "chunk extent is not C*width = " + std::to_string(want));
       extent_ok = false;
     }
   }
   if (chunk_offset.back() != values.size()) {
-    report.add("sellc.chunk.extent", object, {},
+    report.add(names::rule::kSellcChunkExtent, object, {},
                "offsets end at " + std::to_string(chunk_offset.back()) +
                    ", want storage size " + std::to_string(values.size()));
     extent_ok = false;
@@ -519,7 +540,7 @@ void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
                                  static_cast<usize>(chunk_size) +
                              static_cast<usize>(lane);
           if (values[slot] != V{0}) {
-            report.add("sellc.lane.empty", object, loc,
+            report.add(names::rule::kSellcLaneEmpty, object, loc,
                        "unused lane holds nonzero at slot " +
                            std::to_string(s));
           }
@@ -527,13 +548,13 @@ void audit_sellc_raw(I rows, I cols, I chunk_size, usize nnz,
         continue;
       }
       total_real += static_cast<usize>(audit_padded_row(
-          "sellc", cols, base + static_cast<usize>(lane), w,
+          kSellcPaddedRules, cols, base + static_cast<usize>(lane), w,
           static_cast<usize>(chunk_size), col_idx, values, report, object,
           loc));
     }
   }
   if (total_real != nnz) {
-    report.add("sellc.nnz.count", object, {},
+    report.add(names::rule::kSellcNnzCount, object, {},
                "declared nnz " + std::to_string(nnz) + " but " +
                    std::to_string(total_real) + " nonzeros stored");
   }
@@ -556,7 +577,7 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
                     const AlignedVector<V>& values, AuditReport& report,
                     std::string_view object = "BCSR") {
   if (rows < 0 || cols < 0 || block_size <= 0) {
-    report.add("bcsr.block.geometry", object, {},
+    report.add(names::rule::kBcsrBlockGeometry, object, {},
                "invalid shape/block_size " + std::to_string(rows) + "x" +
                    std::to_string(cols) + "/" + std::to_string(block_size));
     return;
@@ -567,14 +588,14 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
 
   bool geometry_ok = true;
   if (block_row_ptr.size() != static_cast<usize>(brows) + 1) {
-    report.add("bcsr.block.geometry", object, {},
+    report.add(names::rule::kBcsrBlockGeometry, object, {},
                "block_row_ptr has " + std::to_string(block_row_ptr.size()) +
                    " entries, want block_rows+1 = " +
                    std::to_string(brows + 1));
     geometry_ok = false;
   } else {
     if (block_row_ptr.front() != 0) {
-      report.add("bcsr.block.geometry", object, detail::at("block_row", 0),
+      report.add(names::rule::kBcsrBlockGeometry, object, detail::at("block_row", 0),
                  "block_row_ptr starts at " +
                      std::to_string(block_row_ptr.front()) + ", want 0");
       geometry_ok = false;
@@ -582,7 +603,7 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
     for (I r = 0; r < brows; ++r) {
       if (block_row_ptr[static_cast<usize>(r)] >
           block_row_ptr[static_cast<usize>(r) + 1]) {
-        report.add("bcsr.block.geometry", object, detail::at("block_row", r),
+        report.add(names::rule::kBcsrBlockGeometry, object, detail::at("block_row", r),
                    "block_row_ptr decreases: " +
                        std::to_string(block_row_ptr[static_cast<usize>(r)]) +
                        " -> " +
@@ -592,7 +613,7 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
       }
     }
     if (static_cast<usize>(block_row_ptr.back()) != block_col_idx.size()) {
-      report.add("bcsr.block.geometry", object, {},
+      report.add(names::rule::kBcsrBlockGeometry, object, {},
                  "block_row_ptr ends at " +
                      std::to_string(block_row_ptr.back()) +
                      ", want block count " +
@@ -601,7 +622,7 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
     }
   }
   if (values.size() != block_col_idx.size() * bs * bs) {
-    report.add("bcsr.block.geometry", object, {},
+    report.add(names::rule::kBcsrBlockGeometry, object, {},
                "values holds " + std::to_string(values.size()) +
                    " entries, want nblocks*b*b = " +
                    std::to_string(block_col_idx.size() * bs * bs));
@@ -610,7 +631,7 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
 
   for (usize blk = 0; blk < block_col_idx.size(); ++blk) {
     if (block_col_idx[blk] < 0 || block_col_idx[blk] >= bcols) {
-      report.add("bcsr.block.col_range", object,
+      report.add(names::rule::kBcsrBlockColRange, object,
                  detail::at("block", static_cast<std::int64_t>(blk)),
                  "block column " + std::to_string(block_col_idx[blk]) +
                      " outside [0, " + std::to_string(bcols) + ")");
@@ -628,7 +649,7 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
       if (blk > block_row_ptr[static_cast<usize>(brow)] &&
           block_col_idx[static_cast<usize>(blk) - 1] >=
               block_col_idx[static_cast<usize>(blk)]) {
-        report.add("bcsr.block.order", object, loc,
+        report.add(names::rule::kBcsrBlockOrder, object, loc,
                    "block columns " +
                        std::to_string(
                            block_col_idx[static_cast<usize>(blk) - 1]) +
@@ -647,7 +668,7 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
           const I gr = brow * block_size + lr;
           const I gc = bcol * block_size + lc;
           if (gr >= rows || gc >= cols) {
-            report.add("bcsr.block.bounds", object, loc,
+            report.add(names::rule::kBcsrBlockBounds, object, loc,
                        "nonzero at (" + std::to_string(gr) + ", " +
                            std::to_string(gc) + ") outside " +
                            std::to_string(rows) + "x" + std::to_string(cols));
@@ -655,14 +676,14 @@ void audit_bcsr_raw(I rows, I cols, I block_size, usize nnz,
         }
       }
       if (tile_real == 0) {
-        report.add("bcsr.block.occupancy", object, loc,
+        report.add(names::rule::kBcsrBlockOccupancy, object, loc,
                    "stored block contains no nonzeros");
       }
       total_real += tile_real;
     }
   }
   if (total_real != nnz) {
-    report.add("bcsr.nnz.count", object, {},
+    report.add(names::rule::kBcsrNnzCount, object, {},
                "declared nnz " + std::to_string(nnz) + " but " +
                    std::to_string(total_real) + " nonzeros stored");
   }
@@ -684,7 +705,7 @@ void audit(const Hyb<V, I>& hyb, AuditReport& report,
   const std::string obj(object);
   if (hyb.ell().rows() != hyb.tail().rows() ||
       hyb.ell().cols() != hyb.tail().cols()) {
-    report.add("hyb.shape.match", object, {},
+    report.add(names::rule::kHybShapeMatch, object, {},
                "ELL region is " + std::to_string(hyb.ell().rows()) + "x" +
                    std::to_string(hyb.ell().cols()) + " but tail is " +
                    std::to_string(hyb.tail().rows()) + "x" +
@@ -709,7 +730,7 @@ void audit(const Hyb<V, I>& hyb, AuditReport& report,
   for (usize i = 0; i < hyb.tail().nnz(); ++i) {
     const I r = hyb.tail().row(i);
     if (r >= 0 && r < ell.rows() && fill[static_cast<usize>(r)] < ell.width()) {
-      report.add("hyb.tail.overflow", object, detail::at("row", r),
+      report.add(names::rule::kHybTailOverflow, object, detail::at("row", r),
                  "row spills to the tail with only " +
                      std::to_string(fill[static_cast<usize>(r)]) + " of " +
                      std::to_string(ell.width()) + " ELL slots used");
@@ -725,7 +746,7 @@ void audit_csr5_raw(const Csr<V, I>& csr, I tile_size,
                     std::string_view object = "CSR5") {
   audit(csr, report, std::string(object) + "/csr");
   if (tile_size <= 0) {
-    report.add("csr5.tile.meta", object, {},
+    report.add(names::rule::kCsr5TileMeta, object, {},
                "tile size " + std::to_string(tile_size) +
                    " must be positive");
     return;
@@ -733,7 +754,7 @@ void audit_csr5_raw(const Csr<V, I>& csr, I tile_size,
   const usize want = (csr.nnz() + static_cast<usize>(tile_size) - 1) /
                      static_cast<usize>(tile_size);
   if (tile_row.size() != want) {
-    report.add("csr5.tile.meta", object, {},
+    report.add(names::rule::kCsr5TileMeta, object, {},
                "tile_row has " + std::to_string(tile_row.size()) +
                    " entries, want ceil(nnz/tile) = " + std::to_string(want));
     return;
@@ -742,13 +763,13 @@ void audit_csr5_raw(const Csr<V, I>& csr, I tile_size,
     const I tr = tile_row[t];
     const std::string loc = detail::at("tile", static_cast<std::int64_t>(t));
     if (tr < 0 || tr >= csr.rows()) {
-      report.add("csr5.tile.meta", object, loc,
+      report.add(names::rule::kCsr5TileMeta, object, loc,
                  "tile row " + std::to_string(tr) + " outside [0, " +
                      std::to_string(csr.rows()) + ")");
       continue;
     }
     if (t > 0 && tr < tile_row[t - 1]) {
-      report.add("csr5.tile.meta", object, loc,
+      report.add(names::rule::kCsr5TileMeta, object, loc,
                  "tile rows decrease: " + std::to_string(tile_row[t - 1]) +
                      " -> " + std::to_string(tr));
     }
@@ -756,7 +777,7 @@ void audit_csr5_raw(const Csr<V, I>& csr, I tile_size,
     const I first = static_cast<I>(t * static_cast<usize>(tile_size));
     if (!(csr.row_ptr()[static_cast<usize>(tr)] <= first &&
           first < csr.row_ptr()[static_cast<usize>(tr) + 1])) {
-      report.add("csr5.tile.meta", object, loc,
+      report.add(names::rule::kCsr5TileMeta, object, loc,
                  "row " + std::to_string(tr) +
                      " does not bracket the tile's first entry " +
                      std::to_string(first));
@@ -783,19 +804,19 @@ inline void audit_partition(const std::vector<std::int64_t>& bounds,
                             std::int64_t rows, AuditReport& report,
                             std::string_view object = "partition") {
   if (bounds.size() < 2) {
-    report.add("sched.partition.cover", object, {},
+    report.add(names::rule::kSchedPartitionCover, object, {},
                "partition has " + std::to_string(bounds.size()) +
                    " bounds, want at least 2 (one part)");
     return;
   }
   if (bounds.front() != 0) {
-    report.add("sched.partition.cover", object, detail::at("part", 0),
+    report.add(names::rule::kSchedPartitionCover, object, detail::at("part", 0),
                "bounds start at " + std::to_string(bounds.front()) +
                    ", want 0");
   }
   for (usize p = 1; p < bounds.size(); ++p) {
     if (bounds[p] < bounds[p - 1]) {
-      report.add("sched.partition.cover", object,
+      report.add(names::rule::kSchedPartitionCover, object,
                  detail::at("part", static_cast<std::int64_t>(p) - 1),
                  "bounds decrease: " + std::to_string(bounds[p - 1]) +
                      " -> " + std::to_string(bounds[p]) +
@@ -803,7 +824,7 @@ inline void audit_partition(const std::vector<std::int64_t>& bounds,
     }
   }
   if (bounds.back() != rows) {
-    report.add("sched.partition.cover", object,
+    report.add(names::rule::kSchedPartitionCover, object,
                detail::at("part", static_cast<std::int64_t>(bounds.size()) - 2),
                "bounds end at " + std::to_string(bounds.back()) +
                    ", want rows = " + std::to_string(rows));
@@ -817,7 +838,7 @@ void audit(const Dense<V>& dense, AuditReport& report,
            std::string_view object = "Dense") {
   for (usize i = 0; i < dense.size(); ++i) {
     if (!std::isfinite(static_cast<double>(dense.data()[i]))) {
-      report.add("dense.value.finite", object,
+      report.add(names::rule::kDenseValueFinite, object,
                  detail::at("element", static_cast<std::int64_t>(i)),
                  "non-finite value");
     }

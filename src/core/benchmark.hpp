@@ -38,6 +38,7 @@
 #include "kernels/isa.hpp"
 #include "kernels/sched.hpp"
 #include "support/cli.hpp"
+#include "support/registry.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
 #include "telemetry/telemetry.hpp"
@@ -222,7 +223,8 @@ class SpmmBenchmark {
     params_ = params;
     tel_ = telemetry::Session(params.sink);
     matrix_name_ = std::move(matrix_name);
-    telemetry::ScopedSpan span(tel_, "setup", "bench", matrix_name_);
+    telemetry::ScopedSpan span(tel_, names::tel::kSpanSetup, "bench",
+                               matrix_name_);
     coo_ = std::move(matrix);
     Rng rng(params.seed);
     b_ = Dense<V>(static_cast<usize>(coo_.cols()),
@@ -254,15 +256,18 @@ class SpmmBenchmark {
     SPMM_CHECK(setup_done_,
                "setup() must be called before ensure_formatted()");
     if (formatted_) return;
-    if (params_.faults && params_.faults->should_fire("format.alloc.fail")) {
+    if (params_.faults && params_.faults->should_fire(names::site::kFormatAllocFail)) {
       if (tel_.enabled()) {
-        tel_.counter("fault.format.alloc.fail", 1.0, "resilience");
+        tel_.counter(names::fault_counter(names::site::kFormatAllocFail),
+                     1.0, "resilience");
       }
       throw resilience::FormatError(
-          "format.alloc", "fault injection: formatter allocation budget "
+          names::errc::kFormatAlloc,
+          "fault injection: formatter allocation budget "
                           "exhausted for " + name());
     }
-    telemetry::ScopedSpan span(tel_, "format", "bench", name());
+    telemetry::ScopedSpan span(tel_, names::tel::kSpanFormat, "bench",
+                               name());
     Timer t;
     do_format();
     format_seconds_ = t.seconds();
@@ -349,7 +354,8 @@ class SpmmBenchmark {
     if (tel_on) {
       run_detail = name() + "/" + std::string(variant_name(variant));
     }
-    telemetry::ScopedSpan run_span(tel_, "run", "bench", run_detail);
+    telemetry::ScopedSpan run_span(tel_, names::tel::kSpanRun, "bench",
+                                   run_detail);
 
     // Minimum-work guard: below params_.min_parallel_work of nnz·k, a
     // parallel request executes the serial kernel — fork/join overhead
@@ -362,7 +368,9 @@ class SpmmBenchmark {
             params_.min_parallel_work) {
       exec = variant_is_transpose(variant) ? Variant::kSerialTranspose
                                            : Variant::kSerial;
-      if (tel_on) tel_.counter("sched.serial_fallback", 1.0, "sched");
+      if (tel_on) {
+        tel_.counter(names::tel::kSchedSerialFallback, 1.0, "sched");
+      }
     }
 
     BenchResult r;
@@ -392,7 +400,8 @@ class SpmmBenchmark {
     // a corrupt structure is reported even if the kernel then crashes.
     audit::AuditReport audit_report;
     if (params_.audit) {
-      telemetry::ScopedSpan span(tel_, "audit", "bench", run_detail);
+      telemetry::ScopedSpan span(tel_, names::tel::kSpanAudit, "bench",
+                                 run_detail);
       do_audit(audit_report);
     }
 
@@ -409,25 +418,31 @@ class SpmmBenchmark {
     // emulating a hung kernel) and an outright failure (transient by
     // default, so it exercises retry-with-backoff).
     if (auto* fi = params_.faults.get()) {
-      if (fi->should_fire("cell.stall")) {
-        const double ms = fi->param("cell.stall", "ms", 100.0);
-        if (tel_on) tel_.counter("fault.cell.stall", 1.0, "resilience");
+      if (fi->should_fire(names::site::kCellStall)) {
+        const double ms = fi->param(names::site::kCellStall, "ms", 100.0);
+        if (tel_on) {
+          tel_.counter(names::fault_counter(names::site::kCellStall), 1.0,
+                       "resilience");
+        }
         std::this_thread::sleep_for(
             std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3)));
       }
-      if (fi->should_fire("cell.fail")) {
-        if (tel_on) tel_.counter("fault.cell.fail", 1.0, "resilience");
+      if (fi->should_fire(names::site::kCellFail)) {
+        if (tel_on) {
+          tel_.counter(names::fault_counter(names::site::kCellFail), 1.0,
+                       "resilience");
+        }
         throw resilience::KernelError(
-            "kernel.injected",
+            names::errc::kKernelInjected,
             "fault injection: cell.fail in " + name() + "/" +
                 std::string(variant_name(variant)),
-            fi->param("cell.fail", "transient", 1.0) != 0.0);
+            fi->param(names::site::kCellFail, "transient", 1.0) != 0.0);
       }
     }
     check_deadline(deadline, total, "before warmup");
 
     {
-      telemetry::ScopedSpan span(tel_, "warmup", "bench");
+      telemetry::ScopedSpan span(tel_, names::tel::kSpanWarmup, "bench");
       for (int i = 0; i < params_.warmup; ++i) {
         do_compute(exec);
         check_deadline(deadline, total, "during warmup");
@@ -455,7 +470,8 @@ class SpmmBenchmark {
       std::int64_t begin_ns = 0;
       if (tel_on) {
         begin_ns = telemetry::now_ns();
-        span_id = tel_.begin_span("iteration", "bench", run_detail, i);
+        span_id = tel_.begin_span(names::tel::kSpanIteration, "bench",
+                                  run_detail, i);
       }
       Timer t;
       if (tel_on) {
@@ -465,7 +481,7 @@ class SpmmBenchmark {
         try {
           do_compute(exec);
         } catch (...) {
-          tel_.end_span(span_id, "iteration", begin_ns);
+          tel_.end_span(span_id, names::tel::kSpanIteration, begin_ns);
           throw;
         }
       } else {
@@ -473,8 +489,8 @@ class SpmmBenchmark {
       }
       const double s = t.seconds();
       if (tel_on) {
-        tel_.end_span(span_id, "iteration", begin_ns);
-        tel_.sample("iteration_seconds", i, s);
+        tel_.end_span(span_id, names::tel::kSpanIteration, begin_ns);
+        tel_.sample(names::tel::kSampleIterationSeconds, i, s);
       }
       sum += s;
       best = (i == 0) ? s : std::min(best, s);
@@ -528,7 +544,7 @@ class SpmmBenchmark {
     if (hw_on) collect_hw_profile(r);
 
     if (params_.verify) {
-      telemetry::ScopedSpan span(tel_, "verify", "bench",
+      telemetry::ScopedSpan span(tel_, names::tel::kSpanVerify, "bench",
                                  params_.verify_probe ? "probe" : "reference");
       r.verification_run = true;
       if (params_.verify_probe) {
@@ -541,7 +557,7 @@ class SpmmBenchmark {
       }
       r.verified = r.max_abs_error <= verify_tolerance();
       if (params_.audit && !r.verified) {
-        audit_report.add("kernel.verify.diff", name(),
+        audit_report.add(names::rule::kKernelVerifyDiff, name(),
                          std::string(variant_name(variant)),
                          "max abs error " + std::to_string(r.max_abs_error) +
                              " exceeds tolerance " +
@@ -559,8 +575,10 @@ class SpmmBenchmark {
     r.d2h_bytes = arena_->d2h_bytes() - d2h0;
     r.device_peak_bytes = arena_->peak_bytes();
     if (tel_on && (r.h2d_bytes > 0 || r.d2h_bytes > 0)) {
-      tel_.counter("run.h2d_bytes", static_cast<double>(r.h2d_bytes), "dev");
-      tel_.counter("run.d2h_bytes", static_cast<double>(r.d2h_bytes), "dev");
+      tel_.counter(names::tel::kRunH2dBytes, static_cast<double>(r.h2d_bytes),
+                   "dev");
+      tel_.counter(names::tel::kRunD2hBytes, static_cast<double>(r.d2h_bytes),
+                   "dev");
     }
 
     r.properties = compute_properties(coo_, matrix_name_);
@@ -656,9 +674,9 @@ class SpmmBenchmark {
   /// plus a per-code counter, so trace_report can break outcomes down.
   void note_cell_error(std::string_view code) {
     if (tel_.enabled()) {
-      tel_.counter("cell.error", 1.0, "resilience");
-      tel_.counter("cell.error." + std::string(code), 1.0, "resilience");
-      tel_.log("cell.error", std::string(code) + " in " + name());
+      tel_.counter(names::tel::kCellError, 1.0, "resilience");
+      tel_.counter(names::cell_error_counter(code), 1.0, "resilience");
+      tel_.log(names::tel::kCellError, std::string(code) + " in " + name());
     }
   }
 
@@ -699,10 +717,10 @@ class SpmmBenchmark {
       partition_ = sched::partition_rows_balanced(prefix, params_.threads);
       partition_key_ = key;
       if (tel_.enabled()) {
-        tel_.counter("sched.parts", static_cast<double>(partition_.parts()),
-                     "sched");
-        tel_.counter("sched.max_imbalance", partition_.max_imbalance(),
-                     "sched");
+        tel_.counter(names::tel::kSchedParts,
+                     static_cast<double>(partition_.parts()), "sched");
+        tel_.counter(names::tel::kSchedMaxImbalance,
+                     partition_.max_imbalance(), "sched");
       }
     }
     return partition_;

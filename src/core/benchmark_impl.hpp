@@ -79,17 +79,17 @@ void SpmmBenchmark<V, I>::collect_hw_profile(BenchResult& r) {
       for (int i = 0; i < hwprof::kCounterCount; ++i) {
         const auto c = static_cast<hwprof::Counter>(i);
         if (!d.has(c)) continue;
-        tel_.counter("hw." + std::string(hwprof::counter_name(c)),
-                     d.value(c), "hwprof");
+        tel_.counter(names::hw_counter(hwprof::counter_name(c)), d.value(c),
+                     "hwprof");
       }
     }
     // Roofline ingredients, emitted whatever the backend so
     // trace_report's roofline section works in counter-denied
     // environments (containers, CI) too. hw.flops/hw.bytes are loop
     // totals — the summary divides by the "iteration" phase total.
-    tel_.counter("hw.flops", r.flops * iters, "hwprof");
-    tel_.counter("hw.bytes", in.model_bytes * iters, "hwprof");
-    tel_.counter("hw.stream_bw_gbs", in.stream_bw_gbs, "hwprof");
+    tel_.counter(names::tel::kHwFlops, r.flops * iters, "hwprof");
+    tel_.counter(names::tel::kHwBytes, in.model_bytes * iters, "hwprof");
+    tel_.counter(names::tel::kHwStreamBwGbs, in.stream_bw_gbs, "hwprof");
   }
 }
 
@@ -108,7 +108,9 @@ BenchResult SpmmBenchmark<V, I>::run(Variant variant) {
       return r;
     } catch (const resilience::TimeoutError& e) {
       note_cell_error(e.error_code());
-      if (tel_.enabled()) tel_.counter("cell.timeout", 1.0, "resilience");
+      if (tel_.enabled()) {
+        tel_.counter(names::tel::kCellTimeout, 1.0, "resilience");
+      }
       if (params_.on_error == OnError::kAbort) throw;
       // A stalled cell is expected to stall again — never retried.
       return outcome_result(variant, RunStatus::kTimeout, e.error_code(),
@@ -127,7 +129,9 @@ BenchResult SpmmBenchmark<V, I>::run(Variant variant) {
     } catch (const resilience::TypedError& e) {
       note_cell_error(e.error_code());
       if (e.transient() && attempt < max_attempts) {
-        if (tel_.enabled()) tel_.counter("cell.retry", 1.0, "resilience");
+        if (tel_.enabled()) {
+          tel_.counter(names::tel::kCellRetry, 1.0, "resilience");
+        }
         std::this_thread::sleep_for(std::chrono::duration<double>(
             params_.retry_backoff_seconds * attempt));
         continue;
@@ -158,8 +162,8 @@ BenchResult SpmmBenchmark<V, I>::run_degraded(Variant requested,
                                ? Variant::kParallel
                                : Variant::kParallelTranspose;
   if (tel_.enabled()) {
-    tel_.counter("cell.degraded", 1.0, "resilience");
-    tel_.log("cell.degraded",
+    tel_.counter(names::tel::kCellDegraded, 1.0, "resilience");
+    tel_.log(names::tel::kCellDegraded,
              std::string(cause_code) + ": " + name() + "/" +
                  std::string(variant_name(requested)) + " -> " +
                  std::string(variant_name(fallback)));

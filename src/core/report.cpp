@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/csv.hpp"
+#include "support/registry.hpp"
 #include "support/string_util.hpp"
 
 namespace spmm::bench {
@@ -92,27 +93,11 @@ void print_result(std::ostream& os, const BenchResult& r) {
 }
 
 void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
-  // Column order is frozen for downstream consumers (plot_results.py);
-  // new telemetry/distribution columns are appended at the end only.
-  // The header is pinned by test_csv_table.
-  CsvWriter csv(os, {"matrix",       "kernel",     "variant",
-                     "threads",      "k",          "block_size",
-                     "iterations",   "mflops",     "gflops",
-                     "avg_seconds",  "min_seconds", "format_seconds",
-                     "format_cached", "total_seconds", "flops",
-                     "format_bytes",
-                     "verified",     "max_abs_error",
-                     "rows",         "cols",       "nnz",
-                     "max_row_nnz",  "avg_row_nnz", "column_ratio",
-                     "row_variance", "row_stddev",
-                     "p50_seconds",  "p95_seconds", "max_seconds",
-                     "stddev_seconds", "warmup_drift", "outliers",
-                     "h2d_bytes",    "d2h_bytes",  "device_peak_bytes",
-                     "status",       "error_code", "attempts",
-                     "sched",        "isa",        "executed_isa",
-                     "executed_variant",
-                     "llc_miss_per_nnz", "ipc",    "measured_bytes",
-                     "hw_backend"});
+  // Column order is frozen for downstream consumers (plot_results.py):
+  // the header comes straight from SPMM_CSV_COLUMNS in
+  // support/registry.hpp (append-only; pinned by test_csv_table, and
+  // spmm_lint diffs the pin against the registry).
+  CsvWriter csv(os, registry::bench_csv_header());
   for (const BenchResult& r : results) {
     csv.add(r.matrix_name)
         .add(r.kernel_name)

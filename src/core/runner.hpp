@@ -163,7 +163,7 @@ std::vector<BenchResult> run_plan(SpmmBenchmark<V, I>& bench,
     if (bench.params().on_error == OnError::kContinue &&
         !format_supports(bench.format_id(), cell.variant)) {
       results.push_back(bench.outcome_result(
-          cell.variant, RunStatus::kSkipped, "variant.unsupported",
+          cell.variant, RunStatus::kSkipped, names::errc::kVariantUnsupported,
           std::string(format_name(bench.format_id())) +
               " does not implement " +
               std::string(variant_name(cell.variant)),

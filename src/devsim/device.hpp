@@ -23,6 +23,7 @@
 
 #include "resilience/fault_injector.hpp"
 #include "support/error.hpp"
+#include "support/registry.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace spmm::dev {
@@ -62,7 +63,7 @@ class DeviceOutOfMemory : public Error {
   explicit DeviceOutOfMemory(const std::string& what) : Error(what) {}
 
   [[nodiscard]] std::string_view error_code() const override {
-    return "dev.oom";
+    return names::errc::kDevOom;
   }
 };
 
@@ -113,8 +114,8 @@ class DeviceArena {
   /// smaller than the run assumed.
   void set_fault_injector(std::shared_ptr<resilience::FaultInjector> faults) {
     faults_ = std::move(faults);
-    if (faults_ && faults_->armed("dev.capacity.limit")) {
-      const double bytes = faults_->param("dev.capacity.limit", "bytes", 0.0);
+    if (faults_ && faults_->armed(names::site::kDevCapacityLimit)) {
+      const double bytes = faults_->param(names::site::kDevCapacityLimit, "bytes", 0.0);
       if (bytes > 0.0) {
         const auto limit = static_cast<std::size_t>(bytes);
         capacity_ = capacity_ == 0 ? limit : std::min(capacity_, limit);
@@ -131,10 +132,12 @@ class DeviceArena {
   template <class T>
   DeviceBuffer<T> alloc(std::size_t n) {
     const std::size_t bytes = n * sizeof(T);
-    if (faults_ && faults_->should_fire("dev.alloc.fail")) {
+    if (faults_ && faults_->should_fire(names::site::kDevAllocFail)) {
       if (tel_.enabled()) {
-        tel_.counter("fault.dev.alloc.fail", 1.0, "resilience");
-        tel_.log("dev.oom", "injected allocation failure (" +
+        tel_.counter(names::fault_counter(names::site::kDevAllocFail), 1.0,
+                     "resilience");
+        tel_.log(names::tel::kLogDevOom,
+                 "injected allocation failure (" +
                                 std::to_string(bytes) + " bytes)");
       }
       // The injected failure leaves the arena exactly as a real
@@ -144,7 +147,8 @@ class DeviceArena {
     }
     if (capacity_ != 0 && allocated_ + bytes > capacity_) {
       if (tel_.enabled()) {
-        tel_.log("dev.oom", "allocation of " + std::to_string(bytes) +
+        tel_.log(names::tel::kLogDevOom,
+                 "allocation of " + std::to_string(bytes) +
                                 " bytes over capacity " +
                                 std::to_string(capacity_));
       }
@@ -160,9 +164,11 @@ class DeviceArena {
     const bool new_peak = allocated_ > peak_;
     peak_ = std::max(peak_, allocated_);
     if (tel_.enabled()) {
-      tel_.counter("dev.alloc_bytes", static_cast<double>(bytes), "dev");
+      tel_.counter(names::tel::kDevAllocBytes, static_cast<double>(bytes),
+                   "dev");
       if (new_peak) {
-        tel_.counter("dev.peak_bytes", static_cast<double>(peak_), "dev");
+        tel_.counter(names::tel::kDevPeakBytes, static_cast<double>(peak_),
+                     "dev");
       }
     }
     return DeviceBuffer<T>(p, n);
@@ -173,13 +179,15 @@ class DeviceArena {
   void copy_to_device(DeviceBuffer<T> dst, const T* src, std::size_t n) {
     SPMM_CHECK(n <= dst.size(), "H2D copy larger than destination buffer");
     std::memcpy(dst.data(), src, n * sizeof(T));
-    if (faults_ && n > 0 && faults_->should_fire("h2d.corrupt")) {
-      corrupt_byte("h2d.corrupt", reinterpret_cast<std::byte*>(dst.data()),
+    if (faults_ && n > 0 && faults_->should_fire(names::site::kH2dCorrupt)) {
+      corrupt_byte(names::site::kH2dCorrupt,
+                   reinterpret_cast<std::byte*>(dst.data()),
                    n * sizeof(T));
     }
     h2d_bytes_ += n * sizeof(T);
     if (tel_.enabled()) {
-      tel_.counter("dev.h2d_bytes", static_cast<double>(n * sizeof(T)),
+      tel_.counter(names::tel::kDevH2dBytes,
+                   static_cast<double>(n * sizeof(T)),
                    "dev");
     }
   }
@@ -189,13 +197,15 @@ class DeviceArena {
   void copy_to_host(T* dst, DeviceBuffer<T> src, std::size_t n) {
     SPMM_CHECK(n <= src.size(), "D2H copy larger than source buffer");
     std::memcpy(dst, src.data(), n * sizeof(T));
-    if (faults_ && n > 0 && faults_->should_fire("d2h.corrupt")) {
-      corrupt_byte("d2h.corrupt", reinterpret_cast<std::byte*>(dst),
+    if (faults_ && n > 0 && faults_->should_fire(names::site::kD2hCorrupt)) {
+      corrupt_byte(names::site::kD2hCorrupt,
+                   reinterpret_cast<std::byte*>(dst),
                    n * sizeof(T));
     }
     d2h_bytes_ += n * sizeof(T);
     if (tel_.enabled()) {
-      tel_.counter("dev.d2h_bytes", static_cast<double>(n * sizeof(T)),
+      tel_.counter(names::tel::kDevD2hBytes,
+                   static_cast<double>(n * sizeof(T)),
                    "dev");
     }
   }
@@ -216,7 +226,8 @@ class DeviceArena {
   /// Release every allocation (buffers become dangling).
   void reset() {
     if (tel_.enabled() && allocated_ > 0) {
-      tel_.counter("dev.free_bytes", static_cast<double>(allocated_), "dev");
+      tel_.counter(names::tel::kDevFreeBytes,
+                   static_cast<double>(allocated_), "dev");
     }
     allocations_.clear();
     allocated_ = 0;
@@ -225,11 +236,12 @@ class DeviceArena {
   /// Internal: counts kernel launches (used by tests and reports).
   void note_launch() {
     ++launches_;
-    if (tel_.enabled()) tel_.counter("dev.launch", 1.0, "dev");
-    if (faults_ && faults_->should_fire("dev.launch.stall")) {
-      const double ms = faults_->param("dev.launch.stall", "ms", 50.0);
+    if (tel_.enabled()) tel_.counter(names::tel::kDevLaunch, 1.0, "dev");
+    if (faults_ && faults_->should_fire(names::site::kDevLaunchStall)) {
+      const double ms = faults_->param(names::site::kDevLaunchStall, "ms", 50.0);
       if (tel_.enabled()) {
-        tel_.counter("fault.dev.launch.stall", 1.0, "resilience");
+        tel_.counter(names::fault_counter(names::site::kDevLaunchStall), 1.0,
+                     "resilience");
       }
       std::this_thread::sleep_for(
           std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3)));
@@ -245,8 +257,7 @@ class DeviceArena {
                     std::size_t bytes) {
     data[faults_->pick(site, bytes)] ^= std::byte{0x40};
     if (tel_.enabled()) {
-      tel_.counter(std::string("fault.") + std::string(site), 1.0,
-                   "resilience");
+      tel_.counter(names::fault_counter(site), 1.0, "resilience");
     }
   }
 

@@ -1,5 +1,7 @@
 #include "io/bcsr_cache.hpp"
 
+#include "support/registry.hpp"
+
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -24,7 +26,7 @@ constexpr std::array<char, 8> kMagic = {'S', 'P', 'M', 'M',
 constexpr std::uint32_t kVersion = 2;
 
 [[noreturn]] void corrupt(const std::string& message) {
-  throw resilience::InputError("cache.corrupt", "BCSR cache: " + message);
+  throw resilience::InputError(names::errc::kCacheCorrupt, "BCSR cache: " + message);
 }
 
 /// FNV-1a over every payload byte (everything between the version word
@@ -154,7 +156,7 @@ template <ValueType V, IndexType I>
 Bcsr<V, I> read_bcsr_cache_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
-    throw resilience::InputError("input.open",
+    throw resilience::InputError(names::errc::kInputOpen,
                                  "cannot open BCSR cache file: " + path);
   }
   return read_bcsr_cache<V, I>(in);
@@ -166,7 +168,7 @@ std::optional<Bcsr<V, I>> try_read_bcsr_cache_file(
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     if (telemetry != nullptr && telemetry->enabled()) {
-      telemetry->counter("cache.miss", 1.0, "io");
+      telemetry->counter(names::tel::kCacheMiss, 1.0, "io");
     }
     return std::nullopt;
   }
@@ -177,8 +179,8 @@ std::optional<Bcsr<V, I>> try_read_bcsr_cache_file(
     // caller regenerates (and usually rewrites) the entry. The eviction
     // counter makes silent regeneration visible in traces.
     if (telemetry != nullptr && telemetry->enabled()) {
-      telemetry->counter("cache.evict", 1.0, "io");
-      telemetry->log("cache.evict", path + ": " + e.what());
+      telemetry->counter(names::tel::kCacheEvict, 1.0, "io");
+      telemetry->log(names::tel::kCacheEvict, path + ": " + e.what());
     }
     return std::nullopt;
   }

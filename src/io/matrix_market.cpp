@@ -37,20 +37,20 @@ struct Header {
 Header parse_header(std::istream& in, std::int64_t& lineno) {
   std::string line;
   if (!std::getline(in, line)) {
-    fail("input.truncated", 1, "empty input (no banner line)");
+    fail(names::errc::kInputTruncated, 1, "empty input (no banner line)");
   }
   ++lineno;
   std::istringstream hs(line);
   std::string banner, object, fmt, field, symmetry;
   hs >> banner >> object >> fmt >> field >> symmetry;
   if (banner != "%%MatrixMarket") {
-    fail("input.header", lineno, "missing %%MatrixMarket banner");
+    fail(names::errc::kInputHeader, lineno, "missing %%MatrixMarket banner");
   }
   if (to_lower(object) != "matrix") {
-    fail("input.header", lineno, "only 'matrix' objects are supported");
+    fail(names::errc::kInputHeader, lineno, "only 'matrix' objects are supported");
   }
   if (to_lower(fmt) != "coordinate") {
-    fail("input.header", lineno,
+    fail(names::errc::kInputHeader, lineno,
          "only coordinate (sparse) format is supported");
   }
 
@@ -59,7 +59,7 @@ Header parse_header(std::istream& in, std::int64_t& lineno) {
   if (f == "pattern") {
     h.pattern = true;
   } else if (f != "real" && f != "integer" && f != "double") {
-    fail("input.header", lineno, "unsupported field '" + field + "'");
+    fail(names::errc::kInputHeader, lineno, "unsupported field '" + field + "'");
   }
   const std::string s = to_lower(symmetry);
   if (s == "symmetric") {
@@ -68,7 +68,7 @@ Header parse_header(std::istream& in, std::int64_t& lineno) {
     h.symmetric = true;
     h.skew = true;
   } else if (s != "general") {
-    fail("input.header", lineno, "unsupported symmetry '" + symmetry + "'");
+    fail(names::errc::kInputHeader, lineno, "unsupported symmetry '" + symmetry + "'");
   }
   return h;
 }
@@ -81,7 +81,7 @@ void check_line_consumed(std::istringstream& ss, std::int64_t lineno,
   std::string rest;
   ss >> rest;
   if (!rest.empty()) {
-    fail("input.parse", lineno, "trailing garbage '" + rest + "' in: " + t);
+    fail(names::errc::kInputParse, lineno, "trailing garbage '" + rest + "' in: " + t);
   }
 }
 
@@ -102,20 +102,20 @@ Coo<V, I> read_matrix_market(std::istream& in) {
     if (t.empty() || t[0] == '%') continue;
     std::istringstream ss(t);
     ss >> rows >> cols >> entries;
-    if (ss.fail()) fail("input.parse", lineno, "malformed size line: " + t);
+    if (ss.fail()) fail(names::errc::kInputParse, lineno, "malformed size line: " + t);
     check_line_consumed(ss, lineno, t);
     have_size = true;
     break;
   }
   if (!have_size) {
-    fail("input.truncated", lineno, "missing size line");
+    fail(names::errc::kInputTruncated, lineno, "missing size line");
   }
   if (rows < 0 || cols < 0 || entries < 0) {
-    fail("input.parse", lineno, "negative dimension in size line");
+    fail(names::errc::kInputParse, lineno, "negative dimension in size line");
   }
   if (rows > std::numeric_limits<I>::max() ||
       cols > std::numeric_limits<I>::max()) {
-    fail("input.index", lineno,
+    fail(names::errc::kInputIndex, lineno,
          "matrix " + std::to_string(rows) + "x" + std::to_string(cols) +
              " overflows the chosen " + std::to_string(sizeof(I) * 8) +
              "-bit index type");
@@ -136,14 +136,14 @@ Coo<V, I> read_matrix_market(std::istream& in) {
   std::int64_t seen = 0;
   while (seen < entries && std::getline(in, line)) {
     ++lineno;
-    if (faults != nullptr && faults->should_fire("io.truncate")) break;
+    if (faults != nullptr && faults->should_fire(names::site::kIoTruncate)) break;
     const std::string t = trim(line);
     if (t.empty() || t[0] == '%') continue;
     std::istringstream ss(t);
     std::int64_t r = 0, c = 0;
     double v = 1.0;
     ss >> r >> c;
-    if (ss.fail()) fail("input.parse", lineno, "malformed entry line: " + t);
+    if (ss.fail()) fail(names::errc::kInputParse, lineno, "malformed entry line: " + t);
     if (!h.pattern) {
       // Read the value as a token and convert with strtod: stream
       // extraction of double rejects "nan"/"inf" spellings outright,
@@ -151,19 +151,19 @@ Coo<V, I> read_matrix_market(std::istream& in) {
       // input.nonfinite.
       std::string vtok;
       ss >> vtok;
-      if (vtok.empty()) fail("input.parse", lineno, "entry missing value: " + t);
+      if (vtok.empty()) fail(names::errc::kInputParse, lineno, "entry missing value: " + t);
       char* vend = nullptr;
       v = std::strtod(vtok.c_str(), &vend);
       if (vend == vtok.c_str() || *vend != '\0') {
-        fail("input.parse", lineno, "malformed entry value: " + t);
+        fail(names::errc::kInputParse, lineno, "malformed entry value: " + t);
       }
       if (!std::isfinite(v)) {
-        fail("input.nonfinite", lineno, "non-finite value in: " + t);
+        fail(names::errc::kInputNonfinite, lineno, "non-finite value in: " + t);
       }
     }
     check_line_consumed(ss, lineno, t);
     if (r < 1 || r > rows || c < 1 || c > cols) {
-      fail("input.index", lineno, "entry index out of range: " + t);
+      fail(names::errc::kInputIndex, lineno, "entry index out of range: " + t);
     }
     ++seen;
     row_idx.push_back(static_cast<I>(r - 1));
@@ -176,7 +176,7 @@ Coo<V, I> read_matrix_market(std::istream& in) {
     }
   }
   if (seen != entries) {
-    fail("input.truncated", lineno,
+    fail(names::errc::kInputTruncated, lineno,
          "expected " + std::to_string(entries) + " entries, found " +
              std::to_string(seen));
   }
@@ -189,7 +189,7 @@ template <ValueType V, IndexType I>
 Coo<V, I> read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
-    throw resilience::InputError("input.open",
+    throw resilience::InputError(names::errc::kInputOpen,
                                  "cannot open Matrix Market file: " + path);
   }
   return read_matrix_market<V, I>(in);

@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/registry.hpp"
 
 namespace spmm::resilience {
 
@@ -55,7 +56,7 @@ class InputError : public TypedError {
   InputError(std::string code, const std::string& what)
       : TypedError(std::move(code), what) {}
   explicit InputError(const std::string& what)
-      : TypedError("input.invalid", what) {}
+      : TypedError(names::errc::kInputInvalid, what) {}
 };
 
 /// Formatting / conversion failure: allocation budget exhausted while
@@ -66,7 +67,7 @@ class FormatError : public TypedError {
               bool transient = false)
       : TypedError(std::move(code), what, transient) {}
   explicit FormatError(const std::string& what)
-      : TypedError("format.failed", what) {}
+      : TypedError(names::errc::kFormatFailed, what) {}
 };
 
 /// Compute-time failure inside a kernel invocation.
@@ -76,7 +77,7 @@ class KernelError : public TypedError {
               bool transient = false)
       : TypedError(std::move(code), what, transient) {}
   explicit KernelError(const std::string& what)
-      : TypedError("kernel.failed", what) {}
+      : TypedError(names::errc::kKernelFailed, what) {}
 };
 
 /// A cell exceeded its wall-clock deadline (--cell-timeout). The
@@ -85,7 +86,7 @@ class KernelError : public TypedError {
 class TimeoutError : public TypedError {
  public:
   explicit TimeoutError(const std::string& what)
-      : TypedError("timeout.cell", what) {}
+      : TypedError(names::errc::kTimeoutCell, what) {}
 };
 
 /// Map any in-flight exception to its stable error code: spmm::Error
@@ -96,7 +97,7 @@ class TimeoutError : public TypedError {
   if (const auto* err = dynamic_cast<const Error*>(&e)) {
     return err->error_code();
   }
-  return "internal.unexpected";
+  return names::errc::kInternalUnexpected;
 }
 
 }  // namespace spmm::resilience

@@ -4,6 +4,7 @@
 
 #include "resilience/errors.hpp"
 #include "support/cli.hpp"
+#include "support/registry.hpp"
 #include "support/string_util.hpp"
 
 namespace spmm::resilience {
@@ -11,7 +12,7 @@ namespace spmm::resilience {
 namespace {
 
 [[noreturn]] void plan_error(const std::string& plan, const std::string& why) {
-  throw InputError("input.faultplan",
+  throw InputError(names::errc::kInputFaultplan,
                    "bad fault plan '" + plan + "': " + why);
 }
 
@@ -52,11 +53,14 @@ FaultInjector* g_global = nullptr;
 }  // namespace
 
 const std::vector<std::string_view>& FaultInjector::known_sites() {
-  static const std::vector<std::string_view> sites = {
-      "dev.alloc.fail",   "dev.capacity.limit", "h2d.corrupt",
-      "d2h.corrupt",      "dev.launch.stall",   "cell.stall",
-      "cell.fail",        "format.alloc.fail",  "io.truncate",
-  };
+  static const std::vector<std::string_view> sites = [] {
+    std::vector<std::string_view> v;
+    v.reserve(std::size(registry::kFaultSites));
+    for (const registry::FaultSite& s : registry::kFaultSites) {
+      v.push_back(s.name);
+    }
+    return v;
+  }();
   return sites;
 }
 
@@ -205,7 +209,7 @@ void register_fault_options(ArgParser& parser) {
     if (!sites.empty()) sites += " ";
     sites += s;
   }
-  parser.add_string("faults", 0, "",
+  parser.add_string(names::flag::kFaults, 0, "",
                     "fault-injection plan, e.g. "
                     "'dev.alloc.fail@2;cell.stall@1,ms=200' (sites: " +
                         sites + ")");
@@ -213,7 +217,8 @@ void register_fault_options(ArgParser& parser) {
 
 std::shared_ptr<FaultInjector> injector_from_parser(const ArgParser& parser,
                                                     std::uint64_t seed) {
-  return FaultInjector::parse(parser.get_string("faults"), seed);
+  return FaultInjector::parse(parser.get_string(names::flag::kFaults),
+                              seed);
 }
 
 }  // namespace spmm::resilience

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/registry.hpp"
 #include "support/string_util.hpp"
 
 namespace spmm {
@@ -37,7 +38,7 @@ double parse_double(const std::string& name, const std::string& value) {
 
 ArgParser::ArgParser(std::string program_description)
     : description_(std::move(program_description)) {
-  add_flag("help", 'h', "print this help text");
+  add_flag(names::flag::kHelp, 'h', "print this help text");
 }
 
 ArgParser& ArgParser::add_int(const std::string& name, char short_name,
@@ -208,11 +209,18 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     }
   }
 
-  if (get_flag("help")) {
+  if (get_flag(names::flag::kHelp)) {
     std::fputs(usage(argc > 0 ? argv[0] : "program").c_str(), stdout);
     return false;
   }
   return true;
+}
+
+std::vector<std::string> ArgParser::option_names() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [name, opt] : options_) names.push_back(name);
+  return names;
 }
 
 std::int64_t ArgParser::get_int(const std::string& name) const {
@@ -253,79 +261,79 @@ std::string ArgParser::usage(const std::string& program_name) const {
 }
 
 void BenchParams::register_options(ArgParser& parser) {
-  parser.add_int("iterations", 'n', 10, "timed kernel invocations per run");
-  parser.add_int("warmup", 'w', 2, "untimed warm-up invocations per run");
-  parser.add_int("threads", 't', 32, "thread count for parallel kernels");
-  parser.add_int("block-size", 'b', 4, "block size for blocked formats (BCSR)");
-  parser.add_int("k", 'k', 128, "dense operand width (k-loop bound)");
-  parser.add_string("sched", 0, "rows",
+  parser.add_int(names::flag::kIterations, 'n', 10, "timed kernel invocations per run");
+  parser.add_int(names::flag::kWarmup, 'w', 2, "untimed warm-up invocations per run");
+  parser.add_int(names::flag::kThreads, 't', 32, "thread count for parallel kernels");
+  parser.add_int(names::flag::kBlockSize, 'b', 4, "block size for blocked formats (BCSR)");
+  parser.add_int(names::flag::kK, 'k', 128, "dense operand width (k-loop bound)");
+  parser.add_string(names::flag::kSched, 0, "rows",
                     "work distribution for parallel kernels: rows "
                     "(per-format historical schedule) or nnz "
                     "(precomputed nnz-balanced partition)");
-  parser.add_string("isa", 0, "auto",
+  parser.add_string(names::flag::kIsa, 0, "auto",
                     "instruction-set tier for kernel inner loops: auto "
                     "(AVX2/FMA when the host supports it), scalar, or "
                     "avx2 (degrades to scalar on unsupported hosts)");
-  parser.add_int("min-parallel-work", 0, std::int64_t{1} << 18,
+  parser.add_int(names::flag::kMinParallelWork, 0, std::int64_t{1} << 18,
                  "minimum nnz*k below which parallel variants fall back "
                  "to the serial kernel (0 = never)");
-  parser.add_int_list("thread-list", 0, {},
+  parser.add_int_list(names::flag::kThreadList, 0, {},
                       "comma-separated thread counts for the best-thread sweep");
-  parser.add_flag("no-verify", 0, "skip COO-reference verification");
-  parser.add_flag("probe-verify", 0,
+  parser.add_flag(names::flag::kNoVerify, 0, "skip COO-reference verification");
+  parser.add_flag(names::flag::kProbeVerify, 0,
                   "verify with the O(nnz) random probe instead of the full "
                   "COO reference multiply");
-  parser.add_flag("debug", 'd', "print extra diagnostics");
-  parser.add_flag("audit", 0,
+  parser.add_flag(names::flag::kDebug, 'd', "print extra diagnostics");
+  parser.add_flag(names::flag::kAudit, 0,
                   "run the structural analyzer over the formatted "
                   "structure before timing");
-  parser.add_flag("hw-counters", 0,
+  parser.add_flag(names::flag::kHwCounters, 0,
                   "profile the timed loop with hardware performance "
                   "counters (perf_event); degrades to a no-op backend "
                   "where counters are denied or unsupported");
-  parser.add_int("seed", 's', 42, "seed for generators and operand fill");
-  parser.add_int("device-memory-mb", 0, 0,
+  parser.add_int(names::flag::kSeed, 's', 42, "seed for generators and operand fill");
+  parser.add_int(names::flag::kDeviceMemoryMb, 0, 0,
                  "emulated device memory cap in MiB (0 = unlimited)");
-  parser.add_double("cell-timeout", 0, 0.0,
+  parser.add_double(names::flag::kCellTimeout, 0, 0.0,
                     "wall-clock deadline per benchmark cell in seconds "
                     "(0 = no deadline)");
-  parser.add_int("retries", 0, 0,
+  parser.add_int(names::flag::kRetries, 0, 0,
                  "extra attempts for cells that fail transiently");
-  parser.add_string("on-error", 0, "abort",
+  parser.add_string(names::flag::kOnError, 0, "abort",
                     "cell failure policy: continue (record as a labelled "
                     "result) or abort (propagate)");
 }
 
 BenchParams BenchParams::from_parser(const ArgParser& parser) {
   BenchParams p;
-  p.iterations = static_cast<int>(parser.get_int("iterations"));
-  p.warmup = static_cast<int>(parser.get_int("warmup"));
-  p.threads = static_cast<int>(parser.get_int("threads"));
-  p.block_size = static_cast<int>(parser.get_int("block-size"));
-  p.k = static_cast<int>(parser.get_int("k"));
-  p.sched = sched_from_name(parser.get_string("sched"));
-  p.isa = isa_from_name(parser.get_string("isa"));
-  p.min_parallel_work = parser.get_int("min-parallel-work");
+  p.iterations = static_cast<int>(parser.get_int(names::flag::kIterations));
+  p.warmup = static_cast<int>(parser.get_int(names::flag::kWarmup));
+  p.threads = static_cast<int>(parser.get_int(names::flag::kThreads));
+  p.block_size = static_cast<int>(parser.get_int(names::flag::kBlockSize));
+  p.k = static_cast<int>(parser.get_int(names::flag::kK));
+  p.sched = sched_from_name(parser.get_string(names::flag::kSched));
+  p.isa = isa_from_name(parser.get_string(names::flag::kIsa));
+  p.min_parallel_work = parser.get_int(names::flag::kMinParallelWork);
   SPMM_CHECK(p.min_parallel_work >= 0,
              "--min-parallel-work must be non-negative");
-  for (std::int64_t t : parser.get_int_list("thread-list")) {
+  for (std::int64_t t : parser.get_int_list(names::flag::kThreadList)) {
     p.thread_list.push_back(static_cast<int>(t));
   }
-  p.verify = !parser.get_flag("no-verify");
-  p.verify_probe = parser.get_flag("probe-verify");
-  p.debug = parser.get_flag("debug");
-  p.audit = parser.get_flag("audit");
-  p.hw_counters = parser.get_flag("hw-counters");
-  p.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
-  const std::int64_t dev_mb = parser.get_int("device-memory-mb");
+  p.verify = !parser.get_flag(names::flag::kNoVerify);
+  p.verify_probe = parser.get_flag(names::flag::kProbeVerify);
+  p.debug = parser.get_flag(names::flag::kDebug);
+  p.audit = parser.get_flag(names::flag::kAudit);
+  p.hw_counters = parser.get_flag(names::flag::kHwCounters);
+  p.seed = static_cast<std::uint64_t>(parser.get_int(names::flag::kSeed));
+  const std::int64_t dev_mb = parser.get_int(names::flag::kDeviceMemoryMb);
   SPMM_CHECK(dev_mb >= 0, "--device-memory-mb must be non-negative");
   p.device_memory_bytes = static_cast<std::size_t>(dev_mb) * 1024 * 1024;
-  p.cell_timeout_seconds = parser.get_double("cell-timeout");
+  p.cell_timeout_seconds = parser.get_double(names::flag::kCellTimeout);
   SPMM_CHECK(p.cell_timeout_seconds >= 0.0,
              "--cell-timeout must be non-negative");
-  p.retries = static_cast<int>(parser.get_int("retries"));
+  p.retries = static_cast<int>(parser.get_int(names::flag::kRetries));
   SPMM_CHECK(p.retries >= 0, "--retries must be non-negative");
-  const std::string& on_error = parser.get_string("on-error");
+  const std::string& on_error = parser.get_string(names::flag::kOnError);
   if (on_error == "continue") {
     p.on_error = OnError::kContinue;
   } else {

@@ -74,6 +74,12 @@ class ArgParser {
   /// Render the usage/help text.
   [[nodiscard]] std::string usage(const std::string& program_name) const;
 
+  /// Names of every registered option, in map (lexicographic) order.
+  /// The registry tests check these against SPMM_CLI_FLAGS
+  /// (support/registry.hpp) so a binary cannot register a flag the
+  /// vocabulary does not declare.
+  [[nodiscard]] std::vector<std::string> option_names() const;
+
  private:
   enum class Kind { kInt, kDouble, kString, kFlag, kIntList };
 

@@ -11,6 +11,8 @@
 #include <string>
 #include <string_view>
 
+#include "support/registry.hpp"
+
 namespace spmm {
 
 /// Exception type thrown for all recoverable library errors.
@@ -26,7 +28,7 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 
   [[nodiscard]] virtual std::string_view error_code() const {
-    return "error";
+    return names::errc::kError;
   }
 };
 

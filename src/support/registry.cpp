@@ -1,0 +1,23 @@
+#include "support/registry.hpp"
+
+namespace spmm::registry {
+
+std::vector<std::string> bench_csv_header() {
+  std::vector<std::string> header;
+  header.reserve(std::size(kCsvColumns));
+  for (const CsvColumn& c : kCsvColumns) {
+    header.emplace_back(c.name);
+  }
+  return header;
+}
+
+std::string bench_csv_header_joined() {
+  std::string joined;
+  for (const CsvColumn& c : kCsvColumns) {
+    if (!joined.empty()) joined += ',';
+    joined += c.name;
+  }
+  return joined;
+}
+
+}  // namespace spmm::registry

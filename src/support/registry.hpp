@@ -1,0 +1,706 @@
+// spmm::registry — single-source-of-truth vocabulary registries.
+//
+// Every stable name the suite emits — telemetry counter/span names, the
+// pinned CSV column schema, audit rule ids, typed error codes, fault-
+// injection sites, CLI flags, the BENCH_kernels.json artifact keys, and
+// the spmm_lint finding ids — is declared exactly once, here, as an
+// X-macro table. Each list expands twice:
+//
+//   1. into `spmm::names::<vocab>::kIdent` constants that emission
+//      sites reference instead of raw string literals, and
+//   2. into a `spmm::registry::k<Vocab>[]` constexpr table carrying the
+//      metadata (kind, group, owning PR era, severity, documentation
+//      anchor) that tests, docs checks, and `tools/spmm_lint.cpp`
+//      consume at runtime.
+//
+// Uniqueness inside every table is a compile-time static_assert, so two
+// subsystems can never claim the same counter or rule id. tools/
+// spmm_lint.cpp closes the loop the compiler cannot: it scans the
+// source tree for vocabulary-shaped literals that bypass this header,
+// cross-checks the docs tables, and validates the shipped artifacts
+// (see docs/STATIC_ANALYSIS.md, "Vocabulary registries & spmm_lint").
+//
+// Adding an entry: extend the X-macro list (keeping it sorted where the
+// list says so), reference the new constant at the emission site, and
+// add the documentation row the table's `doc` field points at —
+// `spmm_lint` fails the build when any of the three is missing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// ---------------------------------------------------------------------
+// 1. Telemetry names: counters, spans, samples, logs, and the dynamic
+//    prefix families (`fault.<site>`, `cell.error.<code>`,
+//    `hw.<counter>`). kind/group mirror the emission call; `doc` names
+//    the markdown file that must mention the entry.
+//    X(ident, name, kind, group, doc)
+// ---------------------------------------------------------------------
+#define SPMM_TELEMETRY_NAMES(X)                                          \
+  X(kSpanSetup, "setup", kSpan, "bench", "docs/OBSERVABILITY.md")        \
+  X(kSpanFormat, "format", kSpan, "bench", "docs/OBSERVABILITY.md")      \
+  X(kSpanRun, "run", kSpan, "bench", "docs/OBSERVABILITY.md")            \
+  X(kSpanWarmup, "warmup", kSpan, "bench", "docs/OBSERVABILITY.md")     \
+  X(kSpanIteration, "iteration", kSpan, "bench", "docs/OBSERVABILITY.md") \
+  X(kSpanVerify, "verify", kSpan, "bench", "docs/OBSERVABILITY.md")      \
+  X(kSpanAudit, "audit", kSpan, "bench", "docs/OBSERVABILITY.md")        \
+  X(kSampleIterationSeconds, "iteration_seconds", kSample, "bench",      \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kLogDevOom, "dev.oom", kLog, "dev", "docs/OBSERVABILITY.md")         \
+  X(kLogDebug, "debug", kLog, "bench", "docs/OBSERVABILITY.md")          \
+  X(kLogPerfSummary, "perf_summary", kLog, "bench",                      \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kDevAllocBytes, "dev.alloc_bytes", kCounter, "dev",                  \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kDevFreeBytes, "dev.free_bytes", kCounter, "dev",                    \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kDevH2dBytes, "dev.h2d_bytes", kCounter, "dev",                      \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kDevD2hBytes, "dev.d2h_bytes", kCounter, "dev",                      \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kDevLaunch, "dev.launch", kCounter, "dev", "docs/OBSERVABILITY.md")  \
+  X(kDevPeakBytes, "dev.peak_bytes", kCounter, "dev",                    \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kRunH2dBytes, "run.h2d_bytes", kCounter, "dev",                      \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kRunD2hBytes, "run.d2h_bytes", kCounter, "dev",                      \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kCacheMiss, "cache.miss", kCounter, "io", "docs/OBSERVABILITY.md")   \
+  X(kCacheEvict, "cache.evict", kCounter, "io", "docs/OBSERVABILITY.md") \
+  X(kSchedParts, "sched.parts", kCounter, "sched",                       \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kSchedMaxImbalance, "sched.max_imbalance", kCounter, "sched",        \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kSchedSerialFallback, "sched.serial_fallback", kCounter, "sched",    \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kCellError, "cell.error", kCounter, "resilience",                    \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kCellRetry, "cell.retry", kCounter, "resilience",                    \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kCellDegraded, "cell.degraded", kCounter, "resilience",              \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kCellTimeout, "cell.timeout", kCounter, "resilience",                \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kHwCycles, "hw.cycles", kCounter, "hwprof", "docs/OBSERVABILITY.md") \
+  X(kHwInstructions, "hw.instructions", kCounter, "hwprof",              \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kHwLlcLoads, "hw.llc_loads", kCounter, "hwprof",                     \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kHwLlcMisses, "hw.llc_misses", kCounter, "hwprof",                   \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kHwL1dMisses, "hw.l1d_misses", kCounter, "hwprof",                   \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kHwStalledCycles, "hw.stalled_cycles", kCounter, "hwprof",           \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kHwFlops, "hw.flops", kCounter, "hwprof", "docs/OBSERVABILITY.md")   \
+  X(kHwBytes, "hw.bytes", kCounter, "hwprof", "docs/OBSERVABILITY.md")   \
+  X(kHwStreamBwGbs, "hw.stream_bw_gbs", kCounter, "hwprof",              \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kFaultPrefix, "fault.", kPrefix, "resilience",                       \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kCellErrorPrefix, "cell.error.", kPrefix, "resilience",              \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kHwPrefix, "hw.", kPrefix, "hwprof", "")
+
+// ---------------------------------------------------------------------
+// 2. CSV column schema for bench::write_csv. Position is the array
+//    index — the order below IS the pinned order (append-only; see
+//    tests/test_csv_table.cpp). `era` names the PR-era group that
+//    appended the column.
+//    X(ident, name, era)
+// ---------------------------------------------------------------------
+#define SPMM_CSV_COLUMNS(X)                   \
+  X(kColMatrix, "matrix", "core")             \
+  X(kColKernel, "kernel", "core")             \
+  X(kColVariant, "variant", "core")           \
+  X(kColThreads, "threads", "core")           \
+  X(kColK, "k", "core")                       \
+  X(kColBlockSize, "block_size", "core")      \
+  X(kColIterations, "iterations", "core")     \
+  X(kColMflops, "mflops", "core")             \
+  X(kColGflops, "gflops", "core")             \
+  X(kColAvgSeconds, "avg_seconds", "core")    \
+  X(kColMinSeconds, "min_seconds", "core")    \
+  X(kColFormatSeconds, "format_seconds", "core")     \
+  X(kColFormatCached, "format_cached", "core")       \
+  X(kColTotalSeconds, "total_seconds", "core")       \
+  X(kColFlops, "flops", "core")               \
+  X(kColFormatBytes, "format_bytes", "core")  \
+  X(kColVerified, "verified", "core")         \
+  X(kColMaxAbsError, "max_abs_error", "core") \
+  X(kColRows, "rows", "core")                 \
+  X(kColCols, "cols", "core")                 \
+  X(kColNnz, "nnz", "core")                   \
+  X(kColMaxRowNnz, "max_row_nnz", "core")     \
+  X(kColAvgRowNnz, "avg_row_nnz", "core")     \
+  X(kColColumnRatio, "column_ratio", "core")  \
+  X(kColRowVariance, "row_variance", "core")  \
+  X(kColRowStddev, "row_stddev", "core")      \
+  X(kColP50Seconds, "p50_seconds", "telemetry")      \
+  X(kColP95Seconds, "p95_seconds", "telemetry")      \
+  X(kColMaxSeconds, "max_seconds", "telemetry")      \
+  X(kColStddevSeconds, "stddev_seconds", "telemetry") \
+  X(kColWarmupDrift, "warmup_drift", "telemetry")    \
+  X(kColOutliers, "outliers", "telemetry")    \
+  X(kColH2dBytes, "h2d_bytes", "telemetry")   \
+  X(kColD2hBytes, "d2h_bytes", "telemetry")   \
+  X(kColDevicePeakBytes, "device_peak_bytes", "telemetry") \
+  X(kColStatus, "status", "resilience")       \
+  X(kColErrorCode, "error_code", "resilience")       \
+  X(kColAttempts, "attempts", "resilience")   \
+  X(kColSched, "sched", "sched")              \
+  X(kColIsa, "isa", "isa")                    \
+  X(kColExecutedIsa, "executed_isa", "isa")   \
+  X(kColExecutedVariant, "executed_variant", "isa")  \
+  X(kColLlcMissPerNnz, "llc_miss_per_nnz", "hwprof") \
+  X(kColIpc, "ipc", "hwprof")                 \
+  X(kColMeasuredBytes, "measured_bytes", "hwprof")   \
+  X(kColHwBackend, "hw_backend", "hwprof")
+
+// ---------------------------------------------------------------------
+// 3. Audit rule ids (src/audit). Sorted by id — find_rule binary-
+//    searches the expansion. Severity is "error" or "warning".
+//    X(ident, id, format, severity, description)
+// ---------------------------------------------------------------------
+#define SPMM_AUDIT_RULES(X)                                               \
+  X(kBcsrBlockBounds, "bcsr.block.bounds", "BCSR", "error",               \
+    "edge blocks must hold zeros outside the matrix bounds")              \
+  X(kBcsrBlockColRange, "bcsr.block.col_range", "BCSR", "error",          \
+    "block column indices must lie in [0, block_cols)")                   \
+  X(kBcsrBlockGeometry, "bcsr.block.geometry", "BCSR", "error",           \
+    "block_row_ptr must be a monotone 0..nblocks offset array and "       \
+    "values must hold one dense b*b tile per stored block")               \
+  X(kBcsrBlockOccupancy, "bcsr.block.occupancy", "BCSR", "warning",       \
+    "stored blocks should contain at least one nonzero")                  \
+  X(kBcsrBlockOrder, "bcsr.block.order", "BCSR", "error",                 \
+    "block columns must be strictly increasing within a block row")       \
+  X(kBcsrNnzCount, "bcsr.nnz.count", "BCSR", "error",                     \
+    "declared nnz must equal the nonzeros stored in the tiles")           \
+  X(kBellColOrder, "bell.col.order", "BELL", "error",                     \
+    "real columns must be strictly increasing within a row")              \
+  X(kBellColRange, "bell.col.range", "BELL", "error",                     \
+    "column indices must lie in [0, cols)")                               \
+  X(kBellGroupExtent, "bell.group.extent", "BELL", "error",               \
+    "group extent must equal rows_in_group*width and offsets must be "    \
+    "a monotone 0..storage array")                                        \
+  X(kBellNnzCount, "bell.nnz.count", "BELL", "error",                     \
+    "declared nnz must equal the stored nonzero count")                   \
+  X(kBellPadInterior, "bell.pad.interior", "BELL", "error",               \
+    "zero values must not appear inside a row's real-entry prefix")       \
+  X(kBellPadSentinel, "bell.pad.sentinel", "BELL", "error",               \
+    "padding slots must repeat the row's last real column (0 for "        \
+    "empty rows) with zero value")                                        \
+  X(kBellShapeValid, "bell.shape.valid", "BELL", "error",                 \
+    "width/offset/col_idx/values array shapes must be consistent")        \
+  X(kConvertRoundtripIdentity, "convert.roundtrip.identity", "*",         \
+    "error",                                                              \
+    "COO -> format -> COO must reproduce the input matrix exactly")       \
+  X(kCooIndexRange, "coo.index.range", "COO", "error",                    \
+    "row/column indices must lie inside the matrix shape")                \
+  X(kCooOrderCanonical, "coo.order.canonical", "COO", "error",            \
+    "entries must be sorted row-major with no duplicate coordinates")     \
+  X(kCooShapeValid, "coo.shape.valid", "COO", "error",                    \
+    "triplet arrays must have equal length and a non-negative shape")     \
+  X(kCscColPtrMonotone, "csc.col_ptr.monotone", "CSC", "error",           \
+    "col_ptr must start at 0, be non-decreasing, and end at nnz")         \
+  X(kCscRowOrder, "csc.row.order", "CSC", "error",                        \
+    "row indices must be strictly increasing within a column")            \
+  X(kCscRowRange, "csc.row.range", "CSC", "error",                        \
+    "row indices must lie in [0, rows)")                                  \
+  X(kCscShapeValid, "csc.shape.valid", "CSC", "error",                    \
+    "col_ptr must have cols+1 entries; row_idx/values equal length")      \
+  X(kCsrColOrder, "csr.col.order", "CSR", "error",                        \
+    "column indices must be strictly increasing within a row")            \
+  X(kCsrColRange, "csr.col.range", "CSR", "error",                        \
+    "column indices must lie in [0, cols)")                               \
+  X(kCsrRowPtrMonotone, "csr.row_ptr.monotone", "CSR", "error",           \
+    "row_ptr must start at 0, be non-decreasing, and end at nnz")         \
+  X(kCsrShapeValid, "csr.shape.valid", "CSR", "error",                    \
+    "row_ptr must have rows+1 entries; col_idx/values equal length")      \
+  X(kCsr5TileMeta, "csr5.tile.meta", "CSR5", "error",                     \
+    "tile_row must have one monotone in-range entry per tile that "       \
+    "brackets the tile's first nonzero")                                  \
+  X(kDenseValueFinite, "dense.value.finite", "Dense", "error",            \
+    "dense operand values must be finite (no NaN/Inf)")                   \
+  X(kEllColOrder, "ell.col.order", "ELL", "error",                        \
+    "real columns must be strictly increasing within a row")              \
+  X(kEllColRange, "ell.col.range", "ELL", "error",                        \
+    "column indices must lie in [0, cols)")                               \
+  X(kEllNnzCount, "ell.nnz.count", "ELL", "error",                        \
+    "declared nnz must equal the stored nonzero count")                   \
+  X(kEllPadInterior, "ell.pad.interior", "ELL", "error",                  \
+    "zero values must not appear inside a row's real-entry prefix")       \
+  X(kEllPadSentinel, "ell.pad.sentinel", "ELL", "error",                  \
+    "padding slots must repeat the row's last real column (0 for "        \
+    "empty rows) with zero value")                                        \
+  X(kEllShapeValid, "ell.shape.valid", "ELL", "error",                    \
+    "col_idx and values must both hold rows*width entries")               \
+  X(kHybShapeMatch, "hyb.shape.match", "HYB", "error",                    \
+    "ELL region and COO tail must share the matrix shape")                \
+  X(kHybTailOverflow, "hyb.tail.overflow", "HYB", "error",                \
+    "a row may only spill to the tail once its ELL region is full")       \
+  X(kKernelVerifyDiff, "kernel.verify.diff", "*", "error",                \
+    "kernel output must match the reference multiply within tolerance")   \
+  X(kSchedPartitionCover, "sched.partition.cover", "*", "error",          \
+    "a RowPartition must cover [0, rows) contiguously: bounds start "     \
+    "at 0, never decrease, and end at rows")                              \
+  X(kSellcChunkExtent, "sellc.chunk.extent", "SELL-C", "error",           \
+    "chunk extent must equal C*chunk_width and offsets must be a "        \
+    "monotone 0..storage array")                                          \
+  X(kSellcColOrder, "sellc.col.order", "SELL-C", "error",                 \
+    "real columns must be strictly increasing within a lane")             \
+  X(kSellcColRange, "sellc.col.range", "SELL-C", "error",                 \
+    "column indices must lie in [0, cols)")                               \
+  X(kSellcLaneEmpty, "sellc.lane.empty", "SELL-C", "error",               \
+    "unused lanes in the final chunk must hold zero values")              \
+  X(kSellcNnzCount, "sellc.nnz.count", "SELL-C", "error",                 \
+    "declared nnz must equal the stored nonzero count")                   \
+  X(kSellcPadInterior, "sellc.pad.interior", "SELL-C", "error",           \
+    "zero values must not appear inside a lane's real-entry prefix")      \
+  X(kSellcPadSentinel, "sellc.pad.sentinel", "SELL-C", "error",           \
+    "padding slots must repeat the lane's last real column with zero "    \
+    "value")                                                              \
+  X(kSellcPermBijective, "sellc.perm.bijective", "SELL-C", "error",       \
+    "the row permutation must be a bijection on [0, rows)")               \
+  X(kSellcShapeValid, "sellc.shape.valid", "SELL-C", "error",             \
+    "perm/chunk_width/chunk_offset/col_idx/values shapes must be "        \
+    "consistent")
+
+// ---------------------------------------------------------------------
+// 4. Typed error codes (src/resilience/errors.hpp and friends).
+//    `category` names the throwing class family.
+//    X(ident, code, category, doc)
+// ---------------------------------------------------------------------
+#define SPMM_ERROR_CODES(X)                                              \
+  X(kError, "error", "Error", "docs/ROBUSTNESS.md")                      \
+  X(kInputInvalid, "input.invalid", "InputError", "docs/ROBUSTNESS.md")  \
+  X(kInputOpen, "input.open", "InputError", "docs/ROBUSTNESS.md")        \
+  X(kInputHeader, "input.header", "InputError", "docs/ROBUSTNESS.md")    \
+  X(kInputParse, "input.parse", "InputError", "docs/ROBUSTNESS.md")      \
+  X(kInputTruncated, "input.truncated", "InputError",                    \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kInputNonfinite, "input.nonfinite", "InputError",                    \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kInputIndex, "input.index", "InputError", "docs/ROBUSTNESS.md")     \
+  X(kInputFaultplan, "input.faultplan", "InputError",                    \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kCacheCorrupt, "cache.corrupt", "InputError", "docs/ROBUSTNESS.md")  \
+  X(kFormatFailed, "format.failed", "FormatError", "docs/ROBUSTNESS.md") \
+  X(kFormatAlloc, "format.alloc", "FormatError", "docs/ROBUSTNESS.md")   \
+  X(kKernelFailed, "kernel.failed", "KernelError", "docs/ROBUSTNESS.md") \
+  X(kKernelInjected, "kernel.injected", "KernelError",                   \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kTimeoutCell, "timeout.cell", "TimeoutError", "docs/ROBUSTNESS.md")  \
+  X(kDevOom, "dev.oom", "DeviceOutOfMemory", "docs/ROBUSTNESS.md")       \
+  X(kInternalUnexpected, "internal.unexpected", "non-Error",             \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kVariantUnsupported, "variant.unsupported", "skip",                  \
+    "docs/ROBUSTNESS.md")
+
+// ---------------------------------------------------------------------
+// 5. Fault-injection sites (src/resilience/fault_injector.*). The
+//    closed vocabulary FaultInjector::parse accepts.
+//    X(ident, site, doc)
+// ---------------------------------------------------------------------
+#define SPMM_FAULT_SITES(X)                                             \
+  X(kDevAllocFail, "dev.alloc.fail", "docs/ROBUSTNESS.md")              \
+  X(kDevCapacityLimit, "dev.capacity.limit", "docs/ROBUSTNESS.md")      \
+  X(kH2dCorrupt, "h2d.corrupt", "docs/ROBUSTNESS.md")                   \
+  X(kD2hCorrupt, "d2h.corrupt", "docs/ROBUSTNESS.md")                   \
+  X(kDevLaunchStall, "dev.launch.stall", "docs/ROBUSTNESS.md")          \
+  X(kCellStall, "cell.stall", "docs/ROBUSTNESS.md")                     \
+  X(kCellFail, "cell.fail", "docs/ROBUSTNESS.md")                       \
+  X(kFormatAllocFail, "format.alloc.fail", "docs/ROBUSTNESS.md")        \
+  X(kIoTruncate, "io.truncate", "docs/ROBUSTNESS.md")
+
+// ---------------------------------------------------------------------
+// 6. CLI flags. `owner` is the layer that registers the flag; flags
+//    owned by tools/ and bench/ binaries register with these exact
+//    names (spmm_lint flags any add_* registration whose name is not
+//    declared here).
+//    X(ident, name, owner)
+// ---------------------------------------------------------------------
+#define SPMM_CLI_FLAGS(X)                                  \
+  X(kHelp, "help", "parser")                               \
+  X(kIterations, "iterations", "bench-params")             \
+  X(kWarmup, "warmup", "bench-params")                     \
+  X(kThreads, "threads", "bench-params")                   \
+  X(kBlockSize, "block-size", "bench-params")              \
+  X(kK, "k", "bench-params")                               \
+  X(kSched, "sched", "bench-params")                       \
+  X(kIsa, "isa", "bench-params")                           \
+  X(kMinParallelWork, "min-parallel-work", "bench-params") \
+  X(kThreadList, "thread-list", "bench-params")            \
+  X(kNoVerify, "no-verify", "bench-params")                \
+  X(kProbeVerify, "probe-verify", "bench-params")          \
+  X(kDebug, "debug", "bench-params")                       \
+  X(kAudit, "audit", "bench-params")                       \
+  X(kHwCounters, "hw-counters", "bench-params")            \
+  X(kSeed, "seed", "bench-params")                         \
+  X(kDeviceMemoryMb, "device-memory-mb", "bench-params")   \
+  X(kCellTimeout, "cell-timeout", "bench-params")          \
+  X(kRetries, "retries", "bench-params")                   \
+  X(kOnError, "on-error", "bench-params")                  \
+  X(kTrace, "trace", "telemetry")                          \
+  X(kPerfSummary, "perf-summary", "telemetry")             \
+  X(kFaults, "faults", "resilience")                       \
+  X(kMatrix, "matrix", "tools")                            \
+  X(kFile, "file", "tools")                                \
+  X(kScale, "scale", "tools")                              \
+  X(kFormat, "format", "tools")                            \
+  X(kVariant, "variant", "tools")                          \
+  X(kCsv, "csv", "tools")                                  \
+  X(kList, "list", "tools")                                \
+  X(kOptimized, "optimized", "tools")                      \
+  X(kListRules, "list-rules", "tools")                     \
+  X(kSkipKernels, "skip-kernels", "tools")                 \
+  X(kTop, "top", "tools")                                  \
+  X(kChromeTrace, "chrome-trace", "tools")                 \
+  X(kOut, "out", "tools")                                  \
+  X(kCompare, "compare", "tools")                          \
+  X(kCompareTolerance, "compare-tolerance", "tools")       \
+  X(kCompareScaleRef, "compare-scale-ref", "tools")        \
+  X(kRoot, "root", "tools")                                \
+  X(kReport, "report", "tools")                            \
+  X(kListFindings, "list-findings", "tools")
+
+// ---------------------------------------------------------------------
+// 7. BENCH_kernels.json artifact keys (spmm-perf-smoke schema v3;
+//    docs/KERNELS.md). scope: "top" (document), "params", or "cell"
+//    (one per grid cell in `results`).
+//    X(name, scope)
+// ---------------------------------------------------------------------
+#define SPMM_ARTIFACT_KEYS(X) \
+  X("schema", "top")          \
+  X("params", "top")          \
+  X("results", "top")         \
+  X("scale", "params")        \
+  X("iterations", "params")   \
+  X("warmup", "params")       \
+  X("threads", "params")      \
+  X("k", "params")            \
+  X("seed", "params")         \
+  X("matrix", "cell")         \
+  X("format", "cell")         \
+  X("variant", "cell")        \
+  X("sched", "cell")          \
+  X("isa", "cell")            \
+  X("executed_variant", "cell") \
+  X("executed_isa", "cell")   \
+  X("threads", "cell")        \
+  X("k", "cell")              \
+  X("iterations", "cell")     \
+  X("rows", "cell")           \
+  X("nnz", "cell")            \
+  X("p50_seconds", "cell")    \
+  X("min_seconds", "cell")    \
+  X("avg_seconds", "cell")    \
+  X("gflops_p50", "cell")     \
+  X("hw_backend", "cell")     \
+  X("ipc", "cell")            \
+  X("llc_miss_per_nnz", "cell") \
+  X("oi", "cell")             \
+  X("stream_bw_fraction", "cell")
+
+// ---------------------------------------------------------------------
+// 8. spmm_lint finding ids (tools/spmm_lint.cpp). Stable API the same
+//    way audit rule ids are: CI and tests assert on them.
+//    X(ident, id, description)
+// ---------------------------------------------------------------------
+#define SPMM_LINT_FINDINGS(X)                                            \
+  X(kCounterUndeclared, "lint.counter.undeclared",                       \
+    "telemetry-shaped literal not declared in the registry")             \
+  X(kCounterUnused, "lint.counter.unused",                               \
+    "declared telemetry name never referenced by an emission site")      \
+  X(kErrorCodeUndeclared, "lint.error_code.undeclared",                  \
+    "error-code-shaped literal not declared in the registry")            \
+  X(kErrorCodeUnused, "lint.error_code.unused",                          \
+    "declared error code never referenced by a throw site")              \
+  X(kRuleUndeclared, "lint.rule.undeclared",                             \
+    "audit-rule-shaped literal not declared in the registry")            \
+  X(kRuleUnused, "lint.rule.unused",                                     \
+    "declared audit rule never referenced by the analyzer")              \
+  X(kSiteUndeclared, "lint.site.undeclared",                             \
+    "fault-site-shaped literal not declared in the registry")            \
+  X(kSiteUnused, "lint.site.unused",                                     \
+    "declared fault site never referenced by an injection point")        \
+  X(kFlagUndeclared, "lint.flag.undeclared",                             \
+    "CLI flag registered with a name the registry does not declare")     \
+  X(kFlagUnused, "lint.flag.unused",                                     \
+    "declared CLI flag never registered by any binary")                  \
+  X(kLiteralRaw, "lint.literal.raw",                                     \
+    "registry-declared name spelled as a raw literal at a src/ "         \
+    "emission site instead of the registry constant")                    \
+  X(kDocMissingRow, "lint.doc.missing_row",                              \
+    "registry entry missing from its documentation table")               \
+  X(kDocStaleRow, "lint.doc.stale_row",                                  \
+    "documentation names a vocabulary entry the registry does not "      \
+    "declare (renamed or retired)")                                      \
+  X(kCsvOrder, "lint.csv.order",                                         \
+    "pinned CSV header disagrees with the registry column order")        \
+  X(kArtifactKey, "lint.artifact.key",                                   \
+    "BENCH_kernels.json key set disagrees with the registry schema")
+
+// =====================================================================
+// Emission-site constants. `const char*` so they convert implicitly to
+// std::string (error constructors, ArgParser) and std::string_view
+// (telemetry) alike.
+// =====================================================================
+
+namespace spmm::names {
+
+namespace tel {
+#define SPMM_DEF(ident, name_, kind_, group_, doc_) \
+  inline constexpr const char* const ident = name_;
+SPMM_TELEMETRY_NAMES(SPMM_DEF)
+#undef SPMM_DEF
+}  // namespace tel
+
+namespace col {
+#define SPMM_DEF(ident, name_, era_) \
+  inline constexpr const char* const ident = name_;
+SPMM_CSV_COLUMNS(SPMM_DEF)
+#undef SPMM_DEF
+}  // namespace col
+
+namespace rule {
+#define SPMM_DEF(ident, id_, format_, severity_, description_) \
+  inline constexpr const char* const ident = id_;
+SPMM_AUDIT_RULES(SPMM_DEF)
+#undef SPMM_DEF
+}  // namespace rule
+
+namespace errc {
+#define SPMM_DEF(ident, code_, category_, doc_) \
+  inline constexpr const char* const ident = code_;
+SPMM_ERROR_CODES(SPMM_DEF)
+#undef SPMM_DEF
+}  // namespace errc
+
+namespace site {
+#define SPMM_DEF(ident, site_, doc_) \
+  inline constexpr const char* const ident = site_;
+SPMM_FAULT_SITES(SPMM_DEF)
+#undef SPMM_DEF
+}  // namespace site
+
+namespace flag {
+#define SPMM_DEF(ident, name_, owner_) \
+  inline constexpr const char* const ident = name_;
+SPMM_CLI_FLAGS(SPMM_DEF)
+#undef SPMM_DEF
+}  // namespace flag
+
+namespace finding {
+#define SPMM_DEF(ident, id_, description_) \
+  inline constexpr const char* const ident = id_;
+SPMM_LINT_FINDINGS(SPMM_DEF)
+#undef SPMM_DEF
+}  // namespace finding
+
+// Composition helpers for the dynamic prefix families — the only
+// telemetry names built at runtime.
+inline std::string fault_counter(std::string_view site_name) {
+  return std::string(tel::kFaultPrefix) += site_name;
+}
+inline std::string cell_error_counter(std::string_view code) {
+  return std::string(tel::kCellErrorPrefix) += code;
+}
+inline std::string hw_counter(std::string_view counter) {
+  return std::string(tel::kHwPrefix) += counter;
+}
+
+}  // namespace spmm::names
+
+// =====================================================================
+// Metadata tables.
+// =====================================================================
+
+namespace spmm::registry {
+
+enum class TelemetryKind { kCounter, kSpan, kSample, kLog, kPrefix };
+
+/// One telemetry name: counter, span, sample, log event, or a dynamic
+/// prefix family (`fault.<site>`). `ident` is the constant's identifier
+/// (spmm_lint's unused scan greps for it); `doc` the markdown file that
+/// must mention the name ("" = no documentation row required).
+struct TelemetryName {
+  std::string_view ident;
+  std::string_view name;
+  TelemetryKind kind;
+  std::string_view group;
+  std::string_view doc;
+};
+
+struct CsvColumn {
+  std::string_view ident;
+  std::string_view name;
+  std::string_view era;
+};
+
+struct AuditRule {
+  std::string_view ident;
+  std::string_view name;  // the stable rule id
+  std::string_view format;
+  std::string_view severity;  // "error" | "warning"
+  std::string_view description;
+};
+
+struct ErrorCode {
+  std::string_view ident;
+  std::string_view name;  // the stable error_code() string
+  std::string_view category;
+  std::string_view doc;
+};
+
+struct FaultSite {
+  std::string_view ident;
+  std::string_view name;
+  std::string_view doc;
+};
+
+struct CliFlag {
+  std::string_view ident;
+  std::string_view name;
+  std::string_view owner;
+};
+
+struct ArtifactKey {
+  std::string_view name;
+  std::string_view scope;  // "top" | "params" | "cell"
+};
+
+struct LintFinding {
+  std::string_view ident;
+  std::string_view name;  // the stable finding id
+  std::string_view description;
+};
+
+inline constexpr TelemetryName kTelemetryNames[] = {
+#define SPMM_ROW(ident, name_, kind_, group_, doc_) \
+  {#ident, name_, TelemetryKind::kind_, group_, doc_},
+    SPMM_TELEMETRY_NAMES(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+inline constexpr CsvColumn kCsvColumns[] = {
+#define SPMM_ROW(ident, name_, era_) {#ident, name_, era_},
+    SPMM_CSV_COLUMNS(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+inline constexpr AuditRule kAuditRules[] = {
+#define SPMM_ROW(ident, id_, format_, severity_, description_) \
+  {#ident, id_, format_, severity_, description_},
+    SPMM_AUDIT_RULES(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+inline constexpr ErrorCode kErrorCodes[] = {
+#define SPMM_ROW(ident, code_, category_, doc_) \
+  {#ident, code_, category_, doc_},
+    SPMM_ERROR_CODES(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+inline constexpr FaultSite kFaultSites[] = {
+#define SPMM_ROW(ident, site_, doc_) {#ident, site_, doc_},
+    SPMM_FAULT_SITES(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+inline constexpr CliFlag kCliFlags[] = {
+#define SPMM_ROW(ident, name_, owner_) {#ident, name_, owner_},
+    SPMM_CLI_FLAGS(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+inline constexpr ArtifactKey kArtifactKeys[] = {
+#define SPMM_ROW(name_, scope_) {name_, scope_},
+    SPMM_ARTIFACT_KEYS(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+inline constexpr LintFinding kLintFindings[] = {
+#define SPMM_ROW(ident, id_, description_) {#ident, id_, description_},
+    SPMM_LINT_FINDINGS(SPMM_ROW)
+#undef SPMM_ROW
+};
+
+// -- Compile-time uniqueness. Two subsystems claiming one name is a
+//    build error, not a code-review hope. -----------------------------
+
+template <typename Entry, std::size_t N>
+constexpr bool names_unique(const Entry (&table)[N]) {
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = i + 1; j < N; ++j) {
+      if (table[i].name == table[j].name) return false;
+    }
+  }
+  return true;
+}
+
+// Artifact keys repeat across scopes (params.k vs cell.k); uniqueness
+// is per (name, scope) pair.
+template <std::size_t N>
+constexpr bool keys_unique(const ArtifactKey (&table)[N]) {
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = i + 1; j < N; ++j) {
+      if (table[i].name == table[j].name &&
+          table[i].scope == table[j].scope) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <std::size_t N>
+constexpr bool ids_sorted(const AuditRule (&table)[N]) {
+  for (std::size_t i = 1; i < N; ++i) {
+    if (!(table[i - 1].name < table[i].name)) return false;
+  }
+  return true;
+}
+
+static_assert(names_unique(kTelemetryNames),
+              "duplicate telemetry name in SPMM_TELEMETRY_NAMES");
+static_assert(names_unique(kCsvColumns),
+              "duplicate CSV column in SPMM_CSV_COLUMNS");
+static_assert(names_unique(kAuditRules),
+              "duplicate audit rule id in SPMM_AUDIT_RULES");
+static_assert(ids_sorted(kAuditRules),
+              "SPMM_AUDIT_RULES must stay sorted by rule id");
+static_assert(names_unique(kErrorCodes),
+              "duplicate error code in SPMM_ERROR_CODES");
+static_assert(names_unique(kFaultSites),
+              "duplicate fault site in SPMM_FAULT_SITES");
+static_assert(names_unique(kCliFlags),
+              "duplicate CLI flag in SPMM_CLI_FLAGS");
+static_assert(keys_unique(kArtifactKeys),
+              "duplicate artifact key/scope in SPMM_ARTIFACT_KEYS");
+static_assert(names_unique(kLintFindings),
+              "duplicate finding id in SPMM_LINT_FINDINGS");
+
+// -- Lookup helpers. --------------------------------------------------
+
+template <typename Entry, std::size_t N>
+constexpr const Entry* find_by_name(const Entry (&table)[N],
+                                    std::string_view name) {
+  for (const Entry& e : table) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+/// The benchmark CSV header, in registry order (bench::write_csv emits
+/// exactly this; tests/test_csv_table.cpp pins it literally).
+std::vector<std::string> bench_csv_header();
+
+/// The comma-joined form of bench_csv_header() (what spmm_lint diffs
+/// against the pinned expectation).
+std::string bench_csv_header_joined();
+
+}  // namespace spmm::registry

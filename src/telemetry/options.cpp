@@ -4,21 +4,22 @@
 #include <sstream>
 #include <vector>
 
+#include "support/registry.hpp"
 #include "telemetry/summary.hpp"
 
 namespace spmm::telemetry {
 
 void register_trace_options(ArgParser& parser) {
-  parser.add_string("trace", 0, "",
+  parser.add_string(names::flag::kTrace, 0, "",
                     "write a JSONL telemetry trace to this file");
-  parser.add_flag("perf-summary", 0,
+  parser.add_flag(names::flag::kPerfSummary, 0,
                   "print a per-phase/device telemetry summary at the end");
 }
 
 TraceSetup trace_setup_from_parser(const ArgParser& parser) {
   TraceSetup setup;
-  setup.trace_path = parser.get_string("trace");
-  setup.summary_to_stdout = parser.get_flag("perf-summary");
+  setup.trace_path = parser.get_string(names::flag::kTrace);
+  setup.summary_to_stdout = parser.get_flag(names::flag::kPerfSummary);
   if (!setup.trace_path.empty()) {
     setup.jsonl = std::make_shared<JsonlSink>(setup.trace_path);
   }
@@ -54,7 +55,7 @@ void TraceSetup::finish(std::ostream& os) {
     Event e;
     e.kind = EventKind::kLog;
     e.ts_ns = now_ns();
-    e.name = "perf_summary";
+    e.name = names::tel::kLogPerfSummary;
     e.detail = rendered;
     jsonl->consume(e);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/registry.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -103,10 +104,10 @@ void print_summary(std::ostream& os, const TraceSummary& summary) {
     std::vector<const char*> prefixes;
   };
   const CounterFamily families[] = {
-      {"hardware counters (hw.*):", {"hw."}},
+      {"hardware counters (hw.*):", {names::tel::kHwPrefix}},
       {"device traffic totals:", {"dev.", "run."}},
       {"scheduling (sched.*):", {"sched."}},
-      {"fault injections (fault.*):", {"fault."}},
+      {"fault injections (fault.*):", {names::tel::kFaultPrefix}},
       {"failure outcomes (cell.*):", {"cell.", "cache."}},
   };
   std::map<std::string, double> ungrouped = summary.counter_totals;
@@ -139,8 +140,8 @@ void print_summary(std::ostream& os, const TraceSummary& summary) {
   // total time. Modeled bytes — present whatever the counter backend,
   // so counter-denied environments still get the section.
   {
-    const auto flops_it = summary.counter_totals.find("hw.flops");
-    const auto bytes_it = summary.counter_totals.find("hw.bytes");
+    const auto flops_it = summary.counter_totals.find(names::tel::kHwFlops);
+    const auto bytes_it = summary.counter_totals.find(names::tel::kHwBytes);
     const PhaseStat* iter = nullptr;
     for (const PhaseStat& p : summary.phases) {
       if (p.name == "iteration") { iter = &p; break; }
@@ -159,8 +160,8 @@ void print_summary(std::ostream& os, const TraceSummary& summary) {
          << " flop/byte\n"
          << "  achieved: " << format_double(gflops, 3) << " GFLOP/s at "
          << format_double(bw_gbs, 3) << " GB/s";
-      const auto bw_it = summary.counter_totals.find("hw.stream_bw_gbs");
-      const auto bwc_it = summary.counter_counts.find("hw.stream_bw_gbs");
+      const auto bw_it = summary.counter_totals.find(names::tel::kHwStreamBwGbs);
+      const auto bwc_it = summary.counter_counts.find(names::tel::kHwStreamBwGbs);
       if (bw_it != summary.counter_totals.end() &&
           bwc_it != summary.counter_counts.end() && bwc_it->second > 0) {
         const double stream =

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "support/registry.hpp"
+
 namespace spmm::telemetry {
 
 namespace {
@@ -135,7 +137,7 @@ void Session::log(std::string_view name, std::string_view message) {
 
 void Session::debug_line(std::string_view message) {
   if (sink_) {
-    log("debug", message);
+    log(names::tel::kLogDebug, message);
   } else {
     std::fprintf(stderr, "%.*s\n", static_cast<int>(message.size()),
                  message.data());

@@ -1,0 +1,23 @@
+// Seeded-violation fixture for spmm_lint (never compiled — ctest runs
+// the lint with --root pointing here and asserts on the finding ids).
+// Each statement below stages exactly one finding class; the fixture's
+// empty reference surface additionally stages every *.unused finding.
+#include <string>
+
+struct FakeParser {
+  void add_flag(const char* name, int short_name, const char* help);
+};
+
+void fake_emissions(FakeParser& parser) {
+  std::string counter = "hw.bogus";       // lint.counter.undeclared
+  std::string raw = "cell.retry";         // lint.literal.raw (declared name)
+  std::string code = "input.bogus";       // lint.error_code.undeclared
+  std::string site = "io.bogus";          // lint.site.undeclared
+  std::string rule = "csr.bogus.rule";    // lint.rule.undeclared
+  parser.add_flag("bogus-flag", 0, "x");  // lint.flag.undeclared
+  (void)counter;
+  (void)raw;
+  (void)code;
+  (void)site;
+  (void)rule;
+}

@@ -1,0 +1,3 @@
+// Fixture CSV pin: starts with the expected "matrix,kernel," lead but
+// then diverges from the registry column order -> lint.csv.order.
+const char* kPinnedHeader = "matrix,kernel,threads,variant";

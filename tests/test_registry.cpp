@@ -1,0 +1,145 @@
+// Vocabulary registry consistency (src/support/registry.hpp).
+//
+// The registry is the single source of truth for every stable name the
+// suite emits; the compiler already rejects duplicates inside each
+// table. These tests pin the runtime agreements spmm_lint cannot see
+// from source scanning alone: the audit rule_registry(), the fault
+// injector's site vocabulary, the typed-error defaults, the hwprof
+// counter names, and the ArgParser flag surface must all match the
+// registry exactly.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/audit.hpp"
+#include "hwprof/hwprof.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
+#include "support/cli.hpp"
+#include "support/registry.hpp"
+
+namespace spmm {
+namespace {
+
+TEST(Registry, AuditRulesMatchRuleRegistry) {
+  const auto& live = audit::rule_registry();
+  ASSERT_EQ(live.size(), std::size(registry::kAuditRules));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const registry::AuditRule& decl = registry::kAuditRules[i];
+    EXPECT_EQ(live[i].id, decl.name);
+    EXPECT_EQ(live[i].format, decl.format);
+    EXPECT_EQ(live[i].severity == audit::Severity::kWarning ? "warning"
+                                                            : "error",
+              decl.severity);
+    EXPECT_EQ(live[i].description, decl.description);
+  }
+}
+
+TEST(Registry, AuditRulesSortedAndFindable) {
+  EXPECT_TRUE(std::is_sorted(
+      std::begin(registry::kAuditRules), std::end(registry::kAuditRules),
+      [](const auto& a, const auto& b) { return a.name < b.name; }));
+  for (const registry::AuditRule& decl : registry::kAuditRules) {
+    const audit::RuleInfo* info = audit::find_rule(decl.name);
+    ASSERT_NE(info, nullptr) << decl.name;
+    EXPECT_EQ(info->id, decl.name);
+  }
+  EXPECT_EQ(audit::find_rule("no.such.rule"), nullptr);
+}
+
+TEST(Registry, FaultSitesMatchInjectorVocabulary) {
+  const auto& live = resilience::FaultInjector::known_sites();
+  ASSERT_EQ(live.size(), std::size(registry::kFaultSites));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i], registry::kFaultSites[i].name);
+  }
+}
+
+TEST(Registry, ErrorDefaultsComeFromRegistry) {
+  EXPECT_EQ(Error("x").error_code(), names::errc::kError);
+  EXPECT_EQ(resilience::InputError("x").error_code(),
+            names::errc::kInputInvalid);
+  EXPECT_EQ(resilience::FormatError("x").error_code(),
+            names::errc::kFormatFailed);
+  EXPECT_EQ(resilience::KernelError("x").error_code(),
+            names::errc::kKernelFailed);
+  EXPECT_EQ(resilience::TimeoutError("x").error_code(),
+            names::errc::kTimeoutCell);
+  // Every declared code must be dotted-lowercase or the generic "error".
+  for (const registry::ErrorCode& e : registry::kErrorCodes) {
+    EXPECT_TRUE(registry::find_by_name(registry::kErrorCodes, e.name) == &e);
+  }
+}
+
+TEST(Registry, HwprofCountersAreDeclared) {
+  // Every hwprof short name, composed through the "hw." prefix family,
+  // must be a declared telemetry counter (the per-counter rows extend
+  // the kHwPrefix family; summary tables key on them).
+  for (int i = 0; i < hwprof::kCounterCount; ++i) {
+    const std::string composed = names::hw_counter(
+        hwprof::counter_name(static_cast<hwprof::Counter>(i)));
+    const registry::TelemetryName* entry =
+        registry::find_by_name(registry::kTelemetryNames, composed);
+    ASSERT_NE(entry, nullptr) << composed;
+    EXPECT_EQ(entry->kind, registry::TelemetryKind::kCounter);
+    EXPECT_EQ(entry->group, "hwprof");
+  }
+}
+
+TEST(Registry, PrefixCompositionHelpers) {
+  EXPECT_EQ(names::fault_counter(names::site::kCellFail), "fault.cell.fail");
+  EXPECT_EQ(names::cell_error_counter(names::errc::kDevOom),
+            "cell.error.dev.oom");
+  EXPECT_EQ(names::hw_counter("cycles"), names::tel::kHwCycles);
+}
+
+TEST(Registry, BenchParamsFlagsAreDeclared) {
+  ArgParser parser("registry test");
+  BenchParams::register_options(parser);
+  std::set<std::string_view> declared;
+  for (const registry::CliFlag& f : registry::kCliFlags) {
+    declared.insert(f.name);
+  }
+  for (const std::string& name : parser.option_names()) {
+    EXPECT_TRUE(declared.count(name) != 0)
+        << "flag --" << name << " not in SPMM_CLI_FLAGS";
+  }
+}
+
+TEST(Registry, CsvHeaderMatchesColumnTable) {
+  const std::vector<std::string> header = registry::bench_csv_header();
+  ASSERT_EQ(header.size(), std::size(registry::kCsvColumns));
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    EXPECT_EQ(header[i], registry::kCsvColumns[i].name);
+  }
+  const std::string joined = registry::bench_csv_header_joined();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(joined.begin(), joined.end(), ',')),
+            header.size() - 1);
+  EXPECT_EQ(joined.rfind("matrix,kernel,variant,", 0), 0u);
+}
+
+TEST(Registry, LintFindingIdsStable) {
+  // The finding ids are API the same way rule ids are: CI greps for
+  // them. Pin the full set.
+  const std::set<std::string_view> expect = {
+      "lint.counter.undeclared", "lint.counter.unused",
+      "lint.error_code.undeclared", "lint.error_code.unused",
+      "lint.rule.undeclared", "lint.rule.unused",
+      "lint.site.undeclared", "lint.site.unused",
+      "lint.flag.undeclared", "lint.flag.unused",
+      "lint.literal.raw", "lint.doc.missing_row", "lint.doc.stale_row",
+      "lint.csv.order", "lint.artifact.key"};
+  std::set<std::string_view> got;
+  for (const registry::LintFinding& f : registry::kLintFindings) {
+    got.insert(f.name);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace spmm

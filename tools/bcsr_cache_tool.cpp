@@ -15,22 +15,23 @@
 #include "support/cli.hpp"
 #include "support/string_util.hpp"
 #include "support/timer.hpp"
+#include "support/registry.hpp"
 
 using namespace spmm;
 
 int main(int argc, char** argv) {
   try {
     ArgParser parser("BCSR pre-formatting tool (paper §6.3.2)");
-    parser.add_int("block-size", 'b', 4, "BCSR block size");
-    parser.add_double("scale", 0, 0.05, "suite matrix scale (gen mode)");
-    parser.add_int("seed", 's', 42, "generator seed (gen mode)");
+    parser.add_int(spmm::names::flag::kBlockSize, 'b', 4, "BCSR block size");
+    parser.add_double(spmm::names::flag::kScale, 0, 0.05, "suite matrix scale (gen mode)");
+    parser.add_int(spmm::names::flag::kSeed, 's', 42, "generator seed (gen mode)");
     if (!parser.parse(argc, argv)) return 0;
 
     const auto& args = parser.positional();
     SPMM_CHECK(!args.empty(),
                "usage: bcsr_cache_tool format|gen|info <in> [out]");
     const std::string mode = args[0];
-    const auto block = static_cast<std::int32_t>(parser.get_int("block-size"));
+    const auto block = static_cast<std::int32_t>(parser.get_int(spmm::names::flag::kBlockSize));
 
     if (mode == "info") {
       SPMM_CHECK(args.size() == 2, "info mode needs a cache file");
@@ -50,8 +51,8 @@ int main(int argc, char** argv) {
       coo = io::read_matrix_market_file<double, std::int32_t>(args[1]);
     } else if (mode == "gen") {
       coo = gen::generate<double, std::int32_t>(gen::suite_spec(
-          args[1], parser.get_double("scale"),
-          static_cast<std::uint64_t>(parser.get_int("seed"))));
+          args[1], parser.get_double(spmm::names::flag::kScale),
+          static_cast<std::uint64_t>(parser.get_int(spmm::names::flag::kSeed))));
     } else {
       SPMM_FAIL("unknown mode: " + mode);
     }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Format gate: clang-format --dry-run -Werror over the C++ tree against
+# .clang-format. Exits 0 with a notice when no clang-format binary is
+# on PATH so a plain local build never requires one; CI installs
+# clang-format-18 and runs this as the advisory format step of the lint
+# job (.github/workflows/sanitize.yml).
+#
+# tests/lint_fixture is excluded: its seeded-violation sources are lint
+# test data, not shipped code.
+set -eu
+cd "$(dirname "$0")/.."
+
+FMT=""
+for cand in clang-format-18 clang-format; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    FMT="$cand"
+    break
+  fi
+done
+if [ -z "$FMT" ]; then
+  echo "check_format: no clang-format binary on PATH, skipping"
+  exit 0
+fi
+
+find src tools tests bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' \) -print \
+  | grep -v '^tests/lint_fixture/' \
+  | sort \
+  | xargs "$FMT" --dry-run -Werror
+echo "check_format: clean"

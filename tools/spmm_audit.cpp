@@ -20,6 +20,7 @@
 #include "gen/suite.hpp"
 #include "support/cli.hpp"
 #include "support/string_util.hpp"
+#include "support/registry.hpp"
 
 using namespace spmm;
 
@@ -59,37 +60,37 @@ int main(int argc, char** argv) {
     ArgParser parser(
         "spmm_audit: structural analyzer over the synthetic suite — lints "
         "every conversion path and differentially verifies every kernel");
-    parser.add_string("matrix", 'm', "all",
+    parser.add_string(spmm::names::flag::kMatrix, 'm', "all",
                       "comma list of suite matrices, or 'all'");
-    parser.add_double("scale", 0, 0.05, "suite matrix scale in (0,1]");
-    parser.add_string("variant", 0, "serial,omp",
+    parser.add_double(spmm::names::flag::kScale, 0, 0.05, "suite matrix scale in (0,1]");
+    parser.add_string(spmm::names::flag::kVariant, 0, "serial,omp",
                       "comma list of kernel variants to verify, or 'all'");
-    parser.add_int("k", 'k', 16, "dense operand width for verification runs");
-    parser.add_int("threads", 't', 4, "thread count for parallel variants");
-    parser.add_int("block-size", 'b', 4, "BCSR block size");
-    parser.add_int("seed", 's', 42, "generator seed");
-    parser.add_flag("list-rules", 0, "print the rule registry and exit");
-    parser.add_flag("skip-kernels", 0,
+    parser.add_int(spmm::names::flag::kK, 'k', 16, "dense operand width for verification runs");
+    parser.add_int(spmm::names::flag::kThreads, 't', 4, "thread count for parallel variants");
+    parser.add_int(spmm::names::flag::kBlockSize, 'b', 4, "BCSR block size");
+    parser.add_int(spmm::names::flag::kSeed, 's', 42, "generator seed");
+    parser.add_flag(spmm::names::flag::kListRules, 0, "print the rule registry and exit");
+    parser.add_flag(spmm::names::flag::kSkipKernels, 0,
                     "structural lint only; skip the differential kernel "
                     "verification pass");
     if (!parser.parse(argc, argv)) return 0;
 
-    if (parser.get_flag("list-rules")) {
+    if (parser.get_flag(spmm::names::flag::kListRules)) {
       audit::print_rule_table(std::cout);
       return 0;
     }
 
-    const auto matrices = parse_matrices(parser.get_string("matrix"));
-    const auto variants = parse_variants(parser.get_string("variant"));
-    const double scale = parser.get_double("scale");
-    const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+    const auto matrices = parse_matrices(parser.get_string(spmm::names::flag::kMatrix));
+    const auto variants = parse_variants(parser.get_string(spmm::names::flag::kVariant));
+    const double scale = parser.get_double(spmm::names::flag::kScale);
+    const auto seed = static_cast<std::uint64_t>(parser.get_int(spmm::names::flag::kSeed));
 
     BenchParams params;
     params.iterations = 1;
     params.warmup = 0;
-    params.k = static_cast<int>(parser.get_int("k"));
-    params.threads = static_cast<int>(parser.get_int("threads"));
-    params.block_size = static_cast<int>(parser.get_int("block-size"));
+    params.k = static_cast<int>(parser.get_int(spmm::names::flag::kK));
+    params.threads = static_cast<int>(parser.get_int(spmm::names::flag::kThreads));
+    params.block_size = static_cast<int>(parser.get_int(spmm::names::flag::kBlockSize));
     params.seed = seed;
     params.verify = true;
     params.audit = true;
@@ -105,7 +106,7 @@ int main(int argc, char** argv) {
                 << matrix.cols() << ", " << matrix.nnz() << " nnz)\n";
       audit::audit_conversions(matrix, report, name, convert_params);
 
-      if (parser.get_flag("skip-kernels")) continue;
+      if (parser.get_flag(spmm::names::flag::kSkipKernels)) continue;
       for (Format f : kAllFormats) {
         auto benchmark =
             bench::make_benchmark<double, std::int32_t>(f, false);

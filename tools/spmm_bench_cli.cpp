@@ -18,6 +18,7 @@
 #include "resilience/fault_injector.hpp"
 #include "support/string_util.hpp"
 #include "telemetry/options.hpp"
+#include "support/registry.hpp"
 
 using namespace spmm;
 
@@ -84,21 +85,21 @@ int main(int argc, char** argv) {
     BenchParams::register_options(parser);
     telemetry::register_trace_options(parser);
     resilience::register_fault_options(parser);
-    parser.add_string("matrix", 'm', "cant",
+    parser.add_string(spmm::names::flag::kMatrix, 'm', "cant",
                       "suite matrix name (see --list)");
-    parser.add_string("file", 'f', "", "Matrix Market file (overrides --matrix)");
-    parser.add_double("scale", 0, 0.05, "suite matrix scale in (0,1]");
-    parser.add_string("format", 0, "core",
+    parser.add_string(spmm::names::flag::kFile, 'f', "", "Matrix Market file (overrides --matrix)");
+    parser.add_double(spmm::names::flag::kScale, 0, 0.05, "suite matrix scale in (0,1]");
+    parser.add_string(spmm::names::flag::kFormat, 0, "core",
                       "comma list of formats, or 'core' / 'all'");
-    parser.add_string("variant", 0, "serial,omp",
+    parser.add_string(spmm::names::flag::kVariant, 0, "serial,omp",
                       "comma list of variants, or 'all'");
-    parser.add_string("csv", 0, "", "also write results to this CSV file");
-    parser.add_flag("list", 'l', "list the built-in suite matrices and exit");
-    parser.add_flag("optimized", 'o',
+    parser.add_string(spmm::names::flag::kCsv, 0, "", "also write results to this CSV file");
+    parser.add_flag(spmm::names::flag::kList, 'l', "list the built-in suite matrices and exit");
+    parser.add_flag(spmm::names::flag::kOptimized, 'o',
                     "use the Study 9 manually optimized kernels");
     if (!parser.parse(argc, argv)) return 0;
 
-    if (parser.get_flag("list")) {
+    if (parser.get_flag(spmm::names::flag::kList)) {
       for (const std::string& name : gen::suite_names()) {
         const gen::PaperRow& row = gen::paper_row(name);
         std::cout << name << "  (" << row.size << "x" << row.size << ", "
@@ -114,22 +115,22 @@ int main(int argc, char** argv) {
     // Make the injector visible to layers no pointer is threaded into
     // (the Matrix Market loader's io.truncate site).
     resilience::FaultInjector::ScopedGlobal fault_scope(params.faults);
-    csv_path = parser.get_string("csv");
+    csv_path = parser.get_string(spmm::names::flag::kCsv);
     Coo<double, std::int32_t> matrix;
     std::string name;
-    if (!parser.get_string("file").empty()) {
-      name = parser.get_string("file");
+    if (!parser.get_string(spmm::names::flag::kFile).empty()) {
+      name = parser.get_string(spmm::names::flag::kFile);
       matrix = io::read_matrix_market_file<double, std::int32_t>(name);
     } else {
-      name = parser.get_string("matrix");
+      name = parser.get_string(spmm::names::flag::kMatrix);
       matrix = gen::generate<double, std::int32_t>(
-          gen::suite_spec(name, parser.get_double("scale"), params.seed));
+          gen::suite_spec(name, parser.get_double(spmm::names::flag::kScale), params.seed));
     }
     std::cout << compute_properties(matrix, name) << "\n\n";
 
-    const auto formats = parse_formats(parser.get_string("format"));
-    const auto variants = parse_variants(parser.get_string("variant"));
-    const bool optimized = parser.get_flag("optimized");
+    const auto formats = parse_formats(parser.get_string(spmm::names::flag::kFormat));
+    const auto variants = parse_variants(parser.get_string(spmm::names::flag::kVariant));
+    const bool optimized = parser.get_flag(spmm::names::flag::kOptimized);
 
     for (Format f : formats) {
       if (optimized && (f == Format::kBcsr || f == Format::kBell ||

@@ -1,0 +1,695 @@
+// spmm_lint — cross-artifact vocabulary consistency checker.
+//
+// The registries in src/support/registry.hpp are the single source of
+// truth for every stable name the suite emits. The compiler enforces
+// uniqueness inside the tables; this tool closes the loops the compiler
+// cannot see:
+//
+//   1. code → registry   every vocabulary-shaped string literal in
+//                        src/, tools/, bench/ must be a declared name
+//                        (lint.*.undeclared), and inside src/ the
+//                        declared names themselves must be spelled via
+//                        the registry constants, never as raw literals
+//                        (lint.literal.raw)
+//   2. registry → code   every declared entry must be referenced by an
+//                        emission site (lint.*.unused)
+//   3. registry → docs   every entry must appear in its documentation
+//                        table (lint.doc.missing_row), and the docs may
+//                        not name retired/renamed entries
+//                        (lint.doc.stale_row)
+//   4. registry → artifacts   the pinned CSV header in
+//                        tests/test_csv_table.cpp must equal the
+//                        registry column order (lint.csv.order), and
+//                        BENCH_kernels.json's key set must match the
+//                        declared artifact schema (lint.artifact.key)
+//
+// Finding ids are a stable vocabulary themselves (SPMM_LINT_FINDINGS —
+// self-hosted: an id this tool emits but does not declare is a build
+// error). Exit codes follow the suite convention: 0 clean, 1 findings,
+// 2 internal error. See docs/STATIC_ANALYSIS.md.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/registry.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using spmm::registry::TelemetryKind;
+
+struct Finding {
+  std::string id;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct StringLit {
+  std::string text;
+  int line = 0;
+};
+
+/// What the C++ scanner extracts from one source file: string literals
+/// (adjacent literals concatenated, as the compiler would) and the set
+/// of identifier tokens.
+struct ScannedSource {
+  std::vector<StringLit> literals;
+  std::set<std::string> identifiers;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Minimal C++ lexer: strips // and /* */ comments, decodes plain
+/// string literals (enough escape handling to find the closing quote;
+/// escaped characters other than \" and \\ are kept verbatim — the
+/// vocabulary names contain neither), concatenates adjacent literals,
+/// and records identifier tokens. Raw strings are not used in this
+/// tree and are treated as ordinary literals.
+ScannedSource scan_cpp(const std::string& text) {
+  ScannedSource out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool pending_adjacent = false;  // last token was a string literal
+
+  auto skip_ws_and_comments = [&](std::size_t j) {
+    while (j < n) {
+      if (text[j] == '\n') {
+        ++line;
+        ++j;
+      } else if (std::isspace(static_cast<unsigned char>(text[j])) != 0) {
+        ++j;
+      } else if (j + 1 < n && text[j] == '/' && text[j + 1] == '/') {
+        while (j < n && text[j] != '\n') ++j;
+      } else if (j + 1 < n && text[j] == '/' && text[j + 1] == '*') {
+        j += 2;
+        while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+          if (text[j] == '\n') ++line;
+          ++j;
+        }
+        j = (j + 1 < n) ? j + 2 : n;
+      } else {
+        break;
+      }
+    }
+    return j;
+  };
+
+  while (i < n) {
+    i = skip_ws_and_comments(i);
+    if (i >= n) break;
+    const char c = text[i];
+    if (c == '"') {
+      const int lit_line = line;
+      std::string value;
+      ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) {
+          value += text[i];
+          value += text[i + 1];
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') ++line;  // unterminated; keep scanning
+        value += text[i];
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      if (pending_adjacent && !out.literals.empty()) {
+        out.literals.back().text += value;
+      } else {
+        out.literals.push_back({value, lit_line});
+      }
+      pending_adjacent = true;
+      continue;
+    }
+    pending_adjacent = false;
+    if (c == '\'') {
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    if (is_ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      std::string ident;
+      while (i < n && is_ident_char(text[i])) ident += text[i++];
+      out.identifiers.insert(std::move(ident));
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// True for a full dotted lowercase token: `seg(.seg)+`.
+bool is_dotted_token(std::string_view s) {
+  if (s.empty() || s.front() == '.' || s.back() == '.') return false;
+  bool any_dot = false;
+  bool prev_dot = true;  // reject leading dot via the loop too
+  for (char c : s) {
+    if (c == '.') {
+      if (prev_dot) return false;
+      any_dot = true;
+      prev_dot = true;
+    } else if ((std::islower(static_cast<unsigned char>(c)) != 0) ||
+               (std::isdigit(static_cast<unsigned char>(c)) != 0) ||
+               c == '_') {
+      prev_dot = false;
+    } else {
+      return false;
+    }
+  }
+  return any_dot && !prev_dot;
+}
+
+std::string_view head_of(std::string_view s) {
+  return s.substr(0, s.find('.'));
+}
+
+std::string_view last_segment(std::string_view s) {
+  const auto dot = s.rfind('.');
+  return dot == std::string_view::npos ? s : s.substr(dot + 1);
+}
+
+/// The linter's model of the registry, flattened into lookup sets.
+struct Vocabulary {
+  std::set<std::string_view> declared;        // every exact dotted name
+  std::set<std::string_view> prefix_families; // "fault.", "cell.error.", ...
+  std::set<std::string_view> sites;
+  std::set<std::string_view> error_codes;
+  std::set<std::string_view> heads;           // first segments we police
+  std::set<std::string_view> rule_heads;
+  std::set<std::string_view> site_only_heads;
+  std::set<std::string_view> code_only_heads;
+  std::set<std::string_view> flag_names;
+  std::set<std::string_view> artifact_keys;
+
+  Vocabulary() {
+    for (const auto& e : spmm::registry::kTelemetryNames) {
+      if (e.kind == TelemetryKind::kPrefix) {
+        prefix_families.insert(e.name);
+      } else {
+        declared.insert(e.name);
+      }
+    }
+    for (const auto& e : spmm::registry::kErrorCodes) {
+      declared.insert(e.name);
+      error_codes.insert(e.name);
+    }
+    for (const auto& e : spmm::registry::kFaultSites) {
+      declared.insert(e.name);
+      sites.insert(e.name);
+    }
+    for (const auto& e : spmm::registry::kAuditRules) declared.insert(e.name);
+    for (const auto& e : spmm::registry::kLintFindings) {
+      declared.insert(e.name);
+    }
+    for (const auto& e : spmm::registry::kCliFlags) flag_names.insert(e.name);
+    for (const auto& e : spmm::registry::kArtifactKeys) {
+      artifact_keys.insert(e.name);
+    }
+    rule_heads = {"bcsr", "bell",  "convert", "coo", "csc", "csr",
+                  "csr5", "dense", "ell",     "hyb", "sellc"};
+    site_only_heads = {"h2d", "d2h", "io"};
+    code_only_heads = {"input", "timeout", "internal", "variant", "format",
+                       "kernel"};
+    const std::set<std::string_view> counter_heads = {
+        "hw", "dev", "run", "cache", "cell", "sched", "fault", "lint"};
+    for (const auto& sets :
+         {rule_heads, site_only_heads, code_only_heads, counter_heads}) {
+      heads.insert(sets.begin(), sets.end());
+    }
+  }
+
+  /// A dotted literal is accounted for when it is a declared name or a
+  /// declared prefix family applied to a declared remainder
+  /// (`fault.<site>`, `cell.error.<code>`; `hw.<counter>` extensions
+  /// are declared in full).
+  [[nodiscard]] bool accounted_for(std::string_view token) const {
+    if (declared.count(token) != 0) return true;
+    for (std::string_view family : prefix_families) {
+      if (token.size() <= family.size() ||
+          token.compare(0, family.size(), family) != 0) {
+        continue;
+      }
+      const std::string_view rest = token.substr(family.size());
+      if (family == spmm::names::tel::kFaultPrefix && sites.count(rest) != 0) {
+        return true;
+      }
+      if (family == spmm::names::tel::kCellErrorPrefix &&
+          error_codes.count(rest) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Finding id for an undeclared dotted token, by its first segment.
+  [[nodiscard]] const char* undeclared_id(std::string_view token) const {
+    const std::string_view head = head_of(token);
+    if (rule_heads.count(head) != 0) {
+      return spmm::names::finding::kRuleUndeclared;
+    }
+    if (site_only_heads.count(head) != 0) {
+      return spmm::names::finding::kSiteUndeclared;
+    }
+    if (code_only_heads.count(head) != 0) {
+      return spmm::names::finding::kErrorCodeUndeclared;
+    }
+    return spmm::names::finding::kCounterUndeclared;
+  }
+};
+
+/// File extensions that make a backticked dotted token a path, not a
+/// vocabulary reference (`run.jsonl`, `plot_results.py`).
+bool has_file_extension(std::string_view token) {
+  static const std::set<std::string_view> exts = {
+      "jsonl", "json", "csv",  "cpp", "hpp", "md",  "py",
+      "svg",   "mtx",  "bcsr", "txt", "yml", "yaml", "sh"};
+  return exts.count(last_segment(token)) != 0;
+}
+
+std::vector<fs::path> collect_sources(const fs::path& root,
+                                      const std::vector<std::string>& dirs) {
+  std::vector<fs::path> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool is_registry_file(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "registry.hpp" || name == "registry.cpp";
+}
+
+std::string rel(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  void add(const char* id, const std::string& file, int line,
+           const std::string& message) {
+    findings_.push_back({id, file, line, message});
+  }
+
+  void check_sources();
+  void check_docs();
+  void check_csv_pin();
+  void check_artifact();
+
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+
+ private:
+  fs::path root_;
+  Vocabulary vocab_;
+  std::vector<Finding> findings_;
+};
+
+void Linter::check_sources() {
+  // Scope: emission-site scan over src/tools/bench; the reference
+  // (unused) scan additionally covers examples/ so a flag or rule used
+  // only by an example still counts as referenced.
+  const std::vector<fs::path> emit_files =
+      collect_sources(root_, {"src", "tools", "bench"});
+  const std::vector<fs::path> ref_files =
+      collect_sources(root_, {"src", "tools", "bench", "examples"});
+
+  std::set<std::string> identifiers;
+  std::map<fs::path, ScannedSource> scans;
+  for (const fs::path& f : ref_files) {
+    ScannedSource scan = scan_cpp(read_file(f));
+    if (!is_registry_file(f)) {
+      identifiers.insert(scan.identifiers.begin(), scan.identifiers.end());
+    }
+    scans.emplace(f, std::move(scan));
+  }
+
+  for (const fs::path& f : emit_files) {
+    if (is_registry_file(f)) continue;
+    const ScannedSource& scan = scans.at(f);
+    const bool in_src =
+        rel(f, root_).rfind("src/", 0) == 0;  // literal.raw scope
+    for (const StringLit& lit : scan.literals) {
+      const std::string_view token = lit.text;
+      // A literal spelling a prefix family ("fault.") is a registry
+      // bypass even though it fails the dotted-token shape below.
+      if (in_src && vocab_.prefix_families.count(token) != 0) {
+        add(spmm::names::finding::kLiteralRaw, rel(f, root_), lit.line,
+            "raw literal \"" + lit.text +
+                "\" duplicates a registry prefix family; use the "
+                "spmm::names constant");
+        continue;
+      }
+      // Only dotted tokens are policed: single-segment names ("error",
+      // "format") are ordinary words in help text and log messages.
+      if (!is_dotted_token(token)) continue;
+      if (in_src && vocab_.declared.count(token) != 0) {
+        add(spmm::names::finding::kLiteralRaw, rel(f, root_), lit.line,
+            "raw literal \"" + lit.text +
+                "\" duplicates a registry name; use the spmm::names "
+                "constant");
+        continue;
+      }
+      if (vocab_.heads.count(head_of(token)) == 0) continue;
+      if (has_file_extension(token)) continue;
+      if (vocab_.accounted_for(token)) continue;
+      add(vocab_.undeclared_id(token), rel(f, root_), lit.line,
+          "\"" + lit.text + "\" is not declared in support/registry.hpp");
+    }
+  }
+
+  // Registry → code: every declared entry's constant must be referenced
+  // somewhere outside the registry itself. Prefix-family extensions
+  // (hw.cycles is emitted via names::hw_counter) and generated CSV
+  // columns are exempt by construction.
+  auto used = [&identifiers](std::string_view ident) {
+    return identifiers.count(std::string(ident)) != 0;
+  };
+  for (const auto& e : spmm::registry::kTelemetryNames) {
+    if (e.kind == TelemetryKind::kPrefix) continue;
+    bool family_extension = false;
+    for (const auto& fam : spmm::registry::kTelemetryNames) {
+      if (fam.kind != TelemetryKind::kPrefix) continue;
+      if (e.name.size() > fam.name.size() &&
+          e.name.compare(0, fam.name.size(), fam.name) == 0) {
+        family_extension = true;
+      }
+    }
+    if (family_extension) continue;
+    if (!used(e.ident)) {
+      add(spmm::names::finding::kCounterUnused, "src/support/registry.hpp", 0,
+          "telemetry name \"" + std::string(e.name) + "\" (" +
+              std::string(e.ident) + ") is never emitted");
+    }
+  }
+  for (const auto& e : spmm::registry::kErrorCodes) {
+    if (!used(e.ident)) {
+      add(spmm::names::finding::kErrorCodeUnused, "src/support/registry.hpp",
+          0,
+          "error code \"" + std::string(e.name) + "\" (" +
+              std::string(e.ident) + ") is never thrown");
+    }
+  }
+  for (const auto& e : spmm::registry::kFaultSites) {
+    if (!used(e.ident)) {
+      add(spmm::names::finding::kSiteUnused, "src/support/registry.hpp", 0,
+          "fault site \"" + std::string(e.name) + "\" (" +
+              std::string(e.ident) + ") has no injection point");
+    }
+  }
+  for (const auto& e : spmm::registry::kAuditRules) {
+    if (!used(e.ident)) {
+      add(spmm::names::finding::kRuleUnused, "src/support/registry.hpp", 0,
+          "audit rule \"" + std::string(e.name) + "\" (" +
+              std::string(e.ident) + ") is never checked");
+    }
+  }
+  for (const auto& e : spmm::registry::kCliFlags) {
+    if (!used(e.ident)) {
+      add(spmm::names::finding::kFlagUnused, "src/support/registry.hpp", 0,
+          "CLI flag \"--" + std::string(e.name) + "\" (" +
+              std::string(e.ident) + ") is never registered");
+    }
+  }
+  for (const auto& e : spmm::registry::kLintFindings) {
+    if (!used(e.ident)) {
+      add(spmm::names::finding::kCounterUnused, "src/support/registry.hpp", 0,
+          "lint finding \"" + std::string(e.name) + "\" (" +
+              std::string(e.ident) + ") is never emitted");
+    }
+  }
+
+  // Flag registrations must use declared names. After the registry
+  // refactor every add_* call goes through a names::flag constant, so
+  // any raw-literal registration is either undeclared or a bypass.
+  for (const fs::path& f : emit_files) {
+    const std::string text = read_file(f);
+    for (const char* fn : {"add_flag(\"", "add_int(\"", "add_double(\"",
+                           "add_string(\"", "add_int_list(\""}) {
+      std::size_t pos = 0;
+      while ((pos = text.find(fn, pos)) != std::string::npos) {
+        const std::size_t start = pos + std::string_view(fn).size();
+        const std::size_t close = text.find('"', start);
+        if (close == std::string::npos) break;
+        const std::string name = text.substr(start, close - start);
+        const int line =
+            1 + static_cast<int>(std::count(text.begin(),
+                                            text.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    pos),
+                                            '\n'));
+        if (vocab_.flag_names.count(name) == 0) {
+          add(spmm::names::finding::kFlagUndeclared, rel(f, root_), line,
+              "flag \"--" + name + "\" is not declared in SPMM_CLI_FLAGS");
+        } else {
+          add(spmm::names::finding::kFlagUndeclared, rel(f, root_), line,
+              "flag \"--" + name +
+                  "\" registered as a raw literal; use names::flag");
+        }
+        pos = close;
+      }
+    }
+  }
+}
+
+void Linter::check_docs() {
+  std::map<std::string, std::string> docs;
+  auto doc_text = [&](std::string_view file) -> const std::string& {
+    auto it = docs.find(std::string(file));
+    if (it == docs.end()) {
+      it = docs.emplace(std::string(file), read_file(root_ / file)).first;
+    }
+    return it->second;
+  };
+
+  // Registry → docs: the entry's name must appear in its assigned file.
+  auto require_row = [&](std::string_view doc, std::string_view name,
+                         const std::string& what) {
+    if (doc.empty()) return;
+    const std::string& text = doc_text(doc);
+    if (text.find(name) == std::string::npos) {
+      add(spmm::names::finding::kDocMissingRow, std::string(doc), 0,
+          what + " \"" + std::string(name) + "\" has no row in " +
+              std::string(doc));
+    }
+  };
+  for (const auto& e : spmm::registry::kTelemetryNames) {
+    require_row(e.doc, e.name, "telemetry name");
+  }
+  for (const auto& e : spmm::registry::kErrorCodes) {
+    require_row(e.doc, e.name, "error code");
+  }
+  for (const auto& e : spmm::registry::kFaultSites) {
+    require_row(e.doc, e.name, "fault site");
+  }
+  for (const auto& e : spmm::registry::kAuditRules) {
+    require_row("docs/STATIC_ANALYSIS.md", e.name, "audit rule");
+  }
+  for (const auto& e : spmm::registry::kLintFindings) {
+    require_row("docs/STATIC_ANALYSIS.md", e.name, "lint finding");
+  }
+
+  // Docs → registry: a backticked dotted vocabulary token outside
+  // fenced code blocks must be declared (or a prefix-family template
+  // like `fault.<site>`, which fails the dotted-token shape and is
+  // skipped). Tokens with a file extension are paths.
+  for (const char* file : {"docs/OBSERVABILITY.md", "docs/ROBUSTNESS.md",
+                           "docs/STATIC_ANALYSIS.md"}) {
+    const std::string& text = doc_text(file);
+    std::istringstream lines(text);
+    std::string line;
+    int lineno = 0;
+    bool fenced = false;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.rfind("```", 0) == 0) {
+        fenced = !fenced;
+        continue;
+      }
+      if (fenced) continue;
+      std::size_t pos = 0;
+      while ((pos = line.find('`', pos)) != std::string::npos) {
+        const std::size_t close = line.find('`', pos + 1);
+        if (close == std::string::npos) break;
+        const std::string token = line.substr(pos + 1, close - pos - 1);
+        pos = close + 1;
+        if (!is_dotted_token(token)) continue;
+        if (vocab_.heads.count(head_of(token)) == 0) continue;
+        if (has_file_extension(token)) continue;
+        if (vocab_.accounted_for(token)) continue;
+        add(spmm::names::finding::kDocStaleRow, file, lineno,
+            "documentation names \"" + token +
+                "\", which the registry does not declare");
+      }
+    }
+  }
+}
+
+void Linter::check_csv_pin() {
+  const fs::path pin_file = root_ / "tests" / "test_csv_table.cpp";
+  if (!fs::exists(pin_file)) return;
+  const ScannedSource scan = scan_cpp(read_file(pin_file));
+  const std::string expected = spmm::registry::bench_csv_header_joined();
+  const std::string lead = "matrix,kernel,";
+  for (const StringLit& lit : scan.literals) {
+    if (lit.text.rfind(lead, 0) != 0) continue;
+    if (lit.text != expected) {
+      add(spmm::names::finding::kCsvOrder, "tests/test_csv_table.cpp",
+          lit.line,
+          "pinned CSV header disagrees with SPMM_CSV_COLUMNS order");
+    }
+    return;
+  }
+  add(spmm::names::finding::kCsvOrder, "tests/test_csv_table.cpp", 0,
+      "pinned CSV header not found (expected a literal starting \"" + lead +
+          "\")");
+}
+
+void Linter::check_artifact() {
+  const fs::path artifact = root_ / "BENCH_kernels.json";
+  if (!fs::exists(artifact)) return;
+  const std::string text = read_file(artifact);
+  // Minimal JSON key scan: a quoted string is a key iff the next
+  // non-space character is ':'. Good enough for the flat schema the
+  // perf-smoke artifact uses (no string values containing quotes).
+  std::set<std::string> keys;
+  std::size_t i = 0;
+  while ((i = text.find('"', i)) != std::string::npos) {
+    const std::size_t close = text.find('"', i + 1);
+    if (close == std::string::npos) break;
+    const std::string token = text.substr(i + 1, close - i - 1);
+    std::size_t j = close + 1;
+    while (j < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[j])) != 0) {
+      ++j;
+    }
+    if (j < text.size() && text[j] == ':') keys.insert(token);
+    i = close + 1;
+  }
+  for (const std::string& key : keys) {
+    if (vocab_.artifact_keys.count(key) == 0) {
+      add(spmm::names::finding::kArtifactKey, "BENCH_kernels.json", 0,
+          "artifact key \"" + key +
+              "\" is not declared in SPMM_ARTIFACT_KEYS");
+    }
+  }
+  for (std::string_view key : vocab_.artifact_keys) {
+    if (keys.count(std::string(key)) == 0) {
+      add(spmm::names::finding::kArtifactKey, "BENCH_kernels.json", 0,
+          "declared artifact key \"" + std::string(key) +
+              "\" is missing from the artifact");
+    }
+  }
+}
+
+int run_lint(int argc, const char* const* argv) {
+  spmm::ArgParser parser(
+      "cross-artifact vocabulary lint over the registry, the source "
+      "tree, the docs tables, and the committed artifacts");
+  parser.add_string(spmm::names::flag::kRoot, 'r', ".",
+                    "repository root to lint");
+  parser.add_string(spmm::names::flag::kReport, 0, "",
+                    "also write the findings report to this file");
+  parser.add_flag(spmm::names::flag::kListFindings, 0,
+                  "list the finding-id vocabulary and exit");
+  if (!parser.parse(argc, argv)) return 0;
+
+  if (parser.get_flag(spmm::names::flag::kListFindings)) {
+    for (const auto& e : spmm::registry::kLintFindings) {
+      std::cout << e.name << "  " << e.description << "\n";
+    }
+    return 0;
+  }
+
+  const fs::path root = parser.get_string(spmm::names::flag::kRoot);
+  if (!fs::exists(root / "src")) {
+    std::cerr << "spmm_lint: no src/ under root " << root << "\n";
+    return 2;
+  }
+
+  Linter linter(root);
+  linter.check_sources();
+  linter.check_docs();
+  linter.check_csv_pin();
+  linter.check_artifact();
+
+  std::ostringstream report;
+  for (const Finding& f : linter.findings()) {
+    report << f.id << "  " << f.file;
+    if (f.line > 0) report << ":" << f.line;
+    report << "  " << f.message << "\n";
+  }
+  if (linter.findings().empty()) {
+    report << "spmm_lint: clean (" << std::size(spmm::registry::kAuditRules)
+           << " rules, " << std::size(spmm::registry::kTelemetryNames)
+           << " telemetry names, " << std::size(spmm::registry::kErrorCodes)
+           << " error codes, " << std::size(spmm::registry::kFaultSites)
+           << " fault sites, " << std::size(spmm::registry::kCliFlags)
+           << " flags, " << std::size(spmm::registry::kCsvColumns)
+           << " CSV columns checked)\n";
+  } else {
+    report << linter.findings().size() << " finding(s)\n";
+  }
+  std::cout << report.str();
+
+  const std::string report_path =
+      parser.get_string(spmm::names::flag::kReport);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << report.str();
+  }
+  return linter.findings().empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_lint(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "spmm_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

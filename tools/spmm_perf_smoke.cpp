@@ -22,6 +22,7 @@
 
 #include "core/runner.hpp"
 #include "gen/suite.hpp"
+#include "support/registry.hpp"
 
 using namespace spmm;
 
@@ -117,37 +118,37 @@ int main(int argc, char** argv) {
   try {
     ArgParser parser(
         "Perf smoke sweep: fixed-seed GFLOP/s grid -> BENCH_kernels.json");
-    parser.add_string("out", 'o', "BENCH_kernels.json", "output JSON path");
-    parser.add_double("scale", 0, 0.05,
+    parser.add_string(spmm::names::flag::kOut, 'o', "BENCH_kernels.json", "output JSON path");
+    parser.add_double(spmm::names::flag::kScale, 0, 0.05,
                       "suite profile scale (row count multiplier)");
-    parser.add_int("iterations", 'n', 9, "timed iterations (p50 source)");
-    parser.add_int("warmup", 'w', 2, "untimed warm-up iterations");
-    parser.add_int("threads", 't', 4, "thread count for parallel kernels");
-    parser.add_int("k", 'k', 32, "dense operand width");
-    parser.add_int("seed", 's', 42, "generator / operand seed");
-    parser.add_string("compare", 'c', "",
+    parser.add_int(spmm::names::flag::kIterations, 'n', 9, "timed iterations (p50 source)");
+    parser.add_int(spmm::names::flag::kWarmup, 'w', 2, "untimed warm-up iterations");
+    parser.add_int(spmm::names::flag::kThreads, 't', 4, "thread count for parallel kernels");
+    parser.add_int(spmm::names::flag::kK, 'k', 32, "dense operand width");
+    parser.add_int(spmm::names::flag::kSeed, 's', 42, "generator / operand seed");
+    parser.add_string(spmm::names::flag::kCompare, 'c', "",
                       "reference artifact to gate against: exit nonzero if "
                       "any cell regresses past the tolerance band");
-    parser.add_double("compare-tolerance", 0, 0.15,
+    parser.add_double(spmm::names::flag::kCompareTolerance, 0, 0.15,
                       "allowed fractional p50 regression per cell");
-    parser.add_double("compare-scale-ref", 0, 1.0,
+    parser.add_double(spmm::names::flag::kCompareScaleRef, 0, 1.0,
                       "multiply reference rates before comparing (test hook "
                       "for injecting a synthetic regression)");
-    parser.add_flag("hw-counters", 0,
+    parser.add_flag(spmm::names::flag::kHwCounters, 0,
                     "profile every cell with hardware counters (perf_event; "
                     "no-op backend where denied) and record the hw/roofline "
                     "fields in the artifact");
     if (!parser.parse(argc, argv)) return 0;
 
     BenchParams params;
-    params.iterations = static_cast<int>(parser.get_int("iterations"));
-    params.warmup = static_cast<int>(parser.get_int("warmup"));
-    params.threads = static_cast<int>(parser.get_int("threads"));
-    params.k = static_cast<int>(parser.get_int("k"));
-    params.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
-    params.hw_counters = parser.get_flag("hw-counters");
+    params.iterations = static_cast<int>(parser.get_int(spmm::names::flag::kIterations));
+    params.warmup = static_cast<int>(parser.get_int(spmm::names::flag::kWarmup));
+    params.threads = static_cast<int>(parser.get_int(spmm::names::flag::kThreads));
+    params.k = static_cast<int>(parser.get_int(spmm::names::flag::kK));
+    params.seed = static_cast<std::uint64_t>(parser.get_int(spmm::names::flag::kSeed));
+    params.hw_counters = parser.get_flag(spmm::names::flag::kHwCounters);
     params.verify = false;  // timing sweep; correctness gates live in ctest
-    const double scale = parser.get_double("scale");
+    const double scale = parser.get_double(spmm::names::flag::kScale);
 
     // One profile per locality class the paper studies.
     const std::vector<std::string> profiles = {"torso1", "dw4096", "cant"};
@@ -285,7 +286,7 @@ int main(int argc, char** argv) {
                                 row.executed_isa);
     }
 
-    const std::string out_path = parser.get_string("out");
+    const std::string out_path = parser.get_string(spmm::names::flag::kOut);
     std::ofstream os(out_path);
     SPMM_CHECK(os.good(), "cannot open " + out_path + " for writing");
     os << "{\n"
@@ -358,12 +359,12 @@ int main(int argc, char** argv) {
 
     // --compare gate: every matching cell must stay within the
     // tolerance band of the reference's p50 rate.
-    const std::string compare_path = parser.get_string("compare");
+    const std::string compare_path = parser.get_string(spmm::names::flag::kCompare);
     if (!compare_path.empty()) {
-      const double tol = parser.get_double("compare-tolerance");
+      const double tol = parser.get_double(spmm::names::flag::kCompareTolerance);
       SPMM_CHECK(tol >= 0.0 && tol < 1.0,
                  "--compare-tolerance must be in [0, 1)");
-      const double scale_ref = parser.get_double("compare-scale-ref");
+      const double scale_ref = parser.get_double(spmm::names::flag::kCompareScaleRef);
       SPMM_CHECK(scale_ref > 0.0, "--compare-scale-ref must be positive");
       const std::map<std::string, double> ref = load_reference(compare_path);
       int matched = 0;

@@ -16,6 +16,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/jsonl.hpp"
 #include "telemetry/summary.hpp"
+#include "support/registry.hpp"
 
 using namespace spmm;
 
@@ -23,8 +24,8 @@ int main(int argc, char** argv) {
   try {
     ArgParser parser(
         "trace_report: validate and summarize a spmm-bench JSONL trace");
-    parser.add_int("top", 0, 10, "number of slowest spans to list");
-    parser.add_string("chrome-trace", 0, "",
+    parser.add_int(spmm::names::flag::kTop, 0, 10, "number of slowest spans to list");
+    parser.add_string(spmm::names::flag::kChromeTrace, 0, "",
                       "also convert the trace to Chrome Trace Event Format "
                       "JSON at this path (loads in Perfetto and "
                       "chrome://tracing)");
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
     SPMM_CHECK(parser.positional().size() == 1,
                "expected exactly one trace file argument");
     const std::string& path = parser.positional().front();
-    const std::int64_t top = parser.get_int("top");
+    const std::int64_t top = parser.get_int(spmm::names::flag::kTop);
     SPMM_CHECK(top >= 0, "--top must be non-negative");
 
     const telemetry::TraceParseResult trace =
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
     // Conversion runs only after validation: an unbalanced B/E stream
     // renders as garbage nesting in the viewer, so invalid traces were
     // already rejected above.
-    const std::string& chrome_path = parser.get_string("chrome-trace");
+    const std::string& chrome_path = parser.get_string(spmm::names::flag::kChromeTrace);
     if (!chrome_path.empty()) {
       std::ofstream out(chrome_path, std::ios::binary);
       SPMM_CHECK(out.good(),

@@ -1,8 +1,12 @@
 #include "core/report.hpp"
 
 #include <cmath>
+#include <iterator>
+#include <sstream>
+#include <string>
 
 #include "support/csv.hpp"
+#include "support/error.hpp"
 #include "support/registry.hpp"
 #include "support/string_util.hpp"
 
@@ -92,61 +96,234 @@ void print_result(std::ostream& os, const BenchResult& r) {
   os << "\n";
 }
 
-void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
+namespace {
+
+// Render numeric fields with exactly CsvWriter's formatting, so a row
+// built from csv_cells() is byte-identical to the old direct
+// CsvWriter::add() chain.
+std::string render(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+std::string render(std::int64_t value) { return std::to_string(value); }
+std::string render(std::size_t value) { return std::to_string(value); }
+
+double parse_double(const std::string& field) {
+  std::size_t used = 0;
+  const double v = std::stod(field, &used);
+  SPMM_CHECK(used == field.size(), "malformed CSV number: " + field);
+  return v;
+}
+
+std::int64_t parse_int(const std::string& field) {
+  std::size_t used = 0;
+  const std::int64_t v = std::stoll(field, &used);
+  SPMM_CHECK(used == field.size(), "malformed CSV integer: " + field);
+  return v;
+}
+
+std::size_t parse_size(const std::string& field) {
+  const std::int64_t v = parse_int(field);
+  SPMM_CHECK(v >= 0, "negative CSV byte count: " + field);
+  return static_cast<std::size_t>(v);
+}
+
+bool parse_yes_no(const std::string& field) {
+  SPMM_CHECK(field == "yes" || field == "no",
+             "malformed CSV yes/no field: " + field);
+  return field == "yes";
+}
+
+}  // namespace
+
+std::vector<std::string> csv_cells(const BenchResult& r) {
+  std::vector<std::string> cells;
+  cells.reserve(std::size(registry::kCsvColumns));
+  cells.push_back(r.matrix_name);
+  cells.push_back(r.kernel_name);
+  cells.push_back(std::string(variant_name(r.variant)));
+  cells.push_back(render(static_cast<std::int64_t>(r.threads)));
+  cells.push_back(render(static_cast<std::int64_t>(r.k)));
+  cells.push_back(render(static_cast<std::int64_t>(r.block_size)));
+  cells.push_back(render(static_cast<std::int64_t>(r.iterations)));
+  cells.push_back(render(r.mflops));
+  cells.push_back(render(r.gflops));
+  cells.push_back(render(r.avg_compute_seconds));
+  cells.push_back(render(r.min_compute_seconds));
+  cells.push_back(render(r.format_seconds));
+  cells.push_back(r.format_cached ? "yes" : "no");
+  cells.push_back(render(r.total_seconds));
+  cells.push_back(render(r.flops));
+  cells.push_back(render(r.format_bytes));
+  cells.push_back(r.verification_run ? (r.verified ? "yes" : "NO")
+                                     : "skipped");
+  cells.push_back(render(r.max_abs_error));
+  cells.push_back(render(r.properties.rows));
+  cells.push_back(render(r.properties.cols));
+  cells.push_back(render(r.properties.nnz));
+  cells.push_back(render(r.properties.max_row_nnz));
+  cells.push_back(render(r.properties.avg_row_nnz));
+  cells.push_back(render(r.properties.column_ratio));
+  cells.push_back(render(r.properties.row_nnz_variance));
+  cells.push_back(render(r.properties.row_nnz_stddev));
+  cells.push_back(render(r.p50_compute_seconds));
+  cells.push_back(render(r.p95_compute_seconds));
+  cells.push_back(render(r.max_compute_seconds));
+  cells.push_back(render(r.stddev_compute_seconds));
+  cells.push_back(r.warmup_drift ? "yes" : "no");
+  cells.push_back(render(static_cast<std::int64_t>(r.outlier_count)));
+  cells.push_back(render(r.h2d_bytes));
+  cells.push_back(render(r.d2h_bytes));
+  cells.push_back(render(r.device_peak_bytes));
+  cells.push_back(std::string(status_name(r.status)));
+  cells.push_back(r.error_code);
+  cells.push_back(render(static_cast<std::int64_t>(r.attempts)));
+  cells.push_back(std::string(sched_name(r.sched)));
+  cells.push_back(std::string(isa_name(r.isa)));
+  cells.push_back(std::string(isa_name(r.executed_isa)));
+  cells.push_back(std::string(variant_name(r.executed_variant)));
+  cells.push_back(render(r.llc_miss_per_nnz));
+  cells.push_back(render(r.hw_ipc));
+  cells.push_back(render(r.measured_bytes));
+  cells.push_back(r.hw_backend);
+  return cells;
+}
+
+void write_csv_rows(std::ostream& os,
+                    const std::vector<std::vector<std::string>>& rows) {
   // Column order is frozen for downstream consumers (plot_results.py):
   // the header comes straight from SPMM_CSV_COLUMNS in
   // support/registry.hpp (append-only; pinned by test_csv_table, and
   // spmm_lint diffs the pin against the registry).
   CsvWriter csv(os, registry::bench_csv_header());
-  for (const BenchResult& r : results) {
-    csv.add(r.matrix_name)
-        .add(r.kernel_name)
-        .add(std::string(variant_name(r.variant)))
-        .add(static_cast<std::int64_t>(r.threads))
-        .add(static_cast<std::int64_t>(r.k))
-        .add(static_cast<std::int64_t>(r.block_size))
-        .add(static_cast<std::int64_t>(r.iterations))
-        .add(r.mflops)
-        .add(r.gflops)
-        .add(r.avg_compute_seconds)
-        .add(r.min_compute_seconds)
-        .add(r.format_seconds)
-        .add(r.format_cached ? "yes" : "no")
-        .add(r.total_seconds)
-        .add(r.flops)
-        .add(r.format_bytes)
-        .add(r.verification_run ? (r.verified ? "yes" : "NO") : "skipped")
-        .add(r.max_abs_error)
-        .add(r.properties.rows)
-        .add(r.properties.cols)
-        .add(r.properties.nnz)
-        .add(r.properties.max_row_nnz)
-        .add(r.properties.avg_row_nnz)
-        .add(r.properties.column_ratio)
-        .add(r.properties.row_nnz_variance)
-        .add(r.properties.row_nnz_stddev)
-        .add(r.p50_compute_seconds)
-        .add(r.p95_compute_seconds)
-        .add(r.max_compute_seconds)
-        .add(r.stddev_compute_seconds)
-        .add(r.warmup_drift ? "yes" : "no")
-        .add(static_cast<std::int64_t>(r.outlier_count))
-        .add(r.h2d_bytes)
-        .add(r.d2h_bytes)
-        .add(r.device_peak_bytes)
-        .add(std::string(status_name(r.status)))
-        .add(r.error_code)
-        .add(static_cast<std::int64_t>(r.attempts))
-        .add(std::string(sched_name(r.sched)))
-        .add(std::string(isa_name(r.isa)))
-        .add(std::string(isa_name(r.executed_isa)))
-        .add(std::string(variant_name(r.executed_variant)))
-        .add(r.llc_miss_per_nnz)
-        .add(r.hw_ipc)
-        .add(r.measured_bytes)
-        .add(r.hw_backend);
+  for (const std::vector<std::string>& row : rows) {
+    SPMM_CHECK(row.size() == std::size(registry::kCsvColumns),
+               "CSV row field count disagrees with the registry schema");
+    for (const std::string& field : row) csv.add(field);
     csv.end_row();
   }
+}
+
+void write_csv(std::ostream& os, const std::vector<BenchResult>& results) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(results.size());
+  for (const BenchResult& r : results) rows.push_back(csv_cells(r));
+  write_csv_rows(os, rows);
+}
+
+BenchResult bench_result_from_csv_cells(
+    const std::vector<std::string>& cells) {
+  SPMM_CHECK(cells.size() == std::size(registry::kCsvColumns),
+             "CSV row field count disagrees with the registry schema");
+  BenchResult r;
+  std::size_t i = 0;
+  r.matrix_name = cells[i++];
+  r.kernel_name = cells[i++];
+  r.variant = variant_from_name(cells[i++]);
+  r.threads = static_cast<int>(parse_int(cells[i++]));
+  r.k = static_cast<int>(parse_int(cells[i++]));
+  r.block_size = static_cast<int>(parse_int(cells[i++]));
+  r.iterations = static_cast<int>(parse_int(cells[i++]));
+  r.mflops = parse_double(cells[i++]);
+  r.gflops = parse_double(cells[i++]);
+  r.avg_compute_seconds = parse_double(cells[i++]);
+  r.min_compute_seconds = parse_double(cells[i++]);
+  r.format_seconds = parse_double(cells[i++]);
+  r.format_cached = parse_yes_no(cells[i++]);
+  r.total_seconds = parse_double(cells[i++]);
+  r.flops = parse_double(cells[i++]);
+  r.format_bytes = parse_size(cells[i++]);
+  {
+    const std::string& verified = cells[i++];
+    SPMM_CHECK(verified == "yes" || verified == "NO" || verified == "skipped",
+               "malformed CSV verified field: " + verified);
+    r.verification_run = verified != "skipped";
+    r.verified = verified == "yes";
+  }
+  r.max_abs_error = parse_double(cells[i++]);
+  r.properties.rows = parse_int(cells[i++]);
+  r.properties.cols = parse_int(cells[i++]);
+  r.properties.nnz = parse_int(cells[i++]);
+  r.properties.max_row_nnz = parse_int(cells[i++]);
+  r.properties.avg_row_nnz = parse_double(cells[i++]);
+  r.properties.column_ratio = parse_double(cells[i++]);
+  r.properties.row_nnz_variance = parse_double(cells[i++]);
+  r.properties.row_nnz_stddev = parse_double(cells[i++]);
+  r.p50_compute_seconds = parse_double(cells[i++]);
+  r.p95_compute_seconds = parse_double(cells[i++]);
+  r.max_compute_seconds = parse_double(cells[i++]);
+  r.stddev_compute_seconds = parse_double(cells[i++]);
+  r.warmup_drift = parse_yes_no(cells[i++]);
+  r.outlier_count = static_cast<int>(parse_int(cells[i++]));
+  r.h2d_bytes = parse_size(cells[i++]);
+  r.d2h_bytes = parse_size(cells[i++]);
+  r.device_peak_bytes = parse_size(cells[i++]);
+  r.status = status_from_name(cells[i++]);
+  r.error_code = cells[i++];
+  r.attempts = static_cast<int>(parse_int(cells[i++]));
+  r.sched = sched_from_name(cells[i++]);
+  r.isa = isa_from_name(cells[i++]);
+  r.executed_isa = isa_from_name(cells[i++]);
+  r.executed_variant = variant_from_name(cells[i++]);
+  r.llc_miss_per_nnz = parse_double(cells[i++]);
+  r.hw_ipc = parse_double(cells[i++]);
+  r.measured_bytes = parse_double(cells[i++]);
+  r.hw_backend = cells[i++];
+  r.degraded = r.status == RunStatus::kDegraded;
+  // A rate rebuilt from the CSV keeps its rendered precision; derive
+  // the remaining non-CSV rate field consistently with it.
+  r.flops_per_second = r.mflops * 1e6;
+  return r;
+}
+
+void strip_volatile(BenchResult& r) {
+  r.format_seconds = 0.0;
+  r.avg_compute_seconds = 0.0;
+  r.min_compute_seconds = 0.0;
+  r.total_seconds = 0.0;
+  r.p50_compute_seconds = 0.0;
+  r.p95_compute_seconds = 0.0;
+  r.max_compute_seconds = 0.0;
+  r.stddev_compute_seconds = 0.0;
+  r.warmup_drift = false;
+  r.outlier_count = 0;
+  r.iteration_seconds.clear();
+  r.flops_per_second = 0.0;
+  r.mflops = 0.0;
+  r.gflops = 0.0;
+  r.hw_backend = "none";
+  r.hw_profiled = false;
+  r.hw_multiplexed = false;
+  r.hw_cycles = 0.0;
+  r.hw_instructions = 0.0;
+  r.hw_llc_loads = 0.0;
+  r.hw_llc_misses = 0.0;
+  r.hw_l1d_misses = 0.0;
+  r.hw_stalled_cycles = 0.0;
+  r.hw_ipc = 0.0;
+  r.llc_miss_per_nnz = 0.0;
+  r.measured_bytes = 0.0;
+  r.operational_intensity = 0.0;
+  r.achieved_bw_gbs = 0.0;
+  r.stream_bw_fraction = 0.0;
+}
+
+RunStatus status_from_name(std::string_view name) {
+  if (name == "ok") return RunStatus::kOk;
+  if (name == "degraded") return RunStatus::kDegraded;
+  if (name == "failed") return RunStatus::kFailed;
+  if (name == "timeout") return RunStatus::kTimeout;
+  if (name == "skipped") return RunStatus::kSkipped;
+  SPMM_FAIL("unknown status name: " + std::string(name));
+}
+
+Variant variant_from_name(std::string_view name) {
+  for (const Variant v : kAllVariants) {
+    if (variant_name(v) == name) return v;
+  }
+  SPMM_FAIL("unknown variant name: " + std::string(name));
 }
 
 }  // namespace spmm::bench

@@ -1,8 +1,17 @@
 // Result reporting: console lines and CSV (the thesis's suite emits CSV
 // that a plotting script consumes).
+//
+// The CSV path is split into render (csv_cells: one result → its exact
+// field strings) and emit (write_csv_rows: header + pre-rendered rows)
+// so the campaign journal can capture and replay rows *as strings*. A
+// replayed row re-enters the CSV byte-for-byte — numbers are never
+// re-parsed and re-formatted, which is what makes a resumed campaign's
+// CSV byte-identical to an uninterrupted run's.
 #pragma once
 
 #include <ostream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/benchmark.hpp"
@@ -12,7 +21,41 @@ namespace spmm::bench {
 /// One human-readable line per result.
 void print_result(std::ostream& os, const BenchResult& r);
 
+/// The rendered CSV field strings for one result — exactly the fields
+/// write_csv emits for its row, in registry column order
+/// (SPMM_CSV_COLUMNS). This is the campaign journal's replay payload.
+std::vector<std::string> csv_cells(const BenchResult& r);
+
+/// Header + pre-rendered rows. Each row must have one field per
+/// registry column; fields pass through RFC-4180 quoting unchanged.
+/// write_csv(results) ≡ write_csv_rows(csv_cells of each result).
+void write_csv_rows(std::ostream& os,
+                    const std::vector<std::vector<std::string>>& rows);
+
 /// Header + one row per result, RFC-4180 CSV.
 void write_csv(std::ostream& os, const std::vector<BenchResult>& results);
+
+/// Rebuild the CSV projection of a BenchResult from its rendered
+/// fields — the inverse of csv_cells for every field the CSV carries
+/// (fields outside the CSV schema keep their defaults). Used to replay
+/// journaled cells into in-memory result lists (console digests, JSON
+/// artifacts). Throws spmm::Error on a malformed row.
+BenchResult bench_result_from_csv_cells(const std::vector<std::string>& cells);
+
+/// Zero every nondeterministic (timing-derived) field of a result:
+/// seconds, rates, distribution stats, hw-counter values. What remains
+/// — identity, parameters, status, flops, verification, properties,
+/// device byte counts — is a pure function of the inputs, so two runs
+/// of the same cell render identical CSV rows. This is --deterministic,
+/// the mode the kill/resume chaos harness diffs under.
+void strip_volatile(BenchResult& r);
+
+/// Parse a status column value ("ok", "degraded", "failed", "timeout",
+/// "skipped") back to RunStatus; throws spmm::Error otherwise.
+RunStatus status_from_name(std::string_view name);
+
+/// Parse a variant column value ("serial", "omp", "gpu", "serial-T",
+/// "omp-T", "gpu-T") back to Variant; throws spmm::Error otherwise.
+Variant variant_from_name(std::string_view name);
 
 }  // namespace spmm::bench

@@ -6,12 +6,17 @@
 #pragma once
 
 #include <cmath>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/format_benchmarks.hpp"
+#include "resilience/campaign_journal.hpp"
+#include "resilience/shutdown.hpp"
 
 namespace spmm::bench {
 
@@ -192,6 +197,200 @@ std::vector<BenchResult> run_plan(Format format, Coo<V, I> matrix,
   auto bench = make_benchmark<V, I>(format, optimized);
   bench->setup(std::move(matrix), params, std::move(matrix_name));
   return run_plan(*bench, plan);
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe campaigns (docs/ROBUSTNESS.md, "Crash-safe campaigns").
+// run_plan_campaign is run_plan plus three hooks: a durable cell
+// journal (completed cells are appended+fsynced; journaled cells are
+// skipped and their recorded output replayed verbatim), a cooperative
+// stop check at every cell boundary (SIGINT/SIGTERM or the campaign
+// deadline), and a pluggable cell codec — the journal stores the
+// *rendered output strings* of each cell, never re-formatted numbers,
+// which is what makes a resumed run's artifact byte-identical to an
+// uninterrupted one.
+// ---------------------------------------------------------------------
+
+/// Hooks for run_plan_campaign. All optional: with everything null the
+/// campaign degenerates to run_plan with per-cell encode() calls.
+struct CampaignOptions {
+  /// Durable journal; null disables journaling and replay.
+  resilience::CampaignJournal* journal = nullptr;
+  /// Cooperative stop source; null means the campaign never stops early.
+  resilience::StopController* stop = nullptr;
+  /// Journal-key prefix identifying the plan's fixed axes, conventionally
+  /// "<matrix>|<format>". The per-cell suffix (variant, effective
+  /// threads/k/sched/isa, duplicate ordinal) is appended automatically.
+  std::string key_prefix;
+  /// Render one finished result to the strings the journal stores and
+  /// the caller's artifact emits (e.g. bench::csv_cells). Required.
+  std::function<std::vector<std::string>(const BenchResult&)> encode;
+  /// Rebuild a result from a journaled record for replay (e.g.
+  /// bench::bench_result_from_csv_cells). Required when a journal with
+  /// existing records is attached.
+  std::function<BenchResult(const std::vector<std::string>&)> decode;
+  /// Applied to every *fresh* result before it is encoded and journaled
+  /// (e.g. bench::strip_volatile under --deterministic). Replayed cells
+  /// were transformed when first run, so they are not re-transformed.
+  std::function<void(BenchResult&)> post;
+};
+
+/// Outcome of a crash-safe plan execution.
+struct PlanRun {
+  /// One result per executed or replayed cell, in plan order (cells
+  /// after a stop are absent).
+  std::vector<BenchResult> results;
+  /// The encoded payload of each result, same order — fresh cells as
+  /// encode() rendered them, replayed cells exactly as journaled.
+  std::vector<std::vector<std::string>> rows;
+  /// Per-result: true when the cell was replayed from the journal.
+  std::vector<bool> replayed;
+  /// True when the campaign stopped before finishing the plan.
+  bool stopped = false;
+  resilience::StopReason stop_reason = resilience::StopReason::kNone;
+  std::size_t fresh_cells = 0;
+  std::size_t replayed_cells = 0;
+};
+
+/// The deterministic journal key of each plan cell: key_prefix plus the
+/// cell's variant and *effective* parameters — retargets accumulate
+/// across cells exactly as run_plan applies them, starting from the
+/// benchmark's current params. Duplicate cells (a plan may repeat a
+/// configuration for best-of-N) get a "#<occurrence>" ordinal so every
+/// key is unique and replay preserves plan positions.
+template <ValueType V, IndexType I>
+std::vector<std::string> campaign_keys(const SpmmBenchmark<V, I>& bench,
+                                       const std::vector<PlanCell>& plan,
+                                       const std::string& key_prefix) {
+  std::vector<std::string> keys;
+  keys.reserve(plan.size());
+  int threads = bench.params().threads;
+  int k = bench.params().k;
+  Sched sched = bench.params().sched;
+  Isa isa = bench.params().isa;
+  std::map<std::string, int> occurrence;
+  for (const PlanCell& cell : plan) {
+    if (cell.threads > 0) threads = cell.threads;
+    if (cell.k > 0) k = cell.k;
+    if (cell.sched) sched = *cell.sched;
+    if (cell.isa) isa = *cell.isa;
+    std::string key = key_prefix;
+    key += '|';
+    key += variant_name(cell.variant);
+    key += "|t";
+    key += std::to_string(threads);
+    key += "|k";
+    key += std::to_string(k);
+    key += '|';
+    key += sched_name(sched);
+    key += '|';
+    key += isa_name(isa);
+    const int n = ++occurrence[key];
+    if (n >= 2) {
+      key += '#';
+      key += std::to_string(n);
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+/// run_plan with journaling, replay, and cooperative stop. Cell
+/// semantics (retargets, skip/fail isolation under kContinue, abort
+/// propagation under kAbort) match run_plan exactly; retargets are
+/// applied for replayed cells too, so every later fresh cell sees the
+/// same parameter state as in an uninterrupted run.
+template <ValueType V, IndexType I>
+PlanRun run_plan_campaign(SpmmBenchmark<V, I>& bench,
+                          const std::vector<PlanCell>& plan,
+                          const CampaignOptions& opts) {
+  SPMM_CHECK(static_cast<bool>(opts.encode),
+             "run_plan_campaign requires an encode hook");
+  PlanRun out;
+  out.results.reserve(plan.size());
+  out.rows.reserve(plan.size());
+  const std::vector<std::string> keys =
+      campaign_keys(bench, plan, opts.key_prefix);
+
+  // Format eagerly iff any cell will actually run, matching run_plan's
+  // format-once lifecycle (every plan cell reports format_cached=yes).
+  // An all-replayed plan skips the conversion entirely — resuming a
+  // finished campaign costs no compute.
+  bool any_fresh = false;
+  for (const std::string& key : keys) {
+    if (opts.journal == nullptr || !opts.journal->contains(key)) {
+      any_fresh = true;
+      break;
+    }
+  }
+  if (any_fresh) bench.ensure_formatted();
+
+  telemetry::Session& tel = bench.telemetry_session();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (opts.stop != nullptr) {
+      const resilience::StopReason reason = opts.stop->should_stop();
+      if (reason != resilience::StopReason::kNone) {
+        out.stopped = true;
+        out.stop_reason = reason;
+        if (tel.enabled()) {
+          tel.counter(names::tel::kCampaignStop, 1.0, "resilience");
+        }
+        break;
+      }
+    }
+    const PlanCell& cell = plan[i];
+    if (cell.threads > 0) bench.set_threads(cell.threads);
+    if (cell.k > 0) bench.set_k(cell.k);
+    if (cell.sched) bench.set_sched(*cell.sched);
+    if (cell.isa) bench.set_isa(*cell.isa);
+
+    if (opts.journal != nullptr) {
+      if (const std::vector<std::string>* rec = opts.journal->find(keys[i])) {
+        SPMM_CHECK(static_cast<bool>(opts.decode),
+                   "journal replay requires a decode hook");
+        out.results.push_back(opts.decode(*rec));
+        out.rows.push_back(*rec);
+        out.replayed.push_back(true);
+        ++out.replayed_cells;
+        if (tel.enabled()) {
+          tel.counter(names::tel::kJournalSkip, 1.0, "io");
+        }
+        continue;
+      }
+    }
+
+    BenchResult r;
+    if (bench.params().on_error == OnError::kContinue &&
+        !format_supports(bench.format_id(), cell.variant)) {
+      r = bench.outcome_result(
+          cell.variant, RunStatus::kSkipped, names::errc::kVariantUnsupported,
+          std::string(format_name(bench.format_id())) +
+              " does not implement " +
+              std::string(variant_name(cell.variant)),
+          0);
+    } else {
+      try {
+        r = bench.run(cell.variant);
+      } catch (const Error& e) {
+        if (bench.params().on_error == OnError::kAbort) throw;
+        r = bench.outcome_result(cell.variant, RunStatus::kFailed,
+                                 e.error_code(), e.what(), 1);
+      }
+    }
+    if (opts.post) opts.post(r);
+    std::vector<std::string> encoded = opts.encode(r);
+    if (opts.journal != nullptr) {
+      opts.journal->append(keys[i], encoded);
+      if (tel.enabled()) {
+        tel.counter(names::tel::kJournalAppend, 1.0, "io");
+      }
+    }
+    out.results.push_back(std::move(r));
+    out.rows.push_back(std::move(encoded));
+    out.replayed.push_back(false);
+    ++out.fresh_cells;
+  }
+  return out;
 }
 
 }  // namespace spmm::bench

@@ -8,8 +8,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "resilience/errors.hpp"
+#include "support/atomic_file.hpp"
 #include "support/error.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -147,9 +149,13 @@ Bcsr<V, I> read_bcsr_cache(std::istream& in) {
 
 template <ValueType V, IndexType I>
 void write_bcsr_cache_file(const std::string& path, const Bcsr<V, I>& bcsr) {
-  std::ofstream out(path, std::ios::binary);
-  SPMM_CHECK(out.good(), "cannot open file for writing: " + path);
-  write_bcsr_cache(out, bcsr);
+  // Atomic publish (temp-file + fsync + rename): a crash mid-write can
+  // never leave a torn cache on disk. The read path's checksum would
+  // catch a torn file eventually, but only by discarding the cache —
+  // this guarantees it is never observable at all.
+  std::ostringstream buffer(std::ios::binary);
+  write_bcsr_cache(buffer, bcsr);
+  support::write_file_atomic(path, buffer.str());
 }
 
 template <ValueType V, IndexType I>

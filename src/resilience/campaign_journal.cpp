@@ -1,0 +1,373 @@
+#include "resilience/campaign_journal.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
+#include "support/cli.hpp"
+#include "support/registry.hpp"
+
+namespace spmm::resilience {
+
+namespace {
+
+// Exit status a SIGKILLed process reports (128 + 9). The crash fault
+// sites use it so a supervisor cannot tell an injected crash from a
+// real kill -9.
+constexpr int kCrashExitStatus = 137;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Checksum over the logical record content, not the JSON encoding:
+// key, then each cell, joined with separators that cannot appear in
+// the joined fields' framing. Writer and reader compute it the same
+// way, so any bit flip in either the key or a cell invalidates the
+// record.
+std::uint64_t record_crc(std::string_view key,
+                         const std::vector<std::string>& cells) {
+  std::uint64_t h = fnv1a(kFnvOffset, key);
+  h = fnv1a(h, std::string_view("\x1f", 1));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) h = fnv1a(h, std::string_view("\x1e", 1));
+    h = fnv1a(h, cells[i]);
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hexd = "0123456789abcdef";
+          out += "\\u00";
+          out += hexd[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hexd[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// Strict little parser over the exact shape encode_record emits. A
+// cursor-based scanner: each helper consumes on success, fails without
+// side effects otherwise. Journal lines are machine-written, so any
+// deviation means a torn or corrupted record — reported as !ok, never
+// as an exception.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool literal(std::string_view want) {
+    if (text.substr(pos, want.size()) != want) return false;
+    pos += want.size();
+    return true;
+  }
+
+  bool quoted(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos + 1 >= text.size()) return false;
+        const char esc = text[pos + 1];
+        pos += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos + static_cast<std::size_t>(i)];
+              value <<= 4;
+              if (h >= '0' && h <= '9') {
+                value |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              } else {
+                return false;
+              }
+            }
+            if (value > 0xFF) return false;  // only \u00XX is emitted
+            out += static_cast<char>(value);
+            pos += 4;
+            break;
+          }
+          default: return false;
+        }
+        continue;
+      }
+      out += c;
+      ++pos;
+    }
+    return false;  // unterminated string
+  }
+};
+
+[[noreturn]] void throw_append_error(const std::string& path,
+                                     const std::string& detail) {
+  throw InputError(names::errc::kIoJournalAppend,
+                   "journal append failed for " + path + ": " + detail);
+}
+
+}  // namespace
+
+std::string CampaignJournal::encode_record(
+    const std::string& key, const std::vector<std::string>& cells) {
+  std::string line = "{\"v\":1,\"key\":\"";
+  line += json_escape(key);
+  line += "\",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) line += ',';
+    line += '"';
+    line += json_escape(cells[i]);
+    line += '"';
+  }
+  line += "],\"crc\":\"";
+  line += hex64(record_crc(key, cells));
+  line += "\"}";
+  return line;
+}
+
+bool CampaignJournal::decode_record(std::string_view line,
+                                    JournalRecord& out) {
+  Cursor cur{line};
+  out.key.clear();
+  out.cells.clear();
+  if (!cur.literal("{\"v\":1,\"key\":")) return false;
+  if (!cur.quoted(out.key)) return false;
+  if (!cur.literal(",\"cells\":[")) return false;
+  if (!cur.literal("]")) {
+    for (;;) {
+      std::string cell;
+      if (!cur.quoted(cell)) return false;
+      out.cells.push_back(std::move(cell));
+      if (cur.literal(",")) continue;
+      if (cur.literal("]")) break;
+      return false;
+    }
+  }
+  if (!cur.literal(",\"crc\":\"")) return false;
+  std::string crc;
+  crc.reserve(16);
+  while (cur.pos < line.size() && line[cur.pos] != '"') {
+    crc += line[cur.pos];
+    ++cur.pos;
+  }
+  if (!cur.literal("\"}")) return false;
+  if (cur.pos != line.size()) return false;
+  return crc == hex64(record_crc(out.key, out.cells));
+}
+
+CampaignJournal::CampaignJournal(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {}
+
+CampaignJournal::CampaignJournal(CampaignJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      records_(std::move(other.records_)),
+      torn_records_(other.torn_records_) {
+  other.fd_ = -1;
+}
+
+CampaignJournal& CampaignJournal::operator=(
+    CampaignJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    records_ = std::move(other.records_);
+    torn_records_ = other.torn_records_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+CampaignJournal CampaignJournal::open(const std::string& path, bool resume) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);  // NOLINT
+  if (fd < 0) {
+    throw InputError(names::errc::kIoJournalOpen,
+                     "cannot open journal " + path + ": " +
+                         std::strerror(errno));
+  }
+  CampaignJournal journal(path, fd);
+
+  // Read the whole file (journals are small: one short line per cell).
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const ::ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InputError(names::errc::kIoJournalOpen,
+                       "cannot read journal " + path + ": " +
+                           std::strerror(errno));
+    }
+    if (n == 0) break;
+    text.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Recover the valid prefix; the first undecodable line and everything
+  // after it is the torn tail.
+  std::size_t valid_bytes = 0;
+  std::size_t pos = 0;
+  bool torn = false;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      torn = true;  // trailing bytes without a newline: torn mid-write
+      break;
+    }
+    JournalRecord rec;
+    if (!decode_record(std::string_view(text).substr(pos, nl - pos), rec)) {
+      torn = true;
+      break;
+    }
+    journal.records_.push_back(std::move(rec));
+    pos = nl + 1;
+    valid_bytes = pos;
+  }
+  if (torn) {
+    // Count every dropped line as one torn record (a crash leaves one;
+    // more means the file was damaged beyond the append path).
+    std::size_t dropped = 1;
+    for (std::size_t i = valid_bytes; i + 1 < text.size(); ++i) {
+      if (text[i] == '\n') ++dropped;
+    }
+    journal.torn_records_ = dropped;
+  }
+
+  if (!resume && (!journal.records_.empty() || journal.torn_records_ > 0)) {
+    throw InputError(names::errc::kIoJournalOpen,
+                     "journal " + path +
+                         " already holds records; pass --resume to "
+                         "continue the campaign or remove the file");
+  }
+
+  if (valid_bytes != text.size()) {
+    if (::ftruncate(fd, static_cast<::off_t>(valid_bytes)) != 0) {
+      throw InputError(names::errc::kIoJournalOpen,
+                       "cannot truncate torn journal tail in " + path +
+                           ": " + std::strerror(errno));
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    throw InputError(names::errc::kIoJournalOpen,
+                     "cannot seek journal " + path + ": " +
+                         std::strerror(errno));
+  }
+  return journal;
+}
+
+const std::vector<std::string>* CampaignJournal::find(
+    std::string_view key) const {
+  for (const JournalRecord& rec : records_) {
+    if (rec.key == key) return &rec.cells;
+  }
+  return nullptr;
+}
+
+void CampaignJournal::append(const std::string& key,
+                             const std::vector<std::string>& cells) {
+  FaultInjector* inj = FaultInjector::global();
+  if (inj != nullptr && inj->should_fire(names::site::kJournalAppendFail)) {
+    throw_append_error(path_, "injected journal.append.fail");
+  }
+
+  std::string line = encode_record(key, cells);
+  line += '\n';
+
+  // journal.torn.tail: crash after writing only half the record — the
+  // torn tail the recovery rule must drop on the next open.
+  const bool tear =
+      inj != nullptr && inj->should_fire(names::site::kJournalTornTail);
+  const std::size_t bytes = tear ? line.size() / 2 : line.size();
+
+  std::size_t off = 0;
+  while (off < bytes) {
+    const ::ssize_t n = ::write(fd_, line.data() + off, bytes - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_append_error(path_, std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) throw_append_error(path_, std::strerror(errno));
+
+  if (tear) std::_Exit(kCrashExitStatus);
+  if (inj != nullptr && inj->should_fire(names::site::kJournalCrash)) {
+    // The record is durable; die without running any destructor or
+    // flushing any stream, exactly like kill -9 at this cell boundary.
+    std::_Exit(kCrashExitStatus);
+  }
+
+  JournalRecord rec;
+  rec.key = key;
+  rec.cells = cells;
+  records_.push_back(std::move(rec));
+}
+
+void register_campaign_options(ArgParser& parser) {
+  parser.add_string(names::flag::kJournal, 0, "",
+                    "cell journal path: append each completed cell "
+                    "(write+fsync) so a crashed campaign can resume");
+  parser.add_flag(names::flag::kResume, 0,
+                  "resume from an existing journal: skip journaled cells "
+                  "and replay their recorded output verbatim");
+  parser.add_double(names::flag::kCampaignTimeout, 0, 0.0,
+                    "wall-clock budget for the whole campaign in seconds; "
+                    "on expiry the run stops at the next cell boundary "
+                    "and exits like an interrupted campaign (0 = none)");
+}
+
+}  // namespace spmm::resilience

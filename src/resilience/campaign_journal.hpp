@@ -1,0 +1,120 @@
+// spmm::resilience::CampaignJournal — durable record of completed
+// campaign cells.
+//
+// A characterization campaign is a plan of cells; losing a campaign to
+// a crash, an OOM kill, or an operator Ctrl-C means re-running every
+// completed cell. The journal makes cell completion durable: after each
+// cell finishes, the runner appends one JSONL record — the cell's key
+// plus its already-rendered output cells — and fsyncs before moving on.
+// A restarted campaign opens the journal with --resume, skips every
+// journaled cell, and replays the recorded output verbatim, so the
+// final artifact is byte-identical to an uninterrupted run.
+//
+// Record format (one JSON object per line):
+//
+//   {"v":1,"key":"<cell key>","cells":["<s0>","<s1>",...],"crc":"<hex>"}
+//
+// `key` identifies the plan cell (matrix|format|variant|threads|k|
+// sched|isa, with a "#<n>" ordinal suffix for repeated cells). `cells`
+// carries the cell's rendered output fields exactly as the tool will
+// print them — strings, not numbers, so replay can never re-format a
+// value differently. `crc` is FNV-1a 64 over the logical content; the
+// reader recomputes it, so a bit flip invalidates the record.
+//
+// Recovery rule: records are read in order; the first line that fails
+// to parse or fails its checksum — a torn tail from a crash mid-append
+// — is dropped along with everything after it, and the file is
+// truncated back to the last valid record. A torn tail is never fatal:
+// at worst one completed cell is re-run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spmm {
+class ArgParser;
+}  // namespace spmm
+
+namespace spmm::resilience {
+
+/// One recovered journal record.
+struct JournalRecord {
+  std::string key;
+  std::vector<std::string> cells;
+};
+
+/// Append-only, checksummed, fsync-per-record journal of completed
+/// cells. Move-only (owns a POSIX file descriptor).
+class CampaignJournal {
+ public:
+  /// Open `path` for appending. With `resume` false the journal must
+  /// not already hold records (a stale journal silently skipping cells
+  /// would corrupt a fresh campaign) — throws InputError with code
+  /// names::errc::kIoJournalOpen otherwise. With `resume` true any
+  /// existing valid prefix is recovered, a torn tail is dropped and
+  /// truncated away, and subsequent appends continue the file.
+  static CampaignJournal open(const std::string& path, bool resume);
+
+  CampaignJournal(CampaignJournal&& other) noexcept;
+  CampaignJournal& operator=(CampaignJournal&& other) noexcept;
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+  ~CampaignJournal();
+
+  /// Durably append one completed cell: encode, write, fsync. Throws
+  /// InputError with code names::errc::kIoJournalAppend on I/O failure.
+  /// Fault sites (consulted via FaultInjector::global()):
+  ///   journal.append.fail  the append throws instead of writing
+  ///   journal.torn.tail    half the record is written, then the
+  ///                        process hard-exits (simulates a crash
+  ///                        mid-append; exercises tail recovery)
+  ///   journal.crash        the record is written and fsynced, then the
+  ///                        process hard-exits with status 137 as if
+  ///                        SIGKILLed (the chaos harness's kill point)
+  void append(const std::string& key, const std::vector<std::string>& cells);
+
+  /// The replay payload recorded for `key`, or nullptr.
+  [[nodiscard]] const std::vector<std::string>* find(
+      std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Recovered records, in journal order.
+  [[nodiscard]] const std::vector<JournalRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Number of trailing torn/corrupt records dropped during recovery
+  /// (0 or 1 for a crash; more if the file was damaged by hand).
+  [[nodiscard]] std::size_t torn_records() const { return torn_records_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// The exact line (without trailing newline) append() writes — exposed
+  /// so tests can stage torn and corrupted journals byte-precisely.
+  static std::string encode_record(const std::string& key,
+                                   const std::vector<std::string>& cells);
+
+  /// Parse one journal line, validating shape and checksum.
+  static bool decode_record(std::string_view line, JournalRecord& out);
+
+ private:
+  CampaignJournal(std::string path, int fd);
+
+  std::string path_;
+  int fd_ = -1;
+  std::vector<JournalRecord> records_;
+  std::size_t torn_records_ = 0;
+};
+
+/// Register the campaign persistence / shutdown flags on a parser:
+/// --journal <path>, --resume, --campaign-timeout <seconds>. Lives here
+/// (like register_fault_options) because only the resilience layer owns
+/// the journal and stop machinery.
+void register_campaign_options(ArgParser& parser);
+
+}  // namespace spmm::resilience

@@ -1,0 +1,79 @@
+#include "resilience/shutdown.hpp"
+
+#include <csignal>
+#include <chrono>
+
+#include <unistd.h>
+
+namespace spmm::resilience {
+
+namespace {
+
+// Handler state: sig_atomic_t is the only type guaranteed readable and
+// writable atomically from a signal handler.
+volatile std::sig_atomic_t g_signal_count = 0;
+volatile std::sig_atomic_t g_signal_number = 0;
+bool g_armed = false;
+
+extern "C" void spmm_stop_handler(int sig) {
+  if (g_signal_count > 0) {
+    // Second signal: the cooperative path is stuck (or the operator is
+    // impatient) — exit now. _exit is async-signal-safe; no flushing.
+    ::_exit(kExitForced);
+  }
+  g_signal_number = sig;
+  g_signal_count = 1;
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void StopController::arm_signals() {
+  if (g_armed) return;
+  g_armed = true;
+  struct sigaction sa = {};
+  sa.sa_handler = &spmm_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a stalled read should see EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool StopController::signal_received() { return g_signal_count > 0; }
+
+int StopController::signal_number() {
+  return static_cast<int>(g_signal_number);
+}
+
+void StopController::reset_for_testing() {
+  g_signal_count = 0;
+  g_signal_number = 0;
+}
+
+void StopController::arm_deadline(double seconds) {
+  deadline_ = seconds > 0.0 ? monotonic_seconds() + seconds : 0.0;
+}
+
+StopReason StopController::should_stop() const {
+  if (signal_received()) return StopReason::kSignal;
+  if (deadline_ > 0.0 && monotonic_seconds() >= deadline_) {
+    return StopReason::kDeadline;
+  }
+  return StopReason::kNone;
+}
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kSignal: return "signal";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kNone: break;
+  }
+  return "none";
+}
+
+}  // namespace spmm::resilience

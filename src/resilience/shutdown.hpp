@@ -1,0 +1,62 @@
+// spmm::resilience — cooperative graceful shutdown.
+//
+// A campaign must be interruptible without losing completed cells: the
+// operator's Ctrl-C (SIGINT) or a scheduler's SIGTERM sets a flag; the
+// runner checks it at cell boundaries, flushes the journal (already
+// durable per-cell) and the partial CSV, and exits with a distinct
+// documented code. A second signal skips the cooperative path and
+// hard-exits immediately — the escape hatch when a cell itself hangs.
+//
+// Exit-code contract (docs/ROBUSTNESS.md):
+//   kExitInterrupted (3)  cooperative stop: signal or --campaign-timeout,
+//                         state flushed, journal resumable
+//   kExitForced (4)       second signal forced an immediate exit
+#pragma once
+
+namespace spmm::resilience {
+
+/// Why a campaign stopped early (StopController::should_stop()).
+enum class StopReason { kNone, kSignal, kDeadline };
+
+/// Exit code for a cooperative interrupted shutdown (signal or campaign
+/// deadline): the journal and partial outputs were flushed, so the
+/// campaign can be resumed.
+inline constexpr int kExitInterrupted = 3;
+
+/// Exit code when a second signal forced an immediate exit from the
+/// handler (no flushing beyond what was already durable).
+inline constexpr int kExitForced = 4;
+
+/// Cooperative cancellation: process-wide signal latch plus an optional
+/// per-instance wall-clock deadline. Construction is cheap; arming the
+/// signal handlers is explicit and idempotent.
+class StopController {
+ public:
+  /// Install the SIGINT/SIGTERM handlers (idempotent). First signal
+  /// latches; second calls _exit(kExitForced) from the handler.
+  static void arm_signals();
+
+  /// True once a latched signal has been received.
+  static bool signal_received();
+
+  /// The latched signal number (SIGINT/SIGTERM), or 0.
+  static int signal_number();
+
+  /// Clear the latch (tests re-arm within one process).
+  static void reset_for_testing();
+
+  /// Arm a wall-clock deadline `seconds` from now; <= 0 disarms.
+  void arm_deadline(double seconds);
+
+  /// Check both stop sources. Signal wins over deadline (it is the more
+  /// specific operator intent).
+  [[nodiscard]] StopReason should_stop() const;
+
+ private:
+  double deadline_ = 0.0;  // monotonic seconds; 0 = unarmed
+};
+
+/// Human-readable reason for logs ("signal" / "deadline" / "none").
+const char* stop_reason_name(StopReason reason);
+
+}  // namespace spmm::resilience

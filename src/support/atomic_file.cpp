@@ -1,0 +1,57 @@
+#include "support/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace spmm::support {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& op, const std::string& path) {
+  SPMM_FAIL(op + " failed for " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);  // NOLINT
+  if (fd < 0) fail_errno("open", tmp);
+
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail_errno("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_errno("rename", path);
+  }
+}
+
+}  // namespace spmm::support

@@ -1,0 +1,26 @@
+// Atomic file publication: write-to-temp, fsync, rename.
+//
+// Artifacts that downstream consumers read whole (campaign CSVs,
+// BENCH_kernels.json, BCSR format caches) must never be observable in a
+// half-written state — a crash mid-write would otherwise leave a torn
+// file that parses as a short campaign or a corrupt cache. The fix is
+// the classic POSIX idiom: write the full payload to a same-directory
+// temp file, fsync it so the bytes are durable before the name is, then
+// rename() over the destination. rename(2) within one filesystem is
+// atomic, so readers see either the old complete file or the new
+// complete file, nothing in between.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace spmm::support {
+
+/// Atomically replace `path` with `contents`. Writes `path`.tmp.<pid>
+/// in the same directory, fsyncs, then renames over `path`. Throws
+/// spmm::Error on any I/O failure (the temp file is unlinked first, so
+/// a failed publish leaves no debris and the old `path`, if any,
+/// intact).
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace spmm::support

@@ -98,6 +98,14 @@
   X(kHwBytes, "hw.bytes", kCounter, "hwprof", "docs/OBSERVABILITY.md")   \
   X(kHwStreamBwGbs, "hw.stream_bw_gbs", kCounter, "hwprof",              \
     "docs/OBSERVABILITY.md")                                             \
+  X(kJournalAppend, "journal.append", kCounter, "io",                    \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kJournalReplay, "journal.replay", kCounter, "io",                    \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kJournalSkip, "journal.skip", kCounter, "io", "docs/ROBUSTNESS.md")  \
+  X(kJournalTorn, "journal.torn", kCounter, "io", "docs/ROBUSTNESS.md")  \
+  X(kCampaignStop, "campaign.stop", kCounter, "resilience",              \
+    "docs/ROBUSTNESS.md")                                                \
   X(kFaultPrefix, "fault.", kPrefix, "resilience",                       \
     "docs/OBSERVABILITY.md")                                             \
   X(kCellErrorPrefix, "cell.error.", kPrefix, "resilience",              \
@@ -287,6 +295,10 @@
   X(kInputFaultplan, "input.faultplan", "InputError",                    \
     "docs/ROBUSTNESS.md")                                                \
   X(kCacheCorrupt, "cache.corrupt", "InputError", "docs/ROBUSTNESS.md")  \
+  X(kIoJournalOpen, "io.journal.open", "InputError",                     \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kIoJournalAppend, "io.journal.append", "InputError",                 \
+    "docs/ROBUSTNESS.md")                                                \
   X(kFormatFailed, "format.failed", "FormatError", "docs/ROBUSTNESS.md") \
   X(kFormatAlloc, "format.alloc", "FormatError", "docs/ROBUSTNESS.md")   \
   X(kKernelFailed, "kernel.failed", "KernelError", "docs/ROBUSTNESS.md") \
@@ -313,7 +325,10 @@
   X(kCellStall, "cell.stall", "docs/ROBUSTNESS.md")                     \
   X(kCellFail, "cell.fail", "docs/ROBUSTNESS.md")                       \
   X(kFormatAllocFail, "format.alloc.fail", "docs/ROBUSTNESS.md")        \
-  X(kIoTruncate, "io.truncate", "docs/ROBUSTNESS.md")
+  X(kIoTruncate, "io.truncate", "docs/ROBUSTNESS.md")                   \
+  X(kJournalCrash, "journal.crash", "docs/ROBUSTNESS.md")               \
+  X(kJournalTornTail, "journal.torn.tail", "docs/ROBUSTNESS.md")        \
+  X(kJournalAppendFail, "journal.append.fail", "docs/ROBUSTNESS.md")
 
 // ---------------------------------------------------------------------
 // 6. CLI flags. `owner` is the layer that registers the flag; flags
@@ -364,7 +379,11 @@
   X(kCompareScaleRef, "compare-scale-ref", "tools")        \
   X(kRoot, "root", "tools")                                \
   X(kReport, "report", "tools")                            \
-  X(kListFindings, "list-findings", "tools")
+  X(kListFindings, "list-findings", "tools")               \
+  X(kJournal, "journal", "resilience")                     \
+  X(kResume, "resume", "resilience")                       \
+  X(kCampaignTimeout, "campaign-timeout", "resilience")    \
+  X(kDeterministic, "deterministic", "tools")
 
 // ---------------------------------------------------------------------
 // 7. BENCH_kernels.json artifact keys (spmm-perf-smoke schema v3;

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Kill/resume chaos harness (docs/ROBUSTNESS.md, "The kill/resume chaos
+# harness"). For each seeded kill point the driver is crashed at a
+# journal append (exit 137, the kill -9 status), resumed with --resume,
+# and the resumed CSV is compared byte-for-byte against an
+# uninterrupted reference run. Usage:
+#
+#   chaos_kill_resume.sh <spmm_bench_cli> <scratch-dir> [kill-spec...]
+#
+# Default kill matrix: a full-record crash early and late in the
+# campaign, plus a torn (half-written) record mid-campaign.
+set -u
+
+CLI=$1
+SCRATCH=$2
+shift 2
+KILL_SPECS=("$@")
+if [ ${#KILL_SPECS[@]} -eq 0 ]; then
+  KILL_SPECS=("journal.crash@2" "journal.crash@5" "journal.torn.tail@3")
+fi
+
+# Six deterministic cells: 3 formats x {serial, omp}. --deterministic
+# zeroes the timing-derived CSV fields, so the only way two runs differ
+# is a replay/identity bug — exactly what this harness hunts.
+ARGS=(--matrix bcsstk13 --scale 0.3 --format coo,csr,ell
+      --variant serial,omp -n 2 -w 0 -k 16 --deterministic)
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+fail() { echo "chaos_kill_resume: FAIL: $*" >&2; exit 1; }
+
+echo "== reference (uninterrupted) run"
+"$CLI" "${ARGS[@]}" --csv "$SCRATCH/ref.csv" \
+       --journal "$SCRATCH/ref.jnl" > "$SCRATCH/ref.log" 2>&1 \
+  || fail "reference run exited $?"
+[ -s "$SCRATCH/ref.csv" ] || fail "reference CSV missing"
+
+for SPEC in "${KILL_SPECS[@]}"; do
+  echo "== kill point $SPEC"
+  TAG=${SPEC//[@.]/_}
+  CSV="$SCRATCH/$TAG.csv"
+  JNL="$SCRATCH/$TAG.jnl"
+  rm -f "$CSV" "$JNL"
+
+  # Crash run: the injector hard-exits with the kill -9 status at the
+  # seeded journal append.
+  "$CLI" "${ARGS[@]}" --csv "$CSV" --journal "$JNL" --faults "$SPEC" \
+         > "$SCRATCH/$TAG.kill.log" 2>&1
+  STATUS=$?
+  [ "$STATUS" -eq 137 ] || fail "$SPEC: kill run exited $STATUS, want 137"
+  [ -s "$JNL" ] || fail "$SPEC: no journal survived the crash"
+
+  # Resume: replay the journaled cells, run the rest, publish the CSV.
+  "$CLI" "${ARGS[@]}" --csv "$CSV" --journal "$JNL" --resume \
+         > "$SCRATCH/$TAG.resume.log" 2>&1 \
+    || fail "$SPEC: resume exited $?"
+  grep -q "replayed .* cell(s) from the journal" "$SCRATCH/$TAG.resume.log" \
+    || fail "$SPEC: resume replayed nothing"
+
+  # The contract: resumed CSV == uninterrupted CSV, byte for byte.
+  cmp -s "$SCRATCH/ref.csv" "$CSV" || {
+    diff "$SCRATCH/ref.csv" "$CSV" | head -10 >&2
+    fail "$SPEC: resumed CSV differs from the reference"
+  }
+  echo "   exit 137 at seeded append, resume ok, CSV byte-identical"
+done
+
+echo "chaos_kill_resume: PASS (${#KILL_SPECS[@]} kill points)"

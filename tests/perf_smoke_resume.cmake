@@ -1,0 +1,35 @@
+# Crash/resume gate for the perf smoke (docs/ROBUSTNESS.md): crash the
+# sweep at a seeded journal append (exit 137), then resume — the
+# journaled cells must replay and the JSON artifact must materialize.
+# Driven as `cmake -DSMOKE=... -DSCRATCH=... -P` from ctest so it runs
+# on any generator without a shell dependency.
+file(REMOVE_RECURSE ${SCRATCH})
+file(MAKE_DIRECTORY ${SCRATCH})
+
+set(SMOKE_ARGS --scale 0.02 -n 2 -w 0 -t 2 -k 8
+    -o ${SCRATCH}/bench.json --journal ${SCRATCH}/bench.jnl)
+
+execute_process(
+  COMMAND ${SMOKE} ${SMOKE_ARGS} --faults journal.crash@10
+  RESULT_VARIABLE crash_status OUTPUT_QUIET ERROR_QUIET)
+if(NOT crash_status EQUAL 137)
+  message(FATAL_ERROR
+          "crash run exited '${crash_status}', want 137 (seeded kill)")
+endif()
+if(EXISTS ${SCRATCH}/bench.json)
+  message(FATAL_ERROR "interrupted sweep must not publish an artifact")
+endif()
+
+execute_process(
+  COMMAND ${SMOKE} ${SMOKE_ARGS} --resume
+  RESULT_VARIABLE resume_status OUTPUT_VARIABLE resume_out ERROR_QUIET)
+if(NOT resume_status EQUAL 0)
+  message(FATAL_ERROR "resume exited '${resume_status}', want 0")
+endif()
+if(NOT resume_out MATCHES "replayed 10 cell")
+  message(FATAL_ERROR "resume did not replay the journaled cells")
+endif()
+if(NOT EXISTS ${SCRATCH}/bench.json)
+  message(FATAL_ERROR "resumed sweep did not publish the artifact")
+endif()
+message(STATUS "perf_smoke_resume: PASS")

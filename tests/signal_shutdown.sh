@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Graceful-shutdown harness (docs/ROBUSTNESS.md, "Graceful shutdown and
+# the campaign deadline"). Sends SIGINT and SIGTERM to a live campaign
+# and asserts the cooperative contract: exit 3, a valid partial CSV
+# flushed, a resumable journal — and that resuming completes the
+# campaign with a CSV byte-identical to an uninterrupted run. Usage:
+#
+#   signal_shutdown.sh <spmm_bench_cli> <scratch-dir>
+set -u
+
+CLI=$1
+SCRATCH=$2
+
+# Same deterministic six-cell campaign as chaos_kill_resume.sh, slowed
+# to ~400 ms per cell so the signal reliably lands mid-campaign.
+ARGS=(--matrix bcsstk13 --scale 0.3 --format coo,csr,ell
+      --variant serial,omp -n 2 -w 0 -k 16 --deterministic)
+STALL=(--faults "cell.stall@always,ms=400")
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+fail() { echo "signal_shutdown: FAIL: $*" >&2; exit 1; }
+
+echo "== reference (uninterrupted) run"
+"$CLI" "${ARGS[@]}" --csv "$SCRATCH/ref.csv" \
+       --journal "$SCRATCH/ref.jnl" > "$SCRATCH/ref.log" 2>&1 \
+  || fail "reference run exited $?"
+REF_ROWS=$(wc -l < "$SCRATCH/ref.csv")
+
+for SIG in INT TERM; do
+  echo "== SIG$SIG mid-campaign"
+  CSV="$SCRATCH/sig_$SIG.csv"
+  JNL="$SCRATCH/sig_$SIG.jnl"
+  LOG="$SCRATCH/sig_$SIG.log"
+  rm -f "$CSV" "$JNL"
+
+  "$CLI" "${ARGS[@]}" "${STALL[@]}" --csv "$CSV" --journal "$JNL" \
+         > "$LOG" 2>&1 &
+  PID=$!
+  sleep 1.2
+  kill -$SIG $PID 2>/dev/null || fail "SIG$SIG: campaign already gone"
+  wait $PID
+  STATUS=$?
+  [ "$STATUS" -eq 3 ] || fail "SIG$SIG: exited $STATUS, want 3"
+  grep -q "campaign interrupted (signal)" "$LOG" \
+    || fail "SIG$SIG: missing interruption notice"
+
+  # Partial CSV: flushed, valid header, fewer rows than a full run.
+  [ -s "$CSV" ] || fail "SIG$SIG: partial CSV not flushed"
+  head -1 "$CSV" | grep -q "^matrix," \
+    || fail "SIG$SIG: partial CSV missing header"
+  ROWS=$(wc -l < "$CSV")
+  [ "$ROWS" -ge 2 ] || fail "SIG$SIG: partial CSV has no data rows"
+  [ "$ROWS" -lt "$REF_ROWS" ] || fail "SIG$SIG: campaign was not interrupted"
+
+  # Journal: durable and resumable — completing the campaign must
+  # reproduce the uninterrupted CSV byte for byte.
+  [ -s "$JNL" ] || fail "SIG$SIG: no journal flushed"
+  "$CLI" "${ARGS[@]}" --csv "$CSV" --journal "$JNL" --resume \
+         > "$SCRATCH/sig_$SIG.resume.log" 2>&1 \
+    || fail "SIG$SIG: resume exited $?"
+  cmp -s "$SCRATCH/ref.csv" "$CSV" \
+    || fail "SIG$SIG: resumed CSV differs from the reference"
+  echo "   exit 3, partial CSV valid, resume byte-identical"
+done
+
+echo "signal_shutdown: PASS"

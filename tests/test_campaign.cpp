@@ -1,0 +1,457 @@
+// Tests for crash-safe campaigns: the durable cell journal (encode /
+// decode, torn-tail recovery, checksum rejection, open-without-resume
+// refusal), the CSV string codec (csv_cells round-trip, strip_volatile
+// determinism), run_plan_campaign (fresh vs replayed cells, stop at
+// cell boundaries), the StopController latch/deadline, atomic file
+// publication, and the journal fault sites' plan grammar.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "resilience/campaign_journal.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/shutdown.hpp"
+#include "support/atomic_file.hpp"
+#include "test_util.hpp"
+
+namespace spmm::bench {
+namespace {
+
+using resilience::CampaignJournal;
+using resilience::JournalRecord;
+using resilience::StopController;
+using resilience::StopReason;
+using testutil::CooD;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+BenchParams fast_params(int k = 8) {
+  BenchParams p;
+  p.iterations = 2;
+  p.warmup = 0;
+  p.threads = 2;
+  p.block_size = 4;
+  p.k = k;
+  p.verify = false;
+  return p;
+}
+
+// ------------------------------------------------------------- journal
+
+TEST(Journal, EncodeDecodeRoundTrip) {
+  const std::string line = CampaignJournal::encode_record(
+      "cant|CSR|omp|t4|k32|rows|auto", {"a", "", "1.5", "with,comma"});
+  JournalRecord rec;
+  ASSERT_TRUE(CampaignJournal::decode_record(line, rec));
+  EXPECT_EQ(rec.key, "cant|CSR|omp|t4|k32|rows|auto");
+  ASSERT_EQ(rec.cells.size(), 4u);
+  EXPECT_EQ(rec.cells[0], "a");
+  EXPECT_EQ(rec.cells[1], "");
+  EXPECT_EQ(rec.cells[2], "1.5");
+  EXPECT_EQ(rec.cells[3], "with,comma");
+}
+
+TEST(Journal, EncodeEscapesJsonMetacharacters) {
+  const std::string line = CampaignJournal::encode_record(
+      "k\"ey\\x", {"a\nb", "tab\there", std::string(1, '\x01')});
+  JournalRecord rec;
+  ASSERT_TRUE(CampaignJournal::decode_record(line, rec));
+  EXPECT_EQ(rec.key, "k\"ey\\x");
+  EXPECT_EQ(rec.cells[0], "a\nb");
+  EXPECT_EQ(rec.cells[1], "tab\there");
+  EXPECT_EQ(rec.cells[2], std::string(1, '\x01'));
+}
+
+TEST(Journal, DecodeRejectsCorruptLines) {
+  JournalRecord rec;
+  EXPECT_FALSE(CampaignJournal::decode_record("", rec));
+  EXPECT_FALSE(CampaignJournal::decode_record("not json", rec));
+  EXPECT_FALSE(CampaignJournal::decode_record("{\"v\":1}", rec));
+  // Flip one payload byte: the checksum must catch it.
+  std::string line = CampaignJournal::encode_record("key", {"value"});
+  const auto pos = line.find("value");
+  ASSERT_NE(pos, std::string::npos);
+  line[pos] = 'V';
+  EXPECT_FALSE(CampaignJournal::decode_record(line, rec));
+  // Truncation (the torn-tail shape) must also fail to decode.
+  const std::string full = CampaignJournal::encode_record("key", {"value"});
+  EXPECT_FALSE(
+      CampaignJournal::decode_record(full.substr(0, full.size() / 2), rec));
+}
+
+TEST(Journal, AppendPersistsAndReopens) {
+  const std::string path = temp_path("spmm_journal_roundtrip.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal j = CampaignJournal::open(path, /*resume=*/false);
+    j.append("cell1", {"a", "b"});
+    j.append("cell2", {"c"});
+    EXPECT_EQ(j.size(), 2u);
+    EXPECT_TRUE(j.contains("cell1"));
+  }
+  CampaignJournal j = CampaignJournal::open(path, /*resume=*/true);
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.torn_records(), 0u);
+  const auto* cells = j.find("cell2");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ((*cells)[0], "c");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, OpenWithoutResumeRefusesExistingRecords) {
+  const std::string path = temp_path("spmm_journal_refuse.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignJournal j = CampaignJournal::open(path, /*resume=*/false);
+    j.append("cell1", {"a"});
+  }
+  try {
+    CampaignJournal::open(path, /*resume=*/false);
+    FAIL() << "expected InputError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_code(), names::errc::kIoJournalOpen);
+  }
+  // An empty (or absent) journal is fine without --resume.
+  std::remove(path.c_str());
+  CampaignJournal fresh = CampaignJournal::open(path, /*resume=*/false);
+  EXPECT_EQ(fresh.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsDroppedAndTruncated) {
+  const std::string path = temp_path("spmm_journal_torn.jsonl");
+  std::remove(path.c_str());
+  const std::string l1 = CampaignJournal::encode_record("cell1", {"a"});
+  const std::string l2 = CampaignJournal::encode_record("cell2", {"b"});
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << l1 << "\n" << l2.substr(0, l2.size() / 2);  // crash mid-append
+  }
+  {
+    CampaignJournal j = CampaignJournal::open(path, /*resume=*/true);
+    EXPECT_EQ(j.size(), 1u);
+    EXPECT_EQ(j.torn_records(), 1u);
+    EXPECT_TRUE(j.contains("cell1"));
+    EXPECT_FALSE(j.contains("cell2"));
+    // Recovery truncated the torn bytes; the re-appended record makes
+    // the file a valid two-record journal again.
+    j.append("cell2", {"b"});
+  }
+  EXPECT_EQ(read_file(path), l1 + "\n" + l2 + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptMiddleDropsSuffix) {
+  // The recovery rule is prefix-based: everything after the first bad
+  // line is dropped, even if later lines would decode — their cells'
+  // plan positions can no longer be trusted.
+  const std::string path = temp_path("spmm_journal_middle.jsonl");
+  std::remove(path.c_str());
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << CampaignJournal::encode_record("cell1", {"a"}) << "\n"
+       << "garbage line\n"
+       << CampaignJournal::encode_record("cell3", {"c"}) << "\n";
+  }
+  CampaignJournal j = CampaignJournal::open(path, /*resume=*/true);
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.torn_records(), 2u);
+  EXPECT_FALSE(j.contains("cell3"));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, AppendFailFaultSiteThrowsTypedError) {
+  const std::string path = temp_path("spmm_journal_fault.jsonl");
+  std::remove(path.c_str());
+  auto faults = resilience::FaultInjector::parse("journal.append.fail@2", 1);
+  resilience::FaultInjector::ScopedGlobal scope(faults);
+  CampaignJournal j = CampaignJournal::open(path, /*resume=*/false);
+  j.append("cell1", {"a"});
+  try {
+    j.append("cell2", {"b"});
+    FAIL() << "expected InputError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_code(), names::errc::kIoJournalAppend);
+  }
+  // The failed append wrote nothing: cell1 is the only durable record.
+  EXPECT_EQ(read_file(path),
+            CampaignJournal::encode_record("cell1", {"a"}) + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CrashFaultSitesParse) {
+  // The kill sites hard-exit the process, so only the plan grammar is
+  // exercised here; the supervisor ctest (chaos_kill_resume) covers the
+  // actual kill/resume cycle end to end.
+  EXPECT_NO_THROW(resilience::FaultInjector::parse("journal.crash@3", 1));
+  EXPECT_NO_THROW(resilience::FaultInjector::parse("journal.torn.tail@2", 1));
+  EXPECT_THROW(resilience::FaultInjector::parse("journal.crash.typo@1", 1),
+               Error);
+}
+
+// ------------------------------------------------------------ CSV codec
+
+TEST(CsvCodec, CellsRoundTripThroughDecode) {
+  CooD coo = testutil::small_coo();
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(coo, fast_params(), "small");
+  const BenchResult r = bench->run(Variant::kSerial);
+  const std::vector<std::string> cells = csv_cells(r);
+  const BenchResult back = bench_result_from_csv_cells(cells);
+  // Re-rendering the decoded result must reproduce the same strings —
+  // the property replay depends on.
+  EXPECT_EQ(csv_cells(back), cells);
+  EXPECT_EQ(back.kernel_name, r.kernel_name);
+  EXPECT_EQ(back.variant, r.variant);
+  EXPECT_EQ(back.threads, r.threads);
+  EXPECT_EQ(back.k, r.k);
+  EXPECT_EQ(back.status, r.status);
+  EXPECT_EQ(back.properties.nnz, r.properties.nnz);
+}
+
+TEST(CsvCodec, WriteCsvEqualsWriteCsvRows) {
+  CooD coo = testutil::small_coo();
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(coo, fast_params(), "small");
+  std::vector<BenchResult> results;
+  results.push_back(bench->run(Variant::kSerial));
+  results.push_back(bench->run(Variant::kParallel));
+  std::ostringstream direct;
+  write_csv(direct, results);
+  std::vector<std::vector<std::string>> rows;
+  for (const BenchResult& r : results) rows.push_back(csv_cells(r));
+  std::ostringstream staged;
+  write_csv_rows(staged, rows);
+  EXPECT_EQ(direct.str(), staged.str());
+}
+
+TEST(CsvCodec, StripVolatileMakesRepeatedRunsIdentical) {
+  CooD coo = testutil::random_coo(64, 64, 4.0);
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(coo, fast_params(), "rand");
+  // Pay the conversion up front, as a journaled campaign does — the
+  // first-run/rerun format_cached flag is otherwise (correctly)
+  // different.
+  bench->ensure_formatted();
+  BenchResult a = bench->run(Variant::kSerial);
+  BenchResult b = bench->run(Variant::kSerial);
+  // Timings differ run to run...
+  strip_volatile(a);
+  strip_volatile(b);
+  // ...but the stripped rows are a pure function of the inputs.
+  EXPECT_EQ(csv_cells(a), csv_cells(b));
+  EXPECT_EQ(a.avg_compute_seconds, 0.0);
+  EXPECT_EQ(a.mflops, 0.0);
+  // Identity and workload facts survive.
+  EXPECT_EQ(a.kernel_name, "CSR");
+  EXPECT_GT(a.flops, 0.0);
+  EXPECT_EQ(a.properties.nnz, coo.nnz());
+}
+
+TEST(CsvCodec, NameParsersRejectUnknownValues) {
+  EXPECT_EQ(status_from_name("ok"), RunStatus::kOk);
+  EXPECT_EQ(status_from_name("degraded"), RunStatus::kDegraded);
+  EXPECT_THROW(status_from_name("bogus"), Error);
+  EXPECT_EQ(variant_from_name("serial"), Variant::kSerial);
+  EXPECT_EQ(variant_from_name("omp"), Variant::kParallel);
+  EXPECT_THROW(variant_from_name("bogus"), Error);
+}
+
+// ----------------------------------------------------------- campaigns
+
+std::vector<PlanCell> two_cell_plan() {
+  PlanCell serial;
+  serial.variant = Variant::kSerial;
+  PlanCell omp;
+  omp.variant = Variant::kParallel;
+  return {serial, omp};
+}
+
+TEST(Campaign, KeysTrackRetargetsAndDuplicates) {
+  CooD coo = testutil::small_coo();
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(coo, fast_params(8), "small");
+  PlanCell a;
+  a.variant = Variant::kSerial;
+  PlanCell b = a;
+  b.k = 16;  // retarget persists for the cells after it
+  const auto keys = campaign_keys(*bench, {a, b, a, a}, "small|CSR");
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys[0], "small|CSR|serial|t2|k8|rows|auto");
+  EXPECT_EQ(keys[1], "small|CSR|serial|t2|k16|rows|auto");
+  EXPECT_EQ(keys[2], "small|CSR|serial|t2|k16|rows|auto#2");
+  EXPECT_EQ(keys[3], "small|CSR|serial|t2|k16|rows|auto#3");
+}
+
+TEST(Campaign, JournalsFreshCellsAndReplaysThem) {
+  const std::string path = temp_path("spmm_campaign_replay.jsonl");
+  std::remove(path.c_str());
+  CooD coo = testutil::small_coo();
+  CampaignOptions opts;
+  opts.key_prefix = "small|CSR";
+  opts.encode = [](const BenchResult& r) { return csv_cells(r); };
+  opts.decode = [](const std::vector<std::string>& cells) {
+    return bench_result_from_csv_cells(cells);
+  };
+  opts.post = [](BenchResult& r) { strip_volatile(r); };
+
+  std::vector<std::vector<std::string>> first_rows;
+  {
+    CampaignJournal journal = CampaignJournal::open(path, /*resume=*/false);
+    opts.journal = &journal;
+    auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+    bench->setup(coo, fast_params(), "small");
+    const PlanRun run = run_plan_campaign(*bench, two_cell_plan(), opts);
+    EXPECT_EQ(run.fresh_cells, 2u);
+    EXPECT_EQ(run.replayed_cells, 0u);
+    EXPECT_FALSE(run.stopped);
+    ASSERT_EQ(run.results.size(), 2u);
+    EXPECT_FALSE(run.replayed[0]);
+    first_rows = run.rows;
+  }
+  {
+    // Second run over the same plan: everything replays, nothing runs.
+    CampaignJournal journal = CampaignJournal::open(path, /*resume=*/true);
+    EXPECT_EQ(journal.size(), 2u);
+    opts.journal = &journal;
+    auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+    bench->setup(coo, fast_params(), "small");
+    const PlanRun run = run_plan_campaign(*bench, two_cell_plan(), opts);
+    EXPECT_EQ(run.fresh_cells, 0u);
+    EXPECT_EQ(run.replayed_cells, 2u);
+    EXPECT_TRUE(run.replayed[0] && run.replayed[1]);
+    // The byte-identity contract: replayed rows are the journaled
+    // strings verbatim.
+    EXPECT_EQ(run.rows, first_rows);
+    EXPECT_EQ(run.results[1].kernel_name, "CSR");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ResumeRunsOnlyMissingCells) {
+  const std::string path = temp_path("spmm_campaign_partial.jsonl");
+  std::remove(path.c_str());
+  CooD coo = testutil::small_coo();
+  CampaignOptions opts;
+  opts.key_prefix = "small|CSR";
+  opts.encode = [](const BenchResult& r) { return csv_cells(r); };
+  opts.decode = [](const std::vector<std::string>& cells) {
+    return bench_result_from_csv_cells(cells);
+  };
+  opts.post = [](BenchResult& r) { strip_volatile(r); };
+
+  std::vector<std::vector<std::string>> reference;
+  {
+    CampaignJournal journal = CampaignJournal::open(path, /*resume=*/false);
+    opts.journal = &journal;
+    auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+    bench->setup(coo, fast_params(), "small");
+    reference = run_plan_campaign(*bench, two_cell_plan(), opts).rows;
+  }
+  // Simulate a crash after the first cell: drop the journal's tail.
+  {
+    CampaignJournal journal = CampaignJournal::open(path, /*resume=*/true);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << CampaignJournal::encode_record(
+              "small|CSR|serial|t2|k8|rows|auto",
+              *journal.find("small|CSR|serial|t2|k8|rows|auto"))
+       << "\n";
+  }
+  {
+    CampaignJournal journal = CampaignJournal::open(path, /*resume=*/true);
+    EXPECT_EQ(journal.size(), 1u);
+    opts.journal = &journal;
+    auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+    bench->setup(coo, fast_params(), "small");
+    const PlanRun run = run_plan_campaign(*bench, two_cell_plan(), opts);
+    EXPECT_EQ(run.replayed_cells, 1u);
+    EXPECT_EQ(run.fresh_cells, 1u);
+    // Deterministic rows: the resumed campaign reproduces the
+    // uninterrupted run's rows exactly.
+    EXPECT_EQ(run.rows, reference);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, StopsAtCellBoundaryOnDeadline) {
+  CooD coo = testutil::small_coo();
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(coo, fast_params(), "small");
+  StopController stop;
+  stop.arm_deadline(1e-9);  // already expired at the first check
+  CampaignOptions opts;
+  opts.stop = &stop;
+  opts.encode = [](const BenchResult& r) { return csv_cells(r); };
+  const PlanRun run = run_plan_campaign(*bench, two_cell_plan(), opts);
+  EXPECT_TRUE(run.stopped);
+  EXPECT_EQ(run.stop_reason, StopReason::kDeadline);
+  EXPECT_TRUE(run.results.empty());
+}
+
+TEST(Campaign, StopsOnLatchedSignal) {
+  StopController::reset_for_testing();
+  StopController::arm_signals();
+  std::raise(SIGTERM);  // latched by the cooperative handler
+  CooD coo = testutil::small_coo();
+  auto bench = make_benchmark<double, std::int32_t>(Format::kCsr);
+  bench->setup(coo, fast_params(), "small");
+  StopController stop;
+  CampaignOptions opts;
+  opts.stop = &stop;
+  opts.encode = [](const BenchResult& r) { return csv_cells(r); };
+  const PlanRun run = run_plan_campaign(*bench, two_cell_plan(), opts);
+  EXPECT_TRUE(run.stopped);
+  EXPECT_EQ(run.stop_reason, StopReason::kSignal);
+  EXPECT_EQ(StopController::signal_number(), SIGTERM);
+  StopController::reset_for_testing();
+  EXPECT_FALSE(StopController::signal_received());
+}
+
+TEST(Campaign, SignalWinsOverDeadline) {
+  StopController::reset_for_testing();
+  StopController::arm_signals();
+  std::raise(SIGINT);
+  StopController stop;
+  stop.arm_deadline(1e-9);
+  EXPECT_EQ(stop.should_stop(), StopReason::kSignal);
+  StopController::reset_for_testing();
+  EXPECT_EQ(stop.should_stop(), StopReason::kDeadline);
+}
+
+// ---------------------------------------------------------- atomic file
+
+TEST(AtomicFile, WritesAndReplacesAtomically) {
+  const std::string path = temp_path("spmm_atomic_file.txt");
+  std::remove(path.c_str());
+  support::write_file_atomic(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+  support::write_file_atomic(path, "second\n");
+  EXPECT_EQ(read_file(path), "second\n");
+  // No temp droppings left beside the target.
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find("spmm_atomic_file.txt.tmp"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spmm::bench

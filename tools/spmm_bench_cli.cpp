@@ -7,15 +7,26 @@
 //   spmm_bench_cli --file m.mtx --format all --variant all -k 64 -t 8
 //   spmm_bench_cli --matrix torso1 --format coo --thread-list 1,2,4
 //   spmm_bench_cli --list                        # show suite matrices
-#include <fstream>
+//
+// Campaigns are crash-safe (docs/ROBUSTNESS.md): --journal makes every
+// completed cell durable (append+fsync), --resume replays journaled
+// cells byte-for-byte into the CSV, SIGINT/SIGTERM and
+// --campaign-timeout stop cooperatively at the next cell boundary
+// (exit 3; a second signal exits 4 immediately), and the final CSV is
+// published atomically (temp file + rename).
 #include <iostream>
+#include <optional>
+#include <sstream>
 
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "gen/suite.hpp"
 #include "io/matrix_market.hpp"
+#include "resilience/campaign_journal.hpp"
 #include "resilience/errors.hpp"
 #include "resilience/fault_injector.hpp"
+#include "resilience/shutdown.hpp"
+#include "support/atomic_file.hpp"
 #include "support/string_util.hpp"
 #include "telemetry/options.hpp"
 #include "support/registry.hpp"
@@ -45,13 +56,9 @@ std::vector<Variant> parse_variants(const std::string& arg) {
   std::vector<Variant> out;
   for (const std::string& piece : split(arg, ',')) {
     const std::string v = trim(piece);
-    if (v == "serial") out.push_back(Variant::kSerial);
-    else if (v == "omp" || v == "parallel") out.push_back(Variant::kParallel);
-    else if (v == "gpu" || v == "device") out.push_back(Variant::kDevice);
-    else if (v == "serial-T") out.push_back(Variant::kSerialTranspose);
-    else if (v == "omp-T") out.push_back(Variant::kParallelTranspose);
-    else if (v == "gpu-T") out.push_back(Variant::kDeviceTranspose);
-    else SPMM_FAIL("unknown variant: " + v);
+    if (v == "parallel") out.push_back(Variant::kParallel);
+    else if (v == "device") out.push_back(Variant::kDevice);
+    else out.push_back(bench::variant_from_name(v));
   }
   return out;
 }
@@ -63,17 +70,19 @@ bool supports(Format f, Variant v) { return format_supports(f, v); }
 int main(int argc, char** argv) {
   // Declared outside the try so the CSV flush of completed rows survives
   // any exception — a crash mid-campaign must not discard finished cells
-  // (exit codes: 0 ok, 1 benchmark error, 2 internal/unexpected; see
-  // docs/ROBUSTNESS.md).
-  std::vector<bench::BenchResult> results;
+  // (exit codes: 0 ok, 1 benchmark error, 2 internal/unexpected,
+  // 3 interrupted/deadline, 4 forced by a second signal; see
+  // docs/ROBUSTNESS.md). Rows are kept as rendered strings so replayed
+  // cells re-enter the CSV byte-for-byte.
+  std::vector<std::vector<std::string>> rows;
   std::string csv_path;
   const auto flush_csv = [&]() noexcept {
     try {
       if (csv_path.empty()) return;
-      std::ofstream out(csv_path);
-      if (!out.good()) return;
-      bench::write_csv(out, results);
-      std::cout << "\nwrote " << results.size() << " rows to " << csv_path
+      std::ostringstream out;
+      bench::write_csv_rows(out, rows);
+      support::write_file_atomic(csv_path, out.str());
+      std::cout << "\nwrote " << rows.size() << " rows to " << csv_path
                 << "\n";
     } catch (...) {
       // Best-effort: never let the flush itself mask the real error.
@@ -85,6 +94,7 @@ int main(int argc, char** argv) {
     BenchParams::register_options(parser);
     telemetry::register_trace_options(parser);
     resilience::register_fault_options(parser);
+    resilience::register_campaign_options(parser);
     parser.add_string(spmm::names::flag::kMatrix, 'm', "cant",
                       "suite matrix name (see --list)");
     parser.add_string(spmm::names::flag::kFile, 'f', "", "Matrix Market file (overrides --matrix)");
@@ -97,6 +107,9 @@ int main(int argc, char** argv) {
     parser.add_flag(spmm::names::flag::kList, 'l', "list the built-in suite matrices and exit");
     parser.add_flag(spmm::names::flag::kOptimized, 'o',
                     "use the Study 9 manually optimized kernels");
+    parser.add_flag(spmm::names::flag::kDeterministic, 0,
+                    "zero timing-derived CSV fields so identical runs emit "
+                    "identical bytes (the kill/resume chaos harness's mode)");
     if (!parser.parse(argc, argv)) return 0;
 
     if (parser.get_flag(spmm::names::flag::kList)) {
@@ -108,14 +121,56 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Cooperative shutdown: first SIGINT/SIGTERM stops at the next cell
+    // boundary with state flushed; a second one exits immediately.
+    resilience::StopController::arm_signals();
+
     BenchParams params = BenchParams::from_parser(parser);
     telemetry::TraceSetup trace = telemetry::trace_setup_from_parser(parser);
     params.sink = trace.sink;
     params.faults = resilience::injector_from_parser(parser, params.seed);
     // Make the injector visible to layers no pointer is threaded into
-    // (the Matrix Market loader's io.truncate site).
+    // (the Matrix Market loader's io.truncate site, the journal's
+    // crash/torn-tail sites).
     resilience::FaultInjector::ScopedGlobal fault_scope(params.faults);
     csv_path = parser.get_string(spmm::names::flag::kCsv);
+
+    const std::string journal_path =
+        parser.get_string(spmm::names::flag::kJournal);
+    const bool resume = parser.get_flag(spmm::names::flag::kResume);
+    SPMM_CHECK(journal_path.empty() ? !resume : true,
+               "--resume requires --journal");
+    SPMM_CHECK(journal_path.empty() || params.thread_list.empty(),
+               "--journal does not support --thread-list: the sweep's "
+               "best-point selection depends on timings, which replay "
+               "cannot reproduce deterministically");
+    std::optional<resilience::CampaignJournal> journal;
+    if (!journal_path.empty()) {
+      journal.emplace(resilience::CampaignJournal::open(journal_path, resume));
+      telemetry::Session tel(trace.sink);
+      if (journal->torn_records() > 0) {
+        std::cout << "journal: dropped " << journal->torn_records()
+                  << " torn record(s) from " << journal_path << "\n";
+        if (tel.enabled()) {
+          tel.counter(names::tel::kJournalTorn,
+                      static_cast<double>(journal->torn_records()), "io");
+        }
+      }
+      if (journal->size() > 0) {
+        std::cout << "journal: resuming, " << journal->size()
+                  << " completed cell(s) will be replayed\n";
+        if (tel.enabled()) {
+          tel.counter(names::tel::kJournalReplay,
+                      static_cast<double>(journal->size()), "io");
+        }
+      }
+    }
+
+    resilience::StopController stop;
+    stop.arm_deadline(parser.get_double(spmm::names::flag::kCampaignTimeout));
+    const bool deterministic =
+        parser.get_flag(spmm::names::flag::kDeterministic);
+
     Coo<double, std::int32_t> matrix;
     std::string name;
     if (!parser.get_string(spmm::names::flag::kFile).empty()) {
@@ -132,7 +187,15 @@ int main(int argc, char** argv) {
     const auto variants = parse_variants(parser.get_string(spmm::names::flag::kVariant));
     const bool optimized = parser.get_flag(spmm::names::flag::kOptimized);
 
+    bool stopped = false;
+    resilience::StopReason stop_reason = resilience::StopReason::kNone;
+    std::size_t replayed_total = 0;
     for (Format f : formats) {
+      if ((stop_reason = stop.should_stop()) !=
+          resilience::StopReason::kNone) {
+        stopped = true;
+        break;
+      }
       if (optimized && (f == Format::kBcsr || f == Format::kBell ||
                         f == Format::kSellC || f == Format::kHyb)) {
         continue;  // no manually optimized kernels for these formats
@@ -148,26 +211,72 @@ int main(int argc, char** argv) {
         std::cout << "  best: t=" << sweep.best_threads << " (format "
                   << format_double(sweep.format_seconds * 1e3, 3)
                   << " ms, paid once for the sweep)\n";
-        results.push_back(sweep.best);
+        rows.push_back(bench::csv_cells(sweep.best));
         continue;
       }
       // Format-once lifecycle: one benchmark instance per format; every
       // variant after the first reuses the conversion (format_cached).
       auto benchmark = bench::make_benchmark<double, std::int32_t>(f, optimized);
       benchmark->setup(matrix, params, name);
+      std::vector<bench::PlanCell> plan;
       for (Variant v : variants) {
         if (!supports(f, v)) continue;
-        bench::BenchResult r = benchmark->run(v);
+        bench::PlanCell cell;
+        cell.variant = v;
+        plan.push_back(cell);
+      }
+      bench::CampaignOptions copts;
+      copts.journal = journal ? &*journal : nullptr;
+      copts.stop = &stop;
+      copts.key_prefix = name + "|" + std::string(format_name(f));
+      copts.encode = [](const bench::BenchResult& r) {
+        return bench::csv_cells(r);
+      };
+      copts.decode = [](const std::vector<std::string>& cells) {
+        return bench::bench_result_from_csv_cells(cells);
+      };
+      if (deterministic) {
+        copts.post = [](bench::BenchResult& r) { bench::strip_volatile(r); };
+      }
+      bench::PlanRun run = bench::run_plan_campaign(*benchmark, plan, copts);
+      for (const bench::BenchResult& r : run.results) {
         bench::print_result(std::cout, r);
-        results.push_back(std::move(r));
+      }
+      replayed_total += run.replayed_cells;
+      for (auto& row : run.rows) rows.push_back(std::move(row));
+      if (run.stopped) {
+        stopped = true;
+        stop_reason = run.stop_reason;
+        break;
       }
     }
 
-    if (!csv_path.empty()) {
-      std::ofstream out(csv_path);
-      SPMM_CHECK(out.good(), "cannot open CSV output file");
+    if (stopped) {
+      // Cooperative shutdown: the journal is already durable per cell;
+      // flush the partial CSV and exit with the documented code so a
+      // supervisor knows the campaign is resumable.
+      flush_csv();
+      trace.finish(std::cout);
+      std::cerr << "campaign interrupted ("
+                << resilience::stop_reason_name(stop_reason)
+                << "): partial CSV flushed"
+                << (journal ? ", journal resumable with --resume" : "")
+                << "\n";
+      return resilience::kExitInterrupted;
     }
-    flush_csv();
+
+    if (replayed_total > 0) {
+      std::cout << "replayed " << replayed_total
+                << " cell(s) from the journal\n";
+    }
+    if (!csv_path.empty()) {
+      std::ostringstream out;
+      bench::write_csv_rows(out, rows);
+      support::write_file_atomic(csv_path, out.str());
+      std::cout << "\nwrote " << rows.size() << " rows to " << csv_path
+                << "\n";
+      csv_path.clear();  // already published; catch paths must not rewrite
+    }
     trace.finish(std::cout);
     return 0;
   } catch (const Error& e) {

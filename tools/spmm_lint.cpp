@@ -241,7 +241,8 @@ struct Vocabulary {
     code_only_heads = {"input", "timeout", "internal", "variant", "format",
                        "kernel"};
     const std::set<std::string_view> counter_heads = {
-        "hw", "dev", "run", "cache", "cell", "sched", "fault", "lint"};
+        "hw",    "dev",   "run",  "cache",   "cell",
+        "sched", "fault", "lint", "journal", "campaign"};
     for (const auto& sets :
          {rule_heads, site_only_heads, code_only_heads, counter_heads}) {
       heads.insert(sets.begin(), sets.end());

@@ -13,15 +13,32 @@
 // cell also carries its hardware profile (backend, IPC, LLC misses
 // per nnz) and modeled roofline point. The JSON schema is documented
 // in docs/KERNELS.md (spmm-perf-smoke/v3).
+//
+// Sweeps are crash-safe (docs/ROBUSTNESS.md): --journal makes every
+// measured cell durable, --resume replays journaled cells with their
+// original timings (the codec stores doubles at %.17g, which
+// round-trips exactly — a resumed artifact carries the recorded
+// measurements, not re-runs), SIGINT/SIGTERM and --campaign-timeout
+// stop cooperatively at the next cell boundary (exit 3), and the JSON
+// artifact is published atomically (temp file + rename) only when the
+// sweep completes.
+#include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <fstream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/report.hpp"
 #include "core/runner.hpp"
 #include "gen/suite.hpp"
+#include "resilience/campaign_journal.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/shutdown.hpp"
+#include "support/atomic_file.hpp"
 #include "support/registry.hpp"
 
 using namespace spmm;
@@ -67,6 +84,93 @@ std::string cell_key(const std::string& matrix, const std::string& format,
                      const std::string& variant, const std::string& sched,
                      const std::string& isa) {
   return matrix + "|" + format + "|" + variant + "|" + sched + "|" + isa;
+}
+
+// --- Journal codec (crash-safe sweeps) -------------------------------
+// The perf-smoke journal payload is NOT the CSV row: the artifact needs
+// fields the CSV never carries (oi, stream_bw_fraction), and the CSV's
+// 6-significant-digit rendering does not round-trip doubles. This codec
+// stores every double at %.17g, which strtod restores exactly, so a
+// replayed cell's artifact line is byte-identical to the one the
+// original (uninterrupted) run would have written.
+
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double parse_g17(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  SPMM_CHECK(end != nullptr && *end == '\0' && end != s.c_str(),
+             "perf-smoke journal: malformed number '" + s + "'");
+  return v;
+}
+
+std::int64_t parse_i64(const std::string& s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  SPMM_CHECK(end != nullptr && *end == '\0' && end != s.c_str(),
+             "perf-smoke journal: malformed integer '" + s + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+constexpr std::size_t kLiteFields = 20;
+
+std::vector<std::string> encode_lite(const bench::BenchResult& r) {
+  std::vector<std::string> cells;
+  cells.reserve(kLiteFields);
+  cells.push_back(r.kernel_name);
+  cells.emplace_back(variant_name(r.variant));
+  cells.emplace_back(sched_name(r.sched));
+  cells.emplace_back(isa_name(r.isa));
+  cells.emplace_back(variant_name(r.executed_variant));
+  cells.emplace_back(isa_name(r.executed_isa));
+  cells.push_back(std::to_string(r.threads));
+  cells.push_back(std::to_string(r.k));
+  cells.push_back(std::to_string(r.iterations));
+  cells.push_back(g17(r.p50_compute_seconds));
+  cells.push_back(g17(r.min_compute_seconds));
+  cells.push_back(g17(r.avg_compute_seconds));
+  cells.push_back(g17(r.flops));
+  cells.push_back(std::to_string(r.properties.rows));
+  cells.push_back(std::to_string(r.properties.nnz));
+  cells.push_back(r.hw_backend);
+  cells.push_back(g17(r.hw_ipc));
+  cells.push_back(g17(r.llc_miss_per_nnz));
+  cells.push_back(g17(r.operational_intensity));
+  cells.push_back(g17(r.stream_bw_fraction));
+  return cells;
+}
+
+bench::BenchResult decode_lite(const std::vector<std::string>& cells) {
+  SPMM_CHECK(cells.size() == kLiteFields,
+             "perf-smoke journal: record has " +
+                 std::to_string(cells.size()) + " fields, expected " +
+                 std::to_string(kLiteFields));
+  bench::BenchResult r;
+  r.kernel_name = cells[0];
+  r.variant = bench::variant_from_name(cells[1]);
+  r.sched = sched_from_name(cells[2]);
+  r.isa = isa_from_name(cells[3]);
+  r.executed_variant = bench::variant_from_name(cells[4]);
+  r.executed_isa = isa_from_name(cells[5]);
+  r.threads = static_cast<int>(parse_i64(cells[6]));
+  r.k = static_cast<int>(parse_i64(cells[7]));
+  r.iterations = static_cast<int>(parse_i64(cells[8]));
+  r.p50_compute_seconds = parse_g17(cells[9]);
+  r.min_compute_seconds = parse_g17(cells[10]);
+  r.avg_compute_seconds = parse_g17(cells[11]);
+  r.flops = parse_g17(cells[12]);
+  r.properties.rows = parse_i64(cells[13]);
+  r.properties.nnz = parse_i64(cells[14]);
+  r.hw_backend = cells[15];
+  r.hw_ipc = parse_g17(cells[16]);
+  r.llc_miss_per_nnz = parse_g17(cells[17]);
+  r.operational_intensity = parse_g17(cells[18]);
+  r.stream_bw_fraction = parse_g17(cells[19]);
+  return r;
 }
 
 /// Minimal field extraction from one result line of our own JSON
@@ -138,7 +242,13 @@ int main(int argc, char** argv) {
                     "profile every cell with hardware counters (perf_event; "
                     "no-op backend where denied) and record the hw/roofline "
                     "fields in the artifact");
+    resilience::register_campaign_options(parser);
+    resilience::register_fault_options(parser);
     if (!parser.parse(argc, argv)) return 0;
+
+    // Cooperative shutdown: first SIGINT/SIGTERM stops at the next cell
+    // boundary (journal already durable); a second one exits immediately.
+    resilience::StopController::arm_signals();
 
     BenchParams params;
     params.iterations = static_cast<int>(parser.get_int(spmm::names::flag::kIterations));
@@ -148,7 +258,31 @@ int main(int argc, char** argv) {
     params.seed = static_cast<std::uint64_t>(parser.get_int(spmm::names::flag::kSeed));
     params.hw_counters = parser.get_flag(spmm::names::flag::kHwCounters);
     params.verify = false;  // timing sweep; correctness gates live in ctest
+    params.faults = resilience::injector_from_parser(parser, params.seed);
+    // The journal's crash/torn-tail fault sites consult the global
+    // injector (no pointer is threaded into the journal).
+    resilience::FaultInjector::ScopedGlobal fault_scope(params.faults);
     const double scale = parser.get_double(spmm::names::flag::kScale);
+
+    const std::string journal_path =
+        parser.get_string(spmm::names::flag::kJournal);
+    const bool resume = parser.get_flag(spmm::names::flag::kResume);
+    SPMM_CHECK(journal_path.empty() ? !resume : true,
+               "--resume requires --journal");
+    std::optional<resilience::CampaignJournal> journal;
+    if (!journal_path.empty()) {
+      journal.emplace(resilience::CampaignJournal::open(journal_path, resume));
+      if (journal->torn_records() > 0) {
+        std::cout << "journal: dropped " << journal->torn_records()
+                  << " torn record(s) from " << journal_path << "\n";
+      }
+      if (journal->size() > 0) {
+        std::cout << "journal: resuming, " << journal->size()
+                  << " measured cell(s) will be replayed\n";
+      }
+    }
+    resilience::StopController stop;
+    stop.arm_deadline(parser.get_double(spmm::names::flag::kCampaignTimeout));
 
     // One profile per locality class the paper studies.
     const std::vector<std::string> profiles = {"torso1", "dw4096", "cant"};
@@ -174,7 +308,11 @@ int main(int argc, char** argv) {
     std::map<std::string, std::size_t> index;
     std::map<std::string, int> seen;
     std::map<std::string, int> expected;
+    bool stopped = false;
+    resilience::StopReason stop_reason = resilience::StopReason::kNone;
+    std::size_t replayed_total = 0;
     for (const std::string& mat : profiles) {
+      if (stopped) break;
       const auto& coo = suite.at(mat);
       for (Format f : formats) {
         auto bench = bench::make_benchmark<double, std::int32_t>(f);
@@ -210,7 +348,15 @@ int main(int argc, char** argv) {
           push(Variant::kSerial, Sched::kRows, Isa::kScalar, 2);
           push(Variant::kSerial, Sched::kRows, Isa::kAvx2, 2);
         }
-        for (const bench::BenchResult& r : bench::run_plan(*bench, plan)) {
+        bench::CampaignOptions copts;
+        copts.journal = journal ? &*journal : nullptr;
+        copts.stop = &stop;
+        copts.key_prefix = mat + "|" + std::string(format_name(f));
+        copts.encode = encode_lite;
+        copts.decode = decode_lite;
+        bench::PlanRun run = bench::run_plan_campaign(*bench, plan, copts);
+        replayed_total += run.replayed_cells;
+        for (const bench::BenchResult& r : run.results) {
           Row row;
           row.matrix = mat;
           row.format = r.kernel_name;
@@ -251,7 +397,27 @@ int main(int argc, char** argv) {
             rows[it->second] = std::move(row);
           }
         }
+        if (run.stopped) {
+          stopped = true;
+          stop_reason = run.stop_reason;
+          break;
+        }
       }
+    }
+    if (stopped) {
+      // Cooperative shutdown: every measured cell is already durable in
+      // the journal; no (necessarily partial) artifact is written — the
+      // JSON is published atomically only by a completed sweep.
+      std::cerr << "perf smoke interrupted ("
+                << resilience::stop_reason_name(stop_reason)
+                << "): no artifact written"
+                << (journal ? ", journal resumable with --resume" : "")
+                << "\n";
+      return resilience::kExitInterrupted;
+    }
+    if (replayed_total > 0) {
+      std::cout << "replayed " << replayed_total
+                << " cell(s) from the journal\n";
     }
     for (const auto& [key, count] : seen) {
       const auto it = expected.find(key);
@@ -287,8 +453,10 @@ int main(int argc, char** argv) {
     }
 
     const std::string out_path = parser.get_string(spmm::names::flag::kOut);
-    std::ofstream os(out_path);
-    SPMM_CHECK(os.good(), "cannot open " + out_path + " for writing");
+    // Atomic publish (temp file + fsync + rename): a consumer can never
+    // observe a torn artifact, and an interrupted sweep leaves any
+    // previous artifact untouched.
+    std::ostringstream os;
     os << "{\n"
        << "  \"schema\": \"spmm-perf-smoke/v3\",\n"
        << "  \"params\": {\"scale\": " << scale
@@ -320,7 +488,7 @@ int main(int argc, char** argv) {
          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
-    os.close();
+    support::write_file_atomic(out_path, os.str());
 
     // Console digest: the rows-vs-nnz CSR comparison per profile and
     // the scalar-vs-avx2 ISA ablation, the numbers the scheduling and

@@ -297,7 +297,8 @@ class BellBenchmark final : public SpmmBenchmark<V, I> {
   Bell<V, I> bell_;
 };
 
-/// SELL-C-σ benchmark (future-work format). Chunk size 32, σ = 256.
+/// SELL-C-σ benchmark. Chunk size C and sorting window σ come from
+/// BenchParams (--sellc-c / --sellc-sigma; defaults C=32, σ=256).
 template <ValueType V, IndexType I>
 class SellCBenchmark final : public SpmmBenchmark<V, I> {
  public:
@@ -307,7 +308,10 @@ class SellCBenchmark final : public SpmmBenchmark<V, I> {
   [[nodiscard]] const SellC<V, I>& formatted() const { return sell_; }
 
  protected:
-  void do_format() override { sell_ = to_sellc(this->coo_, I{32}, I{256}); }
+  void do_format() override {
+    sell_ = to_sellc(this->coo_, static_cast<I>(this->params_.sellc_c),
+                     static_cast<I>(this->params_.sellc_sigma));
+  }
 
   [[nodiscard]] std::size_t do_format_bytes() const override {
     return sell_.bytes();

@@ -1,0 +1,410 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "support/registry.hpp"
+#include "support/stats.hpp"
+
+namespace spmm::serve {
+namespace {
+
+constexpr double kInfiniteBudgetMs = std::numeric_limits<double>::infinity();
+
+// Dispatcher idle backoff: short enough that a paced open-loop arrival
+// stream sees sub-millisecond drain latency, long enough not to burn a
+// core spinning on empty rings.
+constexpr auto kIdleSleep = std::chrono::microseconds(100);
+constexpr auto kBackpressureSleep = std::chrono::microseconds(50);
+
+}  // namespace
+
+ServeEngine::ServeEngine(EngineConfig config)
+    : config_(std::move(config)),
+      tel_(config_.sink),
+      cache_(config_.cache_budget_bytes) {
+  SPMM_CHECK(config_.workers > 0, "serve engine needs at least one worker");
+  SPMM_CHECK(config_.queue_capacity > 0,
+             "serve ingress capacity must be positive");
+  SPMM_CHECK(config_.max_batch > 0, "serve max batch must be positive");
+  SPMM_CHECK(config_.provider != nullptr,
+             "serve engine needs a matrix provider");
+  cache_.set_telemetry(tel_);
+}
+
+ServeEngine::~ServeEngine() { drain(); }
+
+ServeEngine::Producer& ServeEngine::add_producer() {
+  SPMM_CHECK(!started_, "add_producer() must precede start()");
+  producers_.push_back(std::unique_ptr<Producer>(
+      new Producer(this, config_.queue_capacity)));
+  return *producers_.back();
+}
+
+void ServeEngine::start() {
+  SPMM_CHECK(!started_, "serve engine already started");
+  SPMM_CHECK(!producers_.empty(), "start() needs at least one producer");
+  started_ = true;
+  {
+    const std::lock_guard<std::mutex> lock(work_mutex_);
+    dispatcher_done_ = false;
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ServeEngine::drain() {
+  draining_.store(true, std::memory_order_release);
+  if (!started_) return;
+  if (dispatcher_.joinable()) dispatcher_.join();
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+void ServeEngine::Producer::submit(Request req) {
+  engine_->submit(*this, std::move(req));
+}
+
+void ServeEngine::submit(Producer& producer, Request req) {
+  if (draining()) {
+    throw ShutdownError("serve engine is draining; request " +
+                        std::to_string(req.id) + " not admitted");
+  }
+  if (req.deadline_ms <= 0.0) req.deadline_ms = config_.default_deadline_ms;
+  req.enqueue_ns = telemetry::now_ns();
+  req.span_id =
+      tel_.begin_span(names::tel::kSpanRequest, "serve", req.matrix);
+
+  // Chaos hook: force an admission failure regardless of occupancy.
+  const auto& faults = config_.faults;
+  bool forced_full =
+      faults && faults->should_fire(names::site::kServeQueueFull);
+  if (forced_full) {
+    tel_.counter(names::fault_counter(names::site::kServeQueueFull), 1.0,
+                 "serve");
+  }
+  while (forced_full || !producer.ring_.try_push(req)) {
+    if (forced_full || config_.admission == Admission::kReject) {
+      complete(req, RequestStatus::kRejected, names::errc::kServeQueueFull,
+               forced_full ? "admission rejected (injected queue-full fault)"
+                           : "ingress ring full (capacity " +
+                                 std::to_string(producer.ring_.capacity()) +
+                                 ")",
+               false, 0);
+      throw QueueFullError("request " + std::to_string(req.id) +
+                           " rejected: ingress queue full");
+    }
+    if (draining()) {
+      tel_.end_span(req.span_id, names::tel::kSpanRequest, req.enqueue_ns);
+      throw ShutdownError("serve engine began draining while request " +
+                          std::to_string(req.id) + " awaited queue space");
+    }
+    std::this_thread::sleep_for(kBackpressureSleep);
+  }
+  tel_.counter(names::tel::kServeEnqueue, 1.0, "serve");
+  {
+    const std::lock_guard<std::mutex> lock(outcomes_mutex_);
+    ++stats_.submitted;
+  }
+}
+
+CacheKey ServeEngine::key_for(const Request& req) const {
+  return CacheKey{req.matrix, req.format, config_.params.threads,
+                  config_.params.isa};
+}
+
+double ServeEngine::remaining_ms(const Request& req, std::int64_t now_ns) {
+  if (req.deadline_ms <= 0.0) return kInfiniteBudgetMs;
+  const double elapsed_ms =
+      static_cast<double>(now_ns - req.enqueue_ns) / 1e6;
+  return req.deadline_ms - elapsed_ms;
+}
+
+void ServeEngine::dispatcher_loop() {
+  std::map<std::string, Batch> pending;
+  std::size_t pending_count = 0;
+
+  const auto flush = [&](const std::string& key_str) {
+    auto it = pending.find(key_str);
+    if (it == pending.end()) return;
+    pending_count -= it->second.requests.size();
+    enqueue_batch(std::move(it->second));
+    pending.erase(it);
+  };
+
+  for (;;) {
+    bool moved = false;
+    for (const auto& producer : producers_) {
+      while (std::optional<Request> req = producer->ring_.try_pop()) {
+        moved = true;
+        const CacheKey key = key_for(*req);
+        const std::string key_str = key.str();
+        Batch& batch = pending[key_str];
+        if (batch.requests.empty()) batch.key = key;
+        batch.requests.push_back(std::move(*req));
+        ++pending_count;
+        if (!config_.batch_enabled ||
+            static_cast<int>(batch.requests.size()) >= config_.max_batch) {
+          flush(key_str);
+        }
+      }
+    }
+    if (!moved) {
+      if (pending_count > 0) {
+        // Ingress went idle: ship the partial batches rather than
+        // holding requests hostage to a max_batch that may never fill.
+        while (!pending.empty()) flush(pending.begin()->first);
+      } else if (draining()) {
+        break;
+      } else {
+        std::this_thread::sleep_for(kIdleSleep);
+      }
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(work_mutex_);
+    dispatcher_done_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void ServeEngine::enqueue_batch(Batch&& batch) {
+  std::size_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(work_mutex_);
+    work_queue_.push_back(std::move(batch));
+    depth = work_queue_.size();
+  }
+  work_cv_.notify_one();
+  tel_.counter(names::tel::kServeQueueDepth, static_cast<double>(depth),
+               "serve");
+}
+
+void ServeEngine::worker_loop() {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock,
+                    [this] { return !work_queue_.empty() || dispatcher_done_; });
+      if (work_queue_.empty()) return;
+      batch = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    execute_batch(std::move(batch));
+  }
+}
+
+void ServeEngine::execute_batch(Batch&& batch) {
+  const int batch_size = static_cast<int>(batch.requests.size());
+  tel_.counter(names::tel::kServeBatch, 1.0, "serve");
+  tel_.counter(names::tel::kServeBatchSize, static_cast<double>(batch_size),
+               "serve");
+  {
+    const std::lock_guard<std::mutex> lock(outcomes_mutex_);
+    ++stats_.batches;
+    stats_.batch_size_sum += static_cast<double>(batch_size);
+  }
+
+  // Deadline triage before any formatting or kernel work. The
+  // serve.deadline fault site forces expiry for chaos tests.
+  const auto& faults = config_.faults;
+  std::vector<Request> live;
+  live.reserve(batch.requests.size());
+  const std::int64_t triage_ns = telemetry::now_ns();
+  for (Request& req : batch.requests) {
+    const bool forced =
+        faults && faults->should_fire(names::site::kServeDeadline);
+    if (forced) {
+      tel_.counter(names::fault_counter(names::site::kServeDeadline), 1.0,
+                   "serve");
+    }
+    if (forced || remaining_ms(req, triage_ns) <= 0.0) {
+      complete(req, RequestStatus::kExpired, names::errc::kServeDeadline,
+               forced ? "deadline expired (injected fault)"
+                      : "deadline expired before execution",
+               false, batch_size);
+    } else {
+      live.push_back(std::move(req));
+    }
+  }
+  if (live.empty()) return;
+
+  // Resolve the formatted instance (cache or cold build).
+  InstanceCache::Acquired acquired;
+  try {
+    if (config_.cache_enabled) {
+      acquired = cache_.acquire(batch.key, config_.params, config_.provider);
+    } else {
+      // Cold baseline: format per batch, nothing retained.
+      auto entry = std::make_shared<InstanceCache::Entry>();
+      entry->bench = bench::make_benchmark<double, std::int32_t>(
+          batch.key.format);
+      BenchParams p = config_.params;
+      p.threads = batch.key.threads;
+      p.isa = batch.key.isa;
+      entry->bench->setup(config_.provider(batch.key.matrix), p,
+                          batch.key.matrix);
+      entry->bench->ensure_formatted();
+      acquired = {std::move(entry), false};
+    }
+  } catch (const Error& e) {
+    for (Request& req : live) {
+      complete(req, RequestStatus::kFailed, e.error_code(), e.what(), false,
+               batch_size);
+    }
+    return;
+  } catch (const std::exception& e) {
+    for (Request& req : live) {
+      complete(req, RequestStatus::kFailed, names::errc::kInternalUnexpected,
+               e.what(), false, batch_size);
+    }
+    return;
+  }
+
+  // One multi-B-panel invocation: the panels of every request in the
+  // batch are served by a single k = Σ k_i kernel walk.
+  std::int64_t total_k = 0;
+  double min_budget_ms = kInfiniteBudgetMs;
+  const std::int64_t exec_ns = telemetry::now_ns();
+  for (const Request& req : live) {
+    total_k += req.k;
+    min_budget_ms = std::min(min_budget_ms, remaining_ms(req, exec_ns));
+  }
+  total_k = std::clamp<std::int64_t>(total_k, 1, 1 << 14);
+
+  // Lower the tightest remaining deadline onto the cell-timeout ladder
+  // (keeping any stricter configured cell timeout).
+  double timeout_s = config_.params.cell_timeout_seconds;
+  if (min_budget_ms != kInfiniteBudgetMs) {
+    const double budget_s = std::max(min_budget_ms, 1.0) / 1e3;
+    timeout_s = timeout_s > 0.0 ? std::min(timeout_s, budget_s) : budget_s;
+  }
+
+  bench::BenchResult result;
+  {
+    const std::lock_guard<std::mutex> exec(acquired.entry->exec_mutex);
+    ServeBenchmark& bench = *acquired.entry->bench;
+    bench.set_resilience_policy(timeout_s, config_.params.retries,
+                                OnError::kContinue);
+    bench::PlanCell cell;
+    cell.variant =
+        batch.key.threads > 1 ? Variant::kParallel : Variant::kSerial;
+    cell.threads = batch.key.threads;
+    cell.k = static_cast<int>(total_k);
+    result = bench::run_plan(bench, {cell}).front();
+  }
+
+  for (Request& req : live) {
+    switch (result.status) {
+      case bench::RunStatus::kOk:
+        complete(req, RequestStatus::kOk, "", "", acquired.hit, batch_size);
+        break;
+      case bench::RunStatus::kDegraded:
+        complete(req, RequestStatus::kDegraded, result.error_code,
+                 result.error_message, acquired.hit, batch_size);
+        break;
+      case bench::RunStatus::kTimeout:
+        // The cell watchdog fired the batch's tightest deadline.
+        complete(req, RequestStatus::kExpired, names::errc::kServeDeadline,
+                 "deadline expired during execution (" + result.error_code +
+                     ")",
+                 acquired.hit, batch_size);
+        break;
+      case bench::RunStatus::kFailed:
+      case bench::RunStatus::kSkipped:
+        complete(req, RequestStatus::kFailed, result.error_code,
+                 result.error_message, acquired.hit, batch_size);
+        break;
+    }
+  }
+}
+
+void ServeEngine::complete(Request& req, RequestStatus status,
+                           std::string_view code, const std::string& message,
+                           bool cache_hit, int batch_size) {
+  const std::int64_t now_ns = telemetry::now_ns();
+  RequestOutcome outcome;
+  outcome.id = req.id;
+  outcome.tenant = req.tenant;
+  outcome.matrix = req.matrix;
+  outcome.status = status;
+  outcome.error_code = std::string(code);
+  outcome.message = message;
+  outcome.cache_hit = cache_hit;
+  outcome.batch_size = batch_size;
+  if (status != RequestStatus::kRejected && req.enqueue_ns > 0) {
+    outcome.latency_ms = static_cast<double>(now_ns - req.enqueue_ns) / 1e6;
+  }
+  tel_.end_span(req.span_id, names::tel::kSpanRequest, req.enqueue_ns);
+  req.span_id = 0;
+
+  switch (status) {
+    case RequestStatus::kOk:
+    case RequestStatus::kDegraded:
+      tel_.counter(names::tel::kServeComplete, 1.0, "serve");
+      break;
+    case RequestStatus::kRejected:
+      tel_.counter(names::tel::kServeReject, 1.0, "serve");
+      break;
+    case RequestStatus::kExpired:
+      tel_.counter(names::tel::kServeExpired, 1.0, "serve");
+      break;
+    case RequestStatus::kFailed:
+      tel_.counter(names::tel::kServeFailed, 1.0, "serve");
+      break;
+  }
+
+  const std::lock_guard<std::mutex> lock(outcomes_mutex_);
+  switch (status) {
+    case RequestStatus::kOk:
+      ++stats_.completed;
+      completed_latencies_ms_.push_back(outcome.latency_ms);
+      break;
+    case RequestStatus::kDegraded:
+      ++stats_.completed;
+      ++stats_.degraded;
+      completed_latencies_ms_.push_back(outcome.latency_ms);
+      break;
+    case RequestStatus::kRejected:
+      ++stats_.rejected;
+      break;
+    case RequestStatus::kExpired:
+      ++stats_.expired;
+      break;
+    case RequestStatus::kFailed:
+      ++stats_.failed;
+      break;
+  }
+  outcomes_.push_back(std::move(outcome));
+}
+
+EngineStats ServeEngine::stats() const {
+  EngineStats out;
+  {
+    const std::lock_guard<std::mutex> lock(outcomes_mutex_);
+    out = stats_;
+    out.p50_ms = percentile(completed_latencies_ms_, 0.50);
+    out.p95_ms = percentile(completed_latencies_ms_, 0.95);
+    out.p99_ms = percentile(completed_latencies_ms_, 0.99);
+  }
+  out.cache = cache_.stats();
+  return out;
+}
+
+std::vector<RequestOutcome> ServeEngine::outcomes() const {
+  const std::lock_guard<std::mutex> lock(outcomes_mutex_);
+  return outcomes_;
+}
+
+}  // namespace spmm::serve

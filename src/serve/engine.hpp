@@ -1,0 +1,174 @@
+// spmm::serve — the long-lived multi-tenant SpMM execution engine.
+//
+// Topology (docs/SERVING.md):
+//
+//   producers --SPSC rings--> dispatcher --batch queue--> worker pool
+//                                  |                          |
+//                                  +---- InstanceCache <------+
+//
+// Each producer owns a bounded lock-free ring; a single dispatcher
+// thread drains every ring, coalesces requests that share a cache key
+// into batches (one multi-B-panel kernel invocation per batch), and
+// hands batches to the worker pool. Workers resolve the formatted
+// instance through the sharded LRU cache (format-once under
+// singleflight) and execute one `run_plan` cell per batch with the
+// per-request deadline lowered onto the cell-timeout/retries ladder.
+// Admission control, deadlines, and shutdown all speak the typed
+// `serve.*` error codes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resilience/fault_injector.hpp"
+#include "serve/instance_cache.hpp"
+#include "serve/request.hpp"
+#include "serve/spsc_queue.hpp"
+
+namespace spmm::serve {
+
+/// What happens when a producer's ingress ring is full.
+enum class Admission {
+  kBlock,   ///< producer backpressure: submit() spins until space
+  kReject,  ///< fail fast: submit() throws QueueFullError
+};
+
+struct EngineConfig {
+  int workers = 4;
+  std::size_t queue_capacity = 256;
+  std::size_t cache_budget_bytes = std::size_t{512} << 20;
+  bool cache_enabled = true;
+  bool batch_enabled = true;
+  /// Largest batch the dispatcher coalesces per cache key.
+  int max_batch = 8;
+  /// Applied to requests that arrive without a deadline (0 = none).
+  double default_deadline_ms = 0.0;
+  Admission admission = Admission::kBlock;
+  /// Template for cached instances: k is retargeted per batch,
+  /// threads/isa come from the cache key, verify/iterations/warmup are
+  /// honored as given (serving defaults: verify off, 1 iteration).
+  BenchParams params;
+  std::shared_ptr<telemetry::Sink> sink;
+  std::shared_ptr<resilience::FaultInjector> faults;
+  /// Materializes a matrix by name on cache miss. Required.
+  InstanceCache::Provider provider;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // ok + degraded
+  std::uint64_t degraded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  double batch_size_sum = 0.0;
+  // Enqueue→complete latency percentiles over completed requests.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  CacheStats cache;
+
+  [[nodiscard]] double avg_batch() const {
+    return batches > 0 ? batch_size_sum / static_cast<double>(batches) : 0.0;
+  }
+};
+
+class ServeEngine {
+ public:
+  /// One tenant-side ingress handle. submit() may be called from
+  /// exactly one thread per Producer (the SPSC contract).
+  class Producer {
+   public:
+    /// Enqueue a request. Throws QueueFullError when the ring is full
+    /// under Admission::kReject (the rejection is also recorded as an
+    /// outcome), ShutdownError once the engine is draining.
+    void submit(Request req);
+
+   private:
+    friend class ServeEngine;
+    Producer(ServeEngine* engine, std::size_t capacity)
+        : engine_(engine), ring_(capacity) {}
+    ServeEngine* engine_;
+    SpscQueue<Request> ring_;
+  };
+
+  explicit ServeEngine(EngineConfig config);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Register an ingress ring. Must precede start().
+  Producer& add_producer();
+
+  /// Launch the dispatcher and worker threads.
+  void start();
+
+  /// Cooperative shutdown: stop admitting, finish everything already
+  /// queued, join all threads. Safe to call twice. This is the SIGINT
+  /// drain path — submitters see ShutdownError, queued work completes.
+  void drain();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot with latency percentiles computed.
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Terminal records, in completion order.
+  [[nodiscard]] std::vector<RequestOutcome> outcomes() const;
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Batch {
+    CacheKey key;
+    std::vector<Request> requests;
+  };
+
+  void submit(Producer& producer, Request req);
+  void dispatcher_loop();
+  void worker_loop();
+  void enqueue_batch(Batch&& batch);
+  void execute_batch(Batch&& batch);
+  void complete(Request& req, RequestStatus status, std::string_view code,
+                const std::string& message, bool cache_hit, int batch_size);
+  [[nodiscard]] CacheKey key_for(const Request& req) const;
+  /// Milliseconds of deadline budget left; negative = expired,
+  /// +infinity = no deadline.
+  [[nodiscard]] static double remaining_ms(const Request& req,
+                                           std::int64_t now_ns);
+
+  EngineConfig config_;
+  telemetry::Session tel_;
+  InstanceCache cache_;
+
+  std::vector<std::unique_ptr<Producer>> producers_;
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  std::atomic<bool> draining_{false};
+
+  // Dispatcher → workers.
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Batch> work_queue_;
+  bool dispatcher_done_ = false;
+
+  // Outcomes and counters.
+  mutable std::mutex outcomes_mutex_;
+  std::vector<RequestOutcome> outcomes_;
+  std::vector<double> completed_latencies_ms_;
+  EngineStats stats_;
+};
+
+}  // namespace spmm::serve

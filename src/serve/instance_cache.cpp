@@ -1,0 +1,219 @@
+#include "serve/instance_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/registry.hpp"
+#include "support/types.hpp"
+
+namespace spmm::serve {
+namespace {
+
+// FNV-1a, the same constants as the checksummed BCSR disk cache and
+// the campaign journal.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string CacheKey::str() const {
+  std::string s = matrix;
+  s += '|';
+  s += format_name(format);
+  s += "|t";
+  s += std::to_string(threads);
+  s += '|';
+  s += isa_name(isa);
+  return s;
+}
+
+std::uint64_t entry_checksum(const CacheKey& key, const ServeBenchmark& bench) {
+  std::uint64_t h = fnv1a(kFnvOffset, key.str());
+  const auto& m = bench.matrix();
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(m.rows()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(m.cols()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(m.nnz()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(bench.format_bytes()));
+  return h;
+}
+
+InstanceCache::InstanceCache(std::size_t budget_bytes, std::size_t shards) {
+  SPMM_CHECK(budget_bytes > 0, "cache byte budget must be positive");
+  SPMM_CHECK(shards > 0, "cache shard count must be positive");
+  shard_budget_bytes_ = std::max<std::size_t>(budget_bytes / shards, 1);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+InstanceCache::Shard& InstanceCache::shard_for(
+    const std::string& key_str) const {
+  const std::uint64_t h = fnv1a(kFnvOffset, key_str);
+  return *shards_[h % shards_.size()];
+}
+
+void InstanceCache::bump(std::uint64_t CacheStats::* field) const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++(stats_.*field);
+}
+
+InstanceCache::EntryPtr InstanceCache::build_entry(const CacheKey& key,
+                                                   const BenchParams& params,
+                                                   const Provider& provider) {
+  SPMM_CHECK(provider != nullptr, "instance cache needs a matrix provider");
+  auto entry = std::make_shared<Entry>();
+  entry->bench = bench::make_benchmark<double, std::int32_t>(key.format);
+  BenchParams p = params;
+  p.threads = key.threads;
+  p.isa = key.isa;
+  entry->bench->setup(provider(key.matrix), p, key.matrix);
+  entry->bench->ensure_formatted();
+  bump(&CacheStats::formats);
+  const auto& m = entry->bench->matrix();
+  const std::size_t dense_bytes =
+      (static_cast<std::size_t>(m.rows()) + static_cast<std::size_t>(m.cols())) *
+      static_cast<std::size_t>(p.k) * sizeof(double);
+  entry->bytes = entry->bench->format_bytes() + m.bytes() + dense_bytes;
+  entry->checksum = entry_checksum(key, *entry->bench);
+  return entry;
+}
+
+void InstanceCache::evict_over_budget_locked(Shard& shard) {
+  // Never evict the just-inserted MRU entry: a single instance larger
+  // than the shard budget must still serve.
+  while (shard.bytes > shard_budget_bytes_ && shard.lru.size() > 1) {
+    const std::string victim = shard.lru.back();
+    auto it = shard.slots.find(victim);
+    shard.bytes -= it->second.entry->bytes;
+    shard.slots.erase(it);
+    shard.lru.pop_back();
+    bump(&CacheStats::evictions);
+    tel_.counter(names::tel::kServeCacheEvict, 1.0, "serve");
+  }
+}
+
+InstanceCache::Acquired InstanceCache::acquire(const CacheKey& key,
+                                               const BenchParams& params,
+                                               const Provider& provider) {
+  const std::string key_str = key.str();
+  Shard& shard = shard_for(key_str);
+
+  std::shared_ptr<Flight> flight;
+  bool creator = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.slots.find(key_str);
+    if (it != shard.slots.end()) {
+      EntryPtr entry = it->second.entry;
+      if (entry->checksum == entry_checksum(key, *entry->bench)) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+        bump(&CacheStats::hits);
+        tel_.counter(names::tel::kServeCacheHit, 1.0, "serve");
+        return {std::move(entry), true};
+      }
+      // Integrity mismatch: drop the resident entry and rebuild below.
+      shard.bytes -= entry->bytes;
+      shard.lru.erase(it->second.lru_pos);
+      shard.slots.erase(it);
+      bump(&CacheStats::checksum_misses);
+    }
+    auto fit = shard.inflight.find(key_str);
+    if (fit != shard.inflight.end()) {
+      flight = fit->second;
+    } else {
+      flight = std::make_shared<Flight>();
+      shard.inflight.emplace(key_str, flight);
+      creator = true;
+    }
+  }
+
+  if (!creator) {
+    // Singleflight: somebody else is already formatting this key.
+    bump(&CacheStats::singleflight_waits);
+    tel_.counter(names::tel::kServeSingleflightWait, 1.0, "serve");
+    std::unique_lock<std::mutex> fl(flight->mutex);
+    flight->cv.wait(fl, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->result;
+  }
+
+  EntryPtr entry;
+  std::exception_ptr error;
+  try {
+    entry = build_entry(key, params, provider);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.inflight.erase(key_str);
+    if (entry) {
+      shard.lru.push_front(key_str);
+      shard.slots[key_str] = Slot{entry, shard.lru.begin()};
+      shard.bytes += entry->bytes;
+      evict_over_budget_locked(shard);
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> fl(flight->mutex);
+    flight->result = {entry, false};
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  bump(&CacheStats::misses);
+  tel_.counter(names::tel::kServeCacheMiss, 1.0, "serve");
+  return {std::move(entry), false};
+}
+
+CacheStats InstanceCache::stats() const {
+  CacheStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    out.bytes_in_use += shard->bytes;
+    out.entries += shard->slots.size();
+  }
+  return out;
+}
+
+void InstanceCache::corrupt_for_testing(const CacheKey& key) {
+  const std::string key_str = key.str();
+  Shard& shard = shard_for(key_str);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.slots.find(key_str);
+  SPMM_CHECK(it != shard.slots.end(),
+             "corrupt_for_testing: key not resident: " + key_str);
+  it->second.entry->checksum ^= 0xdeadbeefULL;
+}
+
+std::vector<std::string> InstanceCache::shard_keys_mru_first(
+    const CacheKey& key) const {
+  const Shard& shard = shard_for(key.str());
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return {shard.lru.begin(), shard.lru.end()};
+}
+
+}  // namespace spmm::serve

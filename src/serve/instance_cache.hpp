@@ -1,0 +1,152 @@
+// spmm::serve — sharded LRU cache of formatted benchmark instances.
+//
+// The serving engine's amortization core (the thesis's §6.3.2 cost
+// asymmetry: formatting dominates kernel time). Entries are whole
+// `SpmmBenchmark` instances — matrix, formatted structure, and dense
+// operands — keyed on matrix×format×threads×isa. A hit skips
+// formatting entirely; a miss formats exactly once under a per-key
+// singleflight, no matter how many workers ask concurrently. Each
+// shard enforces its slice of the byte budget with LRU eviction, and
+// every resident entry carries an FNV-1a identity checksum (the BCSR
+// disk-cache discipline) that is re-derived on each hit — a mismatch
+// is treated as a miss and the entry is rebuilt.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "support/cli.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace spmm::serve {
+
+/// The serving layer is concrete over the suite's study element types.
+using ServeBenchmark = bench::SpmmBenchmark<double, std::int32_t>;
+using ServeMatrix = Coo<double, std::int32_t>;
+
+/// Cache identity: one formatted instance per (matrix, format,
+/// threads, isa). Threads and ISA are part of the key because retuning
+/// either on a shared instance mid-flight would race with the batch
+/// executing on it.
+struct CacheKey {
+  std::string matrix;
+  Format format = Format::kCsr;
+  int threads = 1;
+  Isa isa = Isa::kAuto;
+
+  [[nodiscard]] std::string str() const;
+  bool operator==(const CacheKey& o) const {
+    return matrix == o.matrix && format == o.format && threads == o.threads &&
+           isa == o.isa;
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Conversions actually paid (== misses when singleflight works).
+  std::uint64_t formats = 0;
+  std::uint64_t singleflight_waits = 0;
+  std::uint64_t checksum_misses = 0;
+  std::size_t bytes_in_use = 0;
+  std::size_t entries = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class InstanceCache {
+ public:
+  /// One resident formatted instance. `exec_mutex` serializes kernel
+  /// execution on the shared benchmark (set_k/run mutate its dense
+  /// operands); eviction is safe while a worker holds the entry — the
+  /// shared_ptr keeps it alive until the batch finishes.
+  struct Entry {
+    std::unique_ptr<ServeBenchmark> bench;
+    std::size_t bytes = 0;
+    std::uint64_t checksum = 0;
+    std::mutex exec_mutex;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// Materializes the matrix for a cache miss.
+  using Provider = std::function<ServeMatrix(const std::string&)>;
+
+  struct Acquired {
+    EntryPtr entry;
+    bool hit = false;
+  };
+
+  explicit InstanceCache(std::size_t budget_bytes, std::size_t shards = 4);
+
+  void set_telemetry(telemetry::Session tel) { tel_ = std::move(tel); }
+
+  /// Hit: bump the entry to MRU and return it. Miss: format once under
+  /// the key's singleflight (concurrent callers wait and share the
+  /// result), insert at MRU, evict LRU entries past the shard budget.
+  /// `params` is the template for the instance (threads/isa are
+  /// overridden from the key); provider failures propagate to every
+  /// waiter.
+  Acquired acquire(const CacheKey& key, const BenchParams& params,
+                   const Provider& provider);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Flip a resident entry's stored checksum so the next acquire sees
+  /// an integrity mismatch (tests only).
+  void corrupt_for_testing(const CacheKey& key);
+
+  /// Resident keys of the key's shard, MRU first (eviction-order tests).
+  [[nodiscard]] std::vector<std::string> shard_keys_mru_first(
+      const CacheKey& key) const;
+
+ private:
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Acquired result;
+    std::exception_ptr error;
+  };
+  struct Slot {
+    EntryPtr entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::string> lru;  // front = most recently used
+    std::map<std::string, Slot> slots;
+    std::map<std::string, std::shared_ptr<Flight>> inflight;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const std::string& key_str) const;
+  EntryPtr build_entry(const CacheKey& key, const BenchParams& params,
+                       const Provider& provider);
+  void evict_over_budget_locked(Shard& shard);
+  void bump(std::uint64_t CacheStats::* field) const;
+
+  std::size_t shard_budget_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  telemetry::Session tel_;
+  mutable std::mutex stats_mutex_;
+  mutable CacheStats stats_;
+};
+
+/// FNV-1a over an entry's identity: key string + shape + nnz + the
+/// formatted structure's byte size. What `acquire` re-derives on every
+/// hit and compares against the stored value.
+std::uint64_t entry_checksum(const CacheKey& key, const ServeBenchmark& bench);
+
+}  // namespace spmm::serve

@@ -1,0 +1,105 @@
+// spmm::serve — request/outcome records and the serving error family.
+//
+// A Request is one tenant's ask: multiply this matrix, in this format,
+// against a k-wide dense panel, optionally before a deadline. The
+// engine answers with a RequestOutcome; failures inside the serving
+// layer itself (admission, deadlines, shutdown) throw ServeError with
+// the registry-declared `serve.*` codes (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "formats/format_id.hpp"
+#include "resilience/errors.hpp"
+#include "support/registry.hpp"
+
+namespace spmm::serve {
+
+/// Serving-layer failure taxonomy. Never transient: a full queue or a
+/// missed deadline is a capacity/latency fact, not a retryable blip —
+/// the caller (load generator, tenant) decides whether to resubmit.
+class ServeError : public resilience::TypedError {
+ public:
+  ServeError(std::string code, const std::string& what)
+      : TypedError(std::move(code), what) {}
+};
+
+/// Admission control rejected the request: the producer's ingress ring
+/// was full (or the `serve.queue.full` fault site fired).
+class QueueFullError final : public ServeError {
+ public:
+  explicit QueueFullError(const std::string& what)
+      : ServeError(names::errc::kServeQueueFull, what) {}
+};
+
+/// The request's deadline passed before (or while) a worker ran it.
+class DeadlineError final : public ServeError {
+ public:
+  explicit DeadlineError(const std::string& what)
+      : ServeError(names::errc::kServeDeadline, what) {}
+};
+
+/// The engine is draining — no new work is admitted.
+class ShutdownError final : public ServeError {
+ public:
+  explicit ShutdownError(const std::string& what)
+      : ServeError(names::errc::kServeShutdown, what) {}
+};
+
+/// One serving request. `arrival_ms` is the open-loop schedule offset
+/// a scenario assigns (the driver sleeps until it); `enqueue_ns` and
+/// `span_id` are stamped by the engine at submit time.
+struct Request {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string matrix;
+  Format format = Format::kCsr;
+  int k = 8;
+  /// Latency budget from enqueue in milliseconds; 0 = no deadline.
+  double deadline_ms = 0.0;
+  /// Open-loop arrival offset from scenario start in milliseconds.
+  double arrival_ms = 0.0;
+
+  // Engine-stamped (not part of the wire format).
+  std::int64_t enqueue_ns = 0;
+  std::uint64_t span_id = 0;
+};
+
+/// Terminal request states. kOk/kDegraded completed (degraded = the
+/// kernel ran on the degradation ladder's fallback); the other three
+/// carry the typed error code that ended the request.
+enum class RequestStatus { kOk, kDegraded, kRejected, kExpired, kFailed };
+
+constexpr const char* request_status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kDegraded: return "degraded";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// What the engine reports back per request.
+struct RequestOutcome {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string matrix;
+  RequestStatus status = RequestStatus::kOk;
+  /// Stable failure identity (`serve.queue.full`, `serve.deadline`,
+  /// `timeout.cell`, ...); empty on ok.
+  std::string error_code;
+  std::string message;
+  /// Enqueue→terminal latency. Zero for rejected requests (they never
+  /// entered the queue).
+  double latency_ms = 0.0;
+  /// The formatted instance was already resident (no formatting paid).
+  bool cache_hit = false;
+  /// Size of the coalesced batch this request rode in.
+  int batch_size = 0;
+};
+
+}  // namespace spmm::serve

@@ -1,0 +1,188 @@
+#include "serve/scenario.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "resilience/errors.hpp"
+#include "support/registry.hpp"
+#include "support/rng.hpp"
+
+namespace spmm::serve {
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream ss(csv);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// Minimal flat-object JSONL field extraction. The wire format is
+// machine-written one-level objects; this is deliberately not a JSON
+// parser — quoted string or bare number per key is the whole grammar.
+bool find_field(const std::string& line, const std::string& key,
+                std::string& value) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    const std::size_t end = line.find('"', pos + 1);
+    if (end == std::string::npos) return false;
+    value = line.substr(pos + 1, end - pos - 1);
+    return true;
+  }
+  std::size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != ' ') {
+    ++end;
+  }
+  value = line.substr(pos, end - pos);
+  return !value.empty();
+}
+
+double require_number(const std::string& line, const std::string& key) {
+  std::string raw;
+  if (!find_field(line, key, raw)) {
+    throw resilience::InputError(
+        names::errc::kInputParse,
+        "scenario line missing numeric field '" + key + "': " + line);
+  }
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    throw resilience::InputError(
+        names::errc::kInputParse,
+        "scenario field '" + key + "' is not a number: " + raw);
+  }
+  return v;
+}
+
+std::string require_string(const std::string& line, const std::string& key) {
+  std::string raw;
+  if (!find_field(line, key, raw)) {
+    throw resilience::InputError(
+        names::errc::kInputParse,
+        "scenario line missing string field '" + key + "': " + line);
+  }
+  return raw;
+}
+
+}  // namespace
+
+void register_scenario_options(ArgParser& parser) {
+  parser.add_int(names::flag::kRequests, 0, 200,
+                 "number of requests in the scenario");
+  parser.add_int(names::flag::kTenants, 0, 4, "number of tenants in the mix");
+  parser.add_double(names::flag::kSkew, 0, 1.0,
+                    "matrix popularity skew exponent (Zipf-like; 0 = "
+                    "uniform)");
+  parser.add_double(names::flag::kArrivalRate, 0, 0.0,
+                    "open-loop arrival rate in requests/second (0 = no "
+                    "pacing)");
+  parser.add_string(names::flag::kMatrices, 0, "bcsstk13,dw4096",
+                    "comma-separated generator-suite matrix names, most "
+                    "popular first");
+  parser.add_double(names::flag::kDeadlineMs, 0, 0.0,
+                    "per-request deadline in milliseconds (0 = none)");
+}
+
+Scenario scenario_from_parser(const ArgParser& parser) {
+  Scenario s;
+  s.requests = static_cast<int>(parser.get_int(names::flag::kRequests));
+  s.tenants = static_cast<int>(parser.get_int(names::flag::kTenants));
+  s.skew = parser.get_double(names::flag::kSkew);
+  s.arrival_rate = parser.get_double(names::flag::kArrivalRate);
+  s.deadline_ms = parser.get_double(names::flag::kDeadlineMs);
+  s.k = static_cast<int>(parser.get_int(names::flag::kK));
+  s.seed = static_cast<std::uint64_t>(parser.get_int(names::flag::kSeed));
+  s.scale = parser.get_double(names::flag::kScale);
+  s.format = format_from_name(parser.get_string(names::flag::kFormat));
+  s.matrices = split_csv(parser.get_string(names::flag::kMatrices));
+  SPMM_CHECK(s.requests > 0, "--requests must be positive");
+  SPMM_CHECK(s.tenants > 0, "--tenants must be positive");
+  SPMM_CHECK(s.skew >= 0.0, "--skew must be non-negative");
+  SPMM_CHECK(s.arrival_rate >= 0.0, "--arrival-rate must be non-negative");
+  SPMM_CHECK(s.deadline_ms >= 0.0, "--deadline-ms must be non-negative");
+  SPMM_CHECK(!s.matrices.empty(), "--matrices must name at least one matrix");
+  return s;
+}
+
+std::vector<Request> generate(const Scenario& scenario) {
+  // Cumulative popularity weights: matrix i with weight (i+1)^-skew.
+  std::vector<double> cumulative;
+  cumulative.reserve(scenario.matrices.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < scenario.matrices.size(); ++i) {
+    total += std::pow(static_cast<double>(i + 1), -scenario.skew);
+    cumulative.push_back(total);
+  }
+
+  Rng rng(scenario.seed);
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(scenario.requests));
+  for (int i = 0; i < scenario.requests; ++i) {
+    Request req;
+    req.id = static_cast<std::uint64_t>(i + 1);
+    req.tenant = "t";
+    req.tenant += std::to_string(
+        rng.uniform_index(static_cast<std::uint64_t>(scenario.tenants)));
+    const double u = rng.uniform() * total;
+    std::size_t pick = 0;
+    while (pick + 1 < cumulative.size() && u > cumulative[pick]) ++pick;
+    req.matrix = scenario.matrices[pick];
+    req.format = scenario.format;
+    req.k = scenario.k;
+    req.deadline_ms = scenario.deadline_ms;
+    req.arrival_ms = scenario.arrival_rate > 0.0
+                         ? static_cast<double>(i) * 1e3 / scenario.arrival_rate
+                         : 0.0;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::string to_jsonl(const Request& req) {
+  std::ostringstream os;
+  os << "{\"id\":" << req.id << ",\"tenant\":\"" << req.tenant
+     << "\",\"matrix\":\"" << req.matrix << "\",\"format\":\""
+     << format_name(req.format) << "\",\"k\":" << req.k
+     << ",\"deadline_ms\":" << req.deadline_ms
+     << ",\"arrival_ms\":" << req.arrival_ms << "}";
+  return os.str();
+}
+
+Request from_jsonl(const std::string& line) {
+  Request req;
+  req.id = static_cast<std::uint64_t>(require_number(line, "id"));
+  req.tenant = require_string(line, "tenant");
+  req.matrix = require_string(line, "matrix");
+  req.format = format_from_name(require_string(line, "format"));
+  req.k = static_cast<int>(require_number(line, "k"));
+  SPMM_CHECK(req.k > 0, "scenario request k must be positive");
+  req.deadline_ms = require_number(line, "deadline_ms");
+  req.arrival_ms = require_number(line, "arrival_ms");
+  return req;
+}
+
+std::vector<Request> read_script(std::istream& in) {
+  std::vector<Request> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out.push_back(from_jsonl(line));
+  }
+  return out;
+}
+
+}  // namespace spmm::serve

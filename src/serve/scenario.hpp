@@ -1,0 +1,63 @@
+// spmm::serve — deterministic serving scenarios and the JSONL wire
+// format shared by spmm_loadgen and spmm_serve.
+//
+// A Scenario describes an open-loop request stream: how many requests,
+// how many tenants, which suite matrices with what popularity skew
+// (Zipf-like: matrix i drawn with weight (i+1)^-skew), the arrival
+// rate, and the per-request k/deadline. generate() expands it into a
+// bit-reproducible request list from the seed alone; the JSONL codec
+// round-trips requests one object per line so a scripted scenario can
+// be inspected, edited, or replayed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "support/cli.hpp"
+
+namespace spmm::serve {
+
+struct Scenario {
+  int requests = 200;
+  int tenants = 4;
+  /// Popularity skew exponent; 0 = uniform over the matrix list.
+  double skew = 1.0;
+  /// Open-loop arrival rate in requests/second; 0 = no pacing.
+  double arrival_rate = 0.0;
+  /// Per-request deadline in milliseconds; 0 = none.
+  double deadline_ms = 0.0;
+  int k = 8;
+  double scale = 0.25;
+  std::uint64_t seed = 42;
+  Format format = Format::kBcsr;
+  /// Generator-suite matrix names, most popular first.
+  std::vector<std::string> matrices;
+};
+
+/// Register the scenario-shape flags (--requests, --tenants, --skew,
+/// --arrival-rate, --matrices, --deadline-ms). The tool registers
+/// BenchParams (for --k/--seed) and --scale/--format separately.
+void register_scenario_options(ArgParser& parser);
+
+/// Build the scenario from parsed flags. Reads the flags above plus
+/// k/seed from BenchParams-owned flags and scale/format from the
+/// tool-owned ones — all must have been registered.
+Scenario scenario_from_parser(const ArgParser& parser);
+
+/// Deterministic expansion: same scenario, same request list.
+std::vector<Request> generate(const Scenario& scenario);
+
+/// One request as a single JSONL line (no trailing newline).
+std::string to_jsonl(const Request& req);
+
+/// Parse one JSONL line. Throws InputError (input.parse) on anything
+/// malformed; unknown keys are ignored.
+Request from_jsonl(const std::string& line);
+
+/// Read a whole script: one request per non-empty line.
+std::vector<Request> read_script(std::istream& in);
+
+}  // namespace spmm::serve

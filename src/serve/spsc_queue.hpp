@@ -1,0 +1,86 @@
+// spmm::serve — bounded lock-free single-producer/single-consumer ring.
+//
+// The serving engine's ingress path: each producer owns one ring, the
+// dispatcher thread is the only consumer. Head and tail live on their
+// own cache lines (the classic false-sharing fix), synchronization is
+// a release store on the writer index paired with an acquire load on
+// the reader side — no locks, no CAS loops, and the producer/consumer
+// each keep a local cache of the opposing index so the common case
+// touches one shared cache line, not two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace spmm::serve {
+
+/// Destructive-interference distance. Hardcoded instead of
+/// std::hardware_destructive_interference_size, which GCC warns is
+/// ABI-unstable across -mtune values.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Bounded SPSC ring. Exactly one thread may call try_push and exactly
+/// one thread may call try_pop; the two may be (and in the engine are)
+/// different threads. Capacity is rounded up to a power of two.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    SPMM_CHECK(capacity >= 1, "SPSC ring capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (admission control's
+  /// signal) — the item is returned to the caller untouched.
+  bool try_push(T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring is drained.
+  std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    std::optional<T> out(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Racy size estimate (telemetry only — both indices may move while
+  /// the caller looks).
+  [[nodiscard]] std::size_t size_approx() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Consumer's line: its index plus its cached view of the producer's.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  // Producer's line, symmetrically.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+};
+
+}  // namespace spmm::serve

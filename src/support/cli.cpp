@@ -266,6 +266,11 @@ void BenchParams::register_options(ArgParser& parser) {
   parser.add_int(names::flag::kThreads, 't', 32, "thread count for parallel kernels");
   parser.add_int(names::flag::kBlockSize, 'b', 4, "block size for blocked formats (BCSR)");
   parser.add_int(names::flag::kK, 'k', 128, "dense operand width (k-loop bound)");
+  parser.add_int(names::flag::kSellcC, 0, 32,
+                 "SELL-C-sigma chunk size C (rows per chunk)");
+  parser.add_int(names::flag::kSellcSigma, 0, 256,
+                 "SELL-C-sigma sorting window (rows sorted by length "
+                 "inside windows of this size; 1 = no permutation)");
   parser.add_string(names::flag::kSched, 0, "rows",
                     "work distribution for parallel kernels: rows "
                     "(per-format historical schedule) or nnz "
@@ -311,6 +316,10 @@ BenchParams BenchParams::from_parser(const ArgParser& parser) {
   p.threads = static_cast<int>(parser.get_int(names::flag::kThreads));
   p.block_size = static_cast<int>(parser.get_int(names::flag::kBlockSize));
   p.k = static_cast<int>(parser.get_int(names::flag::kK));
+  p.sellc_c = static_cast<int>(parser.get_int(names::flag::kSellcC));
+  p.sellc_sigma = static_cast<int>(parser.get_int(names::flag::kSellcSigma));
+  SPMM_CHECK(p.sellc_c > 0, "--sellc-c must be positive");
+  SPMM_CHECK(p.sellc_sigma > 0, "--sellc-sigma must be positive");
   p.sched = sched_from_name(parser.get_string(names::flag::kSched));
   p.isa = isa_from_name(parser.get_string(names::flag::kIsa));
   p.min_parallel_work = parser.get_int(names::flag::kMinParallelWork);

@@ -115,6 +115,12 @@ struct BenchParams {
   int threads = 32;
   /// Block size for blocked formats (currently BCSR; paper default: 4).
   int block_size = 4;
+  /// SELL-C-σ chunk size C (--sellc-c): rows per SIMD-friendly chunk.
+  int sellc_c = 32;
+  /// SELL-C-σ sorting window σ (--sellc-sigma): rows are sorted by
+  /// length inside windows of this size to cut padding; 1 disables the
+  /// permutation (plain SELL-C).
+  int sellc_sigma = 256;
   /// Width of the dense operand: the k-loop bound (paper default: 128).
   int k = 128;
   /// Work-distribution policy for host-parallel kernels (--sched):

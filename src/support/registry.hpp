@@ -106,6 +106,31 @@
   X(kJournalTorn, "journal.torn", kCounter, "io", "docs/ROBUSTNESS.md")  \
   X(kCampaignStop, "campaign.stop", kCounter, "resilience",              \
     "docs/ROBUSTNESS.md")                                                \
+  X(kSpanRequest, "request", kSpan, "serve", "docs/OBSERVABILITY.md")    \
+  X(kServeEnqueue, "serve.enqueue", kCounter, "serve",                   \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeReject, "serve.reject", kCounter, "serve",                     \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeExpired, "serve.expired", kCounter, "serve",                   \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeComplete, "serve.complete", kCounter, "serve",                 \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeFailed, "serve.failed", kCounter, "serve",                     \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeBatch, "serve.batch", kCounter, "serve",                       \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeBatchSize, "serve.batch_size", kCounter, "serve",              \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeQueueDepth, "serve.queue_depth", kCounter, "serve",            \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeCacheHit, "serve.cache.hit", kCounter, "serve",                \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeCacheMiss, "serve.cache.miss", kCounter, "serve",              \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeCacheEvict, "serve.cache.evict", kCounter, "serve",            \
+    "docs/OBSERVABILITY.md")                                             \
+  X(kServeSingleflightWait, "serve.singleflight.wait", kCounter,         \
+    "serve", "docs/OBSERVABILITY.md")                                    \
   X(kFaultPrefix, "fault.", kPrefix, "resilience",                       \
     "docs/OBSERVABILITY.md")                                             \
   X(kCellErrorPrefix, "cell.error.", kPrefix, "resilience",              \
@@ -309,6 +334,12 @@
   X(kInternalUnexpected, "internal.unexpected", "non-Error",             \
     "docs/ROBUSTNESS.md")                                                \
   X(kVariantUnsupported, "variant.unsupported", "skip",                  \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kServeQueueFull, "serve.queue.full", "ServeError",                   \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kServeDeadline, "serve.deadline", "ServeError",                      \
+    "docs/ROBUSTNESS.md")                                                \
+  X(kServeShutdown, "serve.shutdown", "ServeError",                      \
     "docs/ROBUSTNESS.md")
 
 // ---------------------------------------------------------------------
@@ -328,7 +359,9 @@
   X(kIoTruncate, "io.truncate", "docs/ROBUSTNESS.md")                   \
   X(kJournalCrash, "journal.crash", "docs/ROBUSTNESS.md")               \
   X(kJournalTornTail, "journal.torn.tail", "docs/ROBUSTNESS.md")        \
-  X(kJournalAppendFail, "journal.append.fail", "docs/ROBUSTNESS.md")
+  X(kJournalAppendFail, "journal.append.fail", "docs/ROBUSTNESS.md")    \
+  X(kServeQueueFull, "serve.queue.full", "docs/ROBUSTNESS.md")          \
+  X(kServeDeadline, "serve.deadline", "docs/ROBUSTNESS.md")
 
 // ---------------------------------------------------------------------
 // 6. CLI flags. `owner` is the layer that registers the flag; flags
@@ -383,7 +416,24 @@
   X(kJournal, "journal", "resilience")                     \
   X(kResume, "resume", "resilience")                       \
   X(kCampaignTimeout, "campaign-timeout", "resilience")    \
-  X(kDeterministic, "deterministic", "tools")
+  X(kDeterministic, "deterministic", "tools")              \
+  X(kSellcC, "sellc-c", "bench-params")                    \
+  X(kSellcSigma, "sellc-sigma", "bench-params")            \
+  X(kWorkers, "workers", "serve")                          \
+  X(kQueueCapacity, "queue-capacity", "serve")             \
+  X(kCacheBudgetMb, "cache-budget-mb", "serve")            \
+  X(kCacheMode, "cache", "serve")                          \
+  X(kBatchMode, "batch", "serve")                          \
+  X(kMaxBatch, "max-batch", "serve")                       \
+  X(kDeadlineMs, "deadline-ms", "serve")                   \
+  X(kAdmission, "admission", "serve")                      \
+  X(kScript, "script", "serve")                            \
+  X(kBenchOut, "bench-out", "serve")                       \
+  X(kRequests, "requests", "loadgen")                      \
+  X(kTenants, "tenants", "loadgen")                        \
+  X(kArrivalRate, "arrival-rate", "loadgen")               \
+  X(kSkew, "skew", "loadgen")                              \
+  X(kMatrices, "matrices", "loadgen")
 
 // ---------------------------------------------------------------------
 // 7. BENCH_kernels.json artifact keys (spmm-perf-smoke schema v3;
@@ -422,6 +472,45 @@
   X("llc_miss_per_nnz", "cell") \
   X("oi", "cell")             \
   X("stream_bw_fraction", "cell")
+
+// ---------------------------------------------------------------------
+// 7b. BENCH_serve.json artifact keys (spmm-serve-study schema v1;
+//     docs/SERVING.md). A separate table from SPMM_ARTIFACT_KEYS so
+//     spmm_lint can check each artifact against its own schema in both
+//     directions. scope: "top" (document), "params" (scenario), or
+//     "config" (one per serving configuration in `configs`).
+//     X(name, scope)
+// ---------------------------------------------------------------------
+#define SPMM_SERVE_ARTIFACT_KEYS(X) \
+  X("schema", "top")                \
+  X("params", "top")                \
+  X("configs", "top")               \
+  X("baseline_rps", "top")          \
+  X("best_rps", "top")              \
+  X("speedup_vs_cold", "top")       \
+  X("requests", "params")           \
+  X("tenants", "params")            \
+  X("skew", "params")               \
+  X("seed", "params")               \
+  X("arrival_rate", "params")       \
+  X("scale", "params")              \
+  X("k", "params")                  \
+  X("format", "params")             \
+  X("matrices", "params")           \
+  X("workers", "config")            \
+  X("cache", "config")              \
+  X("batch", "config")              \
+  X("completed", "config")          \
+  X("rejected", "config")           \
+  X("expired", "config")            \
+  X("failed", "config")             \
+  X("throughput_rps", "config")     \
+  X("hit_rate", "config")           \
+  X("p50_ms", "config")             \
+  X("p95_ms", "config")             \
+  X("p99_ms", "config")             \
+  X("batches", "config")            \
+  X("avg_batch", "config")
 
 // ---------------------------------------------------------------------
 // 8. spmm_lint finding ids (tools/spmm_lint.cpp). Stable API the same
@@ -642,6 +731,12 @@ inline constexpr ArtifactKey kArtifactKeys[] = {
 #undef SPMM_ROW
 };
 
+inline constexpr ArtifactKey kServeArtifactKeys[] = {
+#define SPMM_ROW(name_, scope_) {name_, scope_},
+    SPMM_SERVE_ARTIFACT_KEYS(SPMM_ROW)
+#undef SPMM_ROW
+};
+
 inline constexpr LintFinding kLintFindings[] = {
 #define SPMM_ROW(ident, id_, description_) {#ident, id_, description_},
     SPMM_LINT_FINDINGS(SPMM_ROW)
@@ -700,6 +795,8 @@ static_assert(names_unique(kCliFlags),
               "duplicate CLI flag in SPMM_CLI_FLAGS");
 static_assert(keys_unique(kArtifactKeys),
               "duplicate artifact key/scope in SPMM_ARTIFACT_KEYS");
+static_assert(keys_unique(kServeArtifactKeys),
+              "duplicate artifact key/scope in SPMM_SERVE_ARTIFACT_KEYS");
 static_assert(names_unique(kLintFindings),
               "duplicate finding id in SPMM_LINT_FINDINGS");
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/registry.hpp"
+#include "support/stats.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -38,6 +39,10 @@ TraceSummary summarize_trace(std::span<const Event> events,
           record.ts_ns = it->second->ts_ns;
           record.iteration = it->second->iteration;
           begins.erase(it);
+        }
+        if (e.name == names::tel::kSpanRequest) {
+          summary.request_latencies_ms.push_back(
+              static_cast<double>(e.dur_ns) / 1e6);
         }
         summary.slowest.push_back(std::move(record));
         break;
@@ -109,6 +114,7 @@ void print_summary(std::ostream& os, const TraceSummary& summary) {
       {"scheduling (sched.*):", {"sched."}},
       {"fault injections (fault.*):", {names::tel::kFaultPrefix}},
       {"failure outcomes (cell.*):", {"cell.", "cache."}},
+      {"serving (serve.*):", {"serve."}},
   };
   std::map<std::string, double> ungrouped = summary.counter_totals;
   for (const CounterFamily& family : families) {
@@ -173,6 +179,18 @@ void print_summary(std::ostream& os, const TraceSummary& summary) {
       }
       os << "\n";
     }
+  }
+
+  // Serving SLO section: end-to-end request-span latency percentiles
+  // (enqueue -> complete; docs/SERVING.md).
+  if (!summary.request_latencies_ms.empty()) {
+    std::vector<double> sorted = summary.request_latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    os << "\nserving request latency (" << sorted.size() << " requests):\n"
+       << "  p50: " << format_double(percentile(sorted, 0.50), 3)
+       << " ms  p95: " << format_double(percentile(sorted, 0.95), 3)
+       << " ms  p99: " << format_double(percentile(sorted, 0.99), 3)
+       << " ms  max: " << format_double(sorted.back(), 3) << " ms\n";
   }
 
   if (!summary.slowest.empty()) {

@@ -44,6 +44,10 @@ struct TraceSummary {
   std::map<std::string, std::size_t> counter_counts;
   /// The slowest completed spans, longest first.
   std::vector<SpanRecord> slowest;
+  /// Durations of completed serving "request" spans (enqueue ->
+  /// complete), milliseconds, arrival order. Feeds the SLO percentile
+  /// section of the report; empty outside serving traces.
+  std::vector<double> request_latencies_ms;
   std::size_t events = 0;
   std::size_t completed_spans = 0;
   std::size_t samples = 0;

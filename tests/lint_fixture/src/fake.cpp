@@ -14,10 +14,12 @@ void fake_emissions(FakeParser& parser) {
   std::string code = "input.bogus";       // lint.error_code.undeclared
   std::string site = "io.bogus";          // lint.site.undeclared
   std::string rule = "csr.bogus.rule";    // lint.rule.undeclared
+  std::string serve = "serve.bogus.counter";  // lint.counter.undeclared
   parser.add_flag("bogus-flag", 0, "x");  // lint.flag.undeclared
   (void)counter;
   (void)raw;
   (void)code;
   (void)site;
   (void)rule;
+  (void)serve;
 }

@@ -1,0 +1,395 @@
+// spmm::serve unit tests: the SPSC ingress ring (ordering, capacity,
+// cross-thread transfer), the sharded formatted-instance LRU cache
+// (eviction order, byte budget, singleflight, checksum discipline),
+// and the engine's request lifecycle (completion, deadlines,
+// admission rejection, shutdown). The threaded cases double as the
+// TSan surface for the lock-free queue and the cache's singleflight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "resilience/fault_injector.hpp"
+#include "serve/engine.hpp"
+#include "serve/instance_cache.hpp"
+#include "serve/spsc_queue.hpp"
+#include "support/registry.hpp"
+
+namespace spmm::serve {
+namespace {
+
+// ---------------------------------------------------------------- SPSC
+
+TEST(SpscQueue, PushPopOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.try_push(v));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscQueue, FullRejectsAndLeavesItemIntact) {
+  SpscQueue<std::string> q(4);
+  for (int i = 0; i < 4; ++i) {
+    std::string s = "item" + std::to_string(i);
+    EXPECT_TRUE(q.try_push(s));
+  }
+  std::string overflow = "survivor";
+  EXPECT_FALSE(q.try_push(overflow));
+  // A failed push must not have moved the caller's item away.
+  EXPECT_EQ(overflow, "survivor");
+  EXPECT_EQ(q.size_approx(), 4u);
+}
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> q(5);
+  int pushed = 0;
+  for (int i = 0; i < 64; ++i) {
+    int v = i;
+    if (!q.try_push(v)) break;
+    ++pushed;
+  }
+  EXPECT_EQ(pushed, 8);
+}
+
+TEST(SpscQueue, WraparoundManyTimes) {
+  SpscQueue<int> q(4);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      int v = round * 3 + i;
+      ASSERT_TRUE(q.try_push(v));
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto v = q.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, round * 3 + i);
+    }
+  }
+}
+
+// The TSan surface for the ring: one producer thread, one consumer
+// thread, every item transferred exactly once and in order.
+TEST(SpscQueue, TwoThreadTransferPreservesOrder) {
+  constexpr int kItems = 20000;
+  SpscQueue<int> q(64);
+  std::vector<int> received;
+  received.reserve(kItems);
+
+  std::thread consumer([&] {
+    while (static_cast<int>(received.size()) < kItems) {
+      if (auto v = q.try_pop()) {
+        received.push_back(*v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    int v = i;
+    while (!q.try_push(v)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+// --------------------------------------------------------------- cache
+
+BenchParams serve_params() {
+  BenchParams p;
+  p.iterations = 1;
+  p.warmup = 0;
+  p.verify = false;
+  p.threads = 1;
+  p.k = 8;
+  return p;
+}
+
+InstanceCache::Provider tiny_provider() {
+  return [](const std::string& name) {
+    return gen::generate<double, std::int32_t>(
+        gen::suite_spec(name, 0.05, 42));
+  };
+}
+
+CacheKey key_for_format(Format f) {
+  return CacheKey{"bcsstk13", f, 1, Isa::kAuto};
+}
+
+TEST(InstanceCache, HitAfterMiss) {
+  InstanceCache cache(std::size_t{1} << 30, 1);
+  const CacheKey key = key_for_format(Format::kCsr);
+  const auto first = cache.acquire(key, serve_params(), tiny_provider());
+  EXPECT_FALSE(first.hit);
+  const auto second = cache.acquire(key, serve_params(), tiny_provider());
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.entry.get(), second.entry.get());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.formats, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes_in_use, 0u);
+}
+
+TEST(InstanceCache, LruOrderTracksUseNotInsertion) {
+  InstanceCache cache(std::size_t{1} << 30, 1);
+  const CacheKey a = key_for_format(Format::kCsr);
+  const CacheKey b = key_for_format(Format::kEll);
+  const CacheKey c = key_for_format(Format::kCoo);
+  cache.acquire(a, serve_params(), tiny_provider());
+  cache.acquire(b, serve_params(), tiny_provider());
+  cache.acquire(c, serve_params(), tiny_provider());
+  EXPECT_EQ(cache.shard_keys_mru_first(a),
+            (std::vector<std::string>{c.str(), b.str(), a.str()}));
+  // A hit must promote to MRU.
+  cache.acquire(a, serve_params(), tiny_provider());
+  EXPECT_EQ(cache.shard_keys_mru_first(a),
+            (std::vector<std::string>{a.str(), c.str(), b.str()}));
+}
+
+TEST(InstanceCache, ByteBudgetEvictsLeastRecentlyUsed) {
+  // Budget far below a single entry: each insert evicts everything
+  // older, but the MRU entry itself is never evicted (the cache always
+  // serves what it just built).
+  InstanceCache cache(1, 1);
+  const CacheKey a = key_for_format(Format::kCsr);
+  const CacheKey b = key_for_format(Format::kEll);
+  cache.acquire(a, serve_params(), tiny_provider());
+  cache.acquire(b, serve_params(), tiny_provider());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(cache.shard_keys_mru_first(a),
+            (std::vector<std::string>{b.str()}));
+  // The evicted key misses again; the resident one still hits.
+  EXPECT_FALSE(cache.acquire(a, serve_params(), tiny_provider()).hit);
+}
+
+TEST(InstanceCache, ChecksumMismatchIsAMiss) {
+  InstanceCache cache(std::size_t{1} << 30, 1);
+  const CacheKey key = key_for_format(Format::kCsr);
+  cache.acquire(key, serve_params(), tiny_provider());
+  cache.corrupt_for_testing(key);
+  const auto reloaded = cache.acquire(key, serve_params(), tiny_provider());
+  EXPECT_FALSE(reloaded.hit);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.checksum_misses, 1u);
+  EXPECT_EQ(stats.formats, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  // The rebuilt entry is healthy again.
+  EXPECT_TRUE(cache.acquire(key, serve_params(), tiny_provider()).hit);
+}
+
+// The TSan surface for singleflight: eight threads race one cold key;
+// the matrix is materialized and formatted exactly once and everyone
+// shares the same entry.
+TEST(InstanceCache, SingleflightFormatsOnce) {
+  InstanceCache cache(std::size_t{1} << 30, 1);
+  const CacheKey key = key_for_format(Format::kCsr);
+  std::atomic<int> provider_calls{0};
+  const InstanceCache::Provider counting =
+      [&](const std::string& name) {
+        provider_calls.fetch_add(1);
+        return gen::generate<double, std::int32_t>(
+            gen::suite_spec(name, 0.05, 42));
+      };
+
+  constexpr int kThreads = 8;
+  std::vector<InstanceCache::EntryPtr> entries(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      entries[i] = cache.acquire(key, serve_params(), counting).entry;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(provider_calls.load(), 1);
+  EXPECT_EQ(cache.stats().formats, 1u);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(entries[i].get(), entries[0].get());
+  }
+}
+
+// -------------------------------------------------------------- engine
+
+EngineConfig engine_config() {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.params = serve_params();
+  cfg.provider = tiny_provider();
+  return cfg;
+}
+
+Request make_request(std::uint64_t id, Format format = Format::kCsr) {
+  Request req;
+  req.id = id;
+  req.tenant = "t0";
+  req.matrix = "bcsstk13";
+  req.format = format;
+  req.k = 4;
+  return req;
+}
+
+TEST(ServeEngine, CompletesEverySubmittedRequest) {
+  ServeEngine engine(engine_config());
+  ServeEngine::Producer& producer = engine.add_producer();
+  engine.start();
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    producer.submit(make_request(id));
+  }
+  engine.drain();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  const auto outcomes = engine.outcomes();
+  ASSERT_EQ(outcomes.size(), 10u);
+  std::set<std::uint64_t> ids;
+  for (const RequestOutcome& o : outcomes) {
+    EXPECT_EQ(o.status, RequestStatus::kOk);
+    EXPECT_GE(o.latency_ms, 0.0);
+    ids.insert(o.id);
+  }
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_GT(stats.cache.hits + stats.cache.misses, 0u);
+}
+
+TEST(ServeEngine, BatchingCoalescesSameKeyRequests) {
+  EngineConfig cfg = engine_config();
+  cfg.max_batch = 4;
+  ServeEngine engine(cfg);
+  ServeEngine::Producer& producer = engine.add_producer();
+  // Queue all four before the dispatcher starts so one sweep sees them.
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    producer.submit(make_request(id));
+  }
+  engine.start();
+  engine.drain();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_batch(), 4.0);
+  // One formatting paid for the whole batch.
+  EXPECT_EQ(stats.cache.formats, 1u);
+}
+
+TEST(ServeEngine, ExpiredDeadlineYieldsTypedOutcome) {
+  ServeEngine engine(engine_config());
+  ServeEngine::Producer& producer = engine.add_producer();
+  Request req = make_request(1);
+  req.deadline_ms = 1e-6;  // expires before triage can possibly run
+  producer.submit(std::move(req));
+  engine.start();
+  engine.drain();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  const auto outcomes = engine.outcomes();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RequestStatus::kExpired);
+  EXPECT_EQ(outcomes[0].error_code, names::errc::kServeDeadline);
+}
+
+TEST(ServeEngine, InjectedDeadlineFaultExpiresRequests) {
+  EngineConfig cfg = engine_config();
+  cfg.faults = resilience::FaultInjector::parse(
+      std::string(names::site::kServeDeadline) + "@always", 42);
+  ServeEngine engine(cfg);
+  ServeEngine::Producer& producer = engine.add_producer();
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    producer.submit(make_request(id));
+  }
+  engine.start();
+  engine.drain();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.expired, 3u);
+  EXPECT_EQ(stats.completed, 0u);
+  for (const RequestOutcome& o : engine.outcomes()) {
+    EXPECT_EQ(o.error_code, names::errc::kServeDeadline);
+  }
+}
+
+TEST(ServeEngine, RejectAdmissionThrowsTypedErrorWhenFull) {
+  EngineConfig cfg = engine_config();
+  cfg.queue_capacity = 2;
+  cfg.admission = Admission::kReject;
+  ServeEngine engine(cfg);
+  ServeEngine::Producer& producer = engine.add_producer();
+  // Dispatcher not started: the ring fills deterministically.
+  producer.submit(make_request(1));
+  producer.submit(make_request(2));
+  EXPECT_THROW(producer.submit(make_request(3)), QueueFullError);
+
+  engine.start();
+  engine.drain();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  bool saw_rejection = false;
+  for (const RequestOutcome& o : engine.outcomes()) {
+    if (o.status == RequestStatus::kRejected) {
+      saw_rejection = true;
+      EXPECT_EQ(o.error_code, names::errc::kServeQueueFull);
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+}
+
+TEST(ServeEngine, SubmitAfterDrainThrowsShutdown) {
+  ServeEngine engine(engine_config());
+  ServeEngine::Producer& producer = engine.add_producer();
+  engine.start();
+  producer.submit(make_request(1));
+  engine.drain();
+  EXPECT_TRUE(engine.draining());
+  EXPECT_THROW(producer.submit(make_request(2)), ShutdownError);
+  EXPECT_EQ(engine.stats().completed, 1u);
+}
+
+TEST(ServeEngine, ColdModeStillCompletes) {
+  EngineConfig cfg = engine_config();
+  cfg.cache_enabled = false;
+  cfg.batch_enabled = false;
+  ServeEngine engine(cfg);
+  ServeEngine::Producer& producer = engine.add_producer();
+  engine.start();
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    producer.submit(make_request(id));
+  }
+  engine.drain();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  // No coalescing: one single-request batch each, no cache traffic.
+  EXPECT_EQ(stats.batches, 4u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+}
+
+}  // namespace
+}  // namespace spmm::serve

@@ -210,6 +210,7 @@ struct Vocabulary {
   std::set<std::string_view> code_only_heads;
   std::set<std::string_view> flag_names;
   std::set<std::string_view> artifact_keys;
+  std::set<std::string_view> serve_artifact_keys;
 
   Vocabulary() {
     for (const auto& e : spmm::registry::kTelemetryNames) {
@@ -235,14 +236,17 @@ struct Vocabulary {
     for (const auto& e : spmm::registry::kArtifactKeys) {
       artifact_keys.insert(e.name);
     }
+    for (const auto& e : spmm::registry::kServeArtifactKeys) {
+      serve_artifact_keys.insert(e.name);
+    }
     rule_heads = {"bcsr", "bell",  "convert", "coo", "csc", "csr",
                   "csr5", "dense", "ell",     "hyb", "sellc"};
     site_only_heads = {"h2d", "d2h", "io"};
     code_only_heads = {"input", "timeout", "internal", "variant", "format",
                        "kernel"};
     const std::set<std::string_view> counter_heads = {
-        "hw",    "dev",   "run",  "cache",   "cell",
-        "sched", "fault", "lint", "journal", "campaign"};
+        "hw",    "dev",   "run",  "cache",   "cell",      "sched",
+        "fault", "lint",  "journal", "campaign", "serve"};
     for (const auto& sets :
          {rule_heads, site_only_heads, code_only_heads, counter_heads}) {
       heads.insert(sets.begin(), sets.end());
@@ -337,6 +341,9 @@ class Linter {
   void check_docs();
   void check_csv_pin();
   void check_artifact();
+  void check_artifact_file(const char* filename,
+                           const std::set<std::string_view>& declared,
+                           const char* table_name);
 
   [[nodiscard]] const std::vector<Finding>& findings() const {
     return findings_;
@@ -537,7 +544,7 @@ void Linter::check_docs() {
   // like `fault.<site>`, which fails the dotted-token shape and is
   // skipped). Tokens with a file extension are paths.
   for (const char* file : {"docs/OBSERVABILITY.md", "docs/ROBUSTNESS.md",
-                           "docs/STATIC_ANALYSIS.md"}) {
+                           "docs/STATIC_ANALYSIS.md", "docs/SERVING.md"}) {
     const std::string& text = doc_text(file);
     std::istringstream lines(text);
     std::string line;
@@ -588,13 +595,15 @@ void Linter::check_csv_pin() {
           "\")");
 }
 
-void Linter::check_artifact() {
-  const fs::path artifact = root_ / "BENCH_kernels.json";
+void Linter::check_artifact_file(const char* filename,
+                                 const std::set<std::string_view>& declared,
+                                 const char* table_name) {
+  const fs::path artifact = root_ / filename;
   if (!fs::exists(artifact)) return;
   const std::string text = read_file(artifact);
   // Minimal JSON key scan: a quoted string is a key iff the next
-  // non-space character is ':'. Good enough for the flat schema the
-  // perf-smoke artifact uses (no string values containing quotes).
+  // non-space character is ':'. Good enough for the flat schemas the
+  // committed artifacts use (no string values containing quotes).
   std::set<std::string> keys;
   std::size_t i = 0;
   while ((i = text.find('"', i)) != std::string::npos) {
@@ -610,19 +619,25 @@ void Linter::check_artifact() {
     i = close + 1;
   }
   for (const std::string& key : keys) {
-    if (vocab_.artifact_keys.count(key) == 0) {
-      add(spmm::names::finding::kArtifactKey, "BENCH_kernels.json", 0,
-          "artifact key \"" + key +
-              "\" is not declared in SPMM_ARTIFACT_KEYS");
+    if (declared.count(key) == 0) {
+      add(spmm::names::finding::kArtifactKey, filename, 0,
+          "artifact key \"" + key + "\" is not declared in " + table_name);
     }
   }
-  for (std::string_view key : vocab_.artifact_keys) {
+  for (std::string_view key : declared) {
     if (keys.count(std::string(key)) == 0) {
-      add(spmm::names::finding::kArtifactKey, "BENCH_kernels.json", 0,
+      add(spmm::names::finding::kArtifactKey, filename, 0,
           "declared artifact key \"" + std::string(key) +
               "\" is missing from the artifact");
     }
   }
+}
+
+void Linter::check_artifact() {
+  check_artifact_file("BENCH_kernels.json", vocab_.artifact_keys,
+                      "SPMM_ARTIFACT_KEYS");
+  check_artifact_file("BENCH_serve.json", vocab_.serve_artifact_keys,
+                      "SPMM_SERVE_ARTIFACT_KEYS");
 }
 
 int run_lint(int argc, const char* const* argv) {

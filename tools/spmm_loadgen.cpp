@@ -1,0 +1,65 @@
+// Deterministic open-loop load generator for spmm_serve
+// (docs/SERVING.md): expands a seeded Scenario (tenant mix, matrix
+// popularity skew, arrival rate) into a JSONL script, one request per
+// line, to --out or stdout.
+//
+//   spmm_loadgen --requests 500 --skew 1.2 --out scenario.jsonl
+//   spmm_loadgen | spmm_serve --script -
+//
+// The same seed always yields the same script, so soak and chaos runs
+// replay identical request streams.
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "resilience/errors.hpp"
+#include "serve/scenario.hpp"
+#include "support/atomic_file.hpp"
+#include "support/registry.hpp"
+
+using namespace spmm;
+
+int main(int argc, char** argv) {
+  ArgParser parser(
+      "spmm_loadgen — deterministic seeded scenario generator for "
+      "spmm_serve (docs/SERVING.md)");
+  BenchParams::register_options(parser);
+  serve::register_scenario_options(parser);
+  parser.add_double(names::flag::kScale, 0, 0.25,
+                    "suite matrix scale factor recorded for the scenario");
+  parser.add_string(names::flag::kFormat, 0, "bcsr",
+                    "sparse format for generated scenario requests");
+  parser.add_string(names::flag::kOut, 0, "",
+                    "write the JSONL script here (atomic); empty = stdout");
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+    const serve::Scenario scenario = serve::scenario_from_parser(parser);
+    const std::vector<serve::Request> requests = serve::generate(scenario);
+
+    std::ostringstream script;
+    for (const serve::Request& req : requests) {
+      script << serve::to_jsonl(req) << "\n";
+    }
+
+    const std::string& out_path = parser.get_string(names::flag::kOut);
+    if (out_path.empty()) {
+      std::cout << script.str();
+    } else {
+      support::write_file_atomic(out_path, script.str());
+      std::cerr << "loadgen: wrote " << requests.size() << " request(s) to "
+                << out_path << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error [" << e.error_code() << "]: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error [" << resilience::classify(e)
+              << "]: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 2;
+  }
+}

@@ -1,0 +1,407 @@
+// The long-lived multi-tenant serving engine driver (docs/SERVING.md).
+//
+//   spmm_serve                               # built-in seeded scenario
+//   spmm_serve --script scenario.jsonl       # replay a spmm_loadgen script
+//   spmm_serve --script -                    # ... from stdin
+//   spmm_serve --bench-out BENCH_serve.json  # throughput-vs-workers /
+//                                            # hit-rate study (cold
+//                                            # baseline vs batched+cached)
+//
+// Requests flow producers → SPSC rings → dispatcher → worker pool with
+// a sharded formatted-instance LRU cache (spmm::serve). Per-request
+// deadlines ride the cell-timeout ladder; SIGINT/SIGTERM drains queued
+// work and exits 3 (a second signal exits 4). Recorded request
+// failures (rejections, expiries) do not fail the process — the exit
+// code speaks for the engine, the summary lines speak for the
+// requests.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "resilience/errors.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/shutdown.hpp"
+#include "serve/engine.hpp"
+#include "serve/scenario.hpp"
+#include "support/atomic_file.hpp"
+#include "support/registry.hpp"
+#include "telemetry/options.hpp"
+
+using namespace spmm;
+
+namespace {
+
+bool parse_on_off(const std::string& value, const char* flag_name) {
+  SPMM_CHECK(value == "on" || value == "off",
+             std::string("--") + flag_name + " must be 'on' or 'off', got '" +
+                 value + "'");
+  return value == "on";
+}
+
+serve::EngineConfig config_from_parser(const ArgParser& parser,
+                                       const BenchParams& params) {
+  serve::EngineConfig cfg;
+  cfg.workers = static_cast<int>(parser.get_int(names::flag::kWorkers));
+  const std::int64_t capacity =
+      parser.get_int(names::flag::kQueueCapacity);
+  SPMM_CHECK(capacity > 0, "--queue-capacity must be positive");
+  cfg.queue_capacity = static_cast<std::size_t>(capacity);
+  const std::int64_t budget_mb =
+      parser.get_int(names::flag::kCacheBudgetMb);
+  SPMM_CHECK(budget_mb > 0, "--cache-budget-mb must be positive");
+  cfg.cache_budget_bytes =
+      static_cast<std::size_t>(budget_mb) * 1024 * 1024;
+  cfg.cache_enabled =
+      parse_on_off(parser.get_string(names::flag::kCacheMode), "cache");
+  cfg.batch_enabled =
+      parse_on_off(parser.get_string(names::flag::kBatchMode), "batch");
+  cfg.max_batch = static_cast<int>(parser.get_int(names::flag::kMaxBatch));
+  cfg.default_deadline_ms = parser.get_double(names::flag::kDeadlineMs);
+  const std::string& admission =
+      parser.get_string(names::flag::kAdmission);
+  SPMM_CHECK(admission == "block" || admission == "reject",
+             "--admission must be 'block' or 'reject', got '" + admission +
+                 "'");
+  cfg.admission = admission == "block" ? serve::Admission::kBlock
+                                       : serve::Admission::kReject;
+  cfg.params = params;
+  // Serving semantics: one unverified kernel invocation per batch —
+  // iteration counts and verification are benchmark-loop concepts.
+  cfg.params.iterations = 1;
+  cfg.params.warmup = 0;
+  cfg.params.verify = false;
+  const double scale = parser.get_double(names::flag::kScale);
+  SPMM_CHECK(scale > 0.0, "--scale must be positive");
+  const std::uint64_t seed = params.seed;
+  cfg.provider = [scale, seed](const std::string& name) {
+    return gen::generate<double, std::int32_t>(
+        gen::suite_spec(name, scale, seed));
+  };
+  return cfg;
+}
+
+struct RunOutput {
+  serve::EngineStats stats;
+  std::vector<serve::RequestOutcome> outcomes;
+  double elapsed_seconds = 0.0;
+  bool interrupted = false;
+};
+
+/// Drive one scenario through a fresh engine. Producers are one
+/// submission thread each (the SPSC contract); requests are routed to
+/// producers by tenant so a tenant's stream stays ordered. `paced`
+/// honors arrival_ms offsets (replay / soak); the study turns pacing
+/// off to measure capacity, not the generator's arrival rate.
+RunOutput run_scenario(const std::vector<serve::Request>& requests,
+                       const serve::EngineConfig& cfg, bool paced) {
+  serve::ServeEngine engine(cfg);
+
+  std::map<std::string, std::size_t> tenant_slot;
+  for (const serve::Request& req : requests) {
+    tenant_slot.emplace(req.tenant, tenant_slot.size());
+  }
+  const std::size_t nproducers =
+      std::max<std::size_t>(1, std::min<std::size_t>(4, tenant_slot.size()));
+  std::vector<serve::ServeEngine::Producer*> producers;
+  producers.reserve(nproducers);
+  for (std::size_t i = 0; i < nproducers; ++i) {
+    producers.push_back(&engine.add_producer());
+  }
+  std::vector<std::vector<serve::Request>> lanes(nproducers);
+  for (const serve::Request& req : requests) {
+    lanes[tenant_slot[req.tenant] % nproducers].push_back(req);
+  }
+
+  engine.start();
+  std::atomic<bool> interrupted{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> submitters;
+  submitters.reserve(nproducers);
+  for (std::size_t i = 0; i < nproducers; ++i) {
+    submitters.emplace_back([&, i] {
+      for (serve::Request req : lanes[i]) {
+        if (resilience::StopController::signal_received()) {
+          interrupted.store(true);
+          return;
+        }
+        if (paced && req.arrival_ms > 0.0) {
+          std::this_thread::sleep_until(
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              req.arrival_ms)));
+        }
+        try {
+          producers[i]->submit(std::move(req));
+        } catch (const serve::QueueFullError&) {
+          // Recorded by the engine as a rejected outcome; keep going.
+        } catch (const serve::ShutdownError&) {
+          interrupted.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  engine.drain();
+
+  RunOutput out;
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.stats = engine.stats();
+  out.outcomes = engine.outcomes();
+  out.interrupted =
+      interrupted.load() || resilience::StopController::signal_received();
+  return out;
+}
+
+void print_run_summary(std::ostream& os, const RunOutput& run) {
+  const serve::EngineStats& s = run.stats;
+  os << "serve: " << s.completed << " ok";
+  if (s.degraded > 0) os << " (" << s.degraded << " degraded)";
+  os << ", " << s.rejected << " rejected, " << s.expired << " expired, "
+     << s.failed << " failed in " << s.batches << " batch(es)\n";
+  const double rps = run.elapsed_seconds > 0.0
+                         ? static_cast<double>(s.completed) /
+                               run.elapsed_seconds
+                         : 0.0;
+  os << "throughput: " << rps << " req/s over " << run.elapsed_seconds
+     << " s; latency ms p50=" << s.p50_ms << " p95=" << s.p95_ms
+     << " p99=" << s.p99_ms << "\n";
+  os << "cache: hit_rate=" << s.cache.hit_rate()
+     << " (hits=" << s.cache.hits << " misses=" << s.cache.misses
+     << " formats=" << s.cache.formats << " evictions=" << s.cache.evictions
+     << "), avg_batch=" << s.avg_batch() << "\n";
+  std::map<std::string, std::size_t> error_tally;
+  for (const serve::RequestOutcome& o : run.outcomes) {
+    if (!o.error_code.empty()) ++error_tally[o.error_code];
+  }
+  if (!error_tally.empty()) {
+    os << "errors:";
+    for (const auto& [code, count] : error_tally) {
+      os << ' ' << code << '=' << count;
+    }
+    os << "\n";
+  }
+}
+
+std::vector<serve::Request> load_requests(const ArgParser& parser) {
+  const std::string& script = parser.get_string(names::flag::kScript);
+  if (script.empty()) {
+    return serve::generate(serve::scenario_from_parser(parser));
+  }
+  if (script == "-") return serve::read_script(std::cin);
+  std::ifstream in(script);
+  if (!in) {
+    throw resilience::InputError(names::errc::kInputOpen,
+                                 "cannot open scenario script: " + script);
+  }
+  return serve::read_script(in);
+}
+
+std::string json_bool(bool b) { return b ? "\"on\"" : "\"off\""; }
+
+/// The throughput-vs-workers / hit-rate study: a cold baseline
+/// (--cache off --batch off: format per batch of one) against
+/// batched+cached configurations across a worker sweep, all replaying
+/// the same seeded scenario. Emits BENCH_serve.json
+/// (spmm-serve-study-v1; keys declared in SPMM_SERVE_ARTIFACT_KEYS).
+int run_study(const ArgParser& parser, const BenchParams& params,
+              const std::string& out_path) {
+  const serve::Scenario scenario = serve::scenario_from_parser(parser);
+  const std::vector<serve::Request> requests = serve::generate(scenario);
+  const serve::EngineConfig base = config_from_parser(parser, params);
+
+  struct ConfigRow {
+    int workers;
+    bool cache;
+    bool batch;
+    RunOutput run;
+    double rps;
+  };
+  std::vector<ConfigRow> rows;
+
+  std::vector<int> worker_sweep{1, base.workers / 2, base.workers};
+  std::sort(worker_sweep.begin(), worker_sweep.end());
+  worker_sweep.erase(
+      std::remove_if(worker_sweep.begin(), worker_sweep.end(),
+                     [](int w) { return w < 1; }),
+      worker_sweep.end());
+  worker_sweep.erase(std::unique(worker_sweep.begin(), worker_sweep.end()),
+                     worker_sweep.end());
+
+  const auto run_config = [&](int workers, bool cache, bool batch) {
+    serve::EngineConfig cfg = base;
+    cfg.workers = workers;
+    cfg.cache_enabled = cache;
+    cfg.batch_enabled = batch;
+    ConfigRow row{workers, cache, batch, run_scenario(requests, cfg, false),
+                  0.0};
+    row.rps = row.run.elapsed_seconds > 0.0
+                  ? static_cast<double>(row.run.stats.completed) /
+                        row.run.elapsed_seconds
+                  : 0.0;
+    std::cout << "  workers=" << workers << " cache="
+              << (cache ? "on" : "off") << " batch=" << (batch ? "on" : "off")
+              << ": " << row.rps << " req/s, hit_rate="
+              << row.run.stats.cache.hit_rate() << "\n";
+    rows.push_back(std::move(row));
+    return !rows.back().run.interrupted;
+  };
+
+  std::cout << "serve study: " << requests.size() << " requests, "
+            << scenario.matrices.size() << " matrices, skew=" << scenario.skew
+            << "\n";
+  // Cold baseline first: every batch formats from scratch, no
+  // coalescing — the §6.3.2 asymmetry at full price.
+  bool ok = run_config(base.workers, false, false);
+  for (const int w : worker_sweep) {
+    if (!ok) break;
+    ok = run_config(w, true, true);
+  }
+  if (!ok) {
+    std::cerr << "serve interrupted (signal): study aborted\n";
+    return resilience::kExitInterrupted;
+  }
+
+  const double baseline_rps = rows.front().rps;
+  double best_rps = 0.0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    best_rps = std::max(best_rps, rows[i].rps);
+  }
+  const double speedup = baseline_rps > 0.0 ? best_rps / baseline_rps : 0.0;
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"spmm-serve-study-v1\",\n  \"params\": {\n";
+  json << "    \"requests\": " << scenario.requests << ",\n";
+  json << "    \"tenants\": " << scenario.tenants << ",\n";
+  json << "    \"skew\": " << scenario.skew << ",\n";
+  json << "    \"seed\": " << scenario.seed << ",\n";
+  json << "    \"arrival_rate\": " << scenario.arrival_rate << ",\n";
+  json << "    \"scale\": " << scenario.scale << ",\n";
+  json << "    \"k\": " << scenario.k << ",\n";
+  json << "    \"format\": \"" << format_name(scenario.format) << "\",\n";
+  json << "    \"matrices\": [";
+  for (std::size_t i = 0; i < scenario.matrices.size(); ++i) {
+    if (i > 0) json << ", ";
+    json << '"' << scenario.matrices[i] << '"';
+  }
+  json << "]\n  },\n  \"configs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ConfigRow& row = rows[i];
+    const serve::EngineStats& s = row.run.stats;
+    json << "    {\"workers\": " << row.workers
+         << ", \"cache\": " << json_bool(row.cache)
+         << ", \"batch\": " << json_bool(row.batch)
+         << ", \"completed\": " << s.completed
+         << ", \"rejected\": " << s.rejected
+         << ", \"expired\": " << s.expired << ", \"failed\": " << s.failed
+         << ", \"throughput_rps\": " << row.rps
+         << ", \"hit_rate\": " << s.cache.hit_rate()
+         << ", \"p50_ms\": " << s.p50_ms << ", \"p95_ms\": " << s.p95_ms
+         << ", \"p99_ms\": " << s.p99_ms << ", \"batches\": " << s.batches
+         << ", \"avg_batch\": " << s.avg_batch() << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"baseline_rps\": " << baseline_rps << ",\n";
+  json << "  \"best_rps\": " << best_rps << ",\n";
+  json << "  \"speedup_vs_cold\": " << speedup << "\n}\n";
+  support::write_file_atomic(out_path, json.str());
+
+  std::cout << "serve study: cold " << baseline_rps << " req/s, best "
+            << best_rps << " req/s, speedup " << speedup << "x -> "
+            << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser(
+      "spmm_serve — long-lived multi-tenant SpMM serving engine "
+      "(docs/SERVING.md)");
+  BenchParams::register_options(parser);
+  serve::register_scenario_options(parser);
+  telemetry::register_trace_options(parser);
+  resilience::register_fault_options(parser);
+  parser.add_string(names::flag::kScript, 0, "",
+                    "JSONL scenario script to replay ('-' = stdin); empty "
+                    "= generate the built-in seeded scenario");
+  parser.add_string(names::flag::kBenchOut, 0, "",
+                    "run the throughput/hit-rate study and write "
+                    "BENCH_serve.json to this path");
+  parser.add_double(names::flag::kScale, 0, 0.25,
+                    "suite matrix scale factor for generated matrices");
+  parser.add_string(names::flag::kFormat, 0, "bcsr",
+                    "sparse format for generated scenario requests");
+  parser.add_int(names::flag::kWorkers, 0, 4, "worker pool size");
+  parser.add_int(names::flag::kQueueCapacity, 0, 256,
+                 "per-producer ingress ring capacity");
+  parser.add_int(names::flag::kCacheBudgetMb, 0, 512,
+                 "formatted-instance cache byte budget in MiB");
+  parser.add_string(names::flag::kCacheMode, 0, "on",
+                    "formatted-instance cache: on|off (off = format per "
+                    "batch, the cold baseline)");
+  parser.add_string(names::flag::kBatchMode, 0, "on",
+                    "same-key request coalescing: on|off");
+  parser.add_int(names::flag::kMaxBatch, 0, 8,
+                 "largest coalesced batch per cache key");
+  parser.add_string(names::flag::kAdmission, 0, "block",
+                    "full-ring admission policy: block (backpressure) or "
+                    "reject (typed serve.queue.full error)");
+
+  telemetry::TraceSetup trace;
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+    resilience::StopController::arm_signals();
+    trace = telemetry::trace_setup_from_parser(parser);
+    BenchParams params = BenchParams::from_parser(parser);
+    params.sink = trace.sink;
+    params.faults = resilience::injector_from_parser(parser, params.seed);
+    resilience::FaultInjector::ScopedGlobal fault_scope(params.faults);
+
+    const std::string& bench_out =
+        parser.get_string(names::flag::kBenchOut);
+    if (!bench_out.empty()) {
+      const int code = run_study(parser, params, bench_out);
+      trace.finish(std::cout);
+      return code;
+    }
+
+    const std::vector<serve::Request> requests = load_requests(parser);
+    SPMM_CHECK(!requests.empty(), "scenario contains no requests");
+    serve::EngineConfig cfg = config_from_parser(parser, params);
+    cfg.sink = trace.sink;
+    cfg.faults = params.faults;
+    const RunOutput run = run_scenario(requests, cfg, true);
+    print_run_summary(std::cout, run);
+    trace.finish(std::cout);
+    if (run.interrupted) {
+      std::cerr << "serve interrupted (signal): drained "
+                << run.outcomes.size()
+                << " admitted request(s) before exit\n";
+      return resilience::kExitInterrupted;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error [" << e.error_code() << "]: " << e.what() << "\n";
+    trace.finish(std::cout);
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error [" << resilience::classify(e)
+              << "]: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 2;
+  }
+}
